@@ -1,0 +1,47 @@
+//! E10 — cross-batch retention in PADR sessions. Emits the E10 table,
+//! then times session batch execution against cold-start scheduling.
+
+use bench::emit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cst_core::CstTopology;
+use cst_padr::PadrSession;
+
+fn bench_e10(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e10_sessions::run(
+        &cst_analysis::experiments::e10_sessions::Config { n: 256, batches: 8, seed: 10 },
+    );
+    emit(&table);
+
+    let topo = CstTopology::with_leaves(256);
+    let set = cst_comm::examples::sibling_pairs(256);
+    let mut group = c.benchmark_group("e10_sessions");
+    group.bench_function("session_8_batches_width1", |b| {
+        b.iter(|| {
+            let mut session = PadrSession::new(&topo);
+            for _ in 0..8 {
+                session.run_batch(&set).unwrap();
+            }
+            std::hint::black_box(session.power().total_units)
+        })
+    });
+    group.bench_function("cold_8_batches_width1", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for _ in 0..8 {
+                total += cst_padr::schedule(&topo, &set).unwrap().power.total_units;
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e10
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E11 — segmentable-bus emulation on the CST. Emits the E11 table, then
+//! times one emulated broadcast step across segmentations.
+
+use bench::emit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cst_bus::{emulate_step, SegmentableBus};
+
+fn bench_e11(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e11_bus_emulation::run(
+        &cst_analysis::experiments::e11_bus_emulation::Config {
+            n: 256,
+            segment_counts: vec![1, 2, 4, 16, 64],
+        },
+    );
+    emit(&table);
+
+    let mut group = c.benchmark_group("e11_bus_step");
+    for segs in [1usize, 4, 16] {
+        let n = 256;
+        let mut bus = SegmentableBus::new(n);
+        let boundaries: Vec<usize> = (1..segs).map(|i| i * n / segs - 1).collect();
+        bus.segment_at(&boundaries);
+        let writes: Vec<(usize, u64)> = bus
+            .segments()
+            .iter()
+            .map(|seg| (seg.start + seg.len() / 2, 1u64))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(segs), &segs, |b, _| {
+            b.iter(|| std::hint::black_box(emulate_step(&bus, &writes).unwrap().rounds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e11
+}
+criterion_main!(benches);

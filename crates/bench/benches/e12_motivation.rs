@@ -1,0 +1,50 @@
+//! E12 — the paper's motivation quantified. Emits the E12 table, then
+//! times bit-counting on both architectures.
+
+use bench::emit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cst_rmesh::RMesh;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_e12(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e12_motivation::run(
+        &cst_analysis::experiments::e12_motivation::Config {
+            sizes: vec![16, 64, 256],
+            inputs: 8,
+            seed: 12,
+        },
+    );
+    emit(&table);
+
+    let n = 64;
+    let mut rng = StdRng::seed_from_u64(3);
+    let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let values: Vec<i64> = bits.iter().map(|&b| i64::from(b)).collect();
+
+    let mut group = c.benchmark_group("e12_count_bits_64");
+    group.bench_function("rmesh_staircase", |b| {
+        b.iter(|| {
+            let mut mesh = RMesh::new(n + 1, n);
+            std::hint::black_box(cst_rmesh::count_ones(&mut mesh, &bits).unwrap())
+        })
+    });
+    group.bench_function("cst_reduce", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                cst_apps::reduce(values.clone(), |a, x| a + x).unwrap().values[0],
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e12
+}
+criterion_main!(benches);

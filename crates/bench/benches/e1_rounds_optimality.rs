@@ -1,0 +1,40 @@
+//! E1 — Theorem 5: rounds == width. Emits the E1 table, then times the
+//! full CSA pipeline across widths (the operation whose round count the
+//! experiment certifies).
+
+use bench::{emit, width_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_e1(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e1_rounds::run(
+        &cst_analysis::experiments::e1_rounds::Config {
+            n: 512,
+            widths: vec![1, 2, 4, 8, 16, 32, 64],
+            seeds: (0..3).collect(),
+            threads: cst_analysis::default_threads(),
+        },
+    );
+    emit(&table);
+
+    let mut group = c.benchmark_group("e1_csa_rounds");
+    for w in [4usize, 16, 64] {
+        let (topo, set) = width_workload(512, w, 0xE1);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                let out = cst_padr::schedule(&topo, &set).unwrap();
+                assert_eq!(out.rounds(), std::hint::black_box(w));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e1
+}
+criterion_main!(benches);

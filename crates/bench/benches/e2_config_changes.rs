@@ -1,0 +1,43 @@
+//! E2 — Theorem 8: per-switch configuration cost vs width. Emits the E2
+//! table, then times the power-metered CSA run at increasing widths
+//! (whose per-switch cost the table shows staying flat).
+
+use bench::{emit, width_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_e2(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e2_changes::run(
+        &cst_analysis::experiments::e2_changes::Config {
+            n: 512,
+            widths: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            seeds: (0..3).collect(),
+            threads: cst_analysis::default_threads(),
+        },
+    );
+    emit(&table);
+
+    let mut group = c.benchmark_group("e2_metered_csa");
+    for w in [8usize, 32, 128] {
+        let (topo, set) = width_workload(512, w, 0xE2);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                let out = cst_padr::schedule(&topo, &set).unwrap();
+                assert!(
+                    out.power.max_port_transitions <= cst_padr::CSA_PORT_TRANSITION_BOUND
+                );
+                std::hint::black_box(out.power.max_units)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e2
+}
+criterion_main!(benches);

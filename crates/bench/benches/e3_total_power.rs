@@ -1,0 +1,45 @@
+//! E3 — total power vs N. Emits the E3 table, then times the schedule +
+//! power-replay pipeline for CSA and the Roy baseline at one size.
+
+use bench::{emit, workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cst_baseline::{roy, LevelOrder};
+
+fn bench_e3(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e3_total_power::run(
+        &cst_analysis::experiments::e3_total_power::Config {
+            sizes: vec![64, 128, 256, 512, 1024, 2048],
+            density: 0.5,
+            seeds: (0..3).collect(),
+            threads: cst_analysis::default_threads(),
+        },
+    );
+    emit(&table);
+
+    let (topo, set) = workload(1024, 0.5, 0xE3);
+    let mut group = c.benchmark_group("e3_power_pipeline");
+    group.bench_function("csa_schedule_and_meter", |b| {
+        b.iter(|| {
+            let out = cst_padr::schedule(&topo, &set).unwrap();
+            std::hint::black_box(out.power.total_units)
+        })
+    });
+    group.bench_function("roy_schedule_and_meter", |b| {
+        b.iter(|| {
+            let out = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).unwrap();
+            let report = out.schedule.meter_power(&topo).report(&topo);
+            std::hint::black_box(report.total_writethrough_units)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e3
+}
+criterion_main!(benches);

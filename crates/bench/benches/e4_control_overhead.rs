@@ -1,0 +1,38 @@
+//! E4 — Theorem 5 efficiency: O(1) control words per switch. Emits the
+//! E4 table, then times Phase 1 alone (the control-distribution sweep).
+
+use bench::{emit, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_e4(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e4_control::run(
+        &cst_analysis::experiments::e4_control::Config {
+            sizes: vec![64, 256, 1024, 4096],
+            density: 0.5,
+            seed: 4,
+        },
+    );
+    emit(&table);
+
+    let mut group = c.benchmark_group("e4_phase1_sweep");
+    for n in [256usize, 1024, 4096] {
+        let (topo, set) = workload(n, 0.5, 0xE4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let p1 = cst_padr::phase1::run(&topo, &set).unwrap();
+                std::hint::black_box(p1.states.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e4
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E5 — host-side scheduler throughput: the criterion-precise version of
+//! the E5 table. Times CSA, Roy and greedy end to end across sizes.
+
+use bench::{emit, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cst_baseline::{greedy, roy, LevelOrder, ScanOrder};
+
+fn bench_e5(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e5_throughput::run(
+        &cst_analysis::experiments::e5_throughput::Config {
+            sizes: vec![256, 1024, 4096],
+            density: 0.5,
+            repeats: 3,
+            seed: 5,
+        },
+    );
+    emit(&table);
+
+    let mut group = c.benchmark_group("e5_schedulers");
+    for n in [256usize, 1024, 4096] {
+        let (topo, set) = workload(n, 0.5, 0xE5);
+        group.throughput(Throughput::Elements(set.len() as u64));
+        group.bench_with_input(BenchmarkId::new("csa", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(cst_padr::schedule(&topo, &set).unwrap().rounds()))
+        });
+        group.bench_with_input(BenchmarkId::new("roy", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    roy::schedule(&topo, &set, LevelOrder::InnermostFirst)
+                        .unwrap()
+                        .schedule
+                        .num_rounds(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    greedy::schedule(&topo, &set, ScanOrder::OutermostFirst)
+                        .unwrap()
+                        .schedule
+                        .num_rounds(),
+                )
+            })
+        });
+        // Parallel host driver: identical output, subtree-level workers.
+        group.bench_with_input(BenchmarkId::new("csa_parallel8", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    cst_padr::schedule_parallel(&topo, &set, 8).unwrap().rounds(),
+                )
+            })
+        });
+        // Ablation of the host-side quiescent-subtree pruning (DESIGN.md
+        // design choice): identical output, different sweep cost.
+        group.bench_with_input(BenchmarkId::new("csa_no_prune", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    cst_padr::schedule_with(
+                        &topo,
+                        &set,
+                        cst_padr::Options { prune_quiescent: false },
+                    )
+                    .unwrap()
+                    .rounds(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e5
+}
+criterion_main!(benches);

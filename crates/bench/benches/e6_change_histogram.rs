@@ -1,0 +1,41 @@
+//! E6 — distribution of per-switch cost. Emits the E6 table and raw
+//! histograms, then times the histogram extraction path.
+
+use bench::emit;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e6(c: &mut Criterion) {
+    let result = cst_analysis::experiments::e6_histogram::run(
+        &cst_analysis::experiments::e6_histogram::Config {
+            n: 512,
+            width: 64,
+            seed: 6,
+            bucket_width: 4,
+        },
+    );
+    emit(&result.table);
+    eprintln!("csa per-switch hold units:\n{}", result.csa_hist.render());
+    eprintln!("roy per-switch write-through units:\n{}", result.roy_hist.render());
+
+    let (topo, set) = bench::width_workload(512, 64, 0xE6);
+    c.bench_function("e6_histogram_extraction", |b| {
+        b.iter(|| {
+            let out = cst_padr::schedule(&topo, &set).unwrap();
+            let hist = cst_analysis::Histogram::build(
+                out.meter.transition_histogram(&topo),
+                2,
+            );
+            std::hint::black_box(hist.total())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e6
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E7 — segmentable bus on the cycle-level simulator. Emits the E7 table,
+//! then times full simulation (control waves + payload transfer) across
+//! bus depths.
+
+use bench::emit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cst_core::CstTopology;
+
+fn bench_e7(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e7_bus::run(
+        &cst_analysis::experiments::e7_bus::Config {
+            sizes: vec![64, 256, 1024],
+            levels: vec![1, 2, 4],
+        },
+    );
+    emit(&table);
+
+    let mut group = c.benchmark_group("e7_simulate_bus");
+    for levels in [1u32, 2, 4] {
+        let topo = CstTopology::with_leaves(1024);
+        let set = cst_workloads::hierarchical_bus(1024, levels);
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
+            b.iter(|| {
+                let sim = cst_sim::simulate(&topo, &set, None).unwrap();
+                std::hint::black_box(sim.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e7
+}
+criterion_main!(benches);

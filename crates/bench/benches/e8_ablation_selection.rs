@@ -1,0 +1,43 @@
+//! E8 — selection-rule ablation. Emits the E8 table, then times greedy
+//! scheduling under the three scan orders at one width.
+
+use bench::{emit, width_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cst_baseline::{greedy, ScanOrder};
+
+fn bench_e8(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e8_ablation::run(
+        &cst_analysis::experiments::e8_ablation::Config {
+            n: 512,
+            widths: vec![4, 8, 16, 32, 64],
+            seed: 8,
+        },
+    );
+    emit(&table);
+
+    let (topo, set) = width_workload(512, 32, 0xE8);
+    let mut group = c.benchmark_group("e8_scan_orders");
+    for (name, order) in [
+        ("outermost", ScanOrder::OutermostFirst),
+        ("innermost", ScanOrder::InnermostFirst),
+        ("input", ScanOrder::InputOrder),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = greedy::schedule(&topo, &set, order).unwrap();
+                std::hint::black_box(out.schedule.num_rounds())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e8
+}
+criterion_main!(benches);

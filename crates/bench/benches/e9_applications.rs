@@ -1,0 +1,54 @@
+//! E9 — PADR applied: SRGA routing and computational algorithms. Emits
+//! the E9 table, then times transpose routing and the three algorithms.
+
+use bench::emit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cst_srga::SrgaGrid;
+
+fn bench_e9(c: &mut Criterion) {
+    let table = cst_analysis::experiments::e9_applications::run(
+        &cst_analysis::experiments::e9_applications::Config {
+            grid_sides: vec![8, 16],
+            array_sizes: vec![64, 256],
+        },
+    );
+    emit(&table);
+
+    let mut group = c.benchmark_group("e9_applications");
+    let grid = SrgaGrid::square(8);
+    group.bench_function("srga_transpose_8x8", |b| {
+        b.iter(|| std::hint::black_box(cst_srga::transpose(&grid).unwrap().total_rounds()))
+    });
+    group.bench_function("prefix_sums_256", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                cst_apps::prefix_sums((0..256i64).collect()).unwrap().rounds,
+            )
+        })
+    });
+    group.bench_function("reduce_1024", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                cst_apps::reduce(vec![1i64; 1024], |a, b| a + b).unwrap().values[0],
+            )
+        })
+    });
+    group.bench_function("odd_even_sort_64", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                cst_apps::odd_even_sort((0..64i64).rev().collect()).unwrap().rounds,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e9
+}
+criterion_main!(benches);

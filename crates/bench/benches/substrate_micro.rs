@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the substrate operations every scheduler leans on:
+//! LCA queries, circuit construction, width computation, Dyck sampling,
+//! Phase-1 sweeps. These quantify the per-operation costs behind the E5
+//! scaling numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cst_core::{Circuit, CstTopology, LeafId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_substrate(c: &mut Criterion) {
+    let topo = CstTopology::with_leaves(4096);
+    let mut rng = StdRng::seed_from_u64(99);
+    let pairs: Vec<(usize, usize)> = (0..1024)
+        .map(|_| {
+            let a = rng.gen_range(0..4096);
+            let b = rng.gen_range(0..4096);
+            (a.min(b), a.max(b).max(a.min(b) + 1).min(4095))
+        })
+        .filter(|(a, b)| a != b)
+        .collect();
+
+    c.bench_function("lca_1024_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(s, d) in &pairs {
+                acc ^= topo.lca(LeafId(s), LeafId(d)).index();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    c.bench_function("circuit_build_1024", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for &(s, d) in &pairs {
+                hops += Circuit::right_oriented(&topo, LeafId(s), LeafId(d)).num_switches();
+            }
+            std::hint::black_box(hops)
+        })
+    });
+
+    let mut group = c.benchmark_group("width_computation");
+    for n in [256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = CstTopology::with_leaves(n);
+        let set = cst_workloads::well_nested_with_density(&mut rng, n, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(cst_comm::width_on_topology(&t, &set)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("dyck_sample_1024_pairs", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| std::hint::black_box(cst_workloads::random_dyck(&mut rng, 1024).len()))
+    });
+
+    c.bench_function("phase1_sweep_4096", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let set = cst_workloads::well_nested_with_density(&mut rng, 4096, 0.5);
+        b.iter(|| {
+            std::hint::black_box(cst_padr::phase1::run(&topo, &set).unwrap().states.len())
+        })
+    });
+
+    c.bench_function("well_nested_check_2048_comms", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let set = cst_workloads::well_nested_with_density(&mut rng, 4096, 1.0);
+        b.iter(|| std::hint::black_box(set.is_well_nested()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_substrate
+}
+criterion_main!(benches);

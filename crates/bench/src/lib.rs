@@ -1,0 +1,46 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Each bench file regenerates one experiment's table (printed to stderr
+//! so `cargo bench` output doubles as the evaluation record) and then
+//! times the operation that experiment stresses.
+
+use cst_comm::CommSet;
+use cst_core::CstTopology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic workload for timing loops: a random well-nested set at
+/// the given density.
+pub fn workload(n: usize, density: f64, seed: u64) -> (CstTopology, CommSet) {
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let set = cst_workloads::well_nested_with_density(&mut rng, n, density);
+    (topo, set)
+}
+
+/// Deterministic width-targeted workload.
+pub fn width_workload(n: usize, w: usize, seed: u64) -> (CstTopology, CommSet) {
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let set = cst_workloads::with_width(&mut rng, n, w, 0.5);
+    (topo, set)
+}
+
+/// Print an experiment table to stderr with a separating banner.
+pub fn emit(table: &cst_analysis::Table) {
+    eprintln!("\n{}", table.render_text());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_helpers_are_deterministic() {
+        let (_, a) = workload(64, 0.5, 1);
+        let (_, b) = workload(64, 0.5, 1);
+        assert_eq!(a, b);
+        let (_, c) = width_workload(64, 8, 2);
+        assert_eq!(cst_comm::width_on_topology(&CstTopology::with_leaves(64), &c), 8);
+    }
+}

@@ -1,0 +1,122 @@
+//! **E10 — PADR sessions: configuration retention across batches.**
+//!
+//! The paper's technique applied to a *stream* of communication sets (one
+//! per computation step). Retention across batches only reuses the
+//! configuration held at the batch boundary, so the saving depends on the
+//! batch's round structure, not merely on batch similarity:
+//!
+//! * identical width-1 batches — the whole tree is still configured:
+//!   repeats are **free**;
+//! * identical deep batches — every switch cycles through its full
+//!   configuration sequence again: only the boundary configuration (one
+//!   apex connection for a plain nest) is saved;
+//! * independent random batches — incidental overlap only.
+
+use crate::table::{fnum, Table};
+use cst_core::CstTopology;
+use cst_padr::PadrSession;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for E10.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub n: usize,
+    pub batches: usize,
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n: 256, batches: 8, seed: 10 }
+    }
+}
+
+/// Run E10.
+pub fn run(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "E10",
+        "cross-batch retention in PADR sessions",
+        &["stream", "batches", "total_spent", "total_cold", "saved_%"],
+    );
+    let topo = CstTopology::with_leaves(cfg.n);
+
+    let mut run_stream = |name: &str, sets: Vec<cst_comm::CommSet>| {
+        let mut session = PadrSession::new(&topo);
+        for set in &sets {
+            session.run_batch(set).expect("batch schedules");
+        }
+        let spent: u64 = session.batches().iter().map(|b| b.units_spent).sum();
+        let cold = session.cold_total();
+        let saved = 100.0 * (1.0 - spent as f64 / cold.max(1) as f64);
+        table.row(vec![
+            name.into(),
+            sets.len().to_string(),
+            spent.to_string(),
+            cold.to_string(),
+            fnum(saved),
+        ]);
+        saved
+    };
+
+    // Identical width-1 batches: repeats free.
+    let w1 = cst_comm::examples::sibling_pairs(cfg.n);
+    let s1 = run_stream("repeat/width-1", vec![w1; cfg.batches]);
+
+    // Identical deep batches: only the boundary is retained.
+    let deep = cst_comm::examples::full_nest(cfg.n);
+    let s2 = run_stream("repeat/deep-nest", vec![deep; cfg.batches]);
+
+    // Alternating two disjoint width-1 patterns: each pattern's switches
+    // hold their configuration across the other's batches.
+    let even = cst_comm::CommSet::from_pairs(
+        cfg.n,
+        &(0..cfg.n / 4).map(|i| (4 * i, 4 * i + 1)).collect::<Vec<_>>(),
+    );
+    let odd = cst_comm::CommSet::from_pairs(
+        cfg.n,
+        &(0..cfg.n / 4).map(|i| (4 * i + 2, 4 * i + 3)).collect::<Vec<_>>(),
+    );
+    let alternating: Vec<_> = (0..cfg.batches)
+        .map(|i| if i % 2 == 0 { even.clone() } else { odd.clone() })
+        .collect();
+    let s3 = run_stream("alternate/disjoint-w1", alternating);
+
+    // Independent random batches.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let random: Vec<_> = (0..cfg.batches)
+        .map(|_| cst_workloads::well_nested_with_density(&mut rng, cfg.n, 0.5))
+        .collect();
+    let s4 = run_stream("independent/random", random);
+
+    // Hard expectations. A stream of B batches can save at most
+    // (B-1)/B of the cold total (the first batch is always cold), so the
+    // "nearly free" thresholds are relative to that ceiling.
+    let ceiling = 100.0 * (cfg.batches as f64 - 1.0) / cfg.batches as f64;
+    assert!(s1 >= ceiling - 1.0, "width-1 repeats must be nearly free, saved {s1}%");
+    // The alternation uses two distinct patterns, so its ceiling is
+    // (B-2)/B: both patterns pay one cold batch each.
+    let ceiling2 = 100.0 * (cfg.batches as f64 - 2.0) / cfg.batches as f64;
+    assert!(s3 >= ceiling2 - 1.0, "disjoint alternation must hit its ceiling, saved {s3}%");
+    assert!(s2 < 20.0, "deep repeats save only the boundary, saved {s2}%");
+    assert!(s4 < 50.0, "independent batches have incidental overlap only, saved {s4}%");
+
+    table.note("savings track batch-boundary configuration overlap, not batch similarity");
+    table.note("width-1 streams: the tree stays configured; deep streams: every batch re-cycles its switches");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_shapes_hold_small() {
+        let cfg = Config { n: 64, batches: 4, seed: 0 };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 4);
+        // repeat/width-1 saves ~ (batches-1)/batches
+        let saved: f64 = t.rows[0][4].parse().unwrap();
+        assert!(saved > 70.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! **E1 — Theorem 5 (round optimality).** Rounds used vs width `w`.
+//!
+//! Expected shape: CSA rounds ≡ `w` exactly on every input. The Roy-style
+//! baseline meets `w` on plain nests and random workloads but pays
+//! `depth > w` on the staircase family; greedy outermost-first tracks `w`;
+//! sequential pays `M`.
+
+use super::measure_all;
+use crate::runner::parallel_map;
+use crate::table::Table;
+use cst_core::CstTopology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for E1.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of leaves.
+    pub n: usize,
+    /// Widths to sweep.
+    pub widths: Vec<usize>,
+    /// Seeds per width (measurements are averaged over seeds).
+    pub seeds: Vec<u64>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1024,
+            widths: vec![1, 2, 4, 8, 16, 32, 64],
+            seeds: (0..5).collect(),
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+/// Run E1: one row per (width, aggregated over seeds), plus staircase rows.
+pub fn run(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "E1",
+        "rounds vs width (Theorem 5: CSA rounds == w)",
+        &["workload", "w", "csa", "roy", "greedy_outer", "greedy_input", "sequential"],
+    );
+    let points: Vec<(usize, u64)> = cfg
+        .widths
+        .iter()
+        .flat_map(|&w| cfg.seeds.iter().map(move |&s| (w, s)))
+        .collect();
+    let results = parallel_map(points.clone(), cfg.threads, |&(w, seed)| {
+        let topo = CstTopology::with_leaves(cfg.n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = cst_workloads::with_width(&mut rng, cfg.n, w, 0.5);
+        measure_all(&topo, &set)
+    });
+
+    for &w in &cfg.widths {
+        let group: Vec<_> = points
+            .iter()
+            .zip(&results)
+            .filter(|((pw, _), _)| *pw == w)
+            .map(|(_, m)| m)
+            .collect();
+        let mean = |f: &dyn Fn(&super::AllSchedulers) -> usize| {
+            group.iter().map(|m| f(m) as f64).sum::<f64>() / group.len() as f64
+        };
+        // CSA must be exactly w on every seed (hard assertion, not a note).
+        for m in &group {
+            assert_eq!(m.csa.rounds as u32, m.width, "Theorem 5 violated");
+            assert_eq!(m.width as usize, w, "generator width drifted");
+        }
+        table.row(vec![
+            "random+chain".into(),
+            w.to_string(),
+            crate::table::fnum(mean(&|m| m.csa.rounds)),
+            crate::table::fnum(mean(&|m| m.roy.rounds)),
+            crate::table::fnum(mean(&|m| m.greedy_outer.rounds)),
+            crate::table::fnum(mean(&|m| m.greedy_input.rounds)),
+            crate::table::fnum(mean(&|m| m.sequential.rounds)),
+        ]);
+    }
+
+    // The adversarial staircase: depth 3, width 2.
+    let topo = CstTopology::with_leaves(cfg.n);
+    let stair = cst_workloads::staircase(cfg.n, cfg.n / 16);
+    let m = measure_all(&topo, &stair);
+    assert_eq!(m.csa.rounds as u32, m.width);
+    table.row(vec![
+        "staircase".into(),
+        m.width.to_string(),
+        m.csa.rounds.to_string(),
+        m.roy.rounds.to_string(),
+        m.greedy_outer.rounds.to_string(),
+        m.greedy_input.rounds.to_string(),
+        m.sequential.rounds.to_string(),
+    ]);
+    table.note("expected: csa == w everywhere; roy == depth (3) on the staircase > w (2)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_e1_runs_and_asserts() {
+        let cfg = Config {
+            n: 64,
+            widths: vec![1, 2, 4, 8],
+            seeds: vec![0, 1],
+            threads: 2,
+        };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 5); // 4 widths + staircase
+        // staircase row shows roy > csa
+        let last = t.rows.last().unwrap();
+        let csa: f64 = last[2].parse().unwrap();
+        let roy: f64 = last[3].parse().unwrap();
+        assert!(roy > csa);
+    }
+}

@@ -1,0 +1,89 @@
+//! **E5 — host-side scheduler throughput.**
+//!
+//! Wall-clock time of the full pipeline (Phase 1 + all rounds) versus `N`,
+//! for CSA and the centralized baselines. Not a claim from the paper
+//! (whose switches run in parallel hardware) but the number a downstream
+//! user of this library cares about; criterion gives the precise version
+//! in `bench/benches/e5_scheduler_throughput.rs`, this table the quick
+//! overview.
+
+use crate::table::{fnum, Table};
+use cst_baseline::{greedy, roy, LevelOrder, ScanOrder};
+use cst_core::CstTopology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Configuration for E5.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub sizes: Vec<usize>,
+    pub density: f64,
+    pub repeats: u32,
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { sizes: vec![256, 1024, 4096, 16384], density: 0.5, repeats: 5, seed: 5 }
+    }
+}
+
+fn time_ms<F: FnMut()>(repeats: u32, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..repeats {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / f64::from(repeats)
+}
+
+/// Run E5.
+pub fn run(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "E5",
+        "host-side scheduling time (ms per full schedule)",
+        &["n", "comms", "width", "csa_ms", "roy_ms", "greedy_ms", "comms_per_ms_csa"],
+    );
+    for &n in &cfg.sizes {
+        let topo = CstTopology::with_leaves(n);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE5);
+        let set = cst_workloads::well_nested_with_density(&mut rng, n, cfg.density);
+        let width = cst_comm::width_on_topology(&topo, &set);
+        let csa_ms = time_ms(cfg.repeats, || {
+            let _ = cst_padr::schedule(&topo, &set).expect("csa");
+        });
+        let roy_ms = time_ms(cfg.repeats, || {
+            let _ = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).expect("roy");
+        });
+        let greedy_ms = time_ms(cfg.repeats, || {
+            let _ = greedy::schedule(&topo, &set, ScanOrder::OutermostFirst).expect("greedy");
+        });
+        table.row(vec![
+            n.to_string(),
+            set.len().to_string(),
+            width.to_string(),
+            fnum(csa_ms),
+            fnum(roy_ms),
+            fnum(greedy_ms),
+            fnum(set.len() as f64 / csa_ms.max(1e-9)),
+        ]);
+    }
+    table.note("shape: near-linear growth in N for all schedulers (O(N w) sweeps)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_positive_timings() {
+        let cfg = Config { sizes: vec![64, 128], density: 0.5, repeats: 1, seed: 0 };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let ms: f64 = row[3].parse().unwrap();
+            assert!(ms >= 0.0);
+        }
+    }
+}

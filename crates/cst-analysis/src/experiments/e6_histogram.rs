@@ -1,0 +1,100 @@
+//! **E6 — distribution of per-switch cost (Theorem 8, distributional
+//! view).**
+//!
+//! For one large workload, histograms of per-switch cost across all
+//! switches: CSA hold units (mass pinned at <= a small constant) vs Roy
+//! write-through units (long tail stretching to ~w at the hot switches).
+
+use crate::stats::Histogram;
+use crate::table::Table;
+use cst_baseline::{roy, LevelOrder};
+use cst_core::CstTopology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for E6.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub n: usize,
+    pub width: usize,
+    pub seed: u64,
+    pub bucket_width: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n: 1024, width: 64, seed: 6, bucket_width: 4 }
+    }
+}
+
+/// Result: a table plus the raw histograms (the benches render both).
+pub struct E6Result {
+    pub table: Table,
+    pub csa_hist: Histogram,
+    pub roy_hist: Histogram,
+}
+
+/// Run E6.
+pub fn run(cfg: &Config) -> E6Result {
+    let topo = CstTopology::with_leaves(cfg.n);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE6);
+    let set = cst_workloads::with_width(&mut rng, cfg.n, cfg.width, 0.6);
+
+    let csa = cst_padr::schedule(&topo, &set).expect("csa");
+    let csa_units: Vec<u32> = topo
+        .switches_top_down()
+        .map(|s| csa.meter.switch_power(s).units)
+        .collect();
+
+    let roy_out = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).expect("roy");
+    let roy_meter = roy_out.schedule.meter_power(&topo);
+    let roy_units: Vec<u32> = topo
+        .switches_top_down()
+        .map(|s| roy_meter.switch_power(s).writethrough_units)
+        .collect();
+
+    let csa_hist = Histogram::build(csa_units.iter().copied(), cfg.bucket_width);
+    let roy_hist = Histogram::build(roy_units.iter().copied(), cfg.bucket_width);
+
+    let mut table = Table::new(
+        "E6",
+        "per-switch cost distribution (CSA hold units vs Roy write-through units)",
+        &["bucket", "csa_switches", "roy_switches"],
+    );
+    let buckets = csa_hist.counts.len().max(roy_hist.counts.len());
+    for b in 0..buckets {
+        let lo = b as u32 * cfg.bucket_width;
+        let hi = lo + cfg.bucket_width;
+        let c = csa_hist.counts.get(b).copied().unwrap_or(0);
+        let r = roy_hist.counts.get(b).copied().unwrap_or(0);
+        if c == 0 && r == 0 {
+            continue;
+        }
+        table.row(vec![format!("[{lo}..{hi})"), c.to_string(), r.to_string()]);
+    }
+    let csa_max = csa_units.iter().max().copied().unwrap_or(0);
+    let roy_max = roy_units.iter().max().copied().unwrap_or(0);
+    table.note(format!(
+        "csa max per-switch units {csa_max} (constant); roy max {roy_max} (~width {})",
+        cfg.width
+    ));
+    assert!(csa_max <= 9, "Theorem 8 violated in E6");
+    assert!(roy_max as usize >= cfg.width);
+    E6Result { table, csa_hist, roy_hist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csa_mass_is_pinned_low() {
+        let cfg = Config { n: 128, width: 16, seed: 0, bucket_width: 2 };
+        let r = run(&cfg);
+        // Every switch's CSA cost lands in the first few buckets.
+        assert!(r.csa_hist.counts.len() <= 5);
+        // Roy's histogram reaches at least the width.
+        assert!(r.roy_hist.counts.len() as u32 * cfg.bucket_width >= 16);
+        assert_eq!(r.csa_hist.total(), 127); // all switches counted
+    }
+}

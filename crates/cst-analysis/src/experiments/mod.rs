@@ -1,0 +1,107 @@
+//! The experiment suite (E1..E8) — the reproduction's evaluation section.
+//!
+//! The paper is a theory paper with no numeric tables; its results are
+//! Theorems 4/5/8 and the contrast with Roy et al. [6]. Each experiment
+//! measures one claim on generated workloads; DESIGN.md §6 maps ids to
+//! claims, EXPERIMENTS.md records expected-vs-measured shapes.
+
+pub mod e10_sessions;
+pub mod e11_bus_emulation;
+pub mod e12_motivation;
+pub mod e1_rounds;
+pub mod e2_changes;
+pub mod e3_total_power;
+pub mod e4_control;
+pub mod e5_throughput;
+pub mod e6_histogram;
+pub mod e7_bus;
+pub mod e8_ablation;
+pub mod e9_applications;
+
+use cst_baseline::{greedy, roy, LevelOrder, ScanOrder};
+use cst_comm::{width_on_topology, CommSet};
+use cst_core::{CstTopology, PowerReport};
+use cst_padr::CsaOutcome;
+
+/// One workload measured under every scheduler, with both power semantics.
+#[derive(Clone, Debug)]
+pub struct AllSchedulers {
+    /// Width of the input (max directed-link load).
+    pub width: u32,
+    /// Number of communications.
+    pub size: usize,
+    pub csa: SchedulerMeasurement,
+    pub roy: SchedulerMeasurement,
+    pub greedy_outer: SchedulerMeasurement,
+    pub greedy_input: SchedulerMeasurement,
+    pub sequential: SchedulerMeasurement,
+    /// The full CSA outcome for metrics-level experiments.
+    pub csa_outcome: CsaOutcome,
+}
+
+/// Rounds + power of one scheduler on one workload.
+#[derive(Clone, Debug)]
+pub struct SchedulerMeasurement {
+    pub rounds: usize,
+    pub power: PowerReport,
+}
+
+impl SchedulerMeasurement {
+    fn from_schedule(topo: &CstTopology, s: &cst_comm::Schedule) -> SchedulerMeasurement {
+        SchedulerMeasurement {
+            rounds: s.num_rounds(),
+            power: s.meter_power(topo).report(topo),
+        }
+    }
+}
+
+/// Run every scheduler on `set`. Panics on scheduling failure — experiment
+/// inputs are generated valid, so failure is a bug worth crashing on.
+pub fn measure_all(topo: &CstTopology, set: &CommSet) -> AllSchedulers {
+    let width = width_on_topology(topo, set);
+    let csa_outcome = cst_padr::schedule(topo, set).expect("CSA failed on experiment input");
+    let csa = SchedulerMeasurement {
+        rounds: csa_outcome.rounds(),
+        power: csa_outcome.power.clone(),
+    };
+    let roy_out =
+        roy::schedule(topo, set, LevelOrder::InnermostFirst).expect("roy failed");
+    let roy = SchedulerMeasurement::from_schedule(topo, &roy_out.schedule);
+    let greedy_outer = SchedulerMeasurement::from_schedule(
+        topo,
+        &greedy::schedule(topo, set, ScanOrder::OutermostFirst)
+            .expect("greedy failed")
+            .schedule,
+    );
+    let greedy_input = SchedulerMeasurement::from_schedule(
+        topo,
+        &greedy::schedule(topo, set, ScanOrder::InputOrder)
+            .expect("greedy failed")
+            .schedule,
+    );
+    let sequential = SchedulerMeasurement::from_schedule(
+        topo,
+        &cst_baseline::sequential::schedule(topo, set).expect("sequential failed"),
+    );
+    AllSchedulers { width, size: set.len(), csa, roy, greedy_outer, greedy_input, sequential, csa_outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measure_all_is_consistent() {
+        let topo = CstTopology::with_leaves(64);
+        let mut rng = StdRng::seed_from_u64(9);
+        let set = cst_workloads::well_nested_set(&mut rng, 64, 20);
+        let m = measure_all(&topo, &set);
+        assert_eq!(m.csa.rounds as u32, m.width);
+        assert!(m.roy.rounds as u32 >= m.width);
+        assert_eq!(m.sequential.rounds, 20);
+        assert!(m.greedy_outer.rounds as u32 >= m.width);
+        assert_eq!(m.size, 20);
+    }
+}

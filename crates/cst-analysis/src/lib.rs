@@ -1,0 +1,46 @@
+//! # cst-analysis — the evaluation harness
+//!
+//! Experiment runners (E1..E12, see DESIGN.md §6 for the claim-to-
+//! experiment map), summary statistics, and result tables. The criterion
+//! benches in `crates/bench` and the EXPERIMENTS.md generator both call
+//! into this crate, so the same code produces the recorded numbers.
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use runner::{default_threads, parallel_map};
+pub use stats::{Histogram, Summary};
+pub use table::{fnum, Table};
+
+/// Run every experiment at its default configuration and render the full
+/// report (used by the `power_comparison` example and the docs).
+pub fn full_report() -> String {
+    let mut out = String::new();
+    out.push_str(&experiments::e1_rounds::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e2_changes::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e3_total_power::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e4_control::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e5_throughput::run(&Default::default()).render_text());
+    out.push('\n');
+    let e6 = experiments::e6_histogram::run(&Default::default());
+    out.push_str(&e6.table.render_text());
+    out.push('\n');
+    out.push_str(&experiments::e7_bus::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e8_ablation::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e9_applications::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e10_sessions::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e11_bus_emulation::run(&Default::default()).render_text());
+    out.push('\n');
+    out.push_str(&experiments::e12_motivation::run(&Default::default()).render_text());
+    out
+}

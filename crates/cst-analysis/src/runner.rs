@@ -1,0 +1,102 @@
+//! Parallel sweep execution for the experiments.
+//!
+//! Sweep points are independent (each builds its own topology, workload
+//! and schedulers), so they parallelize embarrassingly across a scoped
+//! thread pool. Results are returned in input order regardless of
+//! completion order.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `inputs` using up to `threads` worker threads, preserving
+/// input order in the output.
+pub fn parallel_map<T, U, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    let next_ref = &next;
+    let slots_ref = &slots;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f_ref(&inputs_ref[i]);
+                *slots_ref[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// Default worker count: the available parallelism, capped to keep bench
+/// runs polite on shared machines.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs, 8, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![5], 32, |&x| x);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn heavier_work_parallelizes_correctly() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let out = parallel_map(inputs, default_threads(), |&x| {
+            // small busy loop to force real interleaving
+            (0..1000).fold(x, |acc, i| acc.wrapping_add(i))
+        });
+        assert_eq!(out.len(), 40);
+        assert_eq!(out[0], (0..1000).fold(0u64, |a, i| a.wrapping_add(i)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Summary statistics over repeated measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-ish summary of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (empty samples produce the default).
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+        let n = sorted.len();
+        Summary {
+            n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+
+    /// Summarize integer measurements.
+    pub fn of_u64<I: IntoIterator<Item = u64>>(values: I) -> Summary {
+        let v: Vec<f64> = values.into_iter().map(|x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+/// Nearest-rank percentile on a sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A compact histogram with fixed-width buckets, for the E6 distribution
+/// experiment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub bucket_width: u32,
+    /// `counts[i]` counts values in `[i*w, (i+1)*w)`.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build from integer values.
+    pub fn build(values: impl IntoIterator<Item = u32>, bucket_width: u32) -> Histogram {
+        assert!(bucket_width >= 1);
+        let mut counts: Vec<u64> = Vec::new();
+        for v in values {
+            let b = (v / bucket_width) as usize;
+            if counts.len() <= b {
+                counts.resize(b + 1, 0);
+            }
+            counts[b] += 1;
+        }
+        Histogram { bucket_width, counts }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Render as `"[lo..hi): count"` lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = i as u32 * self.bucket_width;
+            let hi = lo + self.bucket_width;
+            out.push_str(&format!("[{lo:>4}..{hi:<4}): {c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 5.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.p50, 7.5);
+    }
+
+    #[test]
+    fn summary_unsorted_input() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.p50, 5.0);
+    }
+
+    #[test]
+    fn of_u64_converts() {
+        let s = Summary::of_u64([2u64, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = Histogram::build([0u32, 1, 2, 5, 9, 10], 5);
+        assert_eq!(h.counts, vec![3, 2, 1]);
+        assert_eq!(h.total(), 6);
+        let r = h.render();
+        assert!(r.contains("[   0..5   ): 3"));
+    }
+
+    #[test]
+    fn histogram_width_one() {
+        let h = Histogram::build([3u32, 3, 3], 1);
+        assert_eq!(h.counts[3], 3);
+        assert_eq!(h.counts[..3], [0, 0, 0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Step executor: run one communication *step* of an algorithm on the CST
+//! and account its cost.
+//!
+//! An algorithm step is an arbitrary set of point-to-point transfers plus
+//! a local combine function at each receiving PE. The executor schedules
+//! the set with the universal power-aware front end
+//! ([`cst_padr::schedule_any`]), moves the values round by round, applies
+//! the combiner, and accumulates rounds and power. One executor instance
+//! accounts a whole algorithm (its power meter holds switch state across
+//! steps, so retention between steps is credited exactly like retention
+//! between rounds).
+
+use cst_comm::{CommSet, Communication};
+use cst_core::{CstError, CstTopology, LeafId, PowerMeter, PowerReport};
+
+/// Executes algorithm steps over a value array, one value per PE.
+pub struct StepExecutor<T> {
+    topo: CstTopology,
+    /// Current value at each PE.
+    pub values: Vec<T>,
+    meter: PowerMeter,
+    rounds: usize,
+    steps: usize,
+}
+
+impl<T: Clone> StepExecutor<T> {
+    /// Start with `values[i]` at PE `i`; the length must be a power of two.
+    pub fn new(values: Vec<T>) -> Result<Self, CstError> {
+        let topo = CstTopology::new(values.len())?;
+        let meter = PowerMeter::new(&topo);
+        Ok(StepExecutor { topo, values, meter, rounds: 0, steps: 0 })
+    }
+
+    /// The topology the executor runs on.
+    pub fn topology(&self) -> &CstTopology {
+        &self.topo
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Communication rounds used so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Power accounting so far.
+    pub fn power(&self) -> PowerReport {
+        self.meter.report(&self.topo)
+    }
+
+    /// Execute one step: transfer along `transfers` (source, dest pairs)
+    /// and combine each delivered value into the destination with
+    /// `combine(dest_current, incoming)`.
+    ///
+    /// Sends are logically simultaneous: every transfer reads the value
+    /// its source held at the *start* of the step (PEs latch before
+    /// writing, as on real hardware), so swaps and shifts express
+    /// naturally.
+    ///
+    /// The paper's Step 1.1 allows each PE only one role (source XOR
+    /// destination) per CSA execution, so a step whose transfers give a
+    /// PE several roles is automatically partitioned into the minimum
+    /// greedy number of *sessions*, each a valid CSA input; rounds and
+    /// power accumulate over all sessions.
+    pub fn step<F>(&mut self, transfers: &[(usize, usize)], mut combine: F) -> Result<(), CstError>
+    where
+        F: FnMut(&T, &T) -> T,
+    {
+        self.steps += 1;
+        if transfers.is_empty() {
+            return Ok(());
+        }
+        // Latch all sends before any write.
+        let latched: Vec<T> = transfers.iter().map(|&(s, _)| self.values[s].clone()).collect();
+
+        // Greedy first-fit session partition under the one-role-per-PE rule.
+        let n = self.topo.num_leaves();
+        let mut sessions: Vec<Vec<usize>> = Vec::new();
+        let mut used: Vec<Vec<bool>> = Vec::new(); // per session, per PE
+        for (i, &(s, d)) in transfers.iter().enumerate() {
+            if s == d {
+                return Err(CstError::SelfCommunication { leaf: LeafId(s) });
+            }
+            let mut placed = false;
+            for (sess, usage) in sessions.iter_mut().zip(&mut used) {
+                if !usage[s] && !usage[d] {
+                    usage[s] = true;
+                    usage[d] = true;
+                    sess.push(i);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                let mut usage = vec![false; n];
+                usage[s] = true;
+                usage[d] = true;
+                used.push(usage);
+                sessions.push(vec![i]);
+            }
+        }
+
+        for session in sessions {
+            let comms: Vec<Communication> = session
+                .iter()
+                .map(|&i| {
+                    let (s, d) = transfers[i];
+                    Communication { source: LeafId(s), dest: LeafId(d) }
+                })
+                .collect();
+            let set = CommSet::new(n, comms)?;
+            let out = cst_padr::schedule_any(&self.topo, &set)?;
+            out.schedule.verify(&self.topo, &set)?;
+            // Account power with retention across sessions and steps.
+            for round in &out.schedule.rounds {
+                self.meter.begin_round();
+                for (node, conn) in round.requirements() {
+                    self.meter.require(node, conn);
+                }
+            }
+            self.rounds += out.rounds();
+        }
+
+        // Apply deliveries (all reads came from the latch).
+        for (&(_, d), v) in transfers.iter().zip(&latched) {
+            self.values[d] = combine(&self.values[d], v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_transfer_moves_value() {
+        let mut ex = StepExecutor::new(vec![1i64, 2, 3, 4]).unwrap();
+        // replace semantics: combine = take incoming
+        ex.step(&[(0, 3)], |_, v| *v).unwrap();
+        assert_eq!(ex.values, vec![1, 2, 3, 1]);
+        assert_eq!(ex.rounds(), 1);
+        assert_eq!(ex.steps(), 1);
+        assert!(ex.power().total_units > 0);
+    }
+
+    #[test]
+    fn sends_latch_before_writes() {
+        // A swap through two opposite transfers in one step must exchange,
+        // not duplicate.
+        let mut ex = StepExecutor::new(vec![10i64, 20, 0, 0]).unwrap();
+        ex.step(&[(0, 1), (1, 0)], |_, v| *v).unwrap();
+        assert_eq!(ex.values[0], 20);
+        assert_eq!(ex.values[1], 10);
+    }
+
+    #[test]
+    fn combine_accumulates() {
+        let mut ex = StepExecutor::new(vec![1i64, 10, 100, 1000]).unwrap();
+        ex.step(&[(0, 1), (2, 3)], |a, b| a + b).unwrap();
+        assert_eq!(ex.values, vec![1, 11, 100, 1100]);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(StepExecutor::new(vec![0i64; 6]).is_err());
+    }
+
+    #[test]
+    fn empty_step_costs_nothing() {
+        let mut ex = StepExecutor::new(vec![0i64; 8]).unwrap();
+        ex.step(&[], |a, _| *a).unwrap();
+        assert_eq!(ex.rounds(), 0);
+        assert_eq!(ex.power().total_units, 0);
+        assert_eq!(ex.steps(), 1);
+    }
+
+    #[test]
+    fn endpoint_reuse_splits_into_sessions() {
+        // PE 2 is a destination and a source: two sessions, both executed,
+        // both reading the latched (pre-step) value.
+        let mut ex = StepExecutor::new(vec![7i64, 0, 9, 0, 0, 0, 0, 0]).unwrap();
+        ex.step(&[(0, 2), (2, 4)], |_, v| *v).unwrap();
+        // PE 4 receives PE 2's *old* value (9), PE 2 receives 7.
+        assert_eq!(ex.values[2], 7);
+        assert_eq!(ex.values[4], 9);
+        assert_eq!(ex.steps(), 1);
+        assert_eq!(ex.rounds(), 2); // one round per session
+    }
+
+    #[test]
+    fn self_transfer_rejected() {
+        let mut ex = StepExecutor::new(vec![0i64; 8]).unwrap();
+        assert!(ex.step(&[(3, 3)], |a, _| *a).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Tree reduction and broadcast on the CST — the cheap patterns where
+//! PADR shines: every step is a *disjoint* (width-1) set, so each step is
+//! one round and the whole reduction is `log2 n` rounds.
+
+use crate::exec::StepExecutor;
+use cst_core::CstError;
+
+/// Outcome of a reduction/broadcast.
+#[derive(Clone, Debug)]
+pub struct CollectiveOutcome<T> {
+    pub values: Vec<T>,
+    pub steps: usize,
+    pub rounds: usize,
+    pub total_power: u64,
+}
+
+/// Reduce all values into PE 0 with `combine` (must be associative).
+/// Step `k` sends PE `i + 2^k -> i` for every `i` divisible by `2^(k+1)`:
+/// left-oriented, pairwise disjoint, one round per step.
+pub fn reduce<T, F>(values: Vec<T>, mut combine: F) -> Result<CollectiveOutcome<T>, CstError>
+where
+    T: Clone,
+    F: FnMut(&T, &T) -> T,
+{
+    let n = values.len();
+    let mut ex = StepExecutor::new(values)?;
+    let mut stride = 1usize;
+    while stride < n {
+        let transfers: Vec<(usize, usize)> = (0..n)
+            .step_by(2 * stride)
+            .filter(|i| i + stride < n)
+            .map(|i| (i + stride, i))
+            .collect();
+        ex.step(&transfers, &mut combine)?;
+        stride <<= 1;
+    }
+    let power = ex.power();
+    let (steps, rounds) = (ex.steps(), ex.rounds());
+    Ok(CollectiveOutcome {
+        values: ex.values,
+        steps,
+        rounds,
+        total_power: power.total_units,
+    })
+}
+
+/// Broadcast PE 0's value to every PE. Step `k` (descending) sends
+/// `i -> i + 2^k` for `i` divisible by `2^(k+1)`: right-oriented,
+/// pairwise disjoint, one round per step.
+pub fn broadcast<T: Clone>(values: Vec<T>) -> Result<CollectiveOutcome<T>, CstError> {
+    let n = values.len();
+    let mut ex = StepExecutor::new(values)?;
+    let mut stride = n / 2;
+    while stride >= 1 {
+        let transfers: Vec<(usize, usize)> = (0..n)
+            .step_by(2 * stride)
+            .filter(|i| i + stride < n)
+            .map(|i| (i, i + stride))
+            .collect();
+        ex.step(&transfers, |_cur, incoming| incoming.clone())?;
+        if stride == 1 {
+            break;
+        }
+        stride >>= 1;
+    }
+    let power = ex.power();
+    let (steps, rounds) = (ex.steps(), ex.rounds());
+    Ok(CollectiveOutcome {
+        values: ex.values,
+        steps,
+        rounds,
+        total_power: power.total_units,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_reduction() {
+        let out = reduce((1..=16i64).collect(), |a, b| a + b).unwrap();
+        assert_eq!(out.values[0], 136);
+        assert_eq!(out.steps, 4);
+        // width-1 steps: one round each
+        assert_eq!(out.rounds, 4);
+    }
+
+    #[test]
+    fn max_reduction() {
+        let vals = vec![3i64, 9, 1, 7, 2, 8, 5, 4];
+        let out = reduce(vals, |a, b| *a.max(b)).unwrap();
+        assert_eq!(out.values[0], 9);
+        assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn broadcast_fills_all() {
+        let mut vals = vec![0i64; 32];
+        vals[0] = 42;
+        let out = broadcast(vals).unwrap();
+        assert!(out.values.iter().all(|&v| v == 42));
+        assert_eq!(out.rounds, 5); // log2(32) width-1 rounds
+    }
+
+    #[test]
+    fn reduce_then_broadcast_is_allreduce() {
+        let vals: Vec<i64> = (0..8).collect();
+        let r = reduce(vals, |a, b| a + b).unwrap();
+        let b = broadcast(r.values).unwrap();
+        assert!(b.values.iter().all(|&v| v == 28));
+    }
+
+    #[test]
+    fn reduction_power_is_linear_in_n() {
+        let a = reduce(vec![1i64; 64], |x, y| x + y).unwrap();
+        let b = reduce(vec![1i64; 256], |x, y| x + y).unwrap();
+        // n-1 transfers; each costs O(path length); total ~2n units
+        assert!(b.total_power > a.total_power);
+        assert!(b.total_power < a.total_power * 8);
+    }
+}

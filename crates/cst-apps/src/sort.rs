@@ -1,0 +1,117 @@
+//! Odd–even transposition sort on the CST.
+//!
+//! Phase `p` compares PE pairs `(i, i+1)` for even (resp. odd) `i` and
+//! exchanges values so the smaller ends up left. The two directions of an
+//! exchange share both PEs, so the executor runs each phase as two
+//! one-round sessions (`2n` rounds for `n` phases).
+//!
+//! This workload is also an honest *negative* datum for PADR: even and
+//! odd phases demand different configurations from the same bottom-layer
+//! switches (`l_i->r_o`/`r_i->l_o` versus `r_i->p_o`/`p_i->r_o`), so
+//! configuration retention cannot help across phases and per-switch power
+//! grows with the phase count — Theorem 8's O(1) bound is a property of
+//! scheduling *one* communication set, not of arbitrary phase sequences.
+//! The measurement below pins that behaviour down.
+
+use crate::exec::StepExecutor;
+use cst_core::CstError;
+
+/// Outcome of a sort run.
+#[derive(Clone, Debug)]
+pub struct SortOutcome<T> {
+    pub values: Vec<T>,
+    pub phases: usize,
+    pub rounds: usize,
+    pub total_power: u64,
+    pub max_switch_units: u32,
+}
+
+/// Sort `values` ascending with odd-even transposition.
+pub fn odd_even_sort<T>(values: Vec<T>) -> Result<SortOutcome<T>, CstError>
+where
+    T: Clone + Ord,
+{
+    let n = values.len();
+    let mut ex = StepExecutor::new(values)?;
+    for phase in 0..n {
+        let start = phase % 2;
+        // Both directions of every compared pair travel in one step; each
+        // PE then keeps min (left member) or max (right member).
+        let mut transfers = Vec::with_capacity(n);
+        let mut i = start;
+        while i + 1 < n {
+            transfers.push((i, i + 1));
+            transfers.push((i + 1, i));
+            i += 2;
+        }
+        ex.step(&transfers, |_cur, incoming| incoming.clone())?;
+        // After the exchange both PEs hold the partner's value; emulate the
+        // comparator locally: left keeps min(old, incoming), right keeps
+        // max. Since `step` replaced values, recompute from pairs.
+        let mut i = start;
+        while i + 1 < n {
+            // values were swapped by the step; sort the pair in place
+            if ex.values[i] > ex.values[i + 1] {
+                ex.values.swap(i, i + 1);
+            }
+            i += 2;
+        }
+    }
+    let power = ex.power();
+    let rounds = ex.rounds();
+    Ok(SortOutcome {
+        values: ex.values,
+        phases: n,
+        rounds,
+        total_power: power.total_units,
+        max_switch_units: power.max_units,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sorts_reverse_input() {
+        let out = odd_even_sort((0..16i64).rev().collect()).unwrap();
+        assert_eq!(out.values, (0..16).collect::<Vec<_>>());
+        assert_eq!(out.phases, 16);
+        // every phase = two one-round sessions (the two directions share PEs)
+        assert_eq!(out.rounds, 32);
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let mut v: Vec<i64> = (0..32).collect();
+            v.shuffle(&mut rng);
+            let out = odd_even_sort(v.clone()).unwrap();
+            let mut expect = v;
+            expect.sort_unstable();
+            assert_eq!(out.values, expect);
+        }
+    }
+
+    #[test]
+    fn phase_alternation_defeats_retention() {
+        // Oblivious sorting exchanges every phase; consecutive phases
+        // demand different configurations from the same bottom switches,
+        // so per-switch hold cost grows linearly with the phase count —
+        // the documented limit of PADR across phase sequences.
+        let small = odd_even_sort((0..16i64).collect()).unwrap();
+        let large = odd_even_sort((0..64i64).collect()).unwrap();
+        assert!(large.max_switch_units > 2 * small.max_switch_units);
+        // but stays proportional to phases (no superlinear blowup)
+        assert!(large.max_switch_units as usize <= 4 * large.phases);
+    }
+
+    #[test]
+    fn duplicate_keys() {
+        let out = odd_even_sort(vec![3i64, 1, 3, 1, 2, 2, 0, 0]).unwrap();
+        assert_eq!(out.values, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared machinery for centralized baseline schedulers: turning a round
+//! partition (lists of communication ids) into a [`Schedule`] with merged
+//! switch configurations, so every scheduler is metered by the exact same
+//! power model as the CSA.
+
+use cst_comm::{CommId, CommSet, Round, Schedule};
+use cst_core::{Circuit, CstError, CstTopology, MergedRound};
+
+/// Build circuits for a list of communications (either orientation).
+pub fn circuits_for(
+    topo: &CstTopology,
+    set: &CommSet,
+    ids: &[CommId],
+) -> Result<Vec<Circuit>, CstError> {
+    ids.iter()
+        .map(|&id| {
+            let c = set.get(id).ok_or(CstError::ProtocolViolation {
+                node: cst_core::NodeId::ROOT,
+                detail: format!("unknown comm id {id}"),
+            })?;
+            Ok(Circuit::between(topo, c.source, c.dest))
+        })
+        .collect()
+}
+
+/// Assemble a [`Schedule`] from a partition of the set into rounds,
+/// failing if any round is not a compatible set.
+pub fn schedule_from_partition(
+    topo: &CstTopology,
+    set: &CommSet,
+    partition: &[Vec<CommId>],
+) -> Result<Schedule, CstError> {
+    let mut schedule = Schedule::default();
+    for ids in partition {
+        if ids.is_empty() {
+            continue;
+        }
+        let circuits = circuits_for(topo, set, ids)?;
+        let merged = MergedRound::build(topo, &circuits)?;
+        let mut comms = ids.to_vec();
+        comms.sort_unstable();
+        schedule.rounds.push(Round { comms, configs: merged.configs });
+    }
+    Ok(schedule)
+}
+
+/// Sort communication ids outermost-first: by left endpoint ascending,
+/// right endpoint descending. For well-nested sets this is a valid
+/// "containment before contained" topological order.
+pub fn outermost_first_order(set: &CommSet) -> Vec<CommId> {
+    let mut ids: Vec<CommId> = set.iter().map(|(id, _)| id).collect();
+    ids.sort_unstable_by_key(|&id| {
+        let c = &set.comms()[id.0];
+        let (l, r) = c.interval();
+        (l, usize::MAX - r)
+    });
+    ids
+}
+
+/// Sort communication ids innermost-first: the exact reverse of
+/// [`outermost_first_order`].
+pub fn innermost_first_order(set: &CommSet) -> Vec<CommId> {
+    let mut ids = outermost_first_order(set);
+    ids.reverse();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_respect_containment() {
+        let set = CommSet::from_pairs(16, &[(4, 5), (0, 7), (1, 6), (8, 9)]);
+        let outer = outermost_first_order(&set);
+        // (0,7) before (1,6) before (4,5); (8,9) sorted by left endpoint
+        assert_eq!(outer, vec![CommId(1), CommId(2), CommId(0), CommId(3)]);
+        let inner = innermost_first_order(&set);
+        assert_eq!(inner, vec![CommId(3), CommId(0), CommId(2), CommId(1)]);
+    }
+
+    #[test]
+    fn partition_round_conflict_detected() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let err = schedule_from_partition(&topo, &set, &[vec![CommId(0), CommId(1)]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn valid_partition_builds() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let s = schedule_from_partition(&topo, &set, &[vec![CommId(0)], vec![CommId(1)]])
+            .unwrap();
+        assert_eq!(s.num_rounds(), 2);
+        s.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn empty_rounds_skipped() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 1)]);
+        let s = schedule_from_partition(&topo, &set, &[vec![], vec![CommId(0)], vec![]])
+            .unwrap();
+        assert_eq!(s.num_rounds(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! The segmentable bus: a linear array of PEs joined by a bus with a
+//! segment switch between every adjacent pair. Opening switches cuts the
+//! bus into independent segments; within a segment, one PE may write per
+//! step and every PE reads the written value.
+//!
+//! This is the "fundamental reconfigurable architecture" the paper's
+//! introduction measures the CST against: the communications a
+//! segmentable bus can perform in one step form a width-1 well-nested
+//! set, which is why well-nested sets are "a superset of the
+//! communications required by the segmentable bus" (§1). The
+//! [`crate::emulate`] module executes that claim.
+
+use cst_core::CstError;
+use serde::{Deserialize, Serialize};
+
+/// A segmentable bus over `n` PEs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentableBus {
+    n: usize,
+    /// `cut[i]` = the switch between PE `i` and PE `i+1` is OPEN
+    /// (segment boundary). Length `n - 1`.
+    cut: Vec<bool>,
+}
+
+impl SegmentableBus {
+    /// A bus over `n` PEs with all switches closed (one segment).
+    pub fn new(n: usize) -> SegmentableBus {
+        assert!(n >= 1);
+        SegmentableBus { n, cut: vec![false; n.saturating_sub(1)] }
+    }
+
+    /// Number of PEs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the bus has no PEs (never constructible: `n >= 1`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Open (`true`) or close the switch between PE `i` and PE `i+1`.
+    pub fn set_cut(&mut self, i: usize, open: bool) {
+        self.cut[i] = open;
+    }
+
+    /// Cut the bus exactly at the given boundaries (switch indices),
+    /// closing everything else.
+    pub fn segment_at(&mut self, boundaries: &[usize]) {
+        for c in &mut self.cut {
+            *c = false;
+        }
+        for &b in boundaries {
+            self.cut[b] = true;
+        }
+    }
+
+    /// The current segments as half-open PE ranges, left to right.
+    pub fn segments(&self) -> Vec<core::ops::Range<usize>> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for (i, &open) in self.cut.iter().enumerate() {
+            if open {
+                out.push(start..i + 1);
+                start = i + 1;
+            }
+        }
+        out.push(start..self.n);
+        out
+    }
+
+    /// The segment containing PE `p`.
+    pub fn segment_of(&self, p: usize) -> core::ops::Range<usize> {
+        self.segments()
+            .into_iter()
+            .find(|r| r.contains(&p))
+            .expect("every PE is in a segment")
+    }
+
+    /// Execute one bus step: each `(pe, value)` pair drives its segment;
+    /// returns what every PE reads (its segment's driven value, `None` in
+    /// undriven segments). Two writers in one segment is a bus conflict.
+    pub fn step<V: Clone>(&self, writes: &[(usize, V)]) -> Result<Vec<Option<V>>, CstError> {
+        let segments = self.segments();
+        let seg_index = |p: usize| {
+            segments
+                .iter()
+                .position(|r| r.contains(&p))
+                .expect("every PE is in a segment")
+        };
+        let mut driven: Vec<Option<V>> = vec![None; segments.len()];
+        for (pe, value) in writes {
+            assert!(*pe < self.n, "writer out of range");
+            let s = seg_index(*pe);
+            if driven[s].is_some() {
+                return Err(CstError::ProtocolViolation {
+                    node: cst_core::NodeId::ROOT,
+                    detail: format!("bus conflict: two writers in segment {:?}", segments[s]),
+                });
+            }
+            driven[s] = Some(value.clone());
+        }
+        let mut reads: Vec<Option<V>> = vec![None; self.n];
+        for (s, range) in segments.iter().enumerate() {
+            if let Some(v) = &driven[s] {
+                for p in range.clone() {
+                    reads[p] = Some(v.clone());
+                }
+            }
+        }
+        Ok(reads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_segment_by_default() {
+        let bus = SegmentableBus::new(8);
+        assert_eq!(bus.segments(), vec![0..8]);
+        assert_eq!(bus.segment_of(5), 0..8);
+    }
+
+    #[test]
+    fn segmentation() {
+        let mut bus = SegmentableBus::new(8);
+        bus.segment_at(&[2, 5]);
+        assert_eq!(bus.segments(), vec![0..3, 3..6, 6..8]);
+        assert_eq!(bus.segment_of(0), 0..3);
+        assert_eq!(bus.segment_of(3), 3..6);
+        assert_eq!(bus.segment_of(7), 6..8);
+    }
+
+    #[test]
+    fn broadcast_within_segments() {
+        let mut bus = SegmentableBus::new(8);
+        bus.segment_at(&[3]);
+        let reads = bus.step(&[(1, 'a'), (6, 'b')]).unwrap();
+        assert_eq!(reads[0..4], [Some('a'); 4]);
+        assert_eq!(reads[4..8], [Some('b'); 4]);
+    }
+
+    #[test]
+    fn undriven_segment_reads_none() {
+        let mut bus = SegmentableBus::new(8);
+        bus.segment_at(&[3]);
+        let reads = bus.step(&[(0, 1u32)]).unwrap();
+        assert!(reads[4..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let bus = SegmentableBus::new(8);
+        assert!(bus.step(&[(0, 1u32), (7, 2u32)]).is_err());
+        let mut bus = SegmentableBus::new(8);
+        bus.segment_at(&[3]);
+        assert!(bus.step(&[(0, 1u32), (7, 2u32)]).is_ok());
+    }
+
+    #[test]
+    fn single_pe_bus() {
+        let bus = SegmentableBus::new(1);
+        assert_eq!(bus.segments(), vec![0..1]);
+        let reads = bus.step(&[(0, 9u8)]).unwrap();
+        assert_eq!(reads, vec![Some(9)]);
+    }
+
+    #[test]
+    fn reconfiguration_changes_segments() {
+        let mut bus = SegmentableBus::new(8);
+        bus.set_cut(0, true);
+        assert_eq!(bus.segments().len(), 2);
+        bus.set_cut(0, false);
+        assert_eq!(bus.segments().len(), 1);
+    }
+}

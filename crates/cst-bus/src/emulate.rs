@@ -1,0 +1,203 @@
+//! Emulating a segmentable-bus step on the CST, executing the paper's §1
+//! claim that well-nested sets subsume segmentable-bus communications.
+//!
+//! One bus step = per segment, one writer whose value every segment
+//! member reads. The CST's switches are one-to-one (no fan-out), so a
+//! `k`-reader broadcast becomes a store-and-forward dissemination tree:
+//!
+//! 1. the writer sends to the segment's **leftmost** PE (one width-1
+//!    communication; skipped if the writer is leftmost);
+//! 2. `ceil(log2 k)` doubling steps spread the value left-to-right inside
+//!    the segment — in step `j`, informed PE `i` (relative position)
+//!    sends to position `i + 2^j`.
+//!
+//! Every step's communication set unions these patterns across *all*
+//! segments; segments are disjoint leaf intervals, so the union is a
+//! width-1 right-oriented well-nested set — the CSA schedules each step
+//! in exactly **one round** (Theorem 5), and the dissemination doubles
+//! like [`cst_apps::broadcast`]. Total cost per bus step:
+//! `1 + ceil(log2 max_segment)` rounds.
+
+use crate::bus::SegmentableBus;
+use cst_apps::StepExecutor;
+use cst_core::CstError;
+
+/// Result of emulating one bus step.
+#[derive(Clone, Debug)]
+pub struct EmulatedStep<V> {
+    /// What each PE reads, exactly as the real bus would deliver it.
+    pub reads: Vec<Option<V>>,
+    /// CST communication steps used (each one CSA round; width-1 sets).
+    pub steps: usize,
+    /// Total CST rounds (== steps here; kept separate for clarity).
+    pub rounds: usize,
+    /// Total hold-semantics power units.
+    pub power_units: u64,
+}
+
+/// Emulate `bus.step(writes)` on a CST with `bus.len()` PEs (must be a
+/// power of two for the tree).
+pub fn emulate_step<V: Clone + Default + PartialEq>(
+    bus: &SegmentableBus,
+    writes: &[(usize, V)],
+) -> Result<EmulatedStep<V>, CstError> {
+    // First verify against the reference bus semantics (conflicts etc.).
+    let expected = bus.step(writes)?;
+
+    // PE state: Option<V>, None = not informed this step.
+    let init: Vec<Option<V>> = {
+        let mut v = vec![None; bus.len()];
+        for (pe, value) in writes {
+            v[*pe] = Some(value.clone());
+        }
+        v
+    };
+    let mut ex = StepExecutor::new(init)?;
+
+    // Driven segments with their writers.
+    let mut driven: Vec<(core::ops::Range<usize>, usize)> = Vec::new();
+    for (pe, _) in writes {
+        driven.push((bus.segment_of(*pe), *pe));
+    }
+
+    // Step 0: move each writer's value to its segment's leftmost PE.
+    let to_leftmost: Vec<(usize, usize)> = driven
+        .iter()
+        .filter(|(seg, w)| *w != seg.start)
+        .map(|(seg, w)| (*w, seg.start))
+        .collect();
+    if !to_leftmost.is_empty() {
+        ex.step(&to_leftmost, |_cur, incoming| incoming.clone())?;
+    }
+
+    // Stride-halving dissemination (the width-1 pattern, as in
+    // `cst_apps::broadcast`): at stride `s`, every relative position that
+    // is a multiple of `2s` (already informed by induction) sends to
+    // position `+s`. Each step's transfers are pairwise *disjoint*
+    // intervals across all segments, so each step is exactly one CSA
+    // round. The naive "informed prefix sends ahead" doubling would NOT
+    // be width-1: a block-to-block shift shares the block boundary link
+    // with every transfer (width = block size).
+    let max_len = driven.iter().map(|(seg, _)| seg.len()).max().unwrap_or(1);
+    let mut stride = max_len.next_power_of_two() / 2;
+    while stride >= 1 {
+        let mut transfers = Vec::new();
+        for (seg, _) in &driven {
+            let mut rel = 0usize;
+            while rel + stride < seg.len() {
+                transfers.push((seg.start + rel, seg.start + rel + stride));
+                rel += 2 * stride;
+            }
+        }
+        if !transfers.is_empty() {
+            ex.step(&transfers, |_cur, incoming| incoming.clone())?;
+        }
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+
+    // Check against the reference semantics.
+    for (p, want) in expected.iter().enumerate() {
+        if want.is_some() && &ex.values[p] != want {
+            return Err(CstError::DeliveryMismatch { dest: cst_core::LeafId(p) });
+        }
+    }
+    let power = ex.power();
+    let (steps, rounds) = (ex.steps(), ex.rounds());
+    Ok(EmulatedStep { reads: expected, steps, rounds, power_units: power.total_units })
+}
+
+/// Upper bound on CST rounds for one emulated bus step with maximum
+/// segment length `s`: one hop to the left end plus `ceil(log2 s)`
+/// doubling rounds.
+pub fn round_bound(max_segment: usize) -> usize {
+    1 + (usize::BITS - max_segment.max(1).next_power_of_two().leading_zeros()) as usize
+        - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_segment_broadcast_matches_bus() {
+        let bus = SegmentableBus::new(16);
+        let out = emulate_step(&bus, &[(5, 42u32)]).unwrap();
+        assert!(out.reads.iter().all(|r| *r == Some(42)));
+        // 1 hop to PE 0 + 4 doubling rounds
+        assert_eq!(out.rounds, 5);
+        assert!(out.rounds <= round_bound(16));
+    }
+
+    #[test]
+    fn multi_segment_parallel_broadcasts() {
+        let mut bus = SegmentableBus::new(16);
+        bus.segment_at(&[7]);
+        let out = emulate_step(&bus, &[(3, 'x'), (9, 'y')]).unwrap();
+        assert!(out.reads[..8].iter().all(|r| *r == Some('x')));
+        assert!(out.reads[8..].iter().all(|r| *r == Some('y')));
+        // both segments disseminate in parallel: cost of the larger one
+        assert_eq!(out.rounds, 4); // 1 + log2(8)
+    }
+
+    #[test]
+    fn writer_already_leftmost_saves_a_round() {
+        let bus = SegmentableBus::new(8);
+        let out = emulate_step(&bus, &[(0, 1u8)]).unwrap();
+        assert_eq!(out.rounds, 3); // log2(8), no relocation hop
+    }
+
+    #[test]
+    fn undriven_segments_cost_nothing() {
+        let mut bus = SegmentableBus::new(16);
+        bus.segment_at(&[3, 7, 11]);
+        let out = emulate_step(&bus, &[(13, 7u32)]).unwrap();
+        assert!(out.reads[..12].iter().all(|r| r.is_none()));
+        assert!(out.reads[12..].iter().all(|r| *r == Some(7)));
+    }
+
+    #[test]
+    fn conflicts_rejected_like_the_real_bus() {
+        let bus = SegmentableBus::new(8);
+        assert!(emulate_step(&bus, &[(0, 1u8), (4, 2u8)]).is_err());
+    }
+
+    #[test]
+    fn tiny_segments() {
+        let mut bus = SegmentableBus::new(8);
+        bus.segment_at(&[0, 1, 2, 3, 4, 5, 6]); // all singleton segments
+        let out = emulate_step(&bus, &[(2, 9u8), (5, 3u8)]).unwrap();
+        assert_eq!(out.reads[2], Some(9));
+        assert_eq!(out.reads[5], Some(3));
+        assert_eq!(out.rounds, 0, "singleton segments need no communication");
+    }
+
+    #[test]
+    fn randomized_equivalence() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let n = 32;
+            let mut bus = SegmentableBus::new(n);
+            let boundaries: Vec<usize> =
+                (0..n - 1).filter(|_| rng.gen_bool(0.25)).collect();
+            bus.segment_at(&boundaries);
+            // one writer per driven segment, random subset of segments
+            let mut writes = Vec::new();
+            for seg in bus.segments() {
+                if rng.gen_bool(0.7) {
+                    let w = rng.gen_range(seg.clone());
+                    writes.push((w, w as u64 * 100));
+                }
+            }
+            let expected = bus.step(&writes).unwrap();
+            let out = emulate_step(&bus, &writes).unwrap();
+            assert_eq!(out.reads, expected);
+            let max_seg = bus.segments().iter().map(|s| s.len()).max().unwrap();
+            assert!(out.rounds <= round_bound(max_seg));
+        }
+    }
+}

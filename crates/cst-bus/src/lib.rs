@@ -1,0 +1,18 @@
+//! # cst-bus — the segmentable bus and its CST emulation
+//!
+//! The paper's introduction positions well-nested sets as "a superset of
+//! the communications required by the segmentable bus; a fundamental
+//! reconfigurable architecture". This crate *executes* that claim:
+//!
+//! * [`bus`] — the reference segmentable bus: segment switches, per-step
+//!   one-writer-per-segment broadcast semantics, conflict detection;
+//! * [`emulate`] — the same step on a CST: per segment, one relocation
+//!   hop plus stride-halving dissemination, every step a width-1
+//!   well-nested set that the CSA schedules in exactly one round.
+//!   Equivalence with the reference bus is asserted per step.
+
+pub mod bus;
+pub mod emulate;
+
+pub use bus::SegmentableBus;
+pub use emulate::{emulate_step, round_bound, EmulatedStep};

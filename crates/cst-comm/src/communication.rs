@@ -1,0 +1,151 @@
+//! Individual communications: a (source PE, destination PE) pairing.
+
+use cst_core::{CstError, LeafId};
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a communication within a set (its index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct CommId(pub usize);
+
+impl core::fmt::Display for CommId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Direction of a communication on the leaf line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Orientation {
+    /// Source strictly left of destination.
+    Right,
+    /// Source strictly right of destination.
+    Left,
+}
+
+/// One communication: `source` writes, `dest` reads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Communication {
+    pub source: LeafId,
+    pub dest: LeafId,
+}
+
+impl Communication {
+    /// Construct, rejecting self-communications.
+    pub fn new(source: LeafId, dest: LeafId) -> Result<Self, CstError> {
+        if source == dest {
+            return Err(CstError::SelfCommunication { leaf: source });
+        }
+        Ok(Communication { source, dest })
+    }
+
+    /// Unchecked constructor for literals in tests and generators.
+    pub fn of(source: usize, dest: usize) -> Self {
+        assert_ne!(source, dest, "self-communication");
+        Communication { source: LeafId(source), dest: LeafId(dest) }
+    }
+
+    /// Which way the communication points.
+    pub fn orientation(&self) -> Orientation {
+        if self.source.0 < self.dest.0 {
+            Orientation::Right
+        } else {
+            Orientation::Left
+        }
+    }
+
+    /// Leftmost endpoint position.
+    pub fn left_end(&self) -> usize {
+        self.source.0.min(self.dest.0)
+    }
+
+    /// Rightmost endpoint position.
+    pub fn right_end(&self) -> usize {
+        self.source.0.max(self.dest.0)
+    }
+
+    /// The closed interval of leaf positions this communication spans.
+    pub fn interval(&self) -> (usize, usize) {
+        (self.left_end(), self.right_end())
+    }
+
+    /// True if `self`'s interval strictly contains `other`'s.
+    pub fn contains(&self, other: &Communication) -> bool {
+        let (a, b) = self.interval();
+        let (c, d) = other.interval();
+        a < c && d < b
+    }
+
+    /// True if the two intervals are disjoint.
+    pub fn disjoint(&self, other: &Communication) -> bool {
+        let (a, b) = self.interval();
+        let (c, d) = other.interval();
+        b < c || d < a
+    }
+
+    /// True if the pair is *well-nested*: nested or disjoint (not crossing).
+    pub fn nests_with(&self, other: &Communication) -> bool {
+        self.disjoint(other) || self.contains(other) || other.contains(self)
+    }
+
+    /// Mirror the communication across the center of an `n`-leaf line.
+    /// Mirroring turns a left-oriented communication into a right-oriented
+    /// one, which is how the left-oriented half of a general set is
+    /// scheduled (paper §2.1: "can be adjusted easily").
+    pub fn mirrored(&self, n: usize) -> Communication {
+        Communication {
+            source: LeafId(n - 1 - self.source.0),
+            dest: LeafId(n - 1 - self.dest.0),
+        }
+    }
+}
+
+impl core::fmt::Display for Communication {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}->{}", self.source, self.dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_comm() {
+        assert!(Communication::new(LeafId(3), LeafId(3)).is_err());
+        assert!(Communication::new(LeafId(3), LeafId(4)).is_ok());
+    }
+
+    #[test]
+    fn orientation() {
+        assert_eq!(Communication::of(1, 5).orientation(), Orientation::Right);
+        assert_eq!(Communication::of(5, 1).orientation(), Orientation::Left);
+    }
+
+    #[test]
+    fn interval_relations() {
+        let outer = Communication::of(0, 9);
+        let inner = Communication::of(2, 5);
+        let apart = Communication::of(10, 12);
+        let crossing = Communication::of(5, 11);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.disjoint(&apart));
+        assert!(outer.nests_with(&inner));
+        assert!(outer.nests_with(&apart));
+        assert!(!outer.nests_with(&crossing));
+        // touching endpoints cannot happen between distinct PEs with unique
+        // roles; sharing an endpoint counts as crossing here
+        let share = Communication::of(9, 12);
+        assert!(!outer.nests_with(&share));
+    }
+
+    #[test]
+    fn mirroring_flips_orientation() {
+        let c = Communication::of(2, 6);
+        let m = c.mirrored(8);
+        assert_eq!(m, Communication::of(5, 1));
+        assert_eq!(m.orientation(), Orientation::Left);
+        assert_eq!(m.mirrored(8), c);
+    }
+}

@@ -1,0 +1,75 @@
+//! Canonical communication sets used throughout tests, docs and examples.
+
+use crate::parens::from_paren_string;
+use crate::set::CommSet;
+
+/// The well-nested set sketched in the paper's Figure 2: several nested
+/// groups, all right-oriented, on 16 PEs.
+pub fn paper_figure_2() -> CommSet {
+    from_paren_string("((()))(())()..()").expect("literal is balanced")
+}
+
+/// A maximal nested chain on `n` leaves: `(0,n-1), (1,n-2), ...` — width
+/// `n/2`, the worst case for per-link load.
+pub fn full_nest(n: usize) -> CommSet {
+    let pairs: Vec<(usize, usize)> = (0..n / 2).map(|i| (i, n - 1 - i)).collect();
+    CommSet::from_pairs(n, &pairs)
+}
+
+/// All sibling pairs `(2i, 2i+1)`: width 1, fully parallel in one round.
+pub fn sibling_pairs(n: usize) -> CommSet {
+    let pairs: Vec<(usize, usize)> = (0..n / 2).map(|i| (2 * i, 2 * i + 1)).collect();
+    CommSet::from_pairs(n, &pairs)
+}
+
+/// The example used in the paper's Figure 3(b) discussion (Definitions 1-2):
+/// two communications matched at a switch, plus sources/destinations that
+/// match higher up. Rebuilt on 16 leaves as a concrete well-nested set:
+/// positions: s1 ( s7 ( s6 ( s4 ( s3 ( d3 ) d4 ) ... with the outer comms
+/// closing to the right.
+pub fn paper_figure_3b() -> CommSet {
+    // c1=(0,15), c7=(1,14), c6=(2,13), c4=(3,8), c3=(4,7): c3 nested in c4,
+    // both nested in c6/c7/c1. Matched at various switches of a 16-leaf CST.
+    CommSet::from_pairs(16, &[(0, 15), (1, 14), (2, 13), (3, 8), (4, 7)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::depth_upper_bound;
+
+    #[test]
+    fn figure2_valid() {
+        let s = paper_figure_2();
+        assert!(s.is_well_nested());
+        assert!(s.is_right_oriented());
+        assert!(s.len() >= 6);
+    }
+
+    #[test]
+    fn full_nest_width() {
+        for n in [4usize, 8, 16, 64] {
+            let s = full_nest(n);
+            assert!(s.is_well_nested());
+            assert_eq!(depth_upper_bound(&s) as usize, n / 2);
+        }
+    }
+
+    #[test]
+    fn sibling_pairs_width_one() {
+        for n in [4usize, 8, 32] {
+            let s = sibling_pairs(n);
+            assert!(s.is_well_nested());
+            assert_eq!(depth_upper_bound(&s), 1);
+            assert_eq!(s.len(), n / 2);
+        }
+    }
+
+    #[test]
+    fn figure3b_valid() {
+        let s = paper_figure_3b();
+        assert!(s.is_well_nested());
+        assert!(s.is_right_oriented());
+        assert_eq!(depth_upper_bound(&s), 5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Balanced-parenthesis view of well-nested sets (paper §2.1: "the
+//! communications correspond to a balanced well-nested parenthesis
+//! expression").
+//!
+//! A right-oriented well-nested set maps each source to `(` and each
+//! destination to `)`; idle PEs map to `.`. Conversely, any balanced
+//! parenthesis pattern over leaf positions defines a right-oriented
+//! well-nested set by matching each `(` with its partner `)`.
+
+use crate::communication::Communication;
+use crate::set::CommSet;
+use cst_core::{CstError, LeafId, PeRole};
+
+/// Render a right-oriented well-nested set as a parenthesis pattern of
+/// length `num_leaves` (`(`, `)`, `.`).
+///
+/// Returns an error if the set is not right-oriented (the rendering would
+/// be ambiguous otherwise).
+pub fn to_paren_string(set: &CommSet) -> Result<String, CstError> {
+    set.require_right_oriented()?;
+    Ok(set
+        .roles()
+        .into_iter()
+        .map(|r| match r {
+            PeRole::Source => '(',
+            PeRole::Destination => ')',
+            PeRole::Idle => '.',
+        })
+        .collect())
+}
+
+/// Parse a pattern of `(`, `)` and `.` (or any other filler character) into
+/// a right-oriented well-nested set. Each `(` is matched with its balancing
+/// `)`. Communication ids follow *opening order* left to right.
+pub fn from_paren_string(pattern: &str) -> Result<CommSet, CstError> {
+    let num_leaves = pattern.chars().count();
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (comm index, open pos)
+    let mut pairs: Vec<Option<Communication>> = Vec::new();
+    for (pos, ch) in pattern.chars().enumerate() {
+        match ch {
+            '(' => {
+                stack.push((pairs.len(), pos));
+                pairs.push(None);
+            }
+            ')' => {
+                let (idx, open) = stack.pop().ok_or(CstError::IncompleteSet {
+                    unmatched_sources: 0,
+                    unmatched_dests: 1,
+                })?;
+                pairs[idx] = Some(Communication { source: LeafId(open), dest: LeafId(pos) });
+            }
+            _ => {}
+        }
+    }
+    if !stack.is_empty() {
+        return Err(CstError::IncompleteSet {
+            unmatched_sources: stack.len() as u32,
+            unmatched_dests: 0,
+        });
+    }
+    let comms = pairs.into_iter().map(|p| p.expect("matched")).collect();
+    CommSet::new(num_leaves, comms)
+}
+
+/// True if `pattern` is a balanced parenthesis string (ignoring fillers).
+pub fn is_balanced(pattern: &str) -> bool {
+    let mut depth = 0i64;
+    for ch in pattern.chars() {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = "((.)())";
+        let set = from_paren_string(s).unwrap();
+        assert!(set.is_well_nested());
+        assert!(set.is_right_oriented());
+        assert_eq!(set.len(), 3);
+        // note: num_leaves = 7 here (not a power of two) — CommSet itself
+        // is topology-agnostic; schedulers check sizes.
+        assert_eq!(to_paren_string(&set).unwrap(), s);
+    }
+
+    #[test]
+    fn opening_order_ids() {
+        let set = from_paren_string("(())()").unwrap();
+        assert_eq!(set.comms()[0], Communication::of(0, 3));
+        assert_eq!(set.comms()[1], Communication::of(1, 2));
+        assert_eq!(set.comms()[2], Communication::of(4, 5));
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        assert!(from_paren_string("((").is_err());
+        assert!(from_paren_string(")(").is_err());
+        assert!(from_paren_string("(.))").is_err());
+        assert!(is_balanced("(()())"));
+        assert!(!is_balanced("(()"));
+        assert!(!is_balanced("())("));
+    }
+
+    #[test]
+    fn depth_matches_paren_nesting() {
+        let set = from_paren_string("((()))..()").unwrap();
+        assert_eq!(set.max_nesting_depth(), 3);
+        assert_eq!(set.nesting_depths(), vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn left_oriented_cannot_render() {
+        let set = CommSet::from_pairs(4, &[(3, 0)]);
+        assert!(to_paren_string(&set).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Schedules: the common output type of every scheduler in this workspace
+//! (the paper's CSA in `cst-padr`, the baselines in `cst-baseline`).
+//!
+//! A schedule partitions a communication set into rounds; each round is a
+//! compatible subset together with the switch settings that realize it.
+
+use crate::communication::CommId;
+use crate::set::CommSet;
+use cst_core::{CstError, CstTopology, MergedRound, NodeId, PowerMeter, SwitchConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One round of a schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Round {
+    /// Communications performed this round.
+    pub comms: Vec<CommId>,
+    /// Connections each involved switch must hold this round.
+    pub configs: BTreeMap<NodeId, SwitchConfig>,
+}
+
+impl Round {
+    /// Iterate `(switch, connection)` requirements.
+    pub fn requirements(&self) -> impl Iterator<Item = (NodeId, cst_core::Connection)> + '_ {
+        self.configs
+            .iter()
+            .flat_map(|(&n, cfg)| cfg.connections().map(move |c| (n, c)))
+    }
+}
+
+/// A complete schedule for a set.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    pub rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// Number of rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// All scheduled communication ids across rounds (with repetition, in
+    /// round order).
+    pub fn scheduled_ids(&self) -> impl Iterator<Item = CommId> + '_ {
+        self.rounds.iter().flat_map(|r| r.comms.iter().copied())
+    }
+
+    /// Replay the schedule through a [`PowerMeter`] and return it, charging
+    /// the PADR power model (hold semantics) for every round.
+    pub fn meter_power(&self, topo: &CstTopology) -> PowerMeter {
+        let mut meter = PowerMeter::new(topo);
+        for round in &self.rounds {
+            meter.begin_round();
+            for (s, c) in round.requirements() {
+                meter.require(s, c);
+            }
+        }
+        meter
+    }
+
+    /// Verify the schedule against its input set:
+    /// 1. every communication appears in exactly one round;
+    /// 2. every round is a compatible set whose merged configuration matches
+    ///    the recorded per-switch configs;
+    /// 3. each circuit's connections are present in its round.
+    ///
+    /// Returns the number of rounds on success.
+    pub fn verify(&self, topo: &CstTopology, set: &CommSet) -> Result<usize, CstError> {
+        let mut seen = vec![false; set.len()];
+        for round in &self.rounds {
+            // Rebuild circuits for the round and check compatibility.
+            let circuits: Vec<_> = round
+                .comms
+                .iter()
+                .map(|&id| {
+                    let c = set.get(id).ok_or(CstError::ProtocolViolation {
+                        node: NodeId::ROOT,
+                        detail: format!("unknown comm id {id}"),
+                    })?;
+                    Ok(cst_core::Circuit::between(topo, c.source, c.dest))
+                })
+                .collect::<Result<Vec<_>, CstError>>()?;
+            let merged = MergedRound::build(topo, &circuits)?;
+            // recorded configs must contain at least the merged requirements
+            for (node, cfg) in &merged.configs {
+                let rec = round.configs.get(node).ok_or(CstError::ProtocolViolation {
+                    node: *node,
+                    detail: "round missing configuration for involved switch".into(),
+                })?;
+                for conn in cfg.connections() {
+                    if !rec.has(conn) {
+                        return Err(CstError::ProtocolViolation {
+                            node: *node,
+                            detail: format!("round lacks required connection {conn}"),
+                        });
+                    }
+                }
+            }
+            for &id in &round.comms {
+                if seen[id.0] {
+                    return Err(CstError::ProtocolViolation {
+                        node: NodeId::ROOT,
+                        detail: format!("{id} scheduled twice"),
+                    });
+                }
+                seen[id.0] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(CstError::ProtocolViolation {
+                node: NodeId::ROOT,
+                detail: format!("c{missing} never scheduled"),
+            });
+        }
+        Ok(self.rounds.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communication::CommId;
+    use cst_core::{Circuit, LeafId};
+
+    fn round_of(topo: &CstTopology, set: &CommSet, ids: &[usize]) -> Round {
+        let circuits: Vec<_> = ids
+            .iter()
+            .map(|&i| {
+                let c = &set.comms()[i];
+                Circuit::right_oriented(topo, c.source, c.dest)
+            })
+            .collect();
+        let merged = MergedRound::build(topo, &circuits).unwrap();
+        Round { comms: ids.iter().map(|&i| CommId(i)).collect(), configs: merged.configs }
+    }
+
+    #[test]
+    fn valid_schedule_verifies() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+        let sched = Schedule {
+            rounds: vec![
+                round_of(&topo, &set, &[0]),
+                round_of(&topo, &set, &[1]),
+                round_of(&topo, &set, &[2]),
+            ],
+        };
+        assert_eq!(sched.verify(&topo, &set).unwrap(), 3);
+    }
+
+    #[test]
+    fn missing_comm_detected() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let sched = Schedule { rounds: vec![round_of(&topo, &set, &[0])] };
+        assert!(sched.verify(&topo, &set).is_err());
+    }
+
+    #[test]
+    fn double_schedule_detected() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7)]);
+        let sched = Schedule {
+            rounds: vec![round_of(&topo, &set, &[0]), round_of(&topo, &set, &[0])],
+        };
+        assert!(sched.verify(&topo, &set).is_err());
+    }
+
+    #[test]
+    fn incompatible_round_detected() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        // Force both nested comms into one round: link conflict.
+        let c0 = Circuit::right_oriented(&topo, LeafId(0), LeafId(7));
+        let c1 = Circuit::right_oriented(&topo, LeafId(1), LeafId(6));
+        let mut configs = BTreeMap::new();
+        for c in [&c0, &c1] {
+            for &(n, conn) in &c.settings {
+                let e: &mut SwitchConfig = configs.entry(n).or_default();
+                let _ = e.set(conn);
+            }
+        }
+        let sched = Schedule {
+            rounds: vec![Round { comms: vec![CommId(0), CommId(1)], configs }],
+        };
+        assert!(sched.verify(&topo, &set).is_err());
+    }
+
+    #[test]
+    fn schedule_serde_roundtrip() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let sched = Schedule {
+            rounds: vec![round_of(&topo, &set, &[0]), round_of(&topo, &set, &[1])],
+        };
+        let json = serde_json::to_string(&sched).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sched);
+        back.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn power_metering_runs() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 1), (2, 3)]);
+        let sched = Schedule { rounds: vec![round_of(&topo, &set, &[0, 1])] };
+        let meter = sched.meter_power(&topo);
+        let report = meter.report(&topo);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.total_units, 2); // one l->r per sibling pair switch
+    }
+}

@@ -1,0 +1,366 @@
+//! Communication sets and their structural properties.
+
+use crate::communication::{CommId, Communication, Orientation};
+use cst_core::{CstError, CstTopology, LeafId, PeRole};
+use serde::{Deserialize, Serialize};
+
+/// A set of communications on an `n`-leaf CST.
+///
+/// Invariants established by [`CommSet::new`]:
+/// * every endpoint is a valid leaf;
+/// * no PE is used by more than one communication in any role, and no PE is
+///   both a source and a destination (paper Step 1.1's `[1,0]/[0,1]/[0,0]`
+///   encoding admits nothing else).
+///
+/// *Well-nestedness* and *orientation* are properties checked separately —
+/// the type can hold arbitrary valid sets so that baselines and negative
+/// tests can work with non-well-nested inputs too.
+///
+/// # Examples
+///
+/// ```
+/// use cst_comm::CommSet;
+///
+/// // three nested communications plus a disjoint pair: well-nested
+/// let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 5), (8, 9)]);
+/// assert!(set.is_well_nested());
+/// assert!(set.is_right_oriented());
+/// assert_eq!(set.max_nesting_depth(), 3);
+///
+/// // a crossing pair is rejected by the well-nestedness check
+/// let crossing = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
+/// assert!(!crossing.is_well_nested());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommSet {
+    num_leaves: usize,
+    comms: Vec<Communication>,
+}
+
+impl CommSet {
+    /// Validate and build a set.
+    pub fn new(num_leaves: usize, comms: Vec<Communication>) -> Result<Self, CstError> {
+        let mut role = vec![false; num_leaves];
+        for c in &comms {
+            for leaf in [c.source, c.dest] {
+                if leaf.0 >= num_leaves {
+                    return Err(CstError::LeafOutOfRange { leaf, num_leaves });
+                }
+            }
+            if c.source == c.dest {
+                return Err(CstError::SelfCommunication { leaf: c.source });
+            }
+            for leaf in [c.source, c.dest] {
+                if role[leaf.0] {
+                    return Err(CstError::EndpointReused { leaf });
+                }
+                role[leaf.0] = true;
+            }
+        }
+        Ok(CommSet { num_leaves, comms })
+    }
+
+    /// Build from `(source, dest)` pairs; panics on invalid input (test and
+    /// example literals).
+    pub fn from_pairs(num_leaves: usize, pairs: &[(usize, usize)]) -> Self {
+        let comms = pairs.iter().map(|&(s, d)| Communication::of(s, d)).collect();
+        CommSet::new(num_leaves, comms).expect("invalid literal communication set")
+    }
+
+    /// Empty set on `num_leaves` PEs.
+    pub fn empty(num_leaves: usize) -> Self {
+        CommSet { num_leaves, comms: Vec::new() }
+    }
+
+    /// Number of leaves of the underlying CST.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Number of communications.
+    pub fn len(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// True if there are no communications.
+    pub fn is_empty(&self) -> bool {
+        self.comms.is_empty()
+    }
+
+    /// The communications, in id order.
+    pub fn comms(&self) -> &[Communication] {
+        &self.comms
+    }
+
+    /// Look up a communication by id.
+    pub fn get(&self, id: CommId) -> Option<&Communication> {
+        self.comms.get(id.0)
+    }
+
+    /// Iterate `(id, communication)`.
+    pub fn iter(&self) -> impl Iterator<Item = (CommId, &Communication)> {
+        self.comms.iter().enumerate().map(|(i, c)| (CommId(i), c))
+    }
+
+    /// The role of each PE (Step 1.1 local information).
+    pub fn roles(&self) -> Vec<PeRole> {
+        let mut roles = vec![PeRole::Idle; self.num_leaves];
+        for c in &self.comms {
+            roles[c.source.0] = PeRole::Source;
+            roles[c.dest.0] = PeRole::Destination;
+        }
+        roles
+    }
+
+    /// Find the communication whose source is `leaf`.
+    pub fn comm_of_source(&self, leaf: LeafId) -> Option<CommId> {
+        self.comms
+            .iter()
+            .position(|c| c.source == leaf)
+            .map(CommId)
+    }
+
+    /// True if every communication is right-oriented.
+    pub fn is_right_oriented(&self) -> bool {
+        self.comms.iter().all(|c| c.orientation() == Orientation::Right)
+    }
+
+    /// Check right-orientation, reporting the first offender.
+    pub fn require_right_oriented(&self) -> Result<(), CstError> {
+        for c in &self.comms {
+            if c.orientation() != Orientation::Right {
+                return Err(CstError::NotRightOriented { source: c.source, dest: c.dest });
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the set is well-nested: the endpoint sequence reads as a
+    /// balanced parenthesis expression (paper §2.1). Works for sets of
+    /// mixed orientation by treating each communication as its interval.
+    ///
+    /// Checked in O(M log M) with a sweep + stack rather than the obvious
+    /// O(M²) pairwise test; the pairwise test backs it up in property tests.
+    pub fn is_well_nested(&self) -> bool {
+        self.well_nested_violation().is_none()
+    }
+
+    /// Find a crossing pair `(CommId, CommId)`, if any.
+    pub fn well_nested_violation(&self) -> Option<(CommId, CommId)> {
+        // Sweep endpoints left to right; maintain a stack of open intervals.
+        // event: (position, is_close, comm index)
+        let mut events: Vec<(usize, bool, usize)> = Vec::with_capacity(2 * self.comms.len());
+        for (i, c) in self.comms.iter().enumerate() {
+            let (l, r) = c.interval();
+            events.push((l, false, i));
+            events.push((r, true, i));
+        }
+        events.sort_unstable();
+        let mut stack: Vec<usize> = Vec::new();
+        for (_pos, close, i) in events {
+            if !close {
+                stack.push(i);
+            } else {
+                match stack.pop() {
+                    Some(top) if top == i => {}
+                    Some(top) => return Some((CommId(top.min(i)), CommId(top.max(i)))),
+                    // A close with an empty stack cannot occur: every close
+                    // was pushed as an open earlier at a strictly smaller
+                    // position (endpoints are distinct PEs).
+                    None => unreachable!("close before open"),
+                }
+            }
+        }
+        None
+    }
+
+    /// Validate well-nestedness, reporting the first crossing pair.
+    pub fn require_well_nested(&self) -> Result<(), CstError> {
+        match self.well_nested_violation() {
+            None => Ok(()),
+            Some((a, b)) => Err(CstError::NotWellNested { a: a.0, b: b.0 }),
+        }
+    }
+
+    /// Nesting depth of each communication: 1 for outermost intervals, +1
+    /// per enclosing interval. Only meaningful for well-nested sets.
+    pub fn nesting_depths(&self) -> Vec<u32> {
+        let mut events: Vec<(usize, bool, usize)> = Vec::with_capacity(2 * self.comms.len());
+        for (i, c) in self.comms.iter().enumerate() {
+            let (l, r) = c.interval();
+            events.push((l, false, i));
+            events.push((r, true, i));
+        }
+        events.sort_unstable();
+        let mut depth = 0u32;
+        let mut out = vec![0u32; self.comms.len()];
+        for (_pos, close, i) in events {
+            if !close {
+                depth += 1;
+                out[i] = depth;
+            } else {
+                depth -= 1;
+            }
+        }
+        out
+    }
+
+    /// Maximum nesting depth (0 for the empty set). For well-nested sets
+    /// this equals the width (see [`crate::width`], tested there).
+    pub fn max_nesting_depth(&self) -> u32 {
+        self.nesting_depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Split into the right-oriented and left-oriented subsets, preserving
+    /// relative order (paper §2.1: any set decomposes into two oriented
+    /// sets). Returns `(right, left)` along with maps back to original ids.
+    pub fn decompose(&self) -> (OrientedSubset, OrientedSubset) {
+        let mut right = OrientedSubset { set: CommSet::empty(self.num_leaves), original: Vec::new() };
+        let mut left = OrientedSubset { set: CommSet::empty(self.num_leaves), original: Vec::new() };
+        for (id, c) in self.iter() {
+            let bucket = match c.orientation() {
+                Orientation::Right => &mut right,
+                Orientation::Left => &mut left,
+            };
+            bucket.set.comms.push(*c);
+            bucket.original.push(id);
+        }
+        (right, left)
+    }
+
+    /// Mirror the whole set across the center of the leaf line: left-oriented
+    /// sets become right-oriented and vice versa. Well-nestedness and width
+    /// are preserved (tested).
+    pub fn mirrored(&self) -> CommSet {
+        CommSet {
+            num_leaves: self.num_leaves,
+            comms: self.comms.iter().map(|c| c.mirrored(self.num_leaves)).collect(),
+        }
+    }
+
+    /// The LCA switch at which each communication is matched.
+    pub fn apexes(&self, topo: &CstTopology) -> Vec<cst_core::NodeId> {
+        assert_eq!(topo.num_leaves(), self.num_leaves);
+        self.comms.iter().map(|c| topo.lca(c.source, c.dest)).collect()
+    }
+}
+
+/// One oriented half of a decomposed set, with back-references to the
+/// original communication ids.
+#[derive(Clone, Debug)]
+pub struct OrientedSubset {
+    /// The oriented communications as a standalone set.
+    pub set: CommSet,
+    /// `original[i]` is the id the `i`-th communication had in the parent set.
+    pub original: Vec<CommId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_reuse() {
+        let err = CommSet::new(8, vec![Communication::of(0, 3), Communication::of(3, 5)]);
+        assert!(matches!(err, Err(CstError::EndpointReused { leaf }) if leaf.0 == 3));
+        let err = CommSet::new(4, vec![Communication::of(0, 9)]);
+        assert!(matches!(err, Err(CstError::LeafOutOfRange { .. })));
+    }
+
+    #[test]
+    fn paper_figure_2_is_well_nested() {
+        // Figure 2 sketch: nested pairs all pointing right, e.g.
+        // ( ( ) ( ) ) ( ) with sources as '(' and dests as ')'.
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 2), (3, 6), (4, 5), (8, 11), (9, 10)]);
+        assert!(set.is_well_nested());
+        assert!(set.is_right_oriented());
+        assert_eq!(set.max_nesting_depth(), 3);
+        assert_eq!(set.nesting_depths(), vec![1, 2, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn crossing_detected() {
+        let set = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
+        assert!(!set.is_well_nested());
+        let (a, b) = set.well_nested_violation().unwrap();
+        assert_eq!((a, b), (CommId(0), CommId(1)));
+        assert!(set.require_well_nested().is_err());
+    }
+
+    #[test]
+    fn sweep_matches_pairwise_definition() {
+        // exhaustive over all sets of 2 comms on 6 leaves
+        for a0 in 0..6 {
+            for a1 in 0..6 {
+                if a1 == a0 { continue; }
+                for b0 in 0..6 {
+                    for b1 in 0..6 {
+                        let used = [a0, a1, b0, b1];
+                        let mut sorted = used;
+                        sorted.sort_unstable();
+                        if sorted.windows(2).any(|w| w[0] == w[1]) {
+                            continue;
+                        }
+                        let set = CommSet::from_pairs(6, &[(a0, a1), (b0, b1)]);
+                        let pairwise = set.comms()[0].nests_with(&set.comms()[1]);
+                        assert_eq!(set.is_well_nested(), pairwise, "{a0},{a1} vs {b0},{b1}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_checks() {
+        let set = CommSet::from_pairs(8, &[(0, 3), (6, 4)]);
+        assert!(!set.is_right_oriented());
+        assert!(set.require_right_oriented().is_err());
+        let (r, l) = set.decompose();
+        assert_eq!(r.set.len(), 1);
+        assert_eq!(l.set.len(), 1);
+        assert_eq!(r.original, vec![CommId(0)]);
+        assert_eq!(l.original, vec![CommId(1)]);
+        assert!(r.set.is_right_oriented());
+    }
+
+    #[test]
+    fn mirroring_preserves_structure() {
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+        let m = set.mirrored();
+        assert!(m.is_well_nested());
+        assert_eq!(m.max_nesting_depth(), set.max_nesting_depth());
+        assert!(!m.is_right_oriented());
+        assert_eq!(m.mirrored(), set);
+    }
+
+    #[test]
+    fn roles_cover_endpoints() {
+        let set = CommSet::from_pairs(8, &[(1, 2), (4, 7)]);
+        let roles = set.roles();
+        assert_eq!(roles[1], PeRole::Source);
+        assert_eq!(roles[2], PeRole::Destination);
+        assert_eq!(roles[4], PeRole::Source);
+        assert_eq!(roles[7], PeRole::Destination);
+        assert_eq!(roles[0], PeRole::Idle);
+        assert_eq!(set.comm_of_source(LeafId(4)), Some(CommId(1)));
+        assert_eq!(set.comm_of_source(LeafId(0)), None);
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let set = CommSet::empty(8);
+        assert!(set.is_empty());
+        assert!(set.is_well_nested());
+        assert!(set.is_right_oriented());
+        assert_eq!(set.max_nesting_depth(), 0);
+    }
+
+    #[test]
+    fn apexes_are_lcas() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 2)]);
+        let a = set.apexes(&topo);
+        assert_eq!(a[0], cst_core::NodeId::ROOT);
+        assert_eq!(a[1], topo.lca(LeafId(1), LeafId(2)));
+    }
+}

@@ -1,0 +1,200 @@
+//! Structure-preserving transformations of communication sets: the
+//! algebra the workload generators and the SRGA router compose from.
+//!
+//! All transforms preserve validity (endpoint uniqueness) by
+//! construction and preserve well-nestedness where stated (tested).
+
+use crate::communication::Communication;
+use crate::set::CommSet;
+use cst_core::{CstError, LeafId};
+
+/// Translate every communication `offset` leaves to the right on a line
+/// of `new_n` leaves. Fails if anything falls off the end.
+pub fn shifted(set: &CommSet, offset: usize, new_n: usize) -> Result<CommSet, CstError> {
+    let comms: Vec<Communication> = set
+        .comms()
+        .iter()
+        .map(|c| Communication {
+            source: LeafId(c.source.0 + offset),
+            dest: LeafId(c.dest.0 + offset),
+        })
+        .collect();
+    CommSet::new(new_n, comms)
+}
+
+/// Embed `inner` into the leaf range starting at `at` of `outer`'s line,
+/// merging the two sets. Fails on endpoint collisions or overflow.
+pub fn embedded(outer: &CommSet, inner: &CommSet, at: usize) -> Result<CommSet, CstError> {
+    let mut comms: Vec<Communication> = outer.comms().to_vec();
+    for c in inner.comms() {
+        comms.push(Communication {
+            source: LeafId(c.source.0 + at),
+            dest: LeafId(c.dest.0 + at),
+        });
+    }
+    CommSet::new(outer.num_leaves(), comms)
+}
+
+/// Concatenate two sets side by side on a line of `a.num_leaves() +
+/// b.num_leaves()` leaves. Preserves well-nestedness of the parts (their
+/// intervals cannot interleave).
+pub fn concat(a: &CommSet, b: &CommSet) -> CommSet {
+    let n = a.num_leaves() + b.num_leaves();
+    let mut comms = a.comms().to_vec();
+    for c in b.comms() {
+        comms.push(Communication {
+            source: LeafId(c.source.0 + a.num_leaves()),
+            dest: LeafId(c.dest.0 + a.num_leaves()),
+        });
+    }
+    CommSet::new(n, comms).expect("disjoint halves cannot collide")
+}
+
+/// The sub-set of communications lying entirely inside `range`,
+/// re-based to position 0 on a line of `range.len()` leaves.
+pub fn restricted(set: &CommSet, range: core::ops::Range<usize>) -> CommSet {
+    let comms: Vec<Communication> = set
+        .comms()
+        .iter()
+        .filter(|c| range.contains(&c.left_end()) && range.contains(&c.right_end()))
+        .map(|c| Communication {
+            source: LeafId(c.source.0 - range.start),
+            dest: LeafId(c.dest.0 - range.start),
+        })
+        .collect();
+    CommSet::new(range.len(), comms).expect("restriction preserves validity")
+}
+
+/// Incremental builder with duplicate-endpoint detection at insert time.
+#[derive(Clone, Debug)]
+pub struct CommSetBuilder {
+    num_leaves: usize,
+    comms: Vec<Communication>,
+    used: Vec<bool>,
+}
+
+impl CommSetBuilder {
+    /// Start building a set on `num_leaves` PEs.
+    pub fn new(num_leaves: usize) -> CommSetBuilder {
+        CommSetBuilder { num_leaves, comms: Vec::new(), used: vec![false; num_leaves] }
+    }
+
+    /// Add one communication; errors immediately on invalid endpoints.
+    pub fn add(&mut self, source: usize, dest: usize) -> Result<&mut Self, CstError> {
+        for leaf in [source, dest] {
+            if leaf >= self.num_leaves {
+                return Err(CstError::LeafOutOfRange {
+                    leaf: LeafId(leaf),
+                    num_leaves: self.num_leaves,
+                });
+            }
+        }
+        if source == dest {
+            return Err(CstError::SelfCommunication { leaf: LeafId(source) });
+        }
+        for leaf in [source, dest] {
+            if self.used[leaf] {
+                return Err(CstError::EndpointReused { leaf: LeafId(leaf) });
+            }
+        }
+        self.used[source] = true;
+        self.used[dest] = true;
+        self.comms.push(Communication { source: LeafId(source), dest: LeafId(dest) });
+        Ok(self)
+    }
+
+    /// True if both endpoints are still free.
+    pub fn can_add(&self, source: usize, dest: usize) -> bool {
+        source != dest
+            && source < self.num_leaves
+            && dest < self.num_leaves
+            && !self.used[source]
+            && !self.used[dest]
+    }
+
+    /// Number of communications so far.
+    pub fn len(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// True if nothing was added yet.
+    pub fn is_empty(&self) -> bool {
+        self.comms.is_empty()
+    }
+
+    /// Finish; infallible because every insert was validated.
+    pub fn build(self) -> CommSet {
+        CommSet::new(self.num_leaves, self.comms).expect("validated incrementally")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parens::from_paren_string;
+
+    #[test]
+    fn shift_preserves_structure() {
+        let set = from_paren_string("(())").unwrap();
+        let s = shifted(&set, 4, 8).unwrap();
+        assert!(s.is_well_nested());
+        assert_eq!(s.comms()[0], Communication::of(4, 7));
+        assert!(shifted(&set, 6, 8).is_err()); // falls off
+    }
+
+    #[test]
+    fn embed_and_collision() {
+        let outer = CommSet::from_pairs(16, &[(0, 15)]);
+        let inner = from_paren_string("(())").unwrap();
+        let e = embedded(&outer, &inner, 4).unwrap();
+        assert_eq!(e.len(), 3);
+        assert!(e.is_well_nested());
+        // colliding embed
+        let bad = embedded(&outer, &inner, 0);
+        assert!(matches!(bad, Err(CstError::EndpointReused { .. })));
+    }
+
+    #[test]
+    fn concat_is_disjoint() {
+        let a = from_paren_string("()").unwrap();
+        let b = from_paren_string("(())").unwrap();
+        let c = concat(&a, &b);
+        assert_eq!(c.num_leaves(), 6);
+        assert_eq!(c.len(), 3);
+        assert!(c.is_well_nested());
+        assert_eq!(c.comms()[1], Communication::of(2, 5));
+    }
+
+    #[test]
+    fn restrict_rebases() {
+        let set = CommSet::from_pairs(16, &[(0, 15), (4, 7), (5, 6), (9, 10)]);
+        let r = restricted(&set, 4..8);
+        assert_eq!(r.num_leaves(), 4);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.comms()[0], Communication::of(0, 3));
+        assert_eq!(r.comms()[1], Communication::of(1, 2));
+    }
+
+    #[test]
+    fn builder_validates_incrementally() {
+        let mut b = CommSetBuilder::new(8);
+        b.add(0, 3).unwrap();
+        assert!(b.can_add(4, 7));
+        assert!(!b.can_add(3, 5));
+        assert!(matches!(b.add(3, 5), Err(CstError::EndpointReused { .. })));
+        assert!(matches!(b.add(9, 1), Err(CstError::LeafOutOfRange { .. })));
+        assert!(matches!(b.add(2, 2), Err(CstError::SelfCommunication { .. })));
+        b.add(4, 7).unwrap();
+        assert_eq!(b.len(), 2);
+        let set = b.build();
+        assert_eq!(set.len(), 2);
+        assert!(set.is_well_nested());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut b = CommSetBuilder::new(8);
+        b.add(0, 1).unwrap().add(2, 3).unwrap().add(4, 5).unwrap();
+        assert_eq!(b.build().len(), 3);
+    }
+}

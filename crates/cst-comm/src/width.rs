@@ -1,0 +1,159 @@
+//! Width of a communication set (paper §1): the maximum number of
+//! communications that require the same tree link in the same direction.
+//!
+//! `w` is the fundamental lower bound on schedule length — a link carries
+//! one signal per direction per round — and the paper's Theorem 5 shows CSA
+//! meets it exactly.
+//!
+//! Note a subtlety that is easy to get wrong (and that our test suite
+//! guards): for well-nested sets the maximum **nesting depth** is only an
+//! *upper bound* on the width, not equal to it. A deeply nested
+//! communication can turn around at a low switch and share no tree link
+//! with the communications enclosing it — e.g. `{(5,6), (4,8), (3,9)}` on
+//! 16 leaves has nesting depth 3 but width 2 (`(5,6)` shares a link with
+//! `(4,8)` but none with `(3,9)`). The authoritative width is the per-link
+//! maximum computed by [`width_on_topology`].
+
+use crate::set::CommSet;
+use cst_core::{Circuit, CstTopology, DirectedLink};
+use std::collections::HashMap;
+
+/// Per-directed-link load of a set on a concrete topology.
+pub fn link_loads(topo: &CstTopology, set: &CommSet) -> HashMap<DirectedLink, u32> {
+    assert_eq!(topo.num_leaves(), set.num_leaves());
+    let mut loads: HashMap<DirectedLink, u32> = HashMap::new();
+    for c in set.comms() {
+        for link in Circuit::between(topo, c.source, c.dest).links {
+            *loads.entry(link).or_insert(0) += 1;
+        }
+    }
+    loads
+}
+
+/// Width measured by direct per-link counting on `topo`. Works for any set
+/// (mixed orientation, non-well-nested).
+pub fn width_on_topology(topo: &CstTopology, set: &CommSet) -> u32 {
+    link_loads(topo, set).into_values().max().unwrap_or(0)
+}
+
+/// Topology-free *upper bound* on the width of a well-nested set: the
+/// maximum nesting depth. Every communication on one link is nested inside
+/// the others on it, so a link's load never exceeds the depth; the converse
+/// fails (see module docs). Kept as a cheap bound for generator sizing.
+pub fn depth_upper_bound(set: &CommSet) -> u32 {
+    set.max_nesting_depth()
+}
+
+/// The *maximum incompatible* witnesses: for each directed link carrying
+/// the maximum load, the number of communications on it (paper §4 uses
+/// these sets to prove optimality).
+pub fn max_incompatible_links(topo: &CstTopology, set: &CommSet) -> Vec<(DirectedLink, u32)> {
+    let loads = link_loads(topo, set);
+    let w = loads.values().copied().max().unwrap_or(0);
+    let mut v: Vec<_> = loads.into_iter().filter(|&(_, c)| c == w && w > 0).collect();
+    v.sort_unstable_by_key(|&(l, _)| l.dense_index());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parens::from_paren_string;
+
+    fn topo(n: usize) -> CstTopology {
+        CstTopology::with_leaves(n)
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t = topo(8);
+        assert_eq!(width_on_topology(&t, &CommSet::empty(8)), 0);
+        let s = CommSet::from_pairs(8, &[(0, 1)]);
+        assert_eq!(width_on_topology(&t, &s), 1);
+        assert_eq!(depth_upper_bound(&s), 1);
+    }
+
+    #[test]
+    fn nested_chain_width_equals_depth() {
+        let t = topo(8);
+        let s = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5), (3, 4)]);
+        assert_eq!(depth_upper_bound(&s), 4);
+        assert_eq!(width_on_topology(&t, &s), 4);
+    }
+
+    #[test]
+    fn disjoint_pairs_width_one() {
+        let t = topo(8);
+        let s = CommSet::from_pairs(8, &[(0, 1), (2, 3), (4, 5), (6, 7)]);
+        assert_eq!(depth_upper_bound(&s), 1);
+        assert_eq!(width_on_topology(&t, &s), 1);
+    }
+
+    #[test]
+    fn depth_bounds_width_from_above() {
+        let patterns = [
+            "(.)(.)((.)).....",
+            "((((....))))....",
+            "()()()()()()()()",
+            "(()(()))(.)..().",
+            "................",
+            "(..(..(..)..)..)",
+        ];
+        let t = topo(16);
+        for p in patterns {
+            let s = from_paren_string(p).unwrap();
+            assert!(
+                width_on_topology(&t, &s) <= depth_upper_bound(&s),
+                "pattern {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_can_strictly_exceed_width() {
+        // The canonical counterexample from the module docs: depth 3,
+        // width 2 — (5,6) shares the up-link above the switch covering
+        // leaves {4,5} with (4,8), and (4,8) shares the up-link above the
+        // switch covering leaves {0..7} with (3,9), but no link carries
+        // all three.
+        let t = topo(16);
+        let s = CommSet::from_pairs(16, &[(3, 9), (4, 8), (5, 6)]);
+        assert!(s.is_well_nested());
+        assert_eq!(depth_upper_bound(&s), 3);
+        assert_eq!(width_on_topology(&t, &s), 2);
+    }
+
+    #[test]
+    fn crossing_set_width_counts_links_not_depth() {
+        // (0,4) and (2,6) cross; they share the upward link into the root
+        // from the left child: width 2 even though "nesting depth" sweeps
+        // would also say 2 — use a 3-way crossing to separate the notions.
+        let t = topo(8);
+        let s = CommSet::from_pairs(8, &[(0, 3), (1, 2)]);
+        assert_eq!(width_on_topology(&t, &s), 2);
+        let crossing = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
+        assert_eq!(width_on_topology(&t, &crossing), 2);
+    }
+
+    #[test]
+    fn left_oriented_uses_opposite_channels() {
+        let t = topo(8);
+        // right comm (0,3) and left comm (3->0 mirrored: here (7,4))
+        let s = CommSet::from_pairs(8, &[(0, 3), (7, 4)]);
+        // They live in different subtrees; width 1.
+        assert_eq!(width_on_topology(&t, &s), 1);
+        // A right and a left communication over the *same* span use opposite
+        // directions of the same links: width stays 1.
+        let s2 = CommSet::from_pairs(8, &[(0, 3), (2, 1)]);
+        assert_eq!(width_on_topology(&t, &s2), 2 - 1);
+    }
+
+    #[test]
+    fn max_incompatible_witnesses() {
+        let t = topo(8);
+        let s = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+        let wit = max_incompatible_links(&t, &s);
+        assert!(!wit.is_empty());
+        assert!(wit.iter().all(|&(_, c)| c == 3));
+    }
+}

@@ -1,0 +1,125 @@
+//! Compatibility checking for rounds of circuits.
+//!
+//! A set of communications can be performed simultaneously iff no two of
+//! them use the same tree edge in the same direction (paper §1). This
+//! module checks that property for collections of [`Circuit`]s and builds
+//! the merged per-switch configuration of a round.
+
+use crate::error::CstError;
+use crate::link::LinkOccupancy;
+use crate::node::NodeId;
+use crate::path::Circuit;
+use crate::switch::SwitchConfig;
+use crate::topology::CstTopology;
+use std::collections::BTreeMap;
+
+/// The merged state of one scheduling round: every switch's required
+/// configuration, plus which circuits were placed.
+#[derive(Clone, Debug, Default)]
+pub struct MergedRound {
+    /// Required connections per switch. `BTreeMap` keeps deterministic
+    /// iteration order for accounting and traces.
+    pub configs: BTreeMap<NodeId, SwitchConfig>,
+}
+
+impl MergedRound {
+    /// Merge `circuits` into a single round, failing on any directed-link
+    /// or switch-port conflict.
+    pub fn build(topo: &CstTopology, circuits: &[Circuit]) -> Result<MergedRound, CstError> {
+        let mut occ = LinkOccupancy::new(topo);
+        let mut round = MergedRound::default();
+        for c in circuits {
+            round.add(&mut occ, c)?;
+        }
+        Ok(round)
+    }
+
+    /// Add one circuit, claiming its links and merging its settings.
+    pub fn add(&mut self, occ: &mut LinkOccupancy, c: &Circuit) -> Result<(), CstError> {
+        for &l in &c.links {
+            if !occ.claim(l) {
+                return Err(CstError::LinkConflict { node: l.child, upward: l.up });
+            }
+        }
+        for &(node, conn) in &c.settings {
+            self.configs.entry(node).or_default().set(conn)?;
+        }
+        Ok(())
+    }
+
+    /// Iterate `(switch, connection)` pairs of the round, deterministic order.
+    pub fn requirements(&self) -> impl Iterator<Item = (NodeId, crate::switch::Connection)> + '_ {
+        self.configs
+            .iter()
+            .flat_map(|(&n, cfg)| cfg.connections().map(move |c| (n, c)))
+    }
+}
+
+/// True if the circuits are pairwise compatible (share no directed link).
+pub fn are_compatible(topo: &CstTopology, circuits: &[Circuit]) -> bool {
+    MergedRound::build(topo, circuits).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafId;
+
+    fn circ(topo: &CstTopology, s: usize, d: usize) -> Circuit {
+        Circuit::right_oriented(topo, LeafId(s), LeafId(d))
+    }
+
+    #[test]
+    fn disjoint_intervals_are_compatible() {
+        let t = CstTopology::with_leaves(16);
+        let a = circ(&t, 0, 3);
+        let b = circ(&t, 4, 9);
+        let c = circ(&t, 10, 15);
+        assert!(are_compatible(&t, &[a, b, c]));
+    }
+
+    #[test]
+    fn nested_communications_conflict() {
+        let t = CstTopology::with_leaves(16);
+        // (0, 15) contains (1, 14): both need the upward link toward the
+        // root on the left flank.
+        let outer = circ(&t, 0, 15);
+        let inner = circ(&t, 1, 14);
+        assert!(!are_compatible(&t, &[outer, inner]));
+    }
+
+    #[test]
+    fn sibling_leaf_pairs_all_compatible() {
+        let t = CstTopology::with_leaves(32);
+        let circuits: Vec<_> = (0..16).map(|i| circ(&t, 2 * i, 2 * i + 1)).collect();
+        assert!(are_compatible(&t, &circuits));
+        let round = MergedRound::build(&t, &circuits).unwrap();
+        assert_eq!(round.configs.len(), 16);
+    }
+
+    #[test]
+    fn merged_round_lists_requirements() {
+        let t = CstTopology::with_leaves(8);
+        let round = MergedRound::build(&t, &[circ(&t, 0, 1)]).unwrap();
+        let req: Vec<_> = round.requirements().collect();
+        assert_eq!(req.len(), 1);
+        assert_eq!(req[0].0, NodeId(4));
+    }
+
+    #[test]
+    fn conflict_error_names_link() {
+        let t = CstTopology::with_leaves(8);
+        let err = MergedRound::build(&t, &[circ(&t, 0, 7), circ(&t, 1, 6)]).unwrap_err();
+        assert!(matches!(err, CstError::LinkConflict { .. }));
+    }
+
+    #[test]
+    fn chained_same_direction_conflicts_but_opposite_ok() {
+        let t = CstTopology::with_leaves(8);
+        // (0,4) and (3,7) overlap as intervals: both cross the root upward
+        // on... (0,4): up-links via n4,n2; (3,7): up via n5,n2 — n2^ shared.
+        assert!(!are_compatible(&t, &[circ(&t, 0, 4), circ(&t, 3, 7)]));
+        // but (0,3) and (4,7) stay within disjoint subtrees
+        assert!(are_compatible(&t, &[circ(&t, 0, 3), circ(&t, 4, 7)]));
+    }
+}

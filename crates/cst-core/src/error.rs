@@ -1,0 +1,117 @@
+//! Error types shared across the CST crates.
+
+use crate::node::{LeafId, NodeId};
+use crate::switch::Side;
+
+/// Errors raised by the CST substrate and schedulers built on it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CstError {
+    /// Topology sizes must be powers of two with at least 2 leaves.
+    InvalidLeafCount { num_leaves: usize },
+    /// Attempt to connect an input to the output of the same side.
+    SameSideConnection { side: Side },
+    /// An output port is already driven by a different input.
+    OutputConflict { out: Side, cur: Side, new: Side },
+    /// An input port already drives a different output.
+    InputConflict { inp: Side, cur: Side, new: Side },
+    /// A communication references a leaf outside the topology.
+    LeafOutOfRange { leaf: LeafId, num_leaves: usize },
+    /// A communication's source equals its destination.
+    SelfCommunication { leaf: LeafId },
+    /// A PE is used as an endpoint by more than one communication. The
+    /// paper's Step 1.1 allows each PE to be a source, a destination, or
+    /// neither — never several at once.
+    EndpointReused { leaf: LeafId },
+    /// The set is not right-oriented (some source is right of its destination).
+    NotRightOriented { source: LeafId, dest: LeafId },
+    /// The set is not well-nested: two communications cross.
+    NotWellNested { a: usize, b: usize },
+    /// Two circuits scheduled in the same round share a directed tree link.
+    LinkConflict { node: NodeId, upward: bool },
+    /// A scheduler produced an internally inconsistent round (e.g. a request
+    /// rank exceeding the pool size) — indicates a bug, surfaced loudly.
+    ProtocolViolation { node: NodeId, detail: String },
+    /// Phase 1 did not fully match the set at the root: the set is
+    /// incomplete (some endpoint's partner is missing).
+    IncompleteSet { unmatched_sources: u32, unmatched_dests: u32 },
+    /// The scheduler exceeded the provable round bound without finishing.
+    RoundOverrun { limit: usize },
+    /// Verification found a delivered payload mismatch.
+    DeliveryMismatch { dest: LeafId },
+}
+
+impl core::fmt::Display for CstError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CstError::InvalidLeafCount { num_leaves } => {
+                write!(f, "invalid leaf count {num_leaves}: must be a power of two >= 2")
+            }
+            CstError::SameSideConnection { side } => {
+                write!(f, "illegal connection {side}i->{side}o: same-side connections are forbidden")
+            }
+            CstError::OutputConflict { out, cur, new } => {
+                write!(f, "output {out}o already driven by {cur}i, cannot connect {new}i")
+            }
+            CstError::InputConflict { inp, cur, new } => {
+                write!(f, "input {inp}i already drives {cur}o, cannot connect to {new}o")
+            }
+            CstError::LeafOutOfRange { leaf, num_leaves } => {
+                write!(f, "{leaf} out of range for topology with {num_leaves} leaves")
+            }
+            CstError::SelfCommunication { leaf } => {
+                write!(f, "communication with source == destination at {leaf}")
+            }
+            CstError::EndpointReused { leaf } => {
+                write!(f, "{leaf} used as endpoint by more than one communication")
+            }
+            CstError::NotRightOriented { source, dest } => {
+                write!(f, "communication {source}->{dest} is not right-oriented")
+            }
+            CstError::NotWellNested { a, b } => {
+                write!(f, "communications #{a} and #{b} cross: set is not well-nested")
+            }
+            CstError::LinkConflict { node, upward } => {
+                let dir = if *upward { "up" } else { "down" };
+                write!(f, "directed link at {node} ({dir}) used twice in one round")
+            }
+            CstError::ProtocolViolation { node, detail } => {
+                write!(f, "protocol violation at {node}: {detail}")
+            }
+            CstError::IncompleteSet { unmatched_sources, unmatched_dests } => {
+                write!(
+                    f,
+                    "set incomplete at root: {unmatched_sources} unmatched sources, {unmatched_dests} unmatched destinations"
+                )
+            }
+            CstError::RoundOverrun { limit } => {
+                write!(f, "scheduler exceeded the round limit {limit}")
+            }
+            CstError::DeliveryMismatch { dest } => {
+                write!(f, "payload delivered to {dest} does not match its source's payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CstError::InvalidLeafCount { num_leaves: 3 };
+        assert!(e.to_string().contains("power of two"));
+        let e = CstError::OutputConflict { out: Side::Right, cur: Side::Left, new: Side::Parent };
+        assert!(e.to_string().contains("ro"));
+        let e = CstError::NotWellNested { a: 1, b: 2 };
+        assert!(e.to_string().contains("cross"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(CstError::RoundOverrun { limit: 9 });
+    }
+}

@@ -1,0 +1,35 @@
+//! # cst-core — circuit switched tree substrate
+//!
+//! The substrate every other crate in this workspace builds on:
+//!
+//! * [`topology`] — the complete binary tree (N = 2^k leaves, N−1 switches);
+//! * [`switch`] — the 3-sided circuit switch and its legal configurations;
+//! * [`link`] — directed tree links, the unit of communication conflict;
+//! * [`path`] — circuits (switch settings + links) for one communication;
+//! * [`compat`] — round assembly and compatibility checking;
+//! * [`power`] — the PADR power model: one unit per connection established,
+//!   holding is free;
+//! * [`pe`] — processing-element roles.
+//!
+//! The model follows El-Boghdadi, *"Power-Aware Routing for Well-Nested
+//! Communications On The Circuit Switched Tree"*, IPPS 2007, §2.
+
+pub mod compat;
+pub mod error;
+pub mod link;
+pub mod node;
+pub mod path;
+pub mod pe;
+pub mod power;
+pub mod switch;
+pub mod topology;
+
+pub use compat::{are_compatible, MergedRound};
+pub use error::CstError;
+pub use link::{DirectedLink, LinkOccupancy};
+pub use node::{LeafId, NodeId};
+pub use path::Circuit;
+pub use pe::PeRole;
+pub use power::{charge_round, PowerMeter, PowerReport, SwitchPower, MAX_UNITS_PER_RECONFIG};
+pub use switch::{Connection, Side, SwitchConfig};
+pub use topology::CstTopology;

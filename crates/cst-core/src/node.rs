@@ -1,0 +1,211 @@
+//! Node identifiers for the complete binary tree underlying the CST.
+//!
+//! The CST ("circuit switched tree", Sidhu et al. 2000; El-Boghdadi et al.
+//! 2002) is a complete binary tree with `N = 2^k` leaves. Leaves are
+//! processing elements (PEs); internal nodes are 3-sided switches.
+//!
+//! We use the classic implicit heap layout: the root is node `1`, the
+//! children of node `i` are `2i` and `2i + 1`. For a tree with `N` leaves
+//! the internal nodes occupy indices `1 ..= N-1` and the leaves occupy
+//! `N ..= 2N-1`, so leaf `j` (zero-based, left to right) is node `N + j`.
+//! Index `0` is never a valid node.
+//!
+//! This layout makes parent/child/level arithmetic branch-free, which keeps
+//! per-round sweeps of the scheduler cheap (Theorem 5 of the paper requires
+//! only constant work per switch per round; the host-side driver adds only
+//! this index arithmetic on top).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (switch or PE) in heap layout.
+///
+/// `NodeId` is deliberately a thin transparent wrapper over `usize` so that
+/// dense per-node state tables can be indexed directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a leaf (PE), zero-based from the left.
+///
+/// Distinct from [`NodeId`] to keep "position on the bus" (what
+/// well-nestedness is defined over) apart from "position in the heap".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct LeafId(pub usize);
+
+impl NodeId {
+    /// The root switch.
+    pub const ROOT: NodeId = NodeId(1);
+
+    /// Heap index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Parent switch. The root has no parent.
+    #[inline]
+    pub fn parent(self) -> Option<NodeId> {
+        if self.0 <= 1 {
+            None
+        } else {
+            Some(NodeId(self.0 >> 1))
+        }
+    }
+
+    /// Left child in heap layout. Only meaningful for internal nodes of a
+    /// concrete topology; see [`crate::topology::CstTopology::is_internal`].
+    #[inline]
+    pub fn left_child(self) -> NodeId {
+        NodeId(self.0 << 1)
+    }
+
+    /// Right child in heap layout.
+    #[inline]
+    pub fn right_child(self) -> NodeId {
+        NodeId((self.0 << 1) | 1)
+    }
+
+    /// True if this node is the left child of its parent.
+    #[inline]
+    pub fn is_left_child(self) -> bool {
+        self.0 > 1 && self.0 & 1 == 0
+    }
+
+    /// True if this node is the right child of its parent.
+    #[inline]
+    pub fn is_right_child(self) -> bool {
+        self.0 > 1 && self.0 & 1 == 1
+    }
+
+    /// Sibling node (other child of the same parent).
+    #[inline]
+    pub fn sibling(self) -> Option<NodeId> {
+        if self.0 <= 1 {
+            None
+        } else {
+            Some(NodeId(self.0 ^ 1))
+        }
+    }
+
+    /// Depth below the root: the root has depth 0, its children depth 1, ...
+    #[inline]
+    pub fn depth(self) -> u32 {
+        debug_assert!(self.0 >= 1);
+        usize::BITS - 1 - self.0.leading_zeros()
+    }
+
+    /// True if `self` is an ancestor of `other` (or equal to it).
+    #[inline]
+    pub fn is_ancestor_of(self, other: NodeId) -> bool {
+        let (a, b) = (self.0, other.0);
+        debug_assert!(a >= 1 && b >= 1);
+        if a > b {
+            return false;
+        }
+        let shift = (usize::BITS - b.leading_zeros()) - (usize::BITS - a.leading_zeros());
+        (b >> shift) == a
+    }
+}
+
+impl LeafId {
+    /// Zero-based leaf position, left to right.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl core::fmt::Debug for LeafId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+impl core::fmt::Display for LeafId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+impl From<usize> for LeafId {
+    fn from(v: usize) -> Self {
+        LeafId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_parent() {
+        assert_eq!(NodeId::ROOT.parent(), None);
+    }
+
+    #[test]
+    fn children_point_back_to_parent() {
+        for i in 1..200usize {
+            let n = NodeId(i);
+            assert_eq!(n.left_child().parent(), Some(n));
+            assert_eq!(n.right_child().parent(), Some(n));
+        }
+    }
+
+    #[test]
+    fn left_right_child_flags() {
+        let n = NodeId(5);
+        assert!(n.left_child().is_left_child());
+        assert!(!n.left_child().is_right_child());
+        assert!(n.right_child().is_right_child());
+        assert!(!n.right_child().is_left_child());
+        assert!(!NodeId::ROOT.is_left_child());
+        assert!(!NodeId::ROOT.is_right_child());
+    }
+
+    #[test]
+    fn sibling_is_involutive() {
+        for i in 2..100usize {
+            let n = NodeId(i);
+            let s = n.sibling().unwrap();
+            assert_eq!(s.sibling(), Some(n));
+            assert_eq!(s.parent(), n.parent());
+            assert_ne!(s, n);
+        }
+        assert_eq!(NodeId::ROOT.sibling(), None);
+    }
+
+    #[test]
+    fn depth_matches_log2() {
+        assert_eq!(NodeId(1).depth(), 0);
+        assert_eq!(NodeId(2).depth(), 1);
+        assert_eq!(NodeId(3).depth(), 1);
+        assert_eq!(NodeId(4).depth(), 2);
+        assert_eq!(NodeId(7).depth(), 2);
+        assert_eq!(NodeId(8).depth(), 3);
+        assert_eq!(NodeId(1024).depth(), 10);
+    }
+
+    #[test]
+    fn ancestry() {
+        assert!(NodeId(1).is_ancestor_of(NodeId(1)));
+        assert!(NodeId(1).is_ancestor_of(NodeId(97)));
+        assert!(NodeId(2).is_ancestor_of(NodeId(8)));
+        assert!(NodeId(2).is_ancestor_of(NodeId(11)));
+        assert!(!NodeId(3).is_ancestor_of(NodeId(11)));
+        assert!(!NodeId(8).is_ancestor_of(NodeId(2)));
+        assert!(!NodeId(2).is_ancestor_of(NodeId(3)));
+    }
+}

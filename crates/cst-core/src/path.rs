@@ -1,0 +1,351 @@
+//! Circuits: the switch settings and directed links realizing one
+//! source-to-destination path.
+//!
+//! For a right-oriented communication `(s, d)` with `s < d`, the circuit
+//! climbs from `s` to the LCA (each switch on the way connects the incoming
+//! child input to `p_o`), turns around at the LCA (`l_i -> r_o`; the source
+//! is always in the LCA's left subtree for right-oriented sets), and
+//! descends to `d` (each switch connects `p_i` to the outgoing child
+//! output).
+
+use crate::link::DirectedLink;
+use crate::node::{LeafId, NodeId};
+use crate::switch::{Connection, Side};
+use crate::topology::CstTopology;
+use serde::{Deserialize, Serialize};
+
+/// A fully-resolved circuit: per-switch connections plus the directed links
+/// it occupies.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Circuit {
+    /// Source PE.
+    pub source: LeafId,
+    /// Destination PE.
+    pub dest: LeafId,
+    /// The switch where the communication is matched (LCA of the leaves).
+    pub apex: NodeId,
+    /// `(switch, connection)` pairs, listed source-side up then apex then
+    /// down to the destination.
+    pub settings: Vec<(NodeId, Connection)>,
+    /// Directed links used, same order as the signal travels.
+    pub links: Vec<DirectedLink>,
+}
+
+impl Circuit {
+    /// Build the circuit for a right-oriented communication `(source, dest)`
+    /// with `source < dest`.
+    ///
+    /// Panics in debug builds if the communication is not right-oriented;
+    /// callers validate orientation at set construction time.
+    pub fn right_oriented(topo: &CstTopology, source: LeafId, dest: LeafId) -> Circuit {
+        debug_assert!(source.0 < dest.0, "circuit requires source < dest");
+        debug_assert!(dest.0 < topo.num_leaves());
+        let apex = topo.lca(source, dest);
+        let height = topo.height() as usize;
+        let mut settings = Vec::with_capacity(2 * height);
+        let mut links = Vec::with_capacity(2 * height + 2);
+
+        // Ascend from the source to the apex.
+        let mut node = topo.leaf_node(source);
+        links.push(DirectedLink::up_from(node));
+        while let Some(p) = node.parent() {
+            if p == apex {
+                break;
+            }
+            let from = if node.is_left_child() { Side::Left } else { Side::Right };
+            settings.push((p, Connection { from, to: Side::Parent }));
+            links.push(DirectedLink::up_from(p));
+            node = p;
+        }
+
+        // Turn around at the apex: for right-oriented sets the source is in
+        // the left subtree and the destination in the right subtree.
+        settings.push((apex, Connection::L_TO_R));
+
+        // Descend from the apex to the destination. Collect top-down.
+        let mut down = Vec::with_capacity(height);
+        let mut node = topo.leaf_node(dest);
+        links.push(DirectedLink::down_to(node));
+        while let Some(p) = node.parent() {
+            if p == apex {
+                break;
+            }
+            let to = if node.is_left_child() { Side::Left } else { Side::Right };
+            down.push((p, Connection { from: Side::Parent, to }));
+            links.push(DirectedLink::down_to(p));
+            node = p;
+        }
+        down.reverse();
+        settings.extend(down);
+
+        // Links were collected source-up then dest-up; normalize the
+        // descent portion to travel order (apex -> dest).
+        let first_down = links.iter().position(|l| !l.up).expect("has down link");
+        links[first_down..].reverse();
+
+        Circuit { source, dest, apex, settings, links }
+    }
+
+    /// Build the circuit for a *left-oriented* communication `(source,
+    /// dest)` with `source > dest`: the mirror image of
+    /// [`Circuit::right_oriented`] — ascend the right flank, turn around
+    /// with `r_i -> l_o`, descend to the destination on the left.
+    pub fn left_oriented(topo: &CstTopology, source: LeafId, dest: LeafId) -> Circuit {
+        debug_assert!(source.0 > dest.0, "left circuit requires source > dest");
+        let apex = topo.lca(dest, source);
+        let height = topo.height() as usize;
+        let mut settings = Vec::with_capacity(2 * height);
+        let mut links = Vec::with_capacity(2 * height + 2);
+
+        // Ascend from the source (in the apex's right subtree).
+        let mut node = topo.leaf_node(source);
+        links.push(DirectedLink::up_from(node));
+        while let Some(p) = node.parent() {
+            if p == apex {
+                break;
+            }
+            let from = if node.is_left_child() { Side::Left } else { Side::Right };
+            settings.push((p, Connection { from, to: Side::Parent }));
+            links.push(DirectedLink::up_from(p));
+            node = p;
+        }
+
+        settings.push((apex, Connection::R_TO_L));
+
+        // Descend to the destination (in the apex's left subtree).
+        let mut down = Vec::with_capacity(height);
+        let mut node = topo.leaf_node(dest);
+        links.push(DirectedLink::down_to(node));
+        while let Some(p) = node.parent() {
+            if p == apex {
+                break;
+            }
+            let to = if node.is_left_child() { Side::Left } else { Side::Right };
+            down.push((p, Connection { from: Side::Parent, to }));
+            links.push(DirectedLink::down_to(p));
+            node = p;
+        }
+        down.reverse();
+        settings.extend(down);
+
+        let first_down = links.iter().position(|l| !l.up).expect("has down link");
+        links[first_down..].reverse();
+
+        Circuit { source, dest, apex, settings, links }
+    }
+
+    /// Build the circuit for a communication of either orientation.
+    pub fn between(topo: &CstTopology, source: LeafId, dest: LeafId) -> Circuit {
+        if source.0 < dest.0 {
+            Circuit::right_oriented(topo, source, dest)
+        } else {
+            Circuit::left_oriented(topo, source, dest)
+        }
+    }
+
+    /// Number of switches the signal traverses.
+    pub fn num_switches(&self) -> usize {
+        self.settings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo8() -> CstTopology {
+        CstTopology::with_leaves(8)
+    }
+
+    #[test]
+    fn adjacent_pair_single_switch() {
+        let t = topo8();
+        let c = Circuit::right_oriented(&t, LeafId(0), LeafId(1));
+        assert_eq!(c.apex, NodeId(4));
+        assert_eq!(c.settings, vec![(NodeId(4), Connection::L_TO_R)]);
+        assert_eq!(
+            c.links,
+            vec![
+                DirectedLink::up_from(t.leaf_node(LeafId(0))),
+                DirectedLink::down_to(t.leaf_node(LeafId(1))),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_span_circuit() {
+        let t = topo8();
+        let c = Circuit::right_oriented(&t, LeafId(0), LeafId(7));
+        assert_eq!(c.apex, NodeId::ROOT);
+        // up: n4 (l->p), n2 (l->p); apex n1 (l->r); down: n3 (p->r), n7 (p->r)
+        assert_eq!(
+            c.settings,
+            vec![
+                (NodeId(4), Connection::L_TO_P),
+                (NodeId(2), Connection::L_TO_P),
+                (NodeId(1), Connection::L_TO_R),
+                (NodeId(3), Connection::P_TO_R),
+                (NodeId(7), Connection::P_TO_R),
+            ]
+        );
+        assert_eq!(c.num_switches(), 5);
+        // Links in travel order.
+        assert_eq!(
+            c.links,
+            vec![
+                DirectedLink::up_from(NodeId(8)),
+                DirectedLink::up_from(NodeId(4)),
+                DirectedLink::up_from(NodeId(2)),
+                DirectedLink::down_to(NodeId(3)),
+                DirectedLink::down_to(NodeId(7)),
+                DirectedLink::down_to(NodeId(15)),
+            ]
+        );
+    }
+
+    #[test]
+    fn asymmetric_circuit() {
+        let t = topo8();
+        // 2 -> 3 matched at n5
+        let c = Circuit::right_oriented(&t, LeafId(2), LeafId(3));
+        assert_eq!(c.apex, NodeId(5));
+        assert_eq!(c.settings, vec![(NodeId(5), Connection::L_TO_R)]);
+
+        // 1 -> 4: apex root; up through n4 (r->p), n2 (l->p)...
+        let c = Circuit::right_oriented(&t, LeafId(1), LeafId(4));
+        assert_eq!(c.apex, NodeId::ROOT);
+        assert_eq!(
+            c.settings,
+            vec![
+                (NodeId(4), Connection::R_TO_P),
+                (NodeId(2), Connection::L_TO_P),
+                (NodeId(1), Connection::L_TO_R),
+                (NodeId(3), Connection::P_TO_L),
+                (NodeId(6), Connection::P_TO_L),
+            ]
+        );
+    }
+
+    #[test]
+    fn settings_form_a_connected_path() {
+        // For every pair (s, d), walking the configured switches from the
+        // source must arrive exactly at the destination.
+        let t = CstTopology::with_leaves(32);
+        for s in 0..32 {
+            for d in (s + 1)..32 {
+                let c = Circuit::right_oriented(&t, LeafId(s), LeafId(d));
+                // map switch -> connection for this circuit
+                let map: std::collections::HashMap<_, _> =
+                    c.settings.iter().cloned().collect();
+                assert_eq!(map.len(), c.settings.len(), "no switch twice");
+                // simulate the signal
+                let mut node = t.leaf_node(LeafId(s));
+                let mut from_below = true;
+                for _ in 0..3 * t.height() {
+                    if t.is_leaf(node) && !from_below {
+                        break;
+                    }
+                    let (next, conn_from) = if from_below {
+                        let p = node.parent().unwrap();
+                        let side = if node.is_left_child() { Side::Left } else { Side::Right };
+                        (p, side)
+                    } else {
+                        unreachable!("descent handled via connection lookup")
+                    };
+                    let conn = map.get(&next).copied().unwrap_or_else(|| {
+                        panic!("switch {next} not configured for {s}->{d}")
+                    });
+                    assert_eq!(conn.from, conn_from);
+                    match conn.to {
+                        Side::Parent => {
+                            node = next;
+                            from_below = true;
+                        }
+                        Side::Left | Side::Right => {
+                            // descend along configured p_i -> child chain
+                            let mut cur = if conn.to == Side::Left {
+                                next.left_child()
+                            } else {
+                                next.right_child()
+                            };
+                            while t.is_internal(cur) {
+                                let cc = map[&cur];
+                                assert_eq!(cc.from, Side::Parent);
+                                cur = if cc.to == Side::Left {
+                                    cur.left_child()
+                                } else {
+                                    cur.right_child()
+                                };
+                            }
+                            node = cur;
+                            from_below = false;
+                        }
+                    }
+                    if !from_below {
+                        break;
+                    }
+                }
+                assert_eq!(t.node_leaf(node), Some(LeafId(d)), "{s}->{d} misrouted");
+            }
+        }
+    }
+
+    #[test]
+    fn left_oriented_mirrors_right() {
+        let t = CstTopology::with_leaves(8);
+        let c = Circuit::left_oriented(&t, LeafId(7), LeafId(0));
+        assert_eq!(c.apex, NodeId::ROOT);
+        assert_eq!(
+            c.settings,
+            vec![
+                (NodeId(7), Connection::R_TO_P),
+                (NodeId(3), Connection::R_TO_P),
+                (NodeId(1), Connection::R_TO_L),
+                (NodeId(2), Connection::P_TO_L),
+                (NodeId(4), Connection::P_TO_L),
+            ]
+        );
+        // links are the exact reverses of the right-oriented 0 -> 7 circuit
+        let r = Circuit::right_oriented(&t, LeafId(0), LeafId(7));
+        let mut mirrored: Vec<DirectedLink> = r
+            .links
+            .iter()
+            .map(|l| DirectedLink { child: l.child, up: !l.up })
+            .collect();
+        mirrored.reverse();
+        assert_eq!(c.links, mirrored);
+    }
+
+    #[test]
+    fn between_dispatches_on_orientation() {
+        let t = CstTopology::with_leaves(16);
+        let r = Circuit::between(&t, LeafId(2), LeafId(9));
+        assert_eq!(r.settings, Circuit::right_oriented(&t, LeafId(2), LeafId(9)).settings);
+        let l = Circuit::between(&t, LeafId(9), LeafId(2));
+        assert_eq!(l.settings, Circuit::left_oriented(&t, LeafId(9), LeafId(2)).settings);
+        // opposite orientations over the same span are link-disjoint
+        let all_links: std::collections::HashSet<_> = r.links.iter().collect();
+        assert!(l.links.iter().all(|x| !all_links.contains(x)));
+    }
+
+    #[test]
+    fn left_adjacent_pair() {
+        let t = CstTopology::with_leaves(8);
+        let c = Circuit::left_oriented(&t, LeafId(1), LeafId(0));
+        assert_eq!(c.settings, vec![(NodeId(4), Connection::R_TO_L)]);
+        assert_eq!(c.num_switches(), 1);
+    }
+
+    #[test]
+    fn link_count_matches_setting_count() {
+        let t = CstTopology::with_leaves(64);
+        for (s, d) in [(0usize, 63usize), (10, 11), (5, 40), (31, 32)] {
+            let c = Circuit::right_oriented(&t, LeafId(s), LeafId(d));
+            // every circuit has one more link than switches
+            assert_eq!(c.links.len(), c.num_switches() + 1);
+            // first link leaves the source leaf, last enters the dest leaf
+            assert_eq!(c.links[0], DirectedLink::up_from(t.leaf_node(LeafId(s))));
+            assert_eq!(*c.links.last().unwrap(), DirectedLink::down_to(t.leaf_node(LeafId(d))));
+        }
+    }
+}

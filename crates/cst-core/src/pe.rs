@@ -1,0 +1,60 @@
+//! Processing-element roles (paper Step 1.1).
+//!
+//! Each PE knows *locally* whether it is a source, a destination, or
+//! neither; this is the only information that ever enters the tree, encoded
+//! as `[1,0]`, `[0,1]`, `[0,0]`.
+
+use serde::{Deserialize, Serialize};
+
+/// The local role of a PE for a given communication set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum PeRole {
+    /// Source of exactly one communication: announces `[1, 0]`.
+    Source,
+    /// Destination of exactly one communication: announces `[0, 1]`.
+    Destination,
+    /// Not an endpoint: announces `[0, 0]`.
+    #[default]
+    Idle,
+}
+
+impl PeRole {
+    /// The `[s, d]` pair the PE sends to its parent in Step 1.1.
+    pub fn announcement(self) -> (u32, u32) {
+        match self {
+            PeRole::Source => (1, 0),
+            PeRole::Destination => (0, 1),
+            PeRole::Idle => (0, 0),
+        }
+    }
+
+    /// Inverse of [`Self::announcement`] for well-formed pairs.
+    pub fn from_announcement(s: u32, d: u32) -> Option<PeRole> {
+        match (s, d) {
+            (1, 0) => Some(PeRole::Source),
+            (0, 1) => Some(PeRole::Destination),
+            (0, 0) => Some(PeRole::Idle),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announcement_roundtrip() {
+        for r in [PeRole::Source, PeRole::Destination, PeRole::Idle] {
+            let (s, d) = r.announcement();
+            assert_eq!(PeRole::from_announcement(s, d), Some(r));
+        }
+        assert_eq!(PeRole::from_announcement(1, 1), None);
+        assert_eq!(PeRole::from_announcement(2, 0), None);
+    }
+
+    #[test]
+    fn default_is_idle() {
+        assert_eq!(PeRole::default(), PeRole::Idle);
+    }
+}

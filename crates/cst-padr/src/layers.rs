@@ -1,0 +1,188 @@
+//! Extension ("other communication patterns", paper §6): scheduling
+//! **arbitrary right-oriented sets** with the power-aware CSA by first
+//! decomposing them into *well-nested layers*.
+//!
+//! Two communications conflict with the CSA's preconditions only if they
+//! **cross** (partially overlap). Crossing-freedom is exactly
+//! well-nestedness, so partitioning the set into crossing-free classes
+//! lets each class run through the unmodified power-optimal CSA. Layers
+//! run back to back; the schedule length is `Σ w_i` over layers, and each
+//! switch's configuration cost is `O(#layers)` — the power guarantee
+//! degrades gracefully with the amount of crossing in the workload.
+//!
+//! Layer assignment is greedy first-fit in outermost-first order, which
+//! for interval overlap graphs colors with the minimum number of classes
+//! on many structured families (not guaranteed minimal in general; the
+//! crossing graph is not an interval graph).
+
+use crate::scheduler::{self, CsaOutcome};
+use cst_comm::{CommId, CommSet, Communication, Round, Schedule};
+use cst_core::{CstError, CstTopology};
+
+/// The layer decomposition of a set.
+#[derive(Clone, Debug)]
+pub struct Layering {
+    /// `layer_of[i]` = layer index of communication `i`.
+    pub layer_of: Vec<usize>,
+    /// Communications per layer (original ids).
+    pub layers: Vec<Vec<CommId>>,
+}
+
+/// True if the two intervals cross (partially overlap).
+fn crosses(a: &Communication, b: &Communication) -> bool {
+    !a.nests_with(b)
+}
+
+/// Greedy first-fit crossing-free layering of a right-oriented set.
+pub fn decompose(set: &CommSet) -> Layering {
+    // Outermost-first: big intervals first tend to pack layer 0 with the
+    // enclosing structure.
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.sort_unstable_by_key(|&i| {
+        let (l, r) = set.comms()[i].interval();
+        (l, usize::MAX - r)
+    });
+    let mut layer_of = vec![usize::MAX; set.len()];
+    let mut layers: Vec<Vec<CommId>> = Vec::new();
+    for &i in &order {
+        let c = &set.comms()[i];
+        let mut placed = false;
+        for (li, layer) in layers.iter_mut().enumerate() {
+            if layer.iter().all(|&CommId(j)| !crosses(c, &set.comms()[j])) {
+                layer.push(CommId(i));
+                layer_of[i] = li;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            layer_of[i] = layers.len();
+            layers.push(vec![CommId(i)]);
+        }
+    }
+    Layering { layer_of, layers }
+}
+
+/// Outcome of layered scheduling.
+#[derive(Clone, Debug)]
+pub struct LayeredOutcome {
+    /// Combined schedule over all layers, ids referring to the input set.
+    pub schedule: Schedule,
+    /// Per-layer CSA outcomes (in layer order).
+    pub per_layer: Vec<CsaOutcome>,
+    /// The decomposition used.
+    pub layering: Layering,
+}
+
+impl LayeredOutcome {
+    /// Total rounds across layers.
+    pub fn rounds(&self) -> usize {
+        self.schedule.num_rounds()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layering.layers.len()
+    }
+}
+
+/// Schedule an arbitrary right-oriented set: layer, then CSA each layer.
+pub fn schedule_layered(topo: &CstTopology, set: &CommSet) -> Result<LayeredOutcome, CstError> {
+    set.require_right_oriented()?;
+    let layering = decompose(set);
+    let mut schedule = Schedule::default();
+    let mut per_layer = Vec::with_capacity(layering.layers.len());
+    for ids in &layering.layers {
+        let comms: Vec<Communication> = ids.iter().map(|&CommId(i)| set.comms()[i]).collect();
+        let sub = CommSet::new(set.num_leaves(), comms)?;
+        debug_assert!(sub.is_well_nested(), "layers are crossing-free by construction");
+        let out = scheduler::schedule(topo, &sub)?;
+        for round in &out.schedule.rounds {
+            schedule.rounds.push(Round {
+                comms: round.comms.iter().map(|&CommId(k)| ids[k]).collect(),
+                configs: round.configs.clone(),
+            });
+        }
+        per_layer.push(out);
+    }
+    Ok(LayeredOutcome { schedule, per_layer, layering })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_nested_set_is_one_layer() {
+        let topo = CstTopology::with_leaves(16);
+        let set = cst_comm::examples::paper_figure_2();
+        let out = schedule_layered(&topo, &set).unwrap();
+        assert_eq!(out.num_layers(), 1);
+        assert_eq!(out.rounds() as u32, cst_comm::width_on_topology(&topo, &set));
+        out.schedule.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn two_crossing_comms_two_layers() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
+        let out = schedule_layered(&topo, &set).unwrap();
+        assert_eq!(out.num_layers(), 2);
+        assert_eq!(out.rounds(), 2);
+        out.schedule.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn shuffle_pattern_layers_equal_size() {
+        // (i, i + n/2): every pair crosses every other -> n/2 layers.
+        let n = 16;
+        let topo = CstTopology::with_leaves(n);
+        let pairs: Vec<(usize, usize)> = (0..n / 2).map(|i| (i, i + n / 2)).collect();
+        let set = CommSet::from_pairs(n, &pairs);
+        let out = schedule_layered(&topo, &set).unwrap();
+        assert_eq!(out.num_layers(), n / 2);
+        // matches the width lower bound here: all cross the root upward
+        assert_eq!(out.rounds(), n / 2);
+        out.schedule.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn mixed_crossing_and_nesting() {
+        let topo = CstTopology::with_leaves(16);
+        // (0,7) ⊃ (1,6): nested; (5,10) crosses both... (5,10) vs (0,7):
+        // 0<5<7<10 cross; vs (1,6): 1<5<6<10 cross. (8,9)... 8 used? ok:
+        // (11,12) disjoint from everything.
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (5, 10), (11, 12)]);
+        let out = schedule_layered(&topo, &set).unwrap();
+        assert_eq!(out.num_layers(), 2);
+        out.schedule.verify(&topo, &set).unwrap();
+        // layer 0 holds the nested pair + the disjoint one
+        assert_eq!(out.layering.layers[0].len(), 3);
+        assert_eq!(out.layering.layers[1], vec![CommId(2)]);
+    }
+
+    #[test]
+    fn power_cost_scales_with_layers_not_width() {
+        // Crossing workload with k layers: per-switch cost stays O(k).
+        let n = 64;
+        let topo = CstTopology::with_leaves(n);
+        let k = 4;
+        // k mutually crossing "shifted nests": family j = (j, n/2 + j)
+        // shifted chains... keep simple: j-th comm (j, n/2 + 2j).
+        let pairs: Vec<(usize, usize)> = (0..k).map(|j| (j, n / 2 + 2 * j)).collect();
+        let set = CommSet::from_pairs(n, &pairs);
+        let out = schedule_layered(&topo, &set).unwrap();
+        assert_eq!(out.num_layers(), k);
+        let meter = out.schedule.meter_power(&topo);
+        let report = meter.report(&topo);
+        // each layer contributes O(1) per switch
+        assert!(report.max_units <= 3 * k as u32);
+    }
+
+    #[test]
+    fn rejects_left_oriented_input() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(5, 2)]);
+        assert!(schedule_layered(&topo, &set).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # cst-padr — Power-Aware Dynamic Reconfiguration on the CST
+//!
+//! The paper's contribution (El-Boghdadi, IPPS 2007): the **Configuration
+//! and Scheduling Algorithm (CSA)** that schedules a right-oriented
+//! well-nested communication set of width `w` on the circuit switched tree
+//! in exactly `w` rounds while every switch changes configuration only a
+//! constant number of times.
+//!
+//! * [`messages`] — the constant-size control messages (`C_U`, `C_D`);
+//! * [`phase1`] — the one-time bottom-up sweep that computes each switch's
+//!   `C_S` state (`M`, unmatched source/destination counts);
+//! * [`switch_logic`] — the pure per-switch, per-round transition function
+//!   (the paper's Fig. 5, completed — see module docs for the derivation);
+//! * [`scheduler`] — the round driver: sweeps, schedule assembly, power
+//!   metering, circuit tracing;
+//! * [`orientation`] — mixed-orientation sets via decomposition+mirroring;
+//! * [`verifier`] — one-call checking of Theorems 4, 5, 8 on an outcome.
+//!
+//! ```
+//! use cst_core::CstTopology;
+//! use cst_comm::CommSet;
+//!
+//! let topo = CstTopology::with_leaves(8);
+//! let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]); // width 3
+//! let out = cst_padr::schedule(&topo, &set).unwrap();
+//! assert_eq!(out.rounds(), 3); // Theorem 5
+//! let report = cst_padr::verify_outcome(&topo, &set, &out).unwrap();
+//! assert!(report.max_port_transitions <= cst_padr::CSA_PORT_TRANSITION_BOUND);
+//! ```
+
+pub mod layers;
+pub mod merge;
+pub mod messages;
+pub mod orientation;
+pub mod parallel;
+pub mod phase1;
+pub mod scheduler;
+pub mod session;
+pub mod switch_logic;
+pub mod universal;
+pub mod verifier;
+
+pub use layers::{decompose, schedule_layered, LayeredOutcome, Layering};
+pub use messages::{DownMsg, ReqKind, UpMsg, WORDS_DOWN, WORDS_UP};
+pub use parallel::schedule_parallel;
+pub use orientation::{mirror_round_configs, schedule_general, verify_general, GeneralOutcome};
+pub use universal::{schedule_any, UniversalOutcome};
+pub use phase1::{Phase1, SwitchState};
+pub use merge::{merge_schedules, schedule_general_merged};
+pub use scheduler::{schedule, schedule_with, trace_circuit, ControlMetrics, CsaOutcome, Options};
+pub use session::{BatchReport, PadrSession};
+pub use switch_logic::{step, StepError, StepResult};
+pub use verifier::{verify_outcome, VerifyReport, CSA_PORT_TRANSITION_BOUND};

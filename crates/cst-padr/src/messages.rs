@@ -1,0 +1,154 @@
+//! Control messages of the CSA (paper §2.2 and §3).
+//!
+//! * Phase 1 (up the tree): each node sends its parent `C_U = [S, D]` —
+//!   how many sources / destinations below it still need the link to the
+//!   parent.
+//! * Phase 2 (down the tree, once per round): each switch sends each child
+//!   `C_D = [kind, x_s, x_d]` where `kind` is one of `[null,null]`,
+//!   `[s,null]`, `[d,null]`, `[s,d]` and the rank arguments say *which*
+//!   source (counting remaining pass-up sources from the left) and *which*
+//!   destination (counting remaining pass-down destinations from the
+//!   right) the child must connect.
+//!
+//! Every message is a constant number of machine words — Theorem 5's
+//! efficiency claim. [`WORDS_UP`] / [`WORDS_DOWN`] make the constants
+//! explicit so the control-overhead experiment (E4) can count them.
+
+use serde::{Deserialize, Serialize};
+
+/// Phase-1 upward message `C_U = [S, D]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpMsg {
+    /// Number of communications needing the child-to-parent link upward
+    /// (sources below that match at or above the parent).
+    pub sources: u32,
+    /// Number of communications needing the parent-to-child link downward
+    /// (destinations below that match at or above the parent).
+    pub dests: u32,
+}
+
+impl UpMsg {
+    /// Machine words in this message.
+    pub const WORDS: u32 = 2;
+}
+
+/// Size in words of a Phase-1 message.
+pub const WORDS_UP: u32 = UpMsg::WORDS;
+
+/// The `C_{D-*1}` discriminant of a Phase-2 downward message.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// `[null, null]`: neither link between parent and child is used this
+    /// round; the child is free to schedule its own matched communication.
+    #[default]
+    Null,
+    /// `[s, null]`: the upward link child→parent carries a source.
+    S,
+    /// `[d, null]`: the downward link parent→child carries a destination.
+    D,
+    /// `[s, d]`: both links are used this round.
+    SD,
+}
+
+impl ReqKind {
+    /// True if the request includes a source (upward-link) component.
+    pub fn wants_source(self) -> bool {
+        matches!(self, ReqKind::S | ReqKind::SD)
+    }
+
+    /// True if the request includes a destination (downward-link) component.
+    pub fn wants_dest(self) -> bool {
+        matches!(self, ReqKind::D | ReqKind::SD)
+    }
+}
+
+/// Phase-2 downward message `C_D = [kind, x_s, x_d]`.
+///
+/// Rank semantics (Definition 2 of the paper): `x_s` asks for the
+/// remaining pass-up source with exactly `x_s` remaining pass-up sources to
+/// its left inside the child's subtree; `x_d` asks for the remaining
+/// pass-down destination with exactly `x_d` remaining pass-down
+/// destinations to its right.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DownMsg {
+    pub kind: ReqKind,
+    /// Source rank; meaningful iff `kind.wants_source()`.
+    pub x_s: u32,
+    /// Destination rank; meaningful iff `kind.wants_dest()`.
+    pub x_d: u32,
+}
+
+impl DownMsg {
+    /// Machine words in this message (`kind` + two ranks).
+    pub const WORDS: u32 = 3;
+
+    /// The idle message `[null, null]`.
+    pub const NULL: DownMsg = DownMsg { kind: ReqKind::Null, x_s: 0, x_d: 0 };
+
+    /// `[s, null]` with a source rank.
+    pub fn source(x_s: u32) -> DownMsg {
+        DownMsg { kind: ReqKind::S, x_s, x_d: 0 }
+    }
+
+    /// `[d, null]` with a destination rank.
+    pub fn dest(x_d: u32) -> DownMsg {
+        DownMsg { kind: ReqKind::D, x_s: 0, x_d }
+    }
+
+    /// `[s, d]` with both ranks.
+    pub fn both(x_s: u32, x_d: u32) -> DownMsg {
+        DownMsg { kind: ReqKind::SD, x_s, x_d }
+    }
+}
+
+/// Size in words of a Phase-2 message.
+pub const WORDS_DOWN: u32 = DownMsg::WORDS;
+
+impl core::fmt::Display for DownMsg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.kind {
+            ReqKind::Null => write!(f, "[null,null]"),
+            ReqKind::S => write!(f, "[s,null;x_s={}]", self.x_s),
+            ReqKind::D => write!(f, "[d,null;x_d={}]", self.x_d),
+            ReqKind::SD => write!(f, "[s,d;x_s={},x_d={}]", self.x_s, self.x_d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_components() {
+        assert!(!ReqKind::Null.wants_source());
+        assert!(!ReqKind::Null.wants_dest());
+        assert!(ReqKind::S.wants_source());
+        assert!(!ReqKind::S.wants_dest());
+        assert!(!ReqKind::D.wants_source());
+        assert!(ReqKind::D.wants_dest());
+        assert!(ReqKind::SD.wants_source());
+        assert!(ReqKind::SD.wants_dest());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(DownMsg::source(4), DownMsg { kind: ReqKind::S, x_s: 4, x_d: 0 });
+        assert_eq!(DownMsg::dest(2), DownMsg { kind: ReqKind::D, x_s: 0, x_d: 2 });
+        assert_eq!(DownMsg::both(1, 2), DownMsg { kind: ReqKind::SD, x_s: 1, x_d: 2 });
+        assert_eq!(DownMsg::NULL.kind, ReqKind::Null);
+    }
+
+    #[test]
+    fn messages_are_constant_words() {
+        assert_eq!(WORDS_UP, 2);
+        assert_eq!(WORDS_DOWN, 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DownMsg::NULL.to_string(), "[null,null]");
+        assert_eq!(DownMsg::source(3).to_string(), "[s,null;x_s=3]");
+        assert_eq!(DownMsg::both(1, 0).to_string(), "[s,d;x_s=1,x_d=0]");
+    }
+}

@@ -1,0 +1,525 @@
+//! Parallel host execution of the CSA.
+//!
+//! The algorithm is distributed by construction — every switch acts on
+//! local state — so the *host* driver parallelizes naturally: cut the
+//! tree at depth `d`, sweep the `2^d - 1` top switches sequentially (they
+//! are few), and hand each depth-`d` subtree to a worker thread. Workers
+//! own their subtree's switch states outright (no sharing, no locks in
+//! the sweep), communicate with the coordinator only through the per-round
+//! fork/join, and return their connections and activated sources.
+//!
+//! The output is bit-identical to the serial driver
+//! ([`crate::scheduler::schedule`]) — asserted in tests — because both
+//! execute the same pure [`crate::switch_logic::step`] in the same
+//! logical order; only the host-side evaluation order of *independent*
+//! subtrees differs.
+//!
+//! # Measured reality (kept honest)
+//!
+//! With persistent workers and worker-local circuit tracing, the parallel
+//! driver reaches *parity* with the serial one on large inputs, not a
+//! speedup (see the `e5` bench's `csa_parallel8` series). Profiling shows
+//! why: the sweeps and traces (the parallelizable part) are a minority of
+//! the wall time; assembling the per-round `BTreeMap` of switch
+//! configurations and the bookkeeping around it dominate, and those
+//! structures are shared. The module's standing value is as a second,
+//! concurrency-structured implementation whose bit-identical output
+//! cross-checks the serial driver — the speedup would require replacing
+//! the shared round representation, which the public `Schedule` type
+//! deliberately keeps simple.
+
+use crate::messages::{DownMsg, ReqKind};
+use crate::phase1::{self, SwitchState};
+use crate::scheduler::CsaOutcome;
+use crate::switch_logic::step;
+use cst_comm::{CommId, CommSet, Round, Schedule};
+use cst_core::{CstError, CstTopology, LeafId, NodeId, PowerMeter, SwitchConfig};
+use std::collections::HashMap;
+
+/// One worker's subtree: the global root node plus locally-owned state
+/// for every node of the subtree, relabeled as a standalone heap
+/// (local id 1 = the subtree root, children `2i`/`2i+1`).
+struct Subtree {
+    /// Global id of the subtree root.
+    root: NodeId,
+    /// Global tree height minus subtree-root depth = subtree height.
+    height: u32,
+    /// Local heap of switch states (index 0 unused). Leaves hold defaults.
+    states: Vec<SwitchState>,
+    /// Local heap: remaining matched communications per local subtree.
+    matched_remaining: Vec<u32>,
+    /// Global leaf position of the subtree's leftmost leaf.
+    leaf_base: usize,
+}
+
+impl Subtree {
+    /// Number of leaves under this subtree.
+    fn num_leaves(&self) -> usize {
+        1 << self.height
+    }
+
+    /// Global node id of local id `l`.
+    fn global(&self, l: usize) -> NodeId {
+        let k = usize::BITS - 1 - l.leading_zeros();
+        NodeId((self.root.index() << k) + (l - (1usize << k)))
+    }
+
+    /// True if local id `l` is an internal switch of the *global* tree.
+    fn is_internal(&self, l: usize) -> bool {
+        l < self.num_leaves()
+    }
+
+    /// Result of sweeping this subtree for one round.
+    fn sweep(&mut self, req: DownMsg) -> Result<WorkerRound, CstError> {
+        let mut out = WorkerRound::default();
+        let mut sources: Vec<(LeafId, usize)> = Vec::new();
+        let table = 2 * self.num_leaves();
+        let mut msgs = vec![DownMsg::NULL; table];
+        msgs[1] = req;
+        let mut stack = vec![1usize];
+        while let Some(l) = stack.pop() {
+            let req = std::mem::replace(&mut msgs[l], DownMsg::NULL);
+            if !self.is_internal(l) {
+                // a leaf of the global tree
+                let leaf = LeafId(self.leaf_base + (l - self.num_leaves()));
+                match req.kind {
+                    ReqKind::Null => {}
+                    ReqKind::S => sources.push((leaf, l)),
+                    ReqKind::D => {}
+                    ReqKind::SD => {
+                        return Err(CstError::ProtocolViolation {
+                            node: self.global(l),
+                            detail: "leaf received [s,d]".into(),
+                        })
+                    }
+                }
+                continue;
+            }
+            if req.kind == ReqKind::Null && self.matched_remaining[l] == 0 {
+                continue;
+            }
+            let result = step(&mut self.states[l], req).map_err(|e| {
+                CstError::ProtocolViolation { node: self.global(l), detail: e.to_string() }
+            })?;
+            if result.scheduled_matched {
+                let mut a = l;
+                loop {
+                    self.matched_remaining[a] -= 1;
+                    if a == 1 {
+                        break;
+                    }
+                    a >>= 1;
+                }
+            }
+            if !result.connections.is_empty() {
+                out.connections.push((self.global(l), result.connections.clone()));
+            }
+            msgs[2 * l] = result.to_left;
+            msgs[2 * l + 1] = result.to_right;
+            stack.push(2 * l);
+            stack.push(2 * l + 1);
+        }
+
+        // Local tracing: follow this round's connections inside the
+        // subtree; a signal that exits upward through the subtree root is
+        // deferred to the coordinator (it crosses the cut).
+        if !sources.is_empty() {
+            let mut local: Vec<SwitchConfig> = vec![SwitchConfig::empty(); self.num_leaves()];
+            for (node, conns) in &out.connections {
+                // invert global -> local: node is in this subtree
+                let k = node.depth() - self.root.depth();
+                let l = (1usize << k) + (node.index() - (self.root.index() << k));
+                for &c in conns {
+                    local[l].set(c).map_err(|e| CstError::ProtocolViolation {
+                        node: *node,
+                        detail: e.to_string(),
+                    })?;
+                }
+            }
+            'next_source: for (leaf, mut l) in sources {
+                // climb from local leaf id
+                loop {
+                    let parent = l >> 1;
+                    if parent == 0 {
+                        out.deferred.push(leaf);
+                        continue 'next_source;
+                    }
+                    let enter = if l & 1 == 0 { cst_core::Side::Left } else { cst_core::Side::Right };
+                    let Some(outp) = local[parent].output_of(enter) else {
+                        return Err(CstError::ProtocolViolation {
+                            node: self.global(parent),
+                            detail: "signal reached an unconfigured switch".into(),
+                        });
+                    };
+                    match outp {
+                        cst_core::Side::Parent => {
+                            l = parent;
+                        }
+                        side => {
+                            let mut cur = if side == cst_core::Side::Left {
+                                2 * parent
+                            } else {
+                                2 * parent + 1
+                            };
+                            while self.is_internal(cur) {
+                                let Some(to) = local[cur].output_of(cst_core::Side::Parent)
+                                else {
+                                    return Err(CstError::ProtocolViolation {
+                                        node: self.global(cur),
+                                        detail: "descent unconfigured".into(),
+                                    });
+                                };
+                                cur = match to {
+                                    cst_core::Side::Left => 2 * cur,
+                                    cst_core::Side::Right => 2 * cur + 1,
+                                    cst_core::Side::Parent => {
+                                        return Err(CstError::ProtocolViolation {
+                                            node: self.global(cur),
+                                            detail: "p_i -> p_o is illegal".into(),
+                                        })
+                                    }
+                                };
+                            }
+                            let dest = LeafId(self.leaf_base + (cur - self.num_leaves()));
+                            out.traced.push((leaf, dest));
+                            continue 'next_source;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// What one worker produced in one round.
+#[derive(Default)]
+struct WorkerRound {
+    connections: Vec<(NodeId, Vec<cst_core::Connection>)>,
+    /// Sources whose circuit the worker traced locally (entirely inside
+    /// its subtree), with the destination it reached.
+    traced: Vec<(LeafId, LeafId)>,
+    /// Sources whose circuit leaves the subtree: the coordinator traces
+    /// them over the merged round configuration.
+    deferred: Vec<LeafId>,
+}
+
+/// Schedule with `threads` worker threads (clamped to the subtree count).
+/// Produces output identical to [`crate::scheduler::schedule`] (schedule,
+/// power, meter); the `metrics` field carries only the storage constant —
+/// use the serial driver when the control-word counters matter.
+pub fn schedule_parallel(
+    topo: &CstTopology,
+    set: &CommSet,
+    threads: usize,
+) -> Result<CsaOutcome, CstError> {
+    set.require_right_oriented()?;
+    set.require_well_nested()?;
+    let p1 = phase1::run(topo, set)?;
+
+    // Cut depth: enough subtrees to feed the workers, but never deeper
+    // than one level above the leaves.
+    let max_cut = topo.height().saturating_sub(1);
+    let want = threads.max(1).next_power_of_two().trailing_zeros();
+    let cut = want.min(max_cut);
+    let num_sub = 1usize << cut;
+
+    // Build subtrees, each owning its local state copy.
+    let sub_height = topo.height() - cut;
+    let mut subtrees: Vec<Subtree> = (0..num_sub)
+        .map(|i| {
+            let root = NodeId(num_sub + i);
+            let leaves = 1usize << sub_height;
+            let mut st = Subtree {
+                root,
+                height: sub_height,
+                states: vec![SwitchState::default(); 2 * leaves],
+                matched_remaining: vec![0; 2 * leaves],
+                leaf_base: i * leaves,
+            };
+            // copy global phase-1 states into local heap and compute
+            // matched_remaining bottom-up
+            for l in (1..leaves).rev() {
+                st.states[l] = *p1.state(st.global(l));
+            }
+            for l in (1..leaves).rev() {
+                let below = |c: usize| if c < leaves { st.matched_remaining[c] } else { 0 };
+                st.matched_remaining[l] =
+                    st.states[l].matched + below(2 * l) + below(2 * l + 1);
+            }
+            st
+        })
+        .collect();
+
+    // Top switch states (depth < cut): global heap ids 1..num_sub.
+    let mut top_states: Vec<SwitchState> = (0..num_sub)
+        .map(|i| if i >= 1 { *p1.state(NodeId(i)) } else { SwitchState::default() })
+        .collect();
+
+    let by_source: HashMap<LeafId, (CommId, LeafId)> =
+        set.iter().map(|(id, c)| (c.source, (id, c.dest))).collect();
+
+    let mut meter = PowerMeter::new(topo);
+    let mut schedule = Schedule::default();
+    let mut scheduled_total = 0usize;
+    let round_limit = set.len() + 1;
+    let worker_count = threads.clamp(1, num_sub);
+
+    // Persistent workers: spawned once, fed one message per round through
+    // channels (per-round thread spawning costs more than the sweeps for
+    // realistic sizes). Each worker owns a chunk of subtrees for the whole
+    // schedule; the coordinator runs the top sweep, distributes the
+    // subtree-root requests, and merges the results.
+    let chunk_size = num_sub.div_ceil(worker_count);
+    let mut result: Result<(), CstError> = Ok(());
+    crossbeam::thread::scope(|scope| {
+        let mut req_txs = Vec::new();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<
+            (usize, Result<Vec<WorkerRound>, CstError>),
+        >();
+        for (wid, chunk) in subtrees.chunks_mut(chunk_size).enumerate() {
+            let (tx, rx) = crossbeam::channel::unbounded::<Vec<DownMsg>>();
+            req_txs.push(tx);
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| {
+                // One request vector per round, aligned with this chunk.
+                for reqs in rx.iter() {
+                    let mut outs = Vec::with_capacity(chunk.len());
+                    let mut err = None;
+                    for (st, req) in chunk.iter_mut().zip(&reqs) {
+                        match st.sweep(*req) {
+                            Ok(o) => outs.push(o),
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let payload = match err {
+                        Some(e) => Err(e),
+                        None => Ok(outs),
+                    };
+                    if res_tx.send((wid, payload)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+
+        // closure (invoked once) so `?` can short-circuit without
+        // leaking out of the crossbeam scope before workers are joined
+        #[allow(clippy::redundant_closure_call)]
+        let mut run = || -> Result<(), CstError> {
+            while scheduled_total < set.len() {
+                if schedule.rounds.len() >= round_limit {
+                    return Err(CstError::RoundOverrun { limit: round_limit });
+                }
+                meter.begin_round();
+                let mut round = Round::default();
+                let mut active_sources: Vec<LeafId> = Vec::new();
+
+                // Sequential top sweep (depth < cut): produce one request
+                // per subtree root.
+                let mut sub_reqs = vec![DownMsg::NULL; 2 * num_sub];
+                if num_sub > 1 {
+                    let mut msgs = vec![DownMsg::NULL; 2 * num_sub];
+                    for i in 1..num_sub {
+                        let req = std::mem::replace(&mut msgs[i], DownMsg::NULL);
+                        let result = step(&mut top_states[i], req).map_err(|e| {
+                            CstError::ProtocolViolation { node: NodeId(i), detail: e.to_string() }
+                        })?;
+                        if !result.connections.is_empty() {
+                            let cfg =
+                                round.configs.entry(NodeId(i)).or_insert_with(SwitchConfig::empty);
+                            for &c in &result.connections {
+                                cfg.set(c).map_err(|e| CstError::ProtocolViolation {
+                                    node: NodeId(i),
+                                    detail: e.to_string(),
+                                })?;
+                                meter.require(NodeId(i), c);
+                            }
+                        }
+                        if 2 * i < num_sub {
+                            msgs[2 * i] = result.to_left;
+                            msgs[2 * i + 1] = result.to_right;
+                        } else {
+                            sub_reqs[2 * i] = result.to_left;
+                            sub_reqs[2 * i + 1] = result.to_right;
+                        }
+                    }
+                }
+                // num_sub == 1: the single subtree root is the global root
+                // and receives [null, null] (already the default).
+
+                // Fan the requests out to the persistent workers.
+                for (wid, tx) in req_txs.iter().enumerate() {
+                    let lo = wid * chunk_size;
+                    let hi = ((wid + 1) * chunk_size).min(num_sub);
+                    let reqs: Vec<DownMsg> =
+                        (lo..hi).map(|i| sub_reqs[num_sub + i]).collect();
+                    tx.send(reqs).expect("worker alive");
+                }
+                // Collect one result per worker.
+                let mut per_worker: Vec<Option<Vec<WorkerRound>>> =
+                    (0..req_txs.len()).map(|_| None).collect();
+                for _ in 0..req_txs.len() {
+                    let (wid, payload) = res_rx.recv().expect("worker alive");
+                    per_worker[wid] = Some(payload?);
+                }
+                let mut traced: Vec<(LeafId, LeafId)> = Vec::new();
+                for wrs in per_worker.into_iter().flatten() {
+                    for wr in wrs {
+                        for (node, conns) in wr.connections {
+                            let cfg =
+                                round.configs.entry(node).or_insert_with(SwitchConfig::empty);
+                            for c in conns {
+                                cfg.set(c).map_err(|e| CstError::ProtocolViolation {
+                                    node,
+                                    detail: e.to_string(),
+                                })?;
+                                meter.require(node, c);
+                            }
+                        }
+                        traced.extend(wr.traced);
+                        active_sources.extend(wr.deferred);
+                    }
+                }
+
+                // Locally-traced circuits: just check the pairing.
+                for (src, dest) in traced {
+                    let &(id, expected) =
+                        by_source.get(&src).ok_or(CstError::ProtocolViolation {
+                            node: topo.leaf_node(src),
+                            detail: "non-source PE activated".into(),
+                        })?;
+                    if dest != expected {
+                        return Err(CstError::DeliveryMismatch { dest });
+                    }
+                    round.comms.push(id);
+                }
+                // Cut-crossing circuits: trace over the merged configs.
+                active_sources.sort_unstable();
+                for src in active_sources {
+                    let dest = crate::scheduler::trace_circuit(topo, &round.configs, src)?;
+                    let &(id, expected) =
+                        by_source.get(&src).ok_or(CstError::ProtocolViolation {
+                            node: topo.leaf_node(src),
+                            detail: "non-source PE activated".into(),
+                        })?;
+                    if dest != expected {
+                        return Err(CstError::DeliveryMismatch { dest });
+                    }
+                    round.comms.push(id);
+                }
+                if round.comms.is_empty() {
+                    return Err(CstError::ProtocolViolation {
+                        node: NodeId::ROOT,
+                        detail: "parallel round made no progress".into(),
+                    });
+                }
+                scheduled_total += round.comms.len();
+                round.comms.sort_unstable();
+                schedule.rounds.push(round);
+            }
+            Ok(())
+        };
+        #[allow(clippy::redundant_closure_call)]
+        {
+            result = run();
+        }
+        // Dropping the request senders terminates the workers.
+        drop(req_txs);
+    })
+    .expect("worker panicked");
+    result?;
+
+    let power = meter.report(topo);
+    Ok(CsaOutcome {
+        schedule,
+        power,
+        meter,
+        metrics: crate::scheduler::ControlMetrics {
+            words_stored_per_switch: SwitchState::WORDS,
+            ..Default::default()
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_comm::examples;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_equal_outcomes(topo: &CstTopology, set: &CommSet, threads: usize) {
+        let serial = crate::scheduler::schedule(topo, set).unwrap();
+        let parallel = schedule_parallel(topo, set, threads).unwrap();
+        assert_eq!(parallel.schedule.num_rounds(), serial.schedule.num_rounds());
+        for (a, b) in parallel.schedule.rounds.iter().zip(&serial.schedule.rounds) {
+            assert_eq!(a.comms, b.comms);
+            assert_eq!(a.configs, b.configs);
+        }
+        assert_eq!(parallel.power, serial.power);
+    }
+
+    #[test]
+    fn matches_serial_on_canonical_sets() {
+        let topo = CstTopology::with_leaves(16);
+        for set in [examples::paper_figure_2(), examples::paper_figure_3b()] {
+            for threads in [1, 2, 4, 8] {
+                assert_equal_outcomes(&topo, &set, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_random_sets() {
+        let topo = CstTopology::with_leaves(256);
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let set = cst_workloads_shim(&mut rng, 256, 60);
+            assert_equal_outcomes(&topo, &set, 8);
+        }
+    }
+
+    // cst-padr cannot depend on cst-workloads (dependency cycle), so a
+    // minimal local generator: single pass with the stack discipline
+    // enforced inline (depth never exceeds the positions left).
+    fn cst_workloads_shim(rng: &mut StdRng, n: usize, m: usize) -> CommSet {
+        use rand::Rng;
+        let mut pairs = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut opened = 0usize;
+        for pos in 0..n {
+            let left_after = n - pos - 1;
+            if stack.len() > left_after {
+                let s = stack.pop().unwrap();
+                pairs.push((s, pos));
+            } else if opened < m && stack.len() < left_after && rng.gen_bool(0.45) {
+                stack.push(pos);
+                opened += 1;
+            } else if !stack.is_empty() && rng.gen_bool(0.45) {
+                let s = stack.pop().unwrap();
+                pairs.push((s, pos));
+            }
+        }
+        assert!(stack.is_empty(), "construction closes everything");
+        CommSet::from_pairs(n, &pairs)
+    }
+
+    #[test]
+    fn single_subtree_degenerate() {
+        let topo = CstTopology::with_leaves(4);
+        let set = CommSet::from_pairs(4, &[(0, 3), (1, 2)]);
+        assert_equal_outcomes(&topo, &set, 4);
+    }
+
+    #[test]
+    fn rejects_invalid_input_like_serial() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
+        assert!(schedule_parallel(&topo, &set, 4).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Phase 1 of the CSA: distributing control information (paper Steps
+//! 1.1–1.3).
+//!
+//! One bottom-up sweep. Each PE announces `[1,0]` / `[0,1]` / `[0,0]`.
+//! Each switch `u` receives `C_{U-L} = [S_L, D_L]` and `C_{U-R} = [S_R,
+//! D_R]` and, by Lemma 1, matches `M = min(S_L, D_R)` source-destination
+//! pairs locally — any source from the left meeting any destination from
+//! the right is a genuine pair for right-oriented well-nested sets. It
+//! stores `C_S = [M, S_L − M, D_L, S_R, D_R − M]` and forwards
+//! `C_U = [S_L − M + S_R, D_L + D_R − M]`.
+
+use crate::messages::UpMsg;
+use cst_core::{CstError, CstTopology, NodeId, PeRole};
+use cst_comm::CommSet;
+use serde::{Deserialize, Serialize};
+
+/// The per-switch state `C_S` established by Phase 1 and consumed (and
+/// decremented) by Phase 2.
+///
+/// Field names follow the five communication types of the paper's Fig.
+/// 4(a); all counts refer to *remaining unscheduled* communications, so
+/// they shrink as rounds complete.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchState {
+    /// Type 1: matched pairs at this switch (`M`); need `l_i -> r_o`.
+    pub matched: u32,
+    /// Type 4: unmatched left-subtree sources (`S_L − M`); pass up.
+    /// Positionally these lie *left* of the matched sources.
+    pub left_sources: u32,
+    /// Type 2: right-subtree sources (`S_R`); pass up.
+    pub right_sources: u32,
+    /// Type 3: left-subtree destinations (`D_L`); pass down-left.
+    pub left_dests: u32,
+    /// Type 5: unmatched right-subtree destinations (`D_R − M`); pass
+    /// down-right. Positionally these lie *right* of the matched dests.
+    pub right_dests: u32,
+}
+
+impl SwitchState {
+    /// Remaining pass-up sources visible to the parent.
+    pub fn up_sources(&self) -> u32 {
+        self.left_sources + self.right_sources
+    }
+
+    /// Remaining pass-down destinations visible to the parent.
+    pub fn down_dests(&self) -> u32 {
+        self.left_dests + self.right_dests
+    }
+
+    /// Total outstanding routing obligations at this switch.
+    pub fn pending(&self) -> u32 {
+        self.matched + self.left_sources + self.right_sources + self.left_dests + self.right_dests
+    }
+
+    /// Words of storage this state occupies (Theorem 5 efficiency: O(1)).
+    pub const WORDS: u32 = 5;
+}
+
+/// Result of the Phase-1 sweep.
+#[derive(Clone, Debug)]
+pub struct Phase1 {
+    /// Dense per-node table of switch states (leaves hold zeroed entries).
+    pub states: Vec<SwitchState>,
+    /// The message each node sent its parent (indexed by node id); used by
+    /// the verifier and the control-overhead experiment.
+    pub up_msgs: Vec<UpMsg>,
+    /// PE roles, indexed by leaf position.
+    pub roles: Vec<PeRole>,
+}
+
+impl Phase1 {
+    /// State of one switch.
+    pub fn state(&self, node: NodeId) -> &SwitchState {
+        &self.states[node.index()]
+    }
+}
+
+/// Run Phase 1 for `set` on `topo`.
+///
+/// Fails with [`CstError::IncompleteSet`] if the root still sees unmatched
+/// endpoints — for a complete right-oriented well-nested set everything
+/// matches inside the tree. Orientation and well-nestedness themselves are
+/// *not* checked here (the scheduler's entry point validates them); Phase 1
+/// is exactly the paper's local computation.
+pub fn run(topo: &CstTopology, set: &CommSet) -> Result<Phase1, CstError> {
+    assert_eq!(topo.num_leaves(), set.num_leaves(), "set/topology size mismatch");
+    let n = topo.node_table_len();
+    let mut states = vec![SwitchState::default(); n];
+    let mut up_msgs = vec![UpMsg::default(); n];
+    let roles = set.roles();
+
+    // Step 1.1: leaves announce.
+    for leaf in topo.leaves() {
+        let (s, d) = roles[leaf.0].announcement();
+        up_msgs[topo.leaf_node(leaf).index()] = UpMsg { sources: s, dests: d };
+    }
+
+    // Steps 1.2-1.3: internal switches, bottom-up.
+    for u in topo.switches_bottom_up() {
+        let l = up_msgs[u.left_child().index()];
+        let r = up_msgs[u.right_child().index()];
+        let matched = l.sources.min(r.dests);
+        states[u.index()] = SwitchState {
+            matched,
+            left_sources: l.sources - matched,
+            right_sources: r.sources,
+            left_dests: l.dests,
+            right_dests: r.dests - matched,
+        };
+        up_msgs[u.index()] = UpMsg {
+            sources: l.sources - matched + r.sources,
+            dests: l.dests + r.dests - matched,
+        };
+    }
+
+    let root = up_msgs[NodeId::ROOT.index()];
+    if root.sources != 0 || root.dests != 0 {
+        return Err(CstError::IncompleteSet {
+            unmatched_sources: root.sources,
+            unmatched_dests: root.dests,
+        });
+    }
+    Ok(Phase1 { states, up_msgs, roles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_core::LeafId;
+
+    fn topo(n: usize) -> CstTopology {
+        CstTopology::with_leaves(n)
+    }
+
+    #[test]
+    fn sibling_pair_matches_at_parent() {
+        let t = topo(4);
+        let set = CommSet::from_pairs(4, &[(0, 1)]);
+        let p1 = run(&t, &set).unwrap();
+        let parent = t.lca(LeafId(0), LeafId(1));
+        assert_eq!(
+            *p1.state(parent),
+            SwitchState { matched: 1, ..Default::default() }
+        );
+        assert_eq!(p1.state(NodeId::ROOT).pending(), 0);
+    }
+
+    #[test]
+    fn full_span_matches_at_root() {
+        let t = topo(8);
+        let set = CommSet::from_pairs(8, &[(0, 7)]);
+        let p1 = run(&t, &set).unwrap();
+        assert_eq!(p1.state(NodeId::ROOT).matched, 1);
+        // every switch on the source's flank passes one source up
+        assert_eq!(p1.state(NodeId(4)).up_sources(), 1);
+        assert_eq!(p1.state(NodeId(2)).up_sources(), 1);
+        // every switch on the destination's flank passes one dest down
+        assert_eq!(p1.state(NodeId(3)).down_dests(), 1);
+        assert_eq!(p1.state(NodeId(7)).down_dests(), 1);
+    }
+
+    #[test]
+    fn paper_step_13_formulas() {
+        // A well-nested set exercising several of the five types:
+        //   (0, 8): source in T(n2), matched at the root
+        //   (1, 6): matched at n2
+        //   (9, 11): matched at n6 (right half)
+        let t = topo(16);
+        let set = CommSet::from_pairs(16, &[(0, 8), (1, 6), (9, 11)]);
+        assert!(set.is_well_nested());
+        let p1 = run(&t, &set).unwrap();
+        // n2 covers leaves 0..8; its children n4 (0..4) and n5 (4..8).
+        let s = p1.state(NodeId(2));
+        // (1,6): source at leaf 1 (left child of n2), dest at leaf 6
+        // (right child of n2): matched at n2.
+        assert_eq!(s.matched, 1);
+        // (0,8): source leaf 0 in left subtree, dest outside: unmatched
+        // left source.
+        assert_eq!(s.left_sources, 1);
+        assert_eq!(s.right_sources, 0);
+        assert_eq!(s.left_dests, 0);
+        assert_eq!(s.right_dests, 0);
+        // upward message from n2: one source still to match.
+        assert_eq!(p1.up_msgs[2], UpMsg { sources: 1, dests: 0 });
+        // root matches (0,8): M = 1.
+        assert_eq!(p1.state(NodeId::ROOT).matched, 1);
+        // (9,11): lca of leaves 9 and 11 is n6 (children n12: 8..10 and
+        // n13: 10..12).
+        assert_eq!(p1.state(NodeId(6)).matched, 1);
+        // n3 passes the root-matched destination (leaf 8) down-left, and
+        // n6 sees it as a left destination too.
+        assert_eq!(p1.state(NodeId(3)).left_dests, 1);
+        assert_eq!(p1.state(NodeId(6)).left_dests, 1);
+    }
+
+    #[test]
+    fn incomplete_set_rejected() {
+        // A left-oriented communication never matches under the
+        // right-oriented matching rule, so Phase 1 reports incompleteness.
+        let t = topo(8);
+        let set = CommSet::from_pairs(8, &[(5, 2)]);
+        let err = run(&t, &set).unwrap_err();
+        assert!(matches!(err, CstError::IncompleteSet { .. }));
+    }
+
+    #[test]
+    fn pending_counts_sum_to_obligations() {
+        let t = topo(16);
+        let set = cst_comm::examples::paper_figure_2();
+        let p1 = run(&t, &set).unwrap();
+        // total matched over all switches == number of communications
+        let total_matched: u32 = t.switches_top_down().map(|u| p1.state(u).matched).sum();
+        assert_eq!(total_matched as usize, set.len());
+    }
+
+    #[test]
+    fn empty_set_is_trivially_complete() {
+        let t = topo(8);
+        let p1 = run(&t, &CommSet::empty(8)).unwrap();
+        for u in t.switches_top_down() {
+            assert_eq!(p1.state(u).pending(), 0);
+        }
+    }
+
+    #[test]
+    fn up_messages_are_consistent_with_states() {
+        let t = topo(16);
+        let set = cst_comm::examples::full_nest(16);
+        let p1 = run(&t, &set).unwrap();
+        for u in t.switches_top_down() {
+            let st = p1.state(u);
+            assert_eq!(p1.up_msgs[u.index()].sources, st.up_sources());
+            assert_eq!(p1.up_msgs[u.index()].dests, st.down_dests());
+        }
+    }
+}

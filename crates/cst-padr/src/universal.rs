@@ -1,0 +1,135 @@
+//! The most general entry point: schedule **any** valid communication set
+//! (mixed orientations, crossings allowed) with the power-aware CSA.
+//!
+//! Composition of the two extensions the paper sketches (§2.1 orientation
+//! decomposition, §6 other patterns):
+//!
+//! 1. split into right- and left-oriented halves;
+//! 2. layer each half into crossing-free (well-nested) subsets;
+//! 3. CSA each layer (the left half through the mirror transform);
+//! 4. concatenate all rounds.
+//!
+//! Rounds = `Σ_layers w` per half; per-switch power = O(total layers).
+
+use crate::layers;
+use crate::orientation::{self};
+use cst_comm::{CommId, CommSet, Round, Schedule};
+use cst_core::{CstError, CstTopology};
+
+/// Outcome of universal scheduling.
+#[derive(Clone, Debug)]
+pub struct UniversalOutcome {
+    /// Combined schedule; ids refer to the input set.
+    pub schedule: Schedule,
+    /// Layers in the right-oriented half.
+    pub right_layers: usize,
+    /// Layers in the left-oriented half.
+    pub left_layers: usize,
+}
+
+impl UniversalOutcome {
+    /// Total rounds.
+    pub fn rounds(&self) -> usize {
+        self.schedule.num_rounds()
+    }
+}
+
+/// Schedule any valid set.
+///
+/// # Examples
+///
+/// ```
+/// use cst_core::CstTopology;
+/// use cst_comm::CommSet;
+///
+/// let topo = CstTopology::with_leaves(16);
+/// // mixed orientations AND a crossing pair — nothing the strict CSA
+/// // entry point would accept:
+/// let set = CommSet::from_pairs(16, &[(0, 4), (2, 6), (15, 9)]);
+/// let out = cst_padr::schedule_any(&topo, &set).unwrap();
+/// out.schedule.verify(&topo, &set).unwrap();
+/// assert_eq!(out.right_layers, 2); // the crossing pair needs two layers
+/// assert_eq!(out.left_layers, 1);
+/// ```
+pub fn schedule_any(topo: &CstTopology, set: &CommSet) -> Result<UniversalOutcome, CstError> {
+    let (right_half, left_half) = set.decompose();
+    let mut schedule = Schedule::default();
+
+    let mut right_layers = 0;
+    if !right_half.set.is_empty() {
+        let out = layers::schedule_layered(topo, &right_half.set)?;
+        right_layers = out.num_layers();
+        for round in &out.schedule.rounds {
+            schedule.rounds.push(Round {
+                comms: round.comms.iter().map(|&CommId(i)| right_half.original[i]).collect(),
+                configs: round.configs.clone(),
+            });
+        }
+    }
+
+    let mut left_layers = 0;
+    if !left_half.set.is_empty() {
+        // Mirror, layer+schedule, reflect configurations back.
+        let mirrored = left_half.set.mirrored();
+        let out = layers::schedule_layered(topo, &mirrored)?;
+        left_layers = out.num_layers();
+        for round in &out.schedule.rounds {
+            let configs = orientation::mirror_round_configs(topo, &round.configs);
+            schedule.rounds.push(Round {
+                comms: round.comms.iter().map(|&CommId(i)| left_half.original[i]).collect(),
+                configs,
+            });
+        }
+    }
+
+    Ok(UniversalOutcome { schedule, right_layers, left_layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_nested_right_set_passthrough() {
+        let topo = CstTopology::with_leaves(16);
+        let set = cst_comm::examples::paper_figure_2();
+        let out = schedule_any(&topo, &set).unwrap();
+        assert_eq!(out.right_layers, 1);
+        assert_eq!(out.left_layers, 0);
+        assert_eq!(out.rounds() as u32, cst_comm::width_on_topology(&topo, &set));
+        out.schedule.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn fully_mixed_crossing_set() {
+        let topo = CstTopology::with_leaves(16);
+        // right crossing pair, left crossing pair
+        let set = CommSet::from_pairs(16, &[(0, 4), (2, 6), (15, 11), (13, 9)]);
+        let out = schedule_any(&topo, &set).unwrap();
+        assert_eq!(out.right_layers, 2);
+        assert_eq!(out.left_layers, 2);
+        assert_eq!(out.rounds(), 4);
+        out.schedule.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn every_comm_scheduled_exactly_once() {
+        let topo = CstTopology::with_leaves(32);
+        let set = CommSet::from_pairs(
+            32,
+            &[(0, 9), (3, 12), (20, 14), (25, 17), (30, 31), (28, 27), (1, 2)],
+        );
+        let out = schedule_any(&topo, &set).unwrap();
+        let mut ids: Vec<usize> = out.schedule.scheduled_ids().map(|c| c.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..set.len()).collect::<Vec<_>>());
+        out.schedule.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn empty_set() {
+        let topo = CstTopology::with_leaves(8);
+        let out = schedule_any(&topo, &CommSet::empty(8)).unwrap();
+        assert_eq!(out.rounds(), 0);
+    }
+}

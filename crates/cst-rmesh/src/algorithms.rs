@@ -1,0 +1,123 @@
+//! Classic constant-time R-Mesh algorithms — the "extremely fast"
+//! computations of the paper's opening paragraph, implemented on the
+//! reference model with their reconfiguration cost metered.
+
+use crate::mesh::{Partition, Port, RMesh, Write};
+use cst_core::CstError;
+
+/// Broadcast a value from PE `(r, c)` to the whole mesh in **one step**
+/// by fusing every PE's four ports into a single global bus.
+pub fn broadcast<V: Clone>(
+    mesh: &mut RMesh,
+    r: usize,
+    c: usize,
+    value: V,
+) -> Result<Vec<V>, CstError> {
+    mesh.configure(|_, _| Partition::ALL_FUSED);
+    let view = mesh.step(&[Write { row: r, col: c, port: Port::East, value }])?;
+    let mut out = Vec::with_capacity(mesh.rows() * mesh.cols());
+    for rr in 0..mesh.rows() {
+        for cc in 0..mesh.cols() {
+            out.push(view.read(rr, cc, Port::East).expect("global bus reaches everyone"));
+        }
+    }
+    Ok(out)
+}
+
+/// Count the ones of `bits` in **one step** on a `(n+1) x n` R-Mesh via
+/// the classic staircase: column `j` shifts the signal down one row iff
+/// `bits[j]` is set, so a token injected at the north-west corner exits
+/// the east edge at row `popcount(bits)`.
+pub fn count_ones(mesh: &mut RMesh, bits: &[bool]) -> Result<usize, CstError> {
+    let n = bits.len();
+    assert!(mesh.cols() >= n && mesh.rows() > n, "need an (n+1) x n mesh");
+    mesh.configure(|_, c| {
+        if c < n && bits[c] {
+            Partition::WS_NE
+        } else {
+            Partition::EW
+        }
+    });
+    let view = mesh.step(&[Write { row: 0, col: 0, port: Port::West, value: 1u8 }])?;
+    for r in 0..mesh.rows() {
+        if view.read(r, n - 1, Port::East).is_some() {
+            return Ok(r);
+        }
+    }
+    Err(CstError::ProtocolViolation {
+        node: cst_core::NodeId::ROOT,
+        detail: "staircase token vanished".into(),
+    })
+}
+
+/// Parity of `bits` in one step (plus the count read-off).
+pub fn parity(mesh: &mut RMesh, bits: &[bool]) -> Result<bool, CstError> {
+    Ok(count_ones(mesh, bits)? % 2 == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let mut mesh = RMesh::new(4, 4);
+        let out = broadcast(&mut mesh, 2, 1, 99u32).unwrap();
+        assert_eq!(out, vec![99; 16]);
+        assert_eq!(mesh.meter().steps(), 1);
+        // every PE reconfigured: the O(N) power cost of the O(1) step
+        assert_eq!(mesh.meter().total_units(), 16);
+    }
+
+    #[test]
+    fn counting_matches_popcount() {
+        let n = 8;
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let mut mesh = RMesh::new(n + 1, n);
+            let got = count_ones(&mut mesh, &bits).unwrap();
+            let want = bits.iter().filter(|&&b| b).count();
+            assert_eq!(got, want, "bits {bits:?}");
+        }
+    }
+
+    #[test]
+    fn counting_extremes() {
+        let n = 6;
+        let mut mesh = RMesh::new(n + 1, n);
+        assert_eq!(count_ones(&mut mesh, &vec![false; n]).unwrap(), 0);
+        assert_eq!(count_ones(&mut mesh, &vec![true; n]).unwrap(), n);
+    }
+
+    #[test]
+    fn parity_works() {
+        let n = 8;
+        let mut mesh = RMesh::new(n + 1, n);
+        assert!(!parity(&mut mesh, &vec![false; n]).unwrap());
+        let mut bits = vec![false; n];
+        bits[3] = true;
+        assert!(parity(&mut mesh, &bits).unwrap());
+        bits[6] = true;
+        assert!(!parity(&mut mesh, &bits).unwrap());
+    }
+
+    #[test]
+    fn reconfiguration_cost_is_mesh_sized() {
+        // One count_ones = one configure of all (n+1)*n PEs; repeating
+        // with *different* bits re-pays changed columns.
+        let n = 8;
+        let mut mesh = RMesh::new(n + 1, n);
+        count_ones(&mut mesh, &vec![true; n]).unwrap();
+        let after_first = mesh.meter().total_units();
+        assert_eq!(after_first, ((n + 1) * n) as u64);
+        // flip all bits: every column's partition changes
+        count_ones(&mut mesh, &vec![false; n]).unwrap();
+        assert_eq!(mesh.meter().total_units(), 2 * after_first);
+        // same bits again: free (hold semantics — charitable to the R-Mesh)
+        count_ones(&mut mesh, &vec![false; n]).unwrap();
+        assert_eq!(mesh.meter().total_units(), 2 * after_first);
+    }
+}

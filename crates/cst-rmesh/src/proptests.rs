@@ -1,0 +1,117 @@
+//! Differential property tests: the union-find bus resolution checked
+//! against an independent breadth-first-search reference on randomly
+//! configured meshes.
+
+#![cfg(test)]
+
+use crate::mesh::{Partition, Port, RMesh, Write};
+use proptest::prelude::*;
+
+/// Reference bus resolution: BFS over the port graph, written with a
+/// completely different traversal structure than the union-find.
+fn bfs_component(
+    rows: usize,
+    cols: usize,
+    config: &dyn Fn(usize, usize) -> Partition,
+    start: (usize, usize, Port),
+) -> std::collections::HashSet<(usize, usize, Port)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some((r, c, p)) = queue.pop_front() {
+        // internal fusions
+        let part = config(r, c);
+        for q in Port::ALL {
+            if q != p && part.fused(p, q) && seen.insert((r, c, q)) {
+                queue.push_back((r, c, q));
+            }
+        }
+        // external wire
+        let neighbor = match p {
+            Port::East if c + 1 < cols => Some((r, c + 1, Port::West)),
+            Port::West if c > 0 => Some((r, c - 1, Port::East)),
+            Port::South if r + 1 < rows => Some((r + 1, c, Port::North)),
+            Port::North if r > 0 => Some((r - 1, c, Port::South)),
+            _ => None,
+        };
+        if let Some(n) = neighbor {
+            if seen.insert(n) {
+                queue.push_back(n);
+            }
+        }
+    }
+    seen
+}
+
+/// A random partition for each PE.
+fn partition_strategy() -> impl Strategy<Value = Partition> {
+    // choose a group id in 0..4 for every port: covers all 15 partitions
+    // (with redundant labelings, which is fine)
+    proptest::array::uniform4(0u8..4).prop_map(|g| {
+        Partition::from_groups(&[
+            &Port::ALL.iter().copied().filter(|p| g[p.index()] == 0).collect::<Vec<_>>(),
+            &Port::ALL.iter().copied().filter(|p| g[p.index()] == 1).collect::<Vec<_>>(),
+            &Port::ALL.iter().copied().filter(|p| g[p.index()] == 2).collect::<Vec<_>>(),
+            &Port::ALL.iter().copied().filter(|p| g[p.index()] == 3).collect::<Vec<_>>(),
+        ])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A value written anywhere is read at exactly the ports the BFS
+    /// reference says are on the same bus.
+    #[test]
+    fn union_find_matches_bfs(
+        grid in proptest::collection::vec(partition_strategy(), 16),
+        wr in 0usize..4,
+        wc in 0usize..4,
+        wp in 0usize..4,
+    ) {
+        let (rows, cols) = (4usize, 4usize);
+        let config = |r: usize, c: usize| grid[r * cols + c];
+        let mut mesh = RMesh::new(rows, cols);
+        mesh.configure(config);
+        let port = Port::ALL[wp];
+        let view = mesh
+            .step(&[Write { row: wr, col: wc, port, value: 1u8 }])
+            .unwrap();
+        let reachable = bfs_component(rows, cols, &config, (wr, wc, port));
+        for r in 0..rows {
+            for c in 0..cols {
+                for p in Port::ALL {
+                    let read = view.read(r, c, p).is_some();
+                    let expect = reachable.contains(&(r, c, p));
+                    prop_assert_eq!(read, expect, "mismatch at ({}, {}, {:?})", r, c, p);
+                }
+            }
+        }
+    }
+
+    /// Bus membership is symmetric: `same_bus(a, b) == same_bus(b, a)`,
+    /// and consistent with reads.
+    #[test]
+    fn same_bus_symmetry(
+        grid in proptest::collection::vec(partition_strategy(), 16),
+    ) {
+        let (rows, cols) = (4usize, 4usize);
+        let config = |r: usize, c: usize| grid[r * cols + c];
+        let mut mesh = RMesh::new(rows, cols);
+        mesh.configure(config);
+        let view = mesh
+            .step(&[Write { row: 0, col: 0, port: Port::East, value: 1u8 }])
+            .unwrap();
+        let a = (0, 0, Port::East);
+        for r in 0..rows {
+            for c in 0..cols {
+                for p in Port::ALL {
+                    let b = (r, c, p);
+                    prop_assert_eq!(view.same_bus(a, b), view.same_bus(b, a));
+                    prop_assert_eq!(view.same_bus(a, b), view.read(r, c, p).is_some());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Fault injection: corrupt the control state between Phase 1 and Phase 2
+//! and check that the protocol machinery *detects* the damage instead of
+//! silently misrouting.
+//!
+//! The CSA has no redundancy by design (Theorem 5's O(1) state is minimal),
+//! so a corrupted counter cannot always be corrected — but the rank
+//! arithmetic is self-checking in practice: requests resolve against pool
+//! sizes at every switch, mismatches surface as
+//! [`CstError::ProtocolViolation`] / [`CstError::DeliveryMismatch`] /
+//! [`CstError::RoundOverrun`], and the end-of-run verifier catches
+//! anything that still slips through. This module quantifies that.
+
+use cst_comm::CommSet;
+use cst_core::{CstError, CstTopology, NodeId};
+use cst_padr::phase1::{self, Phase1};
+use cst_padr::scheduler;
+
+/// Which `C_S` counter to corrupt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateField {
+    Matched,
+    LeftSources,
+    RightSources,
+    LeftDests,
+    RightDests,
+}
+
+/// A single injected fault.
+#[derive(Clone, Copy, Debug)]
+pub struct Fault {
+    /// Switch whose stored state is corrupted.
+    pub node: NodeId,
+    /// Field to corrupt.
+    pub field: StateField,
+    /// Signed delta applied (saturating at zero).
+    pub delta: i32,
+}
+
+/// Apply a fault to a Phase-1 result.
+pub fn inject(p1: &mut Phase1, fault: Fault) {
+    let st = &mut p1.states[fault.node.index()];
+    let f = match fault.field {
+        StateField::Matched => &mut st.matched,
+        StateField::LeftSources => &mut st.left_sources,
+        StateField::RightSources => &mut st.right_sources,
+        StateField::LeftDests => &mut st.left_dests,
+        StateField::RightDests => &mut st.right_dests,
+    };
+    *f = f.saturating_add_signed(fault.delta);
+}
+
+/// The observable outcome of a faulty execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The run aborted with a protocol-level error (fault detected early).
+    DetectedDuringRun(String),
+    /// The run completed but the schedule failed verification against the
+    /// input set (fault detected by the end-to-end check).
+    DetectedByVerifier(String),
+    /// The run completed and verified — the corruption was masked (e.g. a
+    /// zero-delta fault, or a counter the workload never exercises).
+    Masked,
+}
+
+/// Execute the CSA with `fault` injected after Phase 1 and classify what
+/// happens.
+pub fn run_with_fault(topo: &CstTopology, set: &CommSet, fault: Fault) -> FaultOutcome {
+    let mut p1 = match phase1::run(topo, set) {
+        Ok(p) => p,
+        Err(e) => return FaultOutcome::DetectedDuringRun(e.to_string()),
+    };
+    inject(&mut p1, fault);
+    match scheduler::run_phase2(topo, set, &mut p1) {
+        Err(e) => FaultOutcome::DetectedDuringRun(e.to_string()),
+        Ok(out) => match out.schedule.verify(topo, set) {
+            Err(e) => FaultOutcome::DetectedByVerifier(e.to_string()),
+            Ok(_) => FaultOutcome::Masked,
+        },
+    }
+}
+
+/// Sweep a fault campaign: every field of every switch, +1 and -1 deltas.
+/// Returns `(detected_during_run, detected_by_verifier, masked)` counts.
+pub fn campaign(topo: &CstTopology, set: &CommSet) -> (usize, usize, usize) {
+    let mut counts = (0usize, 0usize, 0usize);
+    for node in topo.switches_top_down() {
+        for field in [
+            StateField::Matched,
+            StateField::LeftSources,
+            StateField::RightSources,
+            StateField::LeftDests,
+            StateField::RightDests,
+        ] {
+            for delta in [1i32, -1] {
+                match run_with_fault(topo, set, Fault { node, field, delta }) {
+                    FaultOutcome::DetectedDuringRun(_) => counts.0 += 1,
+                    FaultOutcome::DetectedByVerifier(_) => counts.1 += 1,
+                    FaultOutcome::Masked => counts.2 += 1,
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Re-export used by the doc comment above.
+#[allow(unused)]
+fn _uses(e: CstError) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CstTopology, CommSet) {
+        let topo = CstTopology::with_leaves(16);
+        let set = cst_comm::examples::paper_figure_2();
+        (topo, set)
+    }
+
+    #[test]
+    fn inflated_match_count_at_live_apex_is_benign_or_detected() {
+        let (topo, set) = setup();
+        // An extra phantom matched pair at a switch with real matches is
+        // often *benign*: the switch's opportunistic matching just fires
+        // one round earlier and consumes a real communication; the driver
+        // stops once everything is scheduled, before the phantom would
+        // dereference an empty pool. The guarantee is weaker but precise:
+        // the run either aborts with a protocol error or produces a
+        // schedule that VERIFIES — never a silently wrong one.
+        let apex = topo.lca(cst_core::LeafId(0), cst_core::LeafId(5));
+        let out = run_with_fault(
+            &topo,
+            &set,
+            Fault { node: apex, field: StateField::Matched, delta: 1 },
+        );
+        // All three outcomes are sound; what we assert is reachability of
+        // the classification itself (no panic, no unverified success).
+        match out {
+            FaultOutcome::DetectedDuringRun(_)
+            | FaultOutcome::DetectedByVerifier(_)
+            | FaultOutcome::Masked => {}
+        }
+    }
+
+    #[test]
+    fn phantom_match_activating_idle_leaves_is_detected() {
+        // A phantom matched pair on a switch whose leaves are not
+        // communication endpoints activates a non-source PE: the circuit
+        // tracer must reject it.
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 1), (4, 9)]);
+        let far = topo.lca(cst_core::LeafId(14), cst_core::LeafId(15));
+        let out = run_with_fault(
+            &topo,
+            &set,
+            Fault { node: far, field: StateField::Matched, delta: 1 },
+        );
+        assert!(
+            matches!(out, FaultOutcome::DetectedDuringRun(_)),
+            "phantom activation must be detected during the run, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn lost_match_count_is_detected() {
+        let (topo, set) = setup();
+        let apex = topo.lca(cst_core::LeafId(0), cst_core::LeafId(5));
+        let out = run_with_fault(
+            &topo,
+            &set,
+            Fault { node: apex, field: StateField::Matched, delta: -1 },
+        );
+        // The communication never gets scheduled: run aborts (no progress /
+        // overrun) or the verifier reports the missing comm.
+        assert!(out != FaultOutcome::Masked, "lost match must be detected, got {out:?}");
+    }
+
+    #[test]
+    fn campaign_detects_all_effective_faults() {
+        let (topo, set) = setup();
+        let (run, verifier, masked) = campaign(&topo, &set);
+        let total = run + verifier + masked;
+        assert_eq!(total, topo.num_switches() * 5 * 2);
+        // Most injections hit counters the workload actually uses and must
+        // be detected; the masked ones are faults on idle switches (their
+        // counters never participate). Nothing may verify incorrectly —
+        // `Masked` here still means the output was *correct*.
+        assert!(run + verifier > 0, "no fault detected at all?");
+        // On this workload more than half the switch states are live.
+        assert!(
+            run + verifier >= total / 4,
+            "suspiciously few detections: run={run} verifier={verifier} masked={masked}"
+        );
+    }
+
+    #[test]
+    fn zero_delta_is_masked() {
+        let (topo, set) = setup();
+        let out = run_with_fault(
+            &topo,
+            &set,
+            Fault { node: NodeId::ROOT, field: StateField::Matched, delta: 0 },
+        );
+        assert_eq!(out, FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn faults_on_idle_switches_are_masked_but_harmless() {
+        // A switch in a completely idle subtree: corrupting its counters
+        // upward *can* make it emit phantom work... the [null,null] +
+        // matched>0 path fires. Verify the system still ends in a detected
+        // or provably-correct state.
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 1)]);
+        let far = topo.lca(cst_core::LeafId(14), cst_core::LeafId(15));
+        let out = run_with_fault(
+            &topo,
+            &set,
+            Fault { node: far, field: StateField::LeftDests, delta: 1 },
+        );
+        // left_dests alone never triggers without a parent request: masked.
+        assert_eq!(out, FaultOutcome::Masked);
+        let out = run_with_fault(
+            &topo,
+            &set,
+            Fault { node: far, field: StateField::Matched, delta: 1 },
+        );
+        // a phantom matched pair *does* fire on [null,null] and activates
+        // leaves that are not communication endpoints: must be detected.
+        assert!(out != FaultOutcome::Masked, "got {out:?}");
+    }
+}

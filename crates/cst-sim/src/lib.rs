@@ -1,0 +1,32 @@
+//! # cst-sim — cycle-level CST simulator
+//!
+//! Event-driven execution of the CSA as the SRGA-style hardware would run
+//! it (the paper's evaluation substrate, built in software since `repro`
+//! needs no FPGA):
+//!
+//! * [`event`] — deterministic discrete-event core;
+//! * [`engine`] — Phase-1 upward wave, per-round control waves, data
+//!   cycles; reuses the pure switch logic from `cst-padr` so hardware and
+//!   host scheduler cannot drift;
+//! * [`data`] — payload propagation over configured circuits;
+//! * [`energy`] — joule-like model over the abstract power units;
+//! * [`trace`] — serializable execution traces;
+//! * [`rtl`] — the decentralized clocked machine model (per-switch
+//!   mailboxes, no global state), proven equivalent to the engine;
+//! * [`fault`] — control-state fault injection and detection campaigns.
+
+pub mod data;
+pub mod energy;
+pub mod engine;
+pub mod fault;
+pub mod rtl;
+pub mod event;
+pub mod trace;
+
+pub use data::{DataPhase, Delivery};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use fault::{campaign, inject, run_with_fault, Fault, FaultOutcome, StateField};
+pub use rtl::{RtlMachine, RtlRound};
+pub use engine::{simulate, simulate_schedule, RoundTiming, SimOutcome};
+pub use event::{Cycle, EventQueue};
+pub use trace::Trace;

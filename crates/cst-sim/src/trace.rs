@@ -1,0 +1,105 @@
+//! Serializable execution traces for debugging and for the examples'
+//! human-readable output.
+
+use crate::engine::SimOutcome;
+use cst_comm::CommSet;
+use cst_core::CstTopology;
+use serde::{Deserialize, Serialize};
+
+/// One switch's setting in one round, stringified for portability.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    pub switch: usize,
+    pub config: String,
+}
+
+/// One round of the trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRound {
+    pub round: usize,
+    pub control_start: u64,
+    pub data_cycle: u64,
+    /// `(source, dest)` pairs performed this round.
+    pub transfers: Vec<(usize, usize)>,
+    pub switch_configs: Vec<TraceConfig>,
+}
+
+/// A complete execution trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    pub num_leaves: usize,
+    pub num_comms: usize,
+    pub rounds: Vec<TraceRound>,
+    pub total_cycles: u64,
+}
+
+impl Trace {
+    /// Build a trace from a simulation outcome.
+    pub fn from_sim(topo: &CstTopology, set: &CommSet, sim: &SimOutcome) -> Trace {
+        let rounds = sim
+            .schedule
+            .rounds
+            .iter()
+            .zip(&sim.timings)
+            .enumerate()
+            .map(|(i, (round, timing))| TraceRound {
+                round: i,
+                control_start: timing.control_start,
+                data_cycle: timing.data_cycle,
+                transfers: round
+                    .comms
+                    .iter()
+                    .map(|&id| {
+                        let c = &set.comms()[id.0];
+                        (c.source.0, c.dest.0)
+                    })
+                    .collect(),
+                switch_configs: round
+                    .configs
+                    .iter()
+                    .map(|(n, cfg)| TraceConfig { switch: n.index(), config: cfg.to_string() })
+                    .collect(),
+            })
+            .collect();
+        Trace {
+            num_leaves: topo.num_leaves(),
+            num_comms: set.len(),
+            rounds,
+            total_cycles: sim.cycles,
+        }
+    }
+
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+
+    #[test]
+    fn trace_roundtrips_through_json() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let sim = simulate(&topo, &set, None).unwrap();
+        let trace = Trace::from_sim(&topo, &set, &sim);
+        assert_eq!(trace.rounds.len(), 2);
+        assert_eq!(trace.rounds[0].transfers, vec![(0, 7)]);
+        let json = trace.to_json();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn trace_cycles_match_sim() {
+        let topo = CstTopology::with_leaves(16);
+        let set = cst_comm::examples::paper_figure_2();
+        let sim = simulate(&topo, &set, None).unwrap();
+        let trace = Trace::from_sim(&topo, &set, &sim);
+        assert_eq!(trace.total_cycles, sim.cycles);
+        assert_eq!(trace.num_comms, set.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! Canonical SRGA communication patterns built on the router: the
+//! workloads an SRGA-style reconfigurable array actually runs.
+
+use crate::grid::{Coord, SrgaGrid};
+use crate::router::{route, Comm2d, RouteOutcome};
+use cst_core::CstError;
+
+/// Matrix transpose: PE `(r,c)` sends to `(c,r)` (diagonal PEs keep their
+/// data). A classic all-to-all-ish permutation with heavy turn pressure.
+pub fn transpose(grid: &SrgaGrid) -> Result<RouteOutcome, CstError> {
+    assert_eq!(grid.rows(), grid.cols(), "transpose needs a square grid");
+    let comms: Vec<Comm2d> = grid
+        .coords()
+        .filter(|c| c.row != c.col)
+        .map(|c| Comm2d::new(c, Coord::at(c.col, c.row)))
+        .collect();
+    route(grid, &comms)
+}
+
+/// Cyclic row shift: every PE sends to the PE `k` columns to the right
+/// (wrapping). Wrapping splits each row set into a right-oriented and a
+/// left-oriented part, exercising the orientation decomposition.
+pub fn row_shift(grid: &SrgaGrid, k: usize) -> Result<RouteOutcome, CstError> {
+    let cols = grid.cols();
+    let k = k % cols;
+    assert!(k != 0, "zero shift moves nothing");
+    let comms: Vec<Comm2d> = grid
+        .coords()
+        .map(|c| Comm2d::new(c, Coord::at(c.row, (c.col + k) % cols)))
+        .collect();
+    route(grid, &comms)
+}
+
+/// Broadcast column `src_col` to column `dst_col` across all rows: a
+/// perfectly parallel width-1 pattern (one round total when the columns
+/// differ).
+pub fn column_copy(
+    grid: &SrgaGrid,
+    src_col: usize,
+    dst_col: usize,
+) -> Result<RouteOutcome, CstError> {
+    assert_ne!(src_col, dst_col);
+    let comms: Vec<Comm2d> = (0..grid.rows())
+        .map(|r| Comm2d::new(Coord::at(r, src_col), Coord::at(r, dst_col)))
+        .collect();
+    route(grid, &comms)
+}
+
+/// Route an arbitrary permutation given as `perm[i] = destination PE index
+/// (row-major)` of source PE `i`. Fixed points are skipped.
+pub fn permutation(grid: &SrgaGrid, perm: &[usize]) -> Result<RouteOutcome, CstError> {
+    assert_eq!(perm.len(), grid.num_pes(), "permutation must cover the grid");
+    let cols = grid.cols();
+    let comms: Vec<Comm2d> = perm
+        .iter()
+        .enumerate()
+        .filter(|&(i, &d)| i != d)
+        .map(|(i, &d)| {
+            Comm2d::new(Coord::at(i / cols, i % cols), Coord::at(d / cols, d % cols))
+        })
+        .collect();
+    route(grid, &comms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transpose_completes() {
+        let g = SrgaGrid::square(8);
+        let out = transpose(&g).unwrap();
+        let scheduled: usize = out.waves.iter().map(|w| w.comms.len()).sum();
+        assert_eq!(scheduled, 8 * 8 - 8);
+    }
+
+    #[test]
+    fn row_shift_is_single_phase() {
+        let g = SrgaGrid::square(4);
+        let out = row_shift(&g, 1).unwrap();
+        // row-only traffic: no column phases anywhere
+        assert!(out.waves.iter().all(|w| w.col_phases.is_empty()));
+        let scheduled: usize = out.waves.iter().map(|w| w.comms.len()).sum();
+        assert_eq!(scheduled, 16);
+    }
+
+    #[test]
+    fn row_shift_wrap_mixes_orientations() {
+        let g = SrgaGrid::square(8);
+        let out = row_shift(&g, 3).unwrap();
+        // wrapped comms are left-oriented; unwrapped are right-oriented —
+        // the row sets contain both, and scheduling still succeeds.
+        let scheduled: usize = out.waves.iter().map(|w| w.comms.len()).sum();
+        assert_eq!(scheduled, 64);
+    }
+
+    #[test]
+    fn column_copy_one_round() {
+        let g = SrgaGrid::square(8);
+        let out = column_copy(&g, 0, 7).unwrap();
+        assert_eq!(out.waves.len(), 1);
+        assert_eq!(out.total_rounds(), 1);
+    }
+
+    #[test]
+    fn random_permutations_route() {
+        let g = SrgaGrid::square(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let mut perm: Vec<usize> = (0..16).collect();
+            perm.shuffle(&mut rng);
+            let out = permutation(&g, &perm).unwrap();
+            let moved = perm.iter().enumerate().filter(|&(i, &d)| i != d).count();
+            let scheduled: usize = out.waves.iter().map(|w| w.comms.len()).sum();
+            assert_eq!(scheduled, moved);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn transpose_rejects_rectangles() {
+        let g = SrgaGrid::new(4, 8).unwrap();
+        let _ = transpose(&g);
+    }
+}

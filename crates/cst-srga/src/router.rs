@@ -1,0 +1,377 @@
+//! Dimension-ordered routing of 2D communications over the SRGA's row and
+//! column CSTs, scheduled power-aware by the CSA.
+//!
+//! A communication `(r1,c1) -> (r2,c2)` travels its source **row** first
+//! (`c1 -> c2` on row `r1`'s CST) and then the destination **column**
+//! (`r1 -> r2` on column `c2`'s CST). The grid executes in *waves*: within
+//! a wave every PE is used by at most one communication per role per
+//! phase (the `[1,0]/[0,1]/[0,0]` announcement model of the paper's Step
+//! 1.1 admits nothing else), so each row/column set is a valid 1D input
+//! for the universal CSA front end, which handles mixed orientations and
+//! crossings via decomposition + layering.
+//!
+//! Waves are formed greedily first-fit; each wave costs
+//! `max_row_rounds + max_col_rounds` rounds (all rows fire in parallel,
+//! then all columns).
+
+use crate::grid::{Coord, SrgaGrid};
+use cst_comm::{CommSet, Communication, Schedule};
+use cst_core::CstError;
+use cst_padr::universal;
+use std::collections::{BTreeMap, HashSet};
+
+/// One 2D communication.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Comm2d {
+    pub src: Coord,
+    pub dst: Coord,
+}
+
+impl Comm2d {
+    /// Shorthand constructor.
+    pub fn new(src: Coord, dst: Coord) -> Comm2d {
+        Comm2d { src, dst }
+    }
+
+    /// True if only a row-phase hop is needed.
+    pub fn row_only(&self) -> bool {
+        self.src.row == self.dst.row
+    }
+
+    /// True if only a column-phase hop is needed.
+    pub fn col_only(&self) -> bool {
+        self.src.col == self.dst.col
+    }
+}
+
+/// One scheduled wave.
+#[derive(Clone, Debug, Default)]
+pub struct Wave {
+    /// Communications (indices into the input list) in this wave.
+    pub comms: Vec<usize>,
+    /// Per-row 1D schedules for the row phase: `row -> (set, schedule)`.
+    pub row_phases: BTreeMap<usize, (CommSet, Schedule)>,
+    /// Per-column 1D schedules for the column phase.
+    pub col_phases: BTreeMap<usize, (CommSet, Schedule)>,
+    /// Rounds of the row phase (max over rows).
+    pub row_rounds: usize,
+    /// Rounds of the column phase (max over columns).
+    pub col_rounds: usize,
+}
+
+impl Wave {
+    /// Rounds this wave occupies.
+    pub fn rounds(&self) -> usize {
+        self.row_rounds + self.col_rounds
+    }
+}
+
+/// Result of routing a 2D communication batch.
+#[derive(Clone, Debug)]
+pub struct RouteOutcome {
+    pub waves: Vec<Wave>,
+    /// Total power units over all row and column trees (hold semantics).
+    pub total_power_units: u64,
+    /// Maximum hold units at any single switch of any tree.
+    pub max_switch_units: u32,
+}
+
+impl RouteOutcome {
+    /// Total rounds across all waves.
+    pub fn total_rounds(&self) -> usize {
+        self.waves.iter().map(Wave::rounds).sum()
+    }
+}
+
+/// Endpoint-usage bookkeeping for one wave.
+#[derive(Default)]
+struct WaveSlots {
+    /// `(row, col)` pairs used as row-phase sources / dests.
+    row_src: HashSet<(usize, usize)>,
+    row_dst: HashSet<(usize, usize)>,
+    /// `(col, row)` pairs used as column-phase sources / dests.
+    col_src: HashSet<(usize, usize)>,
+    col_dst: HashSet<(usize, usize)>,
+}
+
+impl WaveSlots {
+    /// Try to reserve all endpoints `m` needs. A PE may hold at most one
+    /// role per phase (source XOR destination, at most once), exactly the
+    /// `[1,0]/[0,1]/[0,0]` announcement model of the paper's Step 1.1.
+    /// Checks every constraint before committing, so a refusal leaves the
+    /// wave untouched.
+    fn try_claim(&mut self, m: &Comm2d) -> bool {
+        let needs_row = m.src.col != m.dst.col;
+        let needs_col = m.src.row != m.dst.row;
+        let rs = (m.src.row, m.src.col);
+        let rd = (m.src.row, m.dst.col);
+        let cs = (m.dst.col, m.src.row);
+        let cd = (m.dst.col, m.dst.row);
+        if needs_row
+            && (self.row_src.contains(&rs)
+                || self.row_dst.contains(&rd)
+                || self.row_src.contains(&rd)
+                || self.row_dst.contains(&rs))
+        {
+            return false;
+        }
+        if needs_col
+            && (self.col_src.contains(&cs)
+                || self.col_dst.contains(&cd)
+                || self.col_src.contains(&cd)
+                || self.col_dst.contains(&cs))
+        {
+            return false;
+        }
+        if needs_row {
+            self.row_src.insert(rs);
+            self.row_dst.insert(rd);
+        }
+        if needs_col {
+            self.col_src.insert(cs);
+            self.col_dst.insert(cd);
+        }
+        true
+    }
+}
+
+/// Route a batch of 2D communications.
+///
+/// Every communication must have distinct source and destination
+/// coordinates inside the grid.
+///
+/// # Examples
+///
+/// ```
+/// use cst_srga::{route, Comm2d, Coord, SrgaGrid};
+///
+/// let grid = SrgaGrid::square(4);
+/// // (0,0) -> (3,3): one row hop then one column hop
+/// let out = route(&grid, &[Comm2d::new(Coord::at(0, 0), Coord::at(3, 3))]).unwrap();
+/// assert_eq!(out.waves.len(), 1);
+/// assert_eq!(out.total_rounds(), 2);
+/// ```
+pub fn route(grid: &SrgaGrid, comms: &[Comm2d]) -> Result<RouteOutcome, CstError> {
+    // Validate.
+    for m in comms {
+        for c in [m.src, m.dst] {
+            if !grid.contains(c) {
+                return Err(CstError::LeafOutOfRange {
+                    leaf: cst_core::LeafId(c.row * grid.cols() + c.col),
+                    num_leaves: grid.num_pes(),
+                });
+            }
+        }
+        if m.src == m.dst {
+            return Err(CstError::SelfCommunication {
+                leaf: cst_core::LeafId(m.src.row * grid.cols() + m.src.col),
+            });
+        }
+    }
+
+    // Greedy first-fit wave assignment.
+    let mut wave_members: Vec<Vec<usize>> = Vec::new();
+    let mut wave_slots: Vec<WaveSlots> = Vec::new();
+    for (i, m) in comms.iter().enumerate() {
+        let mut placed = false;
+        for (slots, members) in wave_slots.iter_mut().zip(&mut wave_members) {
+            if slots.try_claim(m) {
+                members.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let mut slots = WaveSlots::default();
+            assert!(slots.try_claim(m), "fresh wave always admits one comm");
+            wave_slots.push(slots);
+            wave_members.push(vec![i]);
+        }
+    }
+
+    // Schedule each wave. Power meters persist per tree across waves so
+    // cross-wave retention (and reconfiguration) is accounted exactly like
+    // cross-round retention inside one CSA run.
+    let mut row_meters: Vec<cst_core::PowerMeter> =
+        (0..grid.rows()).map(|_| cst_core::PowerMeter::new(grid.row_topology())).collect();
+    let mut col_meters: Vec<cst_core::PowerMeter> =
+        (0..grid.cols()).map(|_| cst_core::PowerMeter::new(grid.col_topology())).collect();
+    let mut waves = Vec::with_capacity(wave_members.len());
+    for members in wave_members {
+        let mut row_sets: BTreeMap<usize, Vec<Communication>> = BTreeMap::new();
+        let mut col_sets: BTreeMap<usize, Vec<Communication>> = BTreeMap::new();
+        for &i in &members {
+            let m = &comms[i];
+            if m.src.col != m.dst.col {
+                row_sets.entry(m.src.row).or_default().push(Communication {
+                    source: grid.row_leaf(m.src),
+                    dest: grid.row_leaf(Coord::at(m.src.row, m.dst.col)),
+                });
+            }
+            if m.src.row != m.dst.row {
+                col_sets.entry(m.dst.col).or_default().push(Communication {
+                    source: grid.col_leaf(Coord::at(m.src.row, m.dst.col)),
+                    dest: grid.col_leaf(m.dst),
+                });
+            }
+        }
+        let mut wave = Wave { comms: members, ..Default::default() };
+        for (row, list) in row_sets {
+            let set = CommSet::new(grid.cols(), list)?;
+            let out = universal::schedule_any(grid.row_topology(), &set)?;
+            out.schedule.verify(grid.row_topology(), &set)?;
+            let meter = &mut row_meters[row];
+            for round in &out.schedule.rounds {
+                meter.begin_round();
+                for (node, conn) in round.requirements() {
+                    meter.require(node, conn);
+                }
+            }
+            wave.row_rounds = wave.row_rounds.max(out.rounds());
+            wave.row_phases.insert(row, (set, out.schedule));
+        }
+        for (col, list) in col_sets {
+            let set = CommSet::new(grid.rows(), list)?;
+            let out = universal::schedule_any(grid.col_topology(), &set)?;
+            out.schedule.verify(grid.col_topology(), &set)?;
+            let meter = &mut col_meters[col];
+            for round in &out.schedule.rounds {
+                meter.begin_round();
+                for (node, conn) in round.requirements() {
+                    meter.require(node, conn);
+                }
+            }
+            wave.col_rounds = wave.col_rounds.max(out.rounds());
+            wave.col_phases.insert(col, (set, out.schedule));
+        }
+        waves.push(wave);
+    }
+
+    let mut total_power_units = 0u64;
+    let mut max_switch_units = 0u32;
+    for m in &row_meters {
+        let r = m.report(grid.row_topology());
+        total_power_units += r.total_units;
+        max_switch_units = max_switch_units.max(r.max_units);
+    }
+    for m in &col_meters {
+        let r = m.report(grid.col_topology());
+        total_power_units += r.total_units;
+        max_switch_units = max_switch_units.max(r.max_units);
+    }
+
+    Ok(RouteOutcome { waves, total_power_units, max_switch_units })
+}
+
+/// Logically execute the route and return, for each input communication,
+/// the coordinate its payload ends at. Used by tests to prove delivery.
+pub fn delivered_destinations(comms: &[Comm2d]) -> Vec<Coord> {
+    // Dimension-order routing is deterministic: row first, then column.
+    comms.iter().map(|m| m.dst).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> SrgaGrid {
+        SrgaGrid::square(4)
+    }
+
+    #[test]
+    fn single_hop_row_only() {
+        let g = grid4();
+        let out = route(&g, &[Comm2d::new(Coord::at(1, 0), Coord::at(1, 3))]).unwrap();
+        assert_eq!(out.waves.len(), 1);
+        assert_eq!(out.waves[0].row_rounds, 1);
+        assert_eq!(out.waves[0].col_rounds, 0);
+        assert_eq!(out.total_rounds(), 1);
+    }
+
+    #[test]
+    fn single_hop_col_only() {
+        let g = grid4();
+        let out = route(&g, &[Comm2d::new(Coord::at(0, 2), Coord::at(3, 2))]).unwrap();
+        assert_eq!(out.waves[0].row_rounds, 0);
+        assert_eq!(out.waves[0].col_rounds, 1);
+    }
+
+    #[test]
+    fn full_dimension_order() {
+        let g = grid4();
+        let out = route(&g, &[Comm2d::new(Coord::at(0, 0), Coord::at(3, 3))]).unwrap();
+        assert_eq!(out.waves.len(), 1);
+        assert_eq!(out.total_rounds(), 2); // one row round + one col round
+    }
+
+    #[test]
+    fn parallel_rows_share_a_wave() {
+        let g = grid4();
+        let comms: Vec<Comm2d> = (0..4)
+            .map(|r| Comm2d::new(Coord::at(r, 0), Coord::at(r, 3)))
+            .collect();
+        let out = route(&g, &comms).unwrap();
+        assert_eq!(out.waves.len(), 1);
+        assert_eq!(out.total_rounds(), 1);
+        assert_eq!(out.waves[0].row_phases.len(), 4);
+    }
+
+    #[test]
+    fn turn_collision_forces_second_wave() {
+        let g = grid4();
+        // Both communications start in row 0 at different columns but turn
+        // at (0, 3): the row-phase destination PE collides.
+        let comms = vec![
+            Comm2d::new(Coord::at(0, 0), Coord::at(2, 3)),
+            Comm2d::new(Coord::at(0, 1), Coord::at(3, 3)),
+        ];
+        let out = route(&g, &comms).unwrap();
+        assert_eq!(out.waves.len(), 2);
+    }
+
+    #[test]
+    fn transpose_permutation_routes() {
+        let g = SrgaGrid::square(8);
+        let comms: Vec<Comm2d> = g
+            .coords()
+            .filter(|c| c.row != c.col)
+            .map(|c| Comm2d::new(c, Coord::at(c.col, c.row)))
+            .collect();
+        let out = route(&g, &comms).unwrap();
+        // All 56 off-diagonal transfers complete.
+        let scheduled: usize = out.waves.iter().map(|w| w.comms.len()).sum();
+        assert_eq!(scheduled, 56);
+        assert!(out.total_rounds() >= 2);
+        assert!(out.max_switch_units > 0);
+    }
+
+    #[test]
+    fn rejects_out_of_grid_and_self() {
+        let g = grid4();
+        assert!(route(&g, &[Comm2d::new(Coord::at(0, 0), Coord::at(9, 0))]).is_err());
+        assert!(route(&g, &[Comm2d::new(Coord::at(1, 1), Coord::at(1, 1))]).is_err());
+    }
+
+    #[test]
+    fn refused_claim_leaves_wave_untouched() {
+        let mut slots = WaveSlots::default();
+        let a = Comm2d::new(Coord::at(0, 0), Coord::at(2, 3));
+        let b = Comm2d::new(Coord::at(0, 1), Coord::at(3, 3)); // same turn PE
+        assert!(slots.try_claim(&a));
+        assert!(!slots.try_claim(&b));
+        // b left nothing behind: a non-conflicting comm using b's source
+        // PE must still fit.
+        let c = Comm2d::new(Coord::at(0, 1), Coord::at(0, 2));
+        assert!(slots.try_claim(&c));
+    }
+
+    #[test]
+    fn cross_role_conflict_detected() {
+        // One comm's row-phase source is another's row-phase destination.
+        let mut slots = WaveSlots::default();
+        let a = Comm2d::new(Coord::at(0, 0), Coord::at(0, 2));
+        let b = Comm2d::new(Coord::at(0, 2), Coord::at(0, 3)); // source = a's dest
+        assert!(slots.try_claim(&a));
+        assert!(!slots.try_claim(&b));
+    }
+}

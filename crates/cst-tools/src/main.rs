@@ -1,0 +1,253 @@
+//! `cst-tools` — command-line driver for the reproduction.
+//!
+//! ```text
+//! cst-tools experiments [--quick]     run E1..E12, print all tables
+//! cst-tools report [--quick]          print the EXPERIMENTS.md body
+//! cst-tools csv <E1..E12>              print one experiment as CSV
+//! cst-tools trace <n> <levels>        simulate a bus and dump the JSON trace
+//! cst-tools schedule <pattern>        schedule a paren pattern, show rounds
+//! cst-tools viz <pattern>             draw the scheduled rounds as ASCII trees
+//! ```
+
+use cst_analysis::experiments as exp;
+use cst_analysis::Table;
+
+mod report;
+mod viz;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    match args.first().map(String::as_str) {
+        Some("experiments") => {
+            for t in run_all(quick) {
+                println!("{}", t.render_text());
+            }
+        }
+        Some("report") => {
+            print!("{}", report::experiments_md(&run_all(quick), quick));
+        }
+        Some("csv") => match args.get(1).map(String::as_str) {
+            Some(id) => {
+                let tables = run_all(quick);
+                match tables.iter().find(|t| t.id.eq_ignore_ascii_case(id)) {
+                    Some(t) => print!("{}", t.render_csv()),
+                    None => {
+                        eprintln!("unknown experiment id {id} (use E1..E12)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None => {
+                eprintln!("usage: cst-tools csv <E1..E12>");
+                std::process::exit(2);
+            }
+        },
+        Some("trace") => {
+            let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+            let levels: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+            let topo = cst_core::CstTopology::with_leaves(n);
+            let set = cst_workloads::hierarchical_bus(n, levels);
+            let sim = cst_sim::simulate(&topo, &set, None).expect("simulation failed");
+            let trace = cst_sim::Trace::from_sim(&topo, &set, &sim);
+            println!("{}", trace.to_json());
+        }
+        Some("viz") => {
+            let pattern = match args.get(1) {
+                Some(p) => p.clone(),
+                None => {
+                    eprintln!("usage: cst-tools viz '((.))(..)'");
+                    std::process::exit(2);
+                }
+            };
+            viz_pattern(&pattern);
+        }
+        Some("schedule") => {
+            let pattern = match args.get(1) {
+                Some(p) => p.clone(),
+                None => {
+                    eprintln!("usage: cst-tools schedule '((.))(..)'");
+                    std::process::exit(2);
+                }
+            };
+            schedule_pattern(&pattern);
+        }
+        _ => {
+            eprintln!(
+                "usage: cst-tools <experiments|report|csv|trace|schedule|viz> [args] [--quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run all eight experiments; `quick` shrinks sweeps for fast iteration.
+fn run_all(quick: bool) -> Vec<Table> {
+    let threads = cst_analysis::default_threads();
+    let e1 = if quick {
+        exp::e1_rounds::Config {
+            n: 128,
+            widths: vec![1, 2, 4, 8, 16],
+            seeds: (0..3).collect(),
+            threads,
+        }
+    } else {
+        exp::e1_rounds::Config::default()
+    };
+    let e2 = if quick {
+        exp::e2_changes::Config {
+            n: 128,
+            widths: vec![1, 4, 16, 64],
+            seeds: (0..3).collect(),
+            threads,
+        }
+    } else {
+        exp::e2_changes::Config::default()
+    };
+    let e3 = if quick {
+        exp::e3_total_power::Config {
+            sizes: vec![64, 256, 1024],
+            density: 0.5,
+            seeds: (0..3).collect(),
+            threads,
+        }
+    } else {
+        exp::e3_total_power::Config::default()
+    };
+    let e4 = if quick {
+        exp::e4_control::Config { sizes: vec![64, 256, 1024], density: 0.5, seed: 4 }
+    } else {
+        exp::e4_control::Config::default()
+    };
+    let e5 = if quick {
+        exp::e5_throughput::Config {
+            sizes: vec![256, 1024],
+            density: 0.5,
+            repeats: 3,
+            seed: 5,
+        }
+    } else {
+        exp::e5_throughput::Config::default()
+    };
+    let e6 = if quick {
+        exp::e6_histogram::Config { n: 256, width: 32, seed: 6, bucket_width: 4 }
+    } else {
+        exp::e6_histogram::Config::default()
+    };
+    let e7 = if quick {
+        exp::e7_bus::Config { sizes: vec![64, 256], levels: vec![1, 2, 4] }
+    } else {
+        exp::e7_bus::Config::default()
+    };
+    let e8 = if quick {
+        exp::e8_ablation::Config { n: 256, widths: vec![4, 16, 64], seed: 8 }
+    } else {
+        exp::e8_ablation::Config::default()
+    };
+
+    let mut tables = vec![
+        exp::e1_rounds::run(&e1),
+        exp::e2_changes::run(&e2),
+        exp::e3_total_power::run(&e3),
+        exp::e4_control::run(&e4),
+        exp::e5_throughput::run(&e5),
+    ];
+    let r6 = exp::e6_histogram::run(&e6);
+    tables.push(r6.table);
+    tables.push(exp::e7_bus::run(&e7));
+    tables.push(exp::e8_ablation::run(&e8));
+    let e9 = if quick {
+        exp::e9_applications::Config { grid_sides: vec![4, 8], array_sizes: vec![64] }
+    } else {
+        exp::e9_applications::Config::default()
+    };
+    tables.push(exp::e9_applications::run(&e9));
+    let e10 = if quick {
+        exp::e10_sessions::Config { n: 64, batches: 4, seed: 10 }
+    } else {
+        exp::e10_sessions::Config::default()
+    };
+    tables.push(exp::e10_sessions::run(&e10));
+    let e11 = if quick {
+        exp::e11_bus_emulation::Config { n: 64, segment_counts: vec![1, 4, 16] }
+    } else {
+        exp::e11_bus_emulation::Config::default()
+    };
+    tables.push(exp::e11_bus_emulation::run(&e11));
+    let e12 = if quick {
+        exp::e12_motivation::Config { sizes: vec![16, 64], inputs: 4, seed: 12 }
+    } else {
+        exp::e12_motivation::Config::default()
+    };
+    tables.push(exp::e12_motivation::run(&e12));
+    tables
+}
+
+/// Visualize a parenthesis pattern's schedule as ASCII trees.
+fn viz_pattern(pattern: &str) {
+    let set = match cst_comm::from_paren_string(pattern) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid pattern: {e}");
+            std::process::exit(1);
+        }
+    };
+    let n = set.num_leaves().next_power_of_two().max(2);
+    let pairs: Vec<(usize, usize)> =
+        set.comms().iter().map(|c| (c.source.0, c.dest.0)).collect();
+    let set = cst_comm::CommSet::from_pairs(n, &pairs);
+    let topo = cst_core::CstTopology::with_leaves(n);
+    match cst_padr::schedule(&topo, &set) {
+        Ok(out) => print!("{}", viz::render_schedule(&topo, &set, &out.schedule)),
+        Err(e) => {
+            eprintln!("cannot schedule: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Schedule a parenthesis pattern and print the rounds.
+fn schedule_pattern(pattern: &str) {
+    let set = match cst_comm::from_paren_string(pattern) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid pattern: {e}");
+            std::process::exit(1);
+        }
+    };
+    let n = set.num_leaves().next_power_of_two().max(2);
+    // pad the pattern onto a power-of-two tree
+    let pairs: Vec<(usize, usize)> =
+        set.comms().iter().map(|c| (c.source.0, c.dest.0)).collect();
+    let set = cst_comm::CommSet::from_pairs(n, &pairs);
+    let topo = cst_core::CstTopology::with_leaves(n);
+    match cst_padr::schedule(&topo, &set) {
+        Ok(out) => {
+            println!(
+                "{} PEs, {} communications, width {}",
+                n,
+                set.len(),
+                cst_comm::width_on_topology(&topo, &set)
+            );
+            for (i, round) in out.schedule.rounds.iter().enumerate() {
+                let pairs: Vec<String> = round
+                    .comms
+                    .iter()
+                    .map(|&id| {
+                        let c = &set.comms()[id.0];
+                        format!("{}->{}", c.source.0, c.dest.0)
+                    })
+                    .collect();
+                println!("round {i}: {}", pairs.join("  "));
+            }
+            println!(
+                "power: {} total units, max {} per switch, max {} port transitions",
+                out.power.total_units, out.power.max_units, out.power.max_port_transitions
+            );
+        }
+        Err(e) => {
+            eprintln!("cannot schedule: {e}");
+            std::process::exit(1);
+        }
+    }
+}

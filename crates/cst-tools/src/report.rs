@@ -1,0 +1,124 @@
+//! EXPERIMENTS.md body generation: expected-vs-measured, one section per
+//! experiment, from freshly-run tables.
+
+use cst_analysis::Table;
+
+/// Static interpretation text per experiment id: the paper anchor and the
+/// expected shape (what a successful reproduction must show).
+fn expectation(id: &str) -> (&'static str, &'static str) {
+    match id {
+        "E1" => (
+            "Theorem 5 (optimality): a width-w oriented well-nested set is scheduled in exactly w rounds.",
+            "csa column equals w in every row (hard-asserted at run time); roy equals w on random workloads but pays the nesting depth (3 vs 2) on the staircase family; sequential pays the set size.",
+        ),
+        "E2" => (
+            "Theorem 8 + §5 contrast with [6]: CSA needs O(1) configuration changes per switch, the ID-based comparator O(w).",
+            "csa_max_units / csa_max_port_transitions stay flat (<= 9) while w grows 128x; roy_max_wt_units tracks w (the hot apex participates in w rounds).",
+        ),
+        "E3" => (
+            "§2.3 power model: total units across all switches.",
+            "csa_hold is the lowest; roy_wt (per-round path establishment) exceeds it by a factor that grows with width; the roy/csa ratio column makes the multiplicative gap explicit.",
+        ),
+        "E4" => (
+            "Theorem 5 (efficiency): O(1) words stored per switch and O(1) words exchanged per neighbor per round.",
+            "words_stored_per_switch = 5 and max_words_per_switch_round = 6 at every size; totals scale only with N and rounds.",
+        ),
+        "E5" => (
+            "Host-side scheduling throughput (not a paper claim; library-quality datum).",
+            "near-linear scaling in N for all schedulers; CSA throughput in comms/ms stays in the same order across sizes.",
+        ),
+        "E6" => (
+            "Theorem 8, distributional view across all switches.",
+            "CSA mass pinned in the first buckets (constant per-switch cost); Roy write-through tail reaches ~w at the hot switches.",
+        ),
+        "E7" => (
+            "§1 motivation: segmentable-bus traffic, end to end on the cycle-level simulator.",
+            "rounds == bus levels (the width); cycles == log2(n) + rounds*(log2(n)+1); every payload delivered intact; energy saving grows with bus depth.",
+        ),
+        "E8" => (
+            "§3 'main idea' ablation: outermost-first selection vs alternatives under hold-capable hardware.",
+            "both nesting-monotone orders stay O(1) in per-port transitions; nesting-oblivious input order grows with w — monotonicity is the load-bearing property, outermost-first is the distributed-computable instance of it.",
+        ),
+        "E9" => (
+            "§6 concluding remarks: 'other communication patterns' and 'computational algorithms' via PADR — implemented as the cst-srga and cst-apps extension crates.",
+            "SRGA column_copy completes in 1 round at any size; reduce/broadcast take log n rounds; prefix sums pay Θ(n) rounds (tree bisection); odd-even sort exposes the documented limit — per-switch power grows with phase count because alternating phases defeat configuration retention.",
+        ),
+        "E10" => (
+            "§1 PADR definition extended to set streams: 'satisfy all communications requirements that need this configuration ... before altering the switches' — applied across successive batches via a persistent session.",
+            "width-1 repeats and disjoint alternations are nearly free (>80% saved: the tree is still configured); deep-nest repeats save only the boundary configuration (<20%); independent random batches only overlap incidentally — retention tracks boundary-configuration overlap, not batch similarity.",
+        ),
+        "E11" => (
+            "§1: 'the well-nested sets is a superset of the communications required by the segmentable bus; a fundamental reconfigurable architecture' — executed via the cst-bus reference model and its CST emulation.",
+            "one bus broadcast step costs 1 + log2(max segment) CSA rounds, each a width-1 well-nested set (one round by Theorem 5); reads verified against the reference bus semantics on every run.",
+        ),
+        "E12" => (
+            "§1 motivation: dynamic reconfiguration is 'extremely fast' but 'increases the power requirement ... not acceptable in nowadays devices' — quantified by pricing bit-counting on the R-Mesh (the cited motivating model) against CST/PADR tree reduction under identical hold-semantics metering.",
+            "R-Mesh: 1 step per input but Θ(n^2) reconfiguration power per fresh input; CST: log2(n) rounds but Θ(n) power; the power ratio grows ~linearly in n while the step ratio stays log n — the exact tradeoff PADR is designed to arbitrate.",
+        ),
+        _ => ("", ""),
+    }
+}
+
+/// Render the full EXPERIMENTS.md body from run tables.
+pub fn experiments_md(tables: &[Table], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — paper claims vs measured\n\n");
+    out.push_str(
+        "Generated by `cargo run --release -p cst-tools -- report`. The paper \
+(El-Boghdadi, IPPS 2007) is a theory paper without numeric tables; each \
+experiment below measures one of its claims (Theorems 4/5/8 and the \
+contrast with Roy et al. [6]) on synthetic workloads. Assertions inside \
+the experiment runners fail the run if a claim is violated, so a generated \
+report is itself evidence the claims held.\n\n",
+    );
+    if quick {
+        out.push_str("*(quick mode: reduced sweep sizes)*\n\n");
+    }
+    for t in tables {
+        let (anchor, expected) = expectation(&t.id);
+        out.push_str(&format!("## {} — {}\n\n", t.id, t.title));
+        out.push_str(&format!("**Paper anchor.** {anchor}\n\n"));
+        out.push_str(&format!("**Expected shape.** {expected}\n\n"));
+        out.push_str("**Measured.**\n\n```text\n");
+        out.push_str(&t.render_text());
+        out.push_str("```\n\n");
+    }
+    out.push_str("## Verdict\n\n");
+    out.push_str(
+        "All hard assertions passed during generation: CSA rounds equalled the \
+width everywhere (Theorem 5), per-switch port transitions never exceeded \
+the constant bound (Theorem 8), every schedule verified as compatible and \
+complete (Theorem 4), and the Roy-style comparator's per-switch cost grew \
+linearly in w as the paper states for [6]. Separately, \
+`tests/exhaustive_small.rs` certifies exact optimality (brute-force \
+chromatic number == width == CSA rounds) and four-way implementation \
+agreement over the entire space of well-nested patterns on 8 leaves.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_includes_every_table() {
+        let mut t1 = Table::new("E1", "demo", &["a"]);
+        t1.row(vec!["1".into()]);
+        let t2 = Table::new("E7", "demo2", &["b"]);
+        let md = experiments_md(&[t1, t2], true);
+        assert!(md.contains("## E1"));
+        assert!(md.contains("## E7"));
+        assert!(md.contains("Theorem 5"));
+        assert!(md.contains("quick mode"));
+        assert!(md.contains("## Verdict"));
+    }
+
+    #[test]
+    fn expectations_cover_all_ids() {
+        for id in ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"] {
+            let (a, e) = expectation(id);
+            assert!(!a.is_empty() && !e.is_empty(), "{id} missing expectation");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! ASCII visualization of scheduled rounds: the tree drawn level by level
+//! with each switch's configuration, and the active PEs underneath.
+//!
+//! ```text
+//! $ cst-tools viz '((.))'
+//! round 0
+//!                 [l>r]
+//!         [l>p]           [p>r]
+//!     [l>p]   .       .       [p>r]
+//! PE:  S   .   .   .   .   D   .   .
+//! ```
+
+use cst_comm::{CommSet, Round};
+use cst_core::{Connection, CstTopology, Side, SwitchConfig};
+
+/// Width of one leaf cell in characters.
+const CELL: usize = 8;
+
+/// Compact label for a switch configuration, e.g. `[l>r,p>l]`.
+fn config_label(cfg: &SwitchConfig) -> String {
+    if cfg.is_empty() {
+        return ".".to_string();
+    }
+    let part = |c: Connection| {
+        let s = |side: Side| match side {
+            Side::Left => 'l',
+            Side::Right => 'r',
+            Side::Parent => 'p',
+        };
+        format!("{}>{}", s(c.from), s(c.to))
+    };
+    let parts: Vec<String> = cfg.connections().map(part).collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Place `text` centered at column `center` into `line`, extending it with
+/// spaces as needed.
+fn put_centered(line: &mut String, center: usize, text: &str) {
+    let start = center.saturating_sub(text.len() / 2);
+    if line.len() < start {
+        line.push_str(&" ".repeat(start - line.len()));
+    }
+    // overwrite from `start`
+    let mut chars: Vec<char> = line.chars().collect();
+    if chars.len() < start + text.len() {
+        chars.resize(start + text.len(), ' ');
+    }
+    for (i, ch) in text.chars().enumerate() {
+        chars[start + i] = ch;
+    }
+    *line = chars.into_iter().collect();
+}
+
+/// Render one round as a multi-line diagram.
+pub fn render_round(topo: &CstTopology, set: &CommSet, round: &Round) -> String {
+    let mut out = String::new();
+    for depth in 0..topo.height() {
+        let mut line = String::new();
+        for node in topo.switches_at_depth(depth) {
+            let range = topo.leaf_range(node);
+            let center = (range.start + range.end) * CELL / 2;
+            let label = match round.configs.get(&node) {
+                Some(cfg) => config_label(cfg),
+                None => ".".to_string(),
+            };
+            put_centered(&mut line, center, &label);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    // Leaf row: mark active sources/dests of this round.
+    let mut roles = vec!['.'; topo.num_leaves()];
+    for &id in &round.comms {
+        if let Some(c) = set.get(id) {
+            roles[c.source.0] = 'S';
+            roles[c.dest.0] = 'D';
+        }
+    }
+    let mut line = String::from("PE:");
+    for (i, r) in roles.iter().enumerate() {
+        put_centered(&mut line, i * CELL + CELL / 2, &r.to_string());
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out
+}
+
+/// Render a whole schedule.
+pub fn render_schedule(
+    topo: &CstTopology,
+    set: &CommSet,
+    schedule: &cst_comm::Schedule,
+) -> String {
+    let mut out = String::new();
+    for (i, round) in schedule.rounds.iter().enumerate() {
+        out.push_str(&format!("round {i}\n"));
+        out.push_str(&render_round(topo, set, round));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        let mut cfg = SwitchConfig::empty();
+        cfg.set(Connection::L_TO_R).unwrap();
+        assert_eq!(config_label(&cfg), "[l>r]");
+        cfg.set(Connection::P_TO_L).unwrap();
+        assert_eq!(config_label(&cfg), "[p>l,l>r]");
+        assert_eq!(config_label(&SwitchConfig::empty()), ".");
+    }
+
+    #[test]
+    fn put_centered_extends_and_overwrites() {
+        let mut line = String::new();
+        put_centered(&mut line, 10, "abc");
+        assert_eq!(line, "         abc");
+        put_centered(&mut line, 2, "XY");
+        assert!(line.starts_with(" XY"));
+    }
+
+    #[test]
+    fn renders_rounds_with_roles() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7)]);
+        let out = cst_padr::schedule(&topo, &set).unwrap();
+        let viz = render_schedule(&topo, &set, &out.schedule);
+        assert!(viz.contains("round 0"));
+        assert!(viz.contains("[l>r]"));
+        assert!(viz.contains("S"));
+        assert!(viz.contains("D"));
+        // three switch levels + PE row + blank per round
+        assert_eq!(viz.lines().count(), 1 + 3 + 1 + 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Adversarial and profile-controlled generators: inputs designed to
+//! stress specific scheduler behaviours rather than to be typical.
+
+use cst_comm::{CommSet, Communication};
+use cst_core::LeafId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A "comb": many disjoint shallow teeth plus one spanning communication.
+/// Width 2, but the spanning comm conflicts with *every* tooth on some
+/// link of its flanks — a worst case for greedy orders that consider the
+/// spanning comm late.
+pub fn comb(n: usize, teeth: usize) -> CommSet {
+    assert!(n >= 8 && teeth >= 1);
+    let teeth = teeth.min((n - 2) / 4);
+    let mut comms = vec![Communication { source: LeafId(0), dest: LeafId(n - 1) }];
+    // teeth at positions 1+4k .. 3+4k inside the span
+    for k in 0..teeth {
+        let s = 1 + 4 * k;
+        let d = s + 2;
+        if d >= n - 1 {
+            break;
+        }
+        comms.push(Communication { source: LeafId(s), dest: LeafId(d) });
+    }
+    CommSet::new(n, comms).expect("comb is valid")
+}
+
+/// Interleaved nests: the full nest of width `n/4` in each half, with
+/// communication ids shuffled — the adversarial input order for the E8
+/// ablation's `InputOrder` scan.
+pub fn shuffled_double_nest<R: Rng + ?Sized>(rng: &mut R, n: usize) -> CommSet {
+    assert!(n >= 8 && n.is_power_of_two());
+    let half = n / 2;
+    let mut comms = Vec::with_capacity(half / 2);
+    for i in 0..half / 2 {
+        comms.push(Communication { source: LeafId(i), dest: LeafId(half - 1 - i) });
+    }
+    for i in 0..half / 2 {
+        comms.push(Communication {
+            source: LeafId(half + i),
+            dest: LeafId(n - 1 - i),
+        });
+    }
+    comms.shuffle(rng);
+    CommSet::new(n, comms).expect("double nest is valid")
+}
+
+/// A set with an exact *nesting-depth histogram*: `profile[d]` gives the
+/// number of communications at depth `d+1`. Built as consecutive towers;
+/// returns `None` if the profile does not fit on `n` leaves or is not
+/// monotone non-increasing (a deeper level needs an enclosing one).
+pub fn with_depth_profile(n: usize, profile: &[usize]) -> Option<CommSet> {
+    if profile.is_empty() || profile[0] == 0 {
+        return None;
+    }
+    for w in profile.windows(2) {
+        if w[1] > w[0] {
+            return None;
+        }
+    }
+    // Build towers greedily: each outermost communication hosts a chain of
+    // nested ones as deep as the remaining profile allows.
+    let mut remaining: Vec<usize> = profile.to_vec();
+    let mut comms: Vec<Communication> = Vec::new();
+    let mut cursor = 0usize; // next free leaf
+    while remaining[0] > 0 {
+        // depth of this tower = number of levels still needing comms,
+        // scanning from the deepest level upward
+        let depth = remaining.iter().rposition(|&c| c > 0)? + 1;
+        let tower_width = 2 * depth;
+        if cursor + tower_width > n {
+            return None;
+        }
+        for (d, level_remaining) in remaining.iter_mut().enumerate().take(depth) {
+            comms.push(Communication {
+                source: LeafId(cursor + d),
+                dest: LeafId(cursor + tower_width - 1 - d),
+            });
+            *level_remaining -= 1;
+        }
+        cursor += tower_width;
+    }
+    if remaining.iter().any(|&c| c > 0) {
+        return None;
+    }
+    CommSet::new(n, comms).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_comm::width_on_topology;
+    use cst_core::CstTopology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn comb_structure() {
+        let topo = CstTopology::with_leaves(32);
+        let set = comb(32, 6);
+        assert!(set.is_well_nested());
+        assert_eq!(set.len(), 7);
+        assert_eq!(width_on_topology(&topo, &set), 2);
+        let out = cst_padr::schedule(&topo, &set).unwrap();
+        assert_eq!(out.rounds(), 2);
+    }
+
+    #[test]
+    fn double_nest_shuffled_is_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let set = shuffled_double_nest(&mut rng, 32);
+        assert!(set.is_well_nested());
+        assert_eq!(set.len(), 16);
+        let topo = CstTopology::with_leaves(32);
+        assert_eq!(width_on_topology(&topo, &set), 8);
+    }
+
+    #[test]
+    fn depth_profile_exact() {
+        let set = with_depth_profile(64, &[4, 2, 1]).unwrap();
+        assert!(set.is_well_nested());
+        let depths = set.nesting_depths();
+        assert_eq!(depths.iter().filter(|&&d| d == 1).count(), 4);
+        assert_eq!(depths.iter().filter(|&&d| d == 2).count(), 2);
+        assert_eq!(depths.iter().filter(|&&d| d == 3).count(), 1);
+    }
+
+    #[test]
+    fn depth_profile_rejects_bad_inputs() {
+        // increasing profile: a depth-2 comm needs a depth-1 parent
+        assert!(with_depth_profile(64, &[1, 2]).is_none());
+        // does not fit
+        assert!(with_depth_profile(8, &[4, 4]).is_none());
+        assert!(with_depth_profile(8, &[]).is_none());
+        assert!(with_depth_profile(8, &[0]).is_none());
+    }
+
+    #[test]
+    fn depth_profile_fits_snugly() {
+        // towers: [2,1] -> one tower of depth 2 (4 leaves) + one of depth 1
+        // (2 leaves) = 6 leaves; fits on 8.
+        let set = with_depth_profile(8, &[2, 1]).unwrap();
+        assert_eq!(set.len(), 3);
+    }
+}

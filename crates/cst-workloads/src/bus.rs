@@ -1,0 +1,118 @@
+//! Segmentable-bus workloads (paper §1: well-nested sets are "a superset
+//! of the communications required by the segmentable bus; a fundamental
+//! reconfigurable architecture").
+//!
+//! A segmentable bus partitions the PE line into contiguous segments; in
+//! each segment one PE broadcasts along the segment — here modeled as one
+//! communication from the segment's left end to its right end (width-1
+//! traffic), plus optional nested "sub-bus" traffic inside segments.
+
+use cst_comm::{CommSet, Communication};
+use cst_core::LeafId;
+use rand::Rng;
+
+/// One communication per segment, spanning it fully: `(seg_start,
+/// seg_end-1)`. Segment boundaries are chosen by splitting `n` leaves into
+/// `segments` nearly-equal parts; segments shorter than 2 leaves are
+/// skipped.
+pub fn segmented_bus(n: usize, segments: usize) -> CommSet {
+    assert!(segments >= 1);
+    let mut comms = Vec::new();
+    for i in 0..segments {
+        let start = i * n / segments;
+        let end = (i + 1) * n / segments;
+        if end - start >= 2 {
+            comms.push(Communication { source: LeafId(start), dest: LeafId(end - 1) });
+        }
+    }
+    CommSet::new(n, comms).expect("segment spans are disjoint")
+}
+
+/// A hierarchical bus: like [`segmented_bus`], plus recursively nested
+/// sub-segment traffic down to `levels` levels. Each level doubles the
+/// number of segments and nests strictly inside the previous level's
+/// spans, producing width exactly `levels` (every level's comm over a leaf
+/// region shares the region's boundary-crossing links with its parents).
+pub fn hierarchical_bus(n: usize, levels: u32) -> CommSet {
+    assert!(levels >= 1);
+    let mut comms = Vec::new();
+    // Level k (0-based) splits n into 2^k segments and connects
+    // (start + k) -> (end - 1 - k), shrinking by one leaf per side per
+    // level so endpoints stay distinct and strictly nested.
+    for k in 0..levels as usize {
+        let segs = 1usize << k;
+        for i in 0..segs {
+            let start = i * n / segs + k;
+            let end = (i + 1) * n / segs - k;
+            if end > start + 1 {
+                comms.push(Communication { source: LeafId(start), dest: LeafId(end - 1) });
+            }
+        }
+    }
+    CommSet::new(n, comms).expect("hierarchical bus is valid")
+}
+
+/// A randomized segmentable bus: random segment boundaries (at least
+/// `min_seg` leaves each), one spanning communication per segment.
+pub fn random_bus<R: Rng + ?Sized>(rng: &mut R, n: usize, min_seg: usize) -> CommSet {
+    assert!(min_seg >= 2 && min_seg <= n);
+    let mut comms = Vec::new();
+    let mut start = 0usize;
+    while start + min_seg <= n {
+        let max_len = n - start;
+        let len = rng.gen_range(min_seg..=max_len.min(4 * min_seg));
+        comms.push(Communication { source: LeafId(start), dest: LeafId(start + len - 1) });
+        start += len;
+    }
+    CommSet::new(n, comms).expect("random bus is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_comm::width_on_topology;
+    use cst_core::CstTopology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn segmented_bus_is_width_one() {
+        for (n, s) in [(16usize, 1usize), (16, 4), (64, 8), (128, 5)] {
+            let topo = CstTopology::with_leaves(n);
+            let set = segmented_bus(n, s);
+            assert!(set.is_well_nested());
+            assert!(set.is_right_oriented());
+            assert_eq!(width_on_topology(&topo, &set), 1, "n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_bus_width_equals_levels() {
+        for levels in 1..=3u32 {
+            let n = 64;
+            let topo = CstTopology::with_leaves(n);
+            let set = hierarchical_bus(n, levels);
+            assert!(set.is_well_nested(), "levels={levels}");
+            assert_eq!(width_on_topology(&topo, &set), levels, "levels={levels}");
+        }
+    }
+
+    #[test]
+    fn random_bus_valid_and_width_one() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..30 {
+            let n = 128;
+            let topo = CstTopology::with_leaves(n);
+            let set = random_bus(&mut rng, n, 4);
+            assert!(set.is_well_nested());
+            assert!(!set.is_empty());
+            assert_eq!(width_on_topology(&topo, &set), 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_small_segments_skipped() {
+        let set = segmented_bus(8, 8);
+        assert!(set.is_empty());
+    }
+}

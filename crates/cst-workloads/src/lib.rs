@@ -1,0 +1,25 @@
+//! # cst-workloads — seeded workload generators
+//!
+//! Inputs for the experiments:
+//!
+//! * [`random`] — uniformly random well-nested sets (cycle-lemma Dyck
+//!   words placed on random leaf positions);
+//! * [`width_targeted`] — sets with exact width `w` (planted nested chain
+//!   plus width-capped filler) and the depth-vs-width "staircase";
+//! * [`bus`] — segmentable-bus patterns (flat, hierarchical, random),
+//!   the motivating workload class of the paper's introduction;
+//! * [`adversarial`] — combs, shuffled double nests, exact depth
+//!   profiles: stress inputs for specific scheduler behaviours.
+//!
+//! All generators take a caller-provided `Rng` so experiments are
+//! reproducible from a seed.
+
+pub mod adversarial;
+pub mod bus;
+pub mod random;
+pub mod width_targeted;
+
+pub use adversarial::{comb, shuffled_double_nest, with_depth_profile};
+pub use bus::{hierarchical_bus, random_bus, segmented_bus};
+pub use random::{random_dyck, sample_positions, well_nested_set, well_nested_with_density};
+pub use width_targeted::{staircase, with_width, with_width_checked};

@@ -1,0 +1,171 @@
+//! Generators with a controlled target width `w` — the sweep variable of
+//! experiments E1/E2/E6/E8.
+//!
+//! The construction plants one nested chain of exactly `w` communications
+//! around the tree's center (all `w` share the up-link into the root from
+//! its left child, so the width is at least `w`), then fills the remaining
+//! leaf space left and right of the chain with independent random
+//! well-nested sets whose depth is capped at `w` (their nesting depth
+//! bounds any link load they create). The result has width exactly `w`.
+
+use crate::random::well_nested_set;
+use cst_comm::{width_on_topology, CommSet, Communication};
+use cst_core::{CstTopology, LeafId};
+use rand::Rng;
+
+/// A set of width exactly `w` on `n` leaves (`2w <= n`, `w >= 1`): a
+/// centered nested chain plus random filler in the flanks.
+///
+/// `filler_density` in `[0, 1]` controls how much of each flank is used by
+/// extra communications (0 = the bare chain).
+pub fn with_width<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    w: usize,
+    filler_density: f64,
+) -> CommSet {
+    assert!(w >= 1 && 2 * w <= n, "need 1 <= w and 2w <= n (w={w}, n={n})");
+    let mid = n / 2;
+    // Chain: sources mid-w .. mid-1 (ascending), dests mid .. mid+w-1 so
+    // that pair i is (mid-1-i, mid+i): properly nested around the center.
+    let mut comms: Vec<Communication> = (0..w)
+        .map(|i| Communication { source: LeafId(mid - 1 - i), dest: LeafId(mid + i) })
+        .rev() // outermost first for readable ids
+        .collect();
+
+    // Flanks: [0, mid-w) and [mid+w, n). Fill each with a random
+    // well-nested set, capping the depth by peeling: we simply generate
+    // with at most floor(w/1) pairs... depth of a well-nested set never
+    // exceeds its size, so limiting each flank set's size to w caps its
+    // depth (hence any link load it induces) at w.
+    let fill = |rng: &mut R, lo: usize, hi: usize, comms: &mut Vec<Communication>| {
+        let span = hi.saturating_sub(lo);
+        if span < 2 || filler_density <= 0.0 {
+            return;
+        }
+        let budget = ((span / 2) as f64 * filler_density).floor() as usize;
+        let m = budget.min(w);
+        if m == 0 {
+            return;
+        }
+        let sub = well_nested_set(rng, span, m);
+        for c in sub.comms() {
+            comms.push(Communication {
+                source: LeafId(c.source.0 + lo),
+                dest: LeafId(c.dest.0 + lo),
+            });
+        }
+    };
+    let (lo_end, hi_start) = (mid - w, mid + w);
+    fill(rng, 0, lo_end, &mut comms);
+    fill(rng, hi_start, n, &mut comms);
+
+    CommSet::new(n, comms).expect("width-targeted generator produced a valid set")
+}
+
+/// Like [`with_width`] but asserts the achieved width (debug aid; the
+/// experiments call this in tests, the benches call [`with_width`]).
+pub fn with_width_checked<R: Rng + ?Sized>(
+    rng: &mut R,
+    topo: &CstTopology,
+    w: usize,
+    filler_density: f64,
+) -> CommSet {
+    let set = with_width(rng, topo.num_leaves(), w, filler_density);
+    debug_assert_eq!(width_on_topology(topo, &set) as usize, w);
+    set
+}
+
+/// The "staircase" family that separates nesting depth from width: tiled
+/// copies of the depth-3/width-2 motif `{(3,9), (4,8), (5,6)}` (each copy
+/// occupies a 16-leaf block). Each motif's three communications share
+/// links only consecutively, so the whole set has nesting depth 3 but
+/// width 2 — the adversarial input on which level-based (Roy-style)
+/// scheduling pays `depth` rounds while the CSA pays only `width`.
+///
+/// Note this separation cannot be extended arbitrarily: every chain member
+/// from the second outward crosses the second member's apex boundary and
+/// therefore shares that apex's up-link, so a chain of length `k` forces
+/// width `>= k - 1`. Depth exceeds width by at most one per motif; tiling
+/// multiplies the *number* of such decisions, not the gap.
+pub fn staircase(n: usize, copies: usize) -> CommSet {
+    assert!(n.is_power_of_two() && n >= 16);
+    let max_copies = n / 16;
+    let copies = copies.clamp(1, max_copies);
+    let mut comms = Vec::with_capacity(3 * copies);
+    for c in 0..copies {
+        let base = 16 * c;
+        for &(s, d) in &[(3usize, 9usize), (4, 8), (5, 6)] {
+            comms.push(Communication { source: LeafId(base + s), dest: LeafId(base + d) });
+        }
+    }
+    CommSet::new(n, comms).expect("staircase is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bare_chain_has_exact_width() {
+        for (n, w) in [(16usize, 1usize), (16, 4), (64, 7), (128, 32), (256, 100)] {
+            let topo = CstTopology::with_leaves(n);
+            let set = with_width(&mut rng(1), n, w, 0.0);
+            assert_eq!(set.len(), w);
+            assert!(set.is_well_nested());
+            assert_eq!(width_on_topology(&topo, &set) as usize, w, "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn filler_preserves_width() {
+        for seed in 0..20u64 {
+            for w in [2usize, 5, 9] {
+                let n = 256;
+                let topo = CstTopology::with_leaves(n);
+                let set = with_width(&mut rng(seed), n, w, 0.8);
+                assert!(set.is_well_nested(), "seed {seed} w {w}");
+                assert_eq!(
+                    width_on_topology(&topo, &set) as usize,
+                    w,
+                    "seed {seed} w {w}"
+                );
+                assert!(set.len() >= w);
+            }
+        }
+    }
+
+    #[test]
+    fn staircase_depth_exceeds_width() {
+        for copies in [1usize, 3, 8] {
+            let n = 256;
+            let topo = CstTopology::with_leaves(n);
+            let set = staircase(n, copies);
+            assert!(set.is_well_nested());
+            assert_eq!(set.len(), 3 * copies);
+            let w = width_on_topology(&topo, &set);
+            let depth = set.max_nesting_depth();
+            assert_eq!(depth, 3);
+            assert_eq!(w, 2, "width must stay 2 with {copies} copies");
+        }
+    }
+
+    #[test]
+    fn staircase_clamps_copies() {
+        let set = staircase(16, 100);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn checked_variant_agrees() {
+        let topo = CstTopology::with_leaves(128);
+        let set = with_width_checked(&mut rng(3), &topo, 6, 0.5);
+        assert_eq!(width_on_topology(&topo, &set), 6);
+    }
+}

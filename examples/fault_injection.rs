@@ -1,0 +1,64 @@
+//! Fault-injection campaign: corrupt every switch's stored control state
+//! (the `C_S` counters of Phase 1) one field at a time and watch the
+//! protocol machinery catch it.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+
+use cst::core::{CstTopology, NodeId};
+use cst::sim::{campaign, run_with_fault, Fault, FaultOutcome, StateField};
+
+fn main() {
+    let topo = CstTopology::with_leaves(32);
+    let set = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        cst::workloads::well_nested_set(&mut rng, 32, 10)
+    };
+    println!(
+        "workload: {} communications on {} PEs ({} switches)",
+        set.len(),
+        topo.num_leaves(),
+        topo.num_switches()
+    );
+
+    // A few hand-picked injections with their outcomes explained.
+    println!("\nselected injections:");
+    let cases = [
+        ("phantom matched pair at an idle switch", Fault {
+            node: topo.lca(cst::core::LeafId(30), cst::core::LeafId(31)),
+            field: StateField::Matched,
+            delta: 1,
+        }),
+        ("lost matched pair at the root", Fault {
+            node: NodeId::ROOT,
+            field: StateField::Matched,
+            delta: -1,
+        }),
+        ("inflated left-source count at the root's left child", Fault {
+            node: NodeId(2),
+            field: StateField::LeftSources,
+            delta: 1,
+        }),
+    ];
+    for (what, fault) in cases {
+        let outcome = run_with_fault(&topo, &set, fault);
+        let verdict = match &outcome {
+            FaultOutcome::DetectedDuringRun(e) => format!("DETECTED during run: {e}"),
+            FaultOutcome::DetectedByVerifier(e) => format!("DETECTED by verifier: {e}"),
+            FaultOutcome::Masked => "masked (output still correct)".to_string(),
+        };
+        println!("  {what:>55}: {verdict}");
+    }
+
+    // The full campaign: every switch x every field x (+1, -1).
+    let (during, by_verifier, masked) = campaign(&topo, &set);
+    let total = during + by_verifier + masked;
+    println!("\nfull campaign over {total} injections:");
+    println!("  detected during the run : {during:>4}");
+    println!("  detected by the verifier: {by_verifier:>4}");
+    println!("  masked (correct output) : {masked:>4}");
+    println!("\nno injection ever produced a wrong schedule that verified — the");
+    println!("rank arithmetic is self-checking and the end-to-end verifier backs it up.");
+}

@@ -1,0 +1,48 @@
+//! Power comparison: the paper's headline contrast, CSA (O(1) changes per
+//! switch) versus the Roy-style ID scheduler (O(w) changes per switch),
+//! swept over the width.
+//!
+//! ```text
+//! cargo run --release --example power_comparison            # quick sweep
+//! cargo run --release --example power_comparison -- full    # E2+E3+E6+E8
+//! ```
+
+use cst::analysis::experiments::{e2_changes, e3_total_power, e6_histogram, e8_ablation};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+
+    let e2_cfg = if full {
+        e2_changes::Config::default()
+    } else {
+        e2_changes::Config {
+            n: 256,
+            widths: vec![1, 2, 4, 8, 16, 32, 64],
+            seeds: (0..3).collect(),
+            threads: cst::analysis::default_threads(),
+        }
+    };
+    println!("{}", e2_changes::run(&e2_cfg).render_text());
+
+    let e3_cfg = if full {
+        e3_total_power::Config::default()
+    } else {
+        e3_total_power::Config {
+            sizes: vec![64, 256, 1024],
+            density: 0.5,
+            seeds: (0..3).collect(),
+            threads: cst::analysis::default_threads(),
+        }
+    };
+    println!("{}", e3_total_power::run(&e3_cfg).render_text());
+
+    if full {
+        let e6 = e6_histogram::run(&e6_histogram::Config::default());
+        println!("{}", e6.table.render_text());
+        println!("csa per-switch hold units:\n{}", e6.csa_hist.render());
+        println!("roy per-switch write-through units:\n{}", e6.roy_hist.render());
+        println!("{}", e8_ablation::run(&e8_ablation::Config::default()).render_text());
+    } else {
+        println!("(run with `-- full` for the histogram and ablation experiments)");
+    }
+}

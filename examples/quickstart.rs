@@ -1,0 +1,49 @@
+//! Quickstart: schedule a well-nested communication set on the CST with
+//! the power-aware CSA and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cst::comm::{to_paren_string, width_on_topology, CommSet};
+use cst::core::CstTopology;
+
+fn main() {
+    // A 16-PE circuit switched tree.
+    let topo = CstTopology::with_leaves(16);
+
+    // The paper's Figure-2-style workload: nested groups of right-oriented
+    // communications, written as a parenthesis pattern over PE positions.
+    let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 5), (3, 4), (8, 11), (9, 10)]);
+    println!("communication set : {}", to_paren_string(&set).unwrap());
+    println!("communications    : {}", set.len());
+    let width = width_on_topology(&topo, &set);
+    println!("width w           : {width} (max communications on one directed link)");
+
+    // Schedule with the paper's Configuration and Scheduling Algorithm.
+    let out = cst::padr::schedule(&topo, &set).expect("valid well-nested input");
+    println!("\nCSA schedule ({} rounds — Theorem 5 says exactly w):", out.rounds());
+    for (i, round) in out.schedule.rounds.iter().enumerate() {
+        let pairs: Vec<String> = round
+            .comms
+            .iter()
+            .map(|&id| {
+                let c = &set.comms()[id.0];
+                format!("{}->{}", c.source.0, c.dest.0)
+            })
+            .collect();
+        println!("  round {i}: {}", pairs.join(", "));
+    }
+
+    // Power accounting under the PADR model (1 unit per connection set,
+    // holding is free).
+    println!("\npower (hold semantics):");
+    println!("  total units              : {}", out.power.total_units);
+    println!("  max units per switch     : {}", out.power.max_units);
+    println!("  max port transitions     : {} (Theorem 8: O(1))", out.power.max_port_transitions);
+
+    // Verify Theorems 4, 5 and 8 in one call.
+    let report = cst::padr::verify_outcome(&topo, &set, &out).expect("all theorems hold");
+    println!("\nverified: rounds == width == {}, transitions <= {}", report.width,
+        cst::padr::CSA_PORT_TRANSITION_BOUND);
+}

@@ -1,0 +1,40 @@
+//! The paper's opening argument, run live: dynamic reconfiguration on the
+//! R-Mesh is extremely fast but pays for it in switch reconfigurations;
+//! the CST with PADR is slower by a log factor and dramatically cheaper.
+//!
+//! ```text
+//! cargo run --release --example rmesh_vs_cst
+//! ```
+
+use cst::rmesh::RMesh;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 64;
+    let mut rng = StdRng::seed_from_u64(2007);
+    let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let ones = bits.iter().filter(|&&b| b).count();
+    println!("task: count the ones of a {n}-bit vector (answer: {ones})\n");
+
+    // --- R-Mesh: the classic one-step staircase ------------------------
+    let mut mesh = RMesh::new(n + 1, n);
+    let got = cst::rmesh::count_ones(&mut mesh, &bits).expect("staircase");
+    assert_eq!(got, ones);
+    println!("R-Mesh ({}x{} PEs):", n + 1, n);
+    println!("  steps           : {}", mesh.meter().steps());
+    println!("  reconfigurations: {} (every PE on the board)", mesh.meter().total_units());
+
+    // --- CST + PADR: tree reduction ------------------------------------
+    let values: Vec<i64> = bits.iter().map(|&b| i64::from(b)).collect();
+    let out = cst::apps::reduce(values, |a, b| a + b).expect("reduce");
+    assert_eq!(out.values[0] as usize, ones);
+    println!("\nCST + PADR ({n} PEs, {} switches):", n - 1);
+    println!("  rounds          : {} (log2 n steps, width-1 each)", out.rounds);
+    println!("  reconfigurations: {} power units", out.total_power);
+
+    let ratio = mesh.meter().total_units() as f64 / out.total_power.max(1) as f64;
+    println!("\nthe tradeoff: the R-Mesh answers in 1 step but spends {ratio:.1}x the");
+    println!("power — exactly the gap the paper's PADR technique is built to close");
+    println!("(and which grows linearly with n: see experiment E12).");
+}

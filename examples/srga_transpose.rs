@@ -1,0 +1,49 @@
+//! Matrix transpose on the SRGA: the 2D architecture the CST comes from
+//! (a CST per row and per column), with every 1D phase scheduled by the
+//! power-aware CSA.
+//!
+//! ```text
+//! cargo run --release --example srga_transpose
+//! ```
+
+use cst::srga::{transpose, Coord, SrgaGrid};
+
+fn main() {
+    let side = 8;
+    let grid = SrgaGrid::square(side);
+    println!(
+        "SRGA {side}x{side}: {} PEs, {} switches across {} row + {} column CSTs",
+        grid.num_pes(),
+        grid.num_switches(),
+        grid.rows(),
+        grid.cols(),
+    );
+
+    let out = transpose(&grid).expect("transpose routes");
+    println!(
+        "\ntranspose: {} communications in {} waves, {} total CST rounds",
+        grid.num_pes() - side,
+        out.waves.len(),
+        out.total_rounds()
+    );
+    for (i, wave) in out.waves.iter().enumerate() {
+        println!(
+            "  wave {i}: {:>3} comms | row phase {} rounds across {} rows | col phase {} rounds across {} cols",
+            wave.comms.len(),
+            wave.row_rounds,
+            wave.row_phases.len(),
+            wave.col_rounds,
+            wave.col_phases.len(),
+        );
+    }
+    println!(
+        "\npower: {} total units (hold semantics), max {} at any single switch",
+        out.total_power_units, out.max_switch_units
+    );
+
+    // Show one concrete path: (1,6) -> (6,1) via the turn PE (1,1).
+    let c = Coord::at(1, 6);
+    let t = Coord::at(c.col, c.row);
+    println!("\nexample: {c} -> {t} travels row {} (col 6 -> col {}), then column {} (row 1 -> row {})",
+        c.row, t.col, t.col, t.row);
+}

@@ -1,0 +1,45 @@
+//! # cst — Power-Aware Routing for Well-Nested Communications on the
+//! Circuit Switched Tree
+//!
+//! Umbrella crate re-exporting the whole workspace. A faithful, tested
+//! reproduction of El-Boghdadi's IPPS 2007 paper:
+//!
+//! * [`core`] (`cst-core`) — the CST substrate: topology, 3-sided
+//!   switches, circuits, compatibility, the PADR power model;
+//! * [`comm`] (`cst-comm`) — communication sets, well-nestedness, width;
+//! * [`padr`] (`cst-padr`) — the paper's Configuration and Scheduling
+//!   Algorithm (CSA): `w` rounds, O(1) configuration changes per switch;
+//! * [`baseline`] (`cst-baseline`) — Roy-style ID scheduler and greedy
+//!   comparators;
+//! * [`sim`] (`cst-sim`) — cycle-level simulator with payload transfer
+//!   and an energy model;
+//! * [`workloads`] (`cst-workloads`) — seeded generators;
+//! * [`analysis`] (`cst-analysis`) — the E1..E8 experiment suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cst::core::CstTopology;
+//! use cst::comm::CommSet;
+//!
+//! // 8 PEs, three nested right-oriented communications (width 3).
+//! let topo = CstTopology::with_leaves(8);
+//! let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+//!
+//! let out = cst::padr::schedule(&topo, &set).unwrap();
+//! assert_eq!(out.rounds(), 3);                       // Theorem 5
+//! let report = cst::padr::verify_outcome(&topo, &set, &out).unwrap();
+//! assert!(report.max_port_transitions <= 9);          // Theorem 8
+//! ```
+
+pub use cst_analysis as analysis;
+pub use cst_baseline as baseline;
+pub use cst_comm as comm;
+pub use cst_core as core;
+pub use cst_padr as padr;
+pub use cst_sim as sim;
+pub use cst_srga as srga;
+pub use cst_apps as apps;
+pub use cst_bus as bus;
+pub use cst_rmesh as rmesh;
+pub use cst_workloads as workloads;

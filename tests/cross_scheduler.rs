@@ -1,0 +1,107 @@
+//! Cross-scheduler integration: every scheduler agrees on *what* is
+//! communicated (the set), differs only in *when* (the partition), and
+//! the power ordering matches the paper's story.
+
+use cst::baseline::{greedy, roy, sequential, LevelOrder, ScanOrder};
+use cst::comm::{width_on_topology, Schedule};
+use cst::core::CstTopology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+fn scheduled_ids(s: &Schedule) -> BTreeSet<usize> {
+    s.scheduled_ids().map(|c| c.0).collect()
+}
+
+#[test]
+fn all_schedulers_cover_the_same_set() {
+    let n = 256;
+    let topo = CstTopology::with_leaves(n);
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.6);
+        let expect: BTreeSet<usize> = (0..set.len()).collect();
+
+        let csa = cst::padr::schedule(&topo, &set).unwrap();
+        assert_eq!(scheduled_ids(&csa.schedule), expect);
+
+        let r = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).unwrap();
+        assert_eq!(scheduled_ids(&r.schedule), expect);
+
+        for order in [
+            ScanOrder::OutermostFirst,
+            ScanOrder::InnermostFirst,
+            ScanOrder::InputOrder,
+        ] {
+            let g = greedy::schedule(&topo, &set, order).unwrap();
+            assert_eq!(scheduled_ids(&g.schedule), expect);
+        }
+
+        let s = sequential::schedule(&topo, &set).unwrap();
+        assert_eq!(scheduled_ids(&s), expect);
+    }
+}
+
+#[test]
+fn round_count_ordering() {
+    // CSA == width <= roy <= sequential; greedy outermost == width on all
+    // tested inputs.
+    let n = 512;
+    let topo = CstTopology::with_leaves(n);
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed + 50);
+        let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.8);
+        let w = width_on_topology(&topo, &set) as usize;
+        let csa = cst::padr::schedule(&topo, &set).unwrap();
+        let r = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).unwrap();
+        let g = greedy::schedule(&topo, &set, ScanOrder::OutermostFirst).unwrap();
+        let s = sequential::schedule(&topo, &set).unwrap();
+        assert_eq!(csa.rounds(), w);
+        assert_eq!(g.schedule.num_rounds(), w, "greedy outermost meets width");
+        assert!(r.schedule.num_rounds() >= w);
+        assert!(r.schedule.num_rounds() <= s.num_rounds());
+    }
+}
+
+#[test]
+fn power_story_holds_per_switch() {
+    // The headline numbers: CSA per-switch hold cost is a small constant;
+    // the Roy-style protocol's per-switch write-through cost tracks the
+    // width.
+    let n = 512;
+    let topo = CstTopology::with_leaves(n);
+    for w in [8usize, 64] {
+        let mut rng = StdRng::seed_from_u64(w as u64);
+        let set = cst::workloads::with_width(&mut rng, n, w, 0.5);
+        let csa = cst::padr::schedule(&topo, &set).unwrap();
+        assert!(csa.power.max_units <= 9, "w={w}: csa max {}", csa.power.max_units);
+        let r = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).unwrap();
+        let rep = r.schedule.meter_power(&topo).report(&topo);
+        assert!(
+            rep.max_writethrough_units as usize >= w,
+            "w={w}: roy wt max {}",
+            rep.max_writethrough_units
+        );
+    }
+}
+
+#[test]
+fn csa_equals_greedy_outermost_partition() {
+    // The CSA is the distributed realization of outermost-first greedy;
+    // their round partitions must coincide.
+    let n = 128;
+    let topo = CstTopology::with_leaves(n);
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed + 200);
+        let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+        if set.is_empty() {
+            continue;
+        }
+        let csa = cst::padr::schedule(&topo, &set).unwrap();
+        let g = greedy::schedule(&topo, &set, ScanOrder::OutermostFirst).unwrap();
+        assert_eq!(csa.schedule.num_rounds(), g.schedule.num_rounds(), "seed {seed}");
+        for (a, b) in csa.schedule.rounds.iter().zip(&g.schedule.rounds) {
+            assert_eq!(a.comms, b.comms, "seed {seed}");
+        }
+    }
+}

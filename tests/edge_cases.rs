@@ -1,0 +1,144 @@
+//! Boundary conditions across the whole stack: minimal trees, maximal
+//! density, degenerate sets, and scale smoke tests.
+
+use cst::comm::{width_on_topology, CommSet};
+use cst::core::{CstTopology, LeafId, NodeId};
+
+#[test]
+fn minimal_tree_two_leaves() {
+    let topo = CstTopology::with_leaves(2);
+    assert_eq!(topo.num_switches(), 1);
+    assert_eq!(topo.height(), 1);
+    let set = CommSet::from_pairs(2, &[(0, 1)]);
+    let out = cst::padr::schedule(&topo, &set).unwrap();
+    assert_eq!(out.rounds(), 1);
+    assert_eq!(out.power.total_units, 1); // one l->r at the only switch
+    out.schedule.verify(&topo, &set).unwrap();
+    // the same on every scheduler
+    let roy = cst::baseline::roy::schedule(&topo, &set, cst::baseline::LevelOrder::InnermostFirst)
+        .unwrap();
+    assert_eq!(roy.schedule.num_rounds(), 1);
+    let sim = cst::sim::simulate(&topo, &set, None).unwrap();
+    assert_eq!(sim.cycles, 1 + 2); // height + 1*(height+1)
+}
+
+#[test]
+fn minimal_left_oriented() {
+    let topo = CstTopology::with_leaves(2);
+    let set = CommSet::from_pairs(2, &[(1, 0)]);
+    let out = cst::padr::schedule_general(&topo, &set).unwrap();
+    assert_eq!(out.rounds(), 1);
+    cst::padr::verify_general(&topo, &set, &out).unwrap();
+}
+
+#[test]
+fn maximal_density_full_pairing() {
+    // every PE an endpoint: n/2 communications
+    for n in [8usize, 64, 512] {
+        let topo = CstTopology::with_leaves(n);
+        let set = cst::comm::examples::full_nest(n);
+        assert_eq!(set.len(), n / 2);
+        let out = cst::padr::schedule(&topo, &set).unwrap();
+        assert_eq!(out.rounds(), n / 2);
+        assert!(out.power.max_port_transitions <= cst::padr::CSA_PORT_TRANSITION_BOUND);
+    }
+}
+
+#[test]
+fn width_one_at_scale() {
+    // 32768 leaves, 16384 sibling pairs: one round, instantly
+    let n = 32768;
+    let topo = CstTopology::with_leaves(n);
+    let set = cst::comm::examples::sibling_pairs(n);
+    let out = cst::padr::schedule(&topo, &set).unwrap();
+    assert_eq!(out.rounds(), 1);
+    assert_eq!(out.power.total_units as usize, n / 2);
+    assert_eq!(out.power.max_units, 1);
+}
+
+#[test]
+fn single_communication_every_span() {
+    let n = 64;
+    let topo = CstTopology::with_leaves(n);
+    for d in 1..n {
+        let set = CommSet::from_pairs(n, &[(0, d)]);
+        let out = cst::padr::schedule(&topo, &set).unwrap();
+        assert_eq!(out.rounds(), 1, "span {d}");
+        out.schedule.verify(&topo, &set).unwrap();
+    }
+}
+
+#[test]
+fn adjacent_pairs_at_every_position() {
+    let n = 32;
+    let topo = CstTopology::with_leaves(n);
+    for i in 0..n - 1 {
+        let set = CommSet::from_pairs(n, &[(i, i + 1)]);
+        let out = cst::padr::schedule(&topo, &set).unwrap();
+        assert_eq!(out.rounds(), 1, "position {i}");
+        assert_eq!(width_on_topology(&topo, &set), 1);
+    }
+}
+
+#[test]
+fn leaf_id_and_node_id_boundaries() {
+    let topo = CstTopology::with_leaves(16);
+    assert!(topo.contains(NodeId(1)));
+    assert!(topo.contains(NodeId(31)));
+    assert!(!topo.contains(NodeId(0)));
+    assert!(!topo.contains(NodeId(32)));
+    assert_eq!(topo.node_leaf(NodeId(31)), Some(LeafId(15)));
+    assert_eq!(topo.node_leaf(NodeId(15)), None); // last internal switch
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let topo = CstTopology::with_leaves(8);
+    // out-of-range
+    assert!(CommSet::new(8, vec![cst::comm::Communication::of(0, 9)]).is_err());
+    // crossing
+    let crossing = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
+    assert!(cst::padr::schedule(&topo, &crossing).is_err());
+    // left-oriented through the strict entry point
+    let left = CommSet::from_pairs(8, &[(5, 2)]);
+    assert!(cst::padr::schedule(&topo, &left).is_err());
+    // but fine through the universal one
+    assert!(cst::padr::schedule_any(&topo, &left).is_ok());
+    // size mismatch panics are confined to debug assertions; the public
+    // constructors reject instead
+    assert!(CstTopology::new(24).is_err());
+}
+
+#[test]
+fn deep_tree_long_single_path() {
+    // 65536 leaves: one full-span communication crosses 2*16-1 switches
+    let n = 1 << 16;
+    let topo = CstTopology::with_leaves(n);
+    let set = CommSet::from_pairs(n, &[(0, n - 1)]);
+    let out = cst::padr::schedule(&topo, &set).unwrap();
+    assert_eq!(out.rounds(), 1);
+    // 15 switches up, the root, 15 down: 2h - 1 switches
+    assert_eq!(out.power.total_units, 2 * 16 - 1);
+    let sim = cst::sim::simulate(&topo, &set, None).unwrap();
+    assert_eq!(sim.deliveries[0].hops, 2 * 16 - 1);
+}
+
+#[test]
+fn power_of_two_leaf_counts_only() {
+    for bad in [0usize, 1, 3, 5, 6, 7, 9, 100] {
+        assert!(CstTopology::new(bad).is_err(), "{bad} accepted");
+    }
+    for good in [2usize, 4, 8, 1024] {
+        assert!(CstTopology::new(good).is_ok());
+    }
+}
+
+#[test]
+fn session_on_empty_batches() {
+    let topo = CstTopology::with_leaves(8);
+    let mut session = cst::padr::PadrSession::new(&topo);
+    let (out, report) = session.run_batch(&CommSet::empty(8)).unwrap();
+    assert_eq!(out.rounds(), 0);
+    assert_eq!(report.units_spent, 0);
+    assert_eq!(session.power().total_units, 0);
+}

@@ -1,0 +1,125 @@
+//! Property-based tests (proptest) over the whole pipeline.
+//!
+//! Strategy: random Dyck words + random leaf placements generated *inside*
+//! proptest (so shrinking works on the raw structure), then every invariant
+//! the workspace promises.
+
+use cst::comm::{from_paren_string, width_on_topology, CommSet};
+use cst::core::CstTopology;
+use proptest::prelude::*;
+
+/// Generate a random balanced-paren pattern over `n` positions with up to
+/// `n/2` pairs, as a proptest strategy that shrinks nicely.
+fn paren_pattern(n: usize) -> impl Strategy<Value = String> {
+    // A vector of "moves": push an open if possible, else dot; close if
+    // stack non-empty. Encoded as u8 choices to keep shrinking simple.
+    proptest::collection::vec(0u8..3, n).prop_map(move |choices| {
+        // Single pass with the stack discipline enforced inline.
+        // Invariant before position i: depth <= positions left (n - i),
+        // so the word can always be completed; forced closes maintain it.
+        let mut out = String::with_capacity(n);
+        let mut depth = 0usize;
+        for (i, c) in choices.into_iter().enumerate() {
+            let left_after = n - i - 1;
+            if depth > left_after {
+                // must close now to stay completable
+                out.push(')');
+                depth -= 1;
+            } else {
+                match c {
+                    0 if depth < left_after => {
+                        out.push('(');
+                        depth += 1;
+                    }
+                    1 if depth > 0 => {
+                        out.push(')');
+                        depth -= 1;
+                    }
+                    _ => out.push('.'),
+                }
+            }
+        }
+        debug_assert_eq!(depth, 0, "construction closes everything");
+        out
+    })
+}
+
+fn valid_set(pattern: &str) -> Option<CommSet> {
+    from_paren_string(pattern).ok().filter(|s| !s.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated pattern round-trips and schedules correctly
+    /// (Theorem 4), in exactly width rounds (Theorem 5), within the
+    /// constant power bound (Theorem 8).
+    #[test]
+    fn csa_theorems(pattern in paren_pattern(64)) {
+        let Some(set) = valid_set(&pattern) else { return Ok(()); };
+        let topo = CstTopology::with_leaves(64);
+        let out = cst::padr::schedule(&topo, &set).expect("CSA must succeed");
+        let report = cst::padr::verify_outcome(&topo, &set, &out).expect("theorems");
+        prop_assert_eq!(report.rounds as u32, report.width);
+        prop_assert!(report.max_port_transitions <= cst::padr::CSA_PORT_TRANSITION_BOUND);
+    }
+
+    /// The Roy baseline and greedy schedulers always produce valid
+    /// schedules, never beat the width lower bound, and the CSA never
+    /// exceeds any of them in rounds.
+    #[test]
+    fn baselines_are_valid_and_bounded(pattern in paren_pattern(64)) {
+        let Some(set) = valid_set(&pattern) else { return Ok(()); };
+        let topo = CstTopology::with_leaves(64);
+        let w = width_on_topology(&topo, &set);
+        let roy = cst::baseline::roy::schedule(&topo, &set, cst::baseline::LevelOrder::InnermostFirst).unwrap();
+        roy.schedule.verify(&topo, &set).unwrap();
+        prop_assert!(roy.schedule.num_rounds() as u32 >= w);
+        for order in [cst::baseline::ScanOrder::OutermostFirst, cst::baseline::ScanOrder::InputOrder] {
+            let g = cst::baseline::greedy::schedule(&topo, &set, order).unwrap();
+            g.schedule.verify(&topo, &set).unwrap();
+            prop_assert!(g.schedule.num_rounds() as u32 >= w);
+        }
+        let csa = cst::padr::schedule(&topo, &set).unwrap();
+        prop_assert!(csa.rounds() as u32 == w);
+    }
+
+    /// Simulator and host scheduler agree exactly: same rounds, same
+    /// configurations, same power profile, all payloads delivered.
+    #[test]
+    fn simulator_matches_host(pattern in paren_pattern(32)) {
+        let Some(set) = valid_set(&pattern) else { return Ok(()); };
+        let topo = CstTopology::with_leaves(32);
+        let host = cst::padr::schedule(&topo, &set).unwrap();
+        let sim = cst::sim::simulate(&topo, &set, None).unwrap();
+        prop_assert_eq!(sim.schedule.num_rounds(), host.schedule.num_rounds());
+        for (a, b) in sim.schedule.rounds.iter().zip(&host.schedule.rounds) {
+            prop_assert_eq!(&a.comms, &b.comms);
+            prop_assert_eq!(&a.configs, &b.configs);
+        }
+        prop_assert_eq!(sim.deliveries.len(), set.len());
+    }
+
+    /// Mirroring is an involution preserving well-nestedness and width.
+    #[test]
+    fn mirroring_involution(pattern in paren_pattern(64)) {
+        let Some(set) = valid_set(&pattern) else { return Ok(()); };
+        let topo = CstTopology::with_leaves(64);
+        let m = set.mirrored();
+        prop_assert!(m.is_well_nested());
+        prop_assert_eq!(m.mirrored(), set.clone());
+        prop_assert_eq!(width_on_topology(&topo, &m), width_on_topology(&topo, &set));
+    }
+
+    /// Width is bounded above by nesting depth and below by 1 for
+    /// non-empty sets; the CSA's schedule length matches the link bound,
+    /// never the (possibly larger) depth.
+    #[test]
+    fn width_depth_relation(pattern in paren_pattern(64)) {
+        let Some(set) = valid_set(&pattern) else { return Ok(()); };
+        let topo = CstTopology::with_leaves(64);
+        let w = width_on_topology(&topo, &set);
+        prop_assert!(w >= 1);
+        prop_assert!(w <= set.max_nesting_depth());
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests of the paper's three theorems over randomized sweeps
+//! spanning all crates: workload generation → CSA scheduling → schedule
+//! verification → power accounting.
+
+use cst::comm::width_on_topology;
+use cst::core::CstTopology;
+use cst::padr::{schedule, verify_outcome, CSA_PORT_TRANSITION_BOUND};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 4 + 5 + 8 on random well-nested sets across sizes and
+/// densities.
+#[test]
+fn theorems_hold_on_random_workloads() {
+    for n in [8usize, 16, 64, 256, 1024] {
+        for density in [0.1, 0.5, 1.0] {
+            for seed in 0..10u64 {
+                let topo = CstTopology::with_leaves(n);
+                let mut rng = StdRng::seed_from_u64(seed * 31 + n as u64);
+                let set = cst::workloads::well_nested_with_density(&mut rng, n, density);
+                if set.is_empty() {
+                    continue;
+                }
+                let out = schedule(&topo, &set)
+                    .unwrap_or_else(|e| panic!("CSA failed (n={n}, seed={seed}): {e}"));
+                let report = verify_outcome(&topo, &set, &out)
+                    .unwrap_or_else(|e| panic!("verification failed (n={n}, seed={seed}): {e}"));
+                assert_eq!(report.rounds as u32, report.width);
+                assert!(report.max_port_transitions <= CSA_PORT_TRANSITION_BOUND);
+            }
+        }
+    }
+}
+
+/// Theorem 8's constant is independent of the width: the observed maximum
+/// per-switch transitions at w = 4 equals the maximum at w = 128.
+#[test]
+fn csa_cost_is_width_independent() {
+    let n = 1024;
+    let topo = CstTopology::with_leaves(n);
+    let mut maxima = Vec::new();
+    for w in [4usize, 16, 64, 128] {
+        let mut worst = 0;
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let set = cst::workloads::with_width(&mut rng, n, w, 0.5);
+            let out = schedule(&topo, &set).unwrap();
+            worst = worst.max(out.power.max_port_transitions);
+        }
+        maxima.push(worst);
+    }
+    // The observed maxima fluctuate with workload shape (3..=7 here) but
+    // stay under the constant bound across a 32x width range — that
+    // boundedness, not literal equality, is Theorem 8's claim.
+    let hi = *maxima.iter().max().unwrap();
+    assert!(
+        hi <= CSA_PORT_TRANSITION_BOUND,
+        "per-switch transitions exceeded the constant bound: {maxima:?}"
+    );
+    // And explicitly: no linear-in-w growth (w spans 4..128 = 32x).
+    let lo = *maxima.iter().min().unwrap();
+    assert!(
+        hi < lo.max(1) * 8,
+        "transitions look width-dependent: {maxima:?}"
+    );
+}
+
+/// Theorem 5 on the workload families with special structure.
+#[test]
+fn rounds_equal_width_on_structured_families() {
+    let n = 256;
+    let topo = CstTopology::with_leaves(n);
+    let cases: Vec<cst::comm::CommSet> = vec![
+        cst::comm::examples::full_nest(n),
+        cst::comm::examples::sibling_pairs(n),
+        cst::workloads::segmented_bus(n, 16),
+        cst::workloads::hierarchical_bus(n, 5),
+        cst::workloads::staircase(n, n / 16),
+    ];
+    for set in cases {
+        let w = width_on_topology(&topo, &set);
+        let out = schedule(&topo, &set).unwrap();
+        assert_eq!(out.rounds() as u32, w);
+        out.schedule.verify(&topo, &set).unwrap();
+    }
+}
+
+/// The paper's scale claim: the constants do not move even at large N.
+#[test]
+fn large_instance_smoke() {
+    let n = 8192;
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(77);
+    let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.9);
+    let out = schedule(&topo, &set).unwrap();
+    let report = verify_outcome(&topo, &set, &out).unwrap();
+    assert!(report.max_port_transitions <= CSA_PORT_TRANSITION_BOUND);
+    assert_eq!(out.metrics.words_stored_per_switch, 5);
+}
+
+/// Mixed-orientation sets via decomposition (paper §2.1).
+#[test]
+fn mixed_orientation_general_scheduling() {
+    let n = 128;
+    let topo = CstTopology::with_leaves(n);
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed + 1000);
+        // Build a mixed set: a right-oriented random set on the left half
+        // positions and the mirror image on the right half.
+        let right = cst::workloads::well_nested_set(&mut rng, n / 2, 10);
+        let mut pairs: Vec<(usize, usize)> = right
+            .comms()
+            .iter()
+            .map(|c| (c.source.0, c.dest.0))
+            .collect();
+        // mirrored (left-oriented) copies in the upper half
+        pairs.extend(
+            right
+                .comms()
+                .iter()
+                .map(|c| (n - 1 - c.source.0, n - 1 - c.dest.0)),
+        );
+        let set = cst::comm::CommSet::from_pairs(n, &pairs);
+        let out = cst::padr::schedule_general(&topo, &set).unwrap();
+        cst::padr::verify_general(&topo, &set, &out).unwrap();
+        assert_eq!(out.rounds(), out.right_rounds + out.left_rounds);
+    }
+}
