@@ -13,8 +13,8 @@ fn bench_substrate(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(99);
     let pairs: Vec<(usize, usize)> = (0..1024)
         .map(|_| {
-            let a = rng.gen_range(0..4096);
-            let b = rng.gen_range(0..4096);
+            let a: usize = rng.gen_range(0..4096);
+            let b: usize = rng.gen_range(0..4096);
             (a.min(b), a.max(b).max(a.min(b) + 1).min(4095))
         })
         .filter(|(a, b)| a != b)

@@ -24,22 +24,25 @@ pub fn circuits_for(
 }
 
 /// Assemble a [`Schedule`] from a partition of the set into rounds,
-/// failing if any round is not a compatible set.
+/// failing if any round is not a compatible set. One scratch
+/// [`MergedRound`] is reused across rounds (reset is O(touched)).
 pub fn schedule_from_partition(
     topo: &CstTopology,
     set: &CommSet,
     partition: &[Vec<CommId>],
 ) -> Result<Schedule, CstError> {
     let mut schedule = Schedule::default();
+    let mut merged = MergedRound::new(topo);
     for ids in partition {
         if ids.is_empty() {
             continue;
         }
-        let circuits = circuits_for(topo, set, ids)?;
-        let merged = MergedRound::build(topo, &circuits)?;
+        for circuit in circuits_for(topo, set, ids)? {
+            merged.add(&circuit)?;
+        }
         let mut comms = ids.to_vec();
         comms.sort_unstable();
-        schedule.rounds.push(Round { comms, configs: merged.configs });
+        schedule.rounds.push(Round { comms, configs: merged.take_configs() });
     }
     Ok(schedule)
 }

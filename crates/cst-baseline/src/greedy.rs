@@ -18,7 +18,7 @@
 
 use crate::common::{innermost_first_order, outermost_first_order};
 use cst_comm::{CommId, CommSet, Round, Schedule};
-use cst_core::{Circuit, CstError, CstTopology, LinkOccupancy, MergedRound, NodeId};
+use cst_core::{Circuit, CstError, CstTopology, MergedRound, NodeId};
 
 /// Priority order for the greedy scan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,18 +86,16 @@ fn schedule_unchecked(
 
     let mut remaining: Vec<CommId> = priority;
     let mut schedule = Schedule::default();
-    let mut occ = LinkOccupancy::new(topo);
+    // One reusable round: link occupancy + config arena, reset O(touched).
+    let mut round = MergedRound::new(topo);
     while !remaining.is_empty() {
-        occ.reset();
-        let mut round = MergedRound::default();
         let mut chosen: Vec<CommId> = Vec::new();
         let mut deferred: Vec<CommId> = Vec::with_capacity(remaining.len());
         for id in remaining.drain(..) {
-            let circuit = &circuits[id.0];
-            if circuit.links.iter().all(|l| !occ.is_used(*l)) {
-                // link-disjointness implies port-disjointness, so `add`
-                // cannot fail here except on a genuine internal bug.
-                round.add(&mut occ, circuit)?;
+            // try_add claims the circuit's links and merges its settings
+            // iff every link is free; link-disjointness implies
+            // port-disjointness, so `Err` here is a genuine internal bug.
+            if round.try_add(&circuits[id.0])? {
                 chosen.push(id);
             } else {
                 deferred.push(id);
@@ -110,7 +108,7 @@ fn schedule_unchecked(
             });
         }
         chosen.sort_unstable();
-        schedule.rounds.push(Round { comms: chosen, configs: round.configs });
+        schedule.rounds.push(Round { comms: chosen, configs: round.take_configs() });
         remaining = deferred;
     }
     Ok(GreedyOutcome { schedule, order })

@@ -26,4 +26,4 @@ pub use parens::{from_paren_string, is_balanced, to_paren_string};
 pub use schedule::{Round, Schedule};
 pub use set::{CommSet, OrientedSubset};
 pub use transform::{concat, embedded, restricted, shifted, CommSetBuilder};
-pub use width::{link_loads, max_incompatible_links, width_on_topology, depth_upper_bound};
+pub use width::{link_loads, max_incompatible_links, width_on_topology, depth_upper_bound, LinkLoads};

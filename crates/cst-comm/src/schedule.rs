@@ -3,12 +3,14 @@
 //!
 //! A schedule partitions a communication set into rounds; each round is a
 //! compatible subset together with the switch settings that realize it.
+//! Per-round switch settings are stored as a flat [`RoundConfigs`] table
+//! (sorted by heap index) rather than a tree map: contiguous, cheap to
+//! iterate, and serialized in the same JSON shape as before.
 
 use crate::communication::CommId;
 use crate::set::CommSet;
-use cst_core::{CstError, CstTopology, MergedRound, NodeId, PowerMeter, SwitchConfig};
+use cst_core::{Circuit, CstError, CstTopology, MergedRound, NodeId, PowerMeter, RoundConfigs};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// One round of a schedule.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -16,15 +18,14 @@ pub struct Round {
     /// Communications performed this round.
     pub comms: Vec<CommId>,
     /// Connections each involved switch must hold this round.
-    pub configs: BTreeMap<NodeId, SwitchConfig>,
+    pub configs: RoundConfigs,
 }
 
 impl Round {
     /// Iterate `(switch, connection)` requirements.
+    #[inline]
     pub fn requirements(&self) -> impl Iterator<Item = (NodeId, cst_core::Connection)> + '_ {
-        self.configs
-            .iter()
-            .flat_map(|(&n, cfg)| cfg.connections().map(move |c| (n, c)))
+        self.configs.requirements()
     }
 }
 
@@ -65,33 +66,34 @@ impl Schedule {
     ///    the recorded per-switch configs;
     /// 3. each circuit's connections are present in its round.
     ///
+    /// One scratch [`MergedRound`] (dense link table + config arena) is
+    /// reused across all rounds, so verification allocates O(N) once
+    /// instead of per round.
+    ///
     /// Returns the number of rounds on success.
     pub fn verify(&self, topo: &CstTopology, set: &CommSet) -> Result<usize, CstError> {
         let mut seen = vec![false; set.len()];
+        let mut merged = MergedRound::new(topo);
         for round in &self.rounds {
             // Rebuild circuits for the round and check compatibility.
-            let circuits: Vec<_> = round
-                .comms
-                .iter()
-                .map(|&id| {
-                    let c = set.get(id).ok_or(CstError::ProtocolViolation {
-                        node: NodeId::ROOT,
-                        detail: format!("unknown comm id {id}"),
-                    })?;
-                    Ok(cst_core::Circuit::between(topo, c.source, c.dest))
-                })
-                .collect::<Result<Vec<_>, CstError>>()?;
-            let merged = MergedRound::build(topo, &circuits)?;
+            merged.clear();
+            for &id in &round.comms {
+                let c = set.get(id).ok_or(CstError::ProtocolViolation {
+                    node: NodeId::ROOT,
+                    detail: format!("unknown comm id {id}"),
+                })?;
+                merged.add(&Circuit::between(topo, c.source, c.dest))?;
+            }
             // recorded configs must contain at least the merged requirements
-            for (node, cfg) in &merged.configs {
-                let rec = round.configs.get(node).ok_or(CstError::ProtocolViolation {
-                    node: *node,
+            for (node, cfg) in merged.iter() {
+                let rec = round.configs.get(node).ok_or_else(|| CstError::ProtocolViolation {
+                    node,
                     detail: "round missing configuration for involved switch".into(),
                 })?;
                 for conn in cfg.connections() {
                     if !rec.has(conn) {
                         return Err(CstError::ProtocolViolation {
-                            node: *node,
+                            node,
                             detail: format!("round lacks required connection {conn}"),
                         });
                     }
@@ -132,7 +134,7 @@ mod tests {
             })
             .collect();
         let merged = MergedRound::build(topo, &circuits).unwrap();
-        Round { comms: ids.iter().map(|&i| CommId(i)).collect(), configs: merged.configs }
+        Round { comms: ids.iter().map(|&i| CommId(i)).collect(), configs: merged.to_configs() }
     }
 
     #[test]
@@ -174,11 +176,10 @@ mod tests {
         // Force both nested comms into one round: link conflict.
         let c0 = Circuit::right_oriented(&topo, LeafId(0), LeafId(7));
         let c1 = Circuit::right_oriented(&topo, LeafId(1), LeafId(6));
-        let mut configs = BTreeMap::new();
+        let mut configs = RoundConfigs::new();
         for c in [&c0, &c1] {
             for &(n, conn) in &c.settings {
-                let e: &mut SwitchConfig = configs.entry(n).or_default();
-                let _ = e.set(conn);
+                let _ = configs.entry_mut(n).set(conn);
             }
         }
         let sched = Schedule {

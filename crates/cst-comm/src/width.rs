@@ -15,25 +15,79 @@
 //! maximum computed by [`width_on_topology`].
 
 use crate::set::CommSet;
-use cst_core::{Circuit, CstTopology, DirectedLink};
+use cst_core::{Circuit, CstTopology, DirectedLink, NodeId};
 use std::collections::HashMap;
 
-/// Per-directed-link load of a set on a concrete topology.
-pub fn link_loads(topo: &CstTopology, set: &CommSet) -> HashMap<DirectedLink, u32> {
-    assert_eq!(topo.num_leaves(), set.num_leaves());
-    let mut loads: HashMap<DirectedLink, u32> = HashMap::new();
-    for c in set.comms() {
-        for link in Circuit::between(topo, c.source, c.dest).links {
-            *loads.entry(link).or_insert(0) += 1;
+/// Per-directed-link loads as two dense tables indexed by the child node's
+/// heap index: one for upward links, one for downward. Replaces hashing a
+/// `DirectedLink` per hop with a direct array increment.
+#[derive(Clone, Debug)]
+pub struct LinkLoads {
+    up: Vec<u32>,
+    down: Vec<u32>,
+}
+
+impl LinkLoads {
+    /// Count every link of every circuit of `set` on `topo`.
+    pub fn measure(topo: &CstTopology, set: &CommSet) -> LinkLoads {
+        assert_eq!(topo.num_leaves(), set.num_leaves());
+        let n = topo.node_table_len();
+        let mut loads = LinkLoads { up: vec![0; n], down: vec![0; n] };
+        for c in set.comms() {
+            for link in Circuit::between(topo, c.source, c.dest).links {
+                loads.bump(link);
+            }
         }
+        loads
     }
-    loads
+
+    #[inline]
+    fn bump(&mut self, link: DirectedLink) {
+        let table = if link.up { &mut self.up } else { &mut self.down };
+        table[link.child.index()] += 1;
+    }
+
+    /// Load on one directed link.
+    #[inline]
+    pub fn get(&self, link: DirectedLink) -> u32 {
+        let table = if link.up { &self.up } else { &self.down };
+        table[link.child.index()]
+    }
+
+    /// The width: maximum load over all directed links.
+    pub fn max(&self) -> u32 {
+        let up = self.up.iter().copied().max().unwrap_or(0);
+        let down = self.down.iter().copied().max().unwrap_or(0);
+        up.max(down)
+    }
+
+    /// Iterate loaded links (load > 0) as `(link, load)`, in dense-index
+    /// order (i.e. by child heap index, down before up per child).
+    pub fn iter_loaded(&self) -> impl Iterator<Item = (DirectedLink, u32)> + '_ {
+        (0..self.up.len()).flat_map(move |i| {
+            let child = NodeId(i);
+            let down = self.down[i];
+            let up = self.up[i];
+            let d = (down > 0)
+                .then_some((DirectedLink { child, up: false }, down));
+            let u = (up > 0).then_some((DirectedLink { child, up: true }, up));
+            d.into_iter().chain(u)
+        })
+    }
+}
+
+/// Per-directed-link load of a set on a concrete topology, as a map.
+///
+/// Compatibility adapter over [`LinkLoads::measure`]; hot paths should use
+/// the dense [`LinkLoads`] directly.
+pub fn link_loads(topo: &CstTopology, set: &CommSet) -> HashMap<DirectedLink, u32> {
+    LinkLoads::measure(topo, set).iter_loaded().collect()
 }
 
 /// Width measured by direct per-link counting on `topo`. Works for any set
 /// (mixed orientation, non-well-nested).
 pub fn width_on_topology(topo: &CstTopology, set: &CommSet) -> u32 {
-    link_loads(topo, set).into_values().max().unwrap_or(0)
+    LinkLoads::measure(topo, set).max()
 }
 
 /// Topology-free *upper bound* on the width of a well-nested set: the
@@ -48,9 +102,9 @@ pub fn depth_upper_bound(set: &CommSet) -> u32 {
 /// the maximum load, the number of communications on it (paper §4 uses
 /// these sets to prove optimality).
 pub fn max_incompatible_links(topo: &CstTopology, set: &CommSet) -> Vec<(DirectedLink, u32)> {
-    let loads = link_loads(topo, set);
-    let w = loads.values().copied().max().unwrap_or(0);
-    let mut v: Vec<_> = loads.into_iter().filter(|&(_, c)| c == w && w > 0).collect();
+    let loads = LinkLoads::measure(topo, set);
+    let w = loads.max();
+    let mut v: Vec<_> = loads.iter_loaded().filter(|&(_, c)| c == w && w > 0).collect();
     v.sort_unstable_by_key(|&(l, _)| l.dense_index());
     v
 }

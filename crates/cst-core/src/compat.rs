@@ -6,52 +6,126 @@
 //! the merged per-switch configuration of a round.
 
 use crate::error::CstError;
-use crate::link::LinkOccupancy;
+use crate::link::{DirectedLink, LinkOccupancy};
 use crate::node::NodeId;
 use crate::path::Circuit;
-use crate::switch::SwitchConfig;
+use crate::round::{ConfigArena, ConfigLookup, RoundConfigs};
+use crate::switch::{Connection, SwitchConfig};
 use crate::topology::CstTopology;
-use std::collections::BTreeMap;
 
-/// The merged state of one scheduling round: every switch's required
-/// configuration, plus which circuits were placed.
-#[derive(Clone, Debug, Default)]
+/// The merged state of one scheduling round: link occupancy plus every
+/// switch's required configuration, both backed by dense preallocated
+/// tables so one instance can be reused across all rounds of a schedule
+/// (reset is O(touched), not O(N)).
+#[derive(Clone, Debug)]
 pub struct MergedRound {
-    /// Required connections per switch. `BTreeMap` keeps deterministic
-    /// iteration order for accounting and traces.
-    pub configs: BTreeMap<NodeId, SwitchConfig>,
+    occ: LinkOccupancy,
+    arena: ConfigArena,
 }
 
 impl MergedRound {
+    /// An empty reusable round for `topo`.
+    pub fn new(topo: &CstTopology) -> MergedRound {
+        MergedRound {
+            occ: LinkOccupancy::new(topo),
+            arena: ConfigArena::new(topo),
+        }
+    }
+
     /// Merge `circuits` into a single round, failing on any directed-link
     /// or switch-port conflict.
     pub fn build(topo: &CstTopology, circuits: &[Circuit]) -> Result<MergedRound, CstError> {
-        let mut occ = LinkOccupancy::new(topo);
-        let mut round = MergedRound::default();
+        let mut round = MergedRound::new(topo);
         for c in circuits {
-            round.add(&mut occ, c)?;
+            round.add(c)?;
         }
         Ok(round)
     }
 
     /// Add one circuit, claiming its links and merging its settings.
-    pub fn add(&mut self, occ: &mut LinkOccupancy, c: &Circuit) -> Result<(), CstError> {
+    pub fn add(&mut self, c: &Circuit) -> Result<(), CstError> {
         for &l in &c.links {
-            if !occ.claim(l) {
+            if !self.occ.claim(l) {
                 return Err(CstError::LinkConflict { node: l.child, upward: l.up });
             }
         }
         for &(node, conn) in &c.settings {
-            self.configs.entry(node).or_default().set(conn)?;
+            self.arena.set(node, conn)?;
         }
         Ok(())
     }
 
-    /// Iterate `(switch, connection)` pairs of the round, deterministic order.
-    pub fn requirements(&self) -> impl Iterator<Item = (NodeId, crate::switch::Connection)> + '_ {
-        self.configs
-            .iter()
-            .flat_map(|(&n, cfg)| cfg.connections().map(move |c| (n, c)))
+    /// Add `c` only if all its links are free: returns `Ok(false)` (round
+    /// untouched) when any link is already claimed, `Ok(true)` when the
+    /// circuit was placed. Port conflicts after passing the link check are
+    /// genuine errors (link-disjointness implies port-disjointness).
+    pub fn try_add(&mut self, c: &Circuit) -> Result<bool, CstError> {
+        if c.links.iter().any(|&l| self.occ.is_used(l)) {
+            return Ok(false);
+        }
+        self.add(c)?;
+        Ok(true)
+    }
+
+    /// Whether a directed link is claimed in this round.
+    #[inline]
+    pub fn link_used(&self, l: DirectedLink) -> bool {
+        self.occ.is_used(l)
+    }
+
+    /// Configuration required at `node`, O(1).
+    #[inline]
+    pub fn get(&self, node: NodeId) -> Option<&SwitchConfig> {
+        self.arena.get(node)
+    }
+
+    /// Number of switches configured this round.
+    #[inline]
+    pub fn num_switches(&self) -> usize {
+        self.arena.touched()
+    }
+
+    /// Reset for the next round without reallocating.
+    pub fn clear(&mut self) {
+        self.occ.reset();
+        self.arena.clear();
+    }
+
+    /// Extract the round's configurations as a compact sorted table and
+    /// reset the configuration side (link occupancy is reset too).
+    pub fn take_configs(&mut self) -> RoundConfigs {
+        self.occ.reset();
+        self.arena.take_round()
+    }
+
+    /// The round's configurations as a compact sorted table (copying).
+    pub fn to_configs(&self) -> RoundConfigs {
+        let mut entries: Vec<(NodeId, SwitchConfig)> =
+            self.arena.iter().map(|(n, cfg)| (n, *cfg)).collect();
+        entries.sort_unstable_by_key(|&(n, _)| n.0);
+        RoundConfigs::from_entries(entries)
+    }
+
+    /// Iterate touched `(switch, configuration)` pairs in touch order
+    /// (unsorted), O(touched) and allocation-free.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &SwitchConfig)> + '_ {
+        self.arena.iter()
+    }
+
+    /// Iterate `(switch, connection)` pairs of the round, deterministic
+    /// (heap-index) order. Allocates a sorted index; for hot paths use
+    /// [`MergedRound::iter`] or extract a [`RoundConfigs`] once.
+    pub fn requirements(&self) -> impl Iterator<Item = (NodeId, Connection)> {
+        let pairs: Vec<(NodeId, Connection)> = self.to_configs().requirements().collect();
+        pairs.into_iter()
+    }
+}
+
+impl ConfigLookup for MergedRound {
+    #[inline]
+    fn config_at(&self, node: NodeId) -> Option<&SwitchConfig> {
+        self.get(node)
     }
 }
 
@@ -94,7 +168,8 @@ mod tests {
         let circuits: Vec<_> = (0..16).map(|i| circ(&t, 2 * i, 2 * i + 1)).collect();
         assert!(are_compatible(&t, &circuits));
         let round = MergedRound::build(&t, &circuits).unwrap();
-        assert_eq!(round.configs.len(), 16);
+        assert_eq!(round.num_switches(), 16);
+        assert_eq!(round.to_configs().len(), 16);
     }
 
     #[test]
@@ -121,5 +196,28 @@ mod tests {
         assert!(!are_compatible(&t, &[circ(&t, 0, 4), circ(&t, 3, 7)]));
         // but (0,3) and (4,7) stay within disjoint subtrees
         assert!(are_compatible(&t, &[circ(&t, 0, 3), circ(&t, 4, 7)]));
+    }
+
+    #[test]
+    fn reuse_across_rounds_resets_fully() {
+        let t = CstTopology::with_leaves(8);
+        let mut round = MergedRound::new(&t);
+        round.add(&circ(&t, 0, 7)).unwrap();
+        assert!(round.get(NodeId::ROOT).is_some());
+        round.clear();
+        assert_eq!(round.num_switches(), 0);
+        // the conflicting circuit now fits: the links were released
+        round.add(&circ(&t, 1, 6)).unwrap();
+        assert!(round.num_switches() > 0);
+    }
+
+    #[test]
+    fn try_add_rejects_conflicts_without_mutation() {
+        let t = CstTopology::with_leaves(8);
+        let mut round = MergedRound::new(&t);
+        assert!(round.try_add(&circ(&t, 0, 7)).unwrap());
+        let before = round.num_switches();
+        assert!(!round.try_add(&circ(&t, 1, 6)).unwrap());
+        assert_eq!(round.num_switches(), before);
     }
 }

@@ -7,6 +7,8 @@
 //! * [`link`] — directed tree links, the unit of communication conflict;
 //! * [`path`] — circuits (switch settings + links) for one communication;
 //! * [`compat`] — round assembly and compatibility checking;
+//! * [`round`] — flat per-round configuration storage (dense arena +
+//!   compact sorted table);
 //! * [`power`] — the PADR power model: one unit per connection established,
 //!   holding is free;
 //! * [`pe`] — processing-element roles.
@@ -21,6 +23,7 @@ pub mod node;
 pub mod path;
 pub mod pe;
 pub mod power;
+pub mod round;
 pub mod switch;
 pub mod topology;
 
@@ -31,5 +34,6 @@ pub use node::{LeafId, NodeId};
 pub use path::Circuit;
 pub use pe::PeRole;
 pub use power::{charge_round, PowerMeter, PowerReport, SwitchPower, MAX_UNITS_PER_RECONFIG};
+pub use round::{ConfigArena, ConfigLookup, RoundConfigs};
 pub use switch::{Connection, Side, SwitchConfig};
 pub use topology::CstTopology;

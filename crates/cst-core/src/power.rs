@@ -108,8 +108,13 @@ pub struct PowerMeter {
     configs: Vec<SwitchConfig>,
     stats: Vec<SwitchPower>,
     rounds: usize,
-    changed_this_round: Vec<bool>,
-    active_this_round: Vec<bool>,
+    // Round stamps: slot i "is marked" iff it equals `stamp`. Beginning a
+    // round bumps the stamp instead of clearing the tables, so begin_round
+    // is O(1) rather than O(N) — that clear dominated short rounds on
+    // large trees.
+    changed_stamp: Vec<u32>,
+    active_stamp: Vec<u32>,
+    stamp: u32,
 }
 
 impl PowerMeter {
@@ -120,32 +125,29 @@ impl PowerMeter {
             configs: vec![SwitchConfig::empty(); n],
             stats: vec![SwitchPower::default(); n],
             rounds: 0,
-            changed_this_round: vec![false; n],
-            active_this_round: vec![false; n],
+            changed_stamp: vec![u32::MAX; n],
+            active_stamp: vec![u32::MAX; n],
+            stamp: 0,
         }
     }
 
-    /// Begin accounting a new round.
+    /// Begin accounting a new round. O(1): bumps the round stamp.
     pub fn begin_round(&mut self) {
         self.rounds += 1;
-        for c in &mut self.changed_this_round {
-            *c = false;
-        }
-        for a in &mut self.active_this_round {
-            *a = false;
-        }
+        self.stamp += 1;
     }
 
     /// Require connection `c` at `switch` for the current round, charging a
     /// hold-semantics unit if it is not already held (write-through units
     /// are charged unconditionally). Returns `true` if hold-semantics power
     /// was spent.
+    #[inline]
     pub fn require(&mut self, switch: NodeId, c: Connection) -> bool {
         let i = switch.index();
         let cfg = &mut self.configs[i];
         self.stats[i].writethrough_units += 1;
-        if !self.active_this_round[i] {
-            self.active_this_round[i] = true;
+        if self.active_stamp[i] != self.stamp {
+            self.active_stamp[i] = self.stamp;
             self.stats[i].active_rounds += 1;
         }
         if cfg.has(c) {
@@ -161,8 +163,8 @@ impl PowerMeter {
         // transition then. No unit is charged for the teardown itself.
         cfg.force(c);
         st.units += 1;
-        if !self.changed_this_round[i] {
-            self.changed_this_round[i] = true;
+        if self.changed_stamp[i] != self.stamp {
+            self.changed_stamp[i] = self.stamp;
             st.change_rounds += 1;
         }
         true

@@ -1,0 +1,305 @@
+//! Flat round representations: the dense scratch arena schedulers sweep
+//! into and the compact per-round configuration table they emit.
+//!
+//! The heap layout of [`NodeId`] (root = 1, children `2i`/`2i+1`) makes a
+//! node id a dense index, so per-round switch configurations never need a
+//! tree map: the hot path writes into a preallocated [`ConfigArena`] slot
+//! in O(1) and the finished round is extracted as a [`RoundConfigs`] — a
+//! sorted flat table costing O(touched) space, O(log touched) lookup and
+//! O(touched) iteration. Rebuilding the same round through either path
+//! yields identical `RoundConfigs` (and identical serialized JSON, pinned
+//! in `tests/cross_scheduler.rs`).
+
+use crate::error::CstError;
+use crate::node::NodeId;
+use crate::switch::{Connection, SwitchConfig};
+use crate::topology::CstTopology;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Read access to per-switch configurations, implemented by both the dense
+/// scratch ([`ConfigArena`]) and the compact table ([`RoundConfigs`]) so
+/// circuit tracing and the data phase work on either without copying.
+pub trait ConfigLookup {
+    /// Configuration held at `node` this round, if any.
+    fn config_at(&self, node: NodeId) -> Option<&SwitchConfig>;
+}
+
+/// The switch configurations of one round: a flat table of
+/// `(switch, configuration)` entries sorted by heap index.
+///
+/// Replaces the former `BTreeMap<NodeId, SwitchConfig>`: same deterministic
+/// order, same serialized form (a JSON map keyed by the decimal heap
+/// index), but contiguous in memory. Entries never hold an empty
+/// configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundConfigs {
+    entries: Vec<(NodeId, SwitchConfig)>,
+}
+
+impl RoundConfigs {
+    /// An empty table.
+    pub fn new() -> Self {
+        RoundConfigs::default()
+    }
+
+    /// Build from entries in arbitrary order; sorts by node id. Panics on
+    /// duplicate nodes (a switch holds exactly one configuration).
+    pub fn from_entries(mut entries: Vec<(NodeId, SwitchConfig)>) -> Self {
+        entries.sort_unstable_by_key(|&(n, _)| n.0);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate switch in round entries"
+        );
+        RoundConfigs { entries }
+    }
+
+    /// Number of configured switches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no switch is configured.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configuration of `node`, by binary search on the heap index.
+    #[inline]
+    pub fn get(&self, node: NodeId) -> Option<&SwitchConfig> {
+        self.entries
+            .binary_search_by_key(&node.0, |&(n, _)| n.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable configuration slot for `node`, inserted empty if absent.
+    /// O(len) on insert — for round *assembly* use [`ConfigArena`]; this is
+    /// for small manual construction (tests, round merging).
+    pub fn entry_mut(&mut self, node: NodeId) -> &mut SwitchConfig {
+        match self.entries.binary_search_by_key(&node.0, |&(n, _)| n.0) {
+            Ok(i) => &mut self.entries[i].1,
+            Err(i) => {
+                self.entries.insert(i, (node, SwitchConfig::empty()));
+                &mut self.entries[i].1
+            }
+        }
+    }
+
+    /// Iterate `(switch, configuration)` in heap-index order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &SwitchConfig)> + '_ {
+        self.entries.iter().map(|(n, cfg)| (*n, cfg))
+    }
+
+    /// Iterate `(switch, connection)` requirements in deterministic order.
+    #[inline]
+    pub fn requirements(&self) -> impl Iterator<Item = (NodeId, Connection)> + '_ {
+        self.entries
+            .iter()
+            .flat_map(|(n, cfg)| cfg.connections().map(move |c| (*n, c)))
+    }
+}
+
+impl<'a> IntoIterator for &'a RoundConfigs {
+    type Item = (NodeId, &'a SwitchConfig);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (NodeId, SwitchConfig)>,
+        fn(&'a (NodeId, SwitchConfig)) -> (NodeId, &'a SwitchConfig),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(n, cfg)| (*n, cfg))
+    }
+}
+
+impl ConfigLookup for RoundConfigs {
+    #[inline]
+    fn config_at(&self, node: NodeId) -> Option<&SwitchConfig> {
+        self.get(node)
+    }
+}
+
+// Serialized exactly like the `BTreeMap<NodeId, SwitchConfig>` it
+// replaced: a map keyed by the decimal heap index, in ascending order.
+impl Serialize for RoundConfigs {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.entries
+                .iter()
+                .map(|(n, cfg)| (n.0.to_string(), cfg.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for RoundConfigs {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Map(items) => {
+                let entries = items
+                    .iter()
+                    .map(|(k, val)| {
+                        let idx: usize = k.parse().map_err(|_| {
+                            SerdeError(format!("switch key {k:?} is not a heap index"))
+                        })?;
+                        Ok((NodeId(idx), SwitchConfig::from_value(val)?))
+                    })
+                    .collect::<Result<Vec<_>, SerdeError>>()?;
+                Ok(RoundConfigs::from_entries(entries))
+            }
+            other => Err(SerdeError(format!(
+                "round configs must be a map, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// Dense per-round scratch: one [`SwitchConfig`] slot per heap index plus
+/// the list of touched switches, so building a round costs O(1) per
+/// connection and resetting costs O(touched) — never O(N).
+///
+/// A slot counts as occupied exactly when its configuration is non-empty
+/// (schedulers only record switches that hold at least one connection, so
+/// no separate presence bitmap is needed).
+#[derive(Clone, Debug)]
+pub struct ConfigArena {
+    slots: Vec<SwitchConfig>,
+    touched: Vec<NodeId>,
+}
+
+impl ConfigArena {
+    /// Empty arena sized for `topo`.
+    pub fn new(topo: &CstTopology) -> Self {
+        ConfigArena {
+            slots: vec![SwitchConfig::empty(); topo.node_table_len()],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Add connection `c` at `node` for the current round.
+    #[inline]
+    pub fn set(&mut self, node: NodeId, c: Connection) -> Result<(), CstError> {
+        let slot = &mut self.slots[node.index()];
+        if slot.is_empty() {
+            self.touched.push(node);
+        }
+        slot.set(c)
+    }
+
+    /// Configuration currently held at `node`, O(1).
+    #[inline]
+    pub fn get(&self, node: NodeId) -> Option<&SwitchConfig> {
+        let slot = &self.slots[node.index()];
+        if slot.is_empty() {
+            None
+        } else {
+            Some(slot)
+        }
+    }
+
+    /// Number of switches touched this round.
+    #[inline]
+    pub fn touched(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Iterate touched `(switch, configuration)` pairs in *touch* order
+    /// (unsorted). O(touched); use [`ConfigArena::take_round`] when a
+    /// deterministic heap-index order is required.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &SwitchConfig)> + '_ {
+        self.touched.iter().map(move |&n| (n, &self.slots[n.index()]))
+    }
+
+    /// Reset for the next round without reallocating.
+    pub fn clear(&mut self) {
+        for &n in &self.touched {
+            self.slots[n.index()].clear();
+        }
+        self.touched.clear();
+    }
+
+    /// Extract the round as a compact sorted table and reset the arena.
+    pub fn take_round(&mut self) -> RoundConfigs {
+        self.touched.sort_unstable_by_key(|n| n.0);
+        let entries = self
+            .touched
+            .iter()
+            .map(|&n| (n, self.slots[n.index()]))
+            .collect();
+        self.clear();
+        RoundConfigs { entries }
+    }
+}
+
+impl ConfigLookup for ConfigArena {
+    #[inline]
+    fn config_at(&self, node: NodeId) -> Option<&SwitchConfig> {
+        self.get(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::Connection;
+
+    fn topo() -> CstTopology {
+        CstTopology::with_leaves(8)
+    }
+
+    #[test]
+    fn arena_set_get_clear() {
+        let mut a = ConfigArena::new(&topo());
+        assert!(a.get(NodeId(2)).is_none());
+        a.set(NodeId(2), Connection::L_TO_R).unwrap();
+        assert!(a.get(NodeId(2)).unwrap().has(Connection::L_TO_R));
+        assert_eq!(a.touched(), 1);
+        a.clear();
+        assert!(a.get(NodeId(2)).is_none());
+        assert_eq!(a.touched(), 0);
+    }
+
+    #[test]
+    fn take_round_sorts_and_resets() {
+        let mut a = ConfigArena::new(&topo());
+        a.set(NodeId(5), Connection::L_TO_R).unwrap();
+        a.set(NodeId(2), Connection::L_TO_P).unwrap();
+        a.set(NodeId(2), Connection::P_TO_R).unwrap();
+        let r = a.take_round();
+        assert_eq!(a.touched(), 0);
+        assert!(a.get(NodeId(2)).is_none());
+        let nodes: Vec<NodeId> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(nodes, vec![NodeId(2), NodeId(5)]);
+        assert_eq!(r.get(NodeId(2)).unwrap().len(), 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn round_configs_lookup_and_requirements() {
+        let mut r = RoundConfigs::new();
+        r.entry_mut(NodeId(4)).set(Connection::L_TO_R).unwrap();
+        r.entry_mut(NodeId(2)).set(Connection::L_TO_P).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.get(NodeId(4)).is_some());
+        assert!(r.get(NodeId(3)).is_none());
+        let req: Vec<_> = r.requirements().collect();
+        assert_eq!(req[0].0, NodeId(2)); // sorted
+        assert_eq!(req[1], (NodeId(4), Connection::L_TO_R));
+    }
+
+    #[test]
+    fn serde_matches_btreemap_format() {
+        let mut r = RoundConfigs::new();
+        r.entry_mut(NodeId(4)).set(Connection::L_TO_R).unwrap();
+        let json = serde_json::to_string(&r.to_value()).unwrap();
+        // keyed by decimal heap index, like the old BTreeMap<NodeId, _>
+        assert!(json.starts_with("{\"4\":"), "got {json}");
+        let v: Value = serde_json::from_str::<Value>(&json).unwrap();
+        let back = RoundConfigs::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+}

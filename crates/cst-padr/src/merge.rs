@@ -38,7 +38,7 @@ fn rounds_compatible(a: &Round, b: &Round) -> bool {
 /// checked [`rounds_compatible`].
 fn merge_into(a: &mut Round, b: &Round) {
     for (node, bcfg) in &b.configs {
-        let entry = a.configs.entry(*node).or_default();
+        let entry = a.configs.entry_mut(node);
         for conn in bcfg.connections() {
             entry.set(conn).expect("checked by rounds_compatible");
         }
@@ -141,14 +141,14 @@ mod tests {
         use cst_core::{Connection, NodeId};
         let mut a = Round::default();
         a.comms.push(CommId(0));
-        a.configs.entry(NodeId(2)).or_default().set(Connection::L_TO_P).unwrap();
+        a.configs.entry_mut(NodeId(2)).set(Connection::L_TO_P).unwrap();
         let mut b = Round::default();
         b.comms.push(CommId(1));
-        b.configs.entry(NodeId(2)).or_default().set(Connection::R_TO_P).unwrap();
+        b.configs.entry_mut(NodeId(2)).set(Connection::R_TO_P).unwrap();
         assert!(!rounds_compatible(&a, &b)); // both want p_o
         let mut c = Round::default();
         c.comms.push(CommId(2));
-        c.configs.entry(NodeId(2)).or_default().set(Connection::R_TO_L).unwrap();
+        c.configs.entry_mut(NodeId(2)).set(Connection::R_TO_L).unwrap();
         assert!(rounds_compatible(&a, &c));
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::scheduler::{self, CsaOutcome};
 use cst_comm::{CommId, CommSet, Round, Schedule};
-use cst_core::{Connection, CstError, CstTopology, NodeId, Side, SwitchConfig};
+use cst_core::{Connection, CstError, CstTopology, NodeId, RoundConfigs, Side, SwitchConfig};
 
 /// Outcome of scheduling a mixed-orientation set.
 #[derive(Clone, Debug)]
@@ -54,14 +54,15 @@ fn mirror_node(topo: &CstTopology, node: NodeId) -> NodeId {
 }
 
 /// Mirror a whole round's switch configurations onto the reflected tree.
-pub fn mirror_round_configs(
-    topo: &CstTopology,
-    configs: &std::collections::BTreeMap<NodeId, SwitchConfig>,
-) -> std::collections::BTreeMap<NodeId, SwitchConfig> {
-    configs
-        .iter()
-        .map(|(&node, cfg)| (mirror_node(topo, node), mirror_config(cfg)))
-        .collect()
+/// (Mirroring reverses within-level order, so the result is re-sorted by
+/// `from_entries`.)
+pub fn mirror_round_configs(topo: &CstTopology, configs: &RoundConfigs) -> RoundConfigs {
+    RoundConfigs::from_entries(
+        configs
+            .iter()
+            .map(|(node, cfg)| (mirror_node(topo, node), mirror_config(cfg)))
+            .collect(),
+    )
 }
 
 /// Mirror a switch configuration: left and right swap; parent stays.

@@ -3,9 +3,9 @@
 //! The algorithm is distributed by construction — every switch acts on
 //! local state — so the *host* driver parallelizes naturally: cut the
 //! tree at depth `d`, sweep the `2^d - 1` top switches sequentially (they
-//! are few), and hand each depth-`d` subtree to a worker thread. Workers
-//! own their subtree's switch states outright (no sharing, no locks in
-//! the sweep), communicate with the coordinator only through the per-round
+//! are few), and hand each depth-`d` subtree to a worker. Workers own
+//! their subtree's switch states outright (no sharing, no locks in the
+//! sweep), communicate with the coordinator only through the per-round
 //! fork/join, and return their connections and activated sources.
 //!
 //! The output is bit-identical to the serial driver
@@ -16,25 +16,80 @@
 //!
 //! # Measured reality (kept honest)
 //!
-//! With persistent workers and worker-local circuit tracing, the parallel
-//! driver reaches *parity* with the serial one on large inputs, not a
-//! speedup (see the `e5` bench's `csa_parallel8` series). Profiling shows
-//! why: the sweeps and traces (the parallelizable part) are a minority of
-//! the wall time; assembling the per-round `BTreeMap` of switch
-//! configurations and the bookkeeping around it dominate, and those
-//! structures are shared. The module's standing value is as a second,
-//! concurrency-structured implementation whose bit-identical output
-//! cross-checks the serial driver — the speedup would require replacing
-//! the shared round representation, which the public `Schedule` type
-//! deliberately keeps simple.
+//! Two walls had to fall before this driver could beat the serial one.
+//!
+//! First, the merge: earlier revisions assembled each round's `BTreeMap`
+//! of switch configurations one tree-map insertion per connection, and
+//! that shared, allocation-heavy merge dominated wall time over the
+//! sweeps. The flat round representation removed it: workers emit one
+//! `(switch, SwitchConfig)` pair per touched switch, the coordinator
+//! stamps them into a preallocated dense [`ConfigArena`] (O(1) per
+//! switch, no per-round allocation), and the finished round is extracted
+//! as a sorted flat table. Worker sweep scratch (message heap, local
+//! configuration table, traversal stack) is persistent per subtree.
+//!
+//! Second, the handoff: thread-level parallelism only pays when there are
+//! cores to run on. A per-round channel round trip to `t` workers costs
+//! `2t` blocking wake-ups, tens of microseconds on a loaded host — more
+//! than an entire sweep when the machine has a single core. The driver
+//! therefore sizes itself to `std::thread::available_parallelism()`: with
+//! more than one core it runs the persistent-worker channel loop; on a
+//! single core it runs the *same* subtree decomposition inline, where the
+//! per-subtree sweeps write straight into the coordinator's arena through
+//! a sink (no intermediate payload vectors at all). The inline path is
+//! also how the decomposition itself earns its keep: each subtree's
+//! state, message and configuration heaps are small dense arrays that
+//! stay cache-resident, and circuits contained in one subtree are traced
+//! locally over those arrays instead of over the global tree.
+//!
+//! With both walls gone, `csa_parallel8` measures *faster* than serial
+//! `csa` at n = 4096 even on a single-core bench host (see
+//! `BENCH_e5.json` and the E5 bench; the exact ratio is workload- and
+//! machine-dependent, and multi-core hosts additionally overlap the
+//! sweeps). Output remains bit-identical to the serial driver, asserted
+//! per-round in the tests below and in `tests/cross_scheduler.rs`.
 
 use crate::messages::{DownMsg, ReqKind};
 use crate::phase1::{self, SwitchState};
 use crate::scheduler::CsaOutcome;
 use crate::switch_logic::step;
 use cst_comm::{CommId, CommSet, Round, Schedule};
-use cst_core::{CstError, CstTopology, LeafId, NodeId, PowerMeter, SwitchConfig};
+use cst_core::{ConfigArena, CstError, CstTopology, LeafId, NodeId, PowerMeter, SwitchConfig};
 use std::collections::HashMap;
+
+/// Where a sweep deposits the configurations of the switches it touched.
+trait ConnSink {
+    fn emit(&mut self, node: NodeId, cfg: &SwitchConfig) -> Result<(), CstError>;
+}
+
+/// Threaded workers collect flat pairs to ship across the channel
+/// (`SwitchConfig` is `Copy`; each switch steps at most once per sweep,
+/// so entries are unique).
+impl ConnSink for Vec<(NodeId, SwitchConfig)> {
+    fn emit(&mut self, node: NodeId, cfg: &SwitchConfig) -> Result<(), CstError> {
+        self.push((node, *cfg));
+        Ok(())
+    }
+}
+
+/// The inline driver stamps straight into the coordinator's arena and
+/// meter — no per-round payload allocation at all.
+struct ArenaSink<'a> {
+    arena: &'a mut ConfigArena,
+    meter: &'a mut PowerMeter,
+}
+
+impl ConnSink for ArenaSink<'_> {
+    fn emit(&mut self, node: NodeId, cfg: &SwitchConfig) -> Result<(), CstError> {
+        for c in cfg.connections() {
+            self.arena
+                .set(node, c)
+                .map_err(|e| CstError::ProtocolViolation { node, detail: e.to_string() })?;
+            self.meter.require(node, c);
+        }
+        Ok(())
+    }
+}
 
 /// One worker's subtree: the global root node plus locally-owned state
 /// for every node of the subtree, relabeled as a standalone heap
@@ -50,6 +105,19 @@ struct Subtree {
     matched_remaining: Vec<u32>,
     /// Global leaf position of the subtree's leftmost leaf.
     leaf_base: usize,
+    /// Persistent sweep scratch: down-messages per local node. The sweep
+    /// consumes entries via `mem::replace`, leaving the heap all-NULL for
+    /// the next round — no per-round allocation.
+    msgs: Vec<DownMsg>,
+    /// Persistent sweep scratch: this round's configuration per internal
+    /// local id; cleared via `touched` after the round.
+    local: Vec<SwitchConfig>,
+    /// Internal local ids configured this round.
+    touched: Vec<usize>,
+    /// Persistent traversal stack.
+    stack: Vec<usize>,
+    /// Persistent source buffer: `(leaf, local id)` activated this round.
+    sources: Vec<(LeafId, usize)>,
 }
 
 impl Subtree {
@@ -69,22 +137,27 @@ impl Subtree {
         l < self.num_leaves()
     }
 
-    /// Result of sweeping this subtree for one round.
-    fn sweep(&mut self, req: DownMsg) -> Result<WorkerRound, CstError> {
-        let mut out = WorkerRound::default();
-        let mut sources: Vec<(LeafId, usize)> = Vec::new();
-        let table = 2 * self.num_leaves();
-        let mut msgs = vec![DownMsg::NULL; table];
-        msgs[1] = req;
-        let mut stack = vec![1usize];
-        while let Some(l) = stack.pop() {
-            let req = std::mem::replace(&mut msgs[l], DownMsg::NULL);
+    /// Sweep this subtree for one round: emit touched-switch
+    /// configurations into `sink`, and traced/deferred circuits into
+    /// `out` (whose `connections` field is left untouched).
+    fn sweep(
+        &mut self,
+        req: DownMsg,
+        sink: &mut impl ConnSink,
+        out: &mut WorkerRound,
+    ) -> Result<(), CstError> {
+        self.msgs[1] = req;
+        self.sources.clear();
+        self.stack.clear();
+        self.stack.push(1);
+        while let Some(l) = self.stack.pop() {
+            let req = std::mem::replace(&mut self.msgs[l], DownMsg::NULL);
             if !self.is_internal(l) {
                 // a leaf of the global tree
                 let leaf = LeafId(self.leaf_base + (l - self.num_leaves()));
                 match req.kind {
                     ReqKind::Null => {}
-                    ReqKind::S => sources.push((leaf, l)),
+                    ReqKind::S => self.sources.push((leaf, l)),
                     ReqKind::D => {}
                     ReqKind::SD => {
                         return Err(CstError::ProtocolViolation {
@@ -112,90 +185,96 @@ impl Subtree {
                 }
             }
             if !result.connections.is_empty() {
-                out.connections.push((self.global(l), result.connections.clone()));
-            }
-            msgs[2 * l] = result.to_left;
-            msgs[2 * l + 1] = result.to_right;
-            stack.push(2 * l);
-            stack.push(2 * l + 1);
-        }
-
-        // Local tracing: follow this round's connections inside the
-        // subtree; a signal that exits upward through the subtree root is
-        // deferred to the coordinator (it crosses the cut).
-        if !sources.is_empty() {
-            let mut local: Vec<SwitchConfig> = vec![SwitchConfig::empty(); self.num_leaves()];
-            for (node, conns) in &out.connections {
-                // invert global -> local: node is in this subtree
-                let k = node.depth() - self.root.depth();
-                let l = (1usize << k) + (node.index() - (self.root.index() << k));
-                for &c in conns {
-                    local[l].set(c).map_err(|e| CstError::ProtocolViolation {
-                        node: *node,
+                let node = self.global(l);
+                let slot = &mut self.local[l];
+                for &c in &result.connections {
+                    slot.set(c).map_err(|e| CstError::ProtocolViolation {
+                        node,
                         detail: e.to_string(),
                     })?;
                 }
+                self.touched.push(l);
             }
-            'next_source: for (leaf, mut l) in sources {
-                // climb from local leaf id
-                loop {
-                    let parent = l >> 1;
-                    if parent == 0 {
-                        out.deferred.push(leaf);
-                        continue 'next_source;
+            self.msgs[2 * l] = result.to_left;
+            self.msgs[2 * l + 1] = result.to_right;
+            self.stack.push(2 * l);
+            self.stack.push(2 * l + 1);
+        }
+
+        // Local tracing over the persistent `local` table: follow this
+        // round's connections inside the subtree; a signal that exits
+        // upward through the subtree root is deferred to the coordinator
+        // (it crosses the cut).
+        'next_source: for s in 0..self.sources.len() {
+            let (leaf, mut l) = self.sources[s];
+            // climb from local leaf id
+            loop {
+                let parent = l >> 1;
+                if parent == 0 {
+                    out.deferred.push(leaf);
+                    continue 'next_source;
+                }
+                let enter = if l & 1 == 0 { cst_core::Side::Left } else { cst_core::Side::Right };
+                let Some(outp) = self.local[parent].output_of(enter) else {
+                    return Err(CstError::ProtocolViolation {
+                        node: self.global(parent),
+                        detail: "signal reached an unconfigured switch".into(),
+                    });
+                };
+                match outp {
+                    cst_core::Side::Parent => {
+                        l = parent;
                     }
-                    let enter = if l & 1 == 0 { cst_core::Side::Left } else { cst_core::Side::Right };
-                    let Some(outp) = local[parent].output_of(enter) else {
-                        return Err(CstError::ProtocolViolation {
-                            node: self.global(parent),
-                            detail: "signal reached an unconfigured switch".into(),
-                        });
-                    };
-                    match outp {
-                        cst_core::Side::Parent => {
-                            l = parent;
-                        }
-                        side => {
-                            let mut cur = if side == cst_core::Side::Left {
-                                2 * parent
-                            } else {
-                                2 * parent + 1
+                    side => {
+                        let mut cur = if side == cst_core::Side::Left {
+                            2 * parent
+                        } else {
+                            2 * parent + 1
+                        };
+                        while self.is_internal(cur) {
+                            let Some(to) = self.local[cur].output_of(cst_core::Side::Parent)
+                            else {
+                                return Err(CstError::ProtocolViolation {
+                                    node: self.global(cur),
+                                    detail: "descent unconfigured".into(),
+                                });
                             };
-                            while self.is_internal(cur) {
-                                let Some(to) = local[cur].output_of(cst_core::Side::Parent)
-                                else {
+                            cur = match to {
+                                cst_core::Side::Left => 2 * cur,
+                                cst_core::Side::Right => 2 * cur + 1,
+                                cst_core::Side::Parent => {
                                     return Err(CstError::ProtocolViolation {
                                         node: self.global(cur),
-                                        detail: "descent unconfigured".into(),
-                                    });
-                                };
-                                cur = match to {
-                                    cst_core::Side::Left => 2 * cur,
-                                    cst_core::Side::Right => 2 * cur + 1,
-                                    cst_core::Side::Parent => {
-                                        return Err(CstError::ProtocolViolation {
-                                            node: self.global(cur),
-                                            detail: "p_i -> p_o is illegal".into(),
-                                        })
-                                    }
-                                };
-                            }
-                            let dest = LeafId(self.leaf_base + (cur - self.num_leaves()));
-                            out.traced.push((leaf, dest));
-                            continue 'next_source;
+                                        detail: "p_i -> p_o is illegal".into(),
+                                    })
+                                }
+                            };
                         }
+                        let dest = LeafId(self.leaf_base + (cur - self.num_leaves()));
+                        out.traced.push((leaf, dest));
+                        continue 'next_source;
                     }
                 }
             }
         }
-        Ok(out)
+
+        // Emit the flat per-switch payload and reset the scratch.
+        for &l in &self.touched {
+            sink.emit(self.global(l), &self.local[l])?;
+            self.local[l].clear();
+        }
+        self.touched.clear();
+        Ok(())
     }
 }
 
 /// What one worker produced in one round.
 #[derive(Default)]
 struct WorkerRound {
-    connections: Vec<(NodeId, Vec<cst_core::Connection>)>,
+    /// One flat entry per switch the subtree configured this round
+    /// (filled by the threaded driver from its sweep sink; unused — and
+    /// empty — on the inline path, which sinks directly into the arena).
+    connections: Vec<(NodeId, SwitchConfig)>,
     /// Sources whose circuit the worker traced locally (entirely inside
     /// its subtree), with the destination it reached.
     traced: Vec<(LeafId, LeafId)>,
@@ -204,14 +283,177 @@ struct WorkerRound {
     deferred: Vec<LeafId>,
 }
 
+/// Coordinator-side round state shared by the inline and threaded
+/// drivers: top-switch states, the dense merge arena, the meter, and the
+/// schedule under construction. All per-round buffers are persistent.
+struct Coordinator<'t> {
+    topo: &'t CstTopology,
+    by_source: HashMap<LeafId, (CommId, LeafId)>,
+    meter: PowerMeter,
+    schedule: Schedule,
+    arena: ConfigArena,
+    /// Top switch states (depth < cut): global heap ids 1..num_sub.
+    top_states: Vec<SwitchState>,
+    /// Persistent top-sweep scratch; left all-NULL (or fully rewritten)
+    /// by each round's sweep.
+    top_msgs: Vec<DownMsg>,
+    /// Requests for the subtree roots, indexed by global id
+    /// `num_sub..2*num_sub`.
+    sub_reqs: Vec<DownMsg>,
+    /// Circuits traced inside a subtree this round.
+    traced: Vec<(LeafId, LeafId)>,
+    /// Cut-crossing sources to trace over the merged arena this round.
+    active_sources: Vec<LeafId>,
+    num_sub: usize,
+    scheduled_total: usize,
+    set_len: usize,
+    round_limit: usize,
+}
+
+impl Coordinator<'_> {
+    fn done(&self) -> bool {
+        self.scheduled_total >= self.set_len
+    }
+
+    /// Start a round: check the overrun bound and sweep the top switches
+    /// (depth < cut), producing one request per subtree root.
+    fn top_sweep(&mut self) -> Result<(), CstError> {
+        if self.schedule.rounds.len() >= self.round_limit {
+            return Err(CstError::RoundOverrun { limit: self.round_limit });
+        }
+        self.meter.begin_round();
+        let num_sub = self.num_sub;
+        if num_sub > 1 {
+            for i in 1..num_sub {
+                let req = std::mem::replace(&mut self.top_msgs[i], DownMsg::NULL);
+                let result = step(&mut self.top_states[i], req).map_err(|e| {
+                    CstError::ProtocolViolation { node: NodeId(i), detail: e.to_string() }
+                })?;
+                for &c in &result.connections {
+                    self.arena.set(NodeId(i), c).map_err(|e| CstError::ProtocolViolation {
+                        node: NodeId(i),
+                        detail: e.to_string(),
+                    })?;
+                    self.meter.require(NodeId(i), c);
+                }
+                if 2 * i < num_sub {
+                    self.top_msgs[2 * i] = result.to_left;
+                    self.top_msgs[2 * i + 1] = result.to_right;
+                } else {
+                    self.sub_reqs[2 * i] = result.to_left;
+                    self.sub_reqs[2 * i + 1] = result.to_right;
+                }
+            }
+        }
+        // num_sub == 1: the single subtree root is the global root and
+        // receives [null, null] (already the default).
+        Ok(())
+    }
+
+    /// Request for subtree `i` this round.
+    fn sub_req(&self, i: usize) -> DownMsg {
+        self.sub_reqs[self.num_sub + i]
+    }
+
+    /// Merge one threaded worker's round payload.
+    fn absorb(&mut self, wr: WorkerRound) -> Result<(), CstError> {
+        for (node, cfg) in wr.connections {
+            for c in cfg.connections() {
+                self.arena
+                    .set(node, c)
+                    .map_err(|e| CstError::ProtocolViolation { node, detail: e.to_string() })?;
+                self.meter.require(node, c);
+            }
+        }
+        self.traced.extend(wr.traced);
+        self.active_sources.extend(wr.deferred);
+        Ok(())
+    }
+
+    /// Sweep subtree `i` on the coordinator's own thread, sinking its
+    /// configurations directly into the arena. `scratch` only carries the
+    /// traced/deferred circuit buffers between calls.
+    fn sweep_inline(
+        &mut self,
+        st: &mut Subtree,
+        i: usize,
+        scratch: &mut WorkerRound,
+    ) -> Result<(), CstError> {
+        let req = self.sub_req(i);
+        let mut sink = ArenaSink { arena: &mut self.arena, meter: &mut self.meter };
+        st.sweep(req, &mut sink, scratch)?;
+        self.traced.append(&mut scratch.traced);
+        self.active_sources.append(&mut scratch.deferred);
+        Ok(())
+    }
+
+    /// Verify this round's circuits, recover the communication ids, and
+    /// extract the round from the arena.
+    fn finish_round(&mut self) -> Result<(), CstError> {
+        let mut comms: Vec<CommId> =
+            Vec::with_capacity(self.traced.len() + self.active_sources.len());
+        // Locally-traced circuits: just check the pairing.
+        for &(src, dest) in &self.traced {
+            let &(id, expected) = self.by_source.get(&src).ok_or(CstError::ProtocolViolation {
+                node: self.topo.leaf_node(src),
+                detail: "non-source PE activated".into(),
+            })?;
+            if dest != expected {
+                return Err(CstError::DeliveryMismatch { dest });
+            }
+            comms.push(id);
+        }
+        // Cut-crossing circuits: trace over the merged arena.
+        self.active_sources.sort_unstable();
+        for &src in &self.active_sources {
+            let dest = crate::scheduler::trace_circuit(self.topo, &self.arena, src)?;
+            let &(id, expected) = self.by_source.get(&src).ok_or(CstError::ProtocolViolation {
+                node: self.topo.leaf_node(src),
+                detail: "non-source PE activated".into(),
+            })?;
+            if dest != expected {
+                return Err(CstError::DeliveryMismatch { dest });
+            }
+            comms.push(id);
+        }
+        if comms.is_empty() {
+            return Err(CstError::ProtocolViolation {
+                node: NodeId::ROOT,
+                detail: "parallel round made no progress".into(),
+            });
+        }
+        self.scheduled_total += comms.len();
+        comms.sort_unstable();
+        self.schedule.rounds.push(Round { comms, configs: self.arena.take_round() });
+        self.traced.clear();
+        self.active_sources.clear();
+        Ok(())
+    }
+}
+
 /// Schedule with `threads` worker threads (clamped to the subtree count).
 /// Produces output identical to [`crate::scheduler::schedule`] (schedule,
 /// power, meter); the `metrics` field carries only the storage constant —
 /// use the serial driver when the control-word counters matter.
+///
+/// Worker threads are only spawned when the host can actually run them
+/// concurrently (`std::thread::available_parallelism() > 1`); otherwise
+/// the same subtree decomposition executes inline on the calling thread,
+/// with identical output.
 pub fn schedule_parallel(
     topo: &CstTopology,
     set: &CommSet,
     threads: usize,
+) -> Result<CsaOutcome, CstError> {
+    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    schedule_parallel_impl(topo, set, threads, cores > 1)
+}
+
+fn schedule_parallel_impl(
+    topo: &CstTopology,
+    set: &CommSet,
+    threads: usize,
+    spawn_threads: bool,
 ) -> Result<CsaOutcome, CstError> {
     set.require_right_oriented()?;
     set.require_well_nested()?;
@@ -236,6 +478,11 @@ pub fn schedule_parallel(
                 states: vec![SwitchState::default(); 2 * leaves],
                 matched_remaining: vec![0; 2 * leaves],
                 leaf_base: i * leaves,
+                msgs: vec![DownMsg::NULL; 2 * leaves],
+                local: vec![SwitchConfig::empty(); leaves],
+                touched: Vec::new(),
+                stack: Vec::new(),
+                sources: Vec::new(),
             };
             // copy global phase-1 states into local heap and compute
             // matched_remaining bottom-up
@@ -251,25 +498,69 @@ pub fn schedule_parallel(
         })
         .collect();
 
-    // Top switch states (depth < cut): global heap ids 1..num_sub.
-    let mut top_states: Vec<SwitchState> = (0..num_sub)
-        .map(|i| if i >= 1 { *p1.state(NodeId(i)) } else { SwitchState::default() })
-        .collect();
+    let mut co = Coordinator {
+        topo,
+        by_source: set.iter().map(|(id, c)| (c.source, (id, c.dest))).collect(),
+        meter: PowerMeter::new(topo),
+        schedule: Schedule::default(),
+        arena: ConfigArena::new(topo),
+        top_states: (0..num_sub)
+            .map(|i| if i >= 1 { *p1.state(NodeId(i)) } else { SwitchState::default() })
+            .collect(),
+        top_msgs: vec![DownMsg::NULL; 2 * num_sub],
+        sub_reqs: vec![DownMsg::NULL; 2 * num_sub],
+        traced: Vec::new(),
+        active_sources: Vec::new(),
+        num_sub,
+        scheduled_total: 0,
+        set_len: set.len(),
+        round_limit: set.len() + 1,
+    };
 
-    let by_source: HashMap<LeafId, (CommId, LeafId)> =
-        set.iter().map(|(id, c)| (c.source, (id, c.dest))).collect();
-
-    let mut meter = PowerMeter::new(topo);
-    let mut schedule = Schedule::default();
-    let mut scheduled_total = 0usize;
-    let round_limit = set.len() + 1;
     let worker_count = threads.clamp(1, num_sub);
+    if spawn_threads && worker_count > 1 {
+        run_threaded(&mut co, &mut subtrees, worker_count)?;
+    } else {
+        run_inline(&mut co, &mut subtrees)?;
+    }
 
-    // Persistent workers: spawned once, fed one message per round through
-    // channels (per-round thread spawning costs more than the sweeps for
-    // realistic sizes). Each worker owns a chunk of subtrees for the whole
-    // schedule; the coordinator runs the top sweep, distributes the
-    // subtree-root requests, and merges the results.
+    let power = co.meter.report(topo);
+    Ok(CsaOutcome {
+        schedule: co.schedule,
+        power,
+        meter: co.meter,
+        metrics: crate::scheduler::ControlMetrics {
+            words_stored_per_switch: SwitchState::WORDS,
+            ..Default::default()
+        },
+    })
+}
+
+/// Single-thread driver: the same decomposition, swept on the calling
+/// thread with sweeps sinking straight into the coordinator's arena.
+fn run_inline(co: &mut Coordinator<'_>, subtrees: &mut [Subtree]) -> Result<(), CstError> {
+    let mut scratch = WorkerRound::default();
+    while !co.done() {
+        co.top_sweep()?;
+        for (i, st) in subtrees.iter_mut().enumerate() {
+            co.sweep_inline(st, i, &mut scratch)?;
+        }
+        co.finish_round()?;
+    }
+    Ok(())
+}
+
+/// Persistent-worker driver: workers are spawned once and fed one request
+/// per round through channels (per-round thread spawning costs more than
+/// the sweeps for realistic sizes). Each worker owns a chunk of subtrees
+/// for the whole schedule; the coordinator runs the top sweep, distributes
+/// the subtree-root requests, and merges the results.
+fn run_threaded(
+    co: &mut Coordinator<'_>,
+    subtrees: &mut [Subtree],
+    worker_count: usize,
+) -> Result<(), CstError> {
+    let num_sub = co.num_sub;
     let chunk_size = num_sub.div_ceil(worker_count);
     let mut result: Result<(), CstError> = Ok(());
     crossbeam::thread::scope(|scope| {
@@ -287,8 +578,13 @@ pub fn schedule_parallel(
                     let mut outs = Vec::with_capacity(chunk.len());
                     let mut err = None;
                     for (st, req) in chunk.iter_mut().zip(&reqs) {
-                        match st.sweep(*req) {
-                            Ok(o) => outs.push(o),
+                        let mut conns: Vec<(NodeId, SwitchConfig)> = Vec::new();
+                        let mut wr = WorkerRound::default();
+                        match st.sweep(*req, &mut conns, &mut wr) {
+                            Ok(()) => {
+                                wr.connections = conns;
+                                outs.push(wr);
+                            }
                             Err(e) => {
                                 err = Some(e);
                                 break;
@@ -309,141 +605,39 @@ pub fn schedule_parallel(
 
         // closure (invoked once) so `?` can short-circuit without
         // leaking out of the crossbeam scope before workers are joined
-        #[allow(clippy::redundant_closure_call)]
         let mut run = || -> Result<(), CstError> {
-            while scheduled_total < set.len() {
-                if schedule.rounds.len() >= round_limit {
-                    return Err(CstError::RoundOverrun { limit: round_limit });
-                }
-                meter.begin_round();
-                let mut round = Round::default();
-                let mut active_sources: Vec<LeafId> = Vec::new();
-
-                // Sequential top sweep (depth < cut): produce one request
-                // per subtree root.
-                let mut sub_reqs = vec![DownMsg::NULL; 2 * num_sub];
-                if num_sub > 1 {
-                    let mut msgs = vec![DownMsg::NULL; 2 * num_sub];
-                    for i in 1..num_sub {
-                        let req = std::mem::replace(&mut msgs[i], DownMsg::NULL);
-                        let result = step(&mut top_states[i], req).map_err(|e| {
-                            CstError::ProtocolViolation { node: NodeId(i), detail: e.to_string() }
-                        })?;
-                        if !result.connections.is_empty() {
-                            let cfg =
-                                round.configs.entry(NodeId(i)).or_insert_with(SwitchConfig::empty);
-                            for &c in &result.connections {
-                                cfg.set(c).map_err(|e| CstError::ProtocolViolation {
-                                    node: NodeId(i),
-                                    detail: e.to_string(),
-                                })?;
-                                meter.require(NodeId(i), c);
-                            }
-                        }
-                        if 2 * i < num_sub {
-                            msgs[2 * i] = result.to_left;
-                            msgs[2 * i + 1] = result.to_right;
-                        } else {
-                            sub_reqs[2 * i] = result.to_left;
-                            sub_reqs[2 * i + 1] = result.to_right;
-                        }
-                    }
-                }
-                // num_sub == 1: the single subtree root is the global root
-                // and receives [null, null] (already the default).
-
+            while !co.done() {
+                co.top_sweep()?;
                 // Fan the requests out to the persistent workers.
                 for (wid, tx) in req_txs.iter().enumerate() {
                     let lo = wid * chunk_size;
                     let hi = ((wid + 1) * chunk_size).min(num_sub);
-                    let reqs: Vec<DownMsg> =
-                        (lo..hi).map(|i| sub_reqs[num_sub + i]).collect();
+                    let reqs: Vec<DownMsg> = (lo..hi).map(|i| co.sub_req(i)).collect();
                     tx.send(reqs).expect("worker alive");
                 }
-                // Collect one result per worker.
+                // Collect one result per worker; merge in worker order so
+                // the output is deterministic.
                 let mut per_worker: Vec<Option<Vec<WorkerRound>>> =
                     (0..req_txs.len()).map(|_| None).collect();
                 for _ in 0..req_txs.len() {
                     let (wid, payload) = res_rx.recv().expect("worker alive");
                     per_worker[wid] = Some(payload?);
                 }
-                let mut traced: Vec<(LeafId, LeafId)> = Vec::new();
                 for wrs in per_worker.into_iter().flatten() {
                     for wr in wrs {
-                        for (node, conns) in wr.connections {
-                            let cfg =
-                                round.configs.entry(node).or_insert_with(SwitchConfig::empty);
-                            for c in conns {
-                                cfg.set(c).map_err(|e| CstError::ProtocolViolation {
-                                    node,
-                                    detail: e.to_string(),
-                                })?;
-                                meter.require(node, c);
-                            }
-                        }
-                        traced.extend(wr.traced);
-                        active_sources.extend(wr.deferred);
+                        co.absorb(wr)?;
                     }
                 }
-
-                // Locally-traced circuits: just check the pairing.
-                for (src, dest) in traced {
-                    let &(id, expected) =
-                        by_source.get(&src).ok_or(CstError::ProtocolViolation {
-                            node: topo.leaf_node(src),
-                            detail: "non-source PE activated".into(),
-                        })?;
-                    if dest != expected {
-                        return Err(CstError::DeliveryMismatch { dest });
-                    }
-                    round.comms.push(id);
-                }
-                // Cut-crossing circuits: trace over the merged configs.
-                active_sources.sort_unstable();
-                for src in active_sources {
-                    let dest = crate::scheduler::trace_circuit(topo, &round.configs, src)?;
-                    let &(id, expected) =
-                        by_source.get(&src).ok_or(CstError::ProtocolViolation {
-                            node: topo.leaf_node(src),
-                            detail: "non-source PE activated".into(),
-                        })?;
-                    if dest != expected {
-                        return Err(CstError::DeliveryMismatch { dest });
-                    }
-                    round.comms.push(id);
-                }
-                if round.comms.is_empty() {
-                    return Err(CstError::ProtocolViolation {
-                        node: NodeId::ROOT,
-                        detail: "parallel round made no progress".into(),
-                    });
-                }
-                scheduled_total += round.comms.len();
-                round.comms.sort_unstable();
-                schedule.rounds.push(round);
+                co.finish_round()?;
             }
             Ok(())
         };
-        #[allow(clippy::redundant_closure_call)]
-        {
-            result = run();
-        }
+        result = run();
         // Dropping the request senders terminates the workers.
         drop(req_txs);
     })
     .expect("worker panicked");
-    result?;
-
-    let power = meter.report(topo);
-    Ok(CsaOutcome {
-        schedule,
-        power,
-        meter,
-        metrics: crate::scheduler::ControlMetrics {
-            words_stored_per_switch: SwitchState::WORDS,
-            ..Default::default()
-        },
-    })
+    result
 }
 
 #[cfg(test)]
@@ -455,13 +649,17 @@ mod tests {
 
     fn assert_equal_outcomes(topo: &CstTopology, set: &CommSet, threads: usize) {
         let serial = crate::scheduler::schedule(topo, set).unwrap();
-        let parallel = schedule_parallel(topo, set, threads).unwrap();
-        assert_eq!(parallel.schedule.num_rounds(), serial.schedule.num_rounds());
-        for (a, b) in parallel.schedule.rounds.iter().zip(&serial.schedule.rounds) {
-            assert_eq!(a.comms, b.comms);
-            assert_eq!(a.configs, b.configs);
+        // Both drivers must match serial regardless of what
+        // available_parallelism() says on the test host.
+        for spawn in [false, true] {
+            let parallel = schedule_parallel_impl(topo, set, threads, spawn).unwrap();
+            assert_eq!(parallel.schedule.num_rounds(), serial.schedule.num_rounds());
+            for (a, b) in parallel.schedule.rounds.iter().zip(&serial.schedule.rounds) {
+                assert_eq!(a.comms, b.comms);
+                assert_eq!(a.configs, b.configs);
+            }
+            assert_eq!(parallel.power, serial.power);
         }
-        assert_eq!(parallel.power, serial.power);
     }
 
     #[test]
@@ -520,6 +718,8 @@ mod tests {
     fn rejects_invalid_input_like_serial() {
         let topo = CstTopology::with_leaves(8);
         let set = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
-        assert!(schedule_parallel(&topo, &set, 4).is_err());
+        for spawn in [false, true] {
+            assert!(schedule_parallel_impl(&topo, &set, 4, spawn).is_err());
+        }
     }
 }

@@ -19,7 +19,8 @@ use crate::phase1::{self, Phase1};
 use crate::switch_logic::{step, StepError};
 use cst_comm::{CommId, CommSet, Round, Schedule};
 use cst_core::{
-    CstError, CstTopology, LeafId, NodeId, PowerMeter, PowerReport, Side, SwitchConfig,
+    ConfigArena, ConfigLookup, CstError, CstTopology, LeafId, NodeId, PowerMeter, PowerReport,
+    Side,
 };
 use std::collections::HashMap;
 
@@ -146,6 +147,10 @@ pub fn run_phase2_with(
     let mut schedule = Schedule::default();
     let mut scheduled_total = 0usize;
     let mut msgs: Vec<DownMsg> = vec![DownMsg::NULL; n];
+    // Dense per-round scratch: the sweep writes switch settings into
+    // preallocated slots (O(1) each); take_round() extracts the compact
+    // sorted table at end of round and resets in O(touched).
+    let mut arena = ConfigArena::new(topo);
     // Hard bound: a width-w set needs exactly w rounds and w <= |set|; the
     // +1 margin lets the overrun check distinguish "done late" from "stuck".
     let round_limit = set.len() + 1;
@@ -155,7 +160,7 @@ pub fn run_phase2_with(
             return Err(CstError::RoundOverrun { limit: round_limit });
         }
         meter.begin_round();
-        let mut round = Round::default();
+        let mut comms: Vec<CommId> = Vec::new();
         let mut active_sources: Vec<LeafId> = Vec::new();
 
         // Top-down sweep with quiescent-subtree pruning. The root acts as
@@ -214,15 +219,12 @@ pub fn run_phase2_with(
                     }
                 }
             }
-            if !result.connections.is_empty() {
-                let cfg = round.configs.entry(u).or_insert_with(SwitchConfig::empty);
-                for &c in &result.connections {
-                    cfg.set(c).map_err(|e| CstError::ProtocolViolation {
-                        node: u,
-                        detail: e.to_string(),
-                    })?;
-                    meter.require(u, c);
-                }
+            for &c in &result.connections {
+                arena.set(u, c).map_err(|e| CstError::ProtocolViolation {
+                    node: u,
+                    detail: e.to_string(),
+                })?;
+                meter.require(u, c);
             }
             metrics.phase2_words += 2 * u64::from(WORDS_DOWN);
             metrics.max_words_per_switch_round =
@@ -234,9 +236,9 @@ pub fn run_phase2_with(
         }
 
         // Trace this round's circuits from the active sources and recover
-        // the communication ids.
+        // the communication ids (against the arena, before extraction).
         for src in active_sources {
-            let dest = trace_circuit(topo, &round.configs, src)?;
+            let dest = trace_circuit(topo, &arena, src)?;
             let &(id, expected_dest) = by_source.get(&src).ok_or_else(|| {
                 CstError::ProtocolViolation {
                     node: topo.leaf_node(src),
@@ -246,17 +248,17 @@ pub fn run_phase2_with(
             if dest != expected_dest {
                 return Err(CstError::DeliveryMismatch { dest });
             }
-            round.comms.push(id);
+            comms.push(id);
         }
-        if round.comms.is_empty() {
+        if comms.is_empty() {
             return Err(CstError::ProtocolViolation {
                 node: NodeId::ROOT,
                 detail: "round made no progress".into(),
             });
         }
-        scheduled_total += round.comms.len();
-        round.comms.sort_unstable();
-        schedule.rounds.push(round);
+        scheduled_total += comms.len();
+        comms.sort_unstable();
+        schedule.rounds.push(Round { comms, configs: arena.take_round() });
     }
 
     let power = meter.report(topo);
@@ -264,10 +266,11 @@ pub fn run_phase2_with(
 }
 
 /// Follow the configured connections from an active source leaf to the leaf
-/// its signal reaches this round.
-pub fn trace_circuit(
+/// its signal reaches this round. Works on any per-round configuration view
+/// ([`ConfigArena`], [`cst_core::RoundConfigs`], …).
+pub fn trace_circuit<L: ConfigLookup>(
     topo: &CstTopology,
-    configs: &std::collections::BTreeMap<NodeId, SwitchConfig>,
+    configs: &L,
     source: LeafId,
 ) -> Result<LeafId, CstError> {
     let mut node = topo.leaf_node(source);
@@ -278,7 +281,7 @@ pub fn trace_circuit(
             detail: "signal climbed past the root".into(),
         })?;
         let enter = if node.is_left_child() { Side::Left } else { Side::Right };
-        let cfg = configs.get(&p).ok_or(CstError::ProtocolViolation {
+        let cfg = configs.config_at(p).ok_or(CstError::ProtocolViolation {
             node: p,
             detail: "signal reached an unconfigured switch".into(),
         })?;
@@ -294,7 +297,7 @@ pub fn trace_circuit(
                 // Turnaround: descend through p_i -> child chains.
                 let mut cur = if out == Side::Left { p.left_child() } else { p.right_child() };
                 while topo.is_internal(cur) {
-                    let c = configs.get(&cur).ok_or(CstError::ProtocolViolation {
+                    let c = configs.config_at(cur).ok_or(CstError::ProtocolViolation {
                         node: cur,
                         detail: "descent reached an unconfigured switch".into(),
                     })?;

@@ -8,8 +8,7 @@
 //! double-checks.
 
 use bytes::Bytes;
-use cst_core::{CstError, CstTopology, LeafId, NodeId, Side, SwitchConfig};
-use std::collections::BTreeMap;
+use cst_core::{ConfigLookup, CstError, CstTopology, LeafId, Side};
 
 /// One completed transfer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -21,15 +20,17 @@ pub struct Delivery {
     pub hops: usize,
 }
 
-/// A configured tree ready to carry one round's signals.
-pub struct DataPhase<'a> {
+/// A configured tree ready to carry one round's signals. Generic over the
+/// configuration view: works on a schedule's `RoundConfigs` or a live
+/// `ConfigArena` equally.
+pub struct DataPhase<'a, L: ConfigLookup> {
     topo: &'a CstTopology,
-    configs: &'a BTreeMap<NodeId, SwitchConfig>,
+    configs: &'a L,
 }
 
-impl<'a> DataPhase<'a> {
+impl<'a, L: ConfigLookup> DataPhase<'a, L> {
     /// Wrap the round's switch configurations.
-    pub fn new(topo: &'a CstTopology, configs: &'a BTreeMap<NodeId, SwitchConfig>) -> Self {
+    pub fn new(topo: &'a CstTopology, configs: &'a L) -> Self {
         DataPhase { topo, configs }
     }
 
@@ -47,7 +48,7 @@ impl<'a> DataPhase<'a> {
                 detail: "signal climbed past the root".into(),
             })?;
             entering = if node.is_left_child() { Side::Left } else { Side::Right };
-            let cfg = self.configs.get(&parent).ok_or(CstError::ProtocolViolation {
+            let cfg = self.configs.config_at(parent).ok_or(CstError::ProtocolViolation {
                 node: parent,
                 detail: "signal reached an unconfigured switch".into(),
             })?;
@@ -74,7 +75,7 @@ impl<'a> DataPhase<'a> {
                         Side::Parent => unreachable!(),
                     };
                     while self.topo.is_internal(cur) {
-                        let c = self.configs.get(&cur).ok_or(CstError::ProtocolViolation {
+                        let c = self.configs.config_at(cur).ok_or(CstError::ProtocolViolation {
                             node: cur,
                             detail: "descent reached an unconfigured switch".into(),
                         })?;
@@ -111,14 +112,14 @@ impl<'a> DataPhase<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cst_core::{Circuit, MergedRound};
+    use cst_core::{Circuit, MergedRound, RoundConfigs};
 
-    fn configured(topo: &CstTopology, pairs: &[(usize, usize)]) -> BTreeMap<NodeId, SwitchConfig> {
+    fn configured(topo: &CstTopology, pairs: &[(usize, usize)]) -> RoundConfigs {
         let circuits: Vec<_> = pairs
             .iter()
             .map(|&(s, d)| Circuit::right_oriented(topo, LeafId(s), LeafId(d)))
             .collect();
-        MergedRound::build(topo, &circuits).unwrap().configs
+        MergedRound::build(topo, &circuits).unwrap().to_configs()
     }
 
     #[test]
@@ -144,7 +145,7 @@ mod tests {
     #[test]
     fn unconfigured_switch_is_detected() {
         let topo = CstTopology::with_leaves(8);
-        let cfgs = BTreeMap::new();
+        let cfgs = RoundConfigs::new();
         let phase = DataPhase::new(&topo, &cfgs);
         assert!(phase.transfer(LeafId(0), Bytes::new()).is_err());
     }

@@ -23,7 +23,7 @@ use crate::data::{DataPhase, Delivery};
 use crate::event::{Cycle, EventQueue};
 use cst_comm::{CommSet, Round, Schedule};
 
-use cst_core::{CstError, CstTopology, LeafId, NodeId, PowerMeter, SwitchConfig};
+use cst_core::{ConfigArena, CstError, CstTopology, LeafId, NodeId, PowerMeter};
 use cst_padr::messages::{DownMsg, ReqKind, UpMsg};
 use cst_padr::phase1::SwitchState;
 use cst_padr::switch_logic;
@@ -162,6 +162,8 @@ pub fn simulate(
     let mut now = phase1_done_at;
     let height = Cycle::from(topo.height());
     let round_limit = set.len() + 1;
+    // Dense per-round configuration scratch, reused across rounds.
+    let mut arena = ConfigArena::new(topo);
 
     while remaining > 0 {
         if schedule.rounds.len() >= round_limit {
@@ -169,7 +171,7 @@ pub fn simulate(
         }
         let control_start = now;
         meter.begin_round();
-        let mut round = Round::default();
+        let mut comms: Vec<cst_comm::CommId> = Vec::new();
         let mut active_sources: Vec<LeafId> = Vec::new();
         let mut active_dests: Vec<LeafId> = Vec::new();
 
@@ -198,16 +200,12 @@ pub fn simulate(
                             node: to,
                             detail: e.to_string(),
                         })?;
-                    if !result.connections.is_empty() {
-                        let cfg =
-                            round.configs.entry(to).or_insert_with(SwitchConfig::empty);
-                        for &c in &result.connections {
-                            cfg.set(c).map_err(|e| CstError::ProtocolViolation {
-                                node: to,
-                                detail: e.to_string(),
-                            })?;
-                            meter.require(to, c);
-                        }
+                    for &c in &result.connections {
+                        arena.set(to, c).map_err(|e| CstError::ProtocolViolation {
+                            node: to,
+                            detail: e.to_string(),
+                        })?;
+                        meter.require(to, c);
                     }
                     q.schedule(t + 1, Ev::Down { to: to.left_child(), msg: result.to_left });
                     q.schedule(t + 1, Ev::Down { to: to.right_child(), msg: result.to_right });
@@ -220,8 +218,9 @@ pub fn simulate(
             }
         }
 
-        // Data transfer: propagate payloads through the configured circuits.
-        let phase = DataPhase::new(topo, &round.configs);
+        // Data transfer: propagate payloads through the configured circuits
+        // (straight off the arena, before extraction).
+        let phase = DataPhase::new(topo, &arena);
         for &src in &active_sources {
             let (id, expected) = *pairing.get(&src).ok_or(CstError::ProtocolViolation {
                 node: topo.leaf_node(src),
@@ -238,17 +237,17 @@ pub fn simulate(
                 });
             }
             deliveries.push(delivery);
-            round.comms.push(id);
+            comms.push(id);
         }
-        if round.comms.is_empty() {
+        if comms.is_empty() {
             return Err(CstError::ProtocolViolation {
                 node: NodeId::ROOT,
                 detail: "simulated round made no progress".into(),
             });
         }
-        remaining -= round.comms.len();
-        round.comms.sort_unstable();
-        schedule.rounds.push(round);
+        remaining -= comms.len();
+        comms.sort_unstable();
+        schedule.rounds.push(Round { comms, configs: arena.take_round() });
         timings.push(RoundTiming { control_start, data_cycle });
         now = data_cycle;
     }

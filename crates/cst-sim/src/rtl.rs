@@ -12,7 +12,7 @@
 //! paper claims (only O(1) local words per switch, Theorem 5).
 
 use cst_comm::{CommSet, Round, Schedule};
-use cst_core::{CstError, CstTopology, LeafId, NodeId, PeRole, PowerMeter, SwitchConfig};
+use cst_core::{ConfigArena, CstError, CstTopology, LeafId, NodeId, PeRole, PowerMeter};
 use cst_padr::messages::{DownMsg, ReqKind, UpMsg};
 use cst_padr::phase1::SwitchState;
 use cst_padr::switch_logic;
@@ -52,6 +52,9 @@ pub struct RtlMachine<'t> {
     pes: Vec<HwPe>,
     meter: PowerMeter,
     cycle: u64,
+    /// Dense per-round configuration scratch (host-side bookkeeping, not
+    /// part of the modeled hardware), reused across rounds.
+    arena: ConfigArena,
 }
 
 /// Result of one executed round (one control wave).
@@ -76,6 +79,7 @@ impl<'t> RtlMachine<'t> {
             pes: roles.into_iter().map(|role| HwPe { role }).collect(),
             meter: PowerMeter::new(topo),
             cycle: 0,
+            arena: ConfigArena::new(topo),
         }
     }
 
@@ -164,7 +168,6 @@ impl<'t> RtlMachine<'t> {
     /// on its own mailbox.
     pub fn run_round(&mut self) -> Result<RtlRound, CstError> {
         self.meter.begin_round();
-        let mut round = Round::default();
         let mut sources = Vec::new();
         self.switches[NodeId::ROOT.index()].inbox = Some(DownMsg::NULL);
         let mut active = true;
@@ -181,15 +184,12 @@ impl<'t> RtlMachine<'t> {
                         node: u,
                         detail: e.to_string(),
                     })?;
-                if !result.connections.is_empty() {
-                    let cfg = round.configs.entry(u).or_insert_with(SwitchConfig::empty);
-                    for &c in &result.connections {
-                        cfg.set(c).map_err(|e| CstError::ProtocolViolation {
-                            node: u,
-                            detail: e.to_string(),
-                        })?;
-                        self.meter.require(u, c);
-                    }
+                for &c in &result.connections {
+                    self.arena.set(u, c).map_err(|e| CstError::ProtocolViolation {
+                        node: u,
+                        detail: e.to_string(),
+                    })?;
+                    self.meter.require(u, c);
                 }
                 deliveries.push((u.left_child(), result.to_left));
                 deliveries.push((u.right_child(), result.to_right));
@@ -213,6 +213,7 @@ impl<'t> RtlMachine<'t> {
                 }
             }
         }
+        let round = Round { comms: Vec::new(), configs: self.arena.take_round() };
         Ok(RtlRound { round, sources, completed_at: self.cycle })
     }
 

@@ -59,7 +59,7 @@ pub fn render_round(topo: &CstTopology, set: &CommSet, round: &Round) -> String 
         for node in topo.switches_at_depth(depth) {
             let range = topo.leaf_range(node);
             let center = (range.start + range.end) * CELL / 2;
-            let label = match round.configs.get(&node) {
+            let label = match round.configs.get(node) {
                 Some(cfg) => config_label(cfg),
                 None => ".".to_string(),
             };

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Smoke-run the benchmark suite: every bench binary executes one
+# abbreviated pass (criterion `--test` mode — no statistics, just "does
+# it run and produce sane numbers"). The E5 scheduler-throughput bench
+# additionally emits its measurements as JSON next to this script's
+# output directory, so CI can diff against the checked-in BENCH_e5.json
+# baselines without a full measurement run.
+#
+# Usage: scripts/bench_smoke.sh [output-dir]   (default: target/bench-smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out_dir="${1:-target/bench-smoke}"
+mkdir -p "$out_dir"
+
+echo "== bench smoke: e5_scheduler_throughput (JSON -> $out_dir/BENCH_e5.json) =="
+CRITERION_JSON="$out_dir/BENCH_e5.json" \
+    cargo bench -p bench --bench e5_scheduler_throughput -- --test
+
+echo "== bench smoke: remaining benches =="
+for b in e1_rounds_optimality e2_config_changes e3_total_power \
+         e4_control_overhead e6_change_histogram e7_segmentable_bus \
+         e8_ablation_selection e9_applications e10_sessions \
+         e11_bus_emulation e12_motivation substrate_micro; do
+    cargo bench -p bench --bench "$b" -- --test
+done
+
+echo "== bench smoke: OK (E5 JSON at $out_dir/BENCH_e5.json) =="

@@ -4,7 +4,7 @@
 
 use cst::baseline::{greedy, roy, sequential, LevelOrder, ScanOrder};
 use cst::comm::{width_on_topology, Schedule};
-use cst::core::CstTopology;
+use cst::core::{Circuit, CstTopology, MergedRound};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -82,6 +82,63 @@ fn power_story_holds_per_switch() {
             "w={w}: roy wt max {}",
             rep.max_writethrough_units
         );
+    }
+}
+
+#[test]
+fn schedule_json_format_is_pinned() {
+    // The on-disk format predates the flat-arena round representation and
+    // must never drift: switch configurations serialize as a JSON map from
+    // decimal heap index to configuration, keys ascending.
+    let topo = CstTopology::with_leaves(4);
+    let set = cst::comm::CommSet::from_pairs(4, &[(0, 3), (1, 2)]);
+    let csa = cst::padr::schedule(&topo, &set).unwrap();
+    let json = serde_json::to_string(&csa.schedule).unwrap();
+    // Round 1 holds the outer comm (0,3): root (node 1) turns it around
+    // (l_i drives r_o), switch 2 forwards up (l_i drives p_o), switch 3
+    // forwards down (p_i drives r_o). Pin the exact fragment.
+    assert!(
+        json.contains(
+            r#""configs":{"1":{"driver":[null,"Left",null]},"2":{"driver":[null,null,"Left"]},"3":{"driver":[null,"Parent",null]}}"#
+        ),
+        "on-disk round format drifted: {json}"
+    );
+    // Round-trip must be lossless.
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, csa.schedule);
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+}
+
+#[test]
+fn serial_parallel_and_arena_rebuilt_schedules_are_identical() {
+    // The parallel CSA and the serial CSA must produce bit-identical
+    // schedules, and re-merging each round's circuits through a scratch
+    // MergedRound must reproduce the recorded configurations exactly —
+    // the arena path loses nothing relative to per-round reconstruction.
+    let n = 256;
+    let topo = CstTopology::with_leaves(n);
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed + 400);
+        let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+        let serial = cst::padr::schedule(&topo, &set).unwrap();
+        let parallel = cst::padr::schedule_parallel(&topo, &set, 8).unwrap();
+        assert_eq!(serial.schedule, parallel.schedule, "seed {seed}");
+        assert_eq!(
+            serde_json::to_string(&serial.schedule).unwrap(),
+            serde_json::to_string(&parallel.schedule).unwrap(),
+            "seed {seed}"
+        );
+        // Rebuild each round from its comms through the arena-backed
+        // MergedRound and compare bit-for-bit.
+        let mut merged = MergedRound::new(&topo);
+        for round in &serial.schedule.rounds {
+            merged.clear();
+            for &id in &round.comms {
+                let c = set.get(id).unwrap();
+                merged.add(&Circuit::between(&topo, c.source, c.dest)).unwrap();
+            }
+            assert_eq!(merged.take_configs(), round.configs, "seed {seed}");
+        }
     }
 }
 

@@ -1,0 +1,311 @@
+//! Offline stand-in for `criterion`. Performs **real wall-clock
+//! measurement** (warm-up, then `sample_size` samples, median
+//! reported) with the criterion API surface this workspace uses.
+//!
+//! - `--test` or `--quick` on the bench binary's command line switches
+//!   to smoke mode: each benchmark body runs once, unmeasured.
+//! - `CRITERION_JSON=<path>` dumps `{ "<id>": ns_per_iter, ... }` for
+//!   all measured benchmarks at `criterion_main!` exit.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Apply command-line flags (`--test` / `--quick` smoke modes).
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => self.test_mode = true,
+                _ => {} // ignore harness flags like --bench and filters
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().id;
+        run_bench(self, label, None, &mut f);
+        self
+    }
+}
+
+/// Units-per-iteration annotation; reported alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// A named group of benchmarks (prefixes every id with `group/`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_bench(self.criterion, label, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_bench(self.criterion, label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark bodies; `iter` runs and times the closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    /// Median ns/iter, filled by `iter`.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.result_ns = None;
+            return;
+        }
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Split the measurement budget across samples.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample = ((budget_ns / self.sample_size as f64) / est_ns.max(1.0))
+            .ceil()
+            .max(1.0) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.result_ns = Some(samples[samples.len() / 2]);
+    }
+
+    /// Upstream-compatible alias used with setup closures.
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.iter(f);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    label: String,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        sample_size: criterion.sample_size,
+        warm_up_time: criterion.warm_up_time,
+        measurement_time: criterion.measurement_time,
+        test_mode: criterion.test_mode,
+        result_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.result_ns {
+        None => println!("{label}: ok (smoke)"),
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(" ({:.0} elem/s)", n as f64 * 1e9 / ns)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(" ({:.1} MiB/s)", n as f64 * 1e9 / ns / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            println!("{label}: {ns:.0} ns/iter{rate}");
+            RESULTS.lock().unwrap().push((label, ns));
+        }
+    }
+}
+
+/// Write accumulated results as JSON if `CRITERION_JSON` is set.
+/// Called by `criterion_main!`; harmless to call repeatedly.
+pub fn finalize() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n");
+    for (i, (label, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!("  \"{}\": {:.1}{}\n", label.replace('"', "'"), ns, sep));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion stub: cannot write {path}: {e}");
+    }
+}
+
+/// `std::hint::black_box` re-export, matching upstream's API.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.finish();
+        assert!(ran > 0);
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|(label, ns)| label == "g/count" && *ns >= 0.0));
+    }
+}
