@@ -1,0 +1,168 @@
+//! Lemma 1 / Phase-1 counter conservation.
+//!
+//! Phase 1 of the CSA leaves each switch `u` with `C_S = [M, S_L − M, D_L,
+//! S_R, D_R − M]` and each node with the forwarded `C_U = [S_L − M + S_R,
+//! D_L + D_R − M]`, where `M = min(S_L, D_R)` (Lemma 1). Both tables are
+//! pure functions of the input set, so a checker can recompute them
+//! bottom-up from the PE roles alone and diff an artifact's claimed tables
+//! against the ground truth — no protocol execution involved.
+
+use cst_comm::CommSet;
+use cst_core::diag::{DiagCode, DiagReport, Diagnostic};
+use cst_core::{CstTopology, NodeId, PeRole};
+use serde::{Deserialize, Serialize};
+
+/// The Phase-1 counter tables of one run, dense over `NodeId::index()`.
+///
+/// `states[u]` is `C_S(u) = [M, S_L − M, D_L, S_R, D_R − M]` (zeroed at
+/// leaves and the unused slots 0..2); `up[u]` is the message `C_U` node `u`
+/// sent its parent, `[sources, dests]` (at leaves: the role announcement).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterTable {
+    pub states: Vec<[u32; 5]>,
+    pub up: Vec<[u32; 2]>,
+}
+
+/// Recompute the ground-truth counter tables for `set` on `topo`: the same
+/// bottom-up sweep as Phase 1, derived here independently so the checker
+/// does not inherit a scheduler bug.
+pub fn expected_counters(topo: &CstTopology, set: &CommSet) -> CounterTable {
+    let n = topo.node_table_len();
+    let mut states = vec![[0u32; 5]; n];
+    let mut up = vec![[0u32; 2]; n];
+
+    let roles = set.roles();
+    for leaf in topo.leaves() {
+        up[topo.leaf_node(leaf).index()] = match roles[leaf.0] {
+            PeRole::Source => [1, 0],
+            PeRole::Destination => [0, 1],
+            PeRole::Idle => [0, 0],
+        };
+    }
+    for u in topo.switches_bottom_up() {
+        let [sl, dl] = up[u.left_child().index()];
+        let [sr, dr] = up[u.right_child().index()];
+        let m = sl.min(dr);
+        states[u.index()] = [m, sl - m, dl, sr, dr - m];
+        up[u.index()] = [sl - m + sr, dl + dr - m];
+    }
+    CounterTable { states, up }
+}
+
+/// Diff a claimed counter table against [`expected_counters`].
+///
+/// * `CST050` — a switch's `C_S` disagrees with Lemma 1 (wrong `M`, or
+///   wrong residuals), one diagnostic per switch;
+/// * `CST051` — a node's forwarded `C_U` breaks conservation on the way
+///   up, one diagnostic per node.
+///
+/// The two passes are independent so a corruption in one table is
+/// attributed precisely.
+pub fn check_counters(topo: &CstTopology, set: &CommSet, table: &CounterTable) -> DiagReport {
+    let mut report = DiagReport::new();
+    let truth = expected_counters(topo, set);
+    let n = topo.node_table_len();
+
+    if table.states.len() != n || table.up.len() != n {
+        report.push(Diagnostic::new(
+            DiagCode::CounterMismatch,
+            format!(
+                "counter tables sized {}/{} but the topology has {n} node slots",
+                table.states.len(),
+                table.up.len()
+            ),
+        ));
+        return report;
+    }
+    for i in 1..n {
+        if table.states[i] != truth.states[i] {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::CounterMismatch,
+                    format!(
+                        "C_S is {:?}, but Lemma 1 gives {:?}",
+                        table.states[i], truth.states[i]
+                    ),
+                )
+                .with_node(NodeId(i)),
+            );
+        }
+    }
+    for i in 1..n {
+        if table.up[i] != truth.up[i] {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::CounterFlow,
+                    format!(
+                        "forwarded C_U is {:?}, but conservation gives {:?}",
+                        table.up[i], truth.up[i]
+                    ),
+                )
+                .with_node(NodeId(i)),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (CstTopology, CommSet) {
+        (CstTopology::with_leaves(8), CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]))
+    }
+
+    #[test]
+    fn expected_tables_obey_lemma_1() {
+        let (topo, set) = fixture();
+        let t = expected_counters(&topo, &set);
+        // Root matches all three pairs; nothing escapes upward.
+        assert_eq!(t.states[NodeId::ROOT.index()][0], 3);
+        assert_eq!(t.up[NodeId::ROOT.index()], [0, 0]);
+        // Every switch: M = min(S_L, D_R) means the residuals can't both
+        // be positive.
+        for s in &t.states {
+            assert!(s[1] == 0 || s[4] == 0);
+        }
+        assert!(check_counters(&topo, &set, &t).is_clean());
+    }
+
+    #[test]
+    fn state_corruption_is_cst050_only() {
+        let (topo, set) = fixture();
+        let mut t = expected_counters(&topo, &set);
+        t.states[NodeId::ROOT.index()][0] += 1;
+        let rep = check_counters(&topo, &set, &t);
+        assert_eq!(rep.error_count(), 1);
+        assert_eq!(rep.diagnostics[0].code, DiagCode::CounterMismatch);
+        assert_eq!(rep.diagnostics[0].node, Some(NodeId::ROOT));
+    }
+
+    #[test]
+    fn up_corruption_is_cst051_only() {
+        let (topo, set) = fixture();
+        let mut t = expected_counters(&topo, &set);
+        t.up[2] = [9, 9];
+        let rep = check_counters(&topo, &set, &t);
+        assert_eq!(rep.error_count(), 1);
+        assert_eq!(rep.diagnostics[0].code, DiagCode::CounterFlow);
+    }
+
+    #[test]
+    fn size_mismatch_is_reported_not_panicked() {
+        let (topo, set) = fixture();
+        let t = CounterTable::default();
+        let rep = check_counters(&topo, &set, &t);
+        assert!(rep.has_errors());
+    }
+
+    #[test]
+    fn counter_table_serde_roundtrip() {
+        let (topo, set) = fixture();
+        let t = expected_counters(&topo, &set);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: CounterTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

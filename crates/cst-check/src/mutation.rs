@@ -1,0 +1,271 @@
+//! Mutation harness: the analyzer's own proof of discrimination.
+//!
+//! A checker that accepts everything is worse than none, so each
+//! diagnostic class carries a *mutation*: a minimal, surgical corruption
+//! of a known-clean scheduling artifact that must trigger exactly that
+//! class — the expected code and no other error. `tests/mutation_coverage.rs`
+//! drives every [`Mutation`] through [`run`] and asserts both directions:
+//! the clean fixture is silent, and each corruption is attributed to
+//! precisely its code.
+
+use crate::counters::{check_counters, expected_counters, CounterTable};
+use crate::{analyze, CheckOptions};
+use cst_comm::{CommId, CommSet, Round, Schedule};
+use cst_core::diag::{DiagCode, DiagReport};
+use cst_core::{Circuit, Connection, CstTopology, MergedRound, NodeId, RoundConfigs};
+
+/// One corruption per diagnostic class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Two crossing communications (`CST001`).
+    CrossingComms,
+    /// A left-oriented communication under the strict contract (`CST002`).
+    LeftOriented,
+    /// A round referencing a communication id outside the set (`CST010`).
+    UnknownId,
+    /// The same communication scheduled in two rounds (`CST011`).
+    RepeatedComm,
+    /// A communication dropped from every round (`CST012`).
+    DroppedComm,
+    /// Two circuits sharing a directed link in one round (`CST020`).
+    CollidingRound,
+    /// A required switch entry deleted from a round table (`CST021`).
+    DeletedEntry,
+    /// A same-side connection smuggled in via deserialization (`CST022`).
+    IllegalDriver,
+    /// A padding round beyond the width bound (`CST030`).
+    PaddedRounds,
+    /// An idle switch re-aimed every round past the budget (`CST040`).
+    ThrashingSwitch,
+    /// A switch's `C_S` off by one against Lemma 1 (`CST050`).
+    SkewedState,
+    /// A forwarded `C_U` breaking conservation (`CST051`).
+    SkewedUpMsg,
+    /// Rounds reversed: innermost scheduled first (`CST060`).
+    InvertedOrder,
+    /// One switch entry recorded twice in a round (`CST070`).
+    TwoWriters,
+    /// A connection no circuit asked for (`CST071`, warning).
+    StraySetting,
+}
+
+impl Mutation {
+    /// Every mutation, in code order.
+    pub const ALL: [Mutation; 15] = [
+        Mutation::CrossingComms,
+        Mutation::LeftOriented,
+        Mutation::UnknownId,
+        Mutation::RepeatedComm,
+        Mutation::DroppedComm,
+        Mutation::CollidingRound,
+        Mutation::DeletedEntry,
+        Mutation::IllegalDriver,
+        Mutation::PaddedRounds,
+        Mutation::ThrashingSwitch,
+        Mutation::SkewedState,
+        Mutation::SkewedUpMsg,
+        Mutation::InvertedOrder,
+        Mutation::TwoWriters,
+        Mutation::StraySetting,
+    ];
+
+    /// The one diagnostic this corruption must produce.
+    pub fn expected_code(self) -> DiagCode {
+        match self {
+            Mutation::CrossingComms => DiagCode::NotWellNested,
+            Mutation::LeftOriented => DiagCode::NotRightOriented,
+            Mutation::UnknownId => DiagCode::UnknownComm,
+            Mutation::RepeatedComm => DiagCode::DuplicateComm,
+            Mutation::DroppedComm => DiagCode::MissingComm,
+            Mutation::CollidingRound => DiagCode::LinkConflict,
+            Mutation::DeletedEntry => DiagCode::MissingConnection,
+            Mutation::IllegalDriver => DiagCode::IllegalConfig,
+            Mutation::PaddedRounds => DiagCode::RoundCountMismatch,
+            Mutation::ThrashingSwitch => DiagCode::TransitionBudget,
+            Mutation::SkewedState => DiagCode::CounterMismatch,
+            Mutation::SkewedUpMsg => DiagCode::CounterFlow,
+            Mutation::InvertedOrder => DiagCode::SelectionOrder,
+            Mutation::TwoWriters => DiagCode::DoubleStamp,
+            Mutation::StraySetting => DiagCode::ForeignConfig,
+        }
+    }
+
+    /// Whether the corruption legitimately drags extra *warnings* along
+    /// (injected settings are foreign by construction); extra errors are
+    /// never tolerated.
+    pub fn tolerates_warnings(self) -> bool {
+        matches!(self, Mutation::ThrashingSwitch | Mutation::IllegalDriver)
+    }
+}
+
+/// A complete analysis subject: inputs, schedule, claimed counters and the
+/// contract to check against.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    pub topo: CstTopology,
+    pub set: CommSet,
+    pub schedule: Schedule,
+    pub counters: Option<CounterTable>,
+    pub options: CheckOptions,
+}
+
+/// Analyze a fixture: every schedule pass plus, when tables are claimed,
+/// the Lemma 1 counter pass.
+pub fn run(f: &Fixture) -> DiagReport {
+    let mut report = analyze(&f.topo, &f.set, &f.schedule, &f.options);
+    if let Some(t) = &f.counters {
+        report.merge(check_counters(&f.topo, &f.set, t));
+    }
+    report
+}
+
+/// One round performing exactly `ids`, with the honest merged configs.
+fn round_of(topo: &CstTopology, set: &CommSet, ids: &[usize]) -> Round {
+    let circuits: Vec<_> = ids
+        .iter()
+        .map(|&i| {
+            let c = &set.comms()[i];
+            Circuit::between(topo, c.source, c.dest)
+        })
+        .collect();
+    let merged = MergedRound::build(topo, &circuits).expect("fixture circuits are compatible");
+    Round { comms: ids.iter().map(|&i| CommId(i)).collect(), configs: merged.to_configs() }
+}
+
+/// A fixture built from `pairs` scheduled one communication per round, in
+/// id order, with ground-truth counter tables.
+fn fixture_of(num_leaves: usize, pairs: &[(usize, usize)]) -> Fixture {
+    let topo = CstTopology::with_leaves(num_leaves);
+    let set = CommSet::from_pairs(num_leaves, pairs);
+    let rounds = (0..set.len()).map(|i| round_of(&topo, &set, &[i])).collect();
+    let counters = Some(expected_counters(&topo, &set));
+    Fixture { topo, set, schedule: Schedule { rounds }, counters, options: CheckOptions::strict() }
+}
+
+/// The known-clean baseline: three nested communications on 8 PEs,
+/// outermost-first, one per round — width 3, three rounds, every invariant
+/// honest. [`run`] must return an empty report for it.
+pub fn clean_fixture() -> Fixture {
+    fixture_of(8, &[(0, 7), (1, 6), (2, 5)])
+}
+
+/// The clean fixture with exactly one corruption applied.
+pub fn corrupted(m: Mutation) -> Fixture {
+    let mut f = clean_fixture();
+    match m {
+        Mutation::CrossingComms => {
+            // Crossing pairs still schedule round-per-comm cleanly (width
+            // 2, two rounds); only the set structure is at fault.
+            f = fixture_of(8, &[(0, 4), (2, 6)]);
+        }
+        Mutation::LeftOriented => {
+            f = fixture_of(8, &[(3, 0)]);
+        }
+        Mutation::UnknownId => {
+            f.schedule.rounds[0].comms.push(CommId(3));
+        }
+        Mutation::RepeatedComm => {
+            f.schedule.rounds[0].comms.push(CommId(0));
+        }
+        Mutation::DroppedComm => {
+            // Keep the round *count* (Theorem 5 stays satisfied); lose the
+            // communication.
+            f.schedule.rounds[2] = Round::default();
+        }
+        Mutation::CollidingRound => {
+            // Cram comms 0 and 1 into round 0; their up-paths share the
+            // link above n4. Configs are the force-union so only the
+            // compatibility invariant is violated, not the bookkeeping.
+            let donor = f.schedule.rounds.remove(1);
+            f.schedule.rounds.push(Round::default()); // keep 3 rounds
+            let r0 = &mut f.schedule.rounds[0];
+            r0.comms.extend(donor.comms);
+            for (node, cfg) in &donor.configs {
+                let slot = r0.configs.entry_mut(node);
+                for conn in cfg.connections() {
+                    let _ = slot.force(conn);
+                }
+            }
+        }
+        Mutation::DeletedEntry => {
+            let r0 = &mut f.schedule.rounds[0];
+            let kept: Vec<_> =
+                r0.configs.iter().filter(|&(n, _)| n != NodeId::ROOT).map(|(n, c)| (n, *c)).collect();
+            r0.configs = RoundConfigs::from_entries(kept);
+        }
+        Mutation::IllegalDriver => {
+            // `SwitchConfig::set` cannot produce p_i -> p_o; a corrupted
+            // artifact can. Keep the required l_i -> r_o so nothing else
+            // fires.
+            *f.schedule.rounds[0].configs.entry_mut(NodeId::ROOT) =
+                serde_json::from_str(r#"{"driver":[null,"Left","Parent"]}"#)
+                    .expect("literal config");
+        }
+        Mutation::PaddedRounds => {
+            f.schedule.rounds.push(Round::default());
+        }
+        Mutation::ThrashingSwitch => {
+            // 16 nested comms on 32 PEs; n31 is idle after round 1, so
+            // re-aiming its parent port every remaining round racks up 14
+            // extra transitions — far past the budget of 9. The stray
+            // settings are foreign (warnings), the budget breach is the
+            // error.
+            let pairs: Vec<_> = (0..16).map(|i| (i, 31 - i)).collect();
+            f = fixture_of(32, &pairs);
+            for r in 2..16 {
+                let conn = if r % 2 == 0 { Connection::L_TO_P } else { Connection::R_TO_P };
+                f.schedule.rounds[r]
+                    .configs
+                    .entry_mut(NodeId(31))
+                    .set(conn)
+                    .expect("n31 idle after round 1");
+            }
+        }
+        Mutation::SkewedState => {
+            let t = f.counters.as_mut().expect("clean fixture carries tables");
+            t.states[NodeId::ROOT.index()][0] += 1;
+        }
+        Mutation::SkewedUpMsg => {
+            let t = f.counters.as_mut().expect("clean fixture carries tables");
+            t.up[2] = [1, 0];
+        }
+        Mutation::InvertedOrder => {
+            f.schedule.rounds.reverse();
+        }
+        Mutation::TwoWriters => {
+            let r0 = &mut f.schedule.rounds[0];
+            let mut entries: Vec<_> = r0.configs.iter().map(|(n, c)| (n, *c)).collect();
+            let dup = entries[0];
+            entries.push(dup);
+            r0.configs = RoundConfigs::from_entries_unchecked(entries);
+        }
+        Mutation::StraySetting => {
+            // n5 takes no part in round 0 of the clean fixture.
+            f.schedule.rounds[0]
+                .configs
+                .entry_mut(NodeId(5))
+                .set(Connection::L_TO_R)
+                .expect("n5 unused in round 0");
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_exhaustive_and_codes_distinct() {
+        let mut codes: Vec<_> = Mutation::ALL.iter().map(|m| m.expected_code()).collect();
+        codes.sort_by_key(|c| c.as_str());
+        codes.dedup();
+        assert_eq!(codes.len(), Mutation::ALL.len());
+        assert_eq!(codes.len(), DiagCode::ALL.len());
+    }
+
+    #[test]
+    fn clean_fixture_is_clean() {
+        assert!(run(&clean_fixture()).is_clean());
+    }
+}

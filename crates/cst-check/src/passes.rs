@@ -1,0 +1,276 @@
+//! The schedule-level analysis passes: input-set structure, round count
+//! (Theorem 5), port-transition budget (Theorem 8) and selection order
+//! (§4). The round-level Theorem 4 / ownership pass lives in
+//! [`cst_comm::check_rounds`] so `Schedule::verify` can reach it without a
+//! dependency cycle.
+
+use cst_comm::{width_on_topology, CommSet, Orientation, Schedule};
+use cst_core::diag::{DiagCode, DiagReport, Diagnostic};
+use cst_core::{CstTopology, SwitchConfig};
+
+/// Structural checks on the input set: well-nestedness (`CST001`) and —
+/// when `require_right_oriented` — orientation (`CST002`).
+pub fn check_set(set: &CommSet, require_right_oriented: bool) -> DiagReport {
+    let mut report = DiagReport::new();
+    if let Some((a, b)) = set.well_nested_violation() {
+        report.push(
+            Diagnostic::new(
+                DiagCode::NotWellNested,
+                format!("communications {a} and {b} cross: set is not well-nested"),
+            )
+            .with_comm(a.0)
+            .with_comm(b.0),
+        );
+    }
+    if require_right_oriented {
+        for (id, c) in set.iter() {
+            if c.orientation() != Orientation::Right {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::NotRightOriented,
+                        format!("{id} runs {}->{}: not right-oriented", c.source, c.dest),
+                    )
+                    .with_comm(id.0),
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Theorem 5: an optimal schedule uses exactly `w` rounds, where `w` is the
+/// maximum directed-link load (`CST030`).
+pub fn check_round_count(topo: &CstTopology, set: &CommSet, schedule: &Schedule) -> DiagReport {
+    let mut report = DiagReport::new();
+    let width = width_on_topology(topo, set) as usize;
+    let rounds = schedule.num_rounds();
+    if rounds != width {
+        report.push(Diagnostic::new(
+            DiagCode::RoundCountMismatch,
+            format!("schedule uses {rounds} rounds but the set has width {width}"),
+        ));
+    }
+    report
+}
+
+/// Per-switch port transitions implied by the schedule alone: replay the
+/// recorded configurations round by round against a persistent per-switch
+/// state, counting every output-port driver change — the same hold
+/// semantics the runtime [`cst_core::PowerMeter`] charges, but derived by
+/// pure diffing, no protocol simulation.
+pub fn static_port_transitions(topo: &CstTopology, schedule: &Schedule) -> Vec<u32> {
+    let mut held = vec![SwitchConfig::empty(); topo.node_table_len()];
+    let mut transitions = vec![0u32; topo.node_table_len()];
+    for round in &schedule.rounds {
+        for (node, cfg) in &round.configs {
+            let h = &mut held[node.index()];
+            for c in cfg.connections() {
+                if !c.is_legal() {
+                    continue; // CST022's domain; force() would debug-panic
+                }
+                if h.driver_of(c.to) != Some(c.from) {
+                    transitions[node.index()] += 1;
+                }
+                h.force(c);
+            }
+        }
+    }
+    transitions
+}
+
+/// The maximum over switches of [`static_port_transitions`].
+pub fn max_static_transitions(topo: &CstTopology, schedule: &Schedule) -> u32 {
+    static_port_transitions(topo, schedule).into_iter().max().unwrap_or(0)
+}
+
+/// Theorem 8: every switch stays within the O(1) port-transition budget
+/// (`CST040`), one diagnostic per offending switch.
+pub fn check_transitions(topo: &CstTopology, schedule: &Schedule, bound: u32) -> DiagReport {
+    let mut report = DiagReport::new();
+    for (i, &t) in static_port_transitions(topo, schedule).iter().enumerate() {
+        if t > bound {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::TransitionBudget,
+                    format!("{t} port transitions exceed the O(1) budget {bound}"),
+                )
+                .with_node(cst_core::NodeId(i)),
+            );
+        }
+    }
+    report
+}
+
+/// The switch a communication is matched at: the LCA of its endpoints,
+/// where the circuit turns around (`l_i -> r_o` for right-oriented sets).
+fn apex(topo: &CstTopology, source: cst_core::LeafId, dest: cst_core::LeafId) -> cst_core::NodeId {
+    let mut a = topo.leaf_node(source).0;
+    let mut b = topo.leaf_node(dest).0;
+    while a != b {
+        if a > b {
+            a >>= 1;
+        } else {
+            b >>= 1;
+        }
+    }
+    cst_core::NodeId(a)
+}
+
+/// §4 selection order `O_c(u)`: the communications matched at one switch
+/// `u` all need `u`'s `r_o` port, so they run in distinct rounds — and the
+/// CSA picks them outermost-first, so round indices must strictly increase
+/// from the enclosing communication inward (`CST060`). The order is *per
+/// matching switch*: communications matched at different switches are
+/// scheduled independently, and a globally inner one may legitimately run
+/// first. Equal rounds are a port conflict (`CST020`/`CST021` territory),
+/// not a selection-order finding, and are skipped here.
+///
+/// Only meaningful for right-oriented well-nested sets; [`crate::analyze`]
+/// guards the call accordingly.
+pub fn check_selection_order(
+    topo: &CstTopology,
+    set: &CommSet,
+    schedule: &Schedule,
+) -> DiagReport {
+    let mut report = DiagReport::new();
+    // First (and, for clean schedules, only) round of each communication.
+    let mut round_of: Vec<Option<usize>> = vec![None; set.len()];
+    for (r, round) in schedule.rounds.iter().enumerate() {
+        for &id in &round.comms {
+            if let Some(slot) = round_of.get_mut(id.0) {
+                slot.get_or_insert(r);
+            }
+        }
+    }
+    // Communications grouped by matching switch; (left endpoint, id,
+    // round) — within one switch, ascending left endpoint is outermost
+    // first (same-apex comms are totally nested).
+    let mut per_apex: Vec<Vec<(usize, usize, usize)>> =
+        vec![Vec::new(); topo.node_table_len()];
+    for (id, c) in set.iter() {
+        let Some(r) = round_of[id.0] else { continue };
+        let (l, _) = c.interval();
+        per_apex[apex(topo, c.source, c.dest).index()].push((l, id.0, r));
+    }
+    for (u, comms) in per_apex.iter_mut().enumerate() {
+        if comms.len() < 2 {
+            continue;
+        }
+        comms.sort_unstable();
+        for w in comms.windows(2) {
+            let (_, outer_id, outer_r) = w[0];
+            let (_, inner_id, inner_r) = w[1];
+            if inner_r < outer_r {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::SelectionOrder,
+                        format!(
+                            "c{inner_id} (round {inner_r}) runs before enclosing c{outer_id} \
+                             (round {outer_r}) matched at the same switch: not outermost-first"
+                        ),
+                    )
+                    .with_node(cst_core::NodeId(u))
+                    .with_round(inner_r)
+                    .with_comm(outer_id)
+                    .with_comm(inner_id),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_comm::{CommId, Round};
+    use cst_core::{Circuit, MergedRound, NodeId};
+
+    fn round_of_ids(topo: &CstTopology, set: &CommSet, ids: &[usize]) -> Round {
+        let circuits: Vec<_> = ids
+            .iter()
+            .map(|&i| {
+                let c = &set.comms()[i];
+                Circuit::between(topo, c.source, c.dest)
+            })
+            .collect();
+        let merged = MergedRound::build(topo, &circuits).unwrap();
+        Round { comms: ids.iter().map(|&i| CommId(i)).collect(), configs: merged.to_configs() }
+    }
+
+    #[test]
+    fn set_pass_flags_crossing_and_orientation() {
+        let crossing = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
+        let rep = check_set(&crossing, true);
+        assert_eq!(rep.error_count(), 1);
+        assert_eq!(rep.diagnostics[0].code, DiagCode::NotWellNested);
+        assert_eq!(rep.diagnostics[0].comms, vec![0, 1]);
+
+        let left = CommSet::from_pairs(8, &[(3, 0)]);
+        let rep = check_set(&left, true);
+        assert_eq!(rep.diagnostics[0].code, DiagCode::NotRightOriented);
+        assert!(check_set(&left, false).is_clean());
+    }
+
+    #[test]
+    fn round_count_pass() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let sched = Schedule {
+            rounds: vec![round_of_ids(&topo, &set, &[0]), round_of_ids(&topo, &set, &[1])],
+        };
+        assert!(check_round_count(&topo, &set, &sched).is_clean());
+        let padded = Schedule {
+            rounds: sched.rounds.iter().cloned().chain([Round::default()]).collect(),
+        };
+        let rep = check_round_count(&topo, &set, &padded);
+        assert_eq!(rep.diagnostics[0].code, DiagCode::RoundCountMismatch);
+    }
+
+    #[test]
+    fn static_transitions_match_meter() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+        let sched = Schedule {
+            rounds: vec![
+                round_of_ids(&topo, &set, &[0]),
+                round_of_ids(&topo, &set, &[1]),
+                round_of_ids(&topo, &set, &[2]),
+            ],
+        };
+        let report = sched.meter_power(&topo).report(&topo);
+        assert_eq!(max_static_transitions(&topo, &sched), report.max_port_transitions);
+        assert!(check_transitions(&topo, &sched, 9).is_clean());
+        // an absurd budget of 0 flags every active switch
+        assert!(check_transitions(&topo, &sched, 0).has_errors());
+    }
+
+    #[test]
+    fn selection_order_flags_inverted_rounds() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let good = Schedule {
+            rounds: vec![round_of_ids(&topo, &set, &[0]), round_of_ids(&topo, &set, &[1])],
+        };
+        assert!(check_selection_order(&topo, &set, &good).is_clean());
+        let bad = Schedule { rounds: good.rounds.iter().rev().cloned().collect() };
+        let rep = check_selection_order(&topo, &set, &bad);
+        assert!(rep.has_errors());
+        let d = rep.first_error().unwrap();
+        assert_eq!(d.code, DiagCode::SelectionOrder);
+        assert_eq!(d.comms, vec![0, 1]);
+        assert!(d.node.is_some());
+    }
+
+    #[test]
+    fn selection_order_ignores_disjoint_comms() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 3), (4, 7)]);
+        // Disjoint comms share no link: any round order is fine.
+        let sched = Schedule {
+            rounds: vec![round_of_ids(&topo, &set, &[1]), round_of_ids(&topo, &set, &[0])],
+        };
+        assert!(check_selection_order(&topo, &set, &sched).is_clean());
+        assert_eq!(NodeId::ROOT, NodeId(1)); // sanity on dense-index math
+    }
+}

@@ -1,0 +1,41 @@
+//! Pins the machine-readable report format. `cst-tools check --json` is a
+//! tool boundary: downstream scripts parse this, so any change to field
+//! names, ordering, or the envelope must be deliberate — update the golden
+//! strings here *and* docs/DIAGNOSTICS.md together.
+
+use cst_check::{corrupted, mutation, DiagReport, Mutation};
+
+#[test]
+fn empty_report_envelope_is_pinned() {
+    let json = serde_json::to_string(&DiagReport::new()).unwrap();
+    assert_eq!(json, r#"{"version":1,"errors":0,"warnings":0,"diagnostics":[]}"#);
+}
+
+#[test]
+fn diagnostic_serialization_is_pinned() {
+    let report = mutation::run(&corrupted(Mutation::TwoWriters));
+    let json = serde_json::to_string(&report).unwrap();
+    assert_eq!(
+        json,
+        r#"{"version":1,"errors":1,"warnings":0,"diagnostics":[{"code":"CST070","severity":"error","message":"switch claimed twice within one round (two writers)","round":0,"node":1,"port":null,"up":null,"comms":[]}]}"#
+    );
+}
+
+#[test]
+fn link_and_comm_locations_are_pinned() {
+    let report = mutation::run(&corrupted(Mutation::CollidingRound));
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains(r#""code":"CST020""#), "{json}");
+    assert!(json.contains(r#""up":true"#), "{json}");
+    assert!(json.contains(r#""comms":[1]"#), "{json}");
+}
+
+#[test]
+fn report_roundtrips_through_json() {
+    for m in [Mutation::TwoWriters, Mutation::CollidingRound, Mutation::InvertedOrder] {
+        let report = mutation::run(&corrupted(m));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: DiagReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report, "roundtrip mismatch for {m:?}");
+    }
+}

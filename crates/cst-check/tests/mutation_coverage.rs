@@ -1,0 +1,85 @@
+//! The analyzer's discrimination proof: every diagnostic class has a
+//! mutation that triggers exactly it, and the clean fixture triggers
+//! nothing. A checker failing either direction is lying — too lax if a
+//! corruption slips through, too eager if clean artifacts are flagged.
+
+use cst_check::{clean_fixture, corrupted, mutation, DiagCode, Mutation, Severity};
+use std::collections::BTreeSet;
+
+fn error_codes(report: &cst_check::DiagReport) -> BTreeSet<&'static str> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.code.as_str())
+        .collect()
+}
+
+fn warning_codes(report: &cst_check::DiagReport) -> BTreeSet<&'static str> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .map(|d| d.code.as_str())
+        .collect()
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    let report = mutation::run(&clean_fixture());
+    assert!(report.is_clean(), "clean fixture flagged:\n{}", report.render_text());
+}
+
+#[test]
+fn every_mutation_triggers_exactly_its_code() {
+    for m in Mutation::ALL {
+        let expected = m.expected_code();
+        let report = mutation::run(&corrupted(m));
+
+        if expected.severity() == Severity::Error {
+            assert_eq!(
+                error_codes(&report),
+                BTreeSet::from([expected.as_str()]),
+                "{m:?} must yield exactly {expected:?} as its error set:\n{}",
+                report.render_text()
+            );
+            if !m.tolerates_warnings() {
+                assert_eq!(
+                    report.warning_count(),
+                    0,
+                    "{m:?} dragged unexpected warnings:\n{}",
+                    report.render_text()
+                );
+            }
+        } else {
+            assert_eq!(report.error_count(), 0, "{m:?} must not error:\n{}", report.render_text());
+            assert_eq!(
+                warning_codes(&report),
+                BTreeSet::from([expected.as_str()]),
+                "{m:?} must yield exactly the {expected:?} warning:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn mutations_cover_the_whole_code_table() {
+    let covered: BTreeSet<_> = Mutation::ALL.iter().map(|m| m.expected_code()).collect();
+    for code in DiagCode::ALL {
+        assert!(covered.contains(&code), "{code:?} has no mutation fixture");
+    }
+}
+
+#[test]
+fn diagnostics_carry_locations() {
+    // Spot-check that findings point at the corruption, not just name it.
+    let report = mutation::run(&corrupted(Mutation::TwoWriters));
+    let d = report.first_error().unwrap();
+    assert_eq!(d.round, Some(0));
+    assert!(d.node.is_some());
+
+    let report = mutation::run(&corrupted(Mutation::CollidingRound));
+    let d = report.first_error().unwrap();
+    assert!(d.node.is_some() && d.up.is_some(), "link conflict must name the link");
+}

@@ -9,10 +9,12 @@
 //! * [`parens`] — the balanced-parenthesis view of well-nested sets;
 //! * [`width`] — per-link load and the width `w` (the round lower bound);
 //! * [`schedule`] — the common `Schedule` output type and its verifier;
+//! * [`check`] — the diagnostic round pass shared with `cst-check`;
 //! * [`transform`] — set algebra (shift, embed, concat, restrict) and an
 //!   incremental builder;
 //! * [`examples`] — canonical sets, including the paper's figures.
 
+pub mod check;
 pub mod communication;
 pub mod examples;
 pub mod parens;
@@ -21,6 +23,7 @@ pub mod set;
 pub mod transform;
 pub mod width;
 
+pub use check::check_rounds;
 pub use communication::{CommId, Communication, Orientation};
 pub use parens::{from_paren_string, is_balanced, to_paren_string};
 pub use schedule::{Round, Schedule};

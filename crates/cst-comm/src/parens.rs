@@ -58,7 +58,12 @@ pub fn from_paren_string(pattern: &str) -> Result<CommSet, CstError> {
             unmatched_dests: 0,
         });
     }
-    let comms = pairs.into_iter().map(|p| p.expect("matched")).collect();
+    // Every opened pair was closed (the stack is empty), so no slot can be
+    // vacant — but surface a typed error rather than panicking if it ever is.
+    let comms = pairs
+        .into_iter()
+        .map(|p| p.ok_or(CstError::IncompleteSet { unmatched_sources: 1, unmatched_dests: 0 }))
+        .collect::<Result<Vec<_>, _>>()?;
     CommSet::new(num_leaves, comms)
 }
 

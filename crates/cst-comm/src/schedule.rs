@@ -9,7 +9,7 @@
 
 use crate::communication::CommId;
 use crate::set::CommSet;
-use cst_core::{Circuit, CstError, CstTopology, MergedRound, NodeId, PowerMeter, RoundConfigs};
+use cst_core::{CstError, CstTopology, NodeId, PowerMeter, RoundConfigs};
 use serde::{Deserialize, Serialize};
 
 /// One round of a schedule.
@@ -64,57 +64,20 @@ impl Schedule {
     /// 1. every communication appears in exactly one round;
     /// 2. every round is a compatible set whose merged configuration matches
     ///    the recorded per-switch configs;
-    /// 3. each circuit's connections are present in its round.
+    /// 3. each circuit's connections are present in its round and every
+    ///    recorded configuration is legal and single-writer.
     ///
-    /// One scratch [`MergedRound`] (dense link table + config arena) is
-    /// reused across all rounds, so verification allocates O(N) once
-    /// instead of per round.
+    /// Delegates to the diagnostic pass [`crate::check::check_rounds`]
+    /// (shared with the `cst-check` static analyzer) and collapses the
+    /// report: the first error-severity finding maps back onto a
+    /// [`CstError`]; warnings (e.g. extra held connections, `CST071`) do
+    /// not fail verification, preserving the historical "configs contain at
+    /// least the requirements" contract. Use `check_rounds` directly for
+    /// the full typed report.
     ///
     /// Returns the number of rounds on success.
     pub fn verify(&self, topo: &CstTopology, set: &CommSet) -> Result<usize, CstError> {
-        let mut seen = vec![false; set.len()];
-        let mut merged = MergedRound::new(topo);
-        for round in &self.rounds {
-            // Rebuild circuits for the round and check compatibility.
-            merged.clear();
-            for &id in &round.comms {
-                let c = set.get(id).ok_or(CstError::ProtocolViolation {
-                    node: NodeId::ROOT,
-                    detail: format!("unknown comm id {id}"),
-                })?;
-                merged.add(&Circuit::between(topo, c.source, c.dest))?;
-            }
-            // recorded configs must contain at least the merged requirements
-            for (node, cfg) in merged.iter() {
-                let rec = round.configs.get(node).ok_or_else(|| CstError::ProtocolViolation {
-                    node,
-                    detail: "round missing configuration for involved switch".into(),
-                })?;
-                for conn in cfg.connections() {
-                    if !rec.has(conn) {
-                        return Err(CstError::ProtocolViolation {
-                            node,
-                            detail: format!("round lacks required connection {conn}"),
-                        });
-                    }
-                }
-            }
-            for &id in &round.comms {
-                if seen[id.0] {
-                    return Err(CstError::ProtocolViolation {
-                        node: NodeId::ROOT,
-                        detail: format!("{id} scheduled twice"),
-                    });
-                }
-                seen[id.0] = true;
-            }
-        }
-        if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(CstError::ProtocolViolation {
-                node: NodeId::ROOT,
-                detail: format!("c{missing} never scheduled"),
-            });
-        }
+        crate::check::check_rounds(topo, set, self).into_result()?;
         Ok(self.rounds.len())
     }
 }
@@ -123,7 +86,7 @@ impl Schedule {
 mod tests {
     use super::*;
     use crate::communication::CommId;
-    use cst_core::{Circuit, LeafId};
+    use cst_core::{Circuit, LeafId, MergedRound};
 
     fn round_of(topo: &CstTopology, set: &CommSet, ids: &[usize]) -> Round {
         let circuits: Vec<_> = ids

@@ -11,12 +11,15 @@
 //!   compact sorted table);
 //! * [`power`] — the PADR power model: one unit per connection established,
 //!   holding is free;
-//! * [`pe`] — processing-element roles.
+//! * [`pe`] — processing-element roles;
+//! * [`diag`] — typed `CST0xx` diagnostics shared by the static analyzer
+//!   (`cst-check`) and the runtime verifiers.
 //!
 //! The model follows El-Boghdadi, *"Power-Aware Routing for Well-Nested
 //! Communications On The Circuit Switched Tree"*, IPPS 2007, §2.
 
 pub mod compat;
+pub mod diag;
 pub mod error;
 pub mod link;
 pub mod node;
@@ -28,6 +31,7 @@ pub mod switch;
 pub mod topology;
 
 pub use compat::{are_compatible, MergedRound};
+pub use diag::{DiagCode, DiagReport, Diagnostic, Severity};
 pub use error::CstError;
 pub use link::{DirectedLink, LinkOccupancy};
 pub use node::{LeafId, NodeId};

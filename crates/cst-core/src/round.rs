@@ -44,12 +44,22 @@ impl RoundConfigs {
 
     /// Build from entries in arbitrary order; sorts by node id. Panics on
     /// duplicate nodes (a switch holds exactly one configuration).
-    pub fn from_entries(mut entries: Vec<(NodeId, SwitchConfig)>) -> Self {
-        entries.sort_unstable_by_key(|&(n, _)| n.0);
+    pub fn from_entries(entries: Vec<(NodeId, SwitchConfig)>) -> Self {
+        let table = Self::from_entries_unchecked(entries);
         debug_assert!(
-            entries.windows(2).all(|w| w[0].0 != w[1].0),
+            table.entries.windows(2).all(|w| w[0].0 != w[1].0),
             "duplicate switch in round entries"
         );
+        table
+    }
+
+    /// Build from entries in arbitrary order; sorts by node id but keeps
+    /// duplicate nodes. Deserialization uses this form so a corrupted
+    /// artifact *loads* and the static analyzer can flag the duplicate
+    /// (`CST070`, two writers claiming one switch) instead of the schedule
+    /// being unrepresentable.
+    pub fn from_entries_unchecked(mut entries: Vec<(NodeId, SwitchConfig)>) -> Self {
+        entries.sort_unstable_by_key(|&(n, _)| n.0);
         RoundConfigs { entries }
     }
 
@@ -147,7 +157,7 @@ impl Deserialize for RoundConfigs {
                         Ok((NodeId(idx), SwitchConfig::from_value(val)?))
                     })
                     .collect::<Result<Vec<_>, SerdeError>>()?;
-                Ok(RoundConfigs::from_entries(entries))
+                Ok(RoundConfigs::from_entries_unchecked(entries))
             }
             other => Err(SerdeError(format!(
                 "round configs must be a map, got {}",

@@ -42,7 +42,7 @@ pub mod verifier;
 
 pub use layers::{decompose, schedule_layered, LayeredOutcome, Layering};
 pub use messages::{DownMsg, ReqKind, UpMsg, WORDS_DOWN, WORDS_UP};
-pub use parallel::schedule_parallel;
+pub use parallel::{schedule_parallel, schedule_parallel_threaded};
 pub use orientation::{mirror_round_configs, schedule_general, verify_general, GeneralOutcome};
 pub use universal::{schedule_any, UniversalOutcome};
 pub use phase1::{Phase1, SwitchState};
@@ -50,4 +50,4 @@ pub use merge::{merge_schedules, schedule_general_merged};
 pub use scheduler::{schedule, schedule_with, trace_circuit, ControlMetrics, CsaOutcome, Options};
 pub use session::{BatchReport, PadrSession};
 pub use switch_logic::{step, StepError, StepResult};
-pub use verifier::{verify_outcome, VerifyReport, CSA_PORT_TRANSITION_BOUND};
+pub use verifier::{verify_outcome, verify_phase1, VerifyReport, CSA_PORT_TRANSITION_BOUND};

@@ -34,17 +34,19 @@ fn rounds_compatible(a: &Round, b: &Round) -> bool {
     true
 }
 
-/// Merge `b`'s connections and communications into `a`. Caller must have
-/// checked [`rounds_compatible`].
-fn merge_into(a: &mut Round, b: &Round) {
+/// Merge `b`'s connections and communications into a copy of `a`. Fails
+/// with the underlying port conflict if the rounds turn out incompatible.
+fn merge_into(a: &Round, b: &Round) -> Result<Round, CstError> {
+    let mut out = a.clone();
     for (node, bcfg) in &b.configs {
-        let entry = a.configs.entry_mut(node);
+        let entry = out.configs.entry_mut(node);
         for conn in bcfg.connections() {
-            entry.set(conn).expect("checked by rounds_compatible");
+            entry.set(conn)?;
         }
     }
-    a.comms.extend(b.comms.iter().copied());
-    a.comms.sort_unstable();
+    out.comms.extend(b.comms.iter().copied());
+    out.comms.sort_unstable();
+    Ok(out)
 }
 
 /// Pack the rounds of `b` into the rounds of `a` greedily; unmergeable
@@ -53,10 +55,13 @@ fn merge_into(a: &mut Round, b: &Round) {
 pub fn merge_schedules(a: &Schedule, b: &Schedule) -> Schedule {
     let mut out = a.clone();
     for bround in &b.rounds {
-        let slot = out.rounds.iter_mut().find(|r| rounds_compatible(r, bround));
-        match slot {
-            Some(r) => merge_into(r, bround),
-            None => out.rounds.push(bround.clone()),
+        // [`rounds_compatible`] pre-checks the ports, but merging works on
+        // a copy and stays fallible, so any drift between the two checks
+        // degrades to an appended round instead of a panic.
+        let slot = out.rounds.iter().position(|r| rounds_compatible(r, bround));
+        match slot.map(|i| (i, merge_into(&out.rounds[i], bround))) {
+            Some((i, Ok(merged))) => out.rounds[i] = merged,
+            Some((_, Err(_))) | None => out.rounds.push(bround.clone()),
         }
     }
     out

@@ -449,6 +449,18 @@ pub fn schedule_parallel(
     schedule_parallel_impl(topo, set, threads, cores > 1)
 }
 
+/// Like [`schedule_parallel`], but always spawns worker threads, even when
+/// `available_parallelism()` reports a single core. Stress tests use this
+/// to exercise the cross-thread merge path (the race class `cst-check`
+/// flags as `CST070`) regardless of host scheduling.
+pub fn schedule_parallel_threaded(
+    topo: &CstTopology,
+    set: &CommSet,
+    threads: usize,
+) -> Result<CsaOutcome, CstError> {
+    schedule_parallel_impl(topo, set, threads, true)
+}
+
 fn schedule_parallel_impl(
     topo: &CstTopology,
     set: &CommSet,
@@ -555,6 +567,9 @@ fn run_inline(co: &mut Coordinator<'_>, subtrees: &mut [Subtree]) -> Result<(), 
 /// the sweeps for realistic sizes). Each worker owns a chunk of subtrees
 /// for the whole schedule; the coordinator runs the top sweep, distributes
 /// the subtree-root requests, and merges the results.
+// The once-called `run` closure below exists so `?` can short-circuit
+// without leaking out of the crossbeam scope before workers are joined.
+#[allow(clippy::redundant_closure_call)]
 fn run_threaded(
     co: &mut Coordinator<'_>,
     subtrees: &mut [Subtree],

@@ -73,6 +73,20 @@ impl Phase1 {
     pub fn state(&self, node: NodeId) -> &SwitchState {
         &self.states[node.index()]
     }
+
+    /// Export the tables in the analyzer's layout — `C_S = [M, S_L − M,
+    /// D_L, S_R, D_R − M]` per switch, `C_U = [sources, dests]` per node —
+    /// for the Lemma 1 pass ([`crate::verifier::verify_phase1`]).
+    pub fn counter_table(&self) -> cst_check::CounterTable {
+        cst_check::CounterTable {
+            states: self
+                .states
+                .iter()
+                .map(|s| [s.matched, s.left_sources, s.left_dests, s.right_sources, s.right_dests])
+                .collect(),
+            up: self.up_msgs.iter().map(|m| [m.sources, m.dests]).collect(),
+        }
+    }
 }
 
 /// Run Phase 1 for `set` on `topo`.

@@ -1,28 +1,31 @@
 //! End-to-end verification of a CSA outcome against the paper's theorems.
 //!
 //! Tests, examples and the experiment harness all funnel through
-//! [`verify_outcome`], which checks:
+//! [`verify_outcome`]. The invariant checks themselves live in the
+//! `cst-check` static analyzer ([`cst_check::analyze`] with the strict
+//! options), so runtime verification and offline artifact auditing share
+//! one diagnostic vocabulary:
 //!
-//! * **Theorem 4** (correctness): the schedule performs every communication
-//!   exactly once and every round is a compatible set realized by legal
-//!   switch configurations ([`Schedule::verify`]).
-//! * **Theorem 5** (optimality): the number of rounds equals the width `w`
-//!   (maximum directed-link load) of the input set.
-//! * **Theorem 8** (power): no switch exceeds [`CSA_PORT_TRANSITION_BOUND`]
-//!   driver transitions per execution, independent of `w` and `N`.
+//! * **Theorem 4** (correctness): every communication performed exactly
+//!   once, every round compatible and realized by legal configurations
+//!   (`CST01x`/`CST02x`);
+//! * **Theorem 5** (optimality): rounds equal the width `w` (`CST030`);
+//! * **Theorem 8** (power): per-switch port transitions within
+//!   [`CSA_PORT_TRANSITION_BOUND`] (`CST040`), plus outermost-first
+//!   selection order (`CST060`).
+//!
+//! On top of the static passes this module cross-checks the *runtime*
+//! [`PowerMeter`](cst_core::PowerMeter) tally against the analyzer's
+//! static replay — the two count the same hold semantics by entirely
+//! different routes, so a disagreement means an accounting bug, not a
+//! schedule bug.
 
+use crate::phase1::Phase1;
 use crate::scheduler::CsaOutcome;
 use cst_comm::{width_on_topology, CommSet};
 use cst_core::{CstError, CstTopology, NodeId};
 
-/// Empirical constant bound for per-switch port transitions under CSA.
-///
-/// Lemmas 6–7 bound each of the three control streams a switch receives to
-/// at most two alternations; each alternation re-aims at most one port, and
-/// each port serves at most two distinct drivers per stream block. Nine
-/// (three ports × three transitions) is a safe constant; measured maxima
-/// are reported per-experiment in EXPERIMENTS.md and are typically <= 6.
-pub const CSA_PORT_TRANSITION_BOUND: u32 = 9;
+pub use cst_check::CSA_PORT_TRANSITION_BOUND;
 
 /// Verification report with the measured quantities.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,41 +41,42 @@ pub struct VerifyReport {
 }
 
 /// Check an outcome against Theorems 4, 5 and 8.
+///
+/// The first error diagnostic (if any) is converted back to a typed
+/// [`CstError`]; warnings never fail verification.
 pub fn verify_outcome(
     topo: &CstTopology,
     set: &CommSet,
     outcome: &CsaOutcome,
 ) -> Result<VerifyReport, CstError> {
-    // Theorem 4.
-    outcome.schedule.verify(topo, set)?;
+    cst_check::analyze(topo, set, &outcome.schedule, &cst_check::CheckOptions::strict())
+        .into_result()?;
 
-    // Theorem 5.
-    let width = width_on_topology(topo, set);
-    let rounds = outcome.rounds();
-    if rounds as u32 != width {
-        return Err(CstError::ProtocolViolation {
-            node: NodeId::ROOT,
-            detail: format!("rounds {rounds} != width {width} (Theorem 5)"),
-        });
-    }
-
-    // Theorem 8.
-    let max_port_transitions = outcome.power.max_port_transitions;
-    if max_port_transitions > CSA_PORT_TRANSITION_BOUND {
+    // Static replay vs runtime meter: same quantity, independent tallies.
+    let static_max = cst_check::max_static_transitions(topo, &outcome.schedule);
+    let metered = outcome.power.max_port_transitions;
+    if static_max != metered {
         return Err(CstError::ProtocolViolation {
             node: NodeId::ROOT,
             detail: format!(
-                "per-switch port transitions {max_port_transitions} exceed the O(1) bound {CSA_PORT_TRANSITION_BOUND} (Theorem 8)"
+                "power accounting mismatch: meter saw {metered} max port transitions, static replay {static_max}"
             ),
         });
     }
 
     Ok(VerifyReport {
-        width,
-        rounds,
-        max_port_transitions,
+        width: width_on_topology(topo, set),
+        rounds: outcome.rounds(),
+        max_port_transitions: metered,
         max_change_rounds: outcome.power.max_change_rounds,
     })
+}
+
+/// Check the Phase-1 counters against Lemma 1 (`CST050`/`CST051`): the
+/// per-switch `C_S` and forwarded `C_U` must equal the ground truth
+/// recomputed independently from the PE roles.
+pub fn verify_phase1(topo: &CstTopology, set: &CommSet, p1: &Phase1) -> Result<(), CstError> {
+    cst_check::counters::check_counters(topo, set, &p1.counter_table()).into_result()
 }
 
 #[cfg(test)]
@@ -106,5 +110,30 @@ mod tests {
         assert_eq!(report.width, 2);
         assert_eq!(report.rounds, 2);
         assert!(report.max_change_rounds >= 1);
+    }
+
+    #[test]
+    fn corrupted_outcome_maps_to_typed_error() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let mut out = schedule(&topo, &set).unwrap();
+        out.schedule.rounds.pop();
+        let err = verify_outcome(&topo, &set, &out).unwrap_err();
+        // CST012 (missing comm) surfaces first, as a protocol violation
+        // carrying the code.
+        assert!(matches!(err, CstError::ProtocolViolation { .. }), "{err}");
+        assert!(err.to_string().contains("CST012"), "{err}");
+    }
+
+    #[test]
+    fn phase1_counters_verify_on_canonical_sets() {
+        let topo = CstTopology::with_leaves(32);
+        let set = examples::full_nest(32);
+        let p1 = crate::phase1::run(&topo, &set).unwrap();
+        verify_phase1(&topo, &set, &p1).unwrap();
+
+        let mut bad = p1.clone();
+        bad.states[NodeId::ROOT.index()].matched += 1;
+        assert!(verify_phase1(&topo, &set, &bad).is_err());
     }
 }

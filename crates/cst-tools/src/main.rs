@@ -7,7 +7,16 @@
 //! cst-tools trace <n> <levels>        simulate a bus and dump the JSON trace
 //! cst-tools schedule <pattern>        schedule a paren pattern, show rounds
 //! cst-tools viz <pattern>             draw the scheduled rounds as ASCII trees
+//! cst-tools bundle <pattern>          schedule a paren pattern, emit a JSON bundle
+//! cst-tools check <bundle.json>       statically analyze a schedule bundle
 //! ```
+//!
+//! `check` reads a [`cst_check::ScheduleBundle`] (as emitted by `bundle`),
+//! runs the static analyzer and prints the findings; `--json` switches to
+//! the machine-readable report, `--lenient` drops the CSA-only passes
+//! (orientation, Theorem 5 round count, Theorem 8 budget, selection
+//! order). Exit status: 0 clean (warnings allowed), 1 errors found or the
+//! bundle is malformed, 2 usage.
 
 use cst_analysis::experiments as exp;
 use cst_analysis::Table;
@@ -72,9 +81,31 @@ fn main() {
             };
             schedule_pattern(&pattern);
         }
+        Some("bundle") => {
+            let pattern = match args.get(1) {
+                Some(p) => p.clone(),
+                None => {
+                    eprintln!("usage: cst-tools bundle '((.))(..)'");
+                    std::process::exit(2);
+                }
+            };
+            bundle_pattern(&pattern);
+        }
+        Some("check") => {
+            let path = match args.iter().skip(1).find(|a| !a.starts_with("--")) {
+                Some(p) => p.clone(),
+                None => {
+                    eprintln!("usage: cst-tools check <bundle.json> [--json] [--lenient]");
+                    std::process::exit(2);
+                }
+            };
+            let json = args.iter().any(|a| a == "--json");
+            let lenient = args.iter().any(|a| a == "--lenient");
+            check_bundle(&path, json, lenient);
+        }
         _ => {
             eprintln!(
-                "usage: cst-tools <experiments|report|csv|trace|schedule|viz> [args] [--quick]"
+                "usage: cst-tools <experiments|report|csv|trace|schedule|viz|bundle|check> [args] [--quick]"
             );
             std::process::exit(2);
         }
@@ -204,6 +235,94 @@ fn viz_pattern(pattern: &str) {
             std::process::exit(1);
         }
     }
+}
+
+/// Schedule a parenthesis pattern and emit the outcome as a JSON
+/// [`cst_check::ScheduleBundle`] on stdout — the artifact `check` audits.
+fn bundle_pattern(pattern: &str) {
+    let set = match cst_comm::from_paren_string(pattern) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid pattern: {e}");
+            std::process::exit(1);
+        }
+    };
+    let n = set.num_leaves().next_power_of_two().max(2);
+    let pairs: Vec<(usize, usize)> =
+        set.comms().iter().map(|c| (c.source.0, c.dest.0)).collect();
+    let set = cst_comm::CommSet::from_pairs(n, &pairs);
+    let topo = cst_core::CstTopology::with_leaves(n);
+    let p1 = match cst_padr::phase1::run(&topo, &set) {
+        Ok(p1) => p1,
+        Err(e) => {
+            eprintln!("phase 1 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match cst_padr::schedule(&topo, &set) {
+        Ok(out) => {
+            let bundle =
+                cst_check::ScheduleBundle::new(&set, out.schedule, Some(p1.counter_table()));
+            match serde_json::to_string_pretty(&bundle) {
+                Ok(s) => println!("{s}"),
+                Err(e) => {
+                    eprintln!("cannot serialize bundle: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot schedule: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Statically analyze a schedule bundle file; exit 1 on any error finding.
+fn check_bundle(path: &str, as_json: bool, lenient: bool) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bundle: cst_check::ScheduleBundle = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{path} is not a schedule bundle: {e}");
+            std::process::exit(1);
+        }
+    };
+    let options =
+        if lenient { cst_check::CheckOptions::lenient() } else { cst_check::CheckOptions::strict() };
+    let report = match bundle.check(&options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bundle is structurally invalid: {e}");
+            std::process::exit(1);
+        }
+    };
+    if as_json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize report: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if report.is_clean() {
+        println!(
+            "{path}: clean ({} PEs, {} communications, {} rounds)",
+            bundle.num_leaves,
+            bundle.comms.len(),
+            bundle.schedule.num_rounds()
+        );
+    } else {
+        // render_text ends with the error/warning tally line.
+        print!("{path}:\n{}", report.render_text());
+    }
+    std::process::exit(if report.has_errors() { 1 } else { 0 });
 }
 
 /// Schedule a parenthesis pattern and print the rounds.

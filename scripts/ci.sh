@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local CI: build, the whole workspace test suite (the root
+# package's `cargo test` alone misses the member crates — see
+# README.md), then the zero-warning lint gate.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== ci: build =="
+cargo build --workspace --all-targets
+
+echo "== ci: test (--workspace) =="
+cargo test --workspace --quiet
+
+echo "== ci: lint =="
+scripts/lint.sh
+
+echo "== ci: ok =="

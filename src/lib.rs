@@ -7,6 +7,8 @@
 //! * [`core`] (`cst-core`) — the CST substrate: topology, 3-sided
 //!   switches, circuits, compatibility, the PADR power model;
 //! * [`comm`] (`cst-comm`) — communication sets, well-nestedness, width;
+//! * [`check`] (`cst-check`) — static schedule analyzer: typed `CST0xx`
+//!   diagnostics for every invariant (see `docs/DIAGNOSTICS.md`);
 //! * [`padr`] (`cst-padr`) — the paper's Configuration and Scheduling
 //!   Algorithm (CSA): `w` rounds, O(1) configuration changes per switch;
 //! * [`baseline`] (`cst-baseline`) — Roy-style ID scheduler and greedy
@@ -34,6 +36,7 @@
 
 pub use cst_analysis as analysis;
 pub use cst_baseline as baseline;
+pub use cst_check as check;
 pub use cst_comm as comm;
 pub use cst_core as core;
 pub use cst_padr as padr;

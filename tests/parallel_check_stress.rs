@@ -1,0 +1,51 @@
+//! Seeded stress for the threaded parallel driver, audited statically.
+//!
+//! The bench host has a single core, so `schedule_parallel`'s adaptive
+//! entry point normally runs the decomposition inline and the cross-thread
+//! channel path goes unexercised. `schedule_parallel_threaded` forces real
+//! worker threads; every outcome is then fed through the `cst-check`
+//! analyzer, whose double-stamp pass (`CST070`) is aimed precisely at the
+//! race class a parallel writer could introduce — two threads claiming one
+//! switch in the same round.
+
+use cst::check::{analyze, CheckOptions};
+use cst::core::CstTopology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn threaded_outcomes_survive_static_analysis() {
+    for n in [8usize, 16, 32] {
+        let topo = CstTopology::with_leaves(n);
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed * 31 + n as u64);
+            let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+            for threads in [2usize, 4] {
+                let out = cst::padr::schedule_parallel_threaded(&topo, &set, threads)
+                    .unwrap_or_else(|e| panic!("n={n} seed={seed} threads={threads}: {e}"));
+                let report = analyze(&topo, &set, &out.schedule, &CheckOptions::strict());
+                assert!(
+                    report.is_clean(),
+                    "threaded CSA flagged (n={n}, seed={seed}, threads={threads}):\n{}",
+                    report.render_text()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_and_serial_schedules_agree() {
+    // Beyond "no diagnostics": the threaded driver must produce the same
+    // rounds as the serial CSA, so a race that happens to stay legal is
+    // still caught as a divergence.
+    let n = 32;
+    let topo = CstTopology::with_leaves(n);
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed + 7000);
+        let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.8);
+        let serial = cst::padr::schedule(&topo, &set).unwrap();
+        let threaded = cst::padr::schedule_parallel_threaded(&topo, &set, 4).unwrap();
+        assert_eq!(serial.schedule, threaded.schedule, "seed={seed}");
+    }
+}

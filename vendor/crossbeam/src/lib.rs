@@ -2,6 +2,9 @@
 //! channels implemented over `std`. Only the surface this workspace
 //! uses (`thread::scope`, `Scope::spawn`, `channel::unbounded`).
 
+// Vendored stand-in: exempt from the workspace lint gate.
+#![allow(clippy::all)]
+
 pub mod thread {
     use std::any::Any;
 

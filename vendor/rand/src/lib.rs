@@ -3,6 +3,9 @@
 //! workspace uses. Streams differ from upstream `rand`, which is fine:
 //! the workspace's tests are invariant-based, not golden-value.
 
+// Vendored stand-in: exempt from the workspace lint gate.
+#![allow(clippy::all)]
+
 /// Low-level source of randomness.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
