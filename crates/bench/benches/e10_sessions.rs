@@ -28,7 +28,10 @@ fn bench_e10(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0u64;
             for _ in 0..8 {
-                total += cst_padr::schedule(&topo, &set).unwrap().power.total_units;
+                // Cold start on purpose: a fresh context per batch is the
+                // no-retention baseline the session numbers contrast with.
+                let out = cst_engine::route_once("csa", &topo, &set).unwrap();
+                total += out.power.total_units;
             }
             std::hint::black_box(total)
         })

@@ -16,13 +16,15 @@ fn bench_e1(c: &mut Criterion) {
     );
     emit(&table);
 
+    let mut ctx = cst_engine::EngineCtx::new();
     let mut group = c.benchmark_group("e1_csa_rounds");
     for w in [4usize, 16, 64] {
         let (topo, set) = width_workload(512, w, 0xE1);
         group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
             b.iter(|| {
-                let out = cst_padr::schedule(&topo, &set).unwrap();
-                assert_eq!(out.rounds(), std::hint::black_box(w));
+                let out = ctx.route_named("csa", &topo, &set).unwrap();
+                assert_eq!(out.rounds, std::hint::black_box(w));
+                ctx.recycle(out);
             })
         });
     }

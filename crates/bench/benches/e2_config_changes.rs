@@ -16,16 +16,19 @@ fn bench_e2(c: &mut Criterion) {
     );
     emit(&table);
 
+    let mut ctx = cst_engine::EngineCtx::new();
     let mut group = c.benchmark_group("e2_metered_csa");
     for w in [8usize, 32, 128] {
         let (topo, set) = width_workload(512, w, 0xE2);
         group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
             b.iter(|| {
-                let out = cst_padr::schedule(&topo, &set).unwrap();
+                let out = ctx.route_named("csa", &topo, &set).unwrap();
                 assert!(
                     out.power.max_port_transitions <= cst_padr::CSA_PORT_TRANSITION_BOUND
                 );
-                std::hint::black_box(out.power.max_units)
+                let units = out.power.max_units;
+                ctx.recycle(out);
+                std::hint::black_box(units)
             })
         });
     }

@@ -3,7 +3,7 @@
 
 use bench::{emit, workload};
 use criterion::{criterion_group, criterion_main, Criterion};
-use cst_baseline::{roy, LevelOrder};
+use cst_engine::EngineCtx;
 
 fn bench_e3(c: &mut Criterion) {
     let table = cst_analysis::experiments::e3_total_power::run(
@@ -17,18 +17,22 @@ fn bench_e3(c: &mut Criterion) {
     emit(&table);
 
     let (topo, set) = workload(1024, 0.5, 0xE3);
+    let mut ctx = EngineCtx::new();
     let mut group = c.benchmark_group("e3_power_pipeline");
     group.bench_function("csa_schedule_and_meter", |b| {
         b.iter(|| {
-            let out = cst_padr::schedule(&topo, &set).unwrap();
-            std::hint::black_box(out.power.total_units)
+            let out = ctx.route_named("csa", &topo, &set).unwrap();
+            let units = out.power.total_units;
+            ctx.recycle(out);
+            std::hint::black_box(units)
         })
     });
     group.bench_function("roy_schedule_and_meter", |b| {
         b.iter(|| {
-            let out = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).unwrap();
-            let report = out.schedule.meter_power(&topo).report(&topo);
-            std::hint::black_box(report.total_writethrough_units)
+            let out = ctx.route_named("roy", &topo, &set).unwrap();
+            let units = out.power.total_writethrough_units;
+            ctx.recycle(out);
+            std::hint::black_box(units)
         })
     });
     group.finish();

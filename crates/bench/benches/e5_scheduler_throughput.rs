@@ -1,9 +1,12 @@
 //! E5 — host-side scheduler throughput: the criterion-precise version of
-//! the E5 table. Times CSA, Roy and greedy end to end across sizes.
+//! the E5 table. Times CSA, Roy and greedy end to end across sizes, all
+//! dispatched through the engine registry with one warm [`EngineCtx`]
+//! (the steady-state cost a repeated caller sees; benchmark ids are the
+//! registry router names).
 
 use bench::{emit, workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use cst_baseline::{greedy, roy, LevelOrder, ScanOrder};
+use cst_engine::{CsaParallel, CsaThreaded, EngineCtx, Router};
 
 fn bench_e5(c: &mut Criterion) {
     let table = cst_analysis::experiments::e5_throughput::run(
@@ -16,56 +19,37 @@ fn bench_e5(c: &mut Criterion) {
     );
     emit(&table);
 
+    let mut ctx = EngineCtx::new();
     let mut group = c.benchmark_group("e5_schedulers");
     for n in [256usize, 1024, 4096] {
         let (topo, set) = workload(n, 0.5, 0xE5);
         group.throughput(Throughput::Elements(set.len() as u64));
-        group.bench_with_input(BenchmarkId::new("csa", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(cst_padr::schedule(&topo, &set).unwrap().rounds()))
-        });
-        group.bench_with_input(BenchmarkId::new("roy", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(
-                    roy::schedule(&topo, &set, LevelOrder::InnermostFirst)
-                        .unwrap()
-                        .schedule
-                        .num_rounds(),
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(
-                    greedy::schedule(&topo, &set, ScanOrder::OutermostFirst)
-                        .unwrap()
-                        .schedule
-                        .num_rounds(),
-                )
-            })
-        });
-        // Parallel host driver: identical output, subtree-level workers.
-        group.bench_with_input(BenchmarkId::new("csa_parallel8", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(
-                    cst_padr::schedule_parallel(&topo, &set, 8).unwrap().rounds(),
-                )
-            })
-        });
-        // Ablation of the host-side quiescent-subtree pruning (DESIGN.md
-        // design choice): identical output, different sweep cost.
-        group.bench_with_input(BenchmarkId::new("csa_no_prune", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(
-                    cst_padr::schedule_with(
-                        &topo,
-                        &set,
-                        cst_padr::Options { prune_quiescent: false },
-                    )
-                    .unwrap()
-                    .rounds(),
-                )
-            })
-        });
+        for name in ["csa", "roy", "greedy", "csa-no-prune"] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let out = ctx.route_named(name, &topo, &set).unwrap();
+                    let rounds = out.rounds;
+                    ctx.recycle(out);
+                    std::hint::black_box(rounds)
+                })
+            });
+        }
+        // Parallel host drivers: identical output, subtree-level workers.
+        // The registry defaults size the worker pool from the host; the
+        // explicit-thread router structs pin it for comparability with
+        // the checked-in baselines (8 adaptive, 4 forced threads).
+        for router in
+            [&CsaParallel { threads: 8 } as &dyn Router, &CsaThreaded { threads: 4 }]
+        {
+            group.bench_with_input(BenchmarkId::new(router.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let out = ctx.route(router, &topo, &set).unwrap();
+                    let rounds = out.rounds;
+                    ctx.recycle(out);
+                    std::hint::black_box(rounds)
+                })
+            });
+        }
     }
     group.finish();
 }

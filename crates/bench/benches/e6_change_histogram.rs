@@ -18,9 +18,14 @@ fn bench_e6(c: &mut Criterion) {
     eprintln!("roy per-switch write-through units:\n{}", result.roy_hist.render());
 
     let (topo, set) = bench::width_workload(512, 64, 0xE6);
+    let mut ctx = cst_engine::EngineCtx::new();
     c.bench_function("e6_histogram_extraction", |b| {
         b.iter(|| {
-            let out = cst_padr::schedule(&topo, &set).unwrap();
+            let out = ctx
+                .route_named("csa", &topo, &set)
+                .unwrap()
+                .into_csa()
+                .expect("csa router carries CSA extras");
             let hist = cst_analysis::Histogram::build(
                 out.meter.transition_histogram(&topo),
                 2,

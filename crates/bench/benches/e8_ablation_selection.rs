@@ -3,7 +3,6 @@
 
 use bench::{emit, width_workload};
 use criterion::{criterion_group, criterion_main, Criterion};
-use cst_baseline::{greedy, ScanOrder};
 
 fn bench_e8(c: &mut Criterion) {
     let table = cst_analysis::experiments::e8_ablation::run(
@@ -16,16 +15,15 @@ fn bench_e8(c: &mut Criterion) {
     emit(&table);
 
     let (topo, set) = width_workload(512, 32, 0xE8);
+    let mut ctx = cst_engine::EngineCtx::new();
     let mut group = c.benchmark_group("e8_scan_orders");
-    for (name, order) in [
-        ("outermost", ScanOrder::OutermostFirst),
-        ("innermost", ScanOrder::InnermostFirst),
-        ("input", ScanOrder::InputOrder),
-    ] {
+    for name in ["greedy", "greedy-innermost", "greedy-input"] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let out = greedy::schedule(&topo, &set, order).unwrap();
-                std::hint::black_box(out.schedule.num_rounds())
+                let out = ctx.route_named(name, &topo, &set).unwrap();
+                let rounds = out.rounds;
+                ctx.recycle(out);
+                std::hint::black_box(rounds)
             })
         });
     }

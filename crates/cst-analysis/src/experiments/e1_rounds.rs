@@ -38,10 +38,14 @@ impl Default for Config {
 
 /// Run E1: one row per (width, aggregated over seeds), plus staircase rows.
 pub fn run(cfg: &Config) -> Table {
+    // Columns after the workload/width pair are the registry names of the
+    // measured routers, in MEASURED_ROUTERS order.
+    let mut headers = vec!["workload".to_string(), "w".to_string()];
+    headers.extend(super::MEASURED_ROUTERS.iter().map(|s| s.to_string()));
     let mut table = Table::new(
         "E1",
         "rounds vs width (Theorem 5: CSA rounds == w)",
-        &["workload", "w", "csa", "roy", "greedy_outer", "greedy_input", "sequential"],
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let points: Vec<(usize, u64)> = cfg
         .widths
@@ -75,7 +79,7 @@ pub fn run(cfg: &Config) -> Table {
             w.to_string(),
             crate::table::fnum(mean(&|m| m.csa.rounds)),
             crate::table::fnum(mean(&|m| m.roy.rounds)),
-            crate::table::fnum(mean(&|m| m.greedy_outer.rounds)),
+            crate::table::fnum(mean(&|m| m.greedy.rounds)),
             crate::table::fnum(mean(&|m| m.greedy_input.rounds)),
             crate::table::fnum(mean(&|m| m.sequential.rounds)),
         ]);
@@ -91,7 +95,7 @@ pub fn run(cfg: &Config) -> Table {
         m.width.to_string(),
         m.csa.rounds.to_string(),
         m.roy.rounds.to_string(),
-        m.greedy_outer.rounds.to_string(),
+        m.greedy.rounds.to_string(),
         m.greedy_input.rounds.to_string(),
         m.sequential.rounds.to_string(),
     ]);

@@ -50,7 +50,7 @@ pub fn run(cfg: &Config) -> Table {
             "width",
             "csa_hold",
             "roy_wt",
-            "greedy_input_hold",
+            "greedy-input_hold",
             "sequential_hold",
             "roy/csa",
         ],

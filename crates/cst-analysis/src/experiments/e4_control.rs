@@ -41,11 +41,16 @@ pub fn run(cfg: &Config) -> Table {
             "phase2_words_per_switch_round",
         ],
     );
+    let mut ctx = cst_engine::EngineCtx::new();
     for &n in &cfg.sizes {
         let topo = CstTopology::with_leaves(n);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE4);
         let set = cst_workloads::well_nested_with_density(&mut rng, n, cfg.density);
-        let out = cst_padr::schedule(&topo, &set).expect("CSA failed");
+        let out = ctx
+            .route_named("csa", &topo, &set)
+            .expect("CSA failed")
+            .into_csa()
+            .expect("csa router carries CSA extras");
         let m = &out.metrics;
         // The O(1) claims, asserted:
         assert_eq!(m.words_stored_per_switch, 5);

@@ -8,8 +8,8 @@
 //! overview.
 
 use crate::table::{fnum, Table};
-use cst_baseline::{greedy, roy, LevelOrder, ScanOrder};
 use cst_core::CstTopology;
+use cst_engine::EngineCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -44,20 +44,23 @@ pub fn run(cfg: &Config) -> Table {
         "host-side scheduling time (ms per full schedule)",
         &["n", "comms", "width", "csa_ms", "roy_ms", "greedy_ms", "comms_per_ms_csa"],
     );
+    // One warm context for the whole sweep: this table reports the
+    // steady-state (allocation-free) cost a repeated caller sees.
+    let mut ctx = EngineCtx::new();
     for &n in &cfg.sizes {
         let topo = CstTopology::with_leaves(n);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE5);
         let set = cst_workloads::well_nested_with_density(&mut rng, n, cfg.density);
         let width = cst_comm::width_on_topology(&topo, &set);
-        let csa_ms = time_ms(cfg.repeats, || {
-            let _ = cst_padr::schedule(&topo, &set).expect("csa");
-        });
-        let roy_ms = time_ms(cfg.repeats, || {
-            let _ = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).expect("roy");
-        });
-        let greedy_ms = time_ms(cfg.repeats, || {
-            let _ = greedy::schedule(&topo, &set, ScanOrder::OutermostFirst).expect("greedy");
-        });
+        let mut time_router = |name: &str| {
+            time_ms(cfg.repeats, || {
+                let out = ctx.route_named(name, &topo, &set).expect(name);
+                ctx.recycle(out);
+            })
+        };
+        let csa_ms = time_router("csa");
+        let roy_ms = time_router("roy");
+        let greedy_ms = time_router("greedy");
         table.row(vec![
             n.to_string(),
             set.len().to_string(),

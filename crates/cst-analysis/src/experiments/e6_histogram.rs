@@ -7,8 +7,8 @@
 
 use crate::stats::Histogram;
 use crate::table::Table;
-use cst_baseline::{roy, LevelOrder};
 use cst_core::CstTopology;
+use cst_engine::EngineCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,18 +40,24 @@ pub fn run(cfg: &Config) -> E6Result {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE6);
     let set = cst_workloads::with_width(&mut rng, cfg.n, cfg.width, 0.6);
 
-    let csa = cst_padr::schedule(&topo, &set).expect("csa");
+    let mut ctx = EngineCtx::new();
+    let csa = ctx
+        .route_named("csa", &topo, &set)
+        .expect("csa")
+        .into_csa()
+        .expect("csa router carries CSA extras");
     let csa_units: Vec<u32> = topo
         .switches_top_down()
         .map(|s| csa.meter.switch_power(s).units)
         .collect();
 
-    let roy_out = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).expect("roy");
+    let roy_out = ctx.route_named("roy", &topo, &set).expect("roy");
     let roy_meter = roy_out.schedule.meter_power(&topo);
     let roy_units: Vec<u32> = topo
         .switches_top_down()
         .map(|s| roy_meter.switch_power(s).writethrough_units)
         .collect();
+    ctx.recycle(roy_out);
 
     let csa_hist = Histogram::build(csa_units.iter().copied(), cfg.bucket_width);
     let roy_hist = Histogram::build(roy_units.iter().copied(), cfg.bucket_width);

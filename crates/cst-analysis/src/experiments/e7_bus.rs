@@ -7,8 +7,8 @@
 //! gap at bus depth `w`.
 
 use crate::table::{fnum, Table};
-use cst_baseline::{roy, LevelOrder};
 use cst_core::CstTopology;
+use cst_engine::EngineCtx;
 use cst_sim::{simulate, EnergyModel};
 
 /// Configuration for E7.
@@ -43,6 +43,7 @@ pub fn run(cfg: &Config) -> Table {
         ],
     );
     let model = EnergyModel::default();
+    let mut ctx = EngineCtx::new();
     for &n in &cfg.sizes {
         for &levels in &cfg.levels {
             let topo = CstTopology::with_leaves(n);
@@ -52,15 +53,17 @@ pub fn run(cfg: &Config) -> Table {
             assert_eq!(sim.deliveries.len(), set.len());
             let data_hops: u64 = sim.deliveries.iter().map(|d| d.hops as u64).sum();
             let power = sim.meter.report(&topo);
-            let csa_outcome = cst_padr::schedule(&topo, &set).expect("csa");
-            let csa_energy = model
-                .hold_energy(&power, csa_outcome.metrics.phase1_words + csa_outcome.metrics.phase2_words, data_hops)
-                .total();
-            let roy_out = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).expect("roy");
-            let roy_power = roy_out.schedule.meter_power(&topo).report(&topo);
-            let roy_energy = model
-                .writethrough_energy(&roy_power, csa_outcome.metrics.phase1_words + csa_outcome.metrics.phase2_words, data_hops)
-                .total();
+            let csa_outcome = ctx
+                .route_named("csa", &topo, &set)
+                .expect("csa")
+                .into_csa()
+                .expect("csa router carries CSA extras");
+            let control_words = csa_outcome.metrics.phase1_words + csa_outcome.metrics.phase2_words;
+            let csa_energy = model.hold_energy(&power, control_words, data_hops).total();
+            let roy_out = ctx.route_named("roy", &topo, &set).expect("roy");
+            let roy_energy =
+                model.writethrough_energy(&roy_out.power, control_words, data_hops).total();
+            ctx.recycle(roy_out);
             table.row(vec![
                 n.to_string(),
                 levels.to_string(),

@@ -18,10 +18,15 @@ pub mod e7_bus;
 pub mod e8_ablation;
 pub mod e9_applications;
 
-use cst_baseline::{greedy, roy, LevelOrder, ScanOrder};
 use cst_comm::{width_on_topology, CommSet};
 use cst_core::{CstTopology, PowerReport};
+use cst_engine::EngineCtx;
 use cst_padr::CsaOutcome;
+
+/// Registry names of the schedulers [`measure_all`] runs, in the field
+/// order of [`AllSchedulers`]. The engine registry is the single source
+/// of truth for these names; table headers derive from this list.
+pub const MEASURED_ROUTERS: [&str; 5] = ["csa", "roy", "greedy", "greedy-input", "sequential"];
 
 /// One workload measured under every scheduler, with both power semantics.
 #[derive(Clone, Debug)]
@@ -32,7 +37,9 @@ pub struct AllSchedulers {
     pub size: usize,
     pub csa: SchedulerMeasurement,
     pub roy: SchedulerMeasurement,
-    pub greedy_outer: SchedulerMeasurement,
+    /// Registry router "greedy" (outermost-first scan).
+    pub greedy: SchedulerMeasurement,
+    /// Registry router "greedy-input" (input-order ablation).
     pub greedy_input: SchedulerMeasurement,
     pub sequential: SchedulerMeasurement,
     /// The full CSA outcome for metrics-level experiments.
@@ -46,44 +53,38 @@ pub struct SchedulerMeasurement {
     pub power: PowerReport,
 }
 
-impl SchedulerMeasurement {
-    fn from_schedule(topo: &CstTopology, s: &cst_comm::Schedule) -> SchedulerMeasurement {
-        SchedulerMeasurement {
-            rounds: s.num_rounds(),
-            power: s.meter_power(topo).report(topo),
-        }
-    }
+/// Run every scheduler in [`MEASURED_ROUTERS`] on `set` through the
+/// engine registry. Panics on scheduling failure — experiment inputs are
+/// generated valid, so failure is a bug worth crashing on.
+pub fn measure_all(topo: &CstTopology, set: &CommSet) -> AllSchedulers {
+    let mut ctx = EngineCtx::new();
+    measure_all_in(&mut ctx, topo, set)
 }
 
-/// Run every scheduler on `set`. Panics on scheduling failure — experiment
-/// inputs are generated valid, so failure is a bug worth crashing on.
-pub fn measure_all(topo: &CstTopology, set: &CommSet) -> AllSchedulers {
+/// [`measure_all`] with a caller-owned [`EngineCtx`], so sweeps reuse one
+/// set of scratch buffers across workloads.
+pub fn measure_all_in(ctx: &mut EngineCtx, topo: &CstTopology, set: &CommSet) -> AllSchedulers {
     let width = width_on_topology(topo, set);
-    let csa_outcome = cst_padr::schedule(topo, set).expect("CSA failed on experiment input");
+    let csa_outcome = ctx
+        .route_named("csa", topo, set)
+        .expect("CSA failed on experiment input")
+        .into_csa()
+        .expect("csa router carries CSA extras");
     let csa = SchedulerMeasurement {
         rounds: csa_outcome.rounds(),
         power: csa_outcome.power.clone(),
     };
-    let roy_out =
-        roy::schedule(topo, set, LevelOrder::InnermostFirst).expect("roy failed");
-    let roy = SchedulerMeasurement::from_schedule(topo, &roy_out.schedule);
-    let greedy_outer = SchedulerMeasurement::from_schedule(
-        topo,
-        &greedy::schedule(topo, set, ScanOrder::OutermostFirst)
-            .expect("greedy failed")
-            .schedule,
-    );
-    let greedy_input = SchedulerMeasurement::from_schedule(
-        topo,
-        &greedy::schedule(topo, set, ScanOrder::InputOrder)
-            .expect("greedy failed")
-            .schedule,
-    );
-    let sequential = SchedulerMeasurement::from_schedule(
-        topo,
-        &cst_baseline::sequential::schedule(topo, set).expect("sequential failed"),
-    );
-    AllSchedulers { width, size: set.len(), csa, roy, greedy_outer, greedy_input, sequential, csa_outcome }
+    let mut measure = |name: &str| {
+        let out = ctx.route_named(name, topo, set).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        let m = SchedulerMeasurement { rounds: out.rounds, power: out.power.clone() };
+        ctx.recycle(out);
+        m
+    };
+    let roy = measure("roy");
+    let greedy = measure("greedy");
+    let greedy_input = measure("greedy-input");
+    let sequential = measure("sequential");
+    AllSchedulers { width, size: set.len(), csa, roy, greedy, greedy_input, sequential, csa_outcome }
 }
 
 #[cfg(test)]
@@ -101,7 +102,14 @@ mod tests {
         assert_eq!(m.csa.rounds as u32, m.width);
         assert!(m.roy.rounds as u32 >= m.width);
         assert_eq!(m.sequential.rounds, 20);
-        assert!(m.greedy_outer.rounds as u32 >= m.width);
+        assert!(m.greedy.rounds as u32 >= m.width);
         assert_eq!(m.size, 20);
+    }
+
+    #[test]
+    fn measured_routers_all_resolve_in_the_registry() {
+        for name in MEASURED_ROUTERS {
+            assert!(cst_engine::find(name).is_some(), "{name} missing from registry");
+        }
     }
 }

@@ -4,14 +4,15 @@
 //! An algorithm step is an arbitrary set of point-to-point transfers plus
 //! a local combine function at each receiving PE. The executor schedules
 //! the set with the universal power-aware front end
-//! ([`cst_padr::schedule_any`]), moves the values round by round, applies
+//! ([`cst_padr::schedule_any_in`]), moves the values round by round, applies
 //! the combiner, and accumulates rounds and power. One executor instance
 //! accounts a whole algorithm (its power meter holds switch state across
 //! steps, so retention between steps is credited exactly like retention
 //! between rounds).
 
-use cst_comm::{CommSet, Communication};
+use cst_comm::{CommSet, Communication, SchedulePool};
 use cst_core::{CstError, CstTopology, LeafId, PowerMeter, PowerReport};
+use cst_padr::CsaScratch;
 
 /// Executes algorithm steps over a value array, one value per PE.
 pub struct StepExecutor<T> {
@@ -21,6 +22,9 @@ pub struct StepExecutor<T> {
     meter: PowerMeter,
     rounds: usize,
     steps: usize,
+    // Scheduling scratch, kept warm across steps and sessions.
+    csa: CsaScratch,
+    pool: SchedulePool,
 }
 
 impl<T: Clone> StepExecutor<T> {
@@ -28,7 +32,15 @@ impl<T: Clone> StepExecutor<T> {
     pub fn new(values: Vec<T>) -> Result<Self, CstError> {
         let topo = CstTopology::new(values.len())?;
         let meter = PowerMeter::new(&topo);
-        Ok(StepExecutor { topo, values, meter, rounds: 0, steps: 0 })
+        Ok(StepExecutor {
+            topo,
+            values,
+            meter,
+            rounds: 0,
+            steps: 0,
+            csa: CsaScratch::new(),
+            pool: SchedulePool::new(),
+        })
     }
 
     /// The topology the executor runs on.
@@ -112,7 +124,8 @@ impl<T: Clone> StepExecutor<T> {
                 })
                 .collect();
             let set = CommSet::new(n, comms)?;
-            let out = cst_padr::schedule_any(&self.topo, &set)?;
+            let out =
+                cst_padr::schedule_any_in(&mut self.csa, &mut self.pool, &self.topo, &set)?;
             out.schedule.verify(&self.topo, &set)?;
             // Account power with retention across sessions and steps.
             for round in &out.schedule.rounds {

@@ -14,7 +14,7 @@ pub fn circuits_for(
 ) -> Result<Vec<Circuit>, CstError> {
     ids.iter()
         .map(|&id| {
-            let c = set.get(id).ok_or(CstError::ProtocolViolation {
+            let c = set.get(id).ok_or_else(|| CstError::ProtocolViolation {
                 node: cst_core::NodeId::ROOT,
                 detail: format!("unknown comm id {id}"),
             })?;
@@ -31,8 +31,20 @@ pub fn schedule_from_partition(
     set: &CommSet,
     partition: &[Vec<CommId>],
 ) -> Result<Schedule, CstError> {
-    let mut schedule = Schedule::default();
     let mut merged = MergedRound::new(topo);
+    schedule_from_partition_in(topo, set, partition, &mut merged)
+}
+
+/// [`schedule_from_partition`], reusing a caller-owned [`MergedRound`]
+/// scratch (re-targeted to `topo` on entry).
+pub fn schedule_from_partition_in(
+    topo: &CstTopology,
+    set: &CommSet,
+    partition: &[Vec<CommId>],
+    merged: &mut MergedRound,
+) -> Result<Schedule, CstError> {
+    merged.reset_for(topo);
+    let mut schedule = Schedule::default();
     for ids in partition {
         if ids.is_empty() {
             continue;

@@ -42,14 +42,27 @@ pub struct GreedyOutcome {
 /// Schedule `set` greedily under `order`. Requires a right-oriented
 /// well-nested set (the paper's setting); use [`schedule_arbitrary`] for
 /// anything else.
+#[deprecated(note = "dispatch through cst-engine's registry (router \"greedy\") or use \
+                     run with a reused MergedRound scratch")]
 pub fn schedule(
     topo: &CstTopology,
     set: &CommSet,
     order: ScanOrder,
 ) -> Result<GreedyOutcome, CstError> {
+    run(topo, set, order, &mut MergedRound::new(topo))
+}
+
+/// [`schedule`], reusing a caller-owned [`MergedRound`] scratch
+/// (re-targeted to `topo` on entry).
+pub fn run(
+    topo: &CstTopology,
+    set: &CommSet,
+    order: ScanOrder,
+    round: &mut MergedRound,
+) -> Result<GreedyOutcome, CstError> {
     set.require_right_oriented()?;
     set.require_well_nested()?;
-    schedule_unchecked(topo, set, order)
+    schedule_unchecked(topo, set, order, round)
 }
 
 /// Greedy scheduling of **arbitrary** communication sets — any mix of
@@ -59,19 +72,33 @@ pub fn schedule(
 /// compatibility is a property of directed-link disjointness, not of
 /// nesting. No optimality guarantee: rounds >= width always, and the gap
 /// can be positive for crossing sets (measured in tests).
+#[deprecated(note = "dispatch through cst-engine's registry or use run_arbitrary with a \
+                     reused MergedRound scratch")]
 pub fn schedule_arbitrary(
     topo: &CstTopology,
     set: &CommSet,
     order: ScanOrder,
 ) -> Result<GreedyOutcome, CstError> {
-    schedule_unchecked(topo, set, order)
+    run_arbitrary(topo, set, order, &mut MergedRound::new(topo))
+}
+
+/// [`schedule_arbitrary`], reusing a caller-owned [`MergedRound`] scratch.
+pub fn run_arbitrary(
+    topo: &CstTopology,
+    set: &CommSet,
+    order: ScanOrder,
+    round: &mut MergedRound,
+) -> Result<GreedyOutcome, CstError> {
+    schedule_unchecked(topo, set, order, round)
 }
 
 fn schedule_unchecked(
     topo: &CstTopology,
     set: &CommSet,
     order: ScanOrder,
+    round: &mut MergedRound,
 ) -> Result<GreedyOutcome, CstError> {
+    round.reset_for(topo);
     let priority: Vec<CommId> = match order {
         ScanOrder::OutermostFirst => outermost_first_order(set),
         ScanOrder::InnermostFirst => innermost_first_order(set),
@@ -86,8 +113,6 @@ fn schedule_unchecked(
 
     let mut remaining: Vec<CommId> = priority;
     let mut schedule = Schedule::default();
-    // One reusable round: link occupancy + config arena, reset O(touched).
-    let mut round = MergedRound::new(topo);
     while !remaining.is_empty() {
         let mut chosen: Vec<CommId> = Vec::new();
         let mut deferred: Vec<CommId> = Vec::with_capacity(remaining.len());
@@ -115,6 +140,7 @@ fn schedule_unchecked(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::{examples, width_on_topology};

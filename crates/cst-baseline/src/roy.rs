@@ -45,9 +45,9 @@
 //! protocol property (who may hold), which is why E2/E3 report both
 //! metrics for both schedulers.
 
-use crate::common::{outermost_first_order, schedule_from_partition};
+use crate::common::{outermost_first_order, schedule_from_partition_in};
 use cst_comm::{CommId, CommSet, Schedule};
-use cst_core::{Circuit, CstError, CstTopology, DirectedLink};
+use cst_core::{Circuit, CstError, CstTopology, DirectedLink, MergedRound};
 use std::collections::HashMap;
 
 /// Order in which the ID levels are scheduled.
@@ -99,10 +99,23 @@ pub fn assign_levels(topo: &CstTopology, set: &CommSet) -> Vec<u32> {
 }
 
 /// Schedule `set` Roy-style: one ID level per round.
+#[deprecated(note = "dispatch through cst-engine's registry (router \"roy\") or use \
+                     run with a reused MergedRound scratch")]
 pub fn schedule(
     topo: &CstTopology,
     set: &CommSet,
     order: LevelOrder,
+) -> Result<RoyOutcome, CstError> {
+    run(topo, set, order, &mut MergedRound::new(topo))
+}
+
+/// [`schedule`], reusing a caller-owned [`MergedRound`] scratch for the
+/// round assembly (re-targeted to `topo` on entry).
+pub fn run(
+    topo: &CstTopology,
+    set: &CommSet,
+    order: LevelOrder,
+    merged: &mut MergedRound,
 ) -> Result<RoyOutcome, CstError> {
     set.require_right_oriented()?;
     set.require_well_nested()?;
@@ -116,11 +129,12 @@ pub fn schedule(
         LevelOrder::InnermostFirst => partition.reverse(),
         LevelOrder::OutermostFirst => {}
     }
-    let schedule = schedule_from_partition(topo, set, &partition)?;
+    let schedule = schedule_from_partition_in(topo, set, &partition, merged)?;
     Ok(RoyOutcome { schedule, levels, max_level })
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::examples;

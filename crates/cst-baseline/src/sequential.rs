@@ -2,18 +2,30 @@
 //! the round-count and power plots (E1/E3). Always valid, always `M`
 //! rounds for `M` communications.
 
-use crate::common::schedule_from_partition;
+use crate::common::schedule_from_partition_in;
 use cst_comm::{CommSet, Schedule};
-use cst_core::{CstError, CstTopology};
+use cst_core::{CstError, CstTopology, MergedRound};
 
 /// Schedule every communication in its own round, in id order.
+#[deprecated(note = "dispatch through cst-engine's registry (router \"sequential\") or use \
+                     run with a reused MergedRound scratch")]
 pub fn schedule(topo: &CstTopology, set: &CommSet) -> Result<Schedule, CstError> {
+    run(topo, set, &mut MergedRound::new(topo))
+}
+
+/// [`schedule`], reusing a caller-owned [`MergedRound`] scratch.
+pub fn run(
+    topo: &CstTopology,
+    set: &CommSet,
+    merged: &mut MergedRound,
+) -> Result<Schedule, CstError> {
     set.require_right_oriented()?;
     let partition: Vec<_> = set.iter().map(|(id, _)| vec![id]).collect();
-    schedule_from_partition(topo, set, &partition)
+    schedule_from_partition_in(topo, set, &partition, merged)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::examples;

@@ -26,7 +26,7 @@ pub mod width;
 pub use check::check_rounds;
 pub use communication::{CommId, Communication, Orientation};
 pub use parens::{from_paren_string, is_balanced, to_paren_string};
-pub use schedule::{Round, Schedule};
-pub use set::{CommSet, OrientedSubset};
+pub use schedule::{Round, Schedule, SchedulePool};
+pub use set::{CommSet, OrientedSubset, WellNestedChecker};
 pub use transform::{concat, embedded, restricted, shifted, CommSetBuilder};
 pub use width::{link_loads, max_incompatible_links, width_on_topology, depth_upper_bound, LinkLoads};

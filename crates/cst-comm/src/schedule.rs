@@ -11,6 +11,7 @@ use crate::communication::CommId;
 use crate::set::CommSet;
 use cst_core::{CstError, CstTopology, NodeId, PowerMeter, RoundConfigs};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// One round of a schedule.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,6 +80,80 @@ impl Schedule {
     pub fn verify(&self, topo: &CstTopology, set: &CommSet) -> Result<usize, CstError> {
         crate::check::check_rounds(topo, set, self).into_result()?;
         Ok(self.rounds.len())
+    }
+}
+
+/// Recycled building blocks for schedulers that run back to back.
+///
+/// Rounds keep their `comms` and `configs` capacity, schedules keep their
+/// round capacity, and power meters keep their per-switch tables (reset per
+/// request). An engine returns a finished outcome here so the next request
+/// reuses the allocations; in steady state (same request shape) the pool
+/// hands everything back without touching the allocator.
+///
+/// The round pool is positional: a recycled schedule's rounds are returned
+/// to the *front* of the queue in position order, and takers pop from the
+/// front — so the shell at queue depth `i` always serves round `i` of the
+/// next schedule, and its capacity converges to the largest round ever
+/// built at that position, no matter how request sizes interleave. (A
+/// plain LIFO pool hands the shell of the *last* — typically smallest —
+/// round to the next schedule's *first* — typically largest — round and
+/// re-allocates every request.)
+#[derive(Debug, Default)]
+pub struct SchedulePool {
+    schedules: Vec<Schedule>,
+    rounds: VecDeque<Round>,
+    meters: Vec<PowerMeter>,
+}
+
+impl SchedulePool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        SchedulePool::default()
+    }
+
+    /// An empty schedule, reusing pooled round capacity when available.
+    pub fn take_schedule(&mut self) -> Schedule {
+        self.schedules.pop().unwrap_or_default()
+    }
+
+    /// An empty round (cleared `comms`/`configs`, capacity retained).
+    pub fn take_round(&mut self) -> Round {
+        self.rounds.pop_front().unwrap_or_default()
+    }
+
+    /// A meter reset to the all-disconnected state for `topo`.
+    pub fn take_meter(&mut self, topo: &CstTopology) -> PowerMeter {
+        match self.meters.pop() {
+            Some(mut m) => {
+                m.reset(topo);
+                m
+            }
+            None => PowerMeter::new(topo),
+        }
+    }
+
+    /// Return a schedule: its rounds are cleared into the round pool and
+    /// the emptied shell joins the schedule pool.
+    pub fn put_schedule(&mut self, mut s: Schedule) {
+        for mut round in s.rounds.drain(..).rev() {
+            round.comms.clear();
+            round.configs.clear();
+            self.rounds.push_front(round);
+        }
+        self.schedules.push(s);
+    }
+
+    /// Return a round for reuse.
+    pub fn put_round(&mut self, mut r: Round) {
+        r.comms.clear();
+        r.configs.clear();
+        self.rounds.push_front(r);
+    }
+
+    /// Return a meter for reuse (reset happens on the next take).
+    pub fn put_meter(&mut self, m: PowerMeter) {
+        self.meters.push(m);
     }
 }
 

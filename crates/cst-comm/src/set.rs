@@ -147,31 +147,7 @@ impl CommSet {
 
     /// Find a crossing pair `(CommId, CommId)`, if any.
     pub fn well_nested_violation(&self) -> Option<(CommId, CommId)> {
-        // Sweep endpoints left to right; maintain a stack of open intervals.
-        // event: (position, is_close, comm index)
-        let mut events: Vec<(usize, bool, usize)> = Vec::with_capacity(2 * self.comms.len());
-        for (i, c) in self.comms.iter().enumerate() {
-            let (l, r) = c.interval();
-            events.push((l, false, i));
-            events.push((r, true, i));
-        }
-        events.sort_unstable();
-        let mut stack: Vec<usize> = Vec::new();
-        for (_pos, close, i) in events {
-            if !close {
-                stack.push(i);
-            } else {
-                match stack.pop() {
-                    Some(top) if top == i => {}
-                    Some(top) => return Some((CommId(top.min(i)), CommId(top.max(i)))),
-                    // A close with an empty stack cannot occur: every close
-                    // was pushed as an open earlier at a strictly smaller
-                    // position (endpoints are distinct PEs).
-                    None => unreachable!("close before open"),
-                }
-            }
-        }
-        None
+        WellNestedChecker::new().violation(self)
     }
 
     /// Validate well-nestedness, reporting the first crossing pair.
@@ -242,6 +218,64 @@ impl CommSet {
     pub fn apexes(&self, topo: &CstTopology) -> Vec<cst_core::NodeId> {
         assert_eq!(topo.num_leaves(), self.num_leaves);
         self.comms.iter().map(|c| topo.lca(c.source, c.dest)).collect()
+    }
+}
+
+/// Reusable scratch for the well-nestedness sweep.
+///
+/// The sweep needs an event list and an open-interval stack; a long-lived
+/// engine validates every incoming request, so those buffers are pooled
+/// here instead of being reallocated per call. Steady state (same request
+/// shape) allocates nothing.
+#[derive(Debug, Default)]
+pub struct WellNestedChecker {
+    // event: (position, is_close, comm index)
+    events: Vec<(usize, bool, usize)>,
+    stack: Vec<usize>,
+}
+
+impl WellNestedChecker {
+    /// Empty checker; buffers grow on first use.
+    pub fn new() -> Self {
+        WellNestedChecker::default()
+    }
+
+    /// Find a crossing pair in `set`, if any. Sweeps endpoints left to
+    /// right maintaining a stack of open intervals: O(M log M) against the
+    /// obvious O(M²) pairwise test (which backs this up in property tests).
+    pub fn violation(&mut self, set: &CommSet) -> Option<(CommId, CommId)> {
+        self.events.clear();
+        self.events.reserve(2 * set.comms.len());
+        for (i, c) in set.comms.iter().enumerate() {
+            let (l, r) = c.interval();
+            self.events.push((l, false, i));
+            self.events.push((r, true, i));
+        }
+        self.events.sort_unstable();
+        self.stack.clear();
+        for &(_pos, close, i) in &self.events {
+            if !close {
+                self.stack.push(i);
+            } else {
+                match self.stack.pop() {
+                    Some(top) if top == i => {}
+                    Some(top) => return Some((CommId(top.min(i)), CommId(top.max(i)))),
+                    // A close with an empty stack cannot occur: every close
+                    // was pushed as an open earlier at a strictly smaller
+                    // position (endpoints are distinct PEs).
+                    None => unreachable!("close before open"),
+                }
+            }
+        }
+        None
+    }
+
+    /// Validate well-nestedness, reporting the first crossing pair.
+    pub fn require(&mut self, set: &CommSet) -> Result<(), CstError> {
+        match self.violation(set) {
+            None => Ok(()),
+            Some((a, b)) => Err(CstError::NotWellNested { a: a.0, b: b.0 }),
+        }
     }
 }
 

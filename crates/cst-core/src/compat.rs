@@ -17,7 +17,7 @@ use crate::topology::CstTopology;
 /// switch's required configuration, both backed by dense preallocated
 /// tables so one instance can be reused across all rounds of a schedule
 /// (reset is O(touched), not O(N)).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct MergedRound {
     occ: LinkOccupancy,
     arena: ConfigArena,
@@ -30,6 +30,15 @@ impl MergedRound {
             occ: LinkOccupancy::new(topo),
             arena: ConfigArena::new(topo),
         }
+    }
+
+    /// Re-target a (possibly default-constructed) round to `topo`,
+    /// clearing any prior state but keeping allocated capacity where
+    /// possible. Lets one scratch instance serve requests on trees of
+    /// different sizes.
+    pub fn reset_for(&mut self, topo: &CstTopology) {
+        self.occ.reset_for(topo);
+        self.arena.reset_for(topo);
     }
 
     /// Merge `circuits` into a single round, failing on any directed-link

@@ -38,6 +38,8 @@ pub enum CstError {
     RoundOverrun { limit: usize },
     /// Verification found a delivered payload mismatch.
     DeliveryMismatch { dest: LeafId },
+    /// A router name was not found in the engine registry.
+    UnknownRouter { name: String },
 }
 
 impl core::fmt::Display for CstError {
@@ -88,6 +90,9 @@ impl core::fmt::Display for CstError {
             }
             CstError::DeliveryMismatch { dest } => {
                 write!(f, "payload delivered to {dest} does not match its source's payload")
+            }
+            CstError::UnknownRouter { name } => {
+                write!(f, "unknown router {name:?}: see the engine registry for valid names")
             }
         }
     }

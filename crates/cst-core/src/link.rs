@@ -53,7 +53,7 @@ impl core::fmt::Display for DirectedLink {
 
 /// A per-round occupancy map over directed links, used to check
 /// compatibility of a set of circuits in O(path length) per circuit.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct LinkOccupancy {
     used: Vec<bool>,
     touched: Vec<usize>,
@@ -62,10 +62,16 @@ pub struct LinkOccupancy {
 impl LinkOccupancy {
     /// An empty occupancy map for `topo`.
     pub fn new(topo: &CstTopology) -> Self {
-        LinkOccupancy {
-            used: vec![false; 4 * topo.num_leaves()],
-            touched: Vec::new(),
-        }
+        let mut occ = LinkOccupancy::default();
+        occ.reset_for(topo);
+        occ
+    }
+
+    /// Re-target the map to `topo`, clearing claims but keeping allocated
+    /// capacity where possible.
+    pub fn reset_for(&mut self, topo: &CstTopology) {
+        self.reset();
+        self.used.resize(4 * topo.num_leaves(), false);
     }
 
     /// Try to claim a directed link. Returns `false` (and leaves the map

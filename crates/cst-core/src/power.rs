@@ -131,6 +131,23 @@ impl PowerMeter {
         }
     }
 
+    /// Reset to the all-disconnected state for `topo`, reusing the existing
+    /// allocations when the topology size is unchanged. A long-lived engine
+    /// pools meters and resets them per request instead of rebuilding.
+    pub fn reset(&mut self, topo: &CstTopology) {
+        let n = topo.node_table_len();
+        self.configs.clear();
+        self.configs.resize(n, SwitchConfig::empty());
+        self.stats.clear();
+        self.stats.resize(n, SwitchPower::default());
+        self.changed_stamp.clear();
+        self.changed_stamp.resize(n, u32::MAX);
+        self.active_stamp.clear();
+        self.active_stamp.resize(n, u32::MAX);
+        self.rounds = 0;
+        self.stamp = 0;
+    }
+
     /// Begin accounting a new round. O(1): bumps the round stamp.
     pub fn begin_round(&mut self) {
         self.rounds += 1;

@@ -103,6 +103,12 @@ impl RoundConfigs {
         self.entries.iter().map(|(n, cfg)| (*n, cfg))
     }
 
+    /// Drop all entries, keeping the allocation for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Iterate `(switch, connection)` requirements in deterministic order.
     #[inline]
     pub fn requirements(&self) -> impl Iterator<Item = (NodeId, Connection)> + '_ {
@@ -180,13 +186,27 @@ pub struct ConfigArena {
     touched: Vec<NodeId>,
 }
 
+impl Default for ConfigArena {
+    /// Zero-slot arena; size it with [`ConfigArena::reset_for`] before use.
+    fn default() -> Self {
+        ConfigArena { slots: Vec::new(), touched: Vec::new() }
+    }
+}
+
 impl ConfigArena {
     /// Empty arena sized for `topo`.
     pub fn new(topo: &CstTopology) -> Self {
-        ConfigArena {
-            slots: vec![SwitchConfig::empty(); topo.node_table_len()],
-            touched: Vec::new(),
-        }
+        let mut a = ConfigArena::default();
+        a.reset_for(topo);
+        a
+    }
+
+    /// Clear and resize for `topo`, reusing the slot allocation when the
+    /// capacity suffices. Lets one arena serve requests on differently
+    /// sized trees without reallocating in steady state.
+    pub fn reset_for(&mut self, topo: &CstTopology) {
+        self.clear();
+        self.slots.resize(topo.node_table_len(), SwitchConfig::empty());
     }
 
     /// Add connection `c` at `node` for the current round.
@@ -234,14 +254,21 @@ impl ConfigArena {
 
     /// Extract the round as a compact sorted table and reset the arena.
     pub fn take_round(&mut self) -> RoundConfigs {
+        let mut out = RoundConfigs::new();
+        self.take_round_into(&mut out);
+        out
+    }
+
+    /// Like [`ConfigArena::take_round`], but writes into `out`, reusing its
+    /// allocation. After the first few rounds of a long-lived engine this
+    /// path allocates nothing: the table's capacity is recycled round to
+    /// round.
+    pub fn take_round_into(&mut self, out: &mut RoundConfigs) {
         self.touched.sort_unstable_by_key(|n| n.0);
-        let entries = self
-            .touched
-            .iter()
-            .map(|&n| (n, self.slots[n.index()]))
-            .collect();
+        out.entries.clear();
+        out.entries
+            .extend(self.touched.iter().map(|&n| (n, self.slots[n.index()])));
         self.clear();
-        RoundConfigs { entries }
     }
 }
 

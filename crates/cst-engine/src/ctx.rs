@@ -1,0 +1,102 @@
+//! The reusable engine context: every scratch buffer any router needs,
+//! kept warm across requests so repeated scheduling through one
+//! [`EngineCtx`] reaches a zero-allocation steady state (asserted by the
+//! workspace's allocation-gate test for the serial CSA).
+
+use crate::outcome::{RouteExtra, RouteOutcome};
+use crate::registry;
+use crate::router::Router;
+use cst_comm::{CommSet, Schedule, SchedulePool};
+use cst_core::{CstError, CstTopology, MergedRound, PowerReport};
+use cst_padr::{CsaScratch, ParallelScratch};
+
+/// Reusable scratch for repeated routing requests.
+///
+/// One context serves requests of any size, any router, in any order: each
+/// scratch re-targets itself to the request's topology and grows its
+/// buffers monotonically. After a warm-up call per (router, shape), the
+/// serial CSA path allocates nothing; the other routers reuse the pooled
+/// schedules/meters and the shared [`MergedRound`] but still allocate for
+/// their own intermediate structures (decompositions, mirrored sets,
+/// layerings).
+///
+/// # Examples
+///
+/// ```
+/// use cst_core::CstTopology;
+/// use cst_comm::CommSet;
+/// use cst_engine::EngineCtx;
+///
+/// let topo = CstTopology::with_leaves(8);
+/// let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]); // width 3
+/// let mut ctx = EngineCtx::new();
+/// let out = ctx.route_named("csa", &topo, &set).unwrap();
+/// assert_eq!(out.rounds, 3); // Theorem 5
+/// ctx.recycle(out); // return the schedule + meter to the pool
+/// ```
+#[derive(Default)]
+pub struct EngineCtx {
+    pub(crate) csa: CsaScratch,
+    pub(crate) parallel: ParallelScratch,
+    pub(crate) merged: MergedRound,
+    pub(crate) pool: SchedulePool,
+}
+
+impl EngineCtx {
+    /// An empty context; buffers are sized lazily by the first requests.
+    pub fn new() -> Self {
+        EngineCtx::default()
+    }
+
+    /// Route `set` on `topo` with an explicit router.
+    pub fn route(
+        &mut self,
+        router: &dyn Router,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        router.route(self, topo, set)
+    }
+
+    /// Route through the registry by stable name (see
+    /// [`crate::registry::names`]).
+    pub fn route_named(
+        &mut self,
+        name: &str,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let router = registry::find(name)
+            .ok_or_else(|| CstError::UnknownRouter { name: name.to_string() })?;
+        router.route(self, topo, set)
+    }
+
+    /// Return an outcome's recyclable parts (schedule, meter) to the pool
+    /// so the next request reuses their allocations.
+    pub fn recycle(&mut self, outcome: RouteOutcome) {
+        self.pool.put_schedule(outcome.schedule);
+        if let RouteExtra::Csa { meter, .. } = outcome.extra {
+            self.pool.put_meter(meter);
+        }
+    }
+
+    /// Meter an arbitrary schedule under the PADR power model using pooled
+    /// meter storage. Used by routers whose construction path does not
+    /// already meter (baselines, composed schedulers).
+    pub(crate) fn meter_schedule(
+        &mut self,
+        topo: &CstTopology,
+        schedule: &Schedule,
+    ) -> PowerReport {
+        let mut meter = self.pool.take_meter(topo);
+        for round in &schedule.rounds {
+            meter.begin_round();
+            for (node, conn) in round.requirements() {
+                meter.require(node, conn);
+            }
+        }
+        let report = meter.report(topo);
+        self.pool.put_meter(meter);
+        report
+    }
+}

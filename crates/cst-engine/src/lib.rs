@@ -1,0 +1,157 @@
+//! # cst-engine — one front door for every CST scheduler
+//!
+//! Unifies the workspace's ten scheduling entry points behind a single
+//! [`Router`] trait with a normalized [`RouteOutcome`], a reusable
+//! [`EngineCtx`] holding every scratch buffer (so repeated scheduling
+//! through one context reaches a zero-allocation steady state on the
+//! serial CSA path), and a [`registry()`] mapping stable names to boxed
+//! routers. See `docs/ENGINE.md` for the architecture.
+//!
+//! ```
+//! use cst_core::CstTopology;
+//! use cst_comm::CommSet;
+//! use cst_engine::EngineCtx;
+//!
+//! let topo = CstTopology::with_leaves(16);
+//! let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (8, 15)]);
+//! let mut ctx = EngineCtx::new(); // reuse across requests
+//! for name in ["csa", "general", "greedy"] {
+//!     let out = ctx.route_named(name, &topo, &set).unwrap();
+//!     assert!(out.rounds >= 2);
+//!     ctx.recycle(out); // schedule + meter go back to the pool
+//! }
+//! ```
+
+mod ctx;
+mod outcome;
+mod registry;
+mod router;
+
+pub use ctx::EngineCtx;
+pub use outcome::{PhaseTimings, RouteExtra, RouteOutcome};
+pub use registry::{find, names, registry, route_once, CANONICAL};
+pub use router::{
+    Csa, CsaNoPrune, CsaParallel, CsaThreaded, General, GeneralMerged, Greedy, Layered, Roy,
+    Router, Sequential, Universal,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_comm::CommSet;
+    use cst_core::{CstError, CstTopology};
+
+    #[test]
+    fn canonical_names_resolve_and_match() {
+        for name in CANONICAL {
+            let router = find(name).unwrap_or_else(|| panic!("{name} missing from registry"));
+            assert_eq!(router.name(), name);
+            assert!(!router.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names = names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate router names");
+    }
+
+    #[test]
+    fn canonical_prefix_order() {
+        let names = names();
+        assert_eq!(&names[..CANONICAL.len()], &CANONICAL[..]);
+    }
+
+    #[test]
+    fn unknown_name_is_typed_error() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 1)]);
+        let err = EngineCtx::new().route_named("no-such-router", &topo, &set).unwrap_err();
+        assert!(matches!(err, CstError::UnknownRouter { .. }));
+    }
+
+    #[test]
+    fn all_routers_schedule_a_well_nested_set() {
+        // A right-oriented well-nested set every router accepts.
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 5), (8, 15)]);
+        let mut ctx = EngineCtx::new();
+        for router in registry() {
+            let out = ctx.route(router.as_ref(), &topo, &set).unwrap();
+            assert_eq!(out.router, router.name());
+            assert_eq!(out.rounds, out.schedule.num_rounds());
+            out.schedule
+                .verify(&topo, &set)
+                .unwrap_or_else(|e| panic!("{} schedule failed to verify: {e}", router.name()));
+            assert!(out.power.total_units > 0, "{}", router.name());
+            assert!(out.timings.total_ns > 0, "{}", router.name());
+            ctx.recycle(out);
+        }
+    }
+
+    #[test]
+    fn csa_family_reports_phase_split_and_metrics() {
+        let topo = CstTopology::with_leaves(32);
+        let set = CommSet::from_pairs(32, &[(0, 31), (1, 30), (2, 29)]);
+        let mut ctx = EngineCtx::new();
+        let out = ctx.route_named("csa", &topo, &set).unwrap();
+        assert!(out.timings.phase1_ns > 0 || out.timings.rounds_ns > 0);
+        match &out.extra {
+            RouteExtra::Csa { metrics, .. } => assert!(metrics.phase1_words > 0),
+            other => panic!("expected Csa extra, got {other:?}"),
+        }
+        let csa = out.into_csa().unwrap();
+        assert_eq!(csa.rounds(), 3);
+    }
+
+    #[test]
+    fn universal_router_takes_any_valid_set() {
+        let topo = CstTopology::with_leaves(16);
+        // mixed orientations and a crossing pair
+        let set = CommSet::from_pairs(16, &[(0, 4), (2, 6), (15, 9)]);
+        let mut ctx = EngineCtx::new();
+        let out = ctx.route_named("universal", &topo, &set).unwrap();
+        out.schedule.verify(&topo, &set).unwrap();
+        match out.extra {
+            RouteExtra::Universal { right_layers, left_layers } => {
+                assert_eq!(right_layers, 2);
+                assert_eq!(left_layers, 1);
+            }
+            ref other => panic!("expected Universal extra, got {other:?}"),
+        }
+        // strict routers reject the same set
+        assert!(ctx.route_named("csa", &topo, &set).is_err());
+    }
+
+    #[test]
+    fn metered_power_matches_csa_meter() {
+        // The engine's pooled metering of a schedule must agree with the
+        // meter the CSA carried along while building it.
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 15), (1, 14), (4, 11)]);
+        let mut ctx = EngineCtx::new();
+        let out = ctx.route_named("csa", &topo, &set).unwrap();
+        let replayed = ctx.meter_schedule(&topo, &out.schedule);
+        assert_eq!(replayed.total_units, out.power.total_units);
+        assert_eq!(replayed.max_port_transitions, out.power.max_port_transitions);
+    }
+
+    #[test]
+    fn parallel_routers_agree_with_serial() {
+        let topo = CstTopology::with_leaves(64);
+        let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, 63 - i)).collect();
+        let set = CommSet::from_pairs(64, &pairs);
+        let mut ctx = EngineCtx::new();
+        let serial = ctx.route_named("csa", &topo, &set).unwrap();
+        for name in ["csa-parallel", "csa-threaded"] {
+            let par = ctx.route_named(name, &topo, &set).unwrap();
+            assert_eq!(par.schedule.rounds, serial.schedule.rounds, "{name}");
+            assert_eq!(par.power.total_units, serial.power.total_units, "{name}");
+            ctx.recycle(par);
+        }
+        ctx.recycle(serial);
+    }
+}

@@ -1,0 +1,71 @@
+//! The scheduler registry: the single source of truth mapping stable
+//! router names to boxed [`Router`] implementations. CLI flags, bench IDs,
+//! analysis tables, and scripts all resolve names through here.
+
+use crate::ctx::EngineCtx;
+use crate::outcome::RouteOutcome;
+use crate::router::{
+    Csa, CsaNoPrune, CsaParallel, CsaThreaded, General, GeneralMerged, Greedy, Layered, Roy,
+    Router, Sequential, Universal,
+};
+use cst_baseline::{LevelOrder, ScanOrder};
+use cst_comm::CommSet;
+use cst_core::{CstError, CstTopology};
+
+/// The ten canonical router names, in presentation order. Every consumer
+/// table and script iterates these; the registry additionally carries
+/// parameterized ablation variants (`csa-no-prune`, `greedy-innermost`,
+/// `greedy-input`, `roy-outermost`).
+pub const CANONICAL: [&str; 10] = [
+    "csa",
+    "csa-parallel",
+    "csa-threaded",
+    "general",
+    "general-merged",
+    "layered",
+    "universal",
+    "greedy",
+    "roy",
+    "sequential",
+];
+
+/// All routers, canonical first, ablation variants after.
+pub fn registry() -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(Csa),
+        Box::new(CsaParallel::default()),
+        Box::new(CsaThreaded::default()),
+        Box::new(General),
+        Box::new(GeneralMerged),
+        Box::new(Layered),
+        Box::new(Universal),
+        Box::new(Greedy { order: ScanOrder::OutermostFirst }),
+        Box::new(Roy { order: LevelOrder::InnermostFirst }),
+        Box::new(Sequential),
+        // Ablation / parameterized variants (non-canonical).
+        Box::new(CsaNoPrune),
+        Box::new(Greedy { order: ScanOrder::InnermostFirst }),
+        Box::new(Greedy { order: ScanOrder::InputOrder }),
+        Box::new(Roy { order: LevelOrder::OutermostFirst }),
+    ]
+}
+
+/// Look up a router by stable name.
+pub fn find(name: &str) -> Option<Box<dyn Router>> {
+    registry().into_iter().find(|r| r.name() == name)
+}
+
+/// All registry names, canonical first.
+pub fn names() -> Vec<&'static str> {
+    registry().iter().map(|r| r.name()).collect()
+}
+
+/// One-shot convenience: route with a throwaway [`EngineCtx`]. Prefer a
+/// long-lived context for repeated scheduling.
+pub fn route_once(
+    name: &str,
+    topo: &CstTopology,
+    set: &CommSet,
+) -> Result<RouteOutcome, CstError> {
+    EngineCtx::new().route_named(name, topo, set)
+}

@@ -1,0 +1,401 @@
+//! The [`Router`] trait and one implementation per scheduler in the
+//! workspace. Every scheduler — the paper's CSA in its serial, parallel
+//! and threaded forms, the orientation/layering front ends, and the three
+//! baselines — is driven through the same normalized interface.
+
+use crate::ctx::EngineCtx;
+use crate::outcome::{self, PhaseTimings, RouteExtra, RouteOutcome};
+use cst_baseline::{greedy, roy, sequential, LevelOrder, ScanOrder};
+use cst_comm::CommSet;
+use cst_core::{CstError, CstTopology};
+use cst_padr::{layers, merge, orientation, universal, CsaOutcome, Options};
+use std::time::Instant;
+
+/// A scheduler with a stable registry name, routable through a reusable
+/// [`EngineCtx`].
+pub trait Router: Send + Sync {
+    /// Stable registry name (`"csa"`, `"greedy"`, ...). The single source
+    /// of truth for CLI flags, bench IDs, and analysis tables.
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for `list-routers` output.
+    fn description(&self) -> &'static str;
+
+    /// Schedule `set` on `topo`, reusing `ctx`'s scratch buffers.
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError>;
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos() as u64
+}
+
+/// Package a CSA-family outcome without touching its allocations.
+fn csa_route(router: &'static str, out: CsaOutcome, timings: PhaseTimings) -> RouteOutcome {
+    let rounds = out.schedule.num_rounds();
+    RouteOutcome {
+        router,
+        schedule: out.schedule,
+        rounds,
+        power: out.power,
+        timings,
+        extra: RouteExtra::Csa { metrics: out.metrics, meter: out.meter },
+    }
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+}
+
+/// The paper's serial CSA (strict preconditions: right-oriented,
+/// well-nested). The only router with a guaranteed zero-allocation warm
+/// path, asserted by the workspace allocation gate.
+pub struct Csa;
+
+impl Router for Csa {
+    fn name(&self) -> &'static str {
+        "csa"
+    }
+    fn description(&self) -> &'static str {
+        "serial power-aware CSA: w rounds, O(1) config changes per switch"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let out = ctx.csa.schedule(topo, set, &mut ctx.pool)?;
+        let timings = PhaseTimings::from_csa(ctx.csa.timings(), elapsed_ns(start));
+        Ok(csa_route(self.name(), out, timings))
+    }
+}
+
+/// Serial CSA with quiescent-subtree pruning disabled (every round sweeps
+/// all switches). Identical output; used by the work-reduction ablation.
+pub struct CsaNoPrune;
+
+impl Router for CsaNoPrune {
+    fn name(&self) -> &'static str {
+        "csa-no-prune"
+    }
+    fn description(&self) -> &'static str {
+        "serial CSA without quiescent-subtree pruning (ablation; identical output)"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let options = Options { prune_quiescent: false };
+        let out = ctx.csa.schedule_with(topo, set, options, &mut ctx.pool)?;
+        let timings = PhaseTimings::from_csa(ctx.csa.timings(), elapsed_ns(start));
+        Ok(csa_route(self.name(), out, timings))
+    }
+}
+
+/// Adaptive parallel CSA: subtree decomposition with worker threads when
+/// the host has more than one core, identical inline execution otherwise.
+/// `threads == 0` means "one worker per available core".
+#[derive(Default)]
+pub struct CsaParallel {
+    pub threads: usize,
+}
+
+impl Router for CsaParallel {
+    fn name(&self) -> &'static str {
+        "csa-parallel"
+    }
+    fn description(&self) -> &'static str {
+        "adaptive parallel CSA (subtree workers; serial-identical output)"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let threads = if self.threads == 0 { available_cores() } else { self.threads };
+        let start = Instant::now();
+        let out = ctx.parallel.schedule(topo, set, threads, &mut ctx.pool)?;
+        let timings = PhaseTimings::total_only(elapsed_ns(start));
+        Ok(csa_route(self.name(), out, timings))
+    }
+}
+
+/// Parallel CSA that always spawns worker threads, even on a single-core
+/// host — exercises the cross-thread merge path deterministically.
+/// `threads == 0` means `max(cores, 2)` workers.
+#[derive(Default)]
+pub struct CsaThreaded {
+    pub threads: usize,
+}
+
+impl Router for CsaThreaded {
+    fn name(&self) -> &'static str {
+        "csa-threaded"
+    }
+    fn description(&self) -> &'static str {
+        "parallel CSA with forced worker threads (stress path; serial-identical output)"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let threads = if self.threads == 0 { available_cores().max(2) } else { self.threads };
+        let start = Instant::now();
+        let out = ctx.parallel.schedule_threaded(topo, set, threads, &mut ctx.pool)?;
+        let timings = PhaseTimings::total_only(elapsed_ns(start));
+        Ok(csa_route(self.name(), out, timings))
+    }
+}
+
+/// Mixed-orientation well-nested sets: decompose into oriented halves,
+/// CSA each (left half through the mirror transform), concatenate.
+pub struct General;
+
+impl Router for General {
+    fn name(&self) -> &'static str {
+        "general"
+    }
+    fn description(&self) -> &'static str {
+        "orientation decomposition: CSA per oriented half, rounds concatenated"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let out = orientation::schedule_general_in(&mut ctx.csa, &mut ctx.pool, topo, set)?;
+        let orientation::GeneralOutcome { schedule, right_rounds, left_rounds, right, left } = out;
+        for half in [right, left].into_iter().flatten() {
+            ctx.pool.put_schedule(half.schedule);
+            ctx.pool.put_meter(half.meter);
+        }
+        let power = ctx.meter_schedule(topo, &schedule);
+        let rounds = schedule.num_rounds();
+        Ok(RouteOutcome {
+            router: self.name(),
+            schedule,
+            rounds,
+            power,
+            timings: PhaseTimings::total_only(elapsed_ns(start)),
+            extra: RouteExtra::General { right_rounds, left_rounds },
+        })
+    }
+}
+
+/// Like [`General`], but greedily interleaving compatible rounds of the
+/// two halves instead of concatenating them.
+pub struct GeneralMerged;
+
+impl Router for GeneralMerged {
+    fn name(&self) -> &'static str {
+        "general-merged"
+    }
+    fn description(&self) -> &'static str {
+        "orientation decomposition with round merging across the two halves"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let schedule = merge::schedule_general_merged_in(&mut ctx.csa, &mut ctx.pool, topo, set)?;
+        let power = ctx.meter_schedule(topo, &schedule);
+        let rounds = schedule.num_rounds();
+        Ok(RouteOutcome {
+            router: self.name(),
+            schedule,
+            rounds,
+            power,
+            timings: PhaseTimings::total_only(elapsed_ns(start)),
+            extra: RouteExtra::None,
+        })
+    }
+}
+
+/// Arbitrary right-oriented sets: crossing-free layering, CSA per layer.
+pub struct Layered;
+
+impl Router for Layered {
+    fn name(&self) -> &'static str {
+        "layered"
+    }
+    fn description(&self) -> &'static str {
+        "crossing-free layering of right-oriented sets, CSA per layer"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let out = layers::schedule_layered_in(&mut ctx.csa, &mut ctx.pool, topo, set)?;
+        let layers::LayeredOutcome { schedule, per_layer, layering } = out;
+        let num_layers = layering.layers.len();
+        for layer in per_layer {
+            ctx.pool.put_schedule(layer.schedule);
+            ctx.pool.put_meter(layer.meter);
+        }
+        let power = ctx.meter_schedule(topo, &schedule);
+        let rounds = schedule.num_rounds();
+        Ok(RouteOutcome {
+            router: self.name(),
+            schedule,
+            rounds,
+            power,
+            timings: PhaseTimings::total_only(elapsed_ns(start)),
+            extra: RouteExtra::Layered { num_layers },
+        })
+    }
+}
+
+/// Any valid set: orientation decomposition plus layering per half.
+pub struct Universal;
+
+impl Router for Universal {
+    fn name(&self) -> &'static str {
+        "universal"
+    }
+    fn description(&self) -> &'static str {
+        "any valid set: orientation decomposition + crossing-free layering per half"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let out = universal::schedule_any_in(&mut ctx.csa, &mut ctx.pool, topo, set)?;
+        let universal::UniversalOutcome { schedule, right_layers, left_layers } = out;
+        let power = ctx.meter_schedule(topo, &schedule);
+        let rounds = schedule.num_rounds();
+        Ok(RouteOutcome {
+            router: self.name(),
+            schedule,
+            rounds,
+            power,
+            timings: PhaseTimings::total_only(elapsed_ns(start)),
+            extra: RouteExtra::Universal { right_layers, left_layers },
+        })
+    }
+}
+
+/// Greedy maximal-compatible-set baseline. The registry exposes one entry
+/// per scan order (`"greedy"`, `"greedy-innermost"`, `"greedy-input"`).
+pub struct Greedy {
+    pub order: ScanOrder,
+}
+
+impl Router for Greedy {
+    fn name(&self) -> &'static str {
+        match self.order {
+            ScanOrder::OutermostFirst => "greedy",
+            ScanOrder::InnermostFirst => "greedy-innermost",
+            ScanOrder::InputOrder => "greedy-input",
+        }
+    }
+    fn description(&self) -> &'static str {
+        match self.order {
+            ScanOrder::OutermostFirst => "greedy maximal compatible sets, outermost-first scan",
+            ScanOrder::InnermostFirst => "greedy maximal compatible sets, innermost-first scan",
+            ScanOrder::InputOrder => "greedy maximal compatible sets, input-order scan",
+        }
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let out = greedy::run(topo, set, self.order, &mut ctx.merged)?;
+        let power = ctx.meter_schedule(topo, &out.schedule);
+        let timings = PhaseTimings::total_only(elapsed_ns(start));
+        Ok(outcome::from_greedy(self.name(), out, power, timings))
+    }
+}
+
+/// Roy-style ID-level comparator. The registry exposes one entry per
+/// level order (`"roy"` = innermost-first, `"roy-outermost"`).
+pub struct Roy {
+    pub order: LevelOrder,
+}
+
+impl Router for Roy {
+    fn name(&self) -> &'static str {
+        match self.order {
+            LevelOrder::InnermostFirst => "roy",
+            LevelOrder::OutermostFirst => "roy-outermost",
+        }
+    }
+    fn description(&self) -> &'static str {
+        match self.order {
+            LevelOrder::InnermostFirst => {
+                "Roy-style ID levels, one level per round (innermost-first)"
+            }
+            LevelOrder::OutermostFirst => {
+                "Roy-style ID levels, one level per round (outermost-first)"
+            }
+        }
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let out = roy::run(topo, set, self.order, &mut ctx.merged)?;
+        let power = ctx.meter_schedule(topo, &out.schedule);
+        let timings = PhaseTimings::total_only(elapsed_ns(start));
+        Ok(outcome::from_roy(self.name(), out, power, timings))
+    }
+}
+
+/// One communication per round — the floor baseline.
+pub struct Sequential;
+
+impl Router for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+    fn description(&self) -> &'static str {
+        "one communication per round (floor baseline)"
+    }
+    fn route(
+        &self,
+        ctx: &mut EngineCtx,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let start = Instant::now();
+        let schedule = sequential::run(topo, set, &mut ctx.merged)?;
+        let power = ctx.meter_schedule(topo, &schedule);
+        let rounds = schedule.num_rounds();
+        Ok(RouteOutcome {
+            router: self.name(),
+            schedule,
+            rounds,
+            power,
+            timings: PhaseTimings::total_only(elapsed_ns(start)),
+            extra: RouteExtra::None,
+        })
+    }
+}

@@ -15,8 +15,8 @@
 //! on many structured families (not guaranteed minimal in general; the
 //! crossing graph is not an interval graph).
 
-use crate::scheduler::{self, CsaOutcome};
-use cst_comm::{CommId, CommSet, Communication, Round, Schedule};
+use crate::scheduler::{CsaOutcome, CsaScratch};
+use cst_comm::{CommId, CommSet, Communication, Round, Schedule, SchedulePool};
 use cst_core::{CstError, CstTopology};
 
 /// The layer decomposition of a set.
@@ -87,7 +87,21 @@ impl LayeredOutcome {
 }
 
 /// Schedule an arbitrary right-oriented set: layer, then CSA each layer.
+#[deprecated(note = "dispatch through cst-engine's registry (router \"layered\") or use \
+                     schedule_layered_in with a reused CsaScratch")]
 pub fn schedule_layered(topo: &CstTopology, set: &CommSet) -> Result<LayeredOutcome, CstError> {
+    let mut pool = SchedulePool::new();
+    schedule_layered_in(&mut CsaScratch::new(), &mut pool, topo, set)
+}
+
+/// [`schedule_layered`], reusing an engine's CSA scratch and pool for the
+/// per-layer CSA runs.
+pub fn schedule_layered_in(
+    csa: &mut CsaScratch,
+    pool: &mut SchedulePool,
+    topo: &CstTopology,
+    set: &CommSet,
+) -> Result<LayeredOutcome, CstError> {
     set.require_right_oriented()?;
     let layering = decompose(set);
     let mut schedule = Schedule::default();
@@ -96,7 +110,7 @@ pub fn schedule_layered(topo: &CstTopology, set: &CommSet) -> Result<LayeredOutc
         let comms: Vec<Communication> = ids.iter().map(|&CommId(i)| set.comms()[i]).collect();
         let sub = CommSet::new(set.num_leaves(), comms)?;
         debug_assert!(sub.is_well_nested(), "layers are crossing-free by construction");
-        let out = scheduler::schedule(topo, &sub)?;
+        let out = csa.schedule(topo, &sub, pool)?;
         for round in &out.schedule.rounds {
             schedule.rounds.push(Round {
                 comms: round.comms.iter().map(|&CommId(k)| ids[k]).collect(),
@@ -109,6 +123,7 @@ pub fn schedule_layered(topo: &CstTopology, set: &CommSet) -> Result<LayeredOutc
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
 

@@ -18,11 +18,13 @@
 //!
 //! ```
 //! use cst_core::CstTopology;
-//! use cst_comm::CommSet;
+//! use cst_comm::{CommSet, SchedulePool};
+//! use cst_padr::CsaScratch;
 //!
 //! let topo = CstTopology::with_leaves(8);
 //! let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]); // width 3
-//! let out = cst_padr::schedule(&topo, &set).unwrap();
+//! let (mut csa, mut pool) = (CsaScratch::new(), SchedulePool::new());
+//! let out = csa.schedule(&topo, &set, &mut pool).unwrap();
 //! assert_eq!(out.rounds(), 3); // Theorem 5
 //! let report = cst_padr::verify_outcome(&topo, &set, &out).unwrap();
 //! assert!(report.max_port_transitions <= cst_padr::CSA_PORT_TRANSITION_BOUND);
@@ -40,14 +42,32 @@ pub mod switch_logic;
 pub mod universal;
 pub mod verifier;
 
-pub use layers::{decompose, schedule_layered, LayeredOutcome, Layering};
+pub use layers::{decompose, schedule_layered_in, LayeredOutcome, Layering};
 pub use messages::{DownMsg, ReqKind, UpMsg, WORDS_DOWN, WORDS_UP};
-pub use parallel::{schedule_parallel, schedule_parallel_threaded};
-pub use orientation::{mirror_round_configs, schedule_general, verify_general, GeneralOutcome};
-pub use universal::{schedule_any, UniversalOutcome};
+pub use parallel::ParallelScratch;
+pub use orientation::{
+    mirror_round_configs, schedule_general_in, verify_general, GeneralOutcome,
+};
+pub use universal::{schedule_any_in, UniversalOutcome};
 pub use phase1::{Phase1, SwitchState};
-pub use merge::{merge_schedules, schedule_general_merged};
-pub use scheduler::{schedule, schedule_with, trace_circuit, ControlMetrics, CsaOutcome, Options};
+pub use merge::{merge_schedules, schedule_general_merged_in};
+pub use scheduler::{trace_circuit, ControlMetrics, CsaOutcome, CsaScratch, CsaTimings, Options};
 pub use session::{BatchReport, PadrSession};
 pub use switch_logic::{step, StepError, StepResult};
 pub use verifier::{verify_outcome, verify_phase1, VerifyReport, CSA_PORT_TRANSITION_BOUND};
+
+// Deprecated free-function entry points, re-exported for one more PR so
+// downstream call sites migrate on their own schedule. New code dispatches
+// through cst-engine's registry or the `*_in`/scratch forms above.
+#[allow(deprecated)]
+pub use layers::schedule_layered;
+#[allow(deprecated)]
+pub use merge::schedule_general_merged;
+#[allow(deprecated)]
+pub use orientation::schedule_general;
+#[allow(deprecated)]
+pub use parallel::{schedule_parallel, schedule_parallel_threaded};
+#[allow(deprecated)]
+pub use scheduler::{schedule, schedule_with};
+#[allow(deprecated)]
+pub use universal::schedule_any;

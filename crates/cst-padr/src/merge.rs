@@ -15,7 +15,8 @@
 //! `max(w_right, w_left)` when the halves never collide (mirror-symmetric
 //! workloads hit this, see tests).
 
-use cst_comm::{Round, Schedule};
+use crate::scheduler::CsaScratch;
+use cst_comm::{Round, Schedule, SchedulePool};
 use cst_core::{CstError, CstTopology, SwitchConfig};
 
 /// True if every connection of `b` can be added to `a`'s switches without
@@ -70,11 +71,24 @@ pub fn merge_schedules(a: &Schedule, b: &Schedule) -> Schedule {
 /// Schedule a mixed-orientation well-nested set with round merging:
 /// like [`crate::orientation::schedule_general`] but interleaving the two
 /// halves instead of concatenating them.
+#[deprecated(note = "dispatch through cst-engine's registry (router \"general-merged\") or use \
+                     schedule_general_merged_in with a reused CsaScratch")]
 pub fn schedule_general_merged(
     topo: &CstTopology,
     set: &cst_comm::CommSet,
 ) -> Result<Schedule, CstError> {
-    let general = crate::orientation::schedule_general(topo, set)?;
+    let mut pool = SchedulePool::new();
+    schedule_general_merged_in(&mut CsaScratch::new(), &mut pool, topo, set)
+}
+
+/// [`schedule_general_merged`], reusing an engine's CSA scratch and pool.
+pub fn schedule_general_merged_in(
+    csa: &mut CsaScratch,
+    pool: &mut SchedulePool,
+    topo: &CstTopology,
+    set: &cst_comm::CommSet,
+) -> Result<Schedule, CstError> {
+    let general = crate::orientation::schedule_general_in(csa, pool, topo, set)?;
     // Split the combined (concatenated) schedule back into its halves.
     let right_part = Schedule {
         rounds: general.schedule.rounds[..general.right_rounds].to_vec(),
@@ -87,6 +101,7 @@ pub fn schedule_general_merged(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::CommSet;

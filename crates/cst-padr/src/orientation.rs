@@ -15,8 +15,8 @@
 //! orientation *can* still collide on `p_o`/`l_o`/`r_o` ports, so the
 //! simple composition is what we ship; the bound is at most 2× optimal.
 
-use crate::scheduler::{self, CsaOutcome};
-use cst_comm::{CommId, CommSet, Round, Schedule};
+use crate::scheduler::{CsaOutcome, CsaScratch};
+use cst_comm::{CommId, CommSet, Round, Schedule, SchedulePool};
 use cst_core::{Connection, CstError, CstTopology, NodeId, RoundConfigs, Side, SwitchConfig};
 
 /// Outcome of scheduling a mixed-orientation set.
@@ -81,7 +81,22 @@ fn mirror_config(cfg: &SwitchConfig) -> SwitchConfig {
 }
 
 /// Schedule a possibly mixed-orientation well-nested set.
+#[deprecated(note = "dispatch through cst-engine's registry (router \"general\") or use \
+                     schedule_general_in with a reused CsaScratch")]
 pub fn schedule_general(topo: &CstTopology, set: &CommSet) -> Result<GeneralOutcome, CstError> {
+    let mut pool = SchedulePool::new();
+    schedule_general_in(&mut CsaScratch::new(), &mut pool, topo, set)
+}
+
+/// [`schedule_general`], reusing an engine's CSA scratch and pool for the
+/// per-half CSA runs. (The decomposition and mirroring themselves build
+/// fresh sets; only the inner CSA runs are allocation-pooled.)
+pub fn schedule_general_in(
+    csa: &mut CsaScratch,
+    pool: &mut SchedulePool,
+    topo: &CstTopology,
+    set: &CommSet,
+) -> Result<GeneralOutcome, CstError> {
     set.require_well_nested()?;
     let (right_half, left_half) = set.decompose();
 
@@ -92,7 +107,7 @@ pub fn schedule_general(topo: &CstTopology, set: &CommSet) -> Result<GeneralOutc
     let right_out = if right_half.set.is_empty() {
         None
     } else {
-        let out = scheduler::schedule(topo, &right_half.set)?;
+        let out = csa.schedule(topo, &right_half.set, pool)?;
         right_rounds = out.rounds();
         for round in &out.schedule.rounds {
             schedule.rounds.push(Round {
@@ -108,7 +123,7 @@ pub fn schedule_general(topo: &CstTopology, set: &CommSet) -> Result<GeneralOutc
     } else {
         // Mirror, schedule, reflect back.
         let mirrored = left_half.set.mirrored();
-        let out = scheduler::schedule(topo, &mirrored)?;
+        let out = csa.schedule(topo, &mirrored, pool)?;
         left_rounds = out.rounds();
         for round in &out.schedule.rounds {
             schedule.rounds.push(Round {
@@ -153,6 +168,7 @@ pub fn verify_general(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
 

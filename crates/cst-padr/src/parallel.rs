@@ -50,12 +50,11 @@
 //! per-round in the tests below and in `tests/cross_scheduler.rs`.
 
 use crate::messages::{DownMsg, ReqKind};
-use crate::phase1::{self, SwitchState};
+use crate::phase1::{self, Phase1, SwitchState};
 use crate::scheduler::CsaOutcome;
 use crate::switch_logic::step;
-use cst_comm::{CommId, CommSet, Round, Schedule};
+use cst_comm::{CommId, CommSet, Schedule, SchedulePool, WellNestedChecker};
 use cst_core::{ConfigArena, CstError, CstTopology, LeafId, NodeId, PowerMeter, SwitchConfig};
-use std::collections::HashMap;
 
 /// Where a sweep deposits the configurations of the switches it touched.
 trait ConnSink {
@@ -285,25 +284,28 @@ struct WorkerRound {
 
 /// Coordinator-side round state shared by the inline and threaded
 /// drivers: top-switch states, the dense merge arena, the meter, and the
-/// schedule under construction. All per-round buffers are persistent.
+/// schedule under construction. All per-round buffers are borrowed from
+/// the [`ParallelScratch`] so they persist across requests.
 struct Coordinator<'t> {
     topo: &'t CstTopology,
-    by_source: HashMap<LeafId, (CommId, LeafId)>,
+    /// Pairing oracle: source leaf -> (comm id, dest leaf), dense by leaf.
+    by_source: &'t [Option<(CommId, LeafId)>],
     meter: PowerMeter,
     schedule: Schedule,
-    arena: ConfigArena,
+    arena: &'t mut ConfigArena,
+    pool: &'t mut SchedulePool,
     /// Top switch states (depth < cut): global heap ids 1..num_sub.
-    top_states: Vec<SwitchState>,
+    top_states: &'t mut [SwitchState],
     /// Persistent top-sweep scratch; left all-NULL (or fully rewritten)
     /// by each round's sweep.
-    top_msgs: Vec<DownMsg>,
+    top_msgs: &'t mut [DownMsg],
     /// Requests for the subtree roots, indexed by global id
     /// `num_sub..2*num_sub`.
-    sub_reqs: Vec<DownMsg>,
+    sub_reqs: &'t mut [DownMsg],
     /// Circuits traced inside a subtree this round.
-    traced: Vec<(LeafId, LeafId)>,
+    traced: &'t mut Vec<(LeafId, LeafId)>,
     /// Cut-crossing sources to trace over the merged arena this round.
-    active_sources: Vec<LeafId>,
+    active_sources: &'t mut Vec<LeafId>,
     num_sub: usize,
     scheduled_total: usize,
     set_len: usize,
@@ -380,7 +382,7 @@ impl Coordinator<'_> {
         scratch: &mut WorkerRound,
     ) -> Result<(), CstError> {
         let req = self.sub_req(i);
-        let mut sink = ArenaSink { arena: &mut self.arena, meter: &mut self.meter };
+        let mut sink = ArenaSink { arena: self.arena, meter: &mut self.meter };
         st.sweep(req, &mut sink, scratch)?;
         self.traced.append(&mut scratch.traced);
         self.active_sources.append(&mut scratch.deferred);
@@ -390,102 +392,138 @@ impl Coordinator<'_> {
     /// Verify this round's circuits, recover the communication ids, and
     /// extract the round from the arena.
     fn finish_round(&mut self) -> Result<(), CstError> {
-        let mut comms: Vec<CommId> =
-            Vec::with_capacity(self.traced.len() + self.active_sources.len());
+        let mut round = self.pool.take_round();
         // Locally-traced circuits: just check the pairing.
-        for &(src, dest) in &self.traced {
-            let &(id, expected) = self.by_source.get(&src).ok_or(CstError::ProtocolViolation {
+        for &(src, dest) in self.traced.iter() {
+            let (id, expected) = self.by_source[src.0].ok_or_else(|| CstError::ProtocolViolation {
                 node: self.topo.leaf_node(src),
                 detail: "non-source PE activated".into(),
             })?;
             if dest != expected {
                 return Err(CstError::DeliveryMismatch { dest });
             }
-            comms.push(id);
+            round.comms.push(id);
         }
         // Cut-crossing circuits: trace over the merged arena.
         self.active_sources.sort_unstable();
-        for &src in &self.active_sources {
-            let dest = crate::scheduler::trace_circuit(self.topo, &self.arena, src)?;
-            let &(id, expected) = self.by_source.get(&src).ok_or(CstError::ProtocolViolation {
+        for &src in self.active_sources.iter() {
+            let dest = crate::scheduler::trace_circuit(self.topo, &*self.arena, src)?;
+            let (id, expected) = self.by_source[src.0].ok_or_else(|| CstError::ProtocolViolation {
                 node: self.topo.leaf_node(src),
                 detail: "non-source PE activated".into(),
             })?;
             if dest != expected {
                 return Err(CstError::DeliveryMismatch { dest });
             }
-            comms.push(id);
+            round.comms.push(id);
         }
-        if comms.is_empty() {
+        if round.comms.is_empty() {
             return Err(CstError::ProtocolViolation {
                 node: NodeId::ROOT,
                 detail: "parallel round made no progress".into(),
             });
         }
-        self.scheduled_total += comms.len();
-        comms.sort_unstable();
-        self.schedule.rounds.push(Round { comms, configs: self.arena.take_round() });
+        self.scheduled_total += round.comms.len();
+        round.comms.sort_unstable();
+        self.arena.take_round_into(&mut round.configs);
+        self.schedule.rounds.push(round);
         self.traced.clear();
         self.active_sources.clear();
         Ok(())
     }
 }
 
-/// Schedule with `threads` worker threads (clamped to the subtree count).
-/// Produces output identical to [`crate::scheduler::schedule`] (schedule,
-/// power, meter); the `metrics` field carries only the storage constant —
-/// use the serial driver when the control-word counters matter.
-///
-/// Worker threads are only spawned when the host can actually run them
-/// concurrently (`std::thread::available_parallelism() > 1`); otherwise
-/// the same subtree decomposition executes inline on the calling thread,
-/// with identical output.
-pub fn schedule_parallel(
-    topo: &CstTopology,
-    set: &CommSet,
-    threads: usize,
-) -> Result<CsaOutcome, CstError> {
-    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    schedule_parallel_impl(topo, set, threads, cores > 1)
+/// Reusable state for the parallel CSA driver: the subtree decomposition
+/// (worker-local heaps), the coordinator's merge buffers, and the Phase-1
+/// tables, all kept warm across requests. The decomposition is rebuilt only
+/// when the topology size or the subtree count changes; everything else is
+/// refilled in place.
+#[derive(Default)]
+pub struct ParallelScratch {
+    p1: Phase1,
+    nest: WellNestedChecker,
+    subtrees: Vec<Subtree>,
+    /// Sizing key of the current decomposition.
+    num_leaves: usize,
+    num_sub: usize,
+    by_source: Vec<Option<(CommId, LeafId)>>,
+    top_states: Vec<SwitchState>,
+    top_msgs: Vec<DownMsg>,
+    sub_reqs: Vec<DownMsg>,
+    traced: Vec<(LeafId, LeafId)>,
+    active_sources: Vec<LeafId>,
+    arena: ConfigArena,
 }
 
-/// Like [`schedule_parallel`], but always spawns worker threads, even when
-/// `available_parallelism()` reports a single core. Stress tests use this
-/// to exercise the cross-thread merge path (the race class `cst-check`
-/// flags as `CST070`) regardless of host scheduling.
-pub fn schedule_parallel_threaded(
-    topo: &CstTopology,
-    set: &CommSet,
-    threads: usize,
-) -> Result<CsaOutcome, CstError> {
-    schedule_parallel_impl(topo, set, threads, true)
-}
+impl ParallelScratch {
+    /// Empty scratch; the decomposition is built on first use.
+    pub fn new() -> Self {
+        ParallelScratch::default()
+    }
 
-fn schedule_parallel_impl(
-    topo: &CstTopology,
-    set: &CommSet,
-    threads: usize,
-    spawn_threads: bool,
-) -> Result<CsaOutcome, CstError> {
-    set.require_right_oriented()?;
-    set.require_well_nested()?;
-    let p1 = phase1::run(topo, set)?;
+    /// Schedule with `threads` worker threads (clamped to the subtree
+    /// count). Produces output identical to the serial CSA (schedule,
+    /// power, meter); the `metrics` field carries only the storage
+    /// constant — use the serial driver when the control-word counters
+    /// matter.
+    ///
+    /// Worker threads are only spawned when the host can actually run them
+    /// concurrently (`std::thread::available_parallelism() > 1`); otherwise
+    /// the same subtree decomposition executes inline on the calling
+    /// thread, with identical output.
+    pub fn schedule(
+        &mut self,
+        topo: &CstTopology,
+        set: &CommSet,
+        threads: usize,
+        pool: &mut SchedulePool,
+    ) -> Result<CsaOutcome, CstError> {
+        let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        self.run(topo, set, threads, cores > 1, pool)
+    }
 
-    // Cut depth: enough subtrees to feed the workers, but never deeper
-    // than one level above the leaves.
-    let max_cut = topo.height().saturating_sub(1);
-    let want = threads.max(1).next_power_of_two().trailing_zeros();
-    let cut = want.min(max_cut);
-    let num_sub = 1usize << cut;
+    /// Like [`ParallelScratch::schedule`], but always spawns worker
+    /// threads, even when `available_parallelism()` reports a single core.
+    /// Stress tests use this to exercise the cross-thread merge path (the
+    /// race class `cst-check` flags as `CST070`) regardless of host
+    /// scheduling.
+    pub fn schedule_threaded(
+        &mut self,
+        topo: &CstTopology,
+        set: &CommSet,
+        threads: usize,
+        pool: &mut SchedulePool,
+    ) -> Result<CsaOutcome, CstError> {
+        self.run(topo, set, threads, true, pool)
+    }
 
-    // Build subtrees, each owning its local state copy.
-    let sub_height = topo.height() - cut;
-    let mut subtrees: Vec<Subtree> = (0..num_sub)
-        .map(|i| {
-            let root = NodeId(num_sub + i);
+    fn run(
+        &mut self,
+        topo: &CstTopology,
+        set: &CommSet,
+        threads: usize,
+        spawn_threads: bool,
+        pool: &mut SchedulePool,
+    ) -> Result<CsaOutcome, CstError> {
+        set.require_right_oriented()?;
+        self.nest.require(set)?;
+        phase1::run_into(topo, set, &mut self.p1)?;
+
+        // Cut depth: enough subtrees to feed the workers, but never deeper
+        // than one level above the leaves.
+        let max_cut = topo.height().saturating_sub(1);
+        let want = threads.max(1).next_power_of_two().trailing_zeros();
+        let cut = want.min(max_cut);
+        let num_sub = 1usize << cut;
+        let sub_height = topo.height() - cut;
+
+        // (Re)build the decomposition's structural vectors only when the
+        // shape changed; the per-request state refill below runs either way.
+        if self.num_leaves != topo.num_leaves() || self.num_sub != num_sub {
             let leaves = 1usize << sub_height;
-            let mut st = Subtree {
-                root,
+            self.subtrees.clear();
+            self.subtrees.extend((0..num_sub).map(|i| Subtree {
+                root: NodeId(num_sub + i),
                 height: sub_height,
                 states: vec![SwitchState::default(); 2 * leaves],
                 matched_remaining: vec![0; 2 * leaves],
@@ -495,9 +533,15 @@ fn schedule_parallel_impl(
                 touched: Vec::new(),
                 stack: Vec::new(),
                 sources: Vec::new(),
-            };
-            // copy global phase-1 states into local heap and compute
-            // matched_remaining bottom-up
+            }));
+            self.num_leaves = topo.num_leaves();
+            self.num_sub = num_sub;
+        }
+
+        // Refill worker-local state from this request's Phase-1 tables.
+        let p1 = &self.p1;
+        for st in &mut self.subtrees {
+            let leaves = st.num_leaves();
             for l in (1..leaves).rev() {
                 st.states[l] = *p1.state(st.global(l));
             }
@@ -506,46 +550,103 @@ fn schedule_parallel_impl(
                 st.matched_remaining[l] =
                     st.states[l].matched + below(2 * l) + below(2 * l + 1);
             }
-            st
+            // A prior error may have left sweep scratch dirty; reset it.
+            st.msgs.fill(DownMsg::NULL);
+            st.local.fill(SwitchConfig::empty());
+            st.touched.clear();
+            st.stack.clear();
+            st.sources.clear();
+        }
+
+        self.by_source.clear();
+        self.by_source.resize(set.num_leaves(), None);
+        for (id, c) in set.iter() {
+            self.by_source[c.source.0] = Some((id, c.dest));
+        }
+        self.top_states.clear();
+        self.top_states.extend((0..num_sub).map(|i| {
+            if i >= 1 { *p1.state(NodeId(i)) } else { SwitchState::default() }
+        }));
+        self.top_msgs.clear();
+        self.top_msgs.resize(2 * num_sub, DownMsg::NULL);
+        self.sub_reqs.clear();
+        self.sub_reqs.resize(2 * num_sub, DownMsg::NULL);
+        self.traced.clear();
+        self.active_sources.clear();
+        self.arena.reset_for(topo);
+
+        let mut co = Coordinator {
+            topo,
+            by_source: &self.by_source,
+            meter: pool.take_meter(topo),
+            schedule: pool.take_schedule(),
+            arena: &mut self.arena,
+            pool,
+            top_states: &mut self.top_states,
+            top_msgs: &mut self.top_msgs,
+            sub_reqs: &mut self.sub_reqs,
+            traced: &mut self.traced,
+            active_sources: &mut self.active_sources,
+            num_sub,
+            scheduled_total: 0,
+            set_len: set.len(),
+            round_limit: set.len() + 1,
+        };
+
+        let worker_count = threads.clamp(1, num_sub);
+        if spawn_threads && worker_count > 1 {
+            run_threaded(&mut co, &mut self.subtrees, worker_count)?;
+        } else {
+            run_inline(&mut co, &mut self.subtrees)?;
+        }
+
+        let power = co.meter.report(topo);
+        Ok(CsaOutcome {
+            schedule: co.schedule,
+            power,
+            meter: co.meter,
+            metrics: crate::scheduler::ControlMetrics {
+                words_stored_per_switch: SwitchState::WORDS,
+                ..Default::default()
+            },
         })
-        .collect();
-
-    let mut co = Coordinator {
-        topo,
-        by_source: set.iter().map(|(id, c)| (c.source, (id, c.dest))).collect(),
-        meter: PowerMeter::new(topo),
-        schedule: Schedule::default(),
-        arena: ConfigArena::new(topo),
-        top_states: (0..num_sub)
-            .map(|i| if i >= 1 { *p1.state(NodeId(i)) } else { SwitchState::default() })
-            .collect(),
-        top_msgs: vec![DownMsg::NULL; 2 * num_sub],
-        sub_reqs: vec![DownMsg::NULL; 2 * num_sub],
-        traced: Vec::new(),
-        active_sources: Vec::new(),
-        num_sub,
-        scheduled_total: 0,
-        set_len: set.len(),
-        round_limit: set.len() + 1,
-    };
-
-    let worker_count = threads.clamp(1, num_sub);
-    if spawn_threads && worker_count > 1 {
-        run_threaded(&mut co, &mut subtrees, worker_count)?;
-    } else {
-        run_inline(&mut co, &mut subtrees)?;
     }
+}
 
-    let power = co.meter.report(topo);
-    Ok(CsaOutcome {
-        schedule: co.schedule,
-        power,
-        meter: co.meter,
-        metrics: crate::scheduler::ControlMetrics {
-            words_stored_per_switch: SwitchState::WORDS,
-            ..Default::default()
-        },
-    })
+/// One-shot adaptive parallel scheduling (rebuilds all scratch per call).
+#[deprecated(note = "dispatch through cst-engine's registry (router \"csa-parallel\") or \
+                     reuse a ParallelScratch; this wrapper rebuilds the decomposition per call")]
+pub fn schedule_parallel(
+    topo: &CstTopology,
+    set: &CommSet,
+    threads: usize,
+) -> Result<CsaOutcome, CstError> {
+    let mut pool = SchedulePool::new();
+    ParallelScratch::new().schedule(topo, set, threads, &mut pool)
+}
+
+/// One-shot forced-threads parallel scheduling (rebuilds all scratch per
+/// call).
+#[deprecated(note = "dispatch through cst-engine's registry (router \"csa-threaded\") or \
+                     reuse a ParallelScratch; this wrapper rebuilds the decomposition per call")]
+pub fn schedule_parallel_threaded(
+    topo: &CstTopology,
+    set: &CommSet,
+    threads: usize,
+) -> Result<CsaOutcome, CstError> {
+    let mut pool = SchedulePool::new();
+    ParallelScratch::new().schedule_threaded(topo, set, threads, &mut pool)
+}
+
+#[cfg(test)]
+fn schedule_parallel_impl(
+    topo: &CstTopology,
+    set: &CommSet,
+    threads: usize,
+    spawn_threads: bool,
+) -> Result<CsaOutcome, CstError> {
+    let mut pool = SchedulePool::new();
+    ParallelScratch::new().run(topo, set, threads, spawn_threads, &mut pool)
 }
 
 /// Single-thread driver: the same decomposition, swept on the calling
@@ -656,6 +757,7 @@ fn run_threaded(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::examples;

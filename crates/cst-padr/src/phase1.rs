@@ -57,7 +57,7 @@ impl SwitchState {
 }
 
 /// Result of the Phase-1 sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Phase1 {
     /// Dense per-node table of switch states (leaves hold zeroed entries).
     pub states: Vec<SwitchState>,
@@ -97,44 +97,61 @@ impl Phase1 {
 /// *not* checked here (the scheduler's entry point validates them); Phase 1
 /// is exactly the paper's local computation.
 pub fn run(topo: &CstTopology, set: &CommSet) -> Result<Phase1, CstError> {
+    let mut p1 = Phase1 { states: Vec::new(), up_msgs: Vec::new(), roles: Vec::new() };
+    run_into(topo, set, &mut p1)?;
+    Ok(p1)
+}
+
+/// [`run`], writing into an existing [`Phase1`] whose buffers are reused.
+///
+/// A long-lived engine calls this once per request; after the buffers have
+/// grown to the topology size the sweep allocates nothing.
+pub fn run_into(topo: &CstTopology, set: &CommSet, p1: &mut Phase1) -> Result<(), CstError> {
     assert_eq!(topo.num_leaves(), set.num_leaves(), "set/topology size mismatch");
     let n = topo.node_table_len();
-    let mut states = vec![SwitchState::default(); n];
-    let mut up_msgs = vec![UpMsg::default(); n];
-    let roles = set.roles();
+    p1.states.clear();
+    p1.states.resize(n, SwitchState::default());
+    p1.up_msgs.clear();
+    p1.up_msgs.resize(n, UpMsg::default());
+    p1.roles.clear();
+    p1.roles.resize(set.num_leaves(), PeRole::Idle);
+    for c in set.comms() {
+        p1.roles[c.source.0] = PeRole::Source;
+        p1.roles[c.dest.0] = PeRole::Destination;
+    }
 
     // Step 1.1: leaves announce.
     for leaf in topo.leaves() {
-        let (s, d) = roles[leaf.0].announcement();
-        up_msgs[topo.leaf_node(leaf).index()] = UpMsg { sources: s, dests: d };
+        let (s, d) = p1.roles[leaf.0].announcement();
+        p1.up_msgs[topo.leaf_node(leaf).index()] = UpMsg { sources: s, dests: d };
     }
 
     // Steps 1.2-1.3: internal switches, bottom-up.
     for u in topo.switches_bottom_up() {
-        let l = up_msgs[u.left_child().index()];
-        let r = up_msgs[u.right_child().index()];
+        let l = p1.up_msgs[u.left_child().index()];
+        let r = p1.up_msgs[u.right_child().index()];
         let matched = l.sources.min(r.dests);
-        states[u.index()] = SwitchState {
+        p1.states[u.index()] = SwitchState {
             matched,
             left_sources: l.sources - matched,
             right_sources: r.sources,
             left_dests: l.dests,
             right_dests: r.dests - matched,
         };
-        up_msgs[u.index()] = UpMsg {
+        p1.up_msgs[u.index()] = UpMsg {
             sources: l.sources - matched + r.sources,
             dests: l.dests + r.dests - matched,
         };
     }
 
-    let root = up_msgs[NodeId::ROOT.index()];
+    let root = p1.up_msgs[NodeId::ROOT.index()];
     if root.sources != 0 || root.dests != 0 {
         return Err(CstError::IncompleteSet {
             unmatched_sources: root.sources,
             unmatched_dests: root.dests,
         });
     }
-    Ok(Phase1 { states, up_msgs, roles })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -17,12 +17,12 @@
 use crate::messages::{DownMsg, ReqKind, WORDS_DOWN, WORDS_UP};
 use crate::phase1::{self, Phase1};
 use crate::switch_logic::{step, StepError};
-use cst_comm::{CommId, CommSet, Round, Schedule};
+use cst_comm::{CommId, CommSet, Schedule, SchedulePool, WellNestedChecker};
 use cst_core::{
     ConfigArena, ConfigLookup, CstError, CstTopology, LeafId, NodeId, PowerMeter, PowerReport,
     Side,
 };
-use std::collections::HashMap;
+use std::time::Instant;
 
 /// Control-plane cost counters (Theorem 5's efficiency claims, experiment
 /// E4). All quantities are exact counts for this execution.
@@ -77,24 +77,121 @@ impl Default for Options {
     }
 }
 
+/// Wall-clock nanoseconds of the last [`CsaScratch`] run, split by phase.
+/// (The engine's outcome normalization surfaces these per request.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CsaTimings {
+    /// Input validation (orientation + well-nestedness).
+    pub validate_ns: u64,
+    /// Phase 1 bottom-up counter sweep.
+    pub phase1_ns: u64,
+    /// Phase 2 round sweeps (including circuit tracing and metering).
+    pub rounds_ns: u64,
+}
+
+/// Reusable buffers for the Phase-2 sweep. Sized lazily to the topology and
+/// kept across calls so steady-state scheduling never touches the allocator.
+#[derive(Debug, Default)]
+struct Phase2Buffers {
+    /// Pairing oracle: source leaf -> (comm id, dest leaf), dense by leaf.
+    by_source: Vec<Option<(CommId, LeafId)>>,
+    /// Unscheduled matched communications per subtree (pruning).
+    matched_remaining: Vec<u32>,
+    /// Pending downward message per node.
+    msgs: Vec<DownMsg>,
+    /// Dense per-round switch-setting scratch.
+    arena: ConfigArena,
+    /// DFS stack for the top-down sweep.
+    stack: Vec<NodeId>,
+    /// Source leaves activated this round.
+    active_sources: Vec<LeafId>,
+}
+
+/// Reusable state for running the serial CSA back to back.
+///
+/// Owns the Phase-1 counter tables, the Phase-2 sweep buffers, and the
+/// well-nestedness checker's scratch; paired with a [`SchedulePool`] (for
+/// the outcome's schedule, rounds, and meter) a warm scratch schedules a
+/// request with **zero** allocations — the property the engine's allocation
+/// gate pins.
+#[derive(Debug, Default)]
+pub struct CsaScratch {
+    p1: Phase1,
+    nest: WellNestedChecker,
+    bufs: Phase2Buffers,
+    timings: CsaTimings,
+}
+
+impl CsaScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CsaScratch::default()
+    }
+
+    /// Schedule `set` on `topo` with default options, reusing this scratch
+    /// and drawing the outcome's allocations from `pool`.
+    pub fn schedule(
+        &mut self,
+        topo: &CstTopology,
+        set: &CommSet,
+        pool: &mut SchedulePool,
+    ) -> Result<CsaOutcome, CstError> {
+        self.schedule_with(topo, set, Options::default(), pool)
+    }
+
+    /// [`CsaScratch::schedule`] with explicit host-driver options.
+    ///
+    /// Validates that the set is right-oriented and well-nested first;
+    /// Phase 1 additionally rejects incomplete sets.
+    pub fn schedule_with(
+        &mut self,
+        topo: &CstTopology,
+        set: &CommSet,
+        options: Options,
+        pool: &mut SchedulePool,
+    ) -> Result<CsaOutcome, CstError> {
+        let t0 = Instant::now();
+        set.require_right_oriented()?;
+        self.nest.require(set)?;
+        let t1 = Instant::now();
+        phase1::run_into(topo, set, &mut self.p1)?;
+        let t2 = Instant::now();
+        let out = phase2_core(topo, set, &mut self.p1, options, &mut self.bufs, pool);
+        self.timings = CsaTimings {
+            validate_ns: (t1 - t0).as_nanos() as u64,
+            phase1_ns: (t2 - t1).as_nanos() as u64,
+            rounds_ns: t2.elapsed().as_nanos() as u64,
+        };
+        out
+    }
+
+    /// Phase timings of the most recent run.
+    pub fn timings(&self) -> CsaTimings {
+        self.timings
+    }
+}
+
 /// Schedule `set` on `topo` with the power-aware CSA.
 ///
 /// Validates that the set is right-oriented and well-nested first; Phase 1
 /// additionally rejects incomplete sets.
+#[deprecated(note = "dispatch through cst-engine's registry (router \"csa\") or \
+                     reuse a CsaScratch; this wrapper rebuilds all scratch per call")]
 pub fn schedule(topo: &CstTopology, set: &CommSet) -> Result<CsaOutcome, CstError> {
+    #[allow(deprecated)]
     schedule_with(topo, set, Options::default())
 }
 
 /// [`schedule`] with explicit host-driver options.
+#[deprecated(note = "dispatch through cst-engine's registry (router \"csa\" / \"csa-no-prune\") \
+                     or reuse a CsaScratch; this wrapper rebuilds all scratch per call")]
 pub fn schedule_with(
     topo: &CstTopology,
     set: &CommSet,
     options: Options,
 ) -> Result<CsaOutcome, CstError> {
-    set.require_right_oriented()?;
-    set.require_well_nested()?;
-    let mut p1 = phase1::run(topo, set)?;
-    run_phase2_with(topo, set, &mut p1, options)
+    let mut pool = SchedulePool::new();
+    CsaScratch::new().schedule_with(topo, set, options, &mut pool)
 }
 
 /// Phase 2 proper, reusing an existing Phase-1 result. Exposed separately
@@ -114,6 +211,22 @@ pub fn run_phase2_with(
     p1: &mut Phase1,
     options: Options,
 ) -> Result<CsaOutcome, CstError> {
+    let mut bufs = Phase2Buffers::default();
+    let mut pool = SchedulePool::new();
+    phase2_core(topo, set, p1, options, &mut bufs, &mut pool)
+}
+
+/// The round driver proper. All working storage comes from `bufs` and
+/// `pool`; with warm buffers this function performs no allocation on the
+/// success path (error details may format strings).
+fn phase2_core(
+    topo: &CstTopology,
+    set: &CommSet,
+    p1: &mut Phase1,
+    options: Options,
+    bufs: &mut Phase2Buffers,
+    pool: &mut SchedulePool,
+) -> Result<CsaOutcome, CstError> {
     let n = topo.node_table_len();
     let mut metrics = ControlMetrics {
         words_stored_per_switch: phase1::SwitchState::WORDS,
@@ -121,16 +234,21 @@ pub fn run_phase2_with(
         ..Default::default()
     };
 
+    let Phase2Buffers { by_source, matched_remaining, msgs, arena, stack, active_sources } = bufs;
+
     // Pairing oracle for verification: source leaf -> (comm id, dest leaf).
-    let by_source: HashMap<LeafId, (CommId, LeafId)> = set
-        .iter()
-        .map(|(id, c)| (c.source, (id, c.dest)))
-        .collect();
+    // Dense by leaf index — the former HashMap allocated per call.
+    by_source.clear();
+    by_source.resize(set.num_leaves(), None);
+    for (id, c) in set.iter() {
+        by_source[c.source.0] = Some((id, c.dest));
+    }
 
     // `matched_remaining[u]` = unscheduled communications matched anywhere
     // in the subtree of `u`; lets the sweep skip quiescent subtrees that
     // received [null, null].
-    let mut matched_remaining = vec![0u32; n];
+    matched_remaining.clear();
+    matched_remaining.resize(n, 0);
     for u in topo.switches_bottom_up() {
         let below = |c: NodeId| {
             if topo.is_internal(c) {
@@ -143,14 +261,15 @@ pub fn run_phase2_with(
             p1.states[u.index()].matched + below(u.left_child()) + below(u.right_child());
     }
 
-    let mut meter = PowerMeter::new(topo);
-    let mut schedule = Schedule::default();
+    let mut meter = pool.take_meter(topo);
+    let mut schedule = pool.take_schedule();
     let mut scheduled_total = 0usize;
-    let mut msgs: Vec<DownMsg> = vec![DownMsg::NULL; n];
+    msgs.clear();
+    msgs.resize(n, DownMsg::NULL);
     // Dense per-round scratch: the sweep writes switch settings into
-    // preallocated slots (O(1) each); take_round() extracts the compact
-    // sorted table at end of round and resets in O(touched).
-    let mut arena = ConfigArena::new(topo);
+    // preallocated slots (O(1) each); take_round_into() extracts the
+    // compact sorted table at end of round and resets in O(touched).
+    arena.reset_for(topo);
     // Hard bound: a width-w set needs exactly w rounds and w <= |set|; the
     // +1 margin lets the overrun check distinguish "done late" from "stuck".
     let round_limit = set.len() + 1;
@@ -160,12 +279,13 @@ pub fn run_phase2_with(
             return Err(CstError::RoundOverrun { limit: round_limit });
         }
         meter.begin_round();
-        let mut comms: Vec<CommId> = Vec::new();
-        let mut active_sources: Vec<LeafId> = Vec::new();
+        let mut round = pool.take_round();
+        active_sources.clear();
 
         // Top-down sweep with quiescent-subtree pruning. The root acts as
         // if it received [null, null].
-        let mut stack: Vec<NodeId> = vec![NodeId::ROOT];
+        stack.clear();
+        stack.push(NodeId::ROOT);
         while let Some(u) = stack.pop() {
             let req = std::mem::replace(&mut msgs[u.index()], DownMsg::NULL);
             if let Some(leaf) = topo.node_leaf(u) {
@@ -237,9 +357,9 @@ pub fn run_phase2_with(
 
         // Trace this round's circuits from the active sources and recover
         // the communication ids (against the arena, before extraction).
-        for src in active_sources {
-            let dest = trace_circuit(topo, &arena, src)?;
-            let &(id, expected_dest) = by_source.get(&src).ok_or_else(|| {
+        for &src in active_sources.iter() {
+            let dest = trace_circuit(topo, arena, src)?;
+            let (id, expected_dest) = by_source[src.0].ok_or_else(|| {
                 CstError::ProtocolViolation {
                     node: topo.leaf_node(src),
                     detail: "non-source PE activated as source".into(),
@@ -248,17 +368,18 @@ pub fn run_phase2_with(
             if dest != expected_dest {
                 return Err(CstError::DeliveryMismatch { dest });
             }
-            comms.push(id);
+            round.comms.push(id);
         }
-        if comms.is_empty() {
+        if round.comms.is_empty() {
             return Err(CstError::ProtocolViolation {
                 node: NodeId::ROOT,
                 detail: "round made no progress".into(),
             });
         }
-        scheduled_total += comms.len();
-        comms.sort_unstable();
-        schedule.rounds.push(Round { comms, configs: arena.take_round() });
+        scheduled_total += round.comms.len();
+        round.comms.sort_unstable();
+        arena.take_round_into(&mut round.configs);
+        schedule.rounds.push(round);
     }
 
     let power = meter.report(topo);
@@ -276,16 +397,16 @@ pub fn trace_circuit<L: ConfigLookup>(
     let mut node = topo.leaf_node(source);
     // Climb: the signal enters the parent on the child's side.
     loop {
-        let p = node.parent().ok_or(CstError::ProtocolViolation {
+        let p = node.parent().ok_or_else(|| CstError::ProtocolViolation {
             node,
             detail: "signal climbed past the root".into(),
         })?;
         let enter = if node.is_left_child() { Side::Left } else { Side::Right };
-        let cfg = configs.config_at(p).ok_or(CstError::ProtocolViolation {
+        let cfg = configs.config_at(p).ok_or_else(|| CstError::ProtocolViolation {
             node: p,
             detail: "signal reached an unconfigured switch".into(),
         })?;
-        let out = cfg.output_of(enter).ok_or(CstError::ProtocolViolation {
+        let out = cfg.output_of(enter).ok_or_else(|| CstError::ProtocolViolation {
             node: p,
             detail: format!("input {enter}i unconnected on signal path"),
         })?;
@@ -297,11 +418,11 @@ pub fn trace_circuit<L: ConfigLookup>(
                 // Turnaround: descend through p_i -> child chains.
                 let mut cur = if out == Side::Left { p.left_child() } else { p.right_child() };
                 while topo.is_internal(cur) {
-                    let c = configs.config_at(cur).ok_or(CstError::ProtocolViolation {
+                    let c = configs.config_at(cur).ok_or_else(|| CstError::ProtocolViolation {
                         node: cur,
                         detail: "descent reached an unconfigured switch".into(),
                     })?;
-                    let to = c.output_of(Side::Parent).ok_or(CstError::ProtocolViolation {
+                    let to = c.output_of(Side::Parent).ok_or_else(|| CstError::ProtocolViolation {
                         node: cur,
                         detail: "descent switch does not forward p_i".into(),
                     })?;
@@ -323,6 +444,7 @@ pub fn trace_circuit<L: ConfigLookup>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the free-function wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::examples;

@@ -11,8 +11,8 @@
 //! of correlated traffic are measured exactly like the cross-round savings
 //! inside one set (experiment E10).
 
-use crate::scheduler::{self, CsaOutcome};
-use cst_comm::CommSet;
+use crate::scheduler::{CsaOutcome, CsaScratch};
+use cst_comm::{CommSet, SchedulePool};
 use cst_core::{CstError, CstTopology, PowerMeter, PowerReport};
 
 /// Per-batch cost report.
@@ -56,19 +56,28 @@ pub struct PadrSession<'t> {
     topo: &'t CstTopology,
     meter: PowerMeter,
     batches: Vec<BatchReport>,
+    scratch: CsaScratch,
+    pool: SchedulePool,
 }
 
 impl<'t> PadrSession<'t> {
     /// Open a session on `topo` with all switches disconnected.
     pub fn new(topo: &'t CstTopology) -> Self {
-        PadrSession { topo, meter: PowerMeter::new(topo), batches: Vec::new() }
+        PadrSession {
+            topo,
+            meter: PowerMeter::new(topo),
+            batches: Vec::new(),
+            scratch: CsaScratch::new(),
+            pool: SchedulePool::new(),
+        }
     }
 
     /// Schedule and account one batch. The set must be right-oriented and
     /// well-nested (use the universal front end upstream for anything
-    /// else).
+    /// else). Scheduling scratch is retained across batches, so a warm
+    /// session allocates nothing per batch beyond the returned outcome.
     pub fn run_batch(&mut self, set: &CommSet) -> Result<(CsaOutcome, BatchReport), CstError> {
-        let outcome = scheduler::schedule(self.topo, set)?;
+        let outcome = self.scratch.schedule(self.topo, set, &mut self.pool)?;
         let before = self.meter.report(self.topo).total_units;
         for round in &outcome.schedule.rounds {
             self.meter.begin_round();

@@ -53,11 +53,77 @@ use crate::messages::{DownMsg, ReqKind};
 use crate::phase1::SwitchState;
 use cst_core::Connection;
 
+/// The connections one switch holds in one round, stored inline. A switch
+/// never holds more than three (one per output port), and `step` runs once
+/// per switch per round — a heap-backed list here would dominate the
+/// scheduler's steady-state allocation profile (the engine's allocation
+/// gate measures this transitively).
+#[derive(Clone, Copy)]
+pub struct Connections {
+    items: [Connection; 3],
+    len: u8,
+}
+
+impl Connections {
+    /// Append a connection. Panics beyond three — a switch has only three
+    /// output ports, so a fourth push is a transition-function bug.
+    pub fn push(&mut self, c: Connection) {
+        self.items[usize::from(self.len)] = c;
+        self.len += 1;
+    }
+
+    /// The held connections, in push order.
+    pub fn as_slice(&self) -> &[Connection] {
+        &self.items[..usize::from(self.len)]
+    }
+}
+
+impl Default for Connections {
+    fn default() -> Self {
+        Connections { items: [Connection::L_TO_R; 3], len: 0 }
+    }
+}
+
+impl std::ops::Deref for Connections {
+    type Target = [Connection];
+    fn deref(&self) -> &[Connection] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Connections {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for Connections {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Connections {}
+
+impl PartialEq<Vec<Connection>> for Connections {
+    fn eq(&self, other: &Vec<Connection>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Connections {
+    type Item = &'a Connection;
+    type IntoIter = std::slice::Iter<'a, Connection>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Outcome of one switch step.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StepResult {
     /// Connections this switch must hold in the current round (0..=3).
-    pub connections: Vec<Connection>,
+    pub connections: Connections,
     /// Message to the left child.
     pub to_left: DownMsg,
     /// Message to the right child.

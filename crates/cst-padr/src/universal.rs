@@ -13,7 +13,8 @@
 
 use crate::layers;
 use crate::orientation::{self};
-use cst_comm::{CommId, CommSet, Round, Schedule};
+use crate::scheduler::CsaScratch;
+use cst_comm::{CommId, CommSet, Round, Schedule, SchedulePool};
 use cst_core::{CstError, CstTopology};
 
 /// Outcome of universal scheduling.
@@ -40,24 +41,40 @@ impl UniversalOutcome {
 ///
 /// ```
 /// use cst_core::CstTopology;
-/// use cst_comm::CommSet;
+/// use cst_comm::{CommSet, SchedulePool};
+/// use cst_padr::CsaScratch;
 ///
 /// let topo = CstTopology::with_leaves(16);
 /// // mixed orientations AND a crossing pair — nothing the strict CSA
 /// // entry point would accept:
 /// let set = CommSet::from_pairs(16, &[(0, 4), (2, 6), (15, 9)]);
-/// let out = cst_padr::schedule_any(&topo, &set).unwrap();
+/// let (mut csa, mut pool) = (CsaScratch::new(), SchedulePool::new());
+/// let out = cst_padr::schedule_any_in(&mut csa, &mut pool, &topo, &set).unwrap();
 /// out.schedule.verify(&topo, &set).unwrap();
 /// assert_eq!(out.right_layers, 2); // the crossing pair needs two layers
 /// assert_eq!(out.left_layers, 1);
 /// ```
+#[deprecated(note = "dispatch through cst-engine's registry (router \"universal\") or use \
+                     schedule_any_in with a reused CsaScratch")]
 pub fn schedule_any(topo: &CstTopology, set: &CommSet) -> Result<UniversalOutcome, CstError> {
+    let mut pool = SchedulePool::new();
+    schedule_any_in(&mut CsaScratch::new(), &mut pool, topo, set)
+}
+
+/// [`schedule_any`], reusing an engine's CSA scratch and pool for the
+/// per-layer CSA runs in both halves.
+pub fn schedule_any_in(
+    csa: &mut CsaScratch,
+    pool: &mut SchedulePool,
+    topo: &CstTopology,
+    set: &CommSet,
+) -> Result<UniversalOutcome, CstError> {
     let (right_half, left_half) = set.decompose();
     let mut schedule = Schedule::default();
 
     let mut right_layers = 0;
     if !right_half.set.is_empty() {
-        let out = layers::schedule_layered(topo, &right_half.set)?;
+        let out = layers::schedule_layered_in(csa, pool, topo, &right_half.set)?;
         right_layers = out.num_layers();
         for round in &out.schedule.rounds {
             schedule.rounds.push(Round {
@@ -71,7 +88,7 @@ pub fn schedule_any(topo: &CstTopology, set: &CommSet) -> Result<UniversalOutcom
     if !left_half.set.is_empty() {
         // Mirror, layer+schedule, reflect configurations back.
         let mirrored = left_half.set.mirrored();
-        let out = layers::schedule_layered(topo, &mirrored)?;
+        let out = layers::schedule_layered_in(csa, pool, topo, &mirrored)?;
         left_layers = out.num_layers();
         for round in &out.schedule.rounds {
             let configs = orientation::mirror_round_configs(topo, &round.configs);
@@ -86,6 +103,7 @@ pub fn schedule_any(topo: &CstTopology, set: &CommSet) -> Result<UniversalOutcom
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
 

@@ -80,6 +80,7 @@ pub fn verify_phase1(topo: &CstTopology, set: &CommSet, p1: &Phase1) -> Result<(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use crate::scheduler::schedule;

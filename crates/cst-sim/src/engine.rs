@@ -321,7 +321,9 @@ mod tests {
         let topo = CstTopology::with_leaves(16);
         let set = examples::paper_figure_2();
         let sim = simulate(&topo, &set, None).unwrap();
-        let host = cst_padr::schedule(&topo, &set).unwrap();
+        let host = cst_padr::CsaScratch::new()
+            .schedule(&topo, &set, &mut cst_comm::SchedulePool::new())
+            .unwrap();
         assert_eq!(sim.schedule.num_rounds(), host.schedule.num_rounds());
         for (a, b) in sim.schedule.rounds.iter().zip(&host.schedule.rounds) {
             assert_eq!(a.comms, b.comms);
@@ -377,8 +379,10 @@ mod tests {
     fn replaying_a_baseline_schedule_delivers_everything() {
         let topo = CstTopology::with_leaves(16);
         let set = examples::paper_figure_2();
-        let roy = cst_baseline::roy::schedule(&topo, &set, cst_baseline::LevelOrder::InnermostFirst)
-            .unwrap();
+        let mut merged = cst_core::MergedRound::new(&topo);
+        let roy =
+            cst_baseline::roy::run(&topo, &set, cst_baseline::LevelOrder::InnermostFirst, &mut merged)
+                .unwrap();
         let sim = simulate_schedule(&topo, &set, &roy.schedule, None).unwrap();
         assert_eq!(sim.deliveries.len(), set.len());
         // same makespan formula as the CSA run with the same round count
@@ -390,7 +394,13 @@ mod tests {
     fn replaying_a_merged_mixed_schedule_works() {
         let topo = CstTopology::with_leaves(16);
         let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (15, 8), (14, 9)]);
-        let merged = cst_padr::schedule_general_merged(&topo, &set).unwrap();
+        let merged = cst_padr::schedule_general_merged_in(
+            &mut cst_padr::CsaScratch::new(),
+            &mut cst_comm::SchedulePool::new(),
+            &topo,
+            &set,
+        )
+        .unwrap();
         assert_eq!(merged.num_rounds(), 2, "halves interleave");
         let sim = simulate_schedule(&topo, &set, &merged, None).unwrap();
         assert_eq!(sim.deliveries.len(), 4);

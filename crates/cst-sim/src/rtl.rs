@@ -279,7 +279,9 @@ mod tests {
             examples::sibling_pairs(16),
         ] {
             let topo = CstTopology::with_leaves(16);
-            let host = cst_padr::schedule(&topo, &set).unwrap();
+            let host = cst_padr::CsaScratch::new()
+                .schedule(&topo, &set, &mut cst_comm::SchedulePool::new())
+                .unwrap();
             let mut m = RtlMachine::new(&topo, &set);
             let schedule = m.run_to_completion(&set).unwrap();
             assert_eq!(schedule.num_rounds(), host.schedule.num_rounds());

@@ -15,9 +15,9 @@
 //! then all columns).
 
 use crate::grid::{Coord, SrgaGrid};
-use cst_comm::{CommSet, Communication, Schedule};
+use cst_comm::{CommSet, Communication, Schedule, SchedulePool};
 use cst_core::CstError;
-use cst_padr::universal;
+use cst_padr::{universal, CsaScratch};
 use std::collections::{BTreeMap, HashSet};
 
 /// One 2D communication.
@@ -197,6 +197,8 @@ pub fn route(grid: &SrgaGrid, comms: &[Comm2d]) -> Result<RouteOutcome, CstError
     let mut col_meters: Vec<cst_core::PowerMeter> =
         (0..grid.cols()).map(|_| cst_core::PowerMeter::new(grid.col_topology())).collect();
     let mut waves = Vec::with_capacity(wave_members.len());
+    let mut csa = CsaScratch::new();
+    let mut pool = SchedulePool::new();
     for members in wave_members {
         let mut row_sets: BTreeMap<usize, Vec<Communication>> = BTreeMap::new();
         let mut col_sets: BTreeMap<usize, Vec<Communication>> = BTreeMap::new();
@@ -218,7 +220,8 @@ pub fn route(grid: &SrgaGrid, comms: &[Comm2d]) -> Result<RouteOutcome, CstError
         let mut wave = Wave { comms: members, ..Default::default() };
         for (row, list) in row_sets {
             let set = CommSet::new(grid.cols(), list)?;
-            let out = universal::schedule_any(grid.row_topology(), &set)?;
+            let out =
+                universal::schedule_any_in(&mut csa, &mut pool, grid.row_topology(), &set)?;
             out.schedule.verify(grid.row_topology(), &set)?;
             let meter = &mut row_meters[row];
             for round in &out.schedule.rounds {
@@ -232,7 +235,8 @@ pub fn route(grid: &SrgaGrid, comms: &[Comm2d]) -> Result<RouteOutcome, CstError
         }
         for (col, list) in col_sets {
             let set = CommSet::new(grid.rows(), list)?;
-            let out = universal::schedule_any(grid.col_topology(), &set)?;
+            let out =
+                universal::schedule_any_in(&mut csa, &mut pool, grid.col_topology(), &set)?;
             out.schedule.verify(grid.col_topology(), &set)?;
             let meter = &mut col_meters[col];
             for round in &out.schedule.rounds {

@@ -9,7 +9,13 @@
 //! cst-tools viz <pattern>             draw the scheduled rounds as ASCII trees
 //! cst-tools bundle <pattern>          schedule a paren pattern, emit a JSON bundle
 //! cst-tools check <bundle.json>       statically analyze a schedule bundle
+//! cst-tools list-routers              print the engine registry
 //! ```
+//!
+//! `schedule`, `viz` and `bundle` accept `--router <name>` to dispatch
+//! through any engine-registry router (default `csa`); `list-routers`
+//! prints the registry (`--canonical` restricts to the ten canonical
+//! routers, `--names` prints bare names for scripting).
 //!
 //! `check` reads a [`cst_check::ScheduleBundle`] (as emitted by `bundle`),
 //! runs the static analyzer and prints the findings; `--json` switches to
@@ -62,34 +68,48 @@ fn main() {
             println!("{}", trace.to_json());
         }
         Some("viz") => {
-            let pattern = match args.get(1) {
-                Some(p) => p.clone(),
+            let pattern = match pattern_arg(&args) {
+                Some(p) => p,
                 None => {
-                    eprintln!("usage: cst-tools viz '((.))(..)'");
+                    eprintln!("usage: cst-tools viz '((.))(..)' [--router <name>]");
                     std::process::exit(2);
                 }
             };
-            viz_pattern(&pattern);
+            viz_pattern(&pattern, &router_arg(&args));
         }
         Some("schedule") => {
-            let pattern = match args.get(1) {
-                Some(p) => p.clone(),
+            let pattern = match pattern_arg(&args) {
+                Some(p) => p,
                 None => {
-                    eprintln!("usage: cst-tools schedule '((.))(..)'");
+                    eprintln!("usage: cst-tools schedule '((.))(..)' [--router <name>]");
                     std::process::exit(2);
                 }
             };
-            schedule_pattern(&pattern);
+            schedule_pattern(&pattern, &router_arg(&args));
         }
         Some("bundle") => {
-            let pattern = match args.get(1) {
-                Some(p) => p.clone(),
+            let pattern = match pattern_arg(&args) {
+                Some(p) => p,
                 None => {
-                    eprintln!("usage: cst-tools bundle '((.))(..)'");
+                    eprintln!("usage: cst-tools bundle '((.))(..)' [--router <name>]");
                     std::process::exit(2);
                 }
             };
-            bundle_pattern(&pattern);
+            bundle_pattern(&pattern, &router_arg(&args));
+        }
+        Some("list-routers") => {
+            let names_only = args.iter().any(|a| a == "--names");
+            let canonical = args.iter().any(|a| a == "--canonical");
+            for router in cst_engine::registry() {
+                if canonical && !cst_engine::CANONICAL.contains(&router.name()) {
+                    continue;
+                }
+                if names_only {
+                    println!("{}", router.name());
+                } else {
+                    println!("{:<18} {}", router.name(), router.description());
+                }
+            }
         }
         Some("check") => {
             let path = match args.iter().skip(1).find(|a| !a.starts_with("--")) {
@@ -105,7 +125,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: cst-tools <experiments|report|csv|trace|schedule|viz|bundle|check> [args] [--quick]"
+                "usage: cst-tools <experiments|report|csv|trace|schedule|viz|bundle|check|list-routers> [args] [--quick]"
             );
             std::process::exit(2);
         }
@@ -214,8 +234,33 @@ fn run_all(quick: bool) -> Vec<Table> {
     tables
 }
 
-/// Visualize a parenthesis pattern's schedule as ASCII trees.
-fn viz_pattern(pattern: &str) {
+/// First non-flag argument after the subcommand, if any.
+fn pattern_arg(args: &[String]) -> Option<String> {
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--router" {
+            it.next(); // skip the router name value
+        } else if !a.starts_with("--") {
+            return Some(a.clone());
+        }
+    }
+    None
+}
+
+/// Value of `--router <name>`, defaulting to the serial CSA router.
+fn router_arg(args: &[String]) -> String {
+    args.iter()
+        .position(|a| a == "--router")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "csa".to_string())
+}
+
+/// Dispatch one pattern through the engine registry, exiting on failure.
+fn route_pattern(
+    pattern: &str,
+    router: &str,
+) -> (cst_core::CstTopology, cst_comm::CommSet, cst_engine::RouteOutcome) {
     let set = match cst_comm::from_paren_string(pattern) {
         Ok(s) => s,
         Err(e) => {
@@ -223,13 +268,14 @@ fn viz_pattern(pattern: &str) {
             std::process::exit(1);
         }
     };
+    // pad the pattern onto a power-of-two tree
     let n = set.num_leaves().next_power_of_two().max(2);
     let pairs: Vec<(usize, usize)> =
         set.comms().iter().map(|c| (c.source.0, c.dest.0)).collect();
     let set = cst_comm::CommSet::from_pairs(n, &pairs);
     let topo = cst_core::CstTopology::with_leaves(n);
-    match cst_padr::schedule(&topo, &set) {
-        Ok(out) => print!("{}", viz::render_schedule(&topo, &set, &out.schedule)),
+    match cst_engine::route_once(router, &topo, &set) {
+        Ok(out) => (topo, set, out),
         Err(e) => {
             eprintln!("cannot schedule: {e}");
             std::process::exit(1);
@@ -237,42 +283,24 @@ fn viz_pattern(pattern: &str) {
     }
 }
 
+/// Visualize a parenthesis pattern's schedule as ASCII trees.
+fn viz_pattern(pattern: &str, router: &str) {
+    let (topo, set, out) = route_pattern(pattern, router);
+    print!("{}", viz::render_schedule(&topo, &set, &out.schedule));
+}
+
 /// Schedule a parenthesis pattern and emit the outcome as a JSON
 /// [`cst_check::ScheduleBundle`] on stdout — the artifact `check` audits.
-fn bundle_pattern(pattern: &str) {
-    let set = match cst_comm::from_paren_string(pattern) {
-        Ok(s) => s,
+fn bundle_pattern(pattern: &str, router: &str) {
+    let (topo, set, out) = route_pattern(pattern, router);
+    // Phase-1 counters only apply to right-oriented sets; omit them when
+    // the chosen router accepted a set the CSA front end would reject.
+    let counters = cst_padr::phase1::run(&topo, &set).ok().map(|p1| p1.counter_table());
+    let bundle = cst_check::ScheduleBundle::new(&set, out.schedule, counters);
+    match serde_json::to_string_pretty(&bundle) {
+        Ok(s) => println!("{s}"),
         Err(e) => {
-            eprintln!("invalid pattern: {e}");
-            std::process::exit(1);
-        }
-    };
-    let n = set.num_leaves().next_power_of_two().max(2);
-    let pairs: Vec<(usize, usize)> =
-        set.comms().iter().map(|c| (c.source.0, c.dest.0)).collect();
-    let set = cst_comm::CommSet::from_pairs(n, &pairs);
-    let topo = cst_core::CstTopology::with_leaves(n);
-    let p1 = match cst_padr::phase1::run(&topo, &set) {
-        Ok(p1) => p1,
-        Err(e) => {
-            eprintln!("phase 1 failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    match cst_padr::schedule(&topo, &set) {
-        Ok(out) => {
-            let bundle =
-                cst_check::ScheduleBundle::new(&set, out.schedule, Some(p1.counter_table()));
-            match serde_json::to_string_pretty(&bundle) {
-                Ok(s) => println!("{s}"),
-                Err(e) => {
-                    eprintln!("cannot serialize bundle: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
-        Err(e) => {
-            eprintln!("cannot schedule: {e}");
+            eprintln!("cannot serialize bundle: {e}");
             std::process::exit(1);
         }
     }
@@ -326,47 +354,28 @@ fn check_bundle(path: &str, as_json: bool, lenient: bool) {
 }
 
 /// Schedule a parenthesis pattern and print the rounds.
-fn schedule_pattern(pattern: &str) {
-    let set = match cst_comm::from_paren_string(pattern) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("invalid pattern: {e}");
-            std::process::exit(1);
-        }
-    };
-    let n = set.num_leaves().next_power_of_two().max(2);
-    // pad the pattern onto a power-of-two tree
-    let pairs: Vec<(usize, usize)> =
-        set.comms().iter().map(|c| (c.source.0, c.dest.0)).collect();
-    let set = cst_comm::CommSet::from_pairs(n, &pairs);
-    let topo = cst_core::CstTopology::with_leaves(n);
-    match cst_padr::schedule(&topo, &set) {
-        Ok(out) => {
-            println!(
-                "{} PEs, {} communications, width {}",
-                n,
-                set.len(),
-                cst_comm::width_on_topology(&topo, &set)
-            );
-            for (i, round) in out.schedule.rounds.iter().enumerate() {
-                let pairs: Vec<String> = round
-                    .comms
-                    .iter()
-                    .map(|&id| {
-                        let c = &set.comms()[id.0];
-                        format!("{}->{}", c.source.0, c.dest.0)
-                    })
-                    .collect();
-                println!("round {i}: {}", pairs.join("  "));
-            }
-            println!(
-                "power: {} total units, max {} per switch, max {} port transitions",
-                out.power.total_units, out.power.max_units, out.power.max_port_transitions
-            );
-        }
-        Err(e) => {
-            eprintln!("cannot schedule: {e}");
-            std::process::exit(1);
-        }
+fn schedule_pattern(pattern: &str, router: &str) {
+    let (topo, set, out) = route_pattern(pattern, router);
+    println!(
+        "{} PEs, {} communications, width {} (router {})",
+        topo.num_leaves(),
+        set.len(),
+        cst_comm::width_on_topology(&topo, &set),
+        out.router
+    );
+    for (i, round) in out.schedule.rounds.iter().enumerate() {
+        let pairs: Vec<String> = round
+            .comms
+            .iter()
+            .map(|&id| {
+                let c = &set.comms()[id.0];
+                format!("{}->{}", c.source.0, c.dest.0)
+            })
+            .collect();
+        println!("round {i}: {}", pairs.join("  "));
     }
+    println!(
+        "power: {} total units, max {} per switch, max {} port transitions",
+        out.power.total_units, out.power.max_units, out.power.max_port_transitions
+    );
 }

@@ -127,7 +127,7 @@ mod tests {
     fn renders_rounds_with_roles() {
         let topo = CstTopology::with_leaves(8);
         let set = CommSet::from_pairs(8, &[(0, 7)]);
-        let out = cst_padr::schedule(&topo, &set).unwrap();
+        let out = cst_engine::route_once("csa", &topo, &set).unwrap();
         let viz = render_schedule(&topo, &set, &out.schedule);
         assert!(viz.contains("round 0"));
         assert!(viz.contains("[l>r]"));

@@ -102,7 +102,9 @@ mod tests {
         assert!(set.is_well_nested());
         assert_eq!(set.len(), 7);
         assert_eq!(width_on_topology(&topo, &set), 2);
-        let out = cst_padr::schedule(&topo, &set).unwrap();
+        let out = cst_padr::CsaScratch::new()
+            .schedule(&topo, &set, &mut cst_comm::SchedulePool::new())
+            .unwrap();
         assert_eq!(out.rounds(), 2);
     }
 

@@ -30,8 +30,8 @@ fn figure_1() {
     println!("--- Figure 1: communications over the CST -------------------");
     let topo = CstTopology::with_leaves(8);
     let set = cst::comm::CommSet::from_pairs(8, &[(0, 3), (4, 7)]);
-    let out = cst::padr::schedule(&topo, &set).unwrap();
-    assert_eq!(out.rounds(), 1);
+    let out = cst::engine::route_once("csa", &topo, &set).unwrap();
+    assert_eq!(out.rounds, 1);
     let round = &out.schedule.rounds[0];
     println!("one round carries both communications; switch settings:");
     for (node, cfg) in &round.configs {
@@ -46,7 +46,7 @@ fn figure_2() {
     let topo = CstTopology::with_leaves(16);
     println!("pattern : {}", to_paren_string(&set).unwrap());
     println!("width   : {}", width_on_topology(&topo, &set));
-    let out = cst::padr::schedule(&topo, &set).unwrap();
+    let out = cst::engine::route_once("csa", &topo, &set).unwrap();
     for (i, round) in out.schedule.rounds.iter().enumerate() {
         let pairs: Vec<String> = round
             .comms

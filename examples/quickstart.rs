@@ -20,8 +20,14 @@ fn main() {
     let width = width_on_topology(&topo, &set);
     println!("width w           : {width} (max communications on one directed link)");
 
-    // Schedule with the paper's Configuration and Scheduling Algorithm.
-    let out = cst::padr::schedule(&topo, &set).expect("valid well-nested input");
+    // Schedule with the paper's Configuration and Scheduling Algorithm,
+    // dispatched through the engine registry ("csa" is the canonical name;
+    // `cst::engine::names()` lists the rest). `route_once` is the one-shot
+    // convenience; reuse an `EngineCtx` to amortize scratch allocations.
+    let out = cst::engine::route_once("csa", &topo, &set)
+        .expect("valid well-nested input")
+        .into_csa()
+        .expect("csa router carries CSA extras");
     println!("\nCSA schedule ({} rounds — Theorem 5 says exactly w):", out.rounds());
     for (i, round) in out.schedule.rounds.iter().enumerate() {
         let pairs: Vec<String> = round

@@ -11,11 +11,33 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out_dir="${1:-target/bench-smoke}"
+# cargo bench runs bench binaries with the package dir as cwd, so the
+# CRITERION_JSON path must be absolute.
+case "$out_dir" in /*) ;; *) out_dir="$PWD/$out_dir" ;; esac
 mkdir -p "$out_dir"
+
+# The engine registry is the single source of truth for router names;
+# bench IDs must match it (checked against the E5 JSON below).
+echo "== bench smoke: router registry =="
+routers="$(cargo run -q -p cst-tools -- list-routers --names)"
+printf '%s\n' "$routers"
 
 echo "== bench smoke: e5_scheduler_throughput (JSON -> $out_dir/BENCH_e5.json) =="
 CRITERION_JSON="$out_dir/BENCH_e5.json" \
     cargo bench -p bench --bench e5_scheduler_throughput -- --test
+
+echo "== bench smoke: e5 bench IDs resolve in the registry =="
+grep -o '"e5_schedulers/[^"]*"' "$out_dir/BENCH_e5.json" | tr -d '"' \
+    | while IFS= read -r key; do
+    name=${key#e5_schedulers/}
+    name=${name%/*}
+    # here-string, not a pipe: grep -q exits at the first match, and
+    # under pipefail printf's SIGPIPE would read as a spurious failure
+    if ! grep -qx "$name" <<< "$routers"; then
+        echo "bench id '$name' is not a registry router name" >&2
+        exit 1
+    fi
+done
 
 echo "== bench smoke: remaining benches =="
 for b in e1_rounds_optimality e2_config_changes e3_total_power \

@@ -11,6 +11,12 @@ cargo build --workspace --all-targets
 echo "== ci: test (--workspace) =="
 cargo test --workspace --quiet
 
+echo "== ci: engine scratch-reuse stress =="
+cargo test --quiet --test engine_reuse
+
+echo "== ci: engine allocation gate =="
+cargo test --quiet --test alloc_gate
+
 echo "== ci: lint =="
 scripts/lint.sh
 

@@ -11,6 +11,9 @@
 //!   diagnostics for every invariant (see `docs/DIAGNOSTICS.md`);
 //! * [`padr`] (`cst-padr`) — the paper's Configuration and Scheduling
 //!   Algorithm (CSA): `w` rounds, O(1) configuration changes per switch;
+//! * [`engine`] (`cst-engine`) — the `Router` trait, the scheduler
+//!   registry, and `EngineCtx` for allocation-free repeated scheduling
+//!   (see `docs/ENGINE.md`);
 //! * [`baseline`] (`cst-baseline`) — Roy-style ID scheduler and greedy
 //!   comparators;
 //! * [`sim`] (`cst-sim`) — cycle-level simulator with payload transfer
@@ -28,10 +31,16 @@
 //! let topo = CstTopology::with_leaves(8);
 //! let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
 //!
-//! let out = cst::padr::schedule(&topo, &set).unwrap();
-//! assert_eq!(out.rounds(), 3);                       // Theorem 5
-//! let report = cst::padr::verify_outcome(&topo, &set, &out).unwrap();
-//! assert!(report.max_port_transitions <= 9);          // Theorem 8
+//! // Every scheduler is a named `Router`; "csa" is the paper's CSA.
+//! let out = cst::engine::route_once("csa", &topo, &set).unwrap();
+//! assert_eq!(out.rounds, 3);                          // Theorem 5
+//! assert!(out.power.max_port_transitions <= 9);       // Theorem 8
+//!
+//! // Repeated scheduling: one context, zero steady-state allocation.
+//! let mut ctx = cst::engine::EngineCtx::new();
+//! let warm = ctx.route_named("csa", &topo, &set).unwrap();
+//! assert_eq!(warm.schedule, out.schedule);
+//! ctx.recycle(warm);
 //! ```
 
 pub use cst_analysis as analysis;
@@ -39,6 +48,7 @@ pub use cst_baseline as baseline;
 pub use cst_check as check;
 pub use cst_comm as comm;
 pub use cst_core as core;
+pub use cst_engine as engine;
 pub use cst_padr as padr;
 pub use cst_sim as sim;
 pub use cst_srga as srga;

@@ -1,0 +1,81 @@
+//! Allocation gate for the engine's headline guarantee: once an
+//! [`EngineCtx`] is warm, a serial-CSA `route()` performs **zero** heap
+//! allocations. The vendored counting allocator is installed as this test
+//! binary's global allocator; counters are per-thread, so the measurement
+//! sees exactly what the routing call itself does.
+//!
+//! Dispatch is direct (`ctx.route(&Csa, ..)`): name lookup through the
+//! registry builds boxed routers and is deliberately outside the
+//! guarantee — hot loops hold a router value, as the benches do.
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+
+use cst::core::CstTopology;
+use cst::engine::{Csa, EngineCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn warm_serial_csa_route_allocates_zero_bytes() {
+    let n = 1024;
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(0xA110C);
+    let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+    let mut ctx = EngineCtx::new();
+
+    // Cold call: sizes every scratch buffer (phase-1 counters, round
+    // sweeps, the pooled schedule and meter).
+    let (cold, out) = alloc_counter::measure(|| ctx.route(&Csa, &topo, &set).unwrap());
+    assert!(cold.bytes_allocated > 0, "cold call must size the scratch");
+    let expected = out.schedule.clone();
+    ctx.recycle(out);
+
+    // Second call: the pool now holds a right-sized schedule and meter;
+    // this settles any remaining monotonic growth.
+    let (_, out) = alloc_counter::measure(|| ctx.route(&Csa, &topo, &set).unwrap());
+    ctx.recycle(out);
+
+    // Warm call: the guarantee under test.
+    let (warm, out) = alloc_counter::measure(|| ctx.route(&Csa, &topo, &set).unwrap());
+    assert_eq!(out.schedule, expected, "warm route must still be correct");
+    assert_eq!(
+        (warm.allocations, warm.bytes_allocated),
+        (0, 0),
+        "warm serial-CSA route() must not touch the heap: {warm:?}"
+    );
+    ctx.recycle(out);
+
+    // For BENCH notes: cold-vs-warm footprint of this n=1024 request.
+    println!(
+        "alloc gate n={n}: cold {} allocations / {} bytes, warm {} / {}",
+        cold.allocations, cold.bytes_allocated, warm.allocations, warm.bytes_allocated
+    );
+}
+
+#[test]
+fn warm_context_stays_allocation_free_on_smaller_requests() {
+    // Buffers grow monotonically: after serving a large request, a warm
+    // context must serve any smaller shape without heap traffic either.
+    let big = CstTopology::with_leaves(1024);
+    let small = CstTopology::with_leaves(64);
+    let mut rng = StdRng::seed_from_u64(0xA110D);
+    let big_set = cst::workloads::well_nested_with_density(&mut rng, 1024, 0.7);
+    let small_set = cst::workloads::well_nested_with_density(&mut rng, 64, 0.7);
+    let mut ctx = EngineCtx::new();
+
+    for _ in 0..2 {
+        let out = ctx.route(&Csa, &big, &big_set).unwrap();
+        ctx.recycle(out);
+        let out = ctx.route(&Csa, &small, &small_set).unwrap();
+        ctx.recycle(out);
+    }
+
+    let (warm, out) = alloc_counter::measure(|| ctx.route(&Csa, &small, &small_set).unwrap());
+    assert_eq!(
+        (warm.allocations, warm.bytes_allocated),
+        (0, 0),
+        "re-targeting a warm context to a smaller tree must not allocate: {warm:?}"
+    );
+    ctx.recycle(out);
+}

@@ -1,10 +1,12 @@
 //! Cross-scheduler integration: every scheduler agrees on *what* is
 //! communicated (the set), differs only in *when* (the partition), and
-//! the power ordering matches the paper's story.
+//! the power ordering matches the paper's story. All schedulers are
+//! reached through the engine registry — the same dispatch surface the
+//! CLI and benches use.
 
-use cst::baseline::{greedy, roy, sequential, LevelOrder, ScanOrder};
 use cst::comm::{width_on_topology, Schedule};
 use cst::core::{Circuit, CstTopology, MergedRound};
+use cst::engine::{CsaParallel, EngineCtx};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -17,28 +19,19 @@ fn scheduled_ids(s: &Schedule) -> BTreeSet<usize> {
 fn all_schedulers_cover_the_same_set() {
     let n = 256;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.6);
         let expect: BTreeSet<usize> = (0..set.len()).collect();
 
-        let csa = cst::padr::schedule(&topo, &set).unwrap();
-        assert_eq!(scheduled_ids(&csa.schedule), expect);
-
-        let r = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).unwrap();
-        assert_eq!(scheduled_ids(&r.schedule), expect);
-
-        for order in [
-            ScanOrder::OutermostFirst,
-            ScanOrder::InnermostFirst,
-            ScanOrder::InputOrder,
-        ] {
-            let g = greedy::schedule(&topo, &set, order).unwrap();
-            assert_eq!(scheduled_ids(&g.schedule), expect);
+        for name in
+            ["csa", "roy", "greedy", "greedy-innermost", "greedy-input", "sequential"]
+        {
+            let out = ctx.route_named(name, &topo, &set).unwrap();
+            assert_eq!(scheduled_ids(&out.schedule), expect, "{name} seed={seed}");
+            ctx.recycle(out);
         }
-
-        let s = sequential::schedule(&topo, &set).unwrap();
-        assert_eq!(scheduled_ids(&s), expect);
     }
 }
 
@@ -48,18 +41,22 @@ fn round_count_ordering() {
     // tested inputs.
     let n = 512;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed + 50);
         let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.8);
         let w = width_on_topology(&topo, &set) as usize;
-        let csa = cst::padr::schedule(&topo, &set).unwrap();
-        let r = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).unwrap();
-        let g = greedy::schedule(&topo, &set, ScanOrder::OutermostFirst).unwrap();
-        let s = sequential::schedule(&topo, &set).unwrap();
-        assert_eq!(csa.rounds(), w);
-        assert_eq!(g.schedule.num_rounds(), w, "greedy outermost meets width");
-        assert!(r.schedule.num_rounds() >= w);
-        assert!(r.schedule.num_rounds() <= s.num_rounds());
+        let mut rounds = |name: &str| {
+            let out = ctx.route_named(name, &topo, &set).unwrap();
+            let r = out.rounds;
+            ctx.recycle(out);
+            r
+        };
+        assert_eq!(rounds("csa"), w);
+        assert_eq!(rounds("greedy"), w, "greedy outermost meets width");
+        let roy = rounds("roy");
+        assert!(roy >= w);
+        assert!(roy <= rounds("sequential"));
     }
 }
 
@@ -70,18 +67,20 @@ fn power_story_holds_per_switch() {
     // width.
     let n = 512;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
     for w in [8usize, 64] {
         let mut rng = StdRng::seed_from_u64(w as u64);
         let set = cst::workloads::with_width(&mut rng, n, w, 0.5);
-        let csa = cst::padr::schedule(&topo, &set).unwrap();
+        let csa = ctx.route_named("csa", &topo, &set).unwrap();
         assert!(csa.power.max_units <= 9, "w={w}: csa max {}", csa.power.max_units);
-        let r = roy::schedule(&topo, &set, LevelOrder::InnermostFirst).unwrap();
-        let rep = r.schedule.meter_power(&topo).report(&topo);
+        ctx.recycle(csa);
+        let roy = ctx.route_named("roy", &topo, &set).unwrap();
         assert!(
-            rep.max_writethrough_units as usize >= w,
+            roy.power.max_writethrough_units as usize >= w,
             "w={w}: roy wt max {}",
-            rep.max_writethrough_units
+            roy.power.max_writethrough_units
         );
+        ctx.recycle(roy);
     }
 }
 
@@ -92,7 +91,7 @@ fn schedule_json_format_is_pinned() {
     // decimal heap index to configuration, keys ascending.
     let topo = CstTopology::with_leaves(4);
     let set = cst::comm::CommSet::from_pairs(4, &[(0, 3), (1, 2)]);
-    let csa = cst::padr::schedule(&topo, &set).unwrap();
+    let csa = cst::engine::route_once("csa", &topo, &set).unwrap();
     let json = serde_json::to_string(&csa.schedule).unwrap();
     // Round 1 holds the outer comm (0,3): root (node 1) turns it around
     // (l_i drives r_o), switch 2 forwards up (l_i drives p_o), switch 3
@@ -117,11 +116,13 @@ fn serial_parallel_and_arena_rebuilt_schedules_are_identical() {
     // the arena path loses nothing relative to per-round reconstruction.
     let n = 256;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
+    let parallel8 = CsaParallel { threads: 8 };
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed + 400);
         let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
-        let serial = cst::padr::schedule(&topo, &set).unwrap();
-        let parallel = cst::padr::schedule_parallel(&topo, &set, 8).unwrap();
+        let serial = ctx.route_named("csa", &topo, &set).unwrap();
+        let parallel = ctx.route(&parallel8, &topo, &set).unwrap();
         assert_eq!(serial.schedule, parallel.schedule, "seed {seed}");
         assert_eq!(
             serde_json::to_string(&serial.schedule).unwrap(),
@@ -139,6 +140,8 @@ fn serial_parallel_and_arena_rebuilt_schedules_are_identical() {
             }
             assert_eq!(merged.take_configs(), round.configs, "seed {seed}");
         }
+        ctx.recycle(serial);
+        ctx.recycle(parallel);
     }
 }
 
@@ -148,17 +151,20 @@ fn csa_equals_greedy_outermost_partition() {
     // their round partitions must coincide.
     let n = 128;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
     for seed in 0..10u64 {
         let mut rng = StdRng::seed_from_u64(seed + 200);
         let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
         if set.is_empty() {
             continue;
         }
-        let csa = cst::padr::schedule(&topo, &set).unwrap();
-        let g = greedy::schedule(&topo, &set, ScanOrder::OutermostFirst).unwrap();
+        let csa = ctx.route_named("csa", &topo, &set).unwrap();
+        let g = ctx.route_named("greedy", &topo, &set).unwrap();
         assert_eq!(csa.schedule.num_rounds(), g.schedule.num_rounds(), "seed {seed}");
         for (a, b) in csa.schedule.rounds.iter().zip(&g.schedule.rounds) {
             assert_eq!(a.comms, b.comms, "seed {seed}");
         }
+        ctx.recycle(csa);
+        ctx.recycle(g);
     }
 }

@@ -3,6 +3,7 @@
 
 use cst::comm::{width_on_topology, CommSet};
 use cst::core::{CstTopology, LeafId, NodeId};
+use cst::engine::{route_once, EngineCtx};
 
 #[test]
 fn minimal_tree_two_leaves() {
@@ -10,13 +11,12 @@ fn minimal_tree_two_leaves() {
     assert_eq!(topo.num_switches(), 1);
     assert_eq!(topo.height(), 1);
     let set = CommSet::from_pairs(2, &[(0, 1)]);
-    let out = cst::padr::schedule(&topo, &set).unwrap();
-    assert_eq!(out.rounds(), 1);
+    let out = route_once("csa", &topo, &set).unwrap();
+    assert_eq!(out.rounds, 1);
     assert_eq!(out.power.total_units, 1); // one l->r at the only switch
     out.schedule.verify(&topo, &set).unwrap();
     // the same on every scheduler
-    let roy = cst::baseline::roy::schedule(&topo, &set, cst::baseline::LevelOrder::InnermostFirst)
-        .unwrap();
+    let roy = route_once("roy", &topo, &set).unwrap();
     assert_eq!(roy.schedule.num_rounds(), 1);
     let sim = cst::sim::simulate(&topo, &set, None).unwrap();
     assert_eq!(sim.cycles, 1 + 2); // height + 1*(height+1)
@@ -26,21 +26,23 @@ fn minimal_tree_two_leaves() {
 fn minimal_left_oriented() {
     let topo = CstTopology::with_leaves(2);
     let set = CommSet::from_pairs(2, &[(1, 0)]);
-    let out = cst::padr::schedule_general(&topo, &set).unwrap();
-    assert_eq!(out.rounds(), 1);
-    cst::padr::verify_general(&topo, &set, &out).unwrap();
+    let out = route_once("general", &topo, &set).unwrap();
+    assert_eq!(out.rounds, 1);
+    out.schedule.verify(&topo, &set).unwrap();
 }
 
 #[test]
 fn maximal_density_full_pairing() {
     // every PE an endpoint: n/2 communications
+    let mut ctx = EngineCtx::new();
     for n in [8usize, 64, 512] {
         let topo = CstTopology::with_leaves(n);
         let set = cst::comm::examples::full_nest(n);
         assert_eq!(set.len(), n / 2);
-        let out = cst::padr::schedule(&topo, &set).unwrap();
-        assert_eq!(out.rounds(), n / 2);
+        let out = ctx.route_named("csa", &topo, &set).unwrap();
+        assert_eq!(out.rounds, n / 2);
         assert!(out.power.max_port_transitions <= cst::padr::CSA_PORT_TRANSITION_BOUND);
+        ctx.recycle(out);
     }
 }
 
@@ -50,8 +52,8 @@ fn width_one_at_scale() {
     let n = 32768;
     let topo = CstTopology::with_leaves(n);
     let set = cst::comm::examples::sibling_pairs(n);
-    let out = cst::padr::schedule(&topo, &set).unwrap();
-    assert_eq!(out.rounds(), 1);
+    let out = route_once("csa", &topo, &set).unwrap();
+    assert_eq!(out.rounds, 1);
     assert_eq!(out.power.total_units as usize, n / 2);
     assert_eq!(out.power.max_units, 1);
 }
@@ -60,11 +62,13 @@ fn width_one_at_scale() {
 fn single_communication_every_span() {
     let n = 64;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
     for d in 1..n {
         let set = CommSet::from_pairs(n, &[(0, d)]);
-        let out = cst::padr::schedule(&topo, &set).unwrap();
-        assert_eq!(out.rounds(), 1, "span {d}");
+        let out = ctx.route_named("csa", &topo, &set).unwrap();
+        assert_eq!(out.rounds, 1, "span {d}");
         out.schedule.verify(&topo, &set).unwrap();
+        ctx.recycle(out);
     }
 }
 
@@ -72,11 +76,13 @@ fn single_communication_every_span() {
 fn adjacent_pairs_at_every_position() {
     let n = 32;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
     for i in 0..n - 1 {
         let set = CommSet::from_pairs(n, &[(i, i + 1)]);
-        let out = cst::padr::schedule(&topo, &set).unwrap();
-        assert_eq!(out.rounds(), 1, "position {i}");
+        let out = ctx.route_named("csa", &topo, &set).unwrap();
+        assert_eq!(out.rounds, 1, "position {i}");
         assert_eq!(width_on_topology(&topo, &set), 1);
+        ctx.recycle(out);
     }
 }
 
@@ -98,12 +104,12 @@ fn errors_are_reported_not_panicked() {
     assert!(CommSet::new(8, vec![cst::comm::Communication::of(0, 9)]).is_err());
     // crossing
     let crossing = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
-    assert!(cst::padr::schedule(&topo, &crossing).is_err());
+    assert!(route_once("csa", &topo, &crossing).is_err());
     // left-oriented through the strict entry point
     let left = CommSet::from_pairs(8, &[(5, 2)]);
-    assert!(cst::padr::schedule(&topo, &left).is_err());
+    assert!(route_once("csa", &topo, &left).is_err());
     // but fine through the universal one
-    assert!(cst::padr::schedule_any(&topo, &left).is_ok());
+    assert!(route_once("universal", &topo, &left).is_ok());
     // size mismatch panics are confined to debug assertions; the public
     // constructors reject instead
     assert!(CstTopology::new(24).is_err());
@@ -115,8 +121,8 @@ fn deep_tree_long_single_path() {
     let n = 1 << 16;
     let topo = CstTopology::with_leaves(n);
     let set = CommSet::from_pairs(n, &[(0, n - 1)]);
-    let out = cst::padr::schedule(&topo, &set).unwrap();
-    assert_eq!(out.rounds(), 1);
+    let out = route_once("csa", &topo, &set).unwrap();
+    assert_eq!(out.rounds, 1);
     // 15 switches up, the root, 15 down: 2h - 1 switches
     assert_eq!(out.power.total_units, 2 * 16 - 1);
     let sim = cst::sim::simulate(&topo, &set, None).unwrap();

@@ -1,0 +1,60 @@
+//! Scratch-reuse soundness for the engine: one [`EngineCtx`] serving
+//! 100+ mixed requests — every canonical router, several tree sizes,
+//! several seeds, interleaved — must produce schedules byte-identical
+//! (serde) to fresh-context runs, and every outcome must come out clean
+//! under the `cst-check` static analyzer. A stale counter, an
+//! under-cleared pool buffer, or a scratch that survives re-targeting to
+//! a different topology would all surface here as a diff or a diagnostic.
+
+use cst::check::{analyze, CheckOptions};
+use cst::core::CstTopology;
+use cst::engine::{route_once, EngineCtx, CANONICAL};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strictness per router family: the CSA drivers promise every analyzer
+/// invariant (right-oriented configs, width-optimal rounds, outermost
+/// selection, the Theorem-8 transition bound); the front ends and
+/// baselines promise legality, not optimality.
+fn options_for(router: &str) -> CheckOptions {
+    match router {
+        "csa" | "csa-parallel" | "csa-threaded" => CheckOptions::strict(),
+        _ => CheckOptions::lenient(),
+    }
+}
+
+#[test]
+fn one_context_across_mixed_requests_matches_fresh_runs() {
+    let mut ctx = EngineCtx::new();
+    let mut requests = 0usize;
+    // Deliberately interleave sizes so the scratch re-targets between
+    // topologies mid-stream instead of growing once and staying put.
+    for seed in 0..4u64 {
+        for n in [8usize, 64, 16, 128] {
+            let topo = CstTopology::with_leaves(n);
+            let mut rng = StdRng::seed_from_u64(seed * 131 + n as u64);
+            let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+            for name in CANONICAL {
+                let warm = ctx
+                    .route_named(name, &topo, &set)
+                    .unwrap_or_else(|e| panic!("{name} warm (n={n}, seed={seed}): {e}"));
+                let fresh = route_once(name, &topo, &set)
+                    .unwrap_or_else(|e| panic!("{name} fresh (n={n}, seed={seed}): {e}"));
+                assert_eq!(
+                    serde_json::to_string(&warm.schedule).unwrap().into_bytes(),
+                    serde_json::to_string(&fresh.schedule).unwrap().into_bytes(),
+                    "{name} (n={n}, seed={seed}): warm-context schedule drifted from fresh"
+                );
+                let report = analyze(&topo, &set, &warm.schedule, &options_for(name));
+                assert!(
+                    report.is_clean(),
+                    "{name} (n={n}, seed={seed}) flagged by cst-check:\n{}",
+                    report.render_text()
+                );
+                ctx.recycle(warm);
+                requests += 1;
+            }
+        }
+    }
+    assert!(requests >= 100, "the soak must cover 100+ requests, got {requests}");
+}

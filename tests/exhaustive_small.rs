@@ -111,6 +111,8 @@ fn chromatic_number(topo: &CstTopology, set: &CommSet) -> usize {
 fn exhaustive_8_leaves_optimality_and_agreement() {
     let topo = CstTopology::with_leaves(8);
     let sets = all_patterns(8);
+    let mut ctx = cst::engine::EngineCtx::new();
+    let threaded4 = cst::engine::CsaParallel { threads: 4 };
     assert!(sets.len() > 300, "expected a substantial space, got {}", sets.len());
     let mut max_width_seen = 0;
     for set in &sets {
@@ -122,13 +124,14 @@ fn exhaustive_8_leaves_optimality_and_agreement() {
         assert_eq!(chi, w, "width is the exact chromatic number: {set:?}");
 
         // serial CSA
-        let serial = cst::padr::schedule(&topo, set).unwrap();
-        assert_eq!(serial.rounds(), w, "CSA meets the exact optimum: {set:?}");
+        let serial = ctx.route_named("csa", &topo, set).unwrap();
+        assert_eq!(serial.rounds, w, "CSA meets the exact optimum: {set:?}");
         serial.schedule.verify(&topo, set).unwrap();
 
         // parallel driver agrees
-        let parallel = cst::padr::schedule_parallel(&topo, set, 4).unwrap();
+        let parallel = ctx.route(&threaded4, &topo, set).unwrap();
         assert_eq!(parallel.schedule, serial.schedule, "parallel drift: {set:?}");
+        ctx.recycle(parallel);
 
         // RTL machine agrees
         let mut rtl = cst::sim::RtlMachine::new(&topo, set);
@@ -139,6 +142,7 @@ fn exhaustive_8_leaves_optimality_and_agreement() {
         let sim = cst::sim::simulate(&topo, set, None).unwrap();
         assert_eq!(sim.schedule, serial.schedule, "sim drift: {set:?}");
         assert_eq!(sim.deliveries.len(), set.len());
+        ctx.recycle(serial);
     }
     assert_eq!(max_width_seen, 4, "the space includes full-width instances");
     println!("validated {} sets exhaustively", sets.len());
@@ -169,13 +173,15 @@ fn exhaustive_width_equals_chromatic_on_10_leaf_sample() {
     let mut patterns = Vec::new();
     gen(&mut String::new(), 0, 0, 10, &mut patterns);
     assert_eq!(patterns.len(), 42);
+    let mut ctx = cst::engine::EngineCtx::new();
     for p in patterns {
         let padded = format!("{p}......");
         let set = from_paren_string(&padded).unwrap();
         let w = width_on_topology(&topo, &set) as usize;
         assert_eq!(chromatic_number(&topo, &set), w);
-        let out = cst::padr::schedule(&topo, &set).unwrap();
-        assert_eq!(out.rounds(), w);
+        let out = ctx.route_named("csa", &topo, &set).unwrap();
+        assert_eq!(out.rounds, w);
+        ctx.recycle(out);
         count += 1;
     }
     assert_eq!(count, 42);

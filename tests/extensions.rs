@@ -4,6 +4,7 @@
 
 use cst::comm::CommSet;
 use cst::core::CstTopology;
+use cst::engine::{EngineCtx, RouteExtra};
 use cst::srga::{Comm2d, Coord, SrgaGrid};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -16,6 +17,7 @@ fn universal_scheduler_handles_random_arbitrary_sets() {
     let n = 128;
     let topo = CstTopology::with_leaves(n);
     let mut rng = StdRng::seed_from_u64(11);
+    let mut ctx = EngineCtx::new();
     for _ in 0..25 {
         // random matching over a random subset of PEs, random directions
         let mut pes: Vec<usize> = (0..n).collect();
@@ -32,11 +34,13 @@ fn universal_scheduler_handles_random_arbitrary_sets() {
             })
             .collect();
         let set = CommSet::from_pairs(n, &pairs);
-        let out = cst::padr::schedule_any(&topo, &set).expect("universal schedules anything");
+        let out =
+            ctx.route_named("universal", &topo, &set).expect("universal schedules anything");
         out.schedule.verify(&topo, &set).expect("and it verifies");
         let ids: std::collections::BTreeSet<usize> =
             out.schedule.scheduled_ids().map(|c| c.0).collect();
         assert_eq!(ids.len(), set.len());
+        ctx.recycle(out);
     }
 }
 
@@ -46,6 +50,7 @@ fn merging_is_sound_and_never_worse() {
     let n = 64;
     let topo = CstTopology::with_leaves(n);
     let mut rng = StdRng::seed_from_u64(21);
+    let mut ctx = EngineCtx::new();
     for _ in 0..20 {
         // build a mixed well-nested set: right-oriented random half on the
         // left side, mirrored version on the right side
@@ -56,12 +61,17 @@ fn merging_is_sound_and_never_worse() {
         pairs.extend(right.comms().iter().map(|c| (n - 1 - c.source.0, n - 1 - c.dest.0)));
         let set = CommSet::from_pairs(n, &pairs);
 
-        let sequential = cst::padr::schedule_general(&topo, &set).unwrap();
-        let merged = cst::padr::schedule_general_merged(&topo, &set).unwrap();
-        assert!(merged.num_rounds() <= sequential.rounds());
-        merged.verify(&topo, &set).unwrap();
+        let sequential = ctx.route_named("general", &topo, &set).unwrap();
+        let merged = ctx.route_named("general-merged", &topo, &set).unwrap();
+        assert!(merged.rounds <= sequential.rounds);
+        merged.schedule.verify(&topo, &set).unwrap();
         // mirror-symmetric halves interleave perfectly
-        assert_eq!(merged.num_rounds(), sequential.right_rounds.max(sequential.left_rounds));
+        let &RouteExtra::General { right_rounds, left_rounds } = &sequential.extra else {
+            panic!("general router carries half-rounds extras");
+        };
+        assert_eq!(merged.rounds, right_rounds.max(left_rounds));
+        ctx.recycle(sequential);
+        ctx.recycle(merged);
     }
 }
 
@@ -131,8 +141,11 @@ fn fault_campaign_never_verifies_wrong_output() {
 fn layers_on_comb() {
     let topo = CstTopology::with_leaves(64);
     let set = cst::workloads::comb(64, 10);
-    let out = cst::padr::schedule_layered(&topo, &set).unwrap();
-    assert_eq!(out.num_layers(), 1, "a comb is well-nested: one layer");
-    assert_eq!(out.rounds(), 2);
+    let out = cst::engine::route_once("layered", &topo, &set).unwrap();
+    let RouteExtra::Layered { num_layers } = out.extra else {
+        panic!("layered router carries layer-count extras");
+    };
+    assert_eq!(num_layers, 1, "a comb is well-nested: one layer");
+    assert_eq!(out.rounds, 2);
     out.schedule.verify(&topo, &set).unwrap();
 }

@@ -1,27 +1,33 @@
 //! Seeded stress for the threaded parallel driver, audited statically.
 //!
-//! The bench host has a single core, so `schedule_parallel`'s adaptive
-//! entry point normally runs the decomposition inline and the cross-thread
-//! channel path goes unexercised. `schedule_parallel_threaded` forces real
+//! The bench host has a single core, so the adaptive "csa-parallel"
+//! router normally runs the decomposition inline and the cross-thread
+//! channel path goes unexercised. The "csa-threaded" router forces real
 //! worker threads; every outcome is then fed through the `cst-check`
 //! analyzer, whose double-stamp pass (`CST070`) is aimed precisely at the
 //! race class a parallel writer could introduce — two threads claiming one
-//! switch in the same round.
+//! switch in the same round. Everything dispatches through the engine
+//! (one warm `EngineCtx` reused across all seeds — the stress doubles as
+//! a scratch-reuse soak).
 
 use cst::check::{analyze, CheckOptions};
 use cst::core::CstTopology;
+use cst::engine::{CsaThreaded, EngineCtx, Router};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 #[test]
 fn threaded_outcomes_survive_static_analysis() {
+    let mut ctx = EngineCtx::new();
     for n in [8usize, 16, 32] {
         let topo = CstTopology::with_leaves(n);
         for seed in 0..25u64 {
             let mut rng = StdRng::seed_from_u64(seed * 31 + n as u64);
             let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
             for threads in [2usize, 4] {
-                let out = cst::padr::schedule_parallel_threaded(&topo, &set, threads)
+                let router = CsaThreaded { threads };
+                let out = ctx
+                    .route(&router, &topo, &set)
                     .unwrap_or_else(|e| panic!("n={n} seed={seed} threads={threads}: {e}"));
                 let report = analyze(&topo, &set, &out.schedule, &CheckOptions::strict());
                 assert!(
@@ -29,6 +35,7 @@ fn threaded_outcomes_survive_static_analysis() {
                     "threaded CSA flagged (n={n}, seed={seed}, threads={threads}):\n{}",
                     report.render_text()
                 );
+                ctx.recycle(out);
             }
         }
     }
@@ -41,11 +48,16 @@ fn threaded_and_serial_schedules_agree() {
     // still caught as a divergence.
     let n = 32;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
+    let threaded4 = CsaThreaded { threads: 4 };
+    assert_eq!(threaded4.name(), "csa-threaded");
     for seed in 0..10u64 {
         let mut rng = StdRng::seed_from_u64(seed + 7000);
         let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.8);
-        let serial = cst::padr::schedule(&topo, &set).unwrap();
-        let threaded = cst::padr::schedule_parallel_threaded(&topo, &set, 4).unwrap();
+        let serial = ctx.route_named("csa", &topo, &set).unwrap();
+        let threaded = ctx.route(&threaded4, &topo, &set).unwrap();
         assert_eq!(serial.schedule, threaded.schedule, "seed={seed}");
+        ctx.recycle(serial);
+        ctx.recycle(threaded);
     }
 }

@@ -58,7 +58,10 @@ proptest! {
     fn csa_theorems(pattern in paren_pattern(64)) {
         let Some(set) = valid_set(&pattern) else { return Ok(()); };
         let topo = CstTopology::with_leaves(64);
-        let out = cst::padr::schedule(&topo, &set).expect("CSA must succeed");
+        let out = cst::engine::route_once("csa", &topo, &set)
+            .expect("CSA must succeed")
+            .into_csa()
+            .expect("csa router carries CSA extras");
         let report = cst::padr::verify_outcome(&topo, &set, &out).expect("theorems");
         prop_assert_eq!(report.rounds as u32, report.width);
         prop_assert!(report.max_port_transitions <= cst::padr::CSA_PORT_TRANSITION_BOUND);
@@ -72,16 +75,15 @@ proptest! {
         let Some(set) = valid_set(&pattern) else { return Ok(()); };
         let topo = CstTopology::with_leaves(64);
         let w = width_on_topology(&topo, &set);
-        let roy = cst::baseline::roy::schedule(&topo, &set, cst::baseline::LevelOrder::InnermostFirst).unwrap();
-        roy.schedule.verify(&topo, &set).unwrap();
-        prop_assert!(roy.schedule.num_rounds() as u32 >= w);
-        for order in [cst::baseline::ScanOrder::OutermostFirst, cst::baseline::ScanOrder::InputOrder] {
-            let g = cst::baseline::greedy::schedule(&topo, &set, order).unwrap();
-            g.schedule.verify(&topo, &set).unwrap();
-            prop_assert!(g.schedule.num_rounds() as u32 >= w);
+        let mut ctx = cst::engine::EngineCtx::new();
+        for name in ["roy", "greedy", "greedy-input"] {
+            let out = ctx.route_named(name, &topo, &set).unwrap();
+            out.schedule.verify(&topo, &set).unwrap();
+            prop_assert!(out.rounds as u32 >= w, "{}", name);
+            ctx.recycle(out);
         }
-        let csa = cst::padr::schedule(&topo, &set).unwrap();
-        prop_assert!(csa.rounds() as u32 == w);
+        let csa = ctx.route_named("csa", &topo, &set).unwrap();
+        prop_assert!(csa.rounds as u32 == w);
     }
 
     /// Simulator and host scheduler agree exactly: same rounds, same
@@ -90,7 +92,7 @@ proptest! {
     fn simulator_matches_host(pattern in paren_pattern(32)) {
         let Some(set) = valid_set(&pattern) else { return Ok(()); };
         let topo = CstTopology::with_leaves(32);
-        let host = cst::padr::schedule(&topo, &set).unwrap();
+        let host = cst::engine::route_once("csa", &topo, &set).unwrap();
         let sim = cst::sim::simulate(&topo, &set, None).unwrap();
         prop_assert_eq!(sim.schedule.num_rounds(), host.schedule.num_rounds());
         for (a, b) in sim.schedule.rounds.iter().zip(&host.schedule.rounds) {

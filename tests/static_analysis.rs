@@ -7,23 +7,26 @@
 use cst::check::{analyze, CheckOptions};
 use cst::comm::examples;
 use cst::core::CstTopology;
+use cst::engine::{route_once, EngineCtx};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 #[test]
 fn csa_outcomes_are_strictly_clean() {
+    let mut ctx = EngineCtx::new();
     for n in [8usize, 32, 128] {
         let topo = CstTopology::with_leaves(n);
         for seed in 0..8u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.6);
-            let out = cst::padr::schedule(&topo, &set).unwrap();
+            let out = ctx.route_named("csa", &topo, &set).unwrap();
             let report = analyze(&topo, &set, &out.schedule, &CheckOptions::strict());
             assert!(
                 report.is_clean(),
                 "CSA schedule flagged (n={n}, seed={seed}):\n{}",
                 report.render_text()
             );
+            ctx.recycle(out);
         }
     }
 }
@@ -48,7 +51,7 @@ fn paper_figures_are_strictly_clean() {
         (32, examples::sibling_pairs(32)),
     ] {
         let topo = CstTopology::with_leaves(n);
-        let out = cst::padr::schedule(&topo, &set).unwrap();
+        let out = route_once("csa", &topo, &set).unwrap();
         let report = analyze(&topo, &set, &out.schedule, &CheckOptions::strict());
         assert!(report.is_clean(), "{}", report.render_text());
     }
@@ -68,9 +71,7 @@ fn greedy_outermost_meets_its_weaker_contract() {
     for seed in 0..8u64 {
         let mut rng = StdRng::seed_from_u64(seed + 200);
         let set = cst::workloads::well_nested_with_density(&mut rng, 64, 0.6);
-        let out =
-            cst::baseline::greedy::schedule(&topo, &set, cst::baseline::ScanOrder::OutermostFirst)
-                .unwrap();
+        let out = route_once("greedy", &topo, &set).unwrap();
         let report = analyze(&topo, &set, &out.schedule, &options);
         assert!(report.is_clean(), "greedy (seed={seed}):\n{}", report.render_text());
     }
@@ -84,9 +85,7 @@ fn roy_baseline_is_correct_under_lenient_analysis() {
     for seed in 0..8u64 {
         let mut rng = StdRng::seed_from_u64(seed + 300);
         let set = cst::workloads::well_nested_with_density(&mut rng, 64, 0.6);
-        let out =
-            cst::baseline::roy::schedule(&topo, &set, cst::baseline::LevelOrder::InnermostFirst)
-                .unwrap();
+        let out = route_once("roy", &topo, &set).unwrap();
         let report = analyze(&topo, &set, &out.schedule, &CheckOptions::lenient());
         assert!(!report.has_errors(), "roy (seed={seed}):\n{}", report.render_text());
     }
@@ -94,11 +93,11 @@ fn roy_baseline_is_correct_under_lenient_analysis() {
 
 #[test]
 fn merged_mixed_orientation_schedules_are_correct() {
-    // schedule_general_merged interleaves the two orientation halves;
+    // The "general-merged" router interleaves the two orientation halves;
     // correctness is re-checked at link granularity by the analyzer.
     let topo = CstTopology::with_leaves(16);
     let set = cst::comm::CommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 5), (15, 8), (14, 9)]);
-    let merged = cst::padr::schedule_general_merged(&topo, &set).unwrap();
-    let report = analyze(&topo, &set, &merged, &CheckOptions::lenient());
+    let merged = route_once("general-merged", &topo, &set).unwrap();
+    let report = analyze(&topo, &set, &merged.schedule, &CheckOptions::lenient());
     assert!(!report.has_errors(), "{}", report.render_text());
 }

@@ -4,7 +4,8 @@
 
 use cst::comm::width_on_topology;
 use cst::core::CstTopology;
-use cst::padr::{schedule, verify_outcome, CSA_PORT_TRANSITION_BOUND};
+use cst::engine::{EngineCtx, RouteExtra};
+use cst::padr::{verify_outcome, CSA_PORT_TRANSITION_BOUND};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -12,6 +13,7 @@ use rand::SeedableRng;
 /// densities.
 #[test]
 fn theorems_hold_on_random_workloads() {
+    let mut ctx = EngineCtx::new();
     for n in [8usize, 16, 64, 256, 1024] {
         for density in [0.1, 0.5, 1.0] {
             for seed in 0..10u64 {
@@ -21,8 +23,11 @@ fn theorems_hold_on_random_workloads() {
                 if set.is_empty() {
                     continue;
                 }
-                let out = schedule(&topo, &set)
-                    .unwrap_or_else(|e| panic!("CSA failed (n={n}, seed={seed}): {e}"));
+                let out = ctx
+                    .route_named("csa", &topo, &set)
+                    .unwrap_or_else(|e| panic!("CSA failed (n={n}, seed={seed}): {e}"))
+                    .into_csa()
+                    .expect("csa router carries CSA extras");
                 let report = verify_outcome(&topo, &set, &out)
                     .unwrap_or_else(|e| panic!("verification failed (n={n}, seed={seed}): {e}"));
                 assert_eq!(report.rounds as u32, report.width);
@@ -38,14 +43,16 @@ fn theorems_hold_on_random_workloads() {
 fn csa_cost_is_width_independent() {
     let n = 1024;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
     let mut maxima = Vec::new();
     for w in [4usize, 16, 64, 128] {
         let mut worst = 0;
         for seed in 0..5u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let set = cst::workloads::with_width(&mut rng, n, w, 0.5);
-            let out = schedule(&topo, &set).unwrap();
+            let out = ctx.route_named("csa", &topo, &set).unwrap();
             worst = worst.max(out.power.max_port_transitions);
+            ctx.recycle(out);
         }
         maxima.push(worst);
     }
@@ -77,11 +84,13 @@ fn rounds_equal_width_on_structured_families() {
         cst::workloads::hierarchical_bus(n, 5),
         cst::workloads::staircase(n, n / 16),
     ];
+    let mut ctx = EngineCtx::new();
     for set in cases {
         let w = width_on_topology(&topo, &set);
-        let out = schedule(&topo, &set).unwrap();
-        assert_eq!(out.rounds() as u32, w);
+        let out = ctx.route_named("csa", &topo, &set).unwrap();
+        assert_eq!(out.rounds as u32, w);
         out.schedule.verify(&topo, &set).unwrap();
+        ctx.recycle(out);
     }
 }
 
@@ -92,7 +101,10 @@ fn large_instance_smoke() {
     let topo = CstTopology::with_leaves(n);
     let mut rng = StdRng::seed_from_u64(77);
     let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.9);
-    let out = schedule(&topo, &set).unwrap();
+    let out = cst::engine::route_once("csa", &topo, &set)
+        .unwrap()
+        .into_csa()
+        .expect("csa router carries CSA extras");
     let report = verify_outcome(&topo, &set, &out).unwrap();
     assert!(report.max_port_transitions <= CSA_PORT_TRANSITION_BOUND);
     assert_eq!(out.metrics.words_stored_per_switch, 5);
@@ -103,6 +115,7 @@ fn large_instance_smoke() {
 fn mixed_orientation_general_scheduling() {
     let n = 128;
     let topo = CstTopology::with_leaves(n);
+    let mut ctx = EngineCtx::new();
     for seed in 0..10u64 {
         let mut rng = StdRng::seed_from_u64(seed + 1000);
         // Build a mixed set: a right-oriented random set on the left half
@@ -121,8 +134,12 @@ fn mixed_orientation_general_scheduling() {
                 .map(|c| (n - 1 - c.source.0, n - 1 - c.dest.0)),
         );
         let set = cst::comm::CommSet::from_pairs(n, &pairs);
-        let out = cst::padr::schedule_general(&topo, &set).unwrap();
-        cst::padr::verify_general(&topo, &set, &out).unwrap();
-        assert_eq!(out.rounds(), out.right_rounds + out.left_rounds);
+        let out = ctx.route_named("general", &topo, &set).unwrap();
+        out.schedule.verify(&topo, &set).unwrap();
+        let &RouteExtra::General { right_rounds, left_rounds } = &out.extra else {
+            panic!("general router carries half-rounds extras");
+        };
+        assert_eq!(out.rounds, right_rounds + left_rounds);
+        ctx.recycle(out);
     }
 }
