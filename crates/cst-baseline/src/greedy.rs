@@ -39,21 +39,10 @@ pub struct GreedyOutcome {
     pub order: ScanOrder,
 }
 
-/// Schedule `set` greedily under `order`. Requires a right-oriented
-/// well-nested set (the paper's setting); use [`schedule_arbitrary`] for
-/// anything else.
-#[deprecated(note = "dispatch through cst-engine's registry (router \"greedy\") or use \
-                     run with a reused MergedRound scratch")]
-pub fn schedule(
-    topo: &CstTopology,
-    set: &CommSet,
-    order: ScanOrder,
-) -> Result<GreedyOutcome, CstError> {
-    run(topo, set, order, &mut MergedRound::new(topo))
-}
-
-/// [`schedule`], reusing a caller-owned [`MergedRound`] scratch
-/// (re-targeted to `topo` on entry).
+/// Schedule `set` greedily under `order`, reusing a caller-owned
+/// [`MergedRound`] scratch (re-targeted to `topo` on entry). Requires a
+/// right-oriented well-nested set (the paper's setting); use
+/// [`run_arbitrary`] for anything else.
 pub fn run(
     topo: &CstTopology,
     set: &CommSet,
@@ -72,17 +61,7 @@ pub fn run(
 /// compatibility is a property of directed-link disjointness, not of
 /// nesting. No optimality guarantee: rounds >= width always, and the gap
 /// can be positive for crossing sets (measured in tests).
-#[deprecated(note = "dispatch through cst-engine's registry or use run_arbitrary with a \
-                     reused MergedRound scratch")]
-pub fn schedule_arbitrary(
-    topo: &CstTopology,
-    set: &CommSet,
-    order: ScanOrder,
-) -> Result<GreedyOutcome, CstError> {
-    run_arbitrary(topo, set, order, &mut MergedRound::new(topo))
-}
-
-/// [`schedule_arbitrary`], reusing a caller-owned [`MergedRound`] scratch.
+/// Like [`run`] but for arbitrary (crossing, mixed-orientation) sets.
 pub fn run_arbitrary(
     topo: &CstTopology,
     set: &CommSet,
@@ -140,10 +119,25 @@ fn schedule_unchecked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::{examples, width_on_topology};
+
+    fn schedule(
+        topo: &CstTopology,
+        set: &CommSet,
+        order: ScanOrder,
+    ) -> Result<GreedyOutcome, CstError> {
+        run(topo, set, order, &mut MergedRound::new(topo))
+    }
+
+    fn schedule_arbitrary(
+        topo: &CstTopology,
+        set: &CommSet,
+        order: ScanOrder,
+    ) -> Result<GreedyOutcome, CstError> {
+        run_arbitrary(topo, set, order, &mut MergedRound::new(topo))
+    }
 
     #[test]
     fn outermost_first_meets_width_on_canonical_sets() {

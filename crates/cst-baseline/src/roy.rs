@@ -98,19 +98,9 @@ pub fn assign_levels(topo: &CstTopology, set: &CommSet) -> Vec<u32> {
     levels
 }
 
-/// Schedule `set` Roy-style: one ID level per round.
-#[deprecated(note = "dispatch through cst-engine's registry (router \"roy\") or use \
-                     run with a reused MergedRound scratch")]
-pub fn schedule(
-    topo: &CstTopology,
-    set: &CommSet,
-    order: LevelOrder,
-) -> Result<RoyOutcome, CstError> {
-    run(topo, set, order, &mut MergedRound::new(topo))
-}
-
-/// [`schedule`], reusing a caller-owned [`MergedRound`] scratch for the
-/// round assembly (re-targeted to `topo` on entry).
+/// Schedule `set` Roy-style — one ID level per round — reusing a
+/// caller-owned [`MergedRound`] scratch for the round assembly
+/// (re-targeted to `topo` on entry).
 pub fn run(
     topo: &CstTopology,
     set: &CommSet,
@@ -134,10 +124,17 @@ pub fn run(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::examples;
+
+    fn schedule(
+        topo: &CstTopology,
+        set: &CommSet,
+        order: LevelOrder,
+    ) -> Result<RoyOutcome, CstError> {
+        run(topo, set, order, &mut MergedRound::new(topo))
+    }
 
     #[test]
     fn levels_on_plain_nest_match_depth() {
@@ -203,7 +200,9 @@ mod tests {
             assert!(report.max_writethrough_units >= w, "n={n}");
             assert!(report.max_writethrough_units > prev_roy);
             prev_roy = report.max_writethrough_units;
-            let csa = cst_padr::schedule(&topo, &set).unwrap();
+            let csa = cst_padr::CsaScratch::new()
+                .schedule(&topo, &set, &mut cst_comm::SchedulePool::new())
+                .unwrap();
             assert!(
                 csa.power.max_units <= 6,
                 "CSA hold units must stay constant, got {} at n={n}",

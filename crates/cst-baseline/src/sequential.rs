@@ -6,14 +6,8 @@ use crate::common::schedule_from_partition_in;
 use cst_comm::{CommSet, Schedule};
 use cst_core::{CstError, CstTopology, MergedRound};
 
-/// Schedule every communication in its own round, in id order.
-#[deprecated(note = "dispatch through cst-engine's registry (router \"sequential\") or use \
-                     run with a reused MergedRound scratch")]
-pub fn schedule(topo: &CstTopology, set: &CommSet) -> Result<Schedule, CstError> {
-    run(topo, set, &mut MergedRound::new(topo))
-}
-
-/// [`schedule`], reusing a caller-owned [`MergedRound`] scratch.
+/// Schedule every communication in its own round, in id order, reusing a
+/// caller-owned [`MergedRound`] scratch.
 pub fn run(
     topo: &CstTopology,
     set: &CommSet,
@@ -25,10 +19,13 @@ pub fn run(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::examples;
+
+    fn schedule(topo: &CstTopology, set: &CommSet) -> Result<Schedule, CstError> {
+        run(topo, set, &mut MergedRound::new(topo))
+    }
 
     #[test]
     fn one_round_per_comm() {

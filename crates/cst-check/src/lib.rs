@@ -48,9 +48,9 @@ use cst_core::CstTopology;
 pub use bundle::ScheduleBundle;
 pub use counters::{check_counters, expected_counters, CounterTable};
 pub use cst_core::diag::{DiagCode, DiagReport, Diagnostic, Severity};
-pub use mutation::{clean_fixture, corrupted, Fixture, Mutation};
+pub use mutation::{clean_fixture, corrupted, FaultScenario, Fixture, Mutation};
 pub use passes::{
-    check_round_count, check_selection_order, check_set, check_transitions,
+    check_faults, check_round_count, check_selection_order, check_set, check_transitions,
     max_static_transitions, static_port_transitions,
 };
 
@@ -138,6 +138,35 @@ pub fn analyze(
     if options.selection_order && set_is_canonical {
         report.merge(passes::check_selection_order(topo, set, schedule));
     }
+    report
+}
+
+/// [`analyze`] for degraded artifacts: a schedule routed under a hardware
+/// [`FaultMask`] with `dropped` listing the communications the router
+/// classified unroutable.
+///
+/// Runs every pass of [`analyze`], then replaces its coverage verdicts
+/// with the fault-aware ones: plain `CST012` findings for communications
+/// on the drop list are discarded (the absence is legitimate — whether
+/// the drop itself was, `CST102` decides), and
+/// [`passes::check_faults`] contributes the `CST10x` fault-model audit.
+///
+/// Note `optimal_rounds` still compares against the *full* set's width;
+/// analyze degraded schedules with [`CheckOptions::lenient`] (or
+/// `optimal_rounds: false`) when drops are expected.
+pub fn analyze_with_faults(
+    topo: &CstTopology,
+    set: &CommSet,
+    schedule: &Schedule,
+    options: &CheckOptions,
+    mask: &cst_core::FaultMask,
+    dropped: &[usize],
+) -> DiagReport {
+    let mut report = analyze(topo, set, schedule, options);
+    report.diagnostics.retain(|d| {
+        !(d.code == DiagCode::MissingComm && d.comms.iter().any(|c| dropped.contains(c)))
+    });
+    report.merge(passes::check_faults(topo, set, schedule, mask, dropped));
     report
 }
 

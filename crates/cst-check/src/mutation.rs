@@ -9,10 +9,12 @@
 //! precisely its code.
 
 use crate::counters::{check_counters, expected_counters, CounterTable};
-use crate::{analyze, CheckOptions};
+use crate::{analyze, analyze_with_faults, CheckOptions};
 use cst_comm::{CommId, CommSet, Round, Schedule};
 use cst_core::diag::{DiagCode, DiagReport};
-use cst_core::{Circuit, Connection, CstTopology, MergedRound, NodeId, RoundConfigs};
+use cst_core::{
+    Circuit, Connection, CstTopology, DirectedLink, FaultMask, MergedRound, NodeId, RoundConfigs,
+};
 
 /// One corruption per diagnostic class.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,11 +49,17 @@ pub enum Mutation {
     TwoWriters,
     /// A connection no circuit asked for (`CST071`, warning).
     StraySetting,
+    /// A scheduled communication crossing a dead link (`CST100`).
+    MaskedHardware,
+    /// One round driving a degraded edge in both directions (`CST101`).
+    HalfDuplexTraffic,
+    /// A routable communication reported as dropped (`CST102`).
+    BogusDrop,
 }
 
 impl Mutation {
     /// Every mutation, in code order.
-    pub const ALL: [Mutation; 15] = [
+    pub const ALL: [Mutation; 18] = [
         Mutation::CrossingComms,
         Mutation::LeftOriented,
         Mutation::UnknownId,
@@ -67,6 +75,9 @@ impl Mutation {
         Mutation::InvertedOrder,
         Mutation::TwoWriters,
         Mutation::StraySetting,
+        Mutation::MaskedHardware,
+        Mutation::HalfDuplexTraffic,
+        Mutation::BogusDrop,
     ];
 
     /// The one diagnostic this corruption must produce.
@@ -87,6 +98,9 @@ impl Mutation {
             Mutation::InvertedOrder => DiagCode::SelectionOrder,
             Mutation::TwoWriters => DiagCode::DoubleStamp,
             Mutation::StraySetting => DiagCode::ForeignConfig,
+            Mutation::MaskedHardware => DiagCode::MaskedLinkUsed,
+            Mutation::HalfDuplexTraffic => DiagCode::HalfDuplexViolation,
+            Mutation::BogusDrop => DiagCode::DroppedRoutable,
         }
     }
 
@@ -98,6 +112,14 @@ impl Mutation {
     }
 }
 
+/// A fault-mask context claimed by a degraded artifact: the mask the
+/// schedule was routed under and the communications reported dropped.
+#[derive(Clone, Debug)]
+pub struct FaultScenario {
+    pub mask: FaultMask,
+    pub dropped: Vec<usize>,
+}
+
 /// A complete analysis subject: inputs, schedule, claimed counters and the
 /// contract to check against.
 #[derive(Clone, Debug)]
@@ -107,12 +129,18 @@ pub struct Fixture {
     pub schedule: Schedule,
     pub counters: Option<CounterTable>,
     pub options: CheckOptions,
+    /// Present when the artifact claims degraded routing; switches the
+    /// analysis to [`analyze_with_faults`].
+    pub fault: Option<FaultScenario>,
 }
 
 /// Analyze a fixture: every schedule pass plus, when tables are claimed,
 /// the Lemma 1 counter pass.
 pub fn run(f: &Fixture) -> DiagReport {
-    let mut report = analyze(&f.topo, &f.set, &f.schedule, &f.options);
+    let mut report = match &f.fault {
+        Some(s) => analyze_with_faults(&f.topo, &f.set, &f.schedule, &f.options, &s.mask, &s.dropped),
+        None => analyze(&f.topo, &f.set, &f.schedule, &f.options),
+    };
     if let Some(t) = &f.counters {
         report.merge(check_counters(&f.topo, &f.set, t));
     }
@@ -139,7 +167,14 @@ fn fixture_of(num_leaves: usize, pairs: &[(usize, usize)]) -> Fixture {
     let set = CommSet::from_pairs(num_leaves, pairs);
     let rounds = (0..set.len()).map(|i| round_of(&topo, &set, &[i])).collect();
     let counters = Some(expected_counters(&topo, &set));
-    Fixture { topo, set, schedule: Schedule { rounds }, counters, options: CheckOptions::strict() }
+    Fixture {
+        topo,
+        set,
+        schedule: Schedule { rounds },
+        counters,
+        options: CheckOptions::strict(),
+        fault: None,
+    }
 }
 
 /// The known-clean baseline: three nested communications on 8 PEs,
@@ -246,6 +281,43 @@ pub fn corrupted(m: Mutation) -> Fixture {
                 .entry_mut(NodeId(5))
                 .set(Connection::L_TO_R)
                 .expect("n5 unused in round 0");
+        }
+        Mutation::MaskedHardware => {
+            // The schedule is honest, but the artifact claims a mask under
+            // which c0's last hop (down to leaf 7 = n15) is dead — keeping
+            // c0 scheduled anyway crosses masked hardware.
+            let mut mask = FaultMask::empty(&f.topo);
+            assert!(mask.kill_link(DirectedLink::down_to(NodeId(15))));
+            f.fault = Some(FaultScenario { mask, dropped: Vec::new() });
+        }
+        Mutation::HalfDuplexTraffic => {
+            // Two disjoint comms legally share one round, but they drive
+            // the edge above n5 in opposite directions — illegal once that
+            // edge degrades to half-duplex.
+            let topo = CstTopology::with_leaves(8);
+            let set = CommSet::from_pairs(8, &[(0, 2), (3, 6)]);
+            let schedule = Schedule { rounds: vec![round_of(&topo, &set, &[0, 1])] };
+            let counters = Some(expected_counters(&topo, &set));
+            let mut mask = FaultMask::empty(&topo);
+            assert!(mask.degrade_edge(NodeId(5)));
+            f = Fixture {
+                topo,
+                set,
+                schedule,
+                counters,
+                options: CheckOptions::strict(),
+                fault: Some(FaultScenario { mask, dropped: Vec::new() }),
+            };
+        }
+        Mutation::BogusDrop => {
+            // c2 is reported dropped, but the claimed mask is empty:
+            // nothing blocks its path, so the drop is a router bug. The
+            // empty padding round keeps Theorem 5 satisfied.
+            f.schedule.rounds[2] = Round::default();
+            f.fault = Some(FaultScenario {
+                mask: FaultMask::empty(&f.topo),
+                dropped: vec![2],
+            });
         }
     }
     f

@@ -6,7 +6,7 @@
 
 use cst_comm::{width_on_topology, CommSet, Orientation, Schedule};
 use cst_core::diag::{DiagCode, DiagReport, Diagnostic};
-use cst_core::{CstTopology, SwitchConfig};
+use cst_core::{CstTopology, FaultMask, SwitchConfig};
 
 /// Structural checks on the input set: well-nestedness (`CST001`) and —
 /// when `require_right_oriented` — orientation (`CST002`).
@@ -96,6 +96,124 @@ pub fn check_transitions(topo: &CstTopology, schedule: &Schedule, bound: u32) ->
                 )
                 .with_node(cst_core::NodeId(i)),
             );
+        }
+    }
+    report
+}
+
+/// Fault-model audit of a degraded schedule (`CST10x`, docs/FAULTS.md).
+///
+/// `dropped` is the set of communication ids the router claims are
+/// unroutable under `mask`. The pass checks the three fault invariants:
+///
+/// * **CST100** — no scheduled communication's circuit crosses a dead
+///   link or a dead switch (the path is unique, so walking it is exact);
+/// * **CST101** — no round drives a degraded (half-duplex) edge in both
+///   directions;
+/// * **CST102** — every dropped communication really is unroutable: a
+///   drop with no blocking fault on its path is a router bug.
+///
+/// It also re-checks coverage under the drop list, since plain
+/// `check_rounds` coverage (CST012) cannot know which absences are
+/// legitimate: a communication neither scheduled nor dropped is
+/// `CST012` here, and one *both* scheduled and dropped is `CST011`.
+pub fn check_faults(
+    topo: &CstTopology,
+    set: &CommSet,
+    schedule: &Schedule,
+    mask: &FaultMask,
+    dropped: &[usize],
+) -> DiagReport {
+    let mut report = DiagReport::new();
+    let mut is_dropped = vec![false; set.len()];
+    for &id in dropped {
+        if let Some(slot) = is_dropped.get_mut(id) {
+            *slot = true;
+        }
+    }
+    let mut scheduled = vec![false; set.len()];
+    // Per-round direction usage of each degraded edge, child-node indexed:
+    // bit 0 = upward, bit 1 = downward.
+    let mut edge_dirs = vec![0u8; topo.node_table_len()];
+    for (r, round) in schedule.rounds.iter().enumerate() {
+        edge_dirs.iter_mut().for_each(|d| *d = 0);
+        for &id in &round.comms {
+            let Some(c) = set.comms().get(id.0) else { continue };
+            scheduled[id.0] = true;
+            for link in topo.path_links(c.source, c.dest) {
+                if mask.link_dead(link) {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::MaskedLinkUsed,
+                            format!("{id} crosses dead link {link}"),
+                        )
+                        .with_round(r)
+                        .with_comm(id.0)
+                        .with_link(link.child, link.up),
+                    );
+                }
+                if let Some(sw) = link.child.parent() {
+                    if mask.switch_dead(sw) {
+                        report.push(
+                            Diagnostic::new(
+                                DiagCode::MaskedLinkUsed,
+                                format!("{id} routes through dead switch {sw}"),
+                            )
+                            .with_round(r)
+                            .with_comm(id.0)
+                            .with_node(sw),
+                        );
+                    }
+                }
+                if mask.edge_degraded(link.child) {
+                    edge_dirs[link.child.index()] |= if link.up { 0b01 } else { 0b10 };
+                }
+            }
+        }
+        for &edge in mask.degraded_edges() {
+            if edge_dirs[edge.index()] == 0b11 {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::HalfDuplexViolation,
+                        format!("degraded edge above {edge} driven in both directions"),
+                    )
+                    .with_round(r)
+                    .with_node(edge),
+                );
+            }
+        }
+    }
+    for (id, c) in set.iter() {
+        match (scheduled[id.0], is_dropped[id.0]) {
+            (false, false) => report.push(
+                Diagnostic::new(
+                    DiagCode::MissingComm,
+                    format!("{id} neither scheduled nor reported dropped"),
+                )
+                .with_comm(id.0),
+            ),
+            (true, true) => report.push(
+                Diagnostic::new(
+                    DiagCode::DuplicateComm,
+                    format!("{id} reported dropped but present in the schedule"),
+                )
+                .with_comm(id.0),
+            ),
+            (false, true) => {
+                if mask.blocking_fault(topo, c.source, c.dest).is_none() {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::DroppedRoutable,
+                            format!(
+                                "{id} ({} -> {}) was dropped but no fault blocks its path",
+                                c.source, c.dest
+                            ),
+                        )
+                        .with_comm(id.0),
+                    );
+                }
+            }
+            (true, false) => {}
         }
     }
     report
@@ -260,6 +378,75 @@ mod tests {
         assert_eq!(d.code, DiagCode::SelectionOrder);
         assert_eq!(d.comms, vec![0, 1]);
         assert!(d.node.is_some());
+    }
+
+    #[test]
+    fn fault_pass_is_clean_on_honest_degradation() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 2)]);
+        let mut mask = FaultMask::empty(&topo);
+        assert!(mask.kill_switch(NodeId(1))); // (0, 7) crosses the root
+        // Schedule only the surviving (1, 2); report (0, 7) as dropped.
+        let sched = Schedule { rounds: vec![round_of_ids(&topo, &set, &[1])] };
+        let rep = check_faults(&topo, &set, &sched, &mask, &[0]);
+        assert!(rep.is_clean(), "{}", rep.render_text());
+    }
+
+    #[test]
+    fn fault_pass_flags_masked_hardware_use() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7)]);
+        let sched = Schedule { rounds: vec![round_of_ids(&topo, &set, &[0])] };
+        let mut dead_switch = FaultMask::empty(&topo);
+        assert!(dead_switch.kill_switch(NodeId(1)));
+        let rep = check_faults(&topo, &set, &sched, &dead_switch, &[]);
+        assert!(rep.has_errors());
+        assert_eq!(rep.first_error().unwrap().code, DiagCode::MaskedLinkUsed);
+
+        let mut dead_link = FaultMask::empty(&topo);
+        assert!(dead_link.kill_link(cst_core::DirectedLink::up_from(NodeId(2))));
+        let rep = check_faults(&topo, &set, &sched, &dead_link, &[]);
+        assert_eq!(rep.first_error().unwrap().code, DiagCode::MaskedLinkUsed);
+        // The opposite direction of the same edge is a different link.
+        let mut other_dir = FaultMask::empty(&topo);
+        assert!(other_dir.kill_link(cst_core::DirectedLink::down_to(NodeId(2))));
+        assert!(check_faults(&topo, &set, &sched, &other_dir, &[]).is_clean());
+    }
+
+    #[test]
+    fn fault_pass_flags_half_duplex_violation() {
+        let topo = CstTopology::with_leaves(8);
+        // (0, 2) drives the edge above node 5 downward, (3, 6) upward.
+        let set = CommSet::from_pairs(8, &[(0, 2), (3, 6)]);
+        let mut mask = FaultMask::empty(&topo);
+        assert!(mask.degrade_edge(NodeId(5)));
+        let both = Schedule { rounds: vec![round_of_ids(&topo, &set, &[0, 1])] };
+        let rep = check_faults(&topo, &set, &both, &mask, &[]);
+        assert_eq!(rep.first_error().unwrap().code, DiagCode::HalfDuplexViolation);
+        let split = Schedule {
+            rounds: vec![round_of_ids(&topo, &set, &[0]), round_of_ids(&topo, &set, &[1])],
+        };
+        assert!(check_faults(&topo, &set, &split, &mask, &[]).is_clean());
+    }
+
+    #[test]
+    fn fault_pass_flags_bogus_drops_and_coverage() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 2)]);
+        let mask = FaultMask::empty(&topo);
+        // Nothing blocks (0, 7); dropping it anyway is a router bug.
+        let sched = Schedule { rounds: vec![round_of_ids(&topo, &set, &[1])] };
+        let rep = check_faults(&topo, &set, &sched, &mask, &[0]);
+        assert_eq!(rep.first_error().unwrap().code, DiagCode::DroppedRoutable);
+        // Neither scheduled nor dropped → missing.
+        let rep = check_faults(&topo, &set, &sched, &mask, &[]);
+        assert_eq!(rep.first_error().unwrap().code, DiagCode::MissingComm);
+        // Dropped but also scheduled → duplicate accounting.
+        let full = Schedule {
+            rounds: vec![round_of_ids(&topo, &set, &[0]), round_of_ids(&topo, &set, &[1])],
+        };
+        let rep = check_faults(&topo, &set, &full, &mask, &[0]);
+        assert_eq!(rep.first_error().unwrap().code, DiagCode::DuplicateComm);
     }
 
     #[test]

@@ -46,8 +46,10 @@ impl core::fmt::Display for Severity {
 /// Stable diagnostic codes. The decades group by invariant family:
 /// 00x input set, 01x coverage, 02x round legality (Theorem 4), 03x
 /// optimality (Theorem 5), 04x power (Theorem 8), 05x Phase-1 counters
-/// (Lemma 1), 06x selection order, 07x ownership. Codes are append-only:
-/// never renumber, never reuse.
+/// (Lemma 1), 06x selection order, 07x ownership, 10x fault/degradation
+/// (the `CST1xx` family checks schedules against a hardware
+/// [`crate::fault::FaultMask`]). Codes are append-only: never renumber,
+/// never reuse.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum DiagCode {
     /// CST001 — the input set has a crossing pair (not well-nested, §2.1).
@@ -86,11 +88,20 @@ pub enum DiagCode {
     /// CST071 — a switch or connection is configured but unused by the
     /// round's circuits (warning: wastes power, may hide stale state).
     ForeignConfig,
+    /// CST100 — a scheduled circuit crosses a dead switch or dead directed
+    /// link of the fault mask.
+    MaskedLinkUsed,
+    /// CST101 — one round uses both directions of a degraded (half-duplex)
+    /// edge.
+    HalfDuplexViolation,
+    /// CST102 — a communication reported as dropped is actually routable
+    /// under the mask (its unique path avoids every dead switch and link).
+    DroppedRoutable,
 }
 
 impl DiagCode {
     /// Every code, in numeric order.
-    pub const ALL: [DiagCode; 15] = [
+    pub const ALL: [DiagCode; 18] = [
         DiagCode::NotWellNested,
         DiagCode::NotRightOriented,
         DiagCode::UnknownComm,
@@ -106,6 +117,9 @@ impl DiagCode {
         DiagCode::SelectionOrder,
         DiagCode::DoubleStamp,
         DiagCode::ForeignConfig,
+        DiagCode::MaskedLinkUsed,
+        DiagCode::HalfDuplexViolation,
+        DiagCode::DroppedRoutable,
     ];
 
     /// The stable `CST0xx` code string.
@@ -126,6 +140,9 @@ impl DiagCode {
             DiagCode::SelectionOrder => "CST060",
             DiagCode::DoubleStamp => "CST070",
             DiagCode::ForeignConfig => "CST071",
+            DiagCode::MaskedLinkUsed => "CST100",
+            DiagCode::HalfDuplexViolation => "CST101",
+            DiagCode::DroppedRoutable => "CST102",
         }
     }
 
@@ -160,6 +177,9 @@ impl DiagCode {
             DiagCode::SelectionOrder => "outermost-first",
             DiagCode::DoubleStamp => "single-writer-per-switch",
             DiagCode::ForeignConfig => "no-foreign-configs",
+            DiagCode::MaskedLinkUsed => "no-masked-hardware",
+            DiagCode::HalfDuplexViolation => "half-duplex-edges",
+            DiagCode::DroppedRoutable => "drop-only-unroutable",
         }
     }
 
@@ -178,6 +198,9 @@ impl DiagCode {
             DiagCode::CounterMismatch | DiagCode::CounterFlow => "Lemma 1",
             DiagCode::SelectionOrder => "§4 (O_c(u))",
             DiagCode::DoubleStamp | DiagCode::ForeignConfig => "implementation",
+            DiagCode::MaskedLinkUsed
+            | DiagCode::HalfDuplexViolation
+            | DiagCode::DroppedRoutable => "fault model (docs/FAULTS.md)",
         }
     }
 }
@@ -473,7 +496,8 @@ mod tests {
         for c in DiagCode::ALL {
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
             assert_eq!(DiagCode::parse(c.as_str()), Some(c));
-            assert!(c.as_str().starts_with("CST0"));
+            assert!(c.as_str().starts_with("CST"));
+            assert_eq!(c.as_str().len(), 6);
             assert!(!c.invariant().is_empty());
             assert!(!c.paper_ref().is_empty());
         }

@@ -1,0 +1,418 @@
+//! Hardware fault masks over the CST.
+//!
+//! A [`FaultMask`] records which parts of a tree instance are unavailable:
+//!
+//! * **dead switches** — the switch holds no configuration at all; every
+//!   circuit through it is unroutable;
+//! * **dead directed links** — one channel of an edge is gone; circuits
+//!   using that channel are unroutable (the opposite channel may live on);
+//! * **degraded (half-duplex) edges** — both channels work, but not in the
+//!   same round; schedulers must *temporally* reroute by splitting any
+//!   round that would use both directions at once.
+//!
+//! Because the 3-sided switch never connects an input back to its own
+//! side's output (§2, Fig. 3(a)), the path between two leaves is unique —
+//! there is no spatial detour in a tree. A dead switch or dead link on a
+//! communication's path therefore makes it *unroutable*, and
+//! [`FaultMask::blocking_fault`] is an exact oracle, not a heuristic. The
+//! only routing freedom a fault leaves is temporal (degraded edges), which
+//! `cst-padr`'s degrade pass exploits.
+//!
+//! Storage is dense bitsets indexed exactly like the flat [`ConfigArena`]
+//! tables: switch state by `NodeId` (size `2N`), directed links by
+//! [`DirectedLink::dense_index`] (size `4N`), edges by child `NodeId`
+//! (size `2N`). Queries are O(1); the path oracle is O(log N).
+//!
+//! [`ConfigArena`]: crate::round::ConfigArena
+
+use crate::link::DirectedLink;
+use crate::node::{LeafId, NodeId};
+use crate::topology::CstTopology;
+use serde::{de_field, Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Why a communication cannot be routed (or had to be rerouted).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FaultCause {
+    /// A switch on the unique path is dead.
+    DeadSwitch(NodeId),
+    /// A directed link on the unique path is dead.
+    DeadLink(DirectedLink),
+}
+
+impl core::fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultCause::DeadSwitch(n) => write!(f, "dead switch {n}"),
+            FaultCause::DeadLink(l) => write!(f, "dead link {l}"),
+        }
+    }
+}
+
+impl Serialize for FaultCause {
+    fn to_value(&self) -> Value {
+        match self {
+            FaultCause::DeadSwitch(n) => Value::Map(vec![
+                ("kind".to_string(), Value::Str("dead-switch".to_string())),
+                ("node".to_string(), Value::UInt(n.0 as u64)),
+            ]),
+            FaultCause::DeadLink(l) => Value::Map(vec![
+                ("kind".to_string(), Value::Str("dead-link".to_string())),
+                ("child".to_string(), Value::UInt(l.child.0 as u64)),
+                ("up".to_string(), Value::Bool(l.up)),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for FaultCause {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let kind: String = de_field(v, "kind")?;
+        match kind.as_str() {
+            "dead-switch" => Ok(FaultCause::DeadSwitch(NodeId(de_field(v, "node")?))),
+            "dead-link" => Ok(FaultCause::DeadLink(DirectedLink {
+                child: NodeId(de_field(v, "child")?),
+                up: de_field(v, "up")?,
+            })),
+            other => Err(SerdeError(format!("unknown fault kind {other:?}"))),
+        }
+    }
+}
+
+/// The set of faulty hardware of one CST instance. See the module docs for
+/// the fault model and the representation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultMask {
+    num_leaves: usize,
+    dead_switch: Vec<bool>,
+    dead_link: Vec<bool>,
+    degraded: Vec<bool>,
+    // Insertion-ordered fault lists, for iteration and reporting.
+    switches: Vec<NodeId>,
+    links: Vec<DirectedLink>,
+    edges: Vec<NodeId>,
+}
+
+impl FaultMask {
+    /// A mask with no faults, sized for `topo`.
+    pub fn empty(topo: &CstTopology) -> FaultMask {
+        FaultMask {
+            num_leaves: topo.num_leaves(),
+            dead_switch: vec![false; topo.node_table_len()],
+            dead_link: vec![false; 4 * topo.num_leaves()],
+            degraded: vec![false; topo.node_table_len()],
+            switches: Vec::new(),
+            links: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of leaves of the tree this mask describes.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Mark an internal switch dead. Returns `false` (mask unchanged) if
+    /// `node` is not an internal switch or is already dead.
+    pub fn kill_switch(&mut self, node: NodeId) -> bool {
+        if node.0 < 1 || node.0 >= self.num_leaves || self.dead_switch[node.0] {
+            return false;
+        }
+        self.dead_switch[node.0] = true;
+        self.switches.push(node);
+        true
+    }
+
+    /// Mark one directed channel dead. Returns `false` (mask unchanged) if
+    /// the link's child endpoint is not a valid non-root node or the
+    /// channel is already dead.
+    pub fn kill_link(&mut self, link: DirectedLink) -> bool {
+        if link.child.0 < 2 || link.child.0 >= 2 * self.num_leaves {
+            return false;
+        }
+        let i = link.dense_index();
+        if self.dead_link[i] {
+            return false;
+        }
+        self.dead_link[i] = true;
+        self.links.push(link);
+        true
+    }
+
+    /// Mark the edge above `child` half-duplex: both channels still work,
+    /// but a round may use only one direction. Returns `false` (mask
+    /// unchanged) on an invalid child or an already-degraded edge.
+    pub fn degrade_edge(&mut self, child: NodeId) -> bool {
+        if child.0 < 2 || child.0 >= 2 * self.num_leaves || self.degraded[child.0] {
+            return false;
+        }
+        self.degraded[child.0] = true;
+        self.edges.push(child);
+        true
+    }
+
+    /// True when the mask records no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty() && self.links.is_empty() && self.edges.is_empty()
+    }
+
+    /// True when at least one edge is degraded (half-duplex).
+    pub fn has_degraded(&self) -> bool {
+        !self.edges.is_empty()
+    }
+
+    /// Total number of recorded faults.
+    pub fn num_faults(&self) -> usize {
+        self.switches.len() + self.links.len() + self.edges.len()
+    }
+
+    /// O(1): is this switch dead?
+    #[inline]
+    pub fn switch_dead(&self, node: NodeId) -> bool {
+        self.dead_switch.get(node.0).copied().unwrap_or(false)
+    }
+
+    /// O(1): is this directed channel dead?
+    #[inline]
+    pub fn link_dead(&self, link: DirectedLink) -> bool {
+        self.dead_link.get(link.dense_index()).copied().unwrap_or(false)
+    }
+
+    /// O(1): is the edge above `child` half-duplex?
+    #[inline]
+    pub fn edge_degraded(&self, child: NodeId) -> bool {
+        self.degraded.get(child.0).copied().unwrap_or(false)
+    }
+
+    /// Dead switches, in the order they were recorded.
+    pub fn dead_switches(&self) -> &[NodeId] {
+        &self.switches
+    }
+
+    /// Dead directed links, in the order they were recorded.
+    pub fn dead_links(&self) -> &[DirectedLink] {
+        &self.links
+    }
+
+    /// Degraded edges (child endpoints), in the order they were recorded.
+    pub fn degraded_edges(&self) -> &[NodeId] {
+        &self.edges
+    }
+
+    /// The fault making `source -> dest` unroutable, or `None` when the
+    /// communication's unique path avoids every dead switch and channel.
+    /// Degraded edges never block a path (they only constrain rounds), so
+    /// they are not consulted here. O(log N), allocation-free.
+    pub fn blocking_fault(
+        &self,
+        topo: &CstTopology,
+        source: LeafId,
+        dest: LeafId,
+    ) -> Option<FaultCause> {
+        for link in topo.path_links(source, dest) {
+            if self.link_dead(link) {
+                return Some(FaultCause::DeadLink(link));
+            }
+            // The switch adjacent to the link on the apex side: dead
+            // switches block both channels of both their edges.
+            if let Some(sw) = link.child.parent() {
+                if self.switch_dead(sw) {
+                    return Some(FaultCause::DeadSwitch(sw));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Serialize for FaultMask {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("num_leaves".to_string(), Value::UInt(self.num_leaves as u64)),
+            (
+                "dead_switches".to_string(),
+                Value::Seq(self.switches.iter().map(|n| Value::UInt(n.0 as u64)).collect()),
+            ),
+            (
+                "dead_links".to_string(),
+                Value::Seq(self.links.iter().map(|l| l.to_value()).collect()),
+            ),
+            (
+                "degraded_edges".to_string(),
+                Value::Seq(self.edges.iter().map(|n| Value::UInt(n.0 as u64)).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for FaultMask {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let num_leaves: usize = de_field(v, "num_leaves")?;
+        let topo = CstTopology::new(num_leaves)
+            .map_err(|e| SerdeError(format!("invalid fault mask: {e}")))?;
+        let mut mask = FaultMask::empty(&topo);
+        for n in de_field::<Vec<usize>>(v, "dead_switches")? {
+            if !mask.kill_switch(NodeId(n)) {
+                return Err(SerdeError(format!("invalid dead switch n{n}")));
+            }
+        }
+        for l in de_field::<Vec<DirectedLink>>(v, "dead_links")? {
+            if !mask.kill_link(l) {
+                return Err(SerdeError(format!("invalid dead link {l}")));
+            }
+        }
+        for n in de_field::<Vec<usize>>(v, "degraded_edges")? {
+            if !mask.degrade_edge(NodeId(n)) {
+                return Err(SerdeError(format!("invalid degraded edge n{n}")));
+            }
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Circuit;
+
+    fn topo8() -> CstTopology {
+        CstTopology::with_leaves(8)
+    }
+
+    #[test]
+    fn empty_mask_blocks_nothing() {
+        let t = topo8();
+        let m = FaultMask::empty(&t);
+        assert!(m.is_empty());
+        assert_eq!(m.num_faults(), 0);
+        for s in 0..8 {
+            for d in 0..8 {
+                if s != d {
+                    assert_eq!(m.blocking_fault(&t, LeafId(s), LeafId(d)), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_switch_blocks_exactly_the_paths_through_it() {
+        let t = topo8();
+        let mut m = FaultMask::empty(&t);
+        assert!(m.kill_switch(NodeId(2))); // covers leaves 0..4
+        assert!(!m.kill_switch(NodeId(2)), "double kill is a no-op");
+        for s in 0..8usize {
+            for d in 0..8usize {
+                if s == d {
+                    continue;
+                }
+                let c = Circuit::between(&t, LeafId(s), LeafId(d));
+                let on_path = c.settings.iter().any(|&(n, _)| n == NodeId(2));
+                let blocked = m.blocking_fault(&t, LeafId(s), LeafId(d));
+                assert_eq!(blocked.is_some(), on_path, "{s}->{d}");
+                if let Some(cause) = blocked {
+                    assert_eq!(cause, FaultCause::DeadSwitch(NodeId(2)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_link_blocks_one_direction_only() {
+        let t = topo8();
+        let mut m = FaultMask::empty(&t);
+        // Kill the upward channel above n4 (the switch over leaves 0 and 1).
+        let l = DirectedLink::up_from(NodeId(4));
+        assert!(m.kill_link(l));
+        // 0 -> 2 climbs through n4^: blocked.
+        assert_eq!(
+            m.blocking_fault(&t, LeafId(0), LeafId(2)),
+            Some(FaultCause::DeadLink(l))
+        );
+        // 2 -> 0 descends through n4v: still routable.
+        assert_eq!(m.blocking_fault(&t, LeafId(2), LeafId(0)), None);
+        // 0 -> 1 turns below n4's parent edge: unaffected.
+        assert_eq!(m.blocking_fault(&t, LeafId(0), LeafId(1)), None);
+    }
+
+    #[test]
+    fn degraded_edges_never_block() {
+        let t = topo8();
+        let mut m = FaultMask::empty(&t);
+        assert!(m.degrade_edge(NodeId(4)));
+        assert!(m.has_degraded());
+        assert!(!m.is_empty());
+        assert!(m.edge_degraded(NodeId(4)));
+        for s in 0..8 {
+            for d in 0..8 {
+                if s != d {
+                    assert_eq!(m.blocking_fault(&t, LeafId(s), LeafId(d)), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        let t = topo8();
+        let mut m = FaultMask::empty(&t);
+        assert!(!m.kill_switch(NodeId(0)), "0 is not a node");
+        assert!(!m.kill_switch(NodeId(8)), "leaves are PEs, not switches");
+        assert!(!m.kill_switch(NodeId(99)));
+        assert!(!m.kill_link(DirectedLink::up_from(NodeId(1))), "root has no parent edge");
+        assert!(!m.kill_link(DirectedLink::up_from(NodeId(40))));
+        assert!(!m.degrade_edge(NodeId(1)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn blocking_fault_agrees_with_circuit_scan() {
+        // Differential check of the allocation-free oracle against a direct
+        // scan of the materialized circuit, across a batch of masks.
+        let t = CstTopology::with_leaves(16);
+        let masks = {
+            let mut v = Vec::new();
+            let mut a = FaultMask::empty(&t);
+            a.kill_switch(NodeId(3));
+            a.kill_link(DirectedLink::down_to(NodeId(9)));
+            v.push(a);
+            let mut b = FaultMask::empty(&t);
+            b.kill_link(DirectedLink::up_from(NodeId(16)));
+            b.kill_link(DirectedLink::up_from(NodeId(5)));
+            b.kill_switch(NodeId(7));
+            v.push(b);
+            v
+        };
+        for m in &masks {
+            for s in 0..16usize {
+                for d in 0..16usize {
+                    if s == d {
+                        continue;
+                    }
+                    let c = Circuit::between(&t, LeafId(s), LeafId(d));
+                    let scan = c.links.iter().any(|&l| m.link_dead(l))
+                        || c.settings.iter().any(|&(n, _)| m.switch_dead(n));
+                    assert_eq!(
+                        m.blocking_fault(&t, LeafId(s), LeafId(d)).is_some(),
+                        scan,
+                        "{s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = topo8();
+        let mut m = FaultMask::empty(&t);
+        m.kill_switch(NodeId(5));
+        m.kill_link(DirectedLink::down_to(NodeId(12)));
+        m.degrade_edge(NodeId(6));
+        let v = m.to_value();
+        let back = FaultMask::from_value(&v).unwrap();
+        assert_eq!(back, m);
+        let cause = FaultCause::DeadLink(DirectedLink::up_from(NodeId(9)));
+        assert_eq!(FaultCause::from_value(&cause.to_value()).unwrap(), cause);
+        let sw = FaultCause::DeadSwitch(NodeId(3));
+        assert_eq!(FaultCause::from_value(&sw.to_value()).unwrap(), sw);
+    }
+}

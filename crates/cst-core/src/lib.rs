@@ -13,7 +13,9 @@
 //!   holding is free;
 //! * [`pe`] — processing-element roles;
 //! * [`diag`] — typed `CST0xx` diagnostics shared by the static analyzer
-//!   (`cst-check`) and the runtime verifiers.
+//!   (`cst-check`) and the runtime verifiers;
+//! * [`fault`] — dense hardware fault masks (dead switches/links,
+//!   half-duplex edges) and the exact path-routability oracle.
 //!
 //! The model follows El-Boghdadi, *"Power-Aware Routing for Well-Nested
 //! Communications On The Circuit Switched Tree"*, IPPS 2007, §2.
@@ -21,6 +23,7 @@
 pub mod compat;
 pub mod diag;
 pub mod error;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod path;
@@ -33,6 +36,7 @@ pub mod topology;
 pub use compat::{are_compatible, MergedRound};
 pub use diag::{DiagCode, DiagReport, Diagnostic, Severity};
 pub use error::CstError;
+pub use fault::{FaultCause, FaultMask};
 pub use link::{DirectedLink, LinkOccupancy};
 pub use node::{LeafId, NodeId};
 pub use path::Circuit;

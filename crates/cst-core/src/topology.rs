@@ -1,6 +1,7 @@
 //! The complete-binary-tree topology of a CST instance.
 
 use crate::error::CstError;
+use crate::link::DirectedLink;
 use crate::node::{LeafId, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -183,7 +184,73 @@ impl CstTopology {
         }
         out
     }
+
+    /// The directed links of the unique `source -> dest` circuit, in travel
+    /// order (ascend to the LCA, then descend), without allocating.
+    ///
+    /// The side restriction of the 3-sided switch (an input never drives its
+    /// own side's output, §2 Fig. 3(a)) means a signal can never bounce back
+    /// down the edge it arrived on — so this path is the *only* route
+    /// between the two leaves, which is what makes it the routability
+    /// oracle for fault masks (`fault::FaultMask::blocking_fault`).
+    pub fn path_links(&self, source: LeafId, dest: LeafId) -> PathLinks {
+        debug_assert!(source.0 < self.num_leaves && dest.0 < self.num_leaves);
+        debug_assert_ne!(source, dest, "a leaf has no path to itself");
+        let apex = self.lca(source, dest);
+        let s = self.leaf_node(source);
+        let d = self.leaf_node(dest);
+        let ups = (s.depth() - apex.depth()) as usize;
+        let downs = (d.depth() - apex.depth()) as usize;
+        PathLinks { src: s.0, dst: d.0, ups, downs, next: 0 }
+    }
+
+    /// Number of directed links on the unique `source -> dest` circuit.
+    pub fn path_len(&self, source: LeafId, dest: LeafId) -> usize {
+        let apex = self.lca(source, dest);
+        let s = self.leaf_node(source).depth() - apex.depth();
+        let d = self.leaf_node(dest).depth() - apex.depth();
+        (s + d) as usize
+    }
 }
+
+/// Allocation-free iterator over the directed links of one leaf-to-leaf
+/// circuit, in travel order. Built by [`CstTopology::path_links`].
+#[derive(Clone, Debug)]
+pub struct PathLinks {
+    src: usize,
+    dst: usize,
+    ups: usize,
+    downs: usize,
+    next: usize,
+}
+
+impl Iterator for PathLinks {
+    type Item = DirectedLink;
+
+    fn next(&mut self) -> Option<DirectedLink> {
+        let k = self.next;
+        if k >= self.ups + self.downs {
+            return None;
+        }
+        self.next += 1;
+        if k < self.ups {
+            // k-th ancestor of the source leaf, climbing toward the apex.
+            Some(DirectedLink::up_from(NodeId(self.src >> k)))
+        } else {
+            // Descend: the j-th step below the apex is the (downs - 1 - j)-th
+            // ancestor of the destination leaf.
+            let j = self.ups + self.downs - 1 - k;
+            Some(DirectedLink::down_to(NodeId(self.dst >> j)))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.ups + self.downs - self.next;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for PathLinks {}
 
 #[cfg(test)]
 mod tests {
@@ -287,6 +354,24 @@ mod tests {
             let p = t.path_to_root(l);
             assert_eq!(p.len(), 4);
             assert_eq!(*p.last().unwrap(), NodeId::ROOT);
+        }
+    }
+
+    #[test]
+    fn path_links_match_circuits() {
+        use crate::path::Circuit;
+        let t = CstTopology::with_leaves(16);
+        for s in 0..16 {
+            for d in 0..16 {
+                if s == d {
+                    continue;
+                }
+                let c = Circuit::between(&t, LeafId(s), LeafId(d));
+                let walked: Vec<_> = t.path_links(LeafId(s), LeafId(d)).collect();
+                assert_eq!(walked, c.links, "{s}->{d}");
+                assert_eq!(t.path_len(LeafId(s), LeafId(d)), walked.len());
+                assert_eq!(t.path_links(LeafId(s), LeafId(d)).len(), walked.len());
+            }
         }
     }
 

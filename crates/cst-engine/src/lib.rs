@@ -23,11 +23,13 @@
 //! ```
 
 mod ctx;
+mod degrade;
 mod outcome;
 mod registry;
 mod router;
 
 pub use ctx::EngineCtx;
+pub use degrade::{route_once_masked, DegradationReport, DroppedComm, ReroutedComm};
 pub use outcome::{PhaseTimings, RouteExtra, RouteOutcome};
 pub use registry::{find, names, registry, route_once, CANONICAL};
 pub use router::{
@@ -39,7 +41,7 @@ pub use router::{
 mod tests {
     use super::*;
     use cst_comm::CommSet;
-    use cst_core::{CstError, CstTopology};
+    use cst_core::{CstError, CstTopology, FaultCause, FaultMask, NodeId};
 
     #[test]
     fn canonical_names_resolve_and_match() {
@@ -153,5 +155,113 @@ mod tests {
             ctx.recycle(par);
         }
         ctx.recycle(serial);
+    }
+
+    #[test]
+    fn empty_mask_is_byte_identical_to_plain_routing() {
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 5), (8, 15)]);
+        let mask = FaultMask::empty(&topo);
+        let mut ctx = EngineCtx::new();
+        for router in registry() {
+            let plain = ctx.route(router.as_ref(), &topo, &set).unwrap();
+            let masked = ctx.route_masked(router.as_ref(), &topo, &set, &mask).unwrap();
+            assert_eq!(plain.schedule, masked.schedule, "{}", router.name());
+            assert_eq!(plain.power.total_units, masked.power.total_units);
+            let report = masked.degradation.as_ref().unwrap();
+            assert!(report.is_clean(), "{}", router.name());
+            assert_eq!(report.routed, set.len());
+            assert!(plain.degradation.is_none());
+            ctx.recycle(plain);
+            ctx.recycle(masked);
+        }
+    }
+
+    #[test]
+    fn dead_switch_drops_exactly_the_comms_through_it() {
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 5), (8, 15)]);
+        let mut mask = FaultMask::empty(&topo);
+        // Node 2 roots the subtree over leaves 0..=7: the three nested
+        // comms route through it, (8, 15) does not.
+        assert!(mask.kill_switch(NodeId(2)));
+        let mut ctx = EngineCtx::new();
+        let out = ctx.route_masked(&Csa, &topo, &set, &mask).unwrap();
+        let report = out.degradation.as_ref().unwrap();
+        assert_eq!(report.total, 4);
+        assert_eq!(report.routed, 1);
+        assert_eq!(report.dropped, 3);
+        assert_eq!(report.routed + report.dropped, set.len());
+        for drop in &report.drops {
+            assert_eq!(drop.cause, FaultCause::DeadSwitch(NodeId(2)));
+        }
+        // The surviving schedule names only the surviving comm, id-mapped
+        // back onto the caller's set.
+        let scheduled: Vec<usize> = out
+            .schedule
+            .rounds
+            .iter()
+            .flat_map(|r| r.comms.iter().map(|c| c.0))
+            .collect();
+        assert_eq!(scheduled, vec![3]);
+    }
+
+    #[test]
+    fn fully_blocked_set_yields_empty_schedule() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let mut mask = FaultMask::empty(&topo);
+        assert!(mask.kill_switch(NodeId(1))); // both comms cross the root
+        let mut ctx = EngineCtx::new();
+        let out = ctx.route_masked(&Csa, &topo, &set, &mask).unwrap();
+        assert_eq!(out.rounds, 0);
+        assert!(out.schedule.rounds.is_empty());
+        let report = out.degradation.unwrap();
+        assert_eq!(report.dropped, 2);
+        assert_eq!(report.routed, 0);
+    }
+
+    #[test]
+    fn degraded_edge_splits_rounds_and_reports_reroutes() {
+        let topo = CstTopology::with_leaves(8);
+        // Disjoint spans → one round; but (0, 2) drives the edge above
+        // node 5 downward while (3, 6) drives it upward.
+        let set = CommSet::from_pairs(8, &[(0, 2), (3, 6)]);
+        let mut mask = FaultMask::empty(&topo);
+        assert!(mask.degrade_edge(NodeId(5)));
+        let mut ctx = EngineCtx::new();
+        let plain = ctx.route_named("csa", &topo, &set).unwrap();
+        assert_eq!(plain.rounds, 1);
+        let out = ctx.route_masked(&Csa, &topo, &set, &mask).unwrap();
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.rounds, out.schedule.num_rounds());
+        out.schedule.verify(&topo, &set).unwrap();
+        let report = out.degradation.as_ref().unwrap();
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.routed, 2);
+        assert_eq!(report.rerouted, 1);
+        assert_eq!(report.extra_rounds, 1);
+        assert_eq!(report.reroutes[0].edge, 5);
+        // Power was re-metered for the split schedule.
+        let replayed = ctx.meter_schedule(&topo, &out.schedule);
+        assert_eq!(replayed.total_units, out.power.total_units);
+    }
+
+    #[test]
+    fn masked_routing_works_through_the_registry_by_name() {
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (8, 15)]);
+        let mut mask = FaultMask::empty(&topo);
+        assert!(mask.kill_switch(NodeId(4))); // under node 2, over leaves 0..=3
+        let mut ctx = EngineCtx::new();
+        for name in CANONICAL {
+            let out = ctx.route_named_masked(name, &topo, &set, &mask).unwrap();
+            let report = out.degradation.as_ref().unwrap();
+            assert_eq!(report.routed + report.dropped, set.len(), "{name}");
+            assert_eq!(report.dropped, 2, "{name}");
+            ctx.recycle(out);
+        }
+        let once = route_once_masked("csa", &topo, &set, &mask).unwrap();
+        assert_eq!(once.degradation.unwrap().dropped, 2);
     }
 }

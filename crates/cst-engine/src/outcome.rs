@@ -80,6 +80,9 @@ pub struct RouteOutcome {
     pub timings: PhaseTimings,
     /// Router-specific extras.
     pub extra: RouteExtra,
+    /// Fault-mask accounting; `None` unless the request went through
+    /// [`crate::EngineCtx::route_masked`].
+    pub degradation: Option<crate::DegradationReport>,
 }
 
 impl RouteOutcome {
@@ -113,6 +116,7 @@ pub(crate) fn from_greedy(
         power,
         timings,
         extra: RouteExtra::Greedy { order: out.order },
+        degradation: None,
     }
 }
 
@@ -130,5 +134,6 @@ pub(crate) fn from_roy(
         power,
         timings,
         extra: RouteExtra::Roy { levels: out.levels, max_level: out.max_level },
+        degradation: None,
     }
 }

@@ -44,6 +44,7 @@ fn csa_route(router: &'static str, out: CsaOutcome, timings: PhaseTimings) -> Ro
         power: out.power,
         timings,
         extra: RouteExtra::Csa { metrics: out.metrics, meter: out.meter },
+        degradation: None,
     }
 }
 
@@ -192,6 +193,7 @@ impl Router for General {
             power,
             timings: PhaseTimings::total_only(elapsed_ns(start)),
             extra: RouteExtra::General { right_rounds, left_rounds },
+            degradation: None,
         })
     }
 }
@@ -224,6 +226,7 @@ impl Router for GeneralMerged {
             power,
             timings: PhaseTimings::total_only(elapsed_ns(start)),
             extra: RouteExtra::None,
+            degradation: None,
         })
     }
 }
@@ -261,6 +264,7 @@ impl Router for Layered {
             power,
             timings: PhaseTimings::total_only(elapsed_ns(start)),
             extra: RouteExtra::Layered { num_layers },
+            degradation: None,
         })
     }
 }
@@ -293,6 +297,7 @@ impl Router for Universal {
             power,
             timings: PhaseTimings::total_only(elapsed_ns(start)),
             extra: RouteExtra::Universal { right_layers, left_layers },
+            degradation: None,
         })
     }
 }
@@ -396,6 +401,7 @@ impl Router for Sequential {
             power,
             timings: PhaseTimings::total_only(elapsed_ns(start)),
             extra: RouteExtra::None,
+            degradation: None,
         })
     }
 }

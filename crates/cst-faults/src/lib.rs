@@ -1,0 +1,110 @@
+//! # cst-faults — seeded hardware-fault sampling and degradation campaigns
+//!
+//! The hardware fault model itself lives in [`cst_core::fault`] (dense
+//! [`FaultMask`] bitsets, the exact path-routability oracle) and the
+//! degradation-aware routing in `cst-padr`/`cst-engine`
+//! ([`cst_engine::EngineCtx::route_masked`]). This crate adds the two
+//! pieces that turn those mechanisms into experiments:
+//!
+//! * [`sample_mask`] — reproducible random fault masks at a target rate;
+//! * [`campaign`] — a deterministic sweep of fault rates × topology sizes
+//!   × routers, counting routed / rerouted / dropped communications and
+//!   auditing every surviving schedule with `cst-check`'s `CST10x` pass.
+//!
+//! Campaign reports are plain data (no wall-clock fields), so a fixed
+//! seed produces byte-identical JSON across runs — `scripts/ci.sh` pins
+//! one as a golden file. The fault model and detour semantics are
+//! documented in `docs/FAULTS.md`.
+
+pub mod campaign;
+
+pub use campaign::{run_campaign, CampaignCell, CampaignConfig, CampaignReport};
+
+use cst_core::{CstTopology, DirectedLink, FaultMask, NodeId};
+use rand::Rng;
+
+/// Sample a reproducible fault mask: every switch, every directed link
+/// and every edge (half-duplex degradation) fails independently with
+/// probability `rate`. Components are visited in a fixed node order, so
+/// one seeded RNG yields one mask.
+///
+/// `rate = 0.0` returns an empty mask (and [`FaultMask::is_empty`] holds,
+/// so masked routing short-circuits to the fault-free path).
+pub fn sample_mask<R: Rng + ?Sized>(rng: &mut R, topo: &CstTopology, rate: f64) -> FaultMask {
+    assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1], got {rate}");
+    let mut mask = FaultMask::empty(topo);
+    if rate == 0.0 {
+        return mask;
+    }
+    let n = topo.num_leaves();
+    for s in 1..n {
+        if rng.gen_bool(rate) {
+            mask.kill_switch(NodeId(s));
+        }
+    }
+    for child in 2..2 * n {
+        let child = NodeId(child);
+        if rng.gen_bool(rate) {
+            mask.kill_link(DirectedLink::up_from(child));
+        }
+        if rng.gen_bool(rate) {
+            mask.kill_link(DirectedLink::down_to(child));
+        }
+        if rng.gen_bool(rate) {
+            mask.degrade_edge(child);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let topo = CstTopology::with_leaves(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_mask(&mut rng, &topo, 0.0).is_empty());
+    }
+
+    #[test]
+    fn full_rate_kills_everything() {
+        let topo = CstTopology::with_leaves(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mask = sample_mask(&mut rng, &topo, 1.0);
+        assert_eq!(mask.dead_switches().len(), topo.num_switches());
+        assert_eq!(mask.dead_links().len(), 2 * (2 * 8 - 2));
+        assert_eq!(mask.degraded_edges().len(), 2 * 8 - 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let topo = CstTopology::with_leaves(64);
+        let a = sample_mask(&mut StdRng::seed_from_u64(9), &topo, 0.1);
+        let b = sample_mask(&mut StdRng::seed_from_u64(9), &topo, 0.1);
+        assert_eq!(a.dead_switches(), b.dead_switches());
+        assert_eq!(a.dead_links(), b.dead_links());
+        assert_eq!(a.degraded_edges(), b.degraded_edges());
+        let c = sample_mask(&mut StdRng::seed_from_u64(10), &topo, 0.1);
+        assert!(
+            a.dead_switches() != c.dead_switches()
+                || a.dead_links() != c.dead_links()
+                || a.degraded_edges() != c.degraded_edges(),
+            "different seeds produced identical masks"
+        );
+    }
+
+    #[test]
+    fn moderate_rate_hits_a_plausible_fraction() {
+        let topo = CstTopology::with_leaves(64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mask = sample_mask(&mut rng, &topo, 0.1);
+        let total = mask.num_faults();
+        // 63 switches + 252 links + 126 edges = 441 components at p=0.1:
+        // expect ~44, accept a wide band.
+        assert!((15..90).contains(&total), "implausible fault count {total}");
+    }
+}

@@ -86,16 +86,8 @@ impl LayeredOutcome {
     }
 }
 
-/// Schedule an arbitrary right-oriented set: layer, then CSA each layer.
-#[deprecated(note = "dispatch through cst-engine's registry (router \"layered\") or use \
-                     schedule_layered_in with a reused CsaScratch")]
-pub fn schedule_layered(topo: &CstTopology, set: &CommSet) -> Result<LayeredOutcome, CstError> {
-    let mut pool = SchedulePool::new();
-    schedule_layered_in(&mut CsaScratch::new(), &mut pool, topo, set)
-}
-
-/// [`schedule_layered`], reusing an engine's CSA scratch and pool for the
-/// per-layer CSA runs.
+/// Schedule an arbitrary right-oriented set — layer, then CSA each layer —
+/// reusing an engine's CSA scratch and pool for the per-layer CSA runs.
 pub fn schedule_layered_in(
     csa: &mut CsaScratch,
     pool: &mut SchedulePool,
@@ -123,9 +115,12 @@ pub fn schedule_layered_in(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
+
+    fn schedule_layered(topo: &CstTopology, set: &CommSet) -> Result<LayeredOutcome, CstError> {
+        schedule_layered_in(&mut CsaScratch::new(), &mut SchedulePool::new(), topo, set)
+    }
 
     #[test]
     fn well_nested_set_is_one_layer() {

@@ -30,6 +30,7 @@
 //! assert!(report.max_port_transitions <= cst_padr::CSA_PORT_TRANSITION_BOUND);
 //! ```
 
+pub mod degrade;
 pub mod layers;
 pub mod merge;
 pub mod messages;
@@ -42,6 +43,7 @@ pub mod switch_logic;
 pub mod universal;
 pub mod verifier;
 
+pub use degrade::{partition_by_mask, split_half_duplex, MaskPartition, Reroute, SplitStats};
 pub use layers::{decompose, schedule_layered_in, LayeredOutcome, Layering};
 pub use messages::{DownMsg, ReqKind, UpMsg, WORDS_DOWN, WORDS_UP};
 pub use parallel::ParallelScratch;
@@ -56,18 +58,3 @@ pub use session::{BatchReport, PadrSession};
 pub use switch_logic::{step, StepError, StepResult};
 pub use verifier::{verify_outcome, verify_phase1, VerifyReport, CSA_PORT_TRANSITION_BOUND};
 
-// Deprecated free-function entry points, re-exported for one more PR so
-// downstream call sites migrate on their own schedule. New code dispatches
-// through cst-engine's registry or the `*_in`/scratch forms above.
-#[allow(deprecated)]
-pub use layers::schedule_layered;
-#[allow(deprecated)]
-pub use merge::schedule_general_merged;
-#[allow(deprecated)]
-pub use orientation::schedule_general;
-#[allow(deprecated)]
-pub use parallel::{schedule_parallel, schedule_parallel_threaded};
-#[allow(deprecated)]
-pub use scheduler::{schedule, schedule_with};
-#[allow(deprecated)]
-pub use universal::schedule_any;

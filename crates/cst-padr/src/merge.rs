@@ -69,19 +69,9 @@ pub fn merge_schedules(a: &Schedule, b: &Schedule) -> Schedule {
 }
 
 /// Schedule a mixed-orientation well-nested set with round merging:
-/// like [`crate::orientation::schedule_general`] but interleaving the two
-/// halves instead of concatenating them.
-#[deprecated(note = "dispatch through cst-engine's registry (router \"general-merged\") or use \
-                     schedule_general_merged_in with a reused CsaScratch")]
-pub fn schedule_general_merged(
-    topo: &CstTopology,
-    set: &cst_comm::CommSet,
-) -> Result<Schedule, CstError> {
-    let mut pool = SchedulePool::new();
-    schedule_general_merged_in(&mut CsaScratch::new(), &mut pool, topo, set)
-}
-
-/// [`schedule_general_merged`], reusing an engine's CSA scratch and pool.
+/// like [`crate::orientation::schedule_general_in`] but interleaving the
+/// two halves instead of concatenating them. Reuses an engine's CSA
+/// scratch and pool.
 pub fn schedule_general_merged_in(
     csa: &mut CsaScratch,
     pool: &mut SchedulePool,
@@ -101,10 +91,16 @@ pub fn schedule_general_merged_in(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::CommSet;
+
+    fn schedule_general_merged(
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<Schedule, CstError> {
+        schedule_general_merged_in(&mut CsaScratch::new(), &mut SchedulePool::new(), topo, set)
+    }
 
     #[test]
     fn mirror_symmetric_halves_fully_interleave() {
@@ -126,7 +122,13 @@ mod tests {
         // both halves fight over the same region: (0,15) right and (14,1)
         // left share switches; merge what fits, never exceed sequential.
         let set = CommSet::from_pairs(16, &[(0, 15), (2, 13), (14, 1), (12, 3)]);
-        let seq = crate::orientation::schedule_general(&topo, &set).unwrap();
+        let seq = crate::orientation::schedule_general_in(
+            &mut CsaScratch::new(),
+            &mut SchedulePool::new(),
+            &topo,
+            &set,
+        )
+        .unwrap();
         let merged = schedule_general_merged(&topo, &set).unwrap();
         assert!(merged.num_rounds() <= seq.rounds());
         merged.verify(&topo, &set).unwrap();

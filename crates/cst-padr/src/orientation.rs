@@ -80,17 +80,10 @@ fn mirror_config(cfg: &SwitchConfig) -> SwitchConfig {
     out
 }
 
-/// Schedule a possibly mixed-orientation well-nested set.
-#[deprecated(note = "dispatch through cst-engine's registry (router \"general\") or use \
-                     schedule_general_in with a reused CsaScratch")]
-pub fn schedule_general(topo: &CstTopology, set: &CommSet) -> Result<GeneralOutcome, CstError> {
-    let mut pool = SchedulePool::new();
-    schedule_general_in(&mut CsaScratch::new(), &mut pool, topo, set)
-}
-
-/// [`schedule_general`], reusing an engine's CSA scratch and pool for the
-/// per-half CSA runs. (The decomposition and mirroring themselves build
-/// fresh sets; only the inner CSA runs are allocation-pooled.)
+/// Schedule a possibly mixed-orientation well-nested set, reusing an
+/// engine's CSA scratch and pool for the per-half CSA runs. (The
+/// decomposition and mirroring themselves build fresh sets; only the
+/// inner CSA runs are allocation-pooled.)
 pub fn schedule_general_in(
     csa: &mut CsaScratch,
     pool: &mut SchedulePool,
@@ -168,9 +161,12 @@ pub fn verify_general(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
+
+    fn schedule_general(topo: &CstTopology, set: &CommSet) -> Result<GeneralOutcome, CstError> {
+        schedule_general_in(&mut CsaScratch::new(), &mut SchedulePool::new(), topo, set)
+    }
 
     #[test]
     fn mirror_node_reflects_levels() {

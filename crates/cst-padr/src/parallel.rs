@@ -613,31 +613,6 @@ impl ParallelScratch {
     }
 }
 
-/// One-shot adaptive parallel scheduling (rebuilds all scratch per call).
-#[deprecated(note = "dispatch through cst-engine's registry (router \"csa-parallel\") or \
-                     reuse a ParallelScratch; this wrapper rebuilds the decomposition per call")]
-pub fn schedule_parallel(
-    topo: &CstTopology,
-    set: &CommSet,
-    threads: usize,
-) -> Result<CsaOutcome, CstError> {
-    let mut pool = SchedulePool::new();
-    ParallelScratch::new().schedule(topo, set, threads, &mut pool)
-}
-
-/// One-shot forced-threads parallel scheduling (rebuilds all scratch per
-/// call).
-#[deprecated(note = "dispatch through cst-engine's registry (router \"csa-threaded\") or \
-                     reuse a ParallelScratch; this wrapper rebuilds the decomposition per call")]
-pub fn schedule_parallel_threaded(
-    topo: &CstTopology,
-    set: &CommSet,
-    threads: usize,
-) -> Result<CsaOutcome, CstError> {
-    let mut pool = SchedulePool::new();
-    ParallelScratch::new().schedule_threaded(topo, set, threads, &mut pool)
-}
-
 #[cfg(test)]
 fn schedule_parallel_impl(
     topo: &CstTopology,
@@ -757,15 +732,17 @@ fn run_threaded(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
+    use crate::CsaScratch;
     use cst_comm::examples;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn assert_equal_outcomes(topo: &CstTopology, set: &CommSet, threads: usize) {
-        let serial = crate::scheduler::schedule(topo, set).unwrap();
+        let serial = CsaScratch::new()
+            .schedule(topo, set, &mut SchedulePool::new())
+            .unwrap();
         // Both drivers must match serial regardless of what
         // available_parallelism() says on the test host.
         for spawn in [false, true] {

@@ -171,29 +171,6 @@ impl CsaScratch {
     }
 }
 
-/// Schedule `set` on `topo` with the power-aware CSA.
-///
-/// Validates that the set is right-oriented and well-nested first; Phase 1
-/// additionally rejects incomplete sets.
-#[deprecated(note = "dispatch through cst-engine's registry (router \"csa\") or \
-                     reuse a CsaScratch; this wrapper rebuilds all scratch per call")]
-pub fn schedule(topo: &CstTopology, set: &CommSet) -> Result<CsaOutcome, CstError> {
-    #[allow(deprecated)]
-    schedule_with(topo, set, Options::default())
-}
-
-/// [`schedule`] with explicit host-driver options.
-#[deprecated(note = "dispatch through cst-engine's registry (router \"csa\" / \"csa-no-prune\") \
-                     or reuse a CsaScratch; this wrapper rebuilds all scratch per call")]
-pub fn schedule_with(
-    topo: &CstTopology,
-    set: &CommSet,
-    options: Options,
-) -> Result<CsaOutcome, CstError> {
-    let mut pool = SchedulePool::new();
-    CsaScratch::new().schedule_with(topo, set, options, &mut pool)
-}
-
 /// Phase 2 proper, reusing an existing Phase-1 result. Exposed separately
 /// so the discrete-event simulator can interleave its own timing model.
 pub fn run_phase2(
@@ -444,11 +421,22 @@ pub fn trace_circuit<L: ConfigLookup>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the free-function wrappers stay covered until removal
 mod tests {
     use super::*;
     use cst_comm::examples;
     use cst_comm::width_on_topology;
+
+    fn schedule(topo: &CstTopology, set: &CommSet) -> Result<CsaOutcome, CstError> {
+        CsaScratch::new().schedule(topo, set, &mut SchedulePool::new())
+    }
+
+    fn schedule_with(
+        topo: &CstTopology,
+        set: &CommSet,
+        options: Options,
+    ) -> Result<CsaOutcome, CstError> {
+        CsaScratch::new().schedule_with(topo, set, options, &mut SchedulePool::new())
+    }
 
     fn run(n: usize, pairs: &[(usize, usize)]) -> CsaOutcome {
         let topo = CstTopology::with_leaves(n);

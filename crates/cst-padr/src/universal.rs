@@ -35,7 +35,8 @@ impl UniversalOutcome {
     }
 }
 
-/// Schedule any valid set.
+/// Schedule any valid set, reusing an engine's CSA scratch and pool
+/// for the per-layer CSA runs in both halves.
 ///
 /// # Examples
 ///
@@ -54,15 +55,6 @@ impl UniversalOutcome {
 /// assert_eq!(out.right_layers, 2); // the crossing pair needs two layers
 /// assert_eq!(out.left_layers, 1);
 /// ```
-#[deprecated(note = "dispatch through cst-engine's registry (router \"universal\") or use \
-                     schedule_any_in with a reused CsaScratch")]
-pub fn schedule_any(topo: &CstTopology, set: &CommSet) -> Result<UniversalOutcome, CstError> {
-    let mut pool = SchedulePool::new();
-    schedule_any_in(&mut CsaScratch::new(), &mut pool, topo, set)
-}
-
-/// [`schedule_any`], reusing an engine's CSA scratch and pool for the
-/// per-layer CSA runs in both halves.
 pub fn schedule_any_in(
     csa: &mut CsaScratch,
     pool: &mut SchedulePool,
@@ -103,9 +95,12 @@ pub fn schedule_any_in(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
+
+    fn schedule_any(topo: &CstTopology, set: &CommSet) -> Result<UniversalOutcome, CstError> {
+        schedule_any_in(&mut CsaScratch::new(), &mut SchedulePool::new(), topo, set)
+    }
 
     #[test]
     fn well_nested_right_set_passthrough() {

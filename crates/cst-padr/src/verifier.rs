@@ -80,11 +80,14 @@ pub fn verify_phase1(topo: &CstTopology, set: &CommSet, p1: &Phase1) -> Result<(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // wrappers stay covered until removal
 mod tests {
     use super::*;
-    use crate::scheduler::schedule;
-    use cst_comm::examples;
+    use crate::scheduler::{CsaOutcome, CsaScratch};
+    use cst_comm::{examples, SchedulePool};
+
+    fn schedule(topo: &CstTopology, set: &CommSet) -> Result<CsaOutcome, CstError> {
+        CsaScratch::new().schedule(topo, set, &mut SchedulePool::new())
+    }
 
     #[test]
     fn canonical_sets_pass_all_theorems() {

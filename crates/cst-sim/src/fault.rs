@@ -79,6 +79,32 @@ pub fn run_with_fault(topo: &CstTopology, set: &CommSet, fault: Fault) -> FaultO
     }
 }
 
+/// Serializable summary of one control-state [`campaign`]: how many
+/// injections each detection layer caught. Embedded in `cst-faults`
+/// hardware-campaign reports as the control-plane cross-check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ControlCampaignStats {
+    /// Total injections (`switches × 5 fields × 2 deltas`).
+    pub injections: usize,
+    /// Aborted with a protocol-level error mid-run.
+    pub detected_during_run: usize,
+    /// Completed but failed end-to-end verification.
+    pub detected_by_verifier: usize,
+    /// Completed and verified (corruption had no observable effect).
+    pub masked: usize,
+}
+
+/// [`campaign`] with the counts in report form.
+pub fn campaign_stats(topo: &CstTopology, set: &CommSet) -> ControlCampaignStats {
+    let (detected_during_run, detected_by_verifier, masked) = campaign(topo, set);
+    ControlCampaignStats {
+        injections: detected_during_run + detected_by_verifier + masked,
+        detected_during_run,
+        detected_by_verifier,
+        masked,
+    }
+}
+
 /// Sweep a fault campaign: every field of every switch, +1 and -1 deltas.
 /// Returns `(detected_during_run, detected_by_verifier, masked)` counts.
 pub fn campaign(topo: &CstTopology, set: &CommSet) -> (usize, usize, usize) {

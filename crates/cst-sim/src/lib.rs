@@ -25,7 +25,10 @@ pub mod trace;
 
 pub use data::{DataPhase, Delivery};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use fault::{campaign, inject, run_with_fault, Fault, FaultOutcome, StateField};
+pub use fault::{
+    campaign, campaign_stats, inject, run_with_fault, ControlCampaignStats, Fault, FaultOutcome,
+    StateField,
+};
 pub use rtl::{RtlMachine, RtlRound};
 pub use engine::{simulate, simulate_schedule, RoundTiming, SimOutcome};
 pub use event::{Cycle, EventQueue};

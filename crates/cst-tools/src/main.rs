@@ -9,6 +9,8 @@
 //! cst-tools viz <pattern>             draw the scheduled rounds as ASCII trees
 //! cst-tools bundle <pattern>          schedule a paren pattern, emit a JSON bundle
 //! cst-tools check <bundle.json>       statically analyze a schedule bundle
+//! cst-tools inject <pattern>          route a pattern under a fault mask
+//! cst-tools campaign                  run the seeded fault campaign, emit JSON
 //! cst-tools list-routers              print the engine registry
 //! ```
 //!
@@ -23,6 +25,19 @@
 //! (orientation, Theorem 5 round count, Theorem 8 budget, selection
 //! order). Exit status: 0 clean (warnings allowed), 1 errors found or the
 //! bundle is malformed, 2 usage.
+//!
+//! `inject` routes a pattern under a hardware fault mask (docs/FAULTS.md):
+//! `--kill-switch <n>` and `--kill-link <n^|nv>` (`^` = upward, `v` =
+//! downward link above node `n`) place faults by hand, `--degrade <n>`
+//! marks the edge above `n` half-duplex, and `--fault-seed <s>` with
+//! `--fault-rate <p>` samples a reproducible random mask on top. The
+//! degraded schedule is audited with the `CST10x` fault pass; `--json`
+//! emits the machine-readable outcome. Exit status: 0 audit-clean, 1
+//! audit findings or routing failure, 2 usage.
+//!
+//! `campaign` runs the deterministic `cst-faults` sweep (`--seed <s>`,
+//! `--quick` for the small CI grid) and prints the report JSON; the same
+//! seed always prints the same bytes (soak-checked in scripts/ci.sh).
 
 use cst_analysis::experiments as exp;
 use cst_analysis::Table;
@@ -123,9 +138,27 @@ fn main() {
             let lenient = args.iter().any(|a| a == "--lenient");
             check_bundle(&path, json, lenient);
         }
+        Some("inject") => {
+            let pattern = match pattern_arg(&args) {
+                Some(p) => p,
+                None => {
+                    eprintln!(
+                        "usage: cst-tools inject '((.))(..)' [--router <name>] \
+                         [--kill-switch <n>]... [--kill-link <n^|nv>]... [--degrade <n>]... \
+                         [--fault-seed <s> --fault-rate <p>] [--json]"
+                    );
+                    std::process::exit(2);
+                }
+            };
+            inject_pattern(&pattern, &router_arg(&args), &args);
+        }
+        Some("campaign") => {
+            let seed = flag_value(&args, "--seed").and_then(|s| s.parse().ok());
+            run_fault_campaign(seed, quick);
+        }
         _ => {
             eprintln!(
-                "usage: cst-tools <experiments|report|csv|trace|schedule|viz|bundle|check|list-routers> [args] [--quick]"
+                "usage: cst-tools <experiments|report|csv|trace|schedule|viz|bundle|check|inject|campaign|list-routers> [args] [--quick]"
             );
             std::process::exit(2);
         }
@@ -234,17 +267,41 @@ fn run_all(quick: bool) -> Vec<Table> {
     tables
 }
 
+/// Flags that consume the following argument as their value.
+const VALUE_FLAGS: [&str; 7] = [
+    "--router",
+    "--kill-switch",
+    "--kill-link",
+    "--degrade",
+    "--fault-seed",
+    "--fault-rate",
+    "--seed",
+];
+
 /// First non-flag argument after the subcommand, if any.
 fn pattern_arg(args: &[String]) -> Option<String> {
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
-        if a == "--router" {
-            it.next(); // skip the router name value
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            it.next(); // skip the flag's value
         } else if !a.starts_with("--") {
             return Some(a.clone());
         }
     }
     None
+}
+
+/// Value of the first occurrence of a `--flag value` pair.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Values of every occurrence of a repeatable `--flag value` pair.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 /// Value of `--router <name>`, defaulting to the serial CSA router.
@@ -256,11 +313,9 @@ fn router_arg(args: &[String]) -> String {
         .unwrap_or_else(|| "csa".to_string())
 }
 
-/// Dispatch one pattern through the engine registry, exiting on failure.
-fn route_pattern(
-    pattern: &str,
-    router: &str,
-) -> (cst_core::CstTopology, cst_comm::CommSet, cst_engine::RouteOutcome) {
+/// Parse a parenthesis pattern and pad it onto a power-of-two tree,
+/// exiting on malformed input.
+fn parse_pattern(pattern: &str) -> (cst_core::CstTopology, cst_comm::CommSet) {
     let set = match cst_comm::from_paren_string(pattern) {
         Ok(s) => s,
         Err(e) => {
@@ -268,16 +323,207 @@ fn route_pattern(
             std::process::exit(1);
         }
     };
-    // pad the pattern onto a power-of-two tree
     let n = set.num_leaves().next_power_of_two().max(2);
     let pairs: Vec<(usize, usize)> =
         set.comms().iter().map(|c| (c.source.0, c.dest.0)).collect();
     let set = cst_comm::CommSet::from_pairs(n, &pairs);
     let topo = cst_core::CstTopology::with_leaves(n);
+    (topo, set)
+}
+
+/// Dispatch one pattern through the engine registry, exiting on failure.
+fn route_pattern(
+    pattern: &str,
+    router: &str,
+) -> (cst_core::CstTopology, cst_comm::CommSet, cst_engine::RouteOutcome) {
+    let (topo, set) = parse_pattern(pattern);
     match cst_engine::route_once(router, &topo, &set) {
         Ok(out) => (topo, set, out),
         Err(e) => {
             eprintln!("cannot schedule: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Build the fault mask an `inject` invocation describes: explicit
+/// `--kill-switch` / `--kill-link` / `--degrade` placements over an
+/// optional seeded random base (`--fault-seed` + `--fault-rate`).
+fn mask_from_args(args: &[String], topo: &cst_core::CstTopology) -> cst_core::FaultMask {
+    use cst_core::{DirectedLink, NodeId};
+    let mut mask = match flag_value(args, "--fault-rate") {
+        Some(rate_s) => {
+            let rate: f64 = match rate_s.parse() {
+                Ok(r) if (0.0..=1.0).contains(&r) => r,
+                _ => {
+                    eprintln!("--fault-rate wants a probability in [0, 1], got {rate_s}");
+                    std::process::exit(2);
+                }
+            };
+            let seed: u64 = flag_value(args, "--fault-seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            cst_faults::sample_mask(&mut rng, topo, rate)
+        }
+        None => cst_core::FaultMask::empty(topo),
+    };
+    let parse_node = |s: &str| -> usize {
+        match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("expected a node id, got {s}");
+                std::process::exit(2);
+            }
+        }
+    };
+    for s in flag_values(args, "--kill-switch") {
+        if !mask.kill_switch(NodeId(parse_node(&s))) {
+            eprintln!("--kill-switch {s}: not an internal switch (or already dead)");
+            std::process::exit(2);
+        }
+    }
+    for s in flag_values(args, "--kill-link") {
+        let (node_s, up) = match s.strip_suffix('^') {
+            Some(rest) => (rest, true),
+            None => match s.strip_suffix('v') {
+                Some(rest) => (rest, false),
+                None => {
+                    eprintln!("--kill-link wants <node>^ (upward) or <node>v (downward), got {s}");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let child = NodeId(parse_node(node_s));
+        let link =
+            if up { DirectedLink::up_from(child) } else { DirectedLink::down_to(child) };
+        if !mask.kill_link(link) {
+            eprintln!("--kill-link {s}: no such tree link (or already dead)");
+            std::process::exit(2);
+        }
+    }
+    for s in flag_values(args, "--degrade") {
+        if !mask.degrade_edge(NodeId(parse_node(&s))) {
+            eprintln!("--degrade {s}: no such tree edge (or already degraded)");
+            std::process::exit(2);
+        }
+    }
+    mask
+}
+
+/// Machine-readable `inject` outcome (`--json`).
+#[derive(serde::Serialize)]
+struct InjectOutcome {
+    router: String,
+    num_leaves: usize,
+    comms: usize,
+    faults: usize,
+    rounds: usize,
+    power_units: u64,
+    degradation: cst_engine::DegradationReport,
+    audit_clean: bool,
+}
+
+/// Route a pattern under a fault mask, audit the degraded schedule, and
+/// report. Exit 0 when the fault audit is clean, 1 otherwise.
+fn inject_pattern(pattern: &str, router: &str, args: &[String]) {
+    let (topo, set) = parse_pattern(pattern);
+    let mask = mask_from_args(args, &topo);
+    let out = match cst_engine::route_once_masked(router, &topo, &set, &mask) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("cannot schedule: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = out.degradation.clone().unwrap_or_default();
+    let dropped: Vec<usize> = report.drops.iter().map(|d| d.comm).collect();
+    let audit = cst_check::analyze_with_faults(
+        &topo,
+        &set,
+        &out.schedule,
+        &cst_check::CheckOptions::lenient(),
+        &mask,
+        &dropped,
+    );
+    if args.iter().any(|a| a == "--json") {
+        let outcome = InjectOutcome {
+            router: out.router.to_string(),
+            num_leaves: topo.num_leaves(),
+            comms: set.len(),
+            faults: mask.num_faults(),
+            rounds: out.rounds,
+            power_units: out.power.total_units,
+            degradation: report,
+            audit_clean: audit.is_clean(),
+        };
+        match serde_json::to_string_pretty(&outcome) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize outcome: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!(
+            "{} PEs, {} communications, {} faults injected (router {})",
+            topo.num_leaves(),
+            set.len(),
+            mask.num_faults(),
+            out.router
+        );
+        println!(
+            "routed {} ({} rerouted), dropped {}, {} rounds ({} added by half-duplex splits), {} power units",
+            report.routed,
+            report.rerouted,
+            report.dropped,
+            out.rounds,
+            report.extra_rounds,
+            out.power.total_units
+        );
+        for d in &report.drops {
+            println!("  dropped c{} ({} -> {}): {}", d.comm, d.source, d.dest, d.cause);
+        }
+        for r in &report.reroutes {
+            println!("  rerouted c{} off the degraded edge above n{}", r.comm, r.edge);
+        }
+        if audit.is_clean() {
+            println!("fault audit: clean");
+        } else {
+            print!("fault audit:\n{}", audit.render_text());
+        }
+    }
+    std::process::exit(if audit.is_clean() { 0 } else { 1 });
+}
+
+/// Run the deterministic `cst-faults` campaign and print its JSON report.
+fn run_fault_campaign(seed: Option<u64>, quick: bool) {
+    let mut cfg = if quick {
+        cst_faults::CampaignConfig {
+            sizes: vec![16, 32],
+            rates: vec![0.0, 0.05],
+            routers: vec!["csa".to_string(), "greedy".to_string()],
+            trials: 4,
+            ..cst_faults::CampaignConfig::default()
+        }
+    } else {
+        cst_faults::CampaignConfig::default()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    let report = match cst_faults::run_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(s) => println!("{s}"),
+        Err(e) => {
+            eprintln!("cannot serialize report: {e}");
             std::process::exit(1);
         }
     }

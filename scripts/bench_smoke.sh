@@ -39,6 +39,39 @@ grep -o '"e5_schedulers/[^"]*"' "$out_dir/BENCH_e5.json" | tr -d '"' \
     fi
 done
 
+echo "== bench smoke: e5 timings vs checked-in baseline =="
+# Smoke timings are one cold pass, so this is a catastrophic-regression
+# guard, not a measurement: every fault-free router/size must stay
+# within E5_SMOKE_FACTOR x (default 20) of the checked-in warm median.
+factor="${E5_SMOKE_FACTOR:-20}"
+awk -v factor="$factor" '
+    FNR == 1 { file++ }
+    file == 1 && /"current"/ { in_cur = 1 }
+    file == 1 && in_cur && /"e5_schedulers\// {
+        key = $1; gsub(/[",:]/, "", key); base[key] = $2 + 0
+    }
+    file == 2 && /"e5_schedulers\// {
+        key = $1; gsub(/[",:]/, "", key)
+        if (key in base) {
+            smoke = $2 + 0
+            if (smoke > factor * base[key]) {
+                printf "e5 regression: %s took %.0f ns (baseline %.0f ns, limit %.0fx)\n", \
+                    key, smoke, base[key], factor > "/dev/stderr"
+                bad = 1
+            }
+            checked++
+        }
+    }
+    END {
+        if (checked == 0) {
+            print "e5 smoke gate: no comparable bench keys found" > "/dev/stderr"
+            exit 1
+        }
+        if (bad) exit 1
+        printf "e5 smoke gate: %d keys within %sx of baseline\n", checked, factor
+    }
+' BENCH_e5.json "$out_dir/BENCH_e5.json"
+
 echo "== bench smoke: remaining benches =="
 for b in e1_rounds_optimality e2_config_changes e3_total_power \
          e4_control_overhead e6_change_histogram e7_segmentable_bus \

@@ -17,6 +17,26 @@ cargo test --quiet --test engine_reuse
 echo "== ci: engine allocation gate =="
 cargo test --quiet --test alloc_gate
 
+echo "== ci: fault campaign soak (determinism + golden) =="
+# The seeded campaign must be a pure function of its config: two runs
+# byte-identical, and both matching the checked-in golden summary.
+# Regenerate after an intentional change with:
+#   cargo run -q -p cst-tools -- campaign --quick --seed 7 > scripts/campaign_golden.json
+campaign_a="$(mktemp)"
+campaign_b="$(mktemp)"
+trap 'rm -f "$campaign_a" "$campaign_b"' EXIT
+cargo run -q -p cst-tools -- campaign --quick --seed 7 > "$campaign_a"
+cargo run -q -p cst-tools -- campaign --quick --seed 7 > "$campaign_b"
+if ! cmp -s "$campaign_a" "$campaign_b"; then
+    echo "fault campaign is nondeterministic under a fixed seed" >&2
+    exit 1
+fi
+if ! diff -u scripts/campaign_golden.json "$campaign_a"; then
+    echo "fault campaign drifted from scripts/campaign_golden.json" >&2
+    exit 1
+fi
+echo "fault campaign: deterministic, matches golden"
+
 echo "== ci: lint =="
 scripts/lint.sh
 

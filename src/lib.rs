@@ -49,6 +49,7 @@ pub use cst_check as check;
 pub use cst_comm as comm;
 pub use cst_core as core;
 pub use cst_engine as engine;
+pub use cst_faults as faults;
 pub use cst_padr as padr;
 pub use cst_sim as sim;
 pub use cst_srga as srga;
