@@ -1,0 +1,127 @@
+//! E6-stream — streaming front-end throughput: what the schedule cache
+//! and the incremental session buy over route-per-request.
+//!
+//! Five ids, all n = 1024, density 0.5:
+//!
+//! * `cached`        — warm cache hit (`route_cached`, resident entry):
+//!   the locality-heavy steady state of a request stream;
+//! * `uncached`      — the same request through plain `route` every time
+//!   (the pre-cache baseline; this is `BENCH_e5.json`'s `csa/1024`
+//!   workload shape, which the smoke script sanity-checks against);
+//! * `cold`          — `route_cached` forced to miss every iteration
+//!   (capacity-1 cache, two alternating requests): fingerprint + probe +
+//!   schedule + insert + copy-out — the full cold-path cost;
+//! * `cold-baseline` — the **same alternating stream** through plain
+//!   `route`: the apples-to-apples no-regression baseline for `cold`
+//!   (alternation alone perturbs the CPU caches, so comparing `cold`
+//!   against the fixed-request `uncached` overstates the overhead);
+//! * `incremental-delta` — an [`IncrementalCsa`] session absorbing a
+//!   two-change delta (detach + re-attach) and re-routing from patched
+//!   counters each iteration.
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cst_comm::{PeChange, SchedulePool};
+use cst_engine::{Csa, EngineCtx};
+use cst_padr::IncrementalCsa;
+
+fn bench_e6_stream(c: &mut Criterion) {
+    let n = 1024usize;
+    let (topo, set) = workload(n, 0.5, 0xE6_57);
+    let (_, other) = workload(n, 0.5, 0xE6_58);
+    assert_ne!(set, other, "the cold path needs two distinct requests");
+
+    let mut group = c.benchmark_group("e6_stream");
+    group.throughput(Throughput::Elements(set.len() as u64));
+
+    // Warm hit: first call inserts, second sizes the pooled shells; the
+    // measured steady state never touches the scheduler (or the heap —
+    // tests/alloc_gate.rs pins that).
+    let mut ctx = EngineCtx::new();
+    let out = ctx.route_cached(&Csa, &topo, &set).unwrap();
+    ctx.recycle(out);
+    let out = ctx.route_cached(&Csa, &topo, &set).unwrap();
+    ctx.recycle(out);
+    group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+        b.iter(|| {
+            let out = ctx.route_cached(&Csa, &topo, &set).unwrap();
+            let rounds = out.rounds;
+            ctx.recycle(out);
+            std::hint::black_box(rounds)
+        })
+    });
+
+    // Route-per-request baseline: the identical request, scheduler every
+    // time (what a stream cost before the cache existed).
+    let mut ctx = EngineCtx::new();
+    group.bench_with_input(BenchmarkId::new("uncached", n), &n, |b, _| {
+        b.iter(|| {
+            let out = ctx.route(&Csa, &topo, &set).unwrap();
+            let rounds = out.rounds;
+            ctx.recycle(out);
+            std::hint::black_box(rounds)
+        })
+    });
+
+    // Forced miss: a capacity-1 cache and two alternating requests evict
+    // each other every iteration, so every call pays fingerprint + probe
+    // + full schedule + insert (one request per measured iteration).
+    let mut ctx = EngineCtx::new();
+    ctx.enable_cache(1);
+    let mut flip = false;
+    group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+        b.iter(|| {
+            flip = !flip;
+            let req = if flip { &set } else { &other };
+            let out = ctx.route_cached(&Csa, &topo, req).unwrap();
+            let rounds = out.rounds;
+            ctx.recycle(out);
+            std::hint::black_box(rounds)
+        })
+    });
+
+    // The same alternating stream, no cache: cold's fair baseline.
+    let mut ctx = EngineCtx::new();
+    let mut flip2 = false;
+    group.bench_with_input(BenchmarkId::new("cold-baseline", n), &n, |b, _| {
+        b.iter(|| {
+            flip2 = !flip2;
+            let req = if flip2 { &set } else { &other };
+            let out = ctx.route(&Csa, &topo, req).unwrap();
+            let rounds = out.rounds;
+            ctx.recycle(out);
+            std::hint::black_box(rounds)
+        })
+    });
+
+    // Incremental delta: detach one communication and re-attach it — a
+    // two-change `route_delta` that patches two root paths and re-runs
+    // Phase 2, leaving the set unchanged across iterations.
+    let mut session = IncrementalCsa::new(&topo, &set).unwrap();
+    let mut pool = SchedulePool::new();
+    let victim = set.comms()[set.len() / 2];
+    let delta = [
+        PeChange::Detach { source: victim.source },
+        PeChange::Attach { source: victim.source, dest: victim.dest },
+    ];
+    group.bench_with_input(BenchmarkId::new("incremental-delta", n), &n, |b, _| {
+        b.iter(|| {
+            let out = session.route_delta(&topo, &delta, &mut pool).unwrap();
+            let rounds = out.rounds();
+            pool.put_schedule(out.schedule);
+            pool.put_meter(out.meter);
+            std::hint::black_box(rounds)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_e6_stream
+}
+criterion_main!(benches);

@@ -10,12 +10,15 @@
 //! * [`width`] — per-link load and the width `w` (the round lower bound);
 //! * [`schedule`] — the common `Schedule` output type and its verifier;
 //! * [`check`] — the diagnostic round pass shared with `cst-check`;
+//! * [`delta`] — PE-level mutations ([`PeChange`]) for the streaming
+//!   engine's incremental scheduler;
 //! * [`transform`] — set algebra (shift, embed, concat, restrict) and an
 //!   incremental builder;
 //! * [`examples`] — canonical sets, including the paper's figures.
 
 pub mod check;
 pub mod communication;
+pub mod delta;
 pub mod examples;
 pub mod parens;
 pub mod schedule;
@@ -25,6 +28,7 @@ pub mod width;
 
 pub use check::check_rounds;
 pub use communication::{CommId, Communication, Orientation};
+pub use delta::PeChange;
 pub use parens::{from_paren_string, is_balanced, to_paren_string};
 pub use schedule::{Round, Schedule, SchedulePool};
 pub use set::{CommSet, OrientedSubset, WellNestedChecker};

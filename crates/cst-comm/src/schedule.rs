@@ -14,12 +14,27 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One round of a schedule.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Round {
     /// Communications performed this round.
     pub comms: Vec<CommId>,
     /// Connections each involved switch must hold this round.
     pub configs: RoundConfigs,
+}
+
+impl Clone for Round {
+    fn clone(&self) -> Self {
+        Round { comms: self.comms.clone(), configs: self.configs.clone() }
+    }
+
+    // Derive would fall back to `*self = src.clone()`, re-allocating both
+    // buffers; the schedule cache clones outcomes through pooled shells
+    // and must stay off the allocator once warm.
+    fn clone_from(&mut self, src: &Self) {
+        self.comms.clear();
+        self.comms.extend_from_slice(&src.comms);
+        self.configs.clone_from(&src.configs);
+    }
 }
 
 impl Round {
@@ -31,9 +46,25 @@ impl Round {
 }
 
 /// A complete schedule for a set.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Schedule {
     pub rounds: Vec<Round>,
+}
+
+impl Clone for Schedule {
+    fn clone(&self) -> Self {
+        Schedule { rounds: self.rounds.clone() }
+    }
+
+    // `Vec::clone_from` reuses the existing prefix element-wise (each
+    // round's `clone_from` above), so re-cloning into a schedule that
+    // already holds as many rounds is allocation-free. Cloning into an
+    // *empty* shell still allocates per round — the pool's
+    // [`SchedulePool::copy_schedule`] covers that case with pooled round
+    // shells.
+    fn clone_from(&mut self, src: &Self) {
+        self.rounds.clone_from(&src.rounds);
+    }
 }
 
 impl Schedule {
@@ -144,6 +175,24 @@ impl SchedulePool {
         self.schedules.push(s);
     }
 
+    /// Clone `src` into a schedule assembled from pooled shells: the
+    /// schedule body and each round come from the pool, so in steady
+    /// state (cache serving schedules it has served before) the copy
+    /// never touches the allocator. A plain `clone` can't do this — a
+    /// pooled schedule arrives with zero rounds, so `Vec::clone_from`
+    /// would clone-allocate every round of the tail.
+    pub fn copy_schedule(&mut self, src: &Schedule) -> Schedule {
+        let mut out = self.take_schedule();
+        debug_assert!(out.rounds.is_empty(), "pooled schedules are empty");
+        out.rounds.reserve(src.rounds.len());
+        for r in &src.rounds {
+            let mut shell = self.take_round();
+            shell.clone_from(r);
+            out.rounds.push(shell);
+        }
+        out
+    }
+
     /// Return a round for reuse.
     pub fn put_round(&mut self, mut r: Round) {
         r.comms.clear();
@@ -237,6 +286,23 @@ mod tests {
         let back: Schedule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sched);
         back.verify(&topo, &set).unwrap();
+    }
+
+    #[test]
+    fn copy_schedule_matches_source() {
+        let topo = CstTopology::with_leaves(8);
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6)]);
+        let src = Schedule {
+            rounds: vec![round_of(&topo, &set, &[0]), round_of(&topo, &set, &[1])],
+        };
+        let mut pool = SchedulePool::new();
+        let a = pool.copy_schedule(&src);
+        assert_eq!(a, src);
+        // Recycle and copy again: the same shells come back out.
+        pool.put_schedule(a);
+        let b = pool.copy_schedule(&src);
+        assert_eq!(b, src);
+        b.verify(&topo, &set).unwrap();
     }
 
     #[test]

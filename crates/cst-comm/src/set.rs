@@ -31,10 +31,25 @@ use serde::{Deserialize, Serialize};
 /// let crossing = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
 /// assert!(!crossing.is_well_nested());
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommSet {
     num_leaves: usize,
     comms: Vec<Communication>,
+}
+
+impl Clone for CommSet {
+    fn clone(&self) -> Self {
+        CommSet { num_leaves: self.num_leaves, comms: self.comms.clone() }
+    }
+
+    // Explicit clear+extend of `Copy` elements: the engine's schedule
+    // cache repopulates recycled key buffers with `clone_from` on every
+    // eviction and must not touch the allocator once warm.
+    fn clone_from(&mut self, src: &Self) {
+        self.num_leaves = src.num_leaves;
+        self.comms.clear();
+        self.comms.extend_from_slice(&src.comms);
+    }
 }
 
 impl CommSet {
@@ -214,6 +229,36 @@ impl CommSet {
         }
     }
 
+    /// Append a communication without re-validating (the delta layer has
+    /// already checked the structural invariants).
+    pub(crate) fn push_unchecked(&mut self, c: Communication) {
+        self.comms.push(c);
+    }
+
+    /// Remove a communication by id, preserving the order (ids shift like
+    /// a from-scratch rebuild of the remaining set).
+    pub(crate) fn remove_unchecked(&mut self, id: CommId) -> Communication {
+        self.comms.remove(id.0)
+    }
+
+    /// Stable 64-bit fingerprint of this set, for schedule-cache keys.
+    ///
+    /// Hashes exactly what `Eq` compares — leaf count plus the
+    /// `(source, dest)` pairs in id order — so equal sets always
+    /// fingerprint equal; the converse does not hold for a 64-bit digest,
+    /// and consumers must keep the set and fall back to `==` on lookup
+    /// (see `cst-engine`'s `ScheduleCache`). Allocation-free.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = cst_core::Fp64::new("cst/comm-set");
+        fp.write_usize(self.num_leaves);
+        fp.write_usize(self.comms.len());
+        for c in &self.comms {
+            fp.write_usize(c.source.0);
+            fp.write_usize(c.dest.0);
+        }
+        fp.finish()
+    }
+
     /// The LCA switch at which each communication is matched.
     pub fn apexes(&self, topo: &CstTopology) -> Vec<cst_core::NodeId> {
         assert_eq!(topo.num_leaves(), self.num_leaves);
@@ -387,6 +432,33 @@ mod tests {
         assert!(set.is_well_nested());
         assert!(set.is_right_oriented());
         assert_eq!(set.max_nesting_depth(), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality() {
+        let a = CommSet::from_pairs(8, &[(0, 3), (4, 7)]);
+        let b = CommSet::from_pairs(8, &[(0, 3), (4, 7)]);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different pairs, different comm order, different tree size: all
+        // distinct (comm order is part of Eq — ids are positional).
+        assert_ne!(a.fingerprint(), CommSet::from_pairs(8, &[(0, 3)]).fingerprint());
+        assert_ne!(a.fingerprint(), CommSet::from_pairs(8, &[(4, 7), (0, 3)]).fingerprint());
+        assert_ne!(a.fingerprint(), CommSet::from_pairs(16, &[(0, 3), (4, 7)]).fingerprint());
+        // Orientation matters: (3,0) is not (0,3).
+        assert_ne!(
+            CommSet::from_pairs(8, &[(0, 3)]).fingerprint(),
+            CommSet::from_pairs(8, &[(3, 0)]).fingerprint()
+        );
+        assert_ne!(CommSet::empty(8).fingerprint(), CommSet::empty(16).fingerprint());
+    }
+
+    #[test]
+    fn clone_from_reuses_buffers() {
+        let src = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+        let mut dst = CommSet::from_pairs(4, &[(0, 1)]);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub enum CstError {
     DeliveryMismatch { dest: LeafId },
     /// A router name was not found in the engine registry.
     UnknownRouter { name: String },
+    /// A delta referenced a communication that does not exist (no
+    /// communication has this leaf as its source).
+    NoSuchCommunication { source: LeafId },
 }
 
 impl core::fmt::Display for CstError {
@@ -93,6 +96,9 @@ impl core::fmt::Display for CstError {
             }
             CstError::UnknownRouter { name } => {
                 write!(f, "unknown router {name:?}: see the engine registry for valid names")
+            }
+            CstError::NoSuchCommunication { source } => {
+                write!(f, "no communication with source {source} to detach")
             }
         }
     }

@@ -198,6 +198,34 @@ impl FaultMask {
         &self.edges
     }
 
+    /// Stable 64-bit fingerprint of this mask, for schedule-cache keys.
+    ///
+    /// Hashes the same state the derived `Eq` compares — tree size plus
+    /// the three insertion-ordered fault lists — so equal masks always
+    /// fingerprint equal. (Two masks holding the same faults recorded in
+    /// different orders compare unequal under `Eq` and fingerprint
+    /// unequal here; the cache treats them as distinct keys, which costs
+    /// a redundant entry but never a wrong hit.) 64 bits can collide:
+    /// consumers must keep the mask and fall back to `==` on lookup.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::fp::Fp64::new("cst/fault-mask");
+        fp.write_usize(self.num_leaves);
+        fp.write_usize(self.switches.len());
+        for n in &self.switches {
+            fp.write_usize(n.0);
+        }
+        fp.write_usize(self.links.len());
+        for l in &self.links {
+            fp.write_usize(l.child.0);
+            fp.write_u64(u64::from(l.up));
+        }
+        fp.write_usize(self.edges.len());
+        for n in &self.edges {
+            fp.write_usize(n.0);
+        }
+        fp.finish()
+    }
+
     /// The fault making `source -> dest` unroutable, or `None` when the
     /// communication's unique path avoids every dead switch and channel.
     /// Degraded edges never block a path (they only constrain rounds), so
@@ -398,6 +426,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality() {
+        let t = topo8();
+        let build = |faults: &[usize]| {
+            let mut m = FaultMask::empty(&t);
+            for &n in faults {
+                m.kill_switch(NodeId(n));
+            }
+            m
+        };
+        let a = build(&[2, 5]);
+        let b = build(&[2, 5]);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different faults, different insertion order, different tree size:
+        // all distinct fingerprints (insertion order is part of Eq).
+        assert_ne!(a.fingerprint(), build(&[2]).fingerprint());
+        assert_ne!(a.fingerprint(), build(&[5, 2]).fingerprint());
+        let t16 = CstTopology::with_leaves(16);
+        assert_ne!(
+            FaultMask::empty(&t).fingerprint(),
+            FaultMask::empty(&t16).fingerprint()
+        );
+        // A dead link and a degraded edge on the same child are distinct
+        // fault kinds and must not alias in the stream.
+        let mut link = FaultMask::empty(&t);
+        link.kill_link(DirectedLink::up_from(NodeId(4)));
+        let mut edge = FaultMask::empty(&t);
+        edge.degrade_edge(NodeId(4));
+        assert_ne!(link.fingerprint(), edge.fingerprint());
     }
 
     #[test]

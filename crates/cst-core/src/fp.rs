@@ -1,0 +1,157 @@
+//! Stable 64-bit fingerprinting for request keys.
+//!
+//! The streaming engine caches schedules by a *canonical fingerprint* of
+//! the request (communication set, and fault mask when present). The
+//! hasher here is the single fingerprinting substrate for the workspace:
+//!
+//! * **stable** — a fixed algorithm (FNV-1a over bytes, xor-multiply-
+//!   rotate over words, a splitmix64 final avalanche) with no per-process
+//!   random state, so fingerprints are
+//!   reproducible across runs, builds, and platforms (pinned by a golden
+//!   test);
+//! * **canonical w.r.t. equality** — callers feed the same field sequence
+//!   that their `Eq` implementation compares, so equal values always hash
+//!   to equal fingerprints. The converse cannot hold for a 64-bit digest:
+//!   every cache keyed by fingerprints MUST keep the original key and
+//!   fall back to a full equality check on hit (see
+//!   `cst-engine::ScheduleCache`), which turns a collision into a miss
+//!   rather than a wrong answer;
+//! * **domain-separated** — each fingerprinting site seeds the stream
+//!   with a distinct domain tag so a communication set and a fault mask
+//!   that happen to serialize identically still get unrelated digests.
+//!
+//! The word-level API (`write_u64`/`write_u32`) length-prefixes nothing:
+//! callers are responsible for feeding an unambiguous encoding (fixed
+//! field order, explicit length words before variable-length sequences —
+//! the same discipline serde derives use).
+
+/// Streaming 64-bit fingerprint hasher with a strong finalizer.
+///
+/// # Examples
+///
+/// ```
+/// use cst_core::Fp64;
+///
+/// let mut a = Fp64::new("example");
+/// a.write_u64(7);
+/// let mut b = Fp64::new("example");
+/// b.write_u64(7);
+/// assert_eq!(a.finish(), b.finish());
+/// assert_ne!(Fp64::new("other").finish(), Fp64::new("example").finish());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fp64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fp64 {
+    /// Start a stream seeded by a domain tag. Distinct tags give
+    /// unrelated digests for identical payloads.
+    pub fn new(domain: &str) -> Fp64 {
+        let mut fp = Fp64 { state: FNV_OFFSET };
+        fp.write_bytes(domain.as_bytes());
+        fp
+    }
+
+    /// Feed raw bytes (FNV-1a core loop).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feed one u64, mixed as a whole word.
+    ///
+    /// Deliberately *not* `write_bytes(&v.to_le_bytes())`: integer fields
+    /// dominate every fingerprinting site (a communication set is a list
+    /// of leaf ids), and the byte-at-a-time FNV loop made the set
+    /// fingerprint a measurable slice of the engine's cache-miss path.
+    /// One xor-multiply-rotate per word is ~8x cheaper and still mixes
+    /// every input bit into the state (the multiply spreads bits upward,
+    /// the rotate feeds the high half back down; `finish` avalanches).
+    pub fn write_u64(&mut self, v: u64) {
+        const WORD_PRIME: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / phi, odd
+        self.state = (self.state ^ v).wrapping_mul(WORD_PRIME).rotate_left(27);
+    }
+
+    /// Feed one u32 (widened; avoids platform-width ambiguity).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Feed a usize (widened to u64 so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// The digest. FNV-1a alone mixes low bits weakly, so the state is
+    /// finalized with the splitmix64 avalanche before use as a cache key.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let digest = |vals: &[u64]| {
+            let mut fp = Fp64::new("test");
+            for &v in vals {
+                fp.write_u64(v);
+            }
+            fp.finish()
+        };
+        assert_eq!(digest(&[1, 2, 3]), digest(&[1, 2, 3]));
+        assert_ne!(digest(&[1, 2, 3]), digest(&[1, 3, 2]));
+        assert_ne!(digest(&[]), digest(&[0]));
+    }
+
+    #[test]
+    fn domain_tags_separate_streams() {
+        let mut a = Fp64::new("domain-a");
+        let mut b = Fp64::new("domain-b");
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn golden_digest_is_pinned() {
+        // Cross-run / cross-platform stability is part of the contract:
+        // cached artifacts keyed by fingerprints must stay addressable
+        // after a rebuild. If this value changes, the hash algorithm
+        // changed and every persisted fingerprint is invalidated —
+        // bump deliberately, never accidentally.
+        let mut fp = Fp64::new("cst-golden");
+        fp.write_u64(0x0123_4567_89ab_cdef);
+        fp.write_u32(7);
+        fp.write_usize(1024);
+        assert_eq!(fp.finish(), 0x422a_a943_f0aa_8f73);
+    }
+
+    #[test]
+    fn finalizer_spreads_low_bits() {
+        // Consecutive inputs must not map to consecutive digests (the
+        // cache masks fingerprints down in its collision tests).
+        let digest = |v: u64| {
+            let mut fp = Fp64::new("spread");
+            fp.write_u64(v);
+            fp.finish()
+        };
+        let lows: Vec<u64> = (0..16).map(|v| digest(v) & 0xff).collect();
+        let mut sorted = lows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() > 12, "low bytes nearly collide: {lows:?}");
+    }
+}

@@ -24,6 +24,7 @@ pub mod compat;
 pub mod diag;
 pub mod error;
 pub mod fault;
+pub mod fp;
 pub mod link;
 pub mod node;
 pub mod path;
@@ -37,6 +38,7 @@ pub use compat::{are_compatible, MergedRound};
 pub use diag::{DiagCode, DiagReport, Diagnostic, Severity};
 pub use error::CstError;
 pub use fault::{FaultCause, FaultMask};
+pub use fp::Fp64;
 pub use link::{DirectedLink, LinkOccupancy};
 pub use node::{LeafId, NodeId};
 pub use path::Circuit;

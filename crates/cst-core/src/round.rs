@@ -31,9 +31,25 @@ pub trait ConfigLookup {
 /// order, same serialized form (a JSON map keyed by the decimal heap
 /// index), but contiguous in memory. Entries never hold an empty
 /// configuration.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct RoundConfigs {
     entries: Vec<(NodeId, SwitchConfig)>,
+}
+
+impl Clone for RoundConfigs {
+    fn clone(&self) -> Self {
+        RoundConfigs { entries: self.entries.clone() }
+    }
+
+    // The derived impl would route through `Vec::clone_from`, which for
+    // non-`Copy`-specialized code paths drops and re-clones the tail; the
+    // schedule cache leans on `clone_from` to repopulate pooled rounds
+    // without touching the allocator, so spell out the clear+extend of a
+    // `Copy` element slice.
+    fn clone_from(&mut self, src: &Self) {
+        self.entries.clear();
+        self.entries.extend_from_slice(&src.entries);
+    }
 }
 
 impl RoundConfigs {

@@ -3,12 +3,19 @@
 //! [`EngineCtx`] reaches a zero-allocation steady state (asserted by the
 //! workspace's allocation-gate test for the serial CSA).
 
-use crate::outcome::{RouteExtra, RouteOutcome};
+use crate::cache::{CacheStats, ScheduleCache};
+use crate::degrade::DegradationReport;
+use crate::outcome::{PhaseTimings, RouteExtra, RouteOutcome};
 use crate::registry;
 use crate::router::Router;
 use cst_comm::{CommSet, Schedule, SchedulePool};
-use cst_core::{CstError, CstTopology, MergedRound, PowerReport};
+use cst_core::{CstError, CstTopology, FaultMask, Fp64, MergedRound, PowerReport};
 use cst_padr::{CsaScratch, ParallelScratch};
+use std::time::Instant;
+
+/// Capacity [`EngineCtx::route_cached`] uses when the caller has not
+/// sized the cache explicitly with [`EngineCtx::enable_cache`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
 
 /// Reusable scratch for repeated routing requests.
 ///
@@ -40,6 +47,10 @@ pub struct EngineCtx {
     pub(crate) parallel: ParallelScratch,
     pub(crate) merged: MergedRound,
     pub(crate) pool: SchedulePool,
+    /// Schedule cache; `None` until the first `route_cached`-family call
+    /// (or an explicit [`EngineCtx::enable_cache`]). Plain `route` never
+    /// consults it.
+    pub(crate) cache: Option<ScheduleCache>,
 }
 
 impl EngineCtx {
@@ -98,5 +109,222 @@ impl EngineCtx {
         let report = meter.report(topo);
         self.pool.put_meter(meter);
         report
+    }
+}
+
+/// The streaming front-end: fingerprint-keyed caching and batch routing.
+///
+/// Keying rules (see `docs/ENGINE.md` §"Caching & streaming"):
+/// * the key fingerprints the **router name**, the **set**, and — for
+///   masked requests — the **fault mask**, so no router ever serves
+///   another router's schedule and `route_masked_cached` never serves a
+///   fault-free schedule under a live mask;
+/// * an **empty** mask keys identically to a plain request (masked
+///   routing with no faults is defined as byte-identical to plain
+///   routing), with the clean `DegradationReport` re-attached on a hit;
+/// * a hit also requires full key *equality* — fingerprints are 64-bit
+///   and may collide; a collision is a counted miss, never a wrong
+///   schedule.
+impl EngineCtx {
+    /// Size (or resize) the schedule cache. Resizing discards resident
+    /// entries but keeps nothing else; pass 0 to disable caching while
+    /// keeping the `route_cached` call sites intact.
+    pub fn enable_cache(&mut self, capacity: usize) {
+        self.cache = Some(ScheduleCache::new(capacity));
+    }
+
+    /// Counters of the schedule cache, if one has been created.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Test knob: truncate cache fingerprints to `bits` low bits to make
+    /// collisions likely (exercises the equality fallback). Creates the
+    /// cache at the default capacity if absent.
+    #[doc(hidden)]
+    pub fn set_cache_fp_bits(&mut self, bits: u32) {
+        self.cache
+            .get_or_insert_with(|| ScheduleCache::new(DEFAULT_CACHE_CAPACITY))
+            .set_fp_bits(bits);
+    }
+
+    /// [`EngineCtx::route`] through the schedule cache: a hit returns the
+    /// cached outcome (schedule copied out of pooled shells, zero
+    /// allocations when warm) without touching the scheduler; a miss
+    /// routes normally and inserts. Creates the cache at
+    /// [`DEFAULT_CACHE_CAPACITY`] on first use.
+    pub fn route_cached(
+        &mut self,
+        router: &dyn Router,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        self.route_cached_inner(router, topo, set, None)
+    }
+
+    /// [`EngineCtx::route_cached`] through the registry by stable name.
+    pub fn route_named_cached(
+        &mut self,
+        name: &str,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<RouteOutcome, CstError> {
+        let router = registry::find(name)
+            .ok_or_else(|| CstError::UnknownRouter { name: name.to_string() })?;
+        self.route_cached_inner(router.as_ref(), topo, set, None)
+    }
+
+    /// [`EngineCtx::route_masked`] through the schedule cache. The mask
+    /// participates in the cache key, so identical sets under different
+    /// masks are distinct entries; an empty mask shares the plain
+    /// request's entry (and re-attaches the clean report on a hit).
+    pub fn route_masked_cached(
+        &mut self,
+        router: &dyn Router,
+        topo: &CstTopology,
+        set: &CommSet,
+        mask: &FaultMask,
+    ) -> Result<RouteOutcome, CstError> {
+        if mask.is_empty() {
+            let mut out = self.route_cached_inner(router, topo, set, None)?;
+            out.degradation = Some(DegradationReport::fault_free(set.len()));
+            return Ok(out);
+        }
+        self.route_cached_inner(router, topo, set, Some(mask))
+    }
+
+    /// Route a request slice, deduplicating by fingerprint: each unique
+    /// set is routed (through the cache) exactly once, duplicates are
+    /// fanned back out as copies, and the outcomes come back in input
+    /// order.
+    pub fn route_batch(
+        &mut self,
+        router: &dyn Router,
+        topo: &CstTopology,
+        sets: &[CommSet],
+    ) -> Result<Vec<RouteOutcome>, CstError> {
+        // representative[i] = first index whose set equals sets[i]
+        // (fingerprint prefilter, equality to confirm — collisions must
+        // not merge distinct requests).
+        let fps: Vec<u64> = sets.iter().map(|s| s.fingerprint()).collect();
+        let representative: Vec<usize> = (0..sets.len())
+            .map(|i| {
+                (0..i)
+                    .find(|&j| fps[j] == fps[i] && sets[j] == sets[i])
+                    .unwrap_or(i)
+            })
+            .collect();
+
+        // One pass in input order: a representative routes through the
+        // cache; a duplicate copies from its representative's outcome,
+        // which is already in `outcomes` because rep < i.
+        let mut outcomes: Vec<RouteOutcome> = Vec::with_capacity(sets.len());
+        for i in 0..sets.len() {
+            let rep = representative[i];
+            if rep == i {
+                outcomes.push(self.route_cached(router, topo, &sets[i])?);
+            } else {
+                let t0 = Instant::now();
+                let stats = self.cache_stats().unwrap_or_default();
+                let src = &outcomes[rep];
+                let schedule = self.pool.copy_schedule(&src.schedule);
+                outcomes.push(RouteOutcome {
+                    router: src.router,
+                    rounds: src.rounds,
+                    power: src.power.clone(),
+                    degradation: src.degradation.clone(),
+                    schedule,
+                    timings: PhaseTimings::total_only(t0.elapsed().as_nanos() as u64),
+                    extra: RouteExtra::Cached { stats },
+                });
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// The cache key of one request. Mixes the router name, the set
+    /// fingerprint, and the mask fingerprint (tagged, so "no mask" and
+    /// any real mask can never alias).
+    fn request_fp(router: &str, set: &CommSet, mask: Option<&FaultMask>) -> u64 {
+        let mut fp = Fp64::new("cst/route-request");
+        fp.write_usize(router.len());
+        fp.write_bytes(router.as_bytes());
+        fp.write_u64(set.fingerprint());
+        match mask {
+            None => fp.write_u64(0),
+            Some(m) => {
+                fp.write_u64(1);
+                fp.write_u64(m.fingerprint());
+            }
+        }
+        fp.finish()
+    }
+
+    fn route_cached_inner(
+        &mut self,
+        router: &dyn Router,
+        topo: &CstTopology,
+        set: &CommSet,
+        mask: Option<&FaultMask>,
+    ) -> Result<RouteOutcome, CstError> {
+        let t0 = Instant::now();
+        let fp = Self::request_fp(router.name(), set, mask);
+        // Hit path: cache and pool are disjoint fields, so the cached
+        // schedule can be copied out through pooled round shells while
+        // the entry is still borrowed.
+        let cache = self
+            .cache
+            .get_or_insert_with(|| ScheduleCache::new(DEFAULT_CACHE_CAPACITY));
+        if let Some(entry) = cache.lookup(fp, router.name(), set, mask) {
+            let schedule = self.pool.copy_schedule(&entry.schedule);
+            let rounds = entry.rounds;
+            let router_name = entry.router;
+            let power = entry.power.clone();
+            let degradation = entry.degradation.clone();
+            let stats = cache.stats();
+            return Ok(RouteOutcome {
+                router: router_name,
+                schedule,
+                rounds,
+                power,
+                timings: PhaseTimings::total_only(t0.elapsed().as_nanos() as u64),
+                extra: RouteExtra::Cached { stats },
+                degradation,
+            });
+        }
+
+        let mut out = match mask {
+            Some(m) => self.route_masked(router, topo, set, m)?,
+            None => self.route(router, topo, set)?,
+        };
+        // The fresh schedule moves into the entry (no clone); the caller
+        // gets a copy through pooled shells — the same cheap path a hit
+        // takes — and the displaced victim schedule recirculates into the
+        // pool. With the cache disabled the schedule comes straight back.
+        let fresh = std::mem::take(&mut out.schedule);
+        let cache = self
+            .cache
+            .get_or_insert_with(|| ScheduleCache::new(DEFAULT_CACHE_CAPACITY));
+        let (displaced, resident) = cache.insert(
+            fp,
+            out.router,
+            set,
+            mask,
+            fresh,
+            &out.power,
+            out.degradation.as_ref(),
+        );
+        out.schedule = match (displaced, resident) {
+            (displaced, Some(entry_schedule)) => {
+                let copy = self.pool.copy_schedule(entry_schedule);
+                if let Some(victim) = displaced {
+                    self.pool.put_schedule(victim);
+                }
+                copy
+            }
+            (Some(original), None) => original,
+            (None, None) => unreachable!("disabled cache returns the input schedule"),
+        };
+        Ok(out)
     }
 }

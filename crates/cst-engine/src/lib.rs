@@ -22,13 +22,15 @@
 //! }
 //! ```
 
+mod cache;
 mod ctx;
 mod degrade;
 mod outcome;
 mod registry;
 mod router;
 
-pub use ctx::EngineCtx;
+pub use cache::{CacheStats, ScheduleCache};
+pub use ctx::{EngineCtx, DEFAULT_CACHE_CAPACITY};
 pub use degrade::{route_once_masked, DegradationReport, DroppedComm, ReroutedComm};
 pub use outcome::{PhaseTimings, RouteExtra, RouteOutcome};
 pub use registry::{find, names, registry, route_once, CANONICAL};
@@ -245,6 +247,85 @@ mod tests {
         // Power was re-metered for the split schedule.
         let replayed = ctx.meter_schedule(&topo, &out.schedule);
         assert_eq!(replayed.total_units, out.power.total_units);
+    }
+
+    #[test]
+    fn cached_route_hits_and_matches() {
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (8, 15)]);
+        let mut ctx = EngineCtx::new();
+        let miss = ctx.route_cached(&Csa, &topo, &set).unwrap();
+        assert!(matches!(miss.extra, RouteExtra::Csa { .. }), "first call is a miss");
+        let hit = ctx.route_cached(&Csa, &topo, &set).unwrap();
+        assert_eq!(hit.schedule, miss.schedule);
+        assert_eq!(hit.power, miss.power);
+        assert_eq!(hit.rounds, miss.rounds);
+        assert_eq!(hit.router, "csa");
+        match hit.extra {
+            RouteExtra::Cached { stats } => {
+                assert_eq!((stats.hits, stats.misses), (1, 1));
+                assert_eq!(stats.entries, 1);
+            }
+            ref other => panic!("expected Cached extra, got {other:?}"),
+        }
+        let stats = ctx.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        // A different router misses: keys include the router name.
+        let other = ctx.route_cached(&General, &topo, &set).unwrap();
+        assert!(!matches!(other.extra, RouteExtra::Cached { .. }));
+    }
+
+    #[test]
+    fn batch_dedupes_and_preserves_order() {
+        let topo = CstTopology::with_leaves(16);
+        let a = CommSet::from_pairs(16, &[(0, 7), (1, 6)]);
+        let b = CommSet::from_pairs(16, &[(8, 15)]);
+        let sets = vec![a.clone(), b.clone(), a.clone(), a.clone(), b.clone()];
+        let mut ctx = EngineCtx::new();
+        let outs = ctx.route_batch(&Csa, &topo, &sets).unwrap();
+        assert_eq!(outs.len(), 5);
+        // Representatives routed, duplicates fanned out as cached copies.
+        assert!(matches!(outs[0].extra, RouteExtra::Csa { .. }));
+        assert!(matches!(outs[1].extra, RouteExtra::Csa { .. }));
+        for i in [2, 3] {
+            assert!(matches!(outs[i].extra, RouteExtra::Cached { .. }), "outs[{i}]");
+            assert_eq!(outs[i].schedule, outs[0].schedule, "outs[{i}]");
+            assert_eq!(outs[i].power, outs[0].power);
+        }
+        assert!(matches!(outs[4].extra, RouteExtra::Cached { .. }));
+        assert_eq!(outs[4].schedule, outs[1].schedule);
+        // The scheduler ran exactly twice (misses), never for duplicates.
+        let stats = ctx.cache_stats().unwrap();
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn mask_flip_never_serves_stale_schedule() {
+        // Satellite regression: identical set, mask toggling between
+        // requests — the cache must key on the mask.
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (8, 15)]);
+        let mut mask = FaultMask::empty(&topo);
+        assert!(mask.kill_switch(NodeId(4)));
+        let mut ctx = EngineCtx::new();
+        let plain = ctx.route_cached(&Csa, &topo, &set).unwrap();
+        let masked = ctx.route_masked_cached(&Csa, &topo, &set, &mask).unwrap();
+        assert_ne!(masked.schedule, plain.schedule, "mask dropped comms");
+        assert_eq!(masked.degradation.as_ref().unwrap().dropped, 2);
+        // Hits on both keys, each byte-faithful to its own mode.
+        let plain2 = ctx.route_cached(&Csa, &topo, &set).unwrap();
+        let masked2 = ctx.route_masked_cached(&Csa, &topo, &set, &mask).unwrap();
+        assert!(matches!(plain2.extra, RouteExtra::Cached { .. }));
+        assert!(matches!(masked2.extra, RouteExtra::Cached { .. }));
+        assert_eq!(plain2.schedule, plain.schedule);
+        assert_eq!(masked2.schedule, masked.schedule);
+        assert_eq!(masked2.degradation, masked.degradation);
+        // Empty mask shares the plain entry and reports fault-free.
+        let empty = FaultMask::empty(&topo);
+        let clean = ctx.route_masked_cached(&Csa, &topo, &set, &empty).unwrap();
+        assert!(matches!(clean.extra, RouteExtra::Cached { .. }));
+        assert_eq!(clean.schedule, plain.schedule);
+        assert!(clean.degradation.unwrap().is_clean());
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub enum RouteExtra {
     Greedy { order: ScanOrder },
     /// Roy-style baseline: per-communication ID levels.
     Roy { levels: Vec<u32>, max_level: u32 },
+    /// Served from the schedule cache without touching a scheduler; the
+    /// stats snapshot includes this hit.
+    Cached { stats: crate::CacheStats },
     /// Nothing beyond the common shape.
     None,
 }

@@ -74,6 +74,41 @@ impl Phase1 {
         &self.states[node.index()]
     }
 
+    /// Recompute one switch's `C_S`/`C_U` from its children's current
+    /// upward messages (paper Steps 1.2–1.3, Lemma 1). The full sweep
+    /// applies this bottom-up to every switch; the incremental scheduler
+    /// applies it to dirty root-paths only.
+    #[inline]
+    pub fn recompute_switch(&mut self, u: NodeId) {
+        let l = self.up_msgs[u.left_child().index()];
+        let r = self.up_msgs[u.right_child().index()];
+        let matched = l.sources.min(r.dests);
+        self.states[u.index()] = SwitchState {
+            matched,
+            left_sources: l.sources - matched,
+            right_sources: r.sources,
+            left_dests: l.dests,
+            right_dests: r.dests - matched,
+        };
+        self.up_msgs[u.index()] = UpMsg {
+            sources: l.sources - matched + r.sources,
+            dests: l.dests + r.dests - matched,
+        };
+    }
+
+    /// Check the root saw every endpoint matched (paper Step 1.3's
+    /// termination condition); [`CstError::IncompleteSet`] otherwise.
+    pub fn require_complete(&self) -> Result<(), CstError> {
+        let root = self.up_msgs[NodeId::ROOT.index()];
+        if root.sources != 0 || root.dests != 0 {
+            return Err(CstError::IncompleteSet {
+                unmatched_sources: root.sources,
+                unmatched_dests: root.dests,
+            });
+        }
+        Ok(())
+    }
+
     /// Export the tables in the analyzer's layout — `C_S = [M, S_L − M,
     /// D_L, S_R, D_R − M]` per switch, `C_U = [sources, dests]` per node —
     /// for the Lemma 1 pass ([`crate::verifier::verify_phase1`]).
@@ -128,30 +163,10 @@ pub fn run_into(topo: &CstTopology, set: &CommSet, p1: &mut Phase1) -> Result<()
 
     // Steps 1.2-1.3: internal switches, bottom-up.
     for u in topo.switches_bottom_up() {
-        let l = p1.up_msgs[u.left_child().index()];
-        let r = p1.up_msgs[u.right_child().index()];
-        let matched = l.sources.min(r.dests);
-        p1.states[u.index()] = SwitchState {
-            matched,
-            left_sources: l.sources - matched,
-            right_sources: r.sources,
-            left_dests: l.dests,
-            right_dests: r.dests - matched,
-        };
-        p1.up_msgs[u.index()] = UpMsg {
-            sources: l.sources - matched + r.sources,
-            dests: l.dests + r.dests - matched,
-        };
+        p1.recompute_switch(u);
     }
 
-    let root = p1.up_msgs[NodeId::ROOT.index()];
-    if root.sources != 0 || root.dests != 0 {
-        return Err(CstError::IncompleteSet {
-            unmatched_sources: root.sources,
-            unmatched_dests: root.dests,
-        });
-    }
-    Ok(())
+    p1.require_complete()
 }
 
 #[cfg(test)]

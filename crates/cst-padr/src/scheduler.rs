@@ -92,7 +92,7 @@ pub struct CsaTimings {
 /// Reusable buffers for the Phase-2 sweep. Sized lazily to the topology and
 /// kept across calls so steady-state scheduling never touches the allocator.
 #[derive(Debug, Default)]
-struct Phase2Buffers {
+pub(crate) struct Phase2Buffers {
     /// Pairing oracle: source leaf -> (comm id, dest leaf), dense by leaf.
     by_source: Vec<Option<(CommId, LeafId)>>,
     /// Unscheduled matched communications per subtree (pruning).
@@ -196,7 +196,7 @@ pub fn run_phase2_with(
 /// The round driver proper. All working storage comes from `bufs` and
 /// `pool`; with warm buffers this function performs no allocation on the
 /// success path (error details may format strings).
-fn phase2_core(
+pub(crate) fn phase2_core(
     topo: &CstTopology,
     set: &CommSet,
     p1: &mut Phase1,

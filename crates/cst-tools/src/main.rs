@@ -11,6 +11,7 @@
 //! cst-tools check <bundle.json>       statically analyze a schedule bundle
 //! cst-tools inject <pattern>          route a pattern under a fault mask
 //! cst-tools campaign                  run the seeded fault campaign, emit JSON
+//! cst-tools stream                    replay a seeded request stream, report hit rate
 //! cst-tools list-routers              print the engine registry
 //! ```
 //!
@@ -38,6 +39,16 @@
 //! `campaign` runs the deterministic `cst-faults` sweep (`--seed <s>`,
 //! `--quick` for the small CI grid) and prints the report JSON; the same
 //! seed always prints the same bytes (soak-checked in scripts/ci.sh).
+//!
+//! `stream` replays a seeded request stream through the engine's schedule
+//! cache (docs/ENGINE.md §"Caching & streaming"): a working set of
+//! `--working` sets on `--pes` leaves at `--density`; each of `--requests`
+//! requests repeats a working-set member with probability `--repeat`,
+//! otherwise mutates one with `--delta` random PE changes first. Prints a
+//! throughput/hit-rate report; every count in the report is a pure
+//! function of the flags (the seed included), which scripts/ci.sh gates
+//! after stripping the timing fields. `--json` for the machine-readable
+//! form, `--router <name>` to pick the scheduler (default `csa`).
 
 use cst_analysis::experiments as exp;
 use cst_analysis::Table;
@@ -156,9 +167,12 @@ fn main() {
             let seed = flag_value(&args, "--seed").and_then(|s| s.parse().ok());
             run_fault_campaign(seed, quick);
         }
+        Some("stream") => {
+            run_stream(&args);
+        }
         _ => {
             eprintln!(
-                "usage: cst-tools <experiments|report|csv|trace|schedule|viz|bundle|check|inject|campaign|list-routers> [args] [--quick]"
+                "usage: cst-tools <experiments|report|csv|trace|schedule|viz|bundle|check|inject|campaign|stream|list-routers> [args] [--quick]"
             );
             std::process::exit(2);
         }
@@ -268,7 +282,7 @@ fn run_all(quick: bool) -> Vec<Table> {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 7] = [
+const VALUE_FLAGS: [&str; 14] = [
     "--router",
     "--kill-switch",
     "--kill-link",
@@ -276,6 +290,13 @@ const VALUE_FLAGS: [&str; 7] = [
     "--fault-seed",
     "--fault-rate",
     "--seed",
+    "--requests",
+    "--pes",
+    "--density",
+    "--working",
+    "--repeat",
+    "--delta",
+    "--cache-cap",
 ];
 
 /// First non-flag argument after the subcommand, if any.
@@ -526,6 +547,168 @@ fn run_fault_campaign(seed: Option<u64>, quick: bool) {
             eprintln!("cannot serialize report: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Machine-readable `stream` report (`--json`). Every field above the
+/// timing pair is a pure function of the flags; scripts/ci.sh strips
+/// `elapsed_ns` / `requests_per_sec` and gates the rest against a golden.
+#[derive(serde::Serialize)]
+struct StreamReport {
+    router: String,
+    requests: usize,
+    pes: usize,
+    working: usize,
+    repeat: f64,
+    delta: usize,
+    seed: u64,
+    cache_capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    collisions: u64,
+    entries: usize,
+    total_rounds: usize,
+    total_power_units: u64,
+    elapsed_ns: u64,
+    requests_per_sec: u64,
+}
+
+/// Parse one typed flag value with a default, exiting on malformed input.
+fn typed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("{flag} cannot parse {s}");
+                std::process::exit(2);
+            }
+        },
+        None => default,
+    }
+}
+
+/// Replay a seeded request stream through the schedule cache and report
+/// throughput + hit rate (see the module docs for the stream model).
+fn run_stream(args: &[String]) {
+    use rand::{Rng, SeedableRng};
+    let requests: usize = typed_flag(args, "--requests", 1000);
+    let pes: usize = typed_flag(args, "--pes", 256);
+    let density: f64 = typed_flag(args, "--density", 0.5);
+    let working: usize = typed_flag(args, "--working", 8);
+    let repeat: f64 = typed_flag(args, "--repeat", 0.75);
+    let delta: usize = typed_flag(args, "--delta", 2);
+    let seed: u64 = typed_flag(args, "--seed", 0);
+    let cache_cap: usize = typed_flag(args, "--cache-cap", cst_engine::DEFAULT_CACHE_CAPACITY);
+    let router = router_arg(args);
+    if working == 0 || !(0.0..=1.0).contains(&repeat) || !(0.0..=1.0).contains(&density) {
+        eprintln!("--working wants >= 1; --repeat and --density want probabilities in [0, 1]");
+        std::process::exit(2);
+    }
+
+    let topo = cst_core::CstTopology::with_leaves(pes);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sets: Vec<cst_comm::CommSet> = (0..working)
+        .map(|_| cst_workloads::well_nested_with_density(&mut rng, pes, density))
+        .collect();
+
+    let mut ctx = cst_engine::EngineCtx::new();
+    ctx.enable_cache(cache_cap);
+    let mut touched = Vec::new();
+    let mut total_rounds = 0usize;
+    let mut total_power_units = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..requests {
+        let idx = rng.gen_range(0..sets.len());
+        if !rng.gen_bool(repeat) {
+            // Fresh work: drift this member by `delta` PE changes.
+            let changes = cst_workloads::random_changes(&mut rng, &sets[idx], delta);
+            touched.clear();
+            if let Err(e) = sets[idx].apply_changes(&changes, &mut touched) {
+                eprintln!("internal error: generated stream delta failed to apply: {e}");
+                std::process::exit(1);
+            }
+        }
+        match ctx.route_named_cached(&router, &topo, &sets[idx]) {
+            Ok(out) => {
+                total_rounds += out.rounds;
+                total_power_units += out.power.total_units;
+                ctx.recycle(out);
+            }
+            Err(e) => {
+                eprintln!("cannot schedule request: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let stats = ctx.cache_stats().unwrap_or_default();
+    let requests_per_sec = if elapsed_ns == 0 {
+        0
+    } else {
+        (requests as u128 * 1_000_000_000 / elapsed_ns as u128) as u64
+    };
+    let report = StreamReport {
+        router,
+        requests,
+        pes,
+        working,
+        repeat,
+        delta,
+        seed,
+        cache_capacity: cache_cap,
+        hits: stats.hits,
+        misses: stats.misses,
+        evictions: stats.evictions,
+        collisions: stats.collisions,
+        entries: stats.entries,
+        total_rounds,
+        total_power_units,
+        elapsed_ns,
+        requests_per_sec,
+    };
+    if args.iter().any(|a| a == "--json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize report: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!(
+            "{} requests over {} working sets ({} PEs, density {density}, repeat {}, delta {}, seed {}, router {})",
+            report.requests,
+            report.working,
+            report.pes,
+            report.repeat,
+            report.delta,
+            report.seed,
+            report.router,
+        );
+        let hit_pct = if requests == 0 {
+            0.0
+        } else {
+            100.0 * report.hits as f64 / requests as f64
+        };
+        println!(
+            "cache: {} hits / {} misses ({hit_pct:.1}% hit rate), {} evictions, {} collisions, {} resident (cap {})",
+            report.hits,
+            report.misses,
+            report.evictions,
+            report.collisions,
+            report.entries,
+            report.cache_capacity,
+        );
+        println!(
+            "work: {} total rounds, {} total power units",
+            report.total_rounds, report.total_power_units
+        );
+        println!(
+            "throughput: {} requests/sec ({:.3} ms total)",
+            report.requests_per_sec,
+            elapsed_ns as f64 / 1.0e6
+        );
     }
 }
 

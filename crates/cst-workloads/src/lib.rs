@@ -9,17 +9,21 @@
 //! * [`bus`] — segmentable-bus patterns (flat, hierarchical, random),
 //!   the motivating workload class of the paper's introduction;
 //! * [`adversarial`] — combs, shuffled double nests, exact depth
-//!   profiles: stress inputs for specific scheduler behaviours.
+//!   profiles: stress inputs for specific scheduler behaviours;
+//! * [`delta`] — streaming mutation chains: random [`cst_comm::PeChange`]
+//!   sequences whose every prefix keeps the set routable.
 //!
 //! All generators take a caller-provided `Rng` so experiments are
 //! reproducible from a seed.
 
 pub mod adversarial;
 pub mod bus;
+pub mod delta;
 pub mod random;
 pub mod width_targeted;
 
 pub use adversarial::{comb, shuffled_double_nest, with_depth_profile};
+pub use delta::random_changes;
 pub use bus::{hierarchical_bus, random_bus, segmented_bus};
 pub use random::{random_dyck, sample_positions, well_nested_set, well_nested_with_density};
 pub use width_targeted::{staircase, with_width, with_width_checked};

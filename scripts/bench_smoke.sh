@@ -72,6 +72,69 @@ awk -v factor="$factor" '
     }
 ' BENCH_e5.json "$out_dir/BENCH_e5.json"
 
+echo "== bench smoke: e6_stream_throughput (JSON -> $out_dir/BENCH_e6.json) =="
+CRITERION_JSON="$out_dir/BENCH_e6.json" \
+    cargo bench -p bench --bench e6_stream_throughput -- --test
+
+echo "== bench smoke: e6 stream bench IDs =="
+# The five stream ids are the cache's public contract: the checked-in
+# BENCH_e6.json and a fresh smoke run must both carry exactly this set.
+e6_ids="e6_stream/cached/1024
+e6_stream/cold-baseline/1024
+e6_stream/cold/1024
+e6_stream/incremental-delta/1024
+e6_stream/uncached/1024"
+for f in BENCH_e6.json "$out_dir/BENCH_e6.json"; do
+    got="$(grep -o '"e6_stream/[^"]*"' "$f" | tr -d '"' | sort -u)"
+    if [ "$got" != "$e6_ids" ]; then
+        echo "$f: e6_stream ids drifted from the expected set:" >&2
+        diff <(printf '%s\n' "$e6_ids") <(printf '%s\n' "$got") >&2 || true
+        exit 1
+    fi
+done
+echo "e6 id gate: both files carry the five stream ids"
+
+echo "== bench smoke: e6 cold path vs e5 baseline =="
+# Two catastrophic-regression guards on the cache's miss path, in the
+# same one-cold-pass spirit as the e5 gate above:
+#  1. cold must stay within E6_COLD_FACTOR x (default 3) of cold-baseline
+#     measured in the SAME smoke run (insert overhead, apples to apples);
+#  2. the fixed-request uncached id must stay within E5_SMOKE_FACTOR x
+#     (default 20) of the checked-in BENCH_e5.json csa/1024 warm median
+#     (the two ids share the workload shape, so this anchors the e6 run
+#     against the cross-file e5 baseline).
+cold_factor="${E6_COLD_FACTOR:-3}"
+awk -v cold_factor="$cold_factor" -v e5_factor="$factor" '
+    FNR == 1 { file++ }
+    file == 1 && /"current"/ { in_cur = 1 }
+    file == 1 && in_cur && /"e5_schedulers\/csa\/1024"/ {
+        e5_base = $2 + 0
+    }
+    file == 2 && /"e6_stream\// {
+        key = $1; gsub(/[",:]/, "", key); sub(/^e6_stream\//, "", key)
+        sub(/\/1024$/, "", key)
+        val[key] = $2 + 0
+    }
+    END {
+        if (e5_base == 0 || !("cold" in val) || !("cold-baseline" in val) || !("uncached" in val)) {
+            print "e6 cold gate: missing bench keys" > "/dev/stderr"
+            exit 1
+        }
+        if (val["cold"] > cold_factor * val["cold-baseline"]) {
+            printf "e6 cold regression: cold %.0f ns vs cold-baseline %.0f ns (limit %.1fx)\n", \
+                val["cold"], val["cold-baseline"], cold_factor > "/dev/stderr"
+            exit 1
+        }
+        if (val["uncached"] > e5_factor * e5_base) {
+            printf "e6/e5 anchor regression: uncached %.0f ns vs e5 csa/1024 %.0f ns (limit %.0fx)\n", \
+                val["uncached"], e5_base, e5_factor > "/dev/stderr"
+            exit 1
+        }
+        printf "e6 cold gate: cold/cold-baseline = %.2fx (limit %.1fx), uncached/e5 = %.2fx (limit %.0fx)\n", \
+            val["cold"] / val["cold-baseline"], cold_factor, val["uncached"] / e5_base, e5_factor
+    }
+' BENCH_e5.json "$out_dir/BENCH_e6.json"
+
 echo "== bench smoke: remaining benches =="
 for b in e1_rounds_optimality e2_config_changes e3_total_power \
          e4_control_overhead e6_change_histogram e7_segmentable_bus \
@@ -80,4 +143,4 @@ for b in e1_rounds_optimality e2_config_changes e3_total_power \
     cargo bench -p bench --bench "$b" -- --test
 done
 
-echo "== bench smoke: OK (E5 JSON at $out_dir/BENCH_e5.json) =="
+echo "== bench smoke: OK (E5 JSON at $out_dir/BENCH_e5.json, E6 JSON at $out_dir/BENCH_e6.json) =="

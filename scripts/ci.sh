@@ -24,7 +24,9 @@ echo "== ci: fault campaign soak (determinism + golden) =="
 #   cargo run -q -p cst-tools -- campaign --quick --seed 7 > scripts/campaign_golden.json
 campaign_a="$(mktemp)"
 campaign_b="$(mktemp)"
-trap 'rm -f "$campaign_a" "$campaign_b"' EXIT
+stream_a="$(mktemp)"
+stream_b="$(mktemp)"
+trap 'rm -f "$campaign_a" "$campaign_b" "$stream_a" "$stream_b"' EXIT
 cargo run -q -p cst-tools -- campaign --quick --seed 7 > "$campaign_a"
 cargo run -q -p cst-tools -- campaign --quick --seed 7 > "$campaign_b"
 if ! cmp -s "$campaign_a" "$campaign_b"; then
@@ -36,6 +38,31 @@ if ! diff -u scripts/campaign_golden.json "$campaign_a"; then
     exit 1
 fi
 echo "fault campaign: deterministic, matches golden"
+
+echo "== ci: stream replay soak (determinism + golden) =="
+# The seeded request stream must be a pure function of its flags once the
+# wall-clock fields are stripped: two runs identical, and both matching
+# the checked-in golden hit/miss counts. Regenerate after an intentional
+# change (new stream model, new cache policy) with:
+#   cargo run -q -p cst-tools -- stream --requests 400 --pes 256 --working 6 \
+#       --repeat 0.7 --delta 2 --seed 11 --cache-cap 32 --json \
+#       | grep -vE '"(elapsed_ns|requests_per_sec)"' > scripts/stream_golden.json
+stream_cmd() {
+    cargo run -q -p cst-tools -- stream --requests 400 --pes 256 --working 6 \
+        --repeat 0.7 --delta 2 --seed 11 --cache-cap 32 --json \
+        | grep -vE '"(elapsed_ns|requests_per_sec)"'
+}
+stream_cmd > "$stream_a"
+stream_cmd > "$stream_b"
+if ! cmp -s "$stream_a" "$stream_b"; then
+    echo "stream replay is nondeterministic under a fixed seed" >&2
+    exit 1
+fi
+if ! diff -u scripts/stream_golden.json "$stream_a"; then
+    echo "stream replay drifted from scripts/stream_golden.json" >&2
+    exit 1
+fi
+echo "stream replay: deterministic, matches golden"
 
 echo "== ci: lint =="
 scripts/lint.sh

@@ -54,6 +54,46 @@ fn warm_serial_csa_route_allocates_zero_bytes() {
 }
 
 #[test]
+fn warm_cache_hit_allocates_zero_bytes() {
+    // The streaming guarantee: a schedule-cache hit never touches the
+    // scheduler, and once the pool holds right-sized shells it never
+    // touches the heap either — fingerprint, lookup, copy-out, report
+    // clone are all allocation-free.
+    let n = 1024;
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(0xCAC4E);
+    let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+    let mut ctx = EngineCtx::new();
+    ctx.enable_cache(16);
+
+    // Cold call: a miss — routes, sizes the scratch, inserts the entry.
+    let out = ctx.route_cached(&Csa, &topo, &set).unwrap();
+    let expected = out.schedule.clone();
+    ctx.recycle(out);
+
+    // First hit: copies the schedule out through pooled shells, growing
+    // them to this request's shape.
+    let out = ctx.route_cached(&Csa, &topo, &set).unwrap();
+    ctx.recycle(out);
+
+    // Warm hit: the guarantee under test.
+    let (warm, out) = alloc_counter::measure(|| ctx.route_cached(&Csa, &topo, &set).unwrap());
+    assert_eq!(out.schedule, expected, "cache hit must return the cached schedule");
+    assert!(
+        matches!(out.extra, cst::engine::RouteExtra::Cached { .. }),
+        "third identical request must be served from the cache"
+    );
+    assert_eq!(
+        (warm.allocations, warm.bytes_allocated),
+        (0, 0),
+        "warm cache hit must not touch the heap: {warm:?}"
+    );
+    ctx.recycle(out);
+    let stats = ctx.cache_stats().unwrap();
+    assert_eq!((stats.hits, stats.misses), (2, 1));
+}
+
+#[test]
 fn warm_context_stays_allocation_free_on_smaller_requests() {
     // Buffers grow monotonically: after serving a large request, a warm
     // context must serve any smaller shape without heap traffic either.
