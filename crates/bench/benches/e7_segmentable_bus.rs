@@ -4,21 +4,18 @@
 
 use bench::emit;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cst_core::CstTopology;
+use cst_analysis::experiments::e7_bus;
 
 fn bench_e7(c: &mut Criterion) {
-    let table = cst_analysis::experiments::e7_bus::run(
-        &cst_analysis::experiments::e7_bus::Config {
-            sizes: vec![64, 256, 1024],
-            levels: vec![1, 2, 4],
-        },
-    );
+    let table = e7_bus::run(&e7_bus::Config {
+        sizes: vec![64, 256, 1024],
+        levels: vec![1, 2, 4],
+    });
     emit(&table);
 
     let mut group = c.benchmark_group("e7_simulate_bus");
     for levels in [1u32, 2, 4] {
-        let topo = CstTopology::with_leaves(1024);
-        let set = cst_workloads::hierarchical_bus(1024, levels);
+        let (topo, set) = e7_bus::bus_case(1024, levels);
         group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
             b.iter(|| {
                 let sim = cst_sim::simulate(&topo, &set, None).unwrap();

@@ -25,6 +25,23 @@ impl Default for Config {
     }
 }
 
+/// Build one E7 bus case: a `levels`-deep hierarchical bus on `n` leaves,
+/// plus its topology. Benchmarks use this for setup and keep the
+/// `simulate` call inside the timed loop.
+pub fn bus_case(n: usize, levels: u32) -> (CstTopology, cst_comm::CommSet) {
+    (CstTopology::with_leaves(n), cst_workloads::hierarchical_bus(n, levels))
+}
+
+/// Simulate one bus case end to end, asserting every payload was
+/// delivered — the setup that the E7 table, the e7 bench and
+/// `cst-tools trace` used to copy-paste.
+pub fn simulate_bus(n: usize, levels: u32) -> (CstTopology, cst_comm::CommSet, cst_sim::SimOutcome) {
+    let (topo, set) = bus_case(n, levels);
+    let sim = simulate(&topo, &set, None).expect("bus simulation failed");
+    assert_eq!(sim.deliveries.len(), set.len(), "bus simulation dropped payloads");
+    (topo, set, sim)
+}
+
 /// Run E7.
 pub fn run(cfg: &Config) -> Table {
     let mut table = Table::new(
@@ -46,11 +63,7 @@ pub fn run(cfg: &Config) -> Table {
     let mut ctx = EngineCtx::new();
     for &n in &cfg.sizes {
         for &levels in &cfg.levels {
-            let topo = CstTopology::with_leaves(n);
-            let set = cst_workloads::hierarchical_bus(n, levels);
-            let sim = simulate(&topo, &set, None).expect("simulation failed");
-            // Every payload must have been delivered to its destination.
-            assert_eq!(sim.deliveries.len(), set.len());
+            let (topo, set, sim) = simulate_bus(n, levels);
             let data_hops: u64 = sim.deliveries.iter().map(|d| d.hops as u64).sum();
             let power = sim.meter.report(&topo);
             let csa_outcome = ctx

@@ -2,7 +2,7 @@
 //!
 //! The paper is a theory paper with no numeric tables; its results are
 //! Theorems 4/5/8 and the contrast with Roy et al. [6]. Each experiment
-//! measures one claim on generated workloads; DESIGN.md §6 maps ids to
+//! measures one claim on generated workloads; DESIGN.md §7 maps ids to
 //! claims, EXPERIMENTS.md records expected-vs-measured shapes.
 
 pub mod e10_sessions;

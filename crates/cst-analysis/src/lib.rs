@@ -1,6 +1,6 @@
 //! # cst-analysis — the evaluation harness
 //!
-//! Experiment runners (E1..E12, see DESIGN.md §6 for the claim-to-
+//! Experiment runners (E1..E12, see DESIGN.md §7 for the claim-to-
 //! experiment map), summary statistics, and result tables. The criterion
 //! benches in `crates/bench` and the EXPERIMENTS.md generator both call
 //! into this crate, so the same code produces the recorded numbers.

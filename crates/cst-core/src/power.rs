@@ -102,7 +102,7 @@ pub struct PowerReport {
 /// assert_eq!(report.total_units, 1);              // hold semantics
 /// assert_eq!(report.total_writethrough_units, 2); // per-round semantics
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct PowerMeter {
     /// Persistent configuration of each switch (held between rounds).
     configs: Vec<SwitchConfig>,
@@ -115,6 +115,31 @@ pub struct PowerMeter {
     changed_stamp: Vec<u32>,
     active_stamp: Vec<u32>,
     stamp: u32,
+}
+
+impl Clone for PowerMeter {
+    fn clone(&self) -> Self {
+        PowerMeter {
+            configs: self.configs.clone(),
+            stats: self.stats.clone(),
+            rounds: self.rounds,
+            changed_stamp: self.changed_stamp.clone(),
+            active_stamp: self.active_stamp.clone(),
+            stamp: self.stamp,
+        }
+    }
+
+    // Allocation-reusing copy: cloning a precomputed meter into a pooled
+    // shell must not touch the heap once the shell has capacity (the
+    // compiled-replay warm path copies one meter out per replay).
+    fn clone_from(&mut self, src: &Self) {
+        self.configs.clone_from(&src.configs);
+        self.stats.clone_from(&src.stats);
+        self.rounds = src.rounds;
+        self.changed_stamp.clone_from(&src.changed_stamp);
+        self.active_stamp.clone_from(&src.active_stamp);
+        self.stamp = src.stamp;
+    }
 }
 
 impl PowerMeter {

@@ -51,6 +51,12 @@ pub struct EngineCtx {
     /// (or an explicit [`EngineCtx::enable_cache`]). Plain `route` never
     /// consults it.
     pub(crate) cache: Option<ScheduleCache>,
+    /// Replay buffers for the compiled-replay path; outcomes come back
+    /// through [`EngineCtx::recycle_sim`].
+    pub(crate) replay: cst_sim::ReplayScratch,
+    /// Pooled compiled program for compiled requests the cache cannot hold
+    /// (disabled cache, collision-displaced entry).
+    pub(crate) local_program: Option<cst_sim::CompiledProgram>,
 }
 
 impl EngineCtx {
@@ -136,6 +142,13 @@ impl EngineCtx {
     /// Counters of the schedule cache, if one has been created.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// How many compiled programs the cache has built so far. Pinned by
+    /// tests: repeat compiled requests must not recompile.
+    #[doc(hidden)]
+    pub fn cache_compile_count(&self) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.compile_count())
     }
 
     /// Test knob: truncate cache fingerprints to `bits` low bits to make
@@ -258,6 +271,97 @@ impl EngineCtx {
             }
         }
         fp.finish()
+    }
+
+    /// Route through the schedule cache **and** execute the schedule on
+    /// the compiled-replay simulator in one call.
+    ///
+    /// The request routes via [`EngineCtx::route_cached`]; its cache entry
+    /// then carries a lazily-attached [`cst_sim::CompiledProgram`], so the
+    /// first compiled request per entry pays one lowering pass and every
+    /// later hit replays the cached program with **zero recompilation**
+    /// (program buffers are pooled and reused like `SchedulePool`
+    /// schedules — eviction salvages them, first-compiles reuse them).
+    /// The returned [`cst_sim::SimOutcome`] is byte-for-byte identical to
+    /// `cst_sim::simulate_schedule` on the routed schedule with default
+    /// payloads; recycle it with [`EngineCtx::recycle_sim`].
+    pub fn route_compiled(
+        &mut self,
+        router: &dyn Router,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<(RouteOutcome, cst_sim::SimOutcome), CstError> {
+        self.route_compiled_inner(router, topo, set, None)
+    }
+
+    /// [`EngineCtx::route_compiled`] through the registry by stable name.
+    pub fn route_named_compiled(
+        &mut self,
+        name: &str,
+        topo: &CstTopology,
+        set: &CommSet,
+    ) -> Result<(RouteOutcome, cst_sim::SimOutcome), CstError> {
+        let router = registry::find(name)
+            .ok_or_else(|| CstError::UnknownRouter { name: name.to_string() })?;
+        self.route_compiled_inner(router.as_ref(), topo, set, None)
+    }
+
+    /// [`EngineCtx::route_masked`] plus compiled replay of the degraded
+    /// schedule. Half-duplex split rounds lower like any others — just
+    /// more instructions — and an empty mask shares the plain request's
+    /// entry and program, exactly like [`EngineCtx::route_masked_cached`].
+    pub fn route_masked_compiled(
+        &mut self,
+        router: &dyn Router,
+        topo: &CstTopology,
+        set: &CommSet,
+        mask: &FaultMask,
+    ) -> Result<(RouteOutcome, cst_sim::SimOutcome), CstError> {
+        if mask.is_empty() {
+            let (mut out, sim) = self.route_compiled_inner(router, topo, set, None)?;
+            out.degradation = Some(DegradationReport::fault_free(set.len()));
+            return Ok((out, sim));
+        }
+        self.route_compiled_inner(router, topo, set, Some(mask))
+    }
+
+    /// Return a replayed outcome's buffers to the replay scratch so the
+    /// next compiled request reuses them (the `recycle` of this path).
+    pub fn recycle_sim(&mut self, sim: cst_sim::SimOutcome) {
+        self.replay.recycle(sim);
+    }
+
+    fn route_compiled_inner(
+        &mut self,
+        router: &dyn Router,
+        topo: &CstTopology,
+        set: &CommSet,
+        mask: Option<&FaultMask>,
+    ) -> Result<(RouteOutcome, cst_sim::SimOutcome), CstError> {
+        let out = self.route_cached_inner(router, topo, set, mask)?;
+        let fp = Self::request_fp(router.name(), set, mask);
+        let payloads = cst_sim::default_payloads(set);
+        // Warm path: the entry this request just hit (or inserted) holds
+        // the compiled program; replay it through the context's scratch.
+        if let Some(cache) = self.cache.as_mut() {
+            if let Some(prog) = cache.compiled_program(fp, router.name(), set, mask, topo)? {
+                let sim = prog.replay_with(&mut self.replay, &payloads)?;
+                return Ok((out, sim));
+            }
+        }
+        // No resident entry (cache disabled or displaced): lower into the
+        // context's own pooled program.
+        let prog = match self.local_program.as_mut() {
+            Some(p) => {
+                p.recompile(topo, set, &out.schedule)?;
+                p
+            }
+            None => self
+                .local_program
+                .insert(cst_sim::CompiledProgram::compile(topo, set, &out.schedule)?),
+        };
+        let sim = prog.replay_with(&mut self.replay, &payloads)?;
+        Ok((out, sim))
     }
 
     fn route_cached_inner(

@@ -345,4 +345,67 @@ mod tests {
         let once = route_once_masked("csa", &topo, &set, &mask).unwrap();
         assert_eq!(once.degradation.unwrap().dropped, 2);
     }
+
+    #[test]
+    fn compiled_route_matches_interpreter_with_zero_recompilation() {
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 5), (8, 15)]);
+        let mut ctx = EngineCtx::new();
+        let (out, sim) = ctx.route_compiled(&Csa, &topo, &set).unwrap();
+        let reference = cst_sim::simulate_schedule(&topo, &set, &out.schedule, None).unwrap();
+        assert_eq!(sim.schedule, reference.schedule);
+        assert_eq!(sim.cycles, reference.cycles);
+        assert_eq!(sim.timings, reference.timings);
+        assert_eq!(sim.deliveries, reference.deliveries);
+        assert_eq!(sim.meter, reference.meter);
+        assert_eq!(ctx.cache_compile_count(), 1);
+        ctx.recycle(out);
+        ctx.recycle_sim(sim);
+        // Repeat requests hit the cache and replay the attached program:
+        // the compile count must not move.
+        for _ in 0..3 {
+            let (out, sim) = ctx.route_compiled(&Csa, &topo, &set).unwrap();
+            assert!(matches!(out.extra, RouteExtra::Cached { .. }));
+            assert_eq!(sim.deliveries, reference.deliveries);
+            assert_eq!(sim.meter, reference.meter);
+            ctx.recycle(out);
+            ctx.recycle_sim(sim);
+        }
+        assert_eq!(ctx.cache_compile_count(), 1, "hits must not recompile");
+    }
+
+    #[test]
+    fn compiled_route_works_masked_and_with_cache_disabled() {
+        let topo = CstTopology::with_leaves(16);
+        let set = CommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 5), (8, 15)]);
+        let mut mask = FaultMask::empty(&topo);
+        // Node 4 roots leaves 0..=3: all three nested comms route through it.
+        assert!(mask.kill_switch(NodeId(4)));
+        let mut ctx = EngineCtx::new();
+        let (out, sim) = ctx.route_masked_compiled(&Csa, &topo, &set, &mask).unwrap();
+        let report = out.degradation.as_ref().unwrap();
+        assert_eq!(report.dropped, 3);
+        assert_eq!(sim.deliveries.len(), report.routed);
+        let reference = cst_sim::simulate_schedule(&topo, &set, &out.schedule, None).unwrap();
+        assert_eq!(sim.deliveries, reference.deliveries);
+        assert_eq!(sim.meter, reference.meter);
+        ctx.recycle(out);
+        ctx.recycle_sim(sim);
+        // Empty mask shares the plain entry, like route_masked_cached.
+        let clean = FaultMask::empty(&topo);
+        let (out, sim) = ctx.route_masked_compiled(&Csa, &topo, &set, &clean).unwrap();
+        assert!(out.degradation.unwrap().is_clean());
+        assert_eq!(sim.deliveries.len(), set.len());
+        ctx.recycle_sim(sim);
+        // Disabled cache falls back to the context-pooled program.
+        let mut ctx = EngineCtx::new();
+        ctx.enable_cache(0);
+        let (out, sim) = ctx.route_compiled(&Csa, &topo, &set).unwrap();
+        let reference = cst_sim::simulate_schedule(&topo, &set, &out.schedule, None).unwrap();
+        assert_eq!(sim.deliveries, reference.deliveries);
+        assert_eq!(sim.meter, reference.meter);
+        assert_eq!(ctx.cache_compile_count(), 0, "disabled cache attaches nothing");
+        ctx.recycle(out);
+        ctx.recycle_sim(sim);
+    }
 }

@@ -77,6 +77,24 @@ pub struct CampaignCell {
     /// Trials whose degraded schedule passed the full `cst-check`
     /// fault audit (`CST10x` + coverage) with zero findings.
     pub clean_checks: usize,
+    /// Trials whose cst-sim execution of the schedule agreed with the
+    /// routed outcome: one delivery per routed comm, matching round count
+    /// and power report. Runs on compiled replay by default (see
+    /// [`SimBackend`]); both backends produce byte-identical outcomes, so
+    /// this count — and the whole report — is backend-independent.
+    pub sim_agreements: usize,
+}
+
+/// Which cst-sim execution path cross-checks each trial's schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimBackend {
+    /// The event-driven interpreter ([`cst_sim::simulate_schedule`]).
+    Interpreted,
+    /// Straight-line replay of a lowered program
+    /// ([`cst_sim::CompiledProgram`]): the same outcome byte for byte at a
+    /// fraction of the per-trial cost, so it is the default.
+    #[default]
+    Compiled,
 }
 
 /// The campaign result: one cell per (size, rate, router), plus the
@@ -105,9 +123,25 @@ fn trial_seed(seed: u64, size: usize, rate_idx: usize, trial: usize) -> u64 {
 
 /// Run the sweep. Every router in a (size, rate) cell routes the same
 /// seeded workloads under the same seeded masks, so cells differing only
-/// in router are directly comparable.
+/// in router are directly comparable. Each trial's schedule is executed
+/// on compiled replay as a cross-check; use [`run_campaign_with`] to pick
+/// the interpreter instead (the report is identical either way).
 pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, CstError> {
+    run_campaign_with(cfg, SimBackend::default())
+}
+
+/// [`run_campaign`] with an explicit cst-sim backend for the per-trial
+/// execution cross-check. The backend is a function argument, not part of
+/// the serialized [`CampaignConfig`]: it must never influence the report.
+pub fn run_campaign_with(
+    cfg: &CampaignConfig,
+    backend: SimBackend,
+) -> Result<CampaignReport, CstError> {
     let mut ctx = EngineCtx::new();
+    // Pooled lowering/replay buffers for the compiled backend: one
+    // program recompiled per trial, outcomes recycled into the scratch.
+    let mut program: Option<cst_sim::CompiledProgram> = None;
+    let mut scratch = cst_sim::ReplayScratch::new();
     let mut cells = Vec::new();
     for &size in &cfg.sizes {
         let topo = CstTopology::with_leaves(size);
@@ -151,6 +185,37 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, CstError> {
                     if audit.is_clean() {
                         cell.clean_checks += 1;
                     }
+                    // Execute the (possibly degraded) schedule on cst-sim
+                    // and reconcile against the routed outcome. Masked
+                    // schedules name the caller's comm ids, so they run
+                    // on `set` directly.
+                    let sim = match backend {
+                        SimBackend::Interpreted => {
+                            cst_sim::simulate_schedule(&topo, &set, &out.schedule, None)?
+                        }
+                        SimBackend::Compiled => {
+                            let prog = match program.as_mut() {
+                                Some(p) => {
+                                    p.recompile(&topo, &set, &out.schedule)?;
+                                    p
+                                }
+                                None => program.insert(cst_sim::CompiledProgram::compile(
+                                    &topo,
+                                    &set,
+                                    &out.schedule,
+                                )?),
+                            };
+                            let payloads = prog.default_payloads();
+                            prog.replay_with(&mut scratch, &payloads)?
+                        }
+                    };
+                    if sim.deliveries.len() == report.routed
+                        && sim.schedule.num_rounds() == out.rounds
+                        && sim.meter.report(&topo) == out.power
+                    {
+                        cell.sim_agreements += 1;
+                    }
+                    scratch.recycle(sim);
                     ctx.recycle(out);
                 }
             }
@@ -205,6 +270,11 @@ mod tests {
                 cell.router,
                 cell.rate
             );
+            assert_eq!(
+                cell.sim_agreements, cell.trials,
+                "{}@rate {} simulation disagreed with routing",
+                cell.router, cell.rate
+            );
             if cell.rate == 0.0 {
                 assert_eq!(cell.dropped, 0);
                 assert_eq!(cell.rerouted, 0);
@@ -226,6 +296,18 @@ mod tests {
                 cell.router
             );
         }
+    }
+
+    #[test]
+    fn backends_produce_identical_reports() {
+        let cfg = small_config();
+        let compiled = run_campaign_with(&cfg, SimBackend::Compiled).unwrap();
+        let interpreted = run_campaign_with(&cfg, SimBackend::Interpreted).unwrap();
+        assert_eq!(compiled, interpreted);
+        assert_eq!(
+            serde_json::to_string(&compiled).unwrap(),
+            serde_json::to_string(&interpreted).unwrap()
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@
 
 pub mod campaign;
 
-pub use campaign::{run_campaign, CampaignCell, CampaignConfig, CampaignReport};
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignCell, CampaignConfig, CampaignReport, SimBackend,
+};
 
 use cst_core::{CstTopology, DirectedLink, FaultMask, NodeId};
 use rand::Rng;

@@ -50,7 +50,7 @@ pub struct RoundTiming {
 }
 
 /// Full simulation result.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct SimOutcome {
     /// The schedule executed (same shape the host scheduler produces).
     pub schedule: Schedule,
@@ -62,6 +62,20 @@ pub struct SimOutcome {
     pub deliveries: Vec<Delivery>,
     /// Power accounting (identical model to the host scheduler).
     pub meter: PowerMeter,
+}
+
+/// The deterministic per-communication payloads (`payload-<id>-<src>-<dest>`,
+/// indexed by comm id) that every execution path — [`simulate`],
+/// [`simulate_schedule`] and compiled replay — uses when the caller
+/// supplies none.
+pub fn default_payloads(set: &CommSet) -> Vec<Bytes> {
+    set.iter().map(|(id, c)| default_payload(id, c.source, c.dest)).collect()
+}
+
+/// One default payload; kept as the single definition of the text so the
+/// compiled program's endpoint table regenerates byte-identical defaults.
+pub(crate) fn default_payload(id: cst_comm::CommId, source: LeafId, dest: LeafId) -> Bytes {
+    Bytes::from(format!("payload-{id}-{source}-{dest}"))
 }
 
 /// Simulate the CSA end to end on `topo` for `set`, transferring the given
@@ -90,11 +104,7 @@ pub fn simulate(
     set.require_right_oriented()?;
     set.require_well_nested()?;
 
-    let payloads = payloads.unwrap_or_else(|| {
-        set.iter()
-            .map(|(id, c)| Bytes::from(format!("payload-{}-{}-{}", id, c.source, c.dest)))
-            .collect()
-    });
+    let payloads = payloads.unwrap_or_else(|| default_payloads(set));
     assert_eq!(payloads.len(), set.len(), "one payload per communication");
 
     let n = topo.node_table_len();
@@ -269,11 +279,7 @@ pub fn simulate_schedule(
     schedule: &Schedule,
     payloads: Option<Vec<Bytes>>,
 ) -> Result<SimOutcome, CstError> {
-    let payloads = payloads.unwrap_or_else(|| {
-        set.iter()
-            .map(|(id, c)| Bytes::from(format!("payload-{}-{}-{}", id, c.source, c.dest)))
-            .collect()
-    });
+    let payloads = payloads.unwrap_or_else(|| default_payloads(set));
     assert_eq!(payloads.len(), set.len(), "one payload per communication");
     let height = Cycle::from(topo.height());
     let mut meter = PowerMeter::new(topo);

@@ -9,12 +9,15 @@
 //!   cycles; reuses the pure switch logic from `cst-padr` so hardware and
 //!   host scheduler cannot drift;
 //! * [`data`] — payload propagation over configured circuits;
+//! * [`compile`] — verified schedules lowered to flat config-delta
+//!   replay programs (straight-line execution, no interpretation);
 //! * [`energy`] — joule-like model over the abstract power units;
 //! * [`trace`] — serializable execution traces;
 //! * [`rtl`] — the decentralized clocked machine model (per-switch
 //!   mailboxes, no global state), proven equivalent to the engine;
 //! * [`fault`] — control-state fault injection and detection campaigns.
 
+pub mod compile;
 pub mod data;
 pub mod energy;
 pub mod engine;
@@ -23,6 +26,7 @@ pub mod rtl;
 pub mod event;
 pub mod trace;
 
+pub use compile::{CompiledProgram, DeltaInstr, ReplayScratch};
 pub use data::{DataPhase, Delivery};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use fault::{
@@ -30,6 +34,6 @@ pub use fault::{
     StateField,
 };
 pub use rtl::{RtlMachine, RtlRound};
-pub use engine::{simulate, simulate_schedule, RoundTiming, SimOutcome};
+pub use engine::{default_payloads, simulate, simulate_schedule, RoundTiming, SimOutcome};
 pub use event::{Cycle, EventQueue};
 pub use trace::Trace;

@@ -6,6 +6,7 @@
 //! cst-tools csv <E1..E12>              print one experiment as CSV
 //! cst-tools trace <n> <levels>        simulate a bus and dump the JSON trace
 //! cst-tools schedule <pattern>        schedule a paren pattern, show rounds
+//! cst-tools sim <pattern>             schedule a pattern, execute it on cst-sim
 //! cst-tools viz <pattern>             draw the scheduled rounds as ASCII trees
 //! cst-tools bundle <pattern>          schedule a paren pattern, emit a JSON bundle
 //! cst-tools check <bundle.json>       statically analyze a schedule bundle
@@ -36,9 +37,20 @@
 //! emits the machine-readable outcome. Exit status: 0 audit-clean, 1
 //! audit findings or routing failure, 2 usage.
 //!
+//! `sim` schedules a pattern and executes the verified schedule on the
+//! cst-sim interpreter, printing cycles, deliveries and power. With
+//! `--compiled` (off by default) it also lowers the schedule into a
+//! [`cst_sim::CompiledProgram`] and replays it, printing an
+//! interpreter-vs-compiled agreement line; exit 1 if the two outcomes
+//! diverge in any field.
+//!
 //! `campaign` runs the deterministic `cst-faults` sweep (`--seed <s>`,
 //! `--quick` for the small CI grid) and prints the report JSON; the same
 //! seed always prints the same bytes (soak-checked in scripts/ci.sh).
+//! `--interpreted` switches the per-trial execution cross-check to the
+//! event-driven interpreter and `--compiled` (the default) to lowered
+//! replay — the report is byte-identical either way, which scripts/ci.sh
+//! also gates.
 //!
 //! `stream` replays a seeded request stream through the engine's schedule
 //! cache (docs/ENGINE.md §"Caching & streaming"): a working set of
@@ -87,9 +99,7 @@ fn main() {
         Some("trace") => {
             let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
             let levels: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
-            let topo = cst_core::CstTopology::with_leaves(n);
-            let set = cst_workloads::hierarchical_bus(n, levels);
-            let sim = cst_sim::simulate(&topo, &set, None).expect("simulation failed");
+            let (topo, set, sim) = exp::e7_bus::simulate_bus(n, levels);
             let trace = cst_sim::Trace::from_sim(&topo, &set, &sim);
             println!("{}", trace.to_json());
         }
@@ -163,16 +173,31 @@ fn main() {
             };
             inject_pattern(&pattern, &router_arg(&args), &args);
         }
+        Some("sim") => {
+            let pattern = match pattern_arg(&args) {
+                Some(p) => p,
+                None => {
+                    eprintln!("usage: cst-tools sim '((.))(..)' [--router <name>] [--compiled]");
+                    std::process::exit(2);
+                }
+            };
+            sim_pattern(&pattern, &router_arg(&args), args.iter().any(|a| a == "--compiled"));
+        }
         Some("campaign") => {
             let seed = flag_value(&args, "--seed").and_then(|s| s.parse().ok());
-            run_fault_campaign(seed, quick);
+            let backend = if args.iter().any(|a| a == "--interpreted") {
+                cst_faults::SimBackend::Interpreted
+            } else {
+                cst_faults::SimBackend::Compiled
+            };
+            run_fault_campaign(seed, quick, backend);
         }
         Some("stream") => {
             run_stream(&args);
         }
         _ => {
             eprintln!(
-                "usage: cst-tools <experiments|report|csv|trace|schedule|viz|bundle|check|inject|campaign|stream|list-routers> [args] [--quick]"
+                "usage: cst-tools <experiments|report|csv|trace|schedule|sim|viz|bundle|check|inject|campaign|stream|list-routers> [args] [--quick]"
             );
             std::process::exit(2);
         }
@@ -518,8 +543,58 @@ fn inject_pattern(pattern: &str, router: &str, args: &[String]) {
     std::process::exit(if audit.is_clean() { 0 } else { 1 });
 }
 
+/// Schedule a pattern and execute the verified schedule on cst-sim. With
+/// `compiled`, also lower it into a replay program and pin the two
+/// execution paths against each other; exit 1 on divergence.
+fn sim_pattern(pattern: &str, router: &str, compiled: bool) {
+    let (topo, set, out) = route_pattern(pattern, router);
+    let sim = match cst_sim::simulate_schedule(&topo, &set, &out.schedule, None) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let power = sim.meter.report(&topo);
+    println!(
+        "{} PEs, {} communications, {} rounds, {} cycles, {} deliveries (router {})",
+        topo.num_leaves(),
+        set.len(),
+        sim.schedule.num_rounds(),
+        sim.cycles,
+        sim.deliveries.len(),
+        out.router
+    );
+    println!(
+        "power: {} total units, max {} per switch, max {} port transitions",
+        power.total_units, power.max_units, power.max_port_transitions
+    );
+    if compiled {
+        let replayed = cst_sim::CompiledProgram::compile(&topo, &set, &out.schedule)
+            .and_then(|prog| prog.replay(None));
+        let replayed = match replayed {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("compiled replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if replayed == sim {
+            println!(
+                "compiled replay: agrees with the interpreter ({} deliveries, {} cycles, {} power units)",
+                replayed.deliveries.len(),
+                replayed.cycles,
+                power.total_units
+            );
+        } else {
+            eprintln!("compiled replay DIVERGES from the interpreter");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Run the deterministic `cst-faults` campaign and print its JSON report.
-fn run_fault_campaign(seed: Option<u64>, quick: bool) {
+fn run_fault_campaign(seed: Option<u64>, quick: bool, backend: cst_faults::SimBackend) {
     let mut cfg = if quick {
         cst_faults::CampaignConfig {
             sizes: vec![16, 32],
@@ -534,7 +609,7 @@ fn run_fault_campaign(seed: Option<u64>, quick: bool) {
     if let Some(s) = seed {
         cfg.seed = s;
     }
-    let report = match cst_faults::run_campaign(&cfg) {
+    let report = match cst_faults::run_campaign_with(&cfg, backend) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign failed: {e}");

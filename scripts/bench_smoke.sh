@@ -135,6 +135,74 @@ awk -v cold_factor="$cold_factor" -v e5_factor="$factor" '
     }
 ' BENCH_e5.json "$out_dir/BENCH_e6.json"
 
+echo "== bench smoke: e13_compiled_replay (JSON -> $out_dir/BENCH_e13.json) =="
+CRITERION_JSON="$out_dir/BENCH_e13.json" \
+    cargo bench -p bench --bench e13_compiled_replay -- --test
+
+echo "== bench smoke: e13 bench IDs =="
+# The eleven ids are the compile-and-replay contract: interpreter /
+# compiled / compile at each size plus the compile-once-replay-many
+# stream pair. The checked-in BENCH_e13.json and a fresh smoke run must
+# both carry exactly this set.
+e13_ids="e13_compiled_replay/compile/1024
+e13_compiled_replay/compile/256
+e13_compiled_replay/compile/4096
+e13_compiled_replay/compiled/1024
+e13_compiled_replay/compiled/256
+e13_compiled_replay/compiled/4096
+e13_compiled_replay/interpreter/1024
+e13_compiled_replay/interpreter/256
+e13_compiled_replay/interpreter/4096
+e13_compiled_replay/stream-compiled/1024
+e13_compiled_replay/stream-interpreter/1024"
+for f in BENCH_e13.json "$out_dir/BENCH_e13.json"; do
+    got="$(grep -o '"e13_compiled_replay/[^"]*"' "$f" | tr -d '"' | sort -u)"
+    if [ "$got" != "$e13_ids" ]; then
+        echo "$f: e13_compiled_replay ids drifted from the expected set:" >&2
+        diff <(printf '%s\n' "$e13_ids") <(printf '%s\n' "$got") >&2 || true
+        exit 1
+    fi
+done
+echo "e13 id gate: both files carry the eleven replay ids"
+
+echo "== bench smoke: e13 compiled must be no slower than the interpreter =="
+# Replay of a pre-lowered program must never lose to the event-driven
+# interpreter at any size — in the fresh smoke run (one cold pass; the
+# real gap is ~10x, so even cold noise cannot legitimately invert it)
+# and in the checked-in warm medians.
+for f in BENCH_e13.json "$out_dir/BENCH_e13.json"; do
+    awk -v file="$f" '
+        /"e13_compiled_replay\// {
+            key = $1; gsub(/[",:]/, "", key)
+            sub(/^e13_compiled_replay\//, "", key)
+            val[key] = $2 + 0
+        }
+        END {
+            checked = 0
+            for (k in val) {
+                if (k !~ /^(compiled|stream-compiled)\//) continue
+                ref = k; sub(/^stream-compiled/, "stream-interpreter", ref)
+                sub(/^compiled/, "interpreter", ref)
+                if (!(ref in val)) {
+                    printf "%s: missing interpreter id %s\n", file, ref > "/dev/stderr"
+                    exit 1
+                }
+                if (val[k] > val[ref]) {
+                    printf "%s: %s (%.0f ns) slower than %s (%.0f ns)\n", \
+                        file, k, val[k], ref, val[ref] > "/dev/stderr"
+                    exit 1
+                }
+                checked++
+            }
+            if (checked != 4) {
+                printf "%s: e13 gate checked %d pairs, expected 4\n", file, checked > "/dev/stderr"
+                exit 1
+            }
+            printf "%s: compiled <= interpreter at every size\n", file
+        }
+    ' "$f"
+done
+
 echo "== bench smoke: remaining benches =="
 for b in e1_rounds_optimality e2_config_changes e3_total_power \
          e4_control_overhead e6_change_histogram e7_segmentable_bus \
@@ -143,4 +211,4 @@ for b in e1_rounds_optimality e2_config_changes e3_total_power \
     cargo bench -p bench --bench "$b" -- --test
 done
 
-echo "== bench smoke: OK (E5 JSON at $out_dir/BENCH_e5.json, E6 JSON at $out_dir/BENCH_e6.json) =="
+echo "== bench smoke: OK (E5/E6/E13 JSON under $out_dir) =="

@@ -37,7 +37,15 @@ if ! diff -u scripts/campaign_golden.json "$campaign_a"; then
     echo "fault campaign drifted from scripts/campaign_golden.json" >&2
     exit 1
 fi
-echo "fault campaign: deterministic, matches golden"
+# The per-trial execution cross-check defaults to compiled replay; the
+# event-driven interpreter must produce the same bytes (the report is a
+# pure function of the config, never of the sim backend).
+cargo run -q -p cst-tools -- campaign --quick --seed 7 --interpreted > "$campaign_b"
+if ! cmp -s "$campaign_a" "$campaign_b"; then
+    echo "campaign report differs between compiled and interpreted backends" >&2
+    exit 1
+fi
+echo "fault campaign: deterministic, matches golden, backend-independent"
 
 echo "== ci: stream replay soak (determinism + golden) =="
 # The seeded request stream must be a pure function of its flags once the

@@ -94,6 +94,45 @@ fn warm_cache_hit_allocates_zero_bytes() {
 }
 
 #[test]
+fn warm_compiled_replay_allocates_zero_bytes() {
+    // The compiled-replay guarantee: once a schedule is lowered into a
+    // `CompiledProgram` and the `ReplayScratch` shells are sized, every
+    // further replay — state reset, delta application, flat delivery
+    // walks, meter/schedule clone_from — is allocation-free. (Payload
+    // clones are refcount bumps on `Bytes`, not heap traffic.)
+    use cst::sim::{default_payloads, CompiledProgram, ReplayScratch};
+    let n = 1024;
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+    let mut ctx = EngineCtx::new();
+    let out = ctx.route(&Csa, &topo, &set).unwrap();
+
+    let prog = CompiledProgram::compile(&topo, &set, &out.schedule).unwrap();
+    let payloads = default_payloads(&set);
+    let mut scratch = ReplayScratch::new();
+
+    // Two sizing passes: the first grows the scratch shells, the second
+    // settles the recycled meter/schedule capacities.
+    for _ in 0..2 {
+        let sim = prog.replay_with(&mut scratch, &payloads).unwrap();
+        scratch.recycle(sim);
+    }
+
+    let (warm, sim) =
+        alloc_counter::measure(|| prog.replay_with(&mut scratch, &payloads).unwrap());
+    assert_eq!(sim.schedule, out.schedule, "warm replay must still be correct");
+    assert_eq!(sim.deliveries.len(), set.len());
+    assert_eq!(
+        (warm.allocations, warm.bytes_allocated),
+        (0, 0),
+        "warm compiled replay must not touch the heap: {warm:?}"
+    );
+    scratch.recycle(sim);
+    ctx.recycle(out);
+}
+
+#[test]
 fn warm_context_stays_allocation_free_on_smaller_requests() {
     // Buffers grow monotonically: after serving a large request, a warm
     // context must serve any smaller shape without heap traffic either.
