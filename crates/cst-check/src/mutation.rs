@@ -333,7 +333,14 @@ mod tests {
         codes.sort_by_key(|c| c.as_str());
         codes.dedup();
         assert_eq!(codes.len(), Mutation::ALL.len());
-        assert_eq!(codes.len(), DiagCode::ALL.len());
+        // The CST2xx model-conformance codes are exercised by the trace
+        // mutation harness in `cst-model`; together the two harnesses
+        // cover `DiagCode::ALL` (asserted over there, where both sides
+        // are in scope).
+        assert_eq!(
+            codes.len(),
+            DiagCode::ALL.iter().filter(|c| !c.is_model()).count()
+        );
     }
 
     #[test]

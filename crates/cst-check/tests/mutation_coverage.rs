@@ -65,8 +65,14 @@ fn every_mutation_triggers_exactly_its_code() {
 
 #[test]
 fn mutations_cover_the_whole_code_table() {
+    // CST2xx (model conformance) codes are exercised by cst-model's own
+    // trace-mutation harness; a cst-model unit test asserts the two
+    // harnesses jointly cover DiagCode::ALL.
     let covered: BTreeSet<_> = Mutation::ALL.iter().map(|m| m.expected_code()).collect();
     for code in DiagCode::ALL {
+        if code.is_model() {
+            continue;
+        }
         assert!(covered.contains(&code), "{code:?} has no mutation fixture");
     }
 }

@@ -48,8 +48,10 @@ impl core::fmt::Display for Severity {
 /// optimality (Theorem 5), 04x power (Theorem 8), 05x Phase-1 counters
 /// (Lemma 1), 06x selection order, 07x ownership, 10x fault/degradation
 /// (the `CST1xx` family checks schedules against a hardware
-/// [`crate::fault::FaultMask`]). Codes are append-only: never renumber,
-/// never reuse.
+/// [`crate::fault::FaultMask`]), 20x model conformance (the `CST2xx`
+/// family compares a recorded [`crate::trace::ProtocolTrace`] against the
+/// independent reference model in `cst-model`). Codes are append-only:
+/// never renumber, never reuse.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum DiagCode {
     /// CST001 — the input set has a crossing pair (not well-nested, §2.1).
@@ -97,11 +99,28 @@ pub enum DiagCode {
     /// CST102 — a communication reported as dropped is actually routable
     /// under the mask (its unique path avoids every dead switch and link).
     DroppedRoutable,
+    /// CST200 — a traced switch held different connections than the
+    /// reference model derives for that round (Definitions 1–2).
+    ModelConnectionMismatch,
+    /// CST201 — a traced switch received or forwarded a control message
+    /// (kind or rank) different from the model's, e.g. an out-of-order
+    /// matched-pair selection (outermost-first, §4).
+    ModelMessageMismatch,
+    /// CST202 — the traced Phase-1 counter table differs from the model's
+    /// independently derived `C_S` (Lemma 1).
+    ModelCounterMismatch,
+    /// CST203 — a round is missing a switch transition the model performs,
+    /// or contains one it does not (every switch steps once per round).
+    ModelTransitionSkipped,
+    /// CST204 — match accounting broken: the trace schedules a matched
+    /// pair the model no longer holds (duplicate) or ends with pairs the
+    /// model still holds (lost).
+    ModelMatchAccounting,
 }
 
 impl DiagCode {
     /// Every code, in numeric order.
-    pub const ALL: [DiagCode; 18] = [
+    pub const ALL: [DiagCode; 23] = [
         DiagCode::NotWellNested,
         DiagCode::NotRightOriented,
         DiagCode::UnknownComm,
@@ -120,6 +139,11 @@ impl DiagCode {
         DiagCode::MaskedLinkUsed,
         DiagCode::HalfDuplexViolation,
         DiagCode::DroppedRoutable,
+        DiagCode::ModelConnectionMismatch,
+        DiagCode::ModelMessageMismatch,
+        DiagCode::ModelCounterMismatch,
+        DiagCode::ModelTransitionSkipped,
+        DiagCode::ModelMatchAccounting,
     ];
 
     /// The stable `CST0xx` code string.
@@ -143,6 +167,11 @@ impl DiagCode {
             DiagCode::MaskedLinkUsed => "CST100",
             DiagCode::HalfDuplexViolation => "CST101",
             DiagCode::DroppedRoutable => "CST102",
+            DiagCode::ModelConnectionMismatch => "CST200",
+            DiagCode::ModelMessageMismatch => "CST201",
+            DiagCode::ModelCounterMismatch => "CST202",
+            DiagCode::ModelTransitionSkipped => "CST203",
+            DiagCode::ModelMatchAccounting => "CST204",
         }
     }
 
@@ -157,6 +186,20 @@ impl DiagCode {
             DiagCode::ForeignConfig => Severity::Warning,
             _ => Severity::Error,
         }
+    }
+
+    /// True for the `CST2xx` model-conformance family — emitted by the
+    /// trace-replay layer in `cst-model`, not by the schedule analyzer.
+    /// (The two mutation harnesses split along this line.)
+    pub fn is_model(self) -> bool {
+        matches!(
+            self,
+            DiagCode::ModelConnectionMismatch
+                | DiagCode::ModelMessageMismatch
+                | DiagCode::ModelCounterMismatch
+                | DiagCode::ModelTransitionSkipped
+                | DiagCode::ModelMatchAccounting
+        )
     }
 
     /// Short kebab-case name of the violated invariant.
@@ -180,6 +223,11 @@ impl DiagCode {
             DiagCode::MaskedLinkUsed => "no-masked-hardware",
             DiagCode::HalfDuplexViolation => "half-duplex-edges",
             DiagCode::DroppedRoutable => "drop-only-unroutable",
+            DiagCode::ModelConnectionMismatch => "model-agrees-connections",
+            DiagCode::ModelMessageMismatch => "model-agrees-messages",
+            DiagCode::ModelCounterMismatch => "model-agrees-counters",
+            DiagCode::ModelTransitionSkipped => "model-complete-sweep",
+            DiagCode::ModelMatchAccounting => "model-match-accounting",
         }
     }
 
@@ -201,6 +249,12 @@ impl DiagCode {
             DiagCode::MaskedLinkUsed
             | DiagCode::HalfDuplexViolation
             | DiagCode::DroppedRoutable => "fault model (docs/FAULTS.md)",
+            DiagCode::ModelConnectionMismatch | DiagCode::ModelTransitionSkipped => {
+                "Definitions 1-2 (docs/MODEL.md)"
+            }
+            DiagCode::ModelMessageMismatch => "Definition 2, §4 (docs/MODEL.md)",
+            DiagCode::ModelCounterMismatch => "Lemma 1 (docs/MODEL.md)",
+            DiagCode::ModelMatchAccounting => "Lemmas 2-3 (docs/MODEL.md)",
         }
     }
 }
@@ -502,6 +556,14 @@ mod tests {
             assert!(!c.paper_ref().is_empty());
         }
         assert_eq!(DiagCode::parse("CST999"), None);
+    }
+
+    #[test]
+    fn model_family_is_exactly_the_cst2xx_block() {
+        for c in DiagCode::ALL {
+            assert_eq!(c.is_model(), c.as_str().starts_with("CST2"), "{c}");
+        }
+        assert_eq!(DiagCode::ALL.iter().filter(|c| c.is_model()).count(), 5);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`diag`] — typed `CST0xx` diagnostics shared by the static analyzer
 //!   (`cst-check`) and the runtime verifiers;
 //! * [`fault`] — dense hardware fault masks (dead switches/links,
-//!   half-duplex edges) and the exact path-routability oracle.
+//!   half-duplex edges) and the exact path-routability oracle;
+//! * [`trace`] — neutral protocol traces (per-switch message records)
+//!   emitted by the schedulers/simulators and replayed by the reference
+//!   model (`cst-model`, `CST2xx` diagnostics).
 //!
 //! The model follows El-Boghdadi, *"Power-Aware Routing for Well-Nested
 //! Communications On The Circuit Switched Tree"*, IPPS 2007, §2.
@@ -33,6 +36,7 @@ pub mod power;
 pub mod round;
 pub mod switch;
 pub mod topology;
+pub mod trace;
 
 pub use compat::{are_compatible, MergedRound};
 pub use diag::{DiagCode, DiagReport, Diagnostic, Severity};
@@ -47,3 +51,4 @@ pub use power::{charge_round, PowerMeter, PowerReport, SwitchPower, MAX_UNITS_PE
 pub use round::{ConfigArena, ConfigLookup, RoundConfigs};
 pub use switch::{Connection, Side, SwitchConfig};
 pub use topology::CstTopology;
+pub use trace::{ProtoKind, ProtoMsg, ProtocolRound, ProtocolTrace, SwitchEvent};

@@ -1,0 +1,234 @@
+//! Protocol traces: neutral per-switch message records of a CSA execution.
+//!
+//! A [`ProtocolTrace`] captures everything the CSA puts on the wire —
+//! the Phase-1 counter table and, per round, one [`SwitchEvent`] per
+//! stepped switch (the request it received, the connections it held, and
+//! the two child messages it forwarded). Emitters live in `cst-padr`
+//! (`CsaScratch::schedule_traced`) and `cst-sim` (`simulate_traced`, the
+//! RTL machine); the independent reference model in `cst-model` replays
+//! traces and reports divergences as `CST2xx` diagnostics.
+//!
+//! The types here deliberately mirror — but do not reuse — the control
+//! messages of `cst-padr`: `cst-core` sits below the scheduler, and the
+//! reference model must not share message code with the implementation it
+//! checks. Conversions live at the emitter side.
+
+use crate::node::NodeId;
+use crate::switch::SwitchConfig;
+
+/// The request-kind discriminant of a traced control message, mirroring
+/// the CSA's `[null,null]` / `[s,null]` / `[d,null]` / `[s,d]` forms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtoKind {
+    /// Neither link between parent and child is used this round.
+    #[default]
+    Null,
+    /// The upward link carries a source.
+    S,
+    /// The downward link carries a destination.
+    D,
+    /// Both links are in use.
+    SD,
+}
+
+/// One traced Phase-2 control message `[kind, x_s, x_d]`.
+///
+/// Rank semantics follow the paper's Definition 2: `x_s` counts remaining
+/// pass-up sources to the left of the requested source, `x_d` counts
+/// remaining pass-down destinations to the right of the requested
+/// destination.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProtoMsg {
+    /// Which links the message claims.
+    pub kind: ProtoKind,
+    /// Source rank; meaningful iff `kind` has a source component.
+    pub x_s: u32,
+    /// Destination rank; meaningful iff `kind` has a destination component.
+    pub x_d: u32,
+}
+
+impl ProtoMsg {
+    /// The idle message `[null, null]`.
+    pub const NULL: ProtoMsg = ProtoMsg { kind: ProtoKind::Null, x_s: 0, x_d: 0 };
+
+    /// `[s, null]` with a source rank.
+    pub fn source(x_s: u32) -> ProtoMsg {
+        ProtoMsg { kind: ProtoKind::S, x_s, x_d: 0 }
+    }
+
+    /// `[d, null]` with a destination rank.
+    pub fn dest(x_d: u32) -> ProtoMsg {
+        ProtoMsg { kind: ProtoKind::D, x_s: 0, x_d }
+    }
+
+    /// `[s, d]` with both ranks.
+    pub fn both(x_s: u32, x_d: u32) -> ProtoMsg {
+        ProtoMsg { kind: ProtoKind::SD, x_s, x_d }
+    }
+
+    /// True if the message has a source component.
+    pub fn wants_source(self) -> bool {
+        matches!(self.kind, ProtoKind::S | ProtoKind::SD)
+    }
+
+    /// True if the message has a destination component.
+    pub fn wants_dest(self) -> bool {
+        matches!(self.kind, ProtoKind::D | ProtoKind::SD)
+    }
+}
+
+impl core::fmt::Display for ProtoMsg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.kind {
+            ProtoKind::Null => write!(f, "[null,null]"),
+            ProtoKind::S => write!(f, "[s,null;x_s={}]", self.x_s),
+            ProtoKind::D => write!(f, "[d,null;x_d={}]", self.x_d),
+            ProtoKind::SD => write!(f, "[s,d;x_s={},x_d={}]", self.x_s, self.x_d),
+        }
+    }
+}
+
+/// One switch step as seen on the wire: the request from the parent, the
+/// connections held for the round, and the two forwarded child messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchEvent {
+    /// The stepped switch.
+    pub node: NodeId,
+    /// The request it received (`[null,null]` at the root).
+    pub req: ProtoMsg,
+    /// The connections it held this round (as a configuration — push
+    /// order is immaterial, the held set is what the hardware exposes).
+    pub config: SwitchConfig,
+    /// Message forwarded to the left child.
+    pub to_left: ProtoMsg,
+    /// Message forwarded to the right child.
+    pub to_right: ProtoMsg,
+}
+
+impl core::fmt::Display for SwitchEvent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: recv {} hold {{{}}} send L:{} R:{}",
+            self.node, self.req, self.config, self.to_left, self.to_right
+        )
+    }
+}
+
+/// The events of one Phase-2 round, in emission order (emitters differ in
+/// sweep order; consumers index by node).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolRound {
+    /// One event per stepped switch.
+    pub events: Vec<SwitchEvent>,
+}
+
+impl ProtocolRound {
+    /// The event recorded for `node`, if exactly one exists. Emitters step
+    /// every switch once per round; a duplicate is a conformance finding
+    /// (the replay layer reports it), so lookup returns the first.
+    pub fn event_for(&self, node: NodeId) -> Option<&SwitchEvent> {
+        self.events.iter().find(|e| e.node == node)
+    }
+}
+
+/// A complete protocol trace of one CSA execution: the Phase-1 counter
+/// snapshot plus every per-round switch event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolTrace {
+    /// Leaves of the topology the trace was recorded on.
+    pub num_leaves: usize,
+    /// Per-node Phase-1 `C_S` snapshot in the analyzer's layout
+    /// `[M, S_L−M, D_L, S_R, D_R−M]`, indexed by heap node id (leaf
+    /// entries zero). Taken after Phase 1, before the first round.
+    pub phase1: Vec<[u32; 5]>,
+    /// The rounds, in execution order.
+    pub rounds: Vec<ProtocolRound>,
+}
+
+impl ProtocolTrace {
+    /// An empty trace; emitters call [`ProtocolTrace::reset`] first.
+    pub fn new() -> ProtocolTrace {
+        ProtocolTrace::default()
+    }
+
+    /// Clear all recorded state and re-target the trace at a topology.
+    pub fn reset(&mut self, num_leaves: usize) {
+        self.num_leaves = num_leaves;
+        self.phase1.clear();
+        self.rounds.clear();
+    }
+
+    /// Record the Phase-1 counter snapshot (one entry per heap node).
+    pub fn set_phase1(&mut self, counters: impl Iterator<Item = [u32; 5]>) {
+        self.phase1.clear();
+        self.phase1.extend(counters);
+    }
+
+    /// Open a new (empty) round; subsequent [`ProtocolTrace::record`]
+    /// calls append to it.
+    pub fn begin_round(&mut self) {
+        self.rounds.push(ProtocolRound::default());
+    }
+
+    /// Append an event to the current round. Call after
+    /// [`ProtocolTrace::begin_round`]; a trace with no open round drops
+    /// the event (emitters always open the round first).
+    pub fn record(&mut self, event: SwitchEvent) {
+        if let Some(round) = self.rounds.last_mut() {
+            round.events.push(event);
+        }
+    }
+
+    /// Total events across all rounds.
+    pub fn num_events(&self) -> usize {
+        self.rounds.iter().map(|r| r.events.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::Connection;
+
+    #[test]
+    fn msg_constructors_and_components() {
+        assert_eq!(ProtoMsg::NULL.kind, ProtoKind::Null);
+        assert!(ProtoMsg::source(2).wants_source());
+        assert!(!ProtoMsg::source(2).wants_dest());
+        assert!(ProtoMsg::dest(1).wants_dest());
+        assert!(ProtoMsg::both(0, 3).wants_source() && ProtoMsg::both(0, 3).wants_dest());
+        assert_eq!(ProtoMsg::both(1, 2), ProtoMsg { kind: ProtoKind::SD, x_s: 1, x_d: 2 });
+    }
+
+    #[test]
+    fn trace_records_rounds_and_events() {
+        let mut t = ProtocolTrace::new();
+        t.reset(8);
+        t.set_phase1((0..16).map(|_| [0; 5]));
+        t.begin_round();
+        let mut config = SwitchConfig::empty();
+        config.set(Connection::L_TO_R).unwrap();
+        t.record(SwitchEvent {
+            node: NodeId::ROOT,
+            req: ProtoMsg::NULL,
+            config,
+            to_left: ProtoMsg::source(0),
+            to_right: ProtoMsg::dest(0),
+        });
+        assert_eq!(t.rounds.len(), 1);
+        assert_eq!(t.num_events(), 1);
+        assert!(t.rounds[0].event_for(NodeId::ROOT).is_some());
+        assert!(t.rounds[0].event_for(NodeId(2)).is_none());
+        t.reset(4);
+        assert_eq!(t.num_events(), 0);
+        assert!(t.phase1.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProtoMsg::NULL.to_string(), "[null,null]");
+        assert_eq!(ProtoMsg::source(3).to_string(), "[s,null;x_s=3]");
+        assert_eq!(ProtoMsg::both(1, 0).to_string(), "[s,d;x_s=1,x_d=0]");
+    }
+}

@@ -1,0 +1,370 @@
+//! Trace and schedule conformance: replay what an implementation put on
+//! the wire through the reference [`Model`] and report every divergence
+//! as a typed `CST2xx` diagnostic.
+//!
+//! [`conform_trace`] checks a [`ProtocolTrace`] (from
+//! `CsaScratch::schedule_traced`, `simulate_traced`, or the RTL machine)
+//! transition-for-transition against the model's own round sweeps.
+//! [`conform_schedule`] checks any scheduler's *output* — a plain
+//! [`Schedule`], no trace required — against the model's independent
+//! circuit-link computation, reusing the `CST01x`/`CST020` vocabulary.
+//!
+//! Both stop at the first erroring round (later rounds diverge for
+//! derived reasons and would drown the signal) but report every finding
+//! within that round.
+
+use crate::model::{lca, Model};
+use cst_comm::{CommSet, Schedule};
+use cst_core::{
+    Connection, DiagCode, DiagReport, Diagnostic, NodeId, ProtocolTrace,
+};
+
+/// Replay `trace` against the reference model of `set`.
+///
+/// Check order (first failing layer wins):
+/// 1. the set itself must be modelable (`CST001`/`CST002`);
+/// 2. the Phase-1 counter table must match the model's (`CST202`);
+/// 3. per round, per switch: the transition must exist (`CST203`), agree
+///    on scheduling a match (`CST204`), hold the model's connections
+///    (`CST200`), and carry the model's messages (`CST201`);
+/// 4. the trace must schedule every matched pair exactly once —
+///    extra rounds and missing rounds are `CST204`/`CST203`.
+pub fn conform_trace(set: &CommSet, trace: &ProtocolTrace) -> DiagReport {
+    let mut report = DiagReport::new();
+    let mut model = match Model::new(set) {
+        Ok(m) => m,
+        Err(e) => {
+            let code = match e {
+                cst_core::CstError::NotWellNested { .. } => DiagCode::NotWellNested,
+                cst_core::CstError::NotRightOriented { .. } => DiagCode::NotRightOriented,
+                _ => DiagCode::ModelCounterMismatch,
+            };
+            report.push(Diagnostic::new(code, format!("set is not modelable: {e}")));
+            return report;
+        }
+    };
+    let n = model.num_leaves();
+
+    if trace.num_leaves != n {
+        report.push(Diagnostic::new(
+            DiagCode::ModelCounterMismatch,
+            format!("trace topology has {} leaves, set has {n}", trace.num_leaves),
+        ));
+        return report;
+    }
+    let expected_p1 = model.counter_table();
+    if trace.phase1.len() != expected_p1.len() {
+        report.push(Diagnostic::new(
+            DiagCode::ModelCounterMismatch,
+            format!(
+                "Phase-1 table has {} entries, model expects {}",
+                trace.phase1.len(),
+                expected_p1.len()
+            ),
+        ));
+        return report;
+    }
+    for (u, (got, want)) in trace.phase1.iter().zip(&expected_p1).enumerate() {
+        if got != want {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ModelCounterMismatch,
+                    format!("Phase-1 C_S is {got:?}, model computes {want:?}"),
+                )
+                .with_node(NodeId(u)),
+            );
+        }
+    }
+    if report.has_errors() {
+        return report;
+    }
+
+    for (r, round) in trace.rounds.iter().enumerate() {
+        if model.pending() == 0 {
+            // The protocol is done; any further round is spurious. A
+            // round still claiming matches breaks accounting (CST204);
+            // an idle extra sweep is a skipped/extra transition (CST203).
+            let claims_match =
+                round.events.iter().any(|e| e.config.has(Connection::L_TO_R));
+            let (code, what) = if claims_match {
+                (DiagCode::ModelMatchAccounting, "schedules matches after completion")
+            } else {
+                (DiagCode::ModelTransitionSkipped, "runs after the model completed")
+            };
+            report.push(
+                Diagnostic::new(code, format!("round {r} {what}")).with_round(r),
+            );
+            return report;
+        }
+        let expected = match model.run_round() {
+            Ok(round) => round,
+            Err(e) => {
+                // Unreachable for a modelable set; surface loudly if the
+                // model itself jams mid-replay.
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::ModelMatchAccounting,
+                        format!("reference model stuck during replay: {e}"),
+                    )
+                    .with_round(r),
+                );
+                return report;
+            }
+        };
+        for want in &expected.events {
+            let u = want.node;
+            let got = match round.event_for(u) {
+                Some(got) => got,
+                None => {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::ModelTransitionSkipped,
+                            format!(
+                                "no transition recorded; model steps {u} with \
+                                 recv {} hold {{{}}}",
+                                want.req, want.config
+                            ),
+                        )
+                        .with_round(r)
+                        .with_node(u),
+                    );
+                    continue;
+                }
+            };
+            let want_match = want.config.has(Connection::L_TO_R);
+            let got_match = got.config.has(Connection::L_TO_R);
+            if want_match != got_match {
+                let mut d = Diagnostic::new(
+                    DiagCode::ModelMatchAccounting,
+                    if want_match {
+                        format!("model schedules a match at {u} ({}), trace does not", want.config)
+                    } else {
+                        format!("trace schedules a match at {u}, model does not")
+                    },
+                )
+                .with_round(r)
+                .with_node(u);
+                if let Some(&c) = expected.scheduled.first() {
+                    d = d.with_comm(c);
+                }
+                report.push(d);
+                continue;
+            }
+            if got.config != want.config {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::ModelConnectionMismatch,
+                        format!("trace holds {{{}}}, model holds {{{}}}", got.config, want.config),
+                    )
+                    .with_round(r)
+                    .with_node(u),
+                );
+                continue;
+            }
+            if got.req != want.req || got.to_left != want.to_left || got.to_right != want.to_right
+            {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::ModelMessageMismatch,
+                        format!(
+                            "trace recv {} send L:{} R:{}; model recv {} send L:{} R:{}",
+                            got.req, got.to_left, got.to_right,
+                            want.req, want.to_left, want.to_right
+                        ),
+                    )
+                    .with_round(r)
+                    .with_node(u),
+                );
+            }
+        }
+        // Every traced event must correspond to exactly one model step.
+        for (i, e) in round.events.iter().enumerate() {
+            let dup = round.events[..i].iter().any(|p| p.node == e.node);
+            let known = expected.events.iter().any(|w| w.node == e.node);
+            if dup || !known {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::ModelTransitionSkipped,
+                        if dup {
+                            format!("switch {} stepped twice in one round", e.node)
+                        } else {
+                            format!("event for {} which the model never steps", e.node)
+                        },
+                    )
+                    .with_round(r)
+                    .with_node(e.node),
+                );
+            }
+        }
+        if report.has_errors() {
+            return report;
+        }
+    }
+
+    if model.pending() > 0 {
+        report.push(
+            Diagnostic::new(
+                DiagCode::ModelMatchAccounting,
+                format!(
+                    "trace ends after {} rounds with {} matched pairs unscheduled",
+                    trace.rounds.len(),
+                    model.pending()
+                ),
+            )
+            .with_round(trace.rounds.len()),
+        );
+    }
+    report
+}
+
+/// Directed tree-link use of one circuit, recomputed naively: up-links on
+/// the source's path to the apex, down-links on the destination's path.
+fn circuit_links(n: usize, s: usize, d: usize) -> Vec<(usize, bool)> {
+    let apex = lca(n + s, n + d);
+    let mut links = Vec::new();
+    let mut u = n + s;
+    while u != apex {
+        links.push((u, true)); // link above `u`, used upward
+        u >>= 1;
+    }
+    let mut u = n + d;
+    while u != apex {
+        links.push((u, false)); // link above `u`, used downward
+        u >>= 1;
+    }
+    links
+}
+
+/// Check any scheduler's output against the model's independent circuit
+/// computation: every communication scheduled exactly once (`CST010` /
+/// `CST011` / `CST012`) and no two circuits of a round sharing a directed
+/// link (`CST020`). Communications listed in `dropped` (e.g. shed by
+/// degradation-aware routing) are exempt from the exactly-once check.
+///
+/// Unlike [`conform_trace`] this works for *any* router — the baselines
+/// and greedy variants too — because it judges only the schedule, not the
+/// CSA control protocol that produced it.
+pub fn conform_schedule(set: &CommSet, schedule: &Schedule, dropped: &[usize]) -> DiagReport {
+    let mut report = DiagReport::new();
+    let n = set.num_leaves();
+    let mut scheduled_in: Vec<Option<usize>> = vec![None; set.len()];
+    for (r, round) in schedule.rounds.iter().enumerate() {
+        let mut used: Vec<(usize, bool)> = Vec::new();
+        for &id in &round.comms {
+            let comm = match set.get(id) {
+                Some(c) => c,
+                None => {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::UnknownComm,
+                            format!("round references comm {} outside the set", id.0),
+                        )
+                        .with_round(r)
+                        .with_comm(id.0),
+                    );
+                    continue;
+                }
+            };
+            if let Some(prev) = scheduled_in[id.0] {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::DuplicateComm,
+                        format!("comm {} scheduled in round {prev} and again in round {r}", id.0),
+                    )
+                    .with_round(r)
+                    .with_comm(id.0),
+                );
+                continue;
+            }
+            scheduled_in[id.0] = Some(r);
+            for link in circuit_links(n, comm.source.0, comm.dest.0) {
+                if used.contains(&link) {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::LinkConflict,
+                            format!(
+                                "two circuits use the {} link above n{} in one round",
+                                if link.1 { "upward" } else { "downward" },
+                                link.0
+                            ),
+                        )
+                        .with_round(r)
+                        .with_node(NodeId(link.0))
+                        .with_comm(id.0),
+                    );
+                } else {
+                    used.push(link);
+                }
+            }
+        }
+    }
+    for (c, slot) in scheduled_in.iter().enumerate() {
+        if slot.is_none() && !dropped.contains(&c) {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::MissingComm,
+                    format!("comm {c} is never scheduled"),
+                )
+                .with_comm(c),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_comm::CommId;
+
+    fn fixture() -> CommSet {
+        CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)])
+    }
+
+    #[test]
+    fn reference_trace_conforms_to_itself() {
+        let set = fixture();
+        let trace = Model::reference_trace(&set).unwrap();
+        let report = conform_trace(&set, &trace);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn truncated_trace_breaks_accounting() {
+        let set = fixture();
+        let mut trace = Model::reference_trace(&set).unwrap();
+        trace.rounds.pop();
+        let report = conform_trace(&set, &trace);
+        assert_eq!(report.first_error().unwrap().code, DiagCode::ModelMatchAccounting);
+    }
+
+    #[test]
+    fn schedule_conformance_flags_missing_and_duplicate() {
+        let set = fixture();
+        let mut schedule = Schedule::default();
+        schedule.rounds.push(cst_comm::Round {
+            comms: vec![CommId(0), CommId(0)],
+            ..Default::default()
+        });
+        let report = conform_schedule(&set, &schedule, &[]);
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&DiagCode::DuplicateComm));
+        assert!(codes.contains(&DiagCode::MissingComm));
+        // The dropped allowance silences exactly the listed comms.
+        let report = conform_schedule(&set, &schedule, &[1, 2]);
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(!codes.contains(&DiagCode::MissingComm));
+    }
+
+    #[test]
+    fn nested_pairs_in_one_round_conflict_on_links() {
+        let set = fixture();
+        let mut schedule = Schedule::default();
+        schedule.rounds.push(cst_comm::Round {
+            comms: vec![CommId(0), CommId(1), CommId(2)],
+            ..Default::default()
+        });
+        let report = conform_schedule(&set, &schedule, &[]);
+        assert_eq!(report.first_error().unwrap().code, DiagCode::LinkConflict);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cst-model — executable reference model of the CSA switch protocol
+//!
+//! An independently-written, deliberately naive state machine for the
+//! paper's switch protocol (Definitions 1–2, Lemmas 1–3): per-node
+//! identity lists instead of counters, linear search instead of rank
+//! arithmetic, explicit well-nestedness checks instead of sweeps. It
+//! shares only the neutral wire vocabulary (`cst_core::trace`) with the
+//! optimized implementation in `cst-padr` — by construction, any bug the
+//! two sides share must be a misreading of the paper, not a coding slip.
+//!
+//! Three layers:
+//!
+//! * [`model`] — the reference machine: [`Model::step`] resolves ranks
+//!   against identity lists, [`Model::run_round`] sweeps a whole round
+//!   with Lemma-3 match accounting, [`Model::reference_trace`] emits the
+//!   golden [`cst_core::ProtocolTrace`] for a set.
+//! * [`explore`] — exhaustive state-space checking: every right-oriented
+//!   well-nested set at small `n` (Motzkin enumeration), every reachable
+//!   protocol state, cross-checked transition-for-transition against
+//!   `cst_padr::switch_logic::step` with minimal counterexample trails;
+//!   seeded shape-exhaustive sweeps at `n = 16`.
+//! * [`conform`] — replay an implementation's trace ([`conform_trace`],
+//!   typed `CST2xx` diagnostics) or judge any router's schedule
+//!   ([`conform_schedule`], reusing `CST01x`/`CST020`).
+//!
+//! [`mutation`] is the harness's own proof of discrimination: one
+//! surgical trace corruption per `CST2xx` class, each caught by exactly
+//! its code. The `cst-tools model` subcommand drives all of this from
+//! the command line; `docs/MODEL.md` explains how to read the output.
+
+pub mod conform;
+pub mod explore;
+pub mod model;
+pub mod mutation;
+
+pub use conform::{conform_schedule, conform_trace};
+pub use explore::{all_patterns, explore_all, explore_seeded, Divergence, ExploreReport};
+pub use model::{Model, ModelError, ModelRound, ModelStep};
+pub use mutation::{clean_fixture, corrupted, TraceMutation};

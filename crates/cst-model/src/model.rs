@@ -1,0 +1,513 @@
+//! The executable reference model of the CSA switch protocol.
+//!
+//! A deliberately naive re-derivation of Definitions 1–2 and Lemmas 1–3,
+//! written for clarity and independence rather than speed. Where
+//! `cst_padr::switch_logic` stores five counters per switch and resolves
+//! rank requests with pass-through arithmetic, the model keeps explicit
+//! **identity lists**: per node, *which* communications match at this apex
+//! (outermost first), *which* sources below still pass upward, and *which*
+//! destinations below still pass downward. Every rank in an outgoing
+//! message is recomputed by *searching the child's own list*, never by
+//! forwarding or offsetting the incoming rank — so an off-by-one in the
+//! implementation's rank arithmetic cannot be mirrored here.
+//!
+//! The model shares nothing with the scheduler beyond `cst-core`'s neutral
+//! vocabulary ([`ProtoMsg`], [`SwitchConfig`], [`SwitchEvent`]). Even the
+//! tree arithmetic is re-derived: subtree spans come from index doubling,
+//! not from `CstTopology`.
+
+use cst_core::{
+    Connection, CstError, NodeId, ProtoKind, ProtoMsg, ProtocolTrace, Side, SwitchConfig,
+    SwitchEvent,
+};
+
+/// A divergence between a request and the model's own state: the protocol
+/// asked for something the model says cannot be asked for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelError {
+    /// Heap index of the switch (or leaf) where the model got stuck.
+    pub node: usize,
+    /// What went wrong, in plain words.
+    pub detail: String,
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "model stuck at n{}: {}", self.node, self.detail)
+    }
+}
+
+impl ModelError {
+    /// Map onto the legacy error vocabulary.
+    pub fn to_cst_error(&self) -> CstError {
+        CstError::ProtocolViolation {
+            node: NodeId(self.node),
+            detail: self.detail.clone(),
+        }
+    }
+}
+
+/// What one model switch did in one round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelStep {
+    /// Connections the switch holds this round.
+    pub config: SwitchConfig,
+    /// Message to the left child.
+    pub to_left: ProtoMsg,
+    /// Message to the right child.
+    pub to_right: ProtoMsg,
+    /// The matched communication scheduled at this apex, if any.
+    pub scheduled: Option<usize>,
+}
+
+/// One full model round: the per-switch events (in heap-index order) and
+/// the communications scheduled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelRound {
+    /// One event per internal switch, heap-index (top-down) order.
+    pub events: Vec<SwitchEvent>,
+    /// Communication ids scheduled this round, ascending.
+    pub scheduled: Vec<usize>,
+}
+
+/// The reference model: per-node identity lists for one communication set.
+#[derive(Clone, Debug)]
+pub struct Model {
+    num_leaves: usize,
+    /// `(source, dest)` leaf positions by communication id.
+    comms: Vec<(usize, usize)>,
+    /// Per heap node: unscheduled communications matched at this apex,
+    /// outermost first (Definition 1 / §4 selection order).
+    matched: Vec<Vec<usize>>,
+    /// Per heap node: communications whose source lies in this subtree and
+    /// whose apex is a proper ancestor — i.e. still to pass *up* through
+    /// the link above this node. Ordered left-to-right by source leaf.
+    up_sources: Vec<Vec<usize>>,
+    /// Per heap node: communications whose destination lies in this
+    /// subtree and whose apex is a proper ancestor — still to pass *down*
+    /// through the link above. Ordered left-to-right by destination leaf.
+    down_dests: Vec<Vec<usize>>,
+}
+
+impl Model {
+    /// Build the model for a right-oriented well-nested set, validating
+    /// both properties with the obvious O(M²) pairwise checks (the naive
+    /// forms, independent of `cst-comm`'s sweep algorithms).
+    pub fn new(set: &cst_comm::CommSet) -> Result<Model, CstError> {
+        let num_leaves = set.num_leaves();
+        assert!(num_leaves.is_power_of_two(), "CST has 2^k leaves");
+        let comms: Vec<(usize, usize)> =
+            set.iter().map(|(_, c)| (c.source.0, c.dest.0)).collect();
+
+        for &(s, d) in &comms {
+            if s >= d {
+                return Err(CstError::NotRightOriented {
+                    source: cst_core::LeafId(s),
+                    dest: cst_core::LeafId(d),
+                });
+            }
+        }
+        for (a, &(s1, d1)) in comms.iter().enumerate() {
+            for (b, &(s2, d2)) in comms.iter().enumerate().skip(a + 1) {
+                let disjoint = d1 < s2 || d2 < s1;
+                let nested = (s1 < s2 && d2 < d1) || (s2 < s1 && d1 < d2);
+                if !disjoint && !nested {
+                    return Err(CstError::NotWellNested { a, b });
+                }
+            }
+        }
+
+        let n = num_leaves;
+        let mut model = Model {
+            num_leaves,
+            comms: comms.clone(),
+            matched: vec![Vec::new(); 2 * n],
+            up_sources: vec![Vec::new(); 2 * n],
+            down_dests: vec![Vec::new(); 2 * n],
+        };
+
+        // Populate the lists in endpoint order so each stays sorted by
+        // leaf position; matched lists come out outermost-first because
+        // pairs sharing an apex nest, and the outer pair has the smaller
+        // source.
+        let mut ids: Vec<usize> = (0..comms.len()).collect();
+        ids.sort_by_key(|&i| comms[i].0);
+        for &i in &ids {
+            let (s, d) = comms[i];
+            let apex = lca(n + s, n + d);
+            model.matched[apex].push(i);
+            let mut u = n + s;
+            while u != apex {
+                model.up_sources[u].push(i);
+                u >>= 1;
+            }
+        }
+        ids.sort_by_key(|&i| comms[i].1);
+        for &i in &ids {
+            let (s, d) = comms[i];
+            let apex = lca(n + s, n + d);
+            let mut u = n + d;
+            while u != apex {
+                model.down_dests[u].push(i);
+                u >>= 1;
+            }
+        }
+        Ok(model)
+    }
+
+    /// Leaves of the modeled tree.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Unscheduled matched communications left anywhere in the tree.
+    pub fn pending(&self) -> usize {
+        self.matched.iter().map(|m| m.len()).sum()
+    }
+
+    /// The model's `C_S` for heap node `u` in the analyzer's layout
+    /// `[M, S_L−M, D_L, S_R, D_R−M]`; zero for leaves and index 0.
+    pub fn counters(&self, u: usize) -> [u32; 5] {
+        if u == 0 || u >= self.num_leaves {
+            return [0; 5];
+        }
+        let (_, left_hi) = span(u << 1, self.num_leaves);
+        let n = self.num_leaves;
+        let count = |list: &[usize], endpoint: fn(&(usize, usize)) -> usize, left: bool| {
+            list.iter()
+                .filter(|&&i| (endpoint(&self.comms[i]) + n < left_hi) == left)
+                .count() as u32
+        };
+        [
+            self.matched[u].len() as u32,
+            count(&self.up_sources[u], |c| c.0, true),
+            count(&self.down_dests[u], |c| c.1, true),
+            count(&self.up_sources[u], |c| c.0, false),
+            count(&self.down_dests[u], |c| c.1, false),
+        ]
+    }
+
+    /// The full counter table (one `[u32; 5]` per heap index, `0..2N`),
+    /// shaped exactly like a [`ProtocolTrace::phase1`] snapshot.
+    pub fn counter_table(&self) -> Vec<[u32; 5]> {
+        (0..2 * self.num_leaves).map(|u| self.counters(u)).collect()
+    }
+
+    /// Step one internal switch for this round's request.
+    ///
+    /// Resolution is by identity: rank `x_s` names the `x_s`-th remaining
+    /// pass-up source from the left (Definition 2), so the model takes
+    /// `up_sources[u][x_s]`; rank `x_d` counts remaining pass-down
+    /// destinations from the *right*, so the model takes
+    /// `down_dests[u][len − 1 − x_d]`. Forwarded ranks are found by
+    /// searching the child's own list for the same communication.
+    pub fn step(&mut self, u: usize, req: ProtoMsg) -> Result<ModelStep, ModelError> {
+        let n = self.num_leaves;
+        assert!(u >= 1 && u < n, "step is for internal switches");
+        let (left, right) = (u << 1, (u << 1) | 1);
+        let (_, left_hi) = span(left, n);
+
+        let mut config = SwitchConfig::empty();
+        // Rank slots for the outgoing messages: (source, dest) per child.
+        let mut ls: Option<u32> = None;
+        let mut ld: Option<u32> = None;
+        let mut rs: Option<u32> = None;
+        let mut rd: Option<u32> = None;
+        let mut source_went_left = None;
+
+        if req.wants_source() {
+            let pool = &self.up_sources[u];
+            let idx = req.x_s as usize;
+            if idx >= pool.len() {
+                return Err(ModelError {
+                    node: u,
+                    detail: format!("source rank {} but only {} pass-up sources", req.x_s, pool.len()),
+                });
+            }
+            let c = pool[idx];
+            let goes_left = self.comms[c].0 + n < left_hi;
+            let child = if goes_left { left } else { right };
+            let rank = find(&self.up_sources[child], c).ok_or_else(|| ModelError {
+                node: u,
+                detail: format!("comm {c} missing from child n{child}'s pass-up list"),
+            })? as u32;
+            if goes_left {
+                config.force(Connection::L_TO_P);
+                ls = Some(rank);
+            } else {
+                config.force(Connection::R_TO_P);
+                rs = Some(rank);
+            }
+            self.up_sources[u].remove(idx);
+            source_went_left = Some(goes_left);
+        }
+
+        if req.wants_dest() {
+            let pool = &self.down_dests[u];
+            let len = pool.len();
+            let idx_from_right = req.x_d as usize;
+            if idx_from_right >= len {
+                return Err(ModelError {
+                    node: u,
+                    detail: format!("dest rank {} but only {len} pass-down dests", req.x_d),
+                });
+            }
+            let pos = len - 1 - idx_from_right;
+            let c = pool[pos];
+            let goes_left = self.comms[c].1 + n < left_hi;
+            // Lemma 2: a request never splits source-left / dest-right —
+            // that pair would have matched at this very apex.
+            if source_went_left == Some(true) && !goes_left {
+                return Err(ModelError {
+                    node: u,
+                    detail: "crossing request: source resolves left, dest right (Lemma 2)".into(),
+                });
+            }
+            let child = if goes_left { left } else { right };
+            let child_pool = &self.down_dests[child];
+            let child_pos = find(child_pool, c).ok_or_else(|| ModelError {
+                node: u,
+                detail: format!("comm {c} missing from child n{child}'s pass-down list"),
+            })?;
+            let rank = (child_pool.len() - 1 - child_pos) as u32;
+            if goes_left {
+                config.force(Connection::P_TO_L);
+                ld = Some(rank);
+            } else {
+                config.force(Connection::P_TO_R);
+                rd = Some(rank);
+            }
+            self.down_dests[u].remove(pos);
+        }
+
+        // Opportunistic match (Definition 1, Lemma 3): when the left input
+        // and right output are free, schedule the *outermost* unscheduled
+        // pair matched at this apex. Its source is in the left subtree and
+        // its destination in the right one by the definition of an apex.
+        let mut scheduled = None;
+        if !self.matched[u].is_empty()
+            && config.input_free(Side::Left)
+            && config.output_free(Side::Right)
+        {
+            let c = self.matched[u].remove(0);
+            config.force(Connection::L_TO_R);
+            let rank_s = find(&self.up_sources[left], c).ok_or_else(|| ModelError {
+                node: u,
+                detail: format!("matched comm {c} missing from left child's pass-up list"),
+            })? as u32;
+            let right_pool = &self.down_dests[right];
+            let pos = find(right_pool, c).ok_or_else(|| ModelError {
+                node: u,
+                detail: format!("matched comm {c} missing from right child's pass-down list"),
+            })?;
+            let rank_d = (right_pool.len() - 1 - pos) as u32;
+            debug_assert!(ls.is_none() && rd.is_none(), "ports were free");
+            ls = Some(rank_s);
+            rd = Some(rank_d);
+            scheduled = Some(c);
+        }
+
+        Ok(ModelStep {
+            config,
+            to_left: combine(ls, ld),
+            to_right: combine(rs, rd),
+            scheduled,
+        })
+    }
+
+    /// Execute one full top-down round: the root acts as if it received
+    /// `[null,null]`, every internal switch steps once, and the leaf
+    /// activations are checked against the scheduled pairs (Lemma 3 match
+    /// accounting: the activated sources and destinations must be exactly
+    /// the endpoints of the pairs scheduled this round).
+    pub fn run_round(&mut self) -> Result<ModelRound, ModelError> {
+        let n = self.num_leaves;
+        let mut msgs = vec![ProtoMsg::NULL; 2 * n];
+        let mut events = Vec::with_capacity(n - 1);
+        let mut scheduled = Vec::new();
+        for u in 1..n {
+            let req = msgs[u];
+            let s = self.step(u, req)?;
+            msgs[u << 1] = s.to_left;
+            msgs[(u << 1) | 1] = s.to_right;
+            if let Some(c) = s.scheduled {
+                scheduled.push(c);
+            }
+            events.push(SwitchEvent {
+                node: NodeId(u),
+                req,
+                config: s.config,
+                to_left: s.to_left,
+                to_right: s.to_right,
+            });
+        }
+        let mut sources = Vec::new();
+        let mut dests = Vec::new();
+        for (u, msg) in msgs.iter().copied().enumerate().skip(n) {
+            match msg.kind {
+                ProtoKind::Null => {}
+                ProtoKind::S if msg.x_s == 0 => sources.push(u - n),
+                ProtoKind::D if msg.x_d == 0 => dests.push(u - n),
+                _ => {
+                    return Err(ModelError {
+                        node: u,
+                        detail: format!("leaf received {msg}"),
+                    })
+                }
+            }
+        }
+        let mut want_sources: Vec<usize> = scheduled.iter().map(|&c| self.comms[c].0).collect();
+        let mut want_dests: Vec<usize> = scheduled.iter().map(|&c| self.comms[c].1).collect();
+        want_sources.sort_unstable();
+        want_dests.sort_unstable();
+        sources.sort_unstable();
+        dests.sort_unstable();
+        if sources != want_sources || dests != want_dests {
+            return Err(ModelError {
+                node: 1,
+                detail: format!(
+                    "activated PEs {sources:?}/{dests:?} differ from scheduled endpoints \
+                     {want_sources:?}/{want_dests:?}"
+                ),
+            });
+        }
+        scheduled.sort_unstable();
+        Ok(ModelRound { events, scheduled })
+    }
+
+    /// Produce the model's own [`ProtocolTrace`] for a set: the Phase-1
+    /// counter snapshot plus one complete round sweep per round until
+    /// every matched pair is scheduled. This is the golden trace the
+    /// emitters in `cst-padr`/`cst-sim` must reproduce.
+    pub fn reference_trace(set: &cst_comm::CommSet) -> Result<ProtocolTrace, CstError> {
+        let mut model = Model::new(set)?;
+        let mut trace = ProtocolTrace::new();
+        trace.reset(model.num_leaves);
+        trace.set_phase1(model.counter_table().into_iter());
+        let limit = set.len() + 1;
+        while model.pending() > 0 {
+            if trace.rounds.len() >= limit {
+                return Err(CstError::RoundOverrun { limit });
+            }
+            trace.begin_round();
+            let round = model.run_round().map_err(|e| e.to_cst_error())?;
+            for e in round.events {
+                trace.record(e);
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// Index of `c` in `list`, if present.
+fn find(list: &[usize], c: usize) -> Option<usize> {
+    list.iter().position(|&x| x == c)
+}
+
+/// Assemble a message from optional source/dest ranks.
+fn combine(s: Option<u32>, d: Option<u32>) -> ProtoMsg {
+    match (s, d) {
+        (None, None) => ProtoMsg::NULL,
+        (Some(x), None) => ProtoMsg::source(x),
+        (None, Some(x)) => ProtoMsg::dest(x),
+        (Some(a), Some(b)) => ProtoMsg::both(a, b),
+    }
+}
+
+/// Heap-node span as `[lo, hi)` *node* indices at the leaf level,
+/// re-derived by index doubling (independent of `CstTopology`).
+fn span(u: usize, num_leaves: usize) -> (usize, usize) {
+    let (mut lo, mut hi) = (u, u + 1);
+    while lo < num_leaves {
+        lo <<= 1;
+        hi <<= 1;
+    }
+    (lo, hi)
+}
+
+/// Lowest common ancestor of two heap nodes.
+pub(crate) fn lca(mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        if a > b {
+            a >>= 1;
+        } else {
+            b >>= 1;
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_comm::CommSet;
+
+    #[test]
+    fn span_and_lca() {
+        assert_eq!(span(1, 8), (8, 16));
+        assert_eq!(span(2, 8), (8, 12));
+        assert_eq!(span(5, 8), (10, 12));
+        assert_eq!(span(9, 8), (9, 10));
+        assert_eq!(lca(8, 15), 1);
+        assert_eq!(lca(8, 9), 4);
+        assert_eq!(lca(10, 11), 5);
+    }
+
+    #[test]
+    fn rejects_bad_sets() {
+        let left = CommSet::from_pairs(8, &[(5, 2)]);
+        assert!(matches!(Model::new(&left), Err(CstError::NotRightOriented { .. })));
+        let crossing = CommSet::from_pairs(8, &[(0, 4), (2, 6)]);
+        assert!(matches!(Model::new(&crossing), Err(CstError::NotWellNested { .. })));
+    }
+
+    #[test]
+    fn counters_match_lemma_1_shape() {
+        // (0,7),(1,6),(2,5) on 8 leaves: all three match at the root.
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+        let m = Model::new(&set).unwrap();
+        assert_eq!(m.counters(1), [3, 0, 0, 0, 0]);
+        // n2 (leaves 0-3): sources 0,1,2 pass up, no dests below.
+        assert_eq!(m.counters(2), [0, 2, 0, 1, 0]);
+        // n3 (leaves 4-7): dests 5,6,7 pass down.
+        assert_eq!(m.counters(3), [0, 0, 1, 0, 2]);
+        assert_eq!(m.pending(), 3);
+    }
+
+    #[test]
+    fn nested_chain_schedules_outermost_first() {
+        let set = CommSet::from_pairs(8, &[(2, 5), (0, 7), (1, 6)]);
+        let mut m = Model::new(&set).unwrap();
+        // Ids are input order: c0=(2,5), c1=(0,7), c2=(1,6); outermost is c1.
+        let r0 = m.run_round().unwrap();
+        assert_eq!(r0.scheduled, vec![1]);
+        let r1 = m.run_round().unwrap();
+        assert_eq!(r1.scheduled, vec![2]);
+        let r2 = m.run_round().unwrap();
+        assert_eq!(r2.scheduled, vec![0]);
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn disjoint_pairs_schedule_in_one_round() {
+        let set = CommSet::from_pairs(8, &[(0, 1), (2, 3), (4, 5), (6, 7)]);
+        let mut m = Model::new(&set).unwrap();
+        let r0 = m.run_round().unwrap();
+        assert_eq!(r0.scheduled, vec![0, 1, 2, 3]);
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn reference_trace_has_complete_rounds() {
+        let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+        let t = Model::reference_trace(&set).unwrap();
+        assert_eq!(t.num_leaves, 8);
+        assert_eq!(t.rounds.len(), 3);
+        assert_eq!(t.phase1.len(), 16);
+        for round in &t.rounds {
+            assert_eq!(round.events.len(), 7, "one event per internal switch");
+        }
+        // Root schedules a match every round; its event leads the round.
+        assert!(t.rounds[0].events[0].config.has(Connection::L_TO_R));
+    }
+}

@@ -1,0 +1,166 @@
+//! Protocol-level mutation harness: proof that the conformance layer
+//! discriminates.
+//!
+//! Mirrors `cst_check::Mutation` one level down the stack: each `CST2xx`
+//! diagnostic class carries a minimal corruption of a known-good
+//! [`ProtocolTrace`] that must trigger exactly that class. The fixture is
+//! the paper's running example — 8 PEs, the width-3 nested set
+//! `(0,7),(1,6),(2,5)` — whose reference trace the model generates
+//! itself, so the harness needs no scheduler at all.
+
+use crate::model::Model;
+use cst_comm::CommSet;
+use cst_core::{
+    Connection, DiagCode, NodeId, ProtoMsg, ProtocolTrace, SwitchConfig,
+};
+
+/// One surgical trace corruption per `CST2xx` class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceMutation {
+    /// A switch holds the wrong connection for its round (`CST200`).
+    WrongConnection,
+    /// The apex forwards the *innermost* ranks instead of the outermost —
+    /// the Definition-2 selection order swapped (`CST201`).
+    SwapMatchOrder,
+    /// One Phase-1 counter off by one (`CST202`).
+    CorruptCounter,
+    /// A switch transition dropped from a round (`CST203`).
+    SkipTransition,
+    /// A full round replayed after completion, double-scheduling its
+    /// matches (`CST204`).
+    DuplicateRound,
+}
+
+impl TraceMutation {
+    /// Every mutation, in code order.
+    pub const ALL: [TraceMutation; 5] = [
+        TraceMutation::WrongConnection,
+        TraceMutation::SwapMatchOrder,
+        TraceMutation::CorruptCounter,
+        TraceMutation::SkipTransition,
+        TraceMutation::DuplicateRound,
+    ];
+
+    /// The diagnostic class this corruption must trigger.
+    pub fn expected_code(self) -> DiagCode {
+        match self {
+            TraceMutation::WrongConnection => DiagCode::ModelConnectionMismatch,
+            TraceMutation::SwapMatchOrder => DiagCode::ModelMessageMismatch,
+            TraceMutation::CorruptCounter => DiagCode::ModelCounterMismatch,
+            TraceMutation::SkipTransition => DiagCode::ModelTransitionSkipped,
+            TraceMutation::DuplicateRound => DiagCode::ModelMatchAccounting,
+        }
+    }
+}
+
+/// The known-good fixture: the paper's 8-PE nested example and its
+/// model-generated reference trace (3 rounds, outermost first).
+pub fn clean_fixture() -> (CommSet, ProtocolTrace) {
+    let set = CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)]);
+    let trace = Model::reference_trace(&set).expect("fixture set is modelable");
+    (set, trace)
+}
+
+/// The fixture's trace with one mutation applied.
+pub fn corrupted(m: TraceMutation) -> (CommSet, ProtocolTrace) {
+    let (set, mut trace) = clean_fixture();
+    match m {
+        TraceMutation::WrongConnection => {
+            // Round 0 passes comm 0's source up through n2 (L_TO_P);
+            // claim the switch held the mirror connection instead.
+            let e = event_mut(&mut trace, 0, 2);
+            let mut config = SwitchConfig::empty();
+            config.set(Connection::R_TO_P).expect("single connection");
+            e.config = config;
+        }
+        TraceMutation::SwapMatchOrder => {
+            // The apex must activate the *outermost* matched pair (rank
+            // 0 both sides); rank 1 selects the next pair in — the
+            // classic off-by-one in the Definition-2 ordering.
+            let e = event_mut(&mut trace, 0, 1);
+            e.to_left = ProtoMsg::source(1);
+            e.to_right = ProtoMsg::dest(1);
+        }
+        TraceMutation::CorruptCounter => {
+            trace.phase1[2][0] += 1;
+        }
+        TraceMutation::SkipTransition => {
+            trace.rounds[0].events.retain(|e| e.node != NodeId(3));
+        }
+        TraceMutation::DuplicateRound => {
+            let last = trace.rounds.last().expect("fixture has rounds").clone();
+            trace.rounds.push(last);
+        }
+    }
+    (set, trace)
+}
+
+fn event_mut(
+    trace: &mut ProtocolTrace,
+    round: usize,
+    node: usize,
+) -> &mut cst_core::SwitchEvent {
+    trace.rounds[round]
+        .events
+        .iter_mut()
+        .find(|e| e.node == NodeId(node))
+        .expect("fixture records every internal switch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conform::conform_trace;
+
+    #[test]
+    fn clean_fixture_conforms() {
+        let (set, trace) = clean_fixture();
+        let report = conform_trace(&set, &trace);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn each_mutation_fires_exactly_its_code() {
+        for m in TraceMutation::ALL {
+            let (set, trace) = corrupted(m);
+            let report = conform_trace(&set, &trace);
+            let first = report
+                .first_error()
+                .unwrap_or_else(|| panic!("{m:?} went undetected"));
+            assert_eq!(
+                first.code,
+                m.expected_code(),
+                "{m:?} attributed to {} instead of {}:\n{}",
+                first.code.as_str(),
+                m.expected_code().as_str(),
+                report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_codes_are_distinct_and_cover_cst2xx() {
+        let mut codes: Vec<_> =
+            TraceMutation::ALL.iter().map(|m| m.expected_code()).collect();
+        codes.sort_by_key(|c| c.as_str());
+        codes.dedup();
+        assert_eq!(codes.len(), TraceMutation::ALL.len());
+        let model_codes: Vec<_> =
+            DiagCode::ALL.iter().copied().filter(|c| c.is_model()).collect();
+        assert_eq!(codes, model_codes);
+    }
+
+    #[test]
+    fn harnesses_jointly_cover_every_diagnostic() {
+        // The schedule-level harness in `cst-check` covers the CST0xx/1xx
+        // classes; this one covers CST2xx; nothing falls between.
+        let mut codes: Vec<_> = cst_check::Mutation::ALL
+            .iter()
+            .map(|m| m.expected_code())
+            .chain(TraceMutation::ALL.iter().map(|m| m.expected_code()))
+            .collect();
+        codes.sort_by_key(|c| c.as_str());
+        codes.dedup();
+        assert_eq!(codes.len(), DiagCode::ALL.len());
+    }
+}

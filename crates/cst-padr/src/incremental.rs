@@ -217,7 +217,7 @@ impl IncrementalCsa {
         // Phase-1 artifacts), so that's all the working copy needs.
         self.work.states.clear();
         self.work.states.extend_from_slice(&self.pristine.states);
-        phase2_core(topo, &self.set, &mut self.work, self.options, &mut self.bufs, pool)
+        phase2_core(topo, &self.set, &mut self.work, self.options, &mut self.bufs, pool, None)
     }
 }
 

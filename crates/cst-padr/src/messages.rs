@@ -104,6 +104,33 @@ impl DownMsg {
 /// Size in words of a Phase-2 message.
 pub const WORDS_DOWN: u32 = DownMsg::WORDS;
 
+// Conversions to/from the neutral trace vocabulary (`cst_core::trace`):
+// the emitters record `ProtoMsg`s so the reference model never links
+// against the scheduler's own message types.
+impl From<DownMsg> for cst_core::ProtoMsg {
+    fn from(m: DownMsg) -> cst_core::ProtoMsg {
+        let kind = match m.kind {
+            ReqKind::Null => cst_core::ProtoKind::Null,
+            ReqKind::S => cst_core::ProtoKind::S,
+            ReqKind::D => cst_core::ProtoKind::D,
+            ReqKind::SD => cst_core::ProtoKind::SD,
+        };
+        cst_core::ProtoMsg { kind, x_s: m.x_s, x_d: m.x_d }
+    }
+}
+
+impl From<cst_core::ProtoMsg> for DownMsg {
+    fn from(m: cst_core::ProtoMsg) -> DownMsg {
+        let kind = match m.kind {
+            cst_core::ProtoKind::Null => ReqKind::Null,
+            cst_core::ProtoKind::S => ReqKind::S,
+            cst_core::ProtoKind::D => ReqKind::D,
+            cst_core::ProtoKind::SD => ReqKind::SD,
+        };
+        DownMsg { kind, x_s: m.x_s, x_d: m.x_d }
+    }
+}
+
 impl core::fmt::Display for DownMsg {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self.kind {

@@ -20,7 +20,7 @@ use crate::switch_logic::{step, StepError};
 use cst_comm::{CommId, CommSet, Schedule, SchedulePool, WellNestedChecker};
 use cst_core::{
     ConfigArena, ConfigLookup, CstError, CstTopology, LeafId, NodeId, PowerMeter, PowerReport,
-    Side,
+    ProtocolTrace, Side, SwitchConfig, SwitchEvent,
 };
 use std::time::Instant;
 
@@ -150,13 +150,42 @@ impl CsaScratch {
         options: Options,
         pool: &mut SchedulePool,
     ) -> Result<CsaOutcome, CstError> {
+        self.schedule_impl(topo, set, options, pool, None)
+    }
+
+    /// [`CsaScratch::schedule`] that additionally records every control
+    /// message into `trace` for replay by the reference model (`cst-model`).
+    ///
+    /// Tracing forces `prune_quiescent: false` so the trace contains one
+    /// event per internal switch per round — the complete-sweep shape the
+    /// conformance checker expects (pruning skips host-side work only and
+    /// never changes results, but it elides quiescent `[null,null]` steps
+    /// from the wire record).
+    pub fn schedule_traced(
+        &mut self,
+        topo: &CstTopology,
+        set: &CommSet,
+        pool: &mut SchedulePool,
+        trace: &mut ProtocolTrace,
+    ) -> Result<CsaOutcome, CstError> {
+        self.schedule_impl(topo, set, Options { prune_quiescent: false }, pool, Some(trace))
+    }
+
+    fn schedule_impl(
+        &mut self,
+        topo: &CstTopology,
+        set: &CommSet,
+        options: Options,
+        pool: &mut SchedulePool,
+        trace: Option<&mut ProtocolTrace>,
+    ) -> Result<CsaOutcome, CstError> {
         let t0 = Instant::now();
         set.require_right_oriented()?;
         self.nest.require(set)?;
         let t1 = Instant::now();
         phase1::run_into(topo, set, &mut self.p1)?;
         let t2 = Instant::now();
-        let out = phase2_core(topo, set, &mut self.p1, options, &mut self.bufs, pool);
+        let out = phase2_core(topo, set, &mut self.p1, options, &mut self.bufs, pool, trace);
         self.timings = CsaTimings {
             validate_ns: (t1 - t0).as_nanos() as u64,
             phase1_ns: (t2 - t1).as_nanos() as u64,
@@ -190,12 +219,13 @@ pub fn run_phase2_with(
 ) -> Result<CsaOutcome, CstError> {
     let mut bufs = Phase2Buffers::default();
     let mut pool = SchedulePool::new();
-    phase2_core(topo, set, p1, options, &mut bufs, &mut pool)
+    phase2_core(topo, set, p1, options, &mut bufs, &mut pool, None)
 }
 
 /// The round driver proper. All working storage comes from `bufs` and
-/// `pool`; with warm buffers this function performs no allocation on the
-/// success path (error details may format strings).
+/// `pool`; with warm buffers and tracing disabled (`trace: None`) this
+/// function performs no allocation on the success path (error details may
+/// format strings).
 pub(crate) fn phase2_core(
     topo: &CstTopology,
     set: &CommSet,
@@ -203,6 +233,7 @@ pub(crate) fn phase2_core(
     options: Options,
     bufs: &mut Phase2Buffers,
     pool: &mut SchedulePool,
+    mut trace: Option<&mut ProtocolTrace>,
 ) -> Result<CsaOutcome, CstError> {
     let n = topo.node_table_len();
     let mut metrics = ControlMetrics {
@@ -238,6 +269,15 @@ pub(crate) fn phase2_core(
             p1.states[u.index()].matched + below(u.left_child()) + below(u.right_child());
     }
 
+    if let Some(t) = trace.as_deref_mut() {
+        // Snapshot C_S before the rounds consume it, in the analyzer's
+        // layout [M, S_L−M, D_L, S_R, D_R−M] (leaf entries zero).
+        t.reset(topo.num_leaves());
+        t.set_phase1(p1.states.iter().map(|s| {
+            [s.matched, s.left_sources, s.left_dests, s.right_sources, s.right_dests]
+        }));
+    }
+
     let mut meter = pool.take_meter(topo);
     let mut schedule = pool.take_schedule();
     let mut scheduled_total = 0usize;
@@ -256,6 +296,9 @@ pub(crate) fn phase2_core(
             return Err(CstError::RoundOverrun { limit: round_limit });
         }
         meter.begin_round();
+        if let Some(t) = trace.as_deref_mut() {
+            t.begin_round();
+        }
         let mut round = pool.take_round();
         active_sources.clear();
 
@@ -322,6 +365,19 @@ pub(crate) fn phase2_core(
                     detail: e.to_string(),
                 })?;
                 meter.require(u, c);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                let mut config = SwitchConfig::empty();
+                for &c in &result.connections {
+                    config.force(c);
+                }
+                t.record(SwitchEvent {
+                    node: u,
+                    req: req.into(),
+                    config,
+                    to_left: result.to_left.into(),
+                    to_right: result.to_right.into(),
+                });
             }
             metrics.phase2_words += 2 * u64::from(WORDS_DOWN);
             metrics.max_words_per_switch_round =

@@ -101,6 +101,28 @@ pub fn simulate(
     set: &CommSet,
     payloads: Option<Vec<Bytes>>,
 ) -> Result<SimOutcome, CstError> {
+    simulate_inner(topo, set, payloads, None)
+}
+
+/// [`simulate`] that additionally records every control message into
+/// `trace` for replay by the reference model (`cst-model`). The event wave
+/// already steps every switch each round (the simulator never prunes), so
+/// the trace is complete by construction.
+pub fn simulate_traced(
+    topo: &CstTopology,
+    set: &CommSet,
+    payloads: Option<Vec<Bytes>>,
+    trace: &mut cst_core::ProtocolTrace,
+) -> Result<SimOutcome, CstError> {
+    simulate_inner(topo, set, payloads, Some(trace))
+}
+
+fn simulate_inner(
+    topo: &CstTopology,
+    set: &CommSet,
+    payloads: Option<Vec<Bytes>>,
+    mut trace: Option<&mut cst_core::ProtocolTrace>,
+) -> Result<SimOutcome, CstError> {
     set.require_right_oriented()?;
     set.require_well_nested()?;
 
@@ -161,6 +183,15 @@ pub fn simulate(
     }
     debug_assert_eq!(phase1_done_at, Cycle::from(topo.height()));
 
+    if let Some(t) = trace.as_deref_mut() {
+        // Snapshot C_S before the rounds consume it, in the analyzer's
+        // layout [M, S_L−M, D_L, S_R, D_R−M] (leaf entries zero).
+        t.reset(topo.num_leaves());
+        t.set_phase1(states.iter().map(|s| {
+            [s.matched, s.left_sources, s.left_dests, s.right_sources, s.right_dests]
+        }));
+    }
+
     // ---- Phase 2: one control wave + data cycle per round ---------------
     let pairing: std::collections::HashMap<LeafId, (cst_comm::CommId, LeafId)> =
         set.iter().map(|(id, c)| (c.source, (id, c.dest))).collect();
@@ -181,6 +212,9 @@ pub fn simulate(
         }
         let control_start = now;
         meter.begin_round();
+        if let Some(t) = trace.as_deref_mut() {
+            t.begin_round();
+        }
         let mut comms: Vec<cst_comm::CommId> = Vec::new();
         let mut active_sources: Vec<LeafId> = Vec::new();
         let mut active_dests: Vec<LeafId> = Vec::new();
@@ -216,6 +250,19 @@ pub fn simulate(
                             detail: e.to_string(),
                         })?;
                         meter.require(to, c);
+                    }
+                    if let Some(tr) = trace.as_deref_mut() {
+                        let mut config = cst_core::SwitchConfig::empty();
+                        for &c in &result.connections {
+                            config.force(c);
+                        }
+                        tr.record(cst_core::SwitchEvent {
+                            node: to,
+                            req: msg.into(),
+                            config,
+                            to_left: result.to_left.into(),
+                            to_right: result.to_right.into(),
+                        });
                     }
                     q.schedule(t + 1, Ev::Down { to: to.left_child(), msg: result.to_left });
                     q.schedule(t + 1, Ev::Down { to: to.right_child(), msg: result.to_right });

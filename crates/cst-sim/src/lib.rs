@@ -34,6 +34,8 @@ pub use fault::{
     StateField,
 };
 pub use rtl::{RtlMachine, RtlRound};
-pub use engine::{default_payloads, simulate, simulate_schedule, RoundTiming, SimOutcome};
+pub use engine::{
+    default_payloads, simulate, simulate_schedule, simulate_traced, RoundTiming, SimOutcome,
+};
 pub use event::{Cycle, EventQueue};
 pub use trace::Trace;

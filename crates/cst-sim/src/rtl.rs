@@ -167,7 +167,17 @@ impl<'t> RtlMachine<'t> {
     /// tick until the wave has passed the leaves. Every switch acts only
     /// on its own mailbox.
     pub fn run_round(&mut self) -> Result<RtlRound, CstError> {
+        self.run_round_inner(None)
+    }
+
+    fn run_round_inner(
+        &mut self,
+        mut trace: Option<&mut cst_core::ProtocolTrace>,
+    ) -> Result<RtlRound, CstError> {
         self.meter.begin_round();
+        if let Some(t) = trace.as_deref_mut() {
+            t.begin_round();
+        }
         let mut sources = Vec::new();
         self.switches[NodeId::ROOT.index()].inbox = Some(DownMsg::NULL);
         let mut active = true;
@@ -190,6 +200,19 @@ impl<'t> RtlMachine<'t> {
                         detail: e.to_string(),
                     })?;
                     self.meter.require(u, c);
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    let mut config = cst_core::SwitchConfig::empty();
+                    for &c in &result.connections {
+                        config.force(c);
+                    }
+                    t.record(cst_core::SwitchEvent {
+                        node: u,
+                        req: req.into(),
+                        config,
+                        to_left: result.to_left.into(),
+                        to_right: result.to_right.into(),
+                    });
                 }
                 deliveries.push((u.left_child(), result.to_left));
                 deliveries.push((u.right_child(), result.to_right));
@@ -221,7 +244,37 @@ impl<'t> RtlMachine<'t> {
     /// communication in `set` has been performed (identified by tracing
     /// the configured circuits, exactly as the host scheduler does).
     pub fn run_to_completion(&mut self, set: &CommSet) -> Result<Schedule, CstError> {
+        self.run_to_completion_inner(set, None)
+    }
+
+    /// [`RtlMachine::run_to_completion`] that additionally records every
+    /// control message into `trace` for replay by the reference model
+    /// (`cst-model`). The tick loop steps every switch whose mailbox holds
+    /// a message — with the `[null,null]` fan-out that is every internal
+    /// switch once per round, so the trace is complete by construction.
+    pub fn run_to_completion_traced(
+        &mut self,
+        set: &CommSet,
+        trace: &mut cst_core::ProtocolTrace,
+    ) -> Result<Schedule, CstError> {
+        self.run_to_completion_inner(set, Some(trace))
+    }
+
+    fn run_to_completion_inner(
+        &mut self,
+        set: &CommSet,
+        mut trace: Option<&mut cst_core::ProtocolTrace>,
+    ) -> Result<Schedule, CstError> {
         self.run_phase1()?;
+        if let Some(t) = trace.as_deref_mut() {
+            // Snapshot C_S before the rounds consume it, in the analyzer's
+            // layout [M, S_L−M, D_L, S_R, D_R−M] (leaf entries zero).
+            t.reset(self.topo.num_leaves());
+            t.set_phase1(self.switches.iter().map(|hw| {
+                let s = &hw.state;
+                [s.matched, s.left_sources, s.left_dests, s.right_sources, s.right_dests]
+            }));
+        }
         let by_source: std::collections::HashMap<LeafId, (cst_comm::CommId, LeafId)> =
             set.iter().map(|(id, c)| (c.source, (id, c.dest))).collect();
         let mut schedule = Schedule::default();
@@ -231,7 +284,7 @@ impl<'t> RtlMachine<'t> {
             if schedule.rounds.len() >= limit {
                 return Err(CstError::RoundOverrun { limit });
             }
-            let mut rtl_round = self.run_round()?;
+            let mut rtl_round = self.run_round_inner(trace.as_deref_mut())?;
             for &src in &rtl_round.sources {
                 let dest = cst_padr::trace_circuit(self.topo, &rtl_round.round.configs, src)?;
                 let &(id, expected) = by_source.get(&src).ok_or(CstError::ProtocolViolation {

@@ -13,6 +13,8 @@
 //! cst-tools inject <pattern>          route a pattern under a fault mask
 //! cst-tools campaign                  run the seeded fault campaign, emit JSON
 //! cst-tools stream                    replay a seeded request stream, report hit rate
+//! cst-tools model enumerate           exhaustively cross-check the protocol at small n
+//! cst-tools model conform [pattern]   replay emitter traces through the reference model
 //! cst-tools list-routers              print the engine registry
 //! ```
 //!
@@ -61,6 +63,19 @@
 //! function of the flags (the seed included), which scripts/ci.sh gates
 //! after stripping the timing fields. `--json` for the machine-readable
 //! form, `--router <name>` to pick the scheduler (default `csa`).
+//!
+//! `model` drives the executable reference model (docs/MODEL.md).
+//! `model enumerate` runs the exhaustive small-`n` state-space
+//! cross-check against `switch_logic` — every well-nested set up to
+//! `--max-n` (default 8) plus a seeded shape-exhaustive sweep at
+//! `--seeded-n` (default 16; 0 disables) with `--seeded-pairs` pairs and
+//! `--placements` embeddings per shape under `--seed`. `model conform
+//! '<pattern>'` schedules a pattern through all three trace emitters
+//! (host CSA, event simulator, RTL machine) and replays each trace
+//! through the model, then audits every registry router's schedule;
+//! without a pattern it sweeps `--requests` seeded random sets
+//! (`--pes`, `--density`, `--seed`). All output is a pure function of
+//! the flags; exit 0 iff everything conforms, 1 on findings, 2 usage.
 
 use cst_analysis::experiments as exp;
 use cst_analysis::Table;
@@ -195,9 +210,12 @@ fn main() {
         Some("stream") => {
             run_stream(&args);
         }
+        Some("model") => {
+            run_model(&args);
+        }
         _ => {
             eprintln!(
-                "usage: cst-tools <experiments|report|csv|trace|schedule|sim|viz|bundle|check|inject|campaign|stream|list-routers> [args] [--quick]"
+                "usage: cst-tools <experiments|report|csv|trace|schedule|sim|viz|bundle|check|inject|campaign|stream|model|list-routers> [args] [--quick]"
             );
             std::process::exit(2);
         }
@@ -307,7 +325,7 @@ fn run_all(quick: bool) -> Vec<Table> {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 14] = [
+const VALUE_FLAGS: [&str; 18] = [
     "--router",
     "--kill-switch",
     "--kill-link",
@@ -322,6 +340,10 @@ const VALUE_FLAGS: [&str; 14] = [
     "--repeat",
     "--delta",
     "--cache-cap",
+    "--max-n",
+    "--seeded-n",
+    "--seeded-pairs",
+    "--placements",
 ];
 
 /// First non-flag argument after the subcommand, if any.
@@ -882,4 +904,198 @@ fn schedule_pattern(pattern: &str, router: &str) {
         "power: {} total units, max {} per switch, max {} port transitions",
         out.power.total_units, out.power.max_units, out.power.max_port_transitions
     );
+}
+
+/// Dispatch the `model` subcommand (see the module docs).
+fn run_model(args: &[String]) {
+    match args.get(1).map(String::as_str) {
+        Some("enumerate") => model_enumerate(args),
+        Some("conform") => model_conform(args),
+        _ => {
+            eprintln!(
+                "usage: cst-tools model <enumerate|conform> [args]\n\
+                 \x20 model enumerate [--max-n 8] [--seeded-n 16] [--seeded-pairs 3] \
+                 [--placements 4] [--seed 1]\n\
+                 \x20 model conform '((.))(..)' | model conform [--requests 50] \
+                 [--pes 64] [--density 0.5] [--seed 1]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Exhaustive + seeded state-space cross-check against the reference model.
+fn model_enumerate(args: &[String]) {
+    let max_n: usize = typed_flag(args, "--max-n", 8);
+    let seeded_n: usize = typed_flag(args, "--seeded-n", 16);
+    let seeded_pairs: usize = typed_flag(args, "--seeded-pairs", 3);
+    let placements: usize = typed_flag(args, "--placements", 4);
+    let seed: u64 = typed_flag(args, "--seed", 1);
+    if !max_n.is_power_of_two() || max_n < 2 {
+        eprintln!("--max-n wants a power of two >= 2");
+        std::process::exit(2);
+    }
+    let report = cst_model::explore_all(max_n);
+    print!("exhaustive n<={max_n}: {}", report.render());
+    let mut clean = report.is_clean();
+    if seeded_n > 0 {
+        if !seeded_n.is_power_of_two() {
+            eprintln!("--seeded-n wants a power of two (or 0 to disable)");
+            std::process::exit(2);
+        }
+        let seeded = cst_model::explore_seeded(seeded_n, seeded_pairs, placements, seed);
+        print!("seeded n={seeded_n} (pairs<={seeded_pairs}, {placements} placements, seed {seed}): {}",
+            seeded.render());
+        clean &= seeded.is_clean();
+    }
+    std::process::exit(if clean { 0 } else { 1 });
+}
+
+/// Replay emitter traces (and registry schedules) through the model.
+fn model_conform(args: &[String]) {
+    if let Some(pattern) = pattern_arg(&args[1..]) {
+        model_conform_pattern(&pattern);
+    } else {
+        model_conform_sweep(args);
+    }
+}
+
+/// One finding-aware report line; returns the number of errors.
+fn conform_line(what: &str, report: &cst_core::DiagReport, detail: String) -> usize {
+    if report.is_clean() {
+        println!("{what}: conforms ({detail})");
+    } else {
+        println!("{what}: {} findings ({detail})", report.error_count());
+        print!("{}", report.render_text());
+    }
+    report.error_count()
+}
+
+fn model_conform_pattern(pattern: &str) {
+    let (topo, set) = parse_pattern(pattern);
+    let mut errors = 0usize;
+    let mut trace = cst_core::ProtocolTrace::new();
+
+    // Emitter 1: the host CSA scheduler (complete sweeps, pruning off).
+    let mut scratch = cst_padr::CsaScratch::new();
+    let mut pool = cst_comm::SchedulePool::default();
+    match scratch.schedule_traced(&topo, &set, &mut pool, &mut trace) {
+        Ok(out) => {
+            let report = cst_model::conform_trace(&set, &trace);
+            errors += conform_line(
+                "csa trace",
+                &report,
+                format!("{} rounds, {} events", trace.rounds.len(), trace.num_events()),
+            );
+            let report = cst_model::conform_schedule(&set, &out.schedule, &[]);
+            errors +=
+                conform_line("csa schedule", &report, format!("{} rounds", out.rounds()));
+        }
+        Err(e) => {
+            eprintln!("csa scheduling failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Emitter 2: the event-driven simulator.
+    match cst_sim::simulate_traced(&topo, &set, None, &mut trace) {
+        Ok(sim) => {
+            let report = cst_model::conform_trace(&set, &trace);
+            errors += conform_line(
+                "sim trace",
+                &report,
+                format!("{} cycles, {} events", sim.cycles, trace.num_events()),
+            );
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Emitter 3: the RTL switch machine.
+    match cst_sim::RtlMachine::new(&topo, &set).run_to_completion_traced(&set, &mut trace) {
+        Ok(schedule) => {
+            let report = cst_model::conform_trace(&set, &trace);
+            errors += conform_line(
+                "rtl trace",
+                &report,
+                format!("{} rounds, {} events", schedule.num_rounds(), trace.num_events()),
+            );
+        }
+        Err(e) => {
+            eprintln!("rtl run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Every registry router's schedule, judged by the model's independent
+    // circuit computation.
+    let mut ctx = cst_engine::EngineCtx::new();
+    for router in cst_engine::registry() {
+        match ctx.route(router.as_ref(), &topo, &set) {
+            Ok(out) => {
+                let report = cst_model::conform_schedule(&set, &out.schedule, &[]);
+                errors += conform_line(
+                    &format!("schedule [{}]", router.name()),
+                    &report,
+                    format!("{} rounds", out.rounds),
+                );
+                ctx.recycle(out);
+            }
+            Err(e) => {
+                println!("schedule [{}]: routing failed: {e}", router.name());
+                errors += 1;
+            }
+        }
+    }
+    std::process::exit(if errors == 0 { 0 } else { 1 });
+}
+
+fn model_conform_sweep(args: &[String]) {
+    use rand::SeedableRng;
+    let requests: usize = typed_flag(args, "--requests", 50);
+    let pes: usize = typed_flag(args, "--pes", 64);
+    let density: f64 = typed_flag(args, "--density", 0.5);
+    let seed: u64 = typed_flag(args, "--seed", 1);
+    if !pes.is_power_of_two() || pes < 2 || !(0.0..=1.0).contains(&density) {
+        eprintln!("--pes wants a power of two >= 2; --density a probability in [0, 1]");
+        std::process::exit(2);
+    }
+    let topo = cst_core::CstTopology::with_leaves(pes);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut scratch = cst_padr::CsaScratch::new();
+    let mut pool = cst_comm::SchedulePool::default();
+    let mut trace = cst_core::ProtocolTrace::new();
+    let (mut errors, mut rounds, mut events) = (0usize, 0usize, 0usize);
+    for i in 0..requests {
+        let set = cst_workloads::well_nested_with_density(&mut rng, pes, density);
+        match scratch.schedule_traced(&topo, &set, &mut pool, &mut trace) {
+            Ok(out) => {
+                let r = cst_model::conform_trace(&set, &trace);
+                if !r.is_clean() {
+                    println!("set {i} ({} comms): trace diverges", set.len());
+                    print!("{}", r.render_text());
+                    errors += r.error_count();
+                }
+                let r = cst_model::conform_schedule(&set, &out.schedule, &[]);
+                if !r.is_clean() {
+                    println!("set {i} ({} comms): schedule diverges", set.len());
+                    print!("{}", r.render_text());
+                    errors += r.error_count();
+                }
+                rounds += out.rounds();
+                events += trace.num_events();
+            }
+            Err(e) => {
+                println!("set {i}: scheduling failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+    println!(
+        "conformed {requests} seeded sets on {pes} PEs (density {density}, seed {seed}): \
+         {rounds} rounds, {events} events, {errors} findings"
+    );
+    std::process::exit(if errors == 0 { 0 } else { 1 });
 }

@@ -211,4 +211,11 @@ for b in e1_rounds_optimality e2_config_changes e3_total_power \
     cargo bench -p bench --bench "$b" -- --test
 done
 
+echo "== bench smoke: trace emitter zero-cost when disabled =="
+# The E5/E13 throughput numbers rest on the warm scheduling path never
+# touching the heap; the protocol-trace instrumentation (cst-model
+# conformance) threads an Option through that path and must stay free
+# when disabled. The allocation gate asserts exactly that.
+cargo test --quiet --test alloc_gate
+
 echo "== bench smoke: OK (E5/E6/E13 JSON under $out_dir) =="

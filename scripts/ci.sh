@@ -26,7 +26,9 @@ campaign_a="$(mktemp)"
 campaign_b="$(mktemp)"
 stream_a="$(mktemp)"
 stream_b="$(mktemp)"
-trap 'rm -f "$campaign_a" "$campaign_b" "$stream_a" "$stream_b"' EXIT
+model_a="$(mktemp)"
+model_b="$(mktemp)"
+trap 'rm -f "$campaign_a" "$campaign_b" "$stream_a" "$stream_b" "$model_a" "$model_b"' EXIT
 cargo run -q -p cst-tools -- campaign --quick --seed 7 > "$campaign_a"
 cargo run -q -p cst-tools -- campaign --quick --seed 7 > "$campaign_b"
 if ! cmp -s "$campaign_a" "$campaign_b"; then
@@ -71,6 +73,35 @@ if ! diff -u scripts/stream_golden.json "$stream_a"; then
     exit 1
 fi
 echo "stream replay: deterministic, matches golden"
+
+echo "== ci: reference-model exhaustive enumeration =="
+# The tentpole correctness gate: every right-oriented well-nested set on
+# n <= 8 leaves (334 sets, Motzkin-enumerated), every reachable protocol
+# state, cross-checked transition-for-transition against switch_logic —
+# plus the seeded shape-exhaustive sweep at n = 16. Exit 0 means zero
+# divergences; the summary must also be byte-identical across two runs.
+cargo run -q -p cst-tools -- model enumerate > "$model_a"
+cargo run -q -p cst-tools -- model enumerate > "$model_b"
+if ! cmp -s "$model_a" "$model_b"; then
+    echo "model enumeration is nondeterministic" >&2
+    exit 1
+fi
+cat "$model_a"
+
+echo "== ci: reference-model conformance sweep =="
+# Seeded random sets replayed through the model via the host scheduler's
+# trace emitter; same determinism contract.
+model_conform() {
+    cargo run -q -p cst-tools -- model conform --requests 40 --pes 64 \
+        --density 0.5 --seed 11
+}
+model_conform > "$model_a"
+model_conform > "$model_b"
+if ! cmp -s "$model_a" "$model_b"; then
+    echo "model conformance sweep is nondeterministic under a fixed seed" >&2
+    exit 1
+fi
+cat "$model_a"
 
 echo "== ci: lint =="
 scripts/lint.sh

@@ -11,6 +11,9 @@
 //!   diagnostics for every invariant (see `docs/DIAGNOSTICS.md`);
 //! * [`padr`] (`cst-padr`) — the paper's Configuration and Scheduling
 //!   Algorithm (CSA): `w` rounds, O(1) configuration changes per switch;
+//! * [`model`] (`cst-model`) — independent executable reference model of
+//!   the switch protocol: exhaustive small-n state-space checking and
+//!   `CST2xx` trace conformance (see `docs/MODEL.md`);
 //! * [`engine`] (`cst-engine`) — the `Router` trait, the scheduler
 //!   registry, and `EngineCtx` for allocation-free repeated scheduling
 //!   (see `docs/ENGINE.md`);
@@ -50,6 +53,7 @@ pub use cst_comm as comm;
 pub use cst_core as core;
 pub use cst_engine as engine;
 pub use cst_faults as faults;
+pub use cst_model as model;
 pub use cst_padr as padr;
 pub use cst_sim as sim;
 pub use cst_srga as srga;

@@ -158,3 +158,43 @@ fn warm_context_stays_allocation_free_on_smaller_requests() {
     );
     ctx.recycle(out);
 }
+
+#[test]
+fn trace_instrumentation_is_zero_cost_when_disabled() {
+    // The protocol-trace emitter hooks (cst-model conformance) thread an
+    // `Option<&mut ProtocolTrace>` through the scheduler's round loop;
+    // on the plain path that option is `None` and must cost nothing —
+    // the streaming/e13 zero-allocation guarantee may not regress just
+    // because tracing exists. A traced run in between must not poison
+    // the warm path either.
+    let n = 256;
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(0x7AACE);
+    let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+    let mut scratch = cst::padr::CsaScratch::new();
+    let mut pool = cst::comm::SchedulePool::new();
+    let mut trace = cst::core::ProtocolTrace::new();
+
+    // Warm the scratch through the traced entry point (sizes the trace
+    // and, with pruning forced off, the widest sweep buffers), then
+    // settle the pool with two plain runs.
+    let traced = scratch.schedule_traced(&topo, &set, &mut pool, &mut trace).unwrap();
+    let expected_rounds = traced.rounds();
+    pool.put_meter(traced.meter);
+    pool.put_schedule(traced.schedule);
+    for _ in 0..2 {
+        let out = scratch.schedule(&topo, &set, &mut pool).unwrap();
+        pool.put_meter(out.meter);
+        pool.put_schedule(out.schedule);
+    }
+
+    let (warm, out) =
+        alloc_counter::measure(|| scratch.schedule(&topo, &set, &mut pool).unwrap());
+    assert_eq!(out.rounds(), expected_rounds, "tracing must not change results");
+    assert_eq!(
+        (warm.allocations, warm.bytes_allocated),
+        (0, 0),
+        "disabled trace emitter must not touch the heap: {warm:?}"
+    );
+    assert_eq!(trace.rounds.len(), expected_rounds, "traced run recorded every round");
+}
