@@ -1,0 +1,271 @@
+//! Decomposition audit — the `CST3xx` family.
+//!
+//! A layered routing artifact (a [`GeneralCommSet`], its
+//! [`Decomposition`], the composite [`Schedule`] and the per-layer round
+//! bands) promises four composition invariants, each with its own code:
+//!
+//! * **CST300** — every layer is conflict-free: no two member pairs
+//!   cross or share an endpoint, so the layer is a legal well-nested
+//!   `CommSet`;
+//! * **CST301** — the bands tile the composite: `layer_rounds` sums to
+//!   the composite's round count and every round in layer `j`'s band
+//!   schedules only layer `j`'s pairs;
+//! * **CST302** — the layers partition the input: every input pair id
+//!   sits in exactly one layer, the materialized layer sets mirror the
+//!   id lists, and the composite schedules each pair exactly once;
+//! * **CST303** — the lower-bound certificate is sound: the witness has
+//!   `lower_bound` distinct members that pairwise conflict, the bound
+//!   does not exceed the layer count actually produced, and meeting the
+//!   bound is claimed as proven optimality.
+//!
+//! Like every pass here this is structural: it never re-runs the
+//! decomposition, so it audits artifacts from any producer (the engine,
+//! a replay file, a foreign tool). Round-level legality of each band is
+//! [`crate::analyze`]'s job on the sliced layer (see
+//! `cst_decomp::slice_layer`).
+
+use cst_comm::{CommId, Schedule};
+use cst_core::diag::{DiagCode, DiagReport, Diagnostic};
+use cst_core::{CstTopology, GeneralCommSet};
+use cst_decomp::Decomposition;
+
+/// Audit the composition invariants of one layered routing artifact.
+pub fn check_decomposition(
+    topo: &CstTopology,
+    gset: &GeneralCommSet,
+    decomp: &Decomposition,
+    composite: &Schedule,
+    layer_rounds: &[usize],
+) -> DiagReport {
+    let mut report = DiagReport::new();
+    let m = gset.len();
+
+    // --- CST302: the layers partition the input pair ids -------------
+    if decomp.num_leaves != gset.num_leaves() || gset.num_leaves() != topo.num_leaves() {
+        report.push(Diagnostic::new(
+            DiagCode::DecompCoverage,
+            format!(
+                "leaf counts disagree: decomposition {}, set {}, topology {}",
+                decomp.num_leaves,
+                gset.num_leaves(),
+                topo.num_leaves()
+            ),
+        ));
+    }
+    if decomp.layer_of.len() != m {
+        report.push(Diagnostic::new(
+            DiagCode::DecompCoverage,
+            format!("layer_of table covers {} ids, input has {m}", decomp.layer_of.len()),
+        ));
+    }
+    let mut seen = vec![0usize; m];
+    for (j, ids) in decomp.layers.iter().enumerate() {
+        for &i in ids {
+            if i >= m {
+                report.push(Diagnostic::new(
+                    DiagCode::DecompCoverage,
+                    format!("layer {j} names input pair #{i}, past the {m} input pairs"),
+                ));
+                continue;
+            }
+            seen[i] += 1;
+            if decomp.layer_of.get(i) != Some(&j) {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::DecompCoverage,
+                        format!("layer {j} lists pair #{i} but layer_of assigns it elsewhere"),
+                    )
+                    .with_comm(i),
+                );
+            }
+        }
+    }
+    for (i, &count) in seen.iter().enumerate() {
+        if count != 1 {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::DecompCoverage,
+                    format!("input pair #{i} appears in {count} layers (must be exactly 1)"),
+                )
+                .with_comm(i),
+            );
+        }
+    }
+    if decomp.layer_sets.len() != decomp.layers.len() {
+        report.push(Diagnostic::new(
+            DiagCode::DecompCoverage,
+            format!(
+                "{} materialized layer sets for {} id layers",
+                decomp.layer_sets.len(),
+                decomp.layers.len()
+            ),
+        ));
+    }
+    for (j, (ids, set)) in decomp.layers.iter().zip(&decomp.layer_sets).enumerate() {
+        if set.len() != ids.len() || set.num_leaves() != gset.num_leaves() {
+            report.push(Diagnostic::new(
+                DiagCode::DecompCoverage,
+                format!("layer {j}: materialized set shape does not match its id list"),
+            ));
+            continue;
+        }
+        for (k, &i) in ids.iter().enumerate() {
+            if i >= m {
+                continue; // already flagged above
+            }
+            let (s, d) = gset.pairs()[i];
+            let c = set.comms()[k];
+            if (c.source.0, c.dest.0) != (s.0, d.0) {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::DecompCoverage,
+                        format!("layer {j} entry {k} does not match input pair #{i}"),
+                    )
+                    .with_comm(i),
+                );
+            }
+        }
+    }
+
+    // --- CST300: every layer is pairwise conflict-free ----------------
+    for (j, ids) in decomp.layers.iter().enumerate() {
+        for (a, &x) in ids.iter().enumerate() {
+            if x >= m {
+                continue;
+            }
+            for &y in &ids[a + 1..] {
+                if y >= m || x == y {
+                    continue;
+                }
+                if gset.conflicts(x, y) {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::LayerNotWellNested,
+                            format!("layer {j}: pairs #{x} and #{y} cross or share an endpoint"),
+                        )
+                        .with_comm(x)
+                        .with_comm(y),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- CST301: the bands tile the composite -------------------------
+    if layer_rounds.len() != decomp.layers.len() {
+        report.push(Diagnostic::new(
+            DiagCode::LayerRoundOverlap,
+            format!("{} round bands for {} layers", layer_rounds.len(), decomp.layers.len()),
+        ));
+    }
+    let banded: usize = layer_rounds.iter().sum();
+    if banded != composite.num_rounds() {
+        report.push(Diagnostic::new(
+            DiagCode::LayerRoundOverlap,
+            format!("bands cover {banded} rounds, composite has {}", composite.num_rounds()),
+        ));
+    }
+    let mut offset = 0usize;
+    for (j, &band) in layer_rounds.iter().enumerate() {
+        let end = (offset + band).min(composite.rounds.len());
+        for r in offset..end {
+            for &CommId(i) in &composite.rounds[r].comms {
+                if i >= m || decomp.layer_of.get(i) != Some(&j) {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::LayerRoundOverlap,
+                            format!("round {r} sits in layer {j}'s band but schedules pair #{i}"),
+                        )
+                        .with_round(r)
+                        .with_comm(i),
+                    );
+                }
+            }
+        }
+        offset += band;
+    }
+    let mut scheduled = vec![0usize; m];
+    for round in &composite.rounds {
+        for &CommId(i) in &round.comms {
+            if i < m {
+                scheduled[i] += 1;
+            }
+        }
+    }
+    for (i, &count) in scheduled.iter().enumerate() {
+        if count != 1 {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::DecompCoverage,
+                    format!("input pair #{i} is scheduled {count} times in the composite"),
+                )
+                .with_comm(i),
+            );
+        }
+    }
+
+    // --- CST303: the certificate is sound -----------------------------
+    let witness = &decomp.witness;
+    if witness.len() != decomp.lower_bound {
+        report.push(Diagnostic::new(
+            DiagCode::CertificateViolation,
+            format!(
+                "witness has {} members for a claimed bound of {}",
+                witness.len(),
+                decomp.lower_bound
+            ),
+        ));
+    }
+    let mut ids_valid = true;
+    for &i in witness {
+        if i >= m {
+            report.push(Diagnostic::new(
+                DiagCode::CertificateViolation,
+                format!("witness names input pair #{i}, past the {m} input pairs"),
+            ));
+            ids_valid = false;
+        }
+    }
+    let mut sorted = witness.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != witness.len() {
+        report.push(Diagnostic::new(
+            DiagCode::CertificateViolation,
+            "witness repeats a member".to_string(),
+        ));
+    }
+    if ids_valid {
+        for (a, &x) in witness.iter().enumerate() {
+            for &y in &witness[a + 1..] {
+                if x != y && !gset.conflicts(x, y) {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::CertificateViolation,
+                            format!("witness pairs #{x} and #{y} do not conflict"),
+                        )
+                        .with_comm(x)
+                        .with_comm(y),
+                    );
+                }
+            }
+        }
+    }
+    if m > 0 && decomp.lower_bound > decomp.layers.len() {
+        report.push(Diagnostic::new(
+            DiagCode::CertificateViolation,
+            format!(
+                "claimed bound {} exceeds the {} layers actually produced",
+                decomp.lower_bound,
+                decomp.layers.len()
+            ),
+        ));
+    }
+    if m > 0 && decomp.layers.len() == decomp.lower_bound && !decomp.proven_optimal {
+        report.push(Diagnostic::new(
+            DiagCode::CertificateViolation,
+            "layer count meets the bound but optimality is not claimed".to_string(),
+        ));
+    }
+    report
+}

@@ -39,6 +39,7 @@
 
 pub mod bundle;
 pub mod counters;
+pub mod decomp;
 pub mod mutation;
 pub mod passes;
 
@@ -48,7 +49,11 @@ use cst_core::CstTopology;
 pub use bundle::ScheduleBundle;
 pub use counters::{check_counters, expected_counters, CounterTable};
 pub use cst_core::diag::{DiagCode, DiagReport, Diagnostic, Severity};
-pub use mutation::{clean_fixture, corrupted, FaultScenario, Fixture, Mutation};
+pub use decomp::check_decomposition;
+pub use mutation::{
+    clean_decomp_fixture, clean_fixture, corrupted, corrupted_decomp, run_decomp, DecompFixture,
+    DecompMutation, FaultScenario, Fixture, Mutation,
+};
 pub use passes::{
     check_faults, check_round_count, check_selection_order, check_set, check_transitions,
     max_static_transitions, static_port_transitions,

@@ -323,6 +323,143 @@ pub fn corrupted(m: Mutation) -> Fixture {
     f
 }
 
+/// One corruption per `CST3xx` decomposition-audit class (the third
+/// harness, alongside [`Mutation`] and `cst-model`'s `TraceMutation`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecompMutation {
+    /// Two conflicting pairs forced into one layer (`CST300`).
+    LayerConflict,
+    /// A pair's round moved into another layer's band (`CST301`).
+    BandLeak,
+    /// A pair deleted from its layer and the composite (`CST302`).
+    CoverageGap,
+    /// The claimed lower bound inflated past its witness (`CST303`).
+    BogusCertificate,
+}
+
+impl DecompMutation {
+    /// Every decomposition mutation, in code order.
+    pub const ALL: [DecompMutation; 4] = [
+        DecompMutation::LayerConflict,
+        DecompMutation::BandLeak,
+        DecompMutation::CoverageGap,
+        DecompMutation::BogusCertificate,
+    ];
+
+    /// The one diagnostic this corruption must produce.
+    pub fn expected_code(self) -> DiagCode {
+        match self {
+            DecompMutation::LayerConflict => DiagCode::LayerNotWellNested,
+            DecompMutation::BandLeak => DiagCode::LayerRoundOverlap,
+            DecompMutation::CoverageGap => DiagCode::DecompCoverage,
+            DecompMutation::BogusCertificate => DiagCode::CertificateViolation,
+        }
+    }
+}
+
+/// A complete decomposition-audit subject: the general set, its claimed
+/// decomposition, and the composite schedule with its round bands.
+#[derive(Clone, Debug)]
+pub struct DecompFixture {
+    pub topo: CstTopology,
+    pub gset: cst_core::GeneralCommSet,
+    pub decomp: cst_decomp::Decomposition,
+    pub composite: Schedule,
+    pub layer_rounds: Vec<usize>,
+}
+
+/// Audit a decomposition fixture (the decomposition analogue of [`run`]).
+pub fn run_decomp(f: &DecompFixture) -> DiagReport {
+    crate::decomp::check_decomposition(&f.topo, &f.gset, &f.decomp, &f.composite, &f.layer_rounds)
+}
+
+fn bands_of(decomp: &cst_decomp::Decomposition) -> Schedule {
+    let rounds = decomp
+        .layers
+        .iter()
+        .map(|ids| Round {
+            comms: ids.iter().map(|&i| CommId(i)).collect(),
+            configs: RoundConfigs::new(),
+        })
+        .collect();
+    Schedule { rounds }
+}
+
+fn layer_set_of(gset: &cst_core::GeneralCommSet, ids: &[usize]) -> CommSet {
+    let pairs: Vec<(usize, usize)> = ids
+        .iter()
+        .map(|&i| {
+            let (s, d) = gset.pairs()[i];
+            (s.0, d.0)
+        })
+        .collect();
+    CommSet::from_pairs(gset.num_leaves(), &pairs)
+}
+
+/// The known-clean decomposition baseline: a hotspot pair plus a
+/// crossing on 8 PEs — two layers, endpoint bound 2, provably minimal.
+/// Each layer's band is one round scheduling the whole layer (the audit
+/// is structural; round legality is [`crate::analyze`]'s job).
+pub fn clean_decomp_fixture() -> DecompFixture {
+    let topo = CstTopology::with_leaves(8);
+    // id 0 = (0,3), id 1 = (0,5), id 2 = (1,4): 0 conflicts with both
+    // (endpoint 0, crossing 1–4), 1 and 2 nest.
+    let gset = cst_core::GeneralCommSet::from_pairs(8, &[(0, 3), (0, 5), (1, 4)]);
+    let decomp = cst_decomp::decompose(&gset);
+    assert_eq!(decomp.num_layers(), 2, "fixture decomposes to two layers");
+    assert_eq!(decomp.lower_bound, 2, "leaf 0 carries two pairs");
+    let composite = bands_of(&decomp);
+    let layer_rounds = vec![1; decomp.num_layers()];
+    DecompFixture { topo, gset, decomp, composite, layer_rounds }
+}
+
+/// The clean decomposition fixture with exactly one corruption applied.
+pub fn corrupted_decomp(m: DecompMutation) -> DecompFixture {
+    let mut f = clean_decomp_fixture();
+    match m {
+        DecompMutation::LayerConflict => {
+            // Move pair #2 = (1,4) into pair #0 = (0,3)'s layer: they
+            // cross (0 < 1 < 3 < 4) but keep unique endpoints, so the
+            // mutated layer still materializes as a CommSet and every
+            // partition/band invariant stays intact — only the
+            // conflict-freedom of the layer is at fault.
+            let from = f.decomp.layer_of[2];
+            let to = f.decomp.layer_of[0];
+            assert_ne!(from, to, "fixture separates pairs #0 and #2");
+            f.decomp.layers[from].retain(|&i| i != 2);
+            f.decomp.layers[to].push(2);
+            f.decomp.layer_of[2] = to;
+            for j in [from, to] {
+                f.decomp.layer_sets[j] = layer_set_of(&f.gset, &f.decomp.layers[j]);
+            }
+            f.composite = bands_of(&f.decomp);
+        }
+        DecompMutation::BandLeak => {
+            // Reschedule pair #0 in the other layer's band round. Every
+            // pair still runs exactly once (coverage is clean); only the
+            // band structure lies.
+            let home = f.decomp.layer_of[0];
+            let foreign = 1 - home;
+            f.composite.rounds[home].comms.retain(|&CommId(i)| i != 0);
+            f.composite.rounds[foreign].comms.push(CommId(0));
+        }
+        DecompMutation::CoverageGap => {
+            // Delete pair #2 from its layer, its materialized set and
+            // its band round: the layers no longer partition the input.
+            let j = f.decomp.layer_of[2];
+            f.decomp.layers[j].retain(|&i| i != 2);
+            f.decomp.layer_sets[j] = layer_set_of(&f.gset, &f.decomp.layers[j]);
+            f.composite.rounds[j].comms.retain(|&CommId(i)| i != 2);
+        }
+        DecompMutation::BogusCertificate => {
+            // Claim a bound of 3 with a 2-member witness: the witness no
+            // longer certifies the bound (and 3 exceeds the 2 layers).
+            f.decomp.lower_bound += 1;
+        }
+    }
+    f
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,17 +471,45 @@ mod tests {
         codes.dedup();
         assert_eq!(codes.len(), Mutation::ALL.len());
         // The CST2xx model-conformance codes are exercised by the trace
-        // mutation harness in `cst-model`; together the two harnesses
-        // cover `DiagCode::ALL` (asserted over there, where both sides
-        // are in scope).
+        // mutation harness in `cst-model` and the CST3xx decomposition
+        // codes by [`DecompMutation`]; together the three harnesses
+        // cover `DiagCode::ALL` (asserted in `cst-model`, where all
+        // three are in scope).
         assert_eq!(
             codes.len(),
-            DiagCode::ALL.iter().filter(|c| !c.is_model()).count()
+            DiagCode::ALL.iter().filter(|c| !c.is_model() && !c.is_decomp()).count()
         );
+    }
+
+    #[test]
+    fn decomp_mutations_cover_cst3xx_distinctly() {
+        let mut codes: Vec<_> = DecompMutation::ALL.iter().map(|m| m.expected_code()).collect();
+        codes.sort_by_key(|c| c.as_str());
+        codes.dedup();
+        assert_eq!(codes.len(), DecompMutation::ALL.len());
+        assert!(codes.iter().all(|c| c.is_decomp()));
+        assert_eq!(codes.len(), DiagCode::ALL.iter().filter(|c| c.is_decomp()).count());
     }
 
     #[test]
     fn clean_fixture_is_clean() {
         assert!(run(&clean_fixture()).is_clean());
+    }
+
+    #[test]
+    fn clean_decomp_fixture_is_clean() {
+        let report = run_decomp(&clean_decomp_fixture());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn each_decomp_mutation_fires_exactly_its_code() {
+        for m in DecompMutation::ALL {
+            let report = run_decomp(&corrupted_decomp(m));
+            assert!(report.has_errors(), "{m:?} produced a clean report");
+            for d in report.errors() {
+                assert_eq!(d.code, m.expected_code(), "{m:?} leaked {}: {}", d.code, d.message);
+            }
+        }
     }
 }

@@ -66,9 +66,14 @@ fn every_mutation_triggers_exactly_its_code() {
 #[test]
 fn mutations_cover_the_whole_code_table() {
     // CST2xx (model conformance) codes are exercised by cst-model's own
-    // trace-mutation harness; a cst-model unit test asserts the two
+    // trace-mutation harness and CST3xx (decomposition) codes by the
+    // DecompMutation harness; a cst-model unit test asserts the three
     // harnesses jointly cover DiagCode::ALL.
-    let covered: BTreeSet<_> = Mutation::ALL.iter().map(|m| m.expected_code()).collect();
+    let covered: BTreeSet<_> = Mutation::ALL
+        .iter()
+        .map(|m| m.expected_code())
+        .chain(cst_check::DecompMutation::ALL.iter().map(|m| m.expected_code()))
+        .collect();
     for code in DiagCode::ALL {
         if code.is_model() {
             continue;

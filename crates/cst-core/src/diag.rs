@@ -116,11 +116,26 @@ pub enum DiagCode {
     /// pair the model no longer holds (duplicate) or ends with pairs the
     /// model still holds (lost).
     ModelMatchAccounting,
+    /// CST300 — a decomposition layer is not a right-oriented well-nested
+    /// set with unique endpoints (the Definition 1 precondition every
+    /// layer must restore before routing).
+    LayerNotWellNested,
+    /// CST301 — a composite schedule mixes layers across round bands: a
+    /// communication appears outside its own layer's contiguous rounds, or
+    /// the bands do not tile the schedule.
+    LayerRoundOverlap,
+    /// CST302 — coverage accounting broken: the layers are not a partition
+    /// of the input set (`Σ layer comms != input comms`).
+    DecompCoverage,
+    /// CST303 — the lower-bound certificate is invalid: the witness is not
+    /// mutually conflicting, overshoots the layer count, or the optimality
+    /// claim contradicts `greedy == bound`.
+    CertificateViolation,
 }
 
 impl DiagCode {
     /// Every code, in numeric order.
-    pub const ALL: [DiagCode; 23] = [
+    pub const ALL: [DiagCode; 27] = [
         DiagCode::NotWellNested,
         DiagCode::NotRightOriented,
         DiagCode::UnknownComm,
@@ -144,6 +159,10 @@ impl DiagCode {
         DiagCode::ModelCounterMismatch,
         DiagCode::ModelTransitionSkipped,
         DiagCode::ModelMatchAccounting,
+        DiagCode::LayerNotWellNested,
+        DiagCode::LayerRoundOverlap,
+        DiagCode::DecompCoverage,
+        DiagCode::CertificateViolation,
     ];
 
     /// The stable `CST0xx` code string.
@@ -172,6 +191,10 @@ impl DiagCode {
             DiagCode::ModelCounterMismatch => "CST202",
             DiagCode::ModelTransitionSkipped => "CST203",
             DiagCode::ModelMatchAccounting => "CST204",
+            DiagCode::LayerNotWellNested => "CST300",
+            DiagCode::LayerRoundOverlap => "CST301",
+            DiagCode::DecompCoverage => "CST302",
+            DiagCode::CertificateViolation => "CST303",
         }
     }
 
@@ -190,7 +213,7 @@ impl DiagCode {
 
     /// True for the `CST2xx` model-conformance family — emitted by the
     /// trace-replay layer in `cst-model`, not by the schedule analyzer.
-    /// (The two mutation harnesses split along this line.)
+    /// (The mutation harnesses split along this line.)
     pub fn is_model(self) -> bool {
         matches!(
             self,
@@ -199,6 +222,20 @@ impl DiagCode {
                 | DiagCode::ModelCounterMismatch
                 | DiagCode::ModelTransitionSkipped
                 | DiagCode::ModelMatchAccounting
+        )
+    }
+
+    /// True for the `CST3xx` decomposition family — emitted by the
+    /// composite-schedule audit in `cst-check::check_decomposition`, which
+    /// takes a [`crate::Fp64`]-fingerprinted general set plus its layering
+    /// rather than a single schedule. Covered by its own mutation harness.
+    pub fn is_decomp(self) -> bool {
+        matches!(
+            self,
+            DiagCode::LayerNotWellNested
+                | DiagCode::LayerRoundOverlap
+                | DiagCode::DecompCoverage
+                | DiagCode::CertificateViolation
         )
     }
 
@@ -228,6 +265,10 @@ impl DiagCode {
             DiagCode::ModelCounterMismatch => "model-agrees-counters",
             DiagCode::ModelTransitionSkipped => "model-complete-sweep",
             DiagCode::ModelMatchAccounting => "model-match-accounting",
+            DiagCode::LayerNotWellNested => "decomp-layers-well-nested",
+            DiagCode::LayerRoundOverlap => "decomp-bands-tile-schedule",
+            DiagCode::DecompCoverage => "decomp-layers-partition-input",
+            DiagCode::CertificateViolation => "decomp-certificate-sound",
         }
     }
 
@@ -255,6 +296,10 @@ impl DiagCode {
             DiagCode::ModelMessageMismatch => "Definition 2, §4 (docs/MODEL.md)",
             DiagCode::ModelCounterMismatch => "Lemma 1 (docs/MODEL.md)",
             DiagCode::ModelMatchAccounting => "Lemmas 2-3 (docs/MODEL.md)",
+            DiagCode::LayerNotWellNested
+            | DiagCode::LayerRoundOverlap
+            | DiagCode::DecompCoverage
+            | DiagCode::CertificateViolation => "decomposition (docs/DECOMP.md)",
         }
     }
 }
@@ -564,6 +609,14 @@ mod tests {
             assert_eq!(c.is_model(), c.as_str().starts_with("CST2"), "{c}");
         }
         assert_eq!(DiagCode::ALL.iter().filter(|c| c.is_model()).count(), 5);
+    }
+
+    #[test]
+    fn decomp_family_is_exactly_the_cst3xx_block() {
+        for c in DiagCode::ALL {
+            assert_eq!(c.is_decomp(), c.as_str().starts_with("CST3"), "{c}");
+        }
+        assert_eq!(DiagCode::ALL.iter().filter(|c| c.is_decomp()).count(), 4);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum CstError {
     /// A delta referenced a communication that does not exist (no
     /// communication has this leaf as its source).
     NoSuchCommunication { source: LeafId },
+    /// A general communication set contains the same undirected pair twice
+    /// (after orientation canonicalization); `a`/`b` are the input indices.
+    DuplicatePair { a: usize, b: usize },
 }
 
 impl core::fmt::Display for CstError {
@@ -99,6 +102,9 @@ impl core::fmt::Display for CstError {
             }
             CstError::NoSuchCommunication { source } => {
                 write!(f, "no communication with source {source} to detach")
+            }
+            CstError::DuplicatePair { a, b } => {
+                write!(f, "pairs #{a} and #{b} connect the same two leaves")
             }
         }
     }

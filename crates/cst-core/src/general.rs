@@ -1,0 +1,227 @@
+//! Arbitrary point-to-point communication sets.
+//!
+//! Everything downstream of the partitioner requires the paper's
+//! Definition 1 precondition: right-oriented, well-nested, each PE an
+//! endpoint at most once. Real traffic satisfies none of that. A
+//! [`GeneralCommSet`] is the front door for such traffic: an ordered list
+//! of *undirected* leaf pairs, canonicalized on construction
+//! (orientation flip to `source < dest`, self-pairs and duplicate pairs
+//! rejected) so the decomposition layer (`cst-decomp`) can split it into
+//! well-nested layers without re-validating.
+//!
+//! The circuit realizing a communication is the same tree path in either
+//! direction, so flipping orientation loses nothing: a layer routes the
+//! canonical right-oriented pair and the payload direction is metadata the
+//! caller keeps. Duplicates are rejected rather than deduplicated because
+//! a duplicate is almost always a caller bug (the same circuit twice in
+//! one request), and silently dropping one would break the decomposition
+//! audit's coverage accounting (`Σ layer comms == input comms`, `CST302`).
+
+use crate::error::CstError;
+use crate::fp::Fp64;
+use crate::node::LeafId;
+
+/// An arbitrary communication set: canonical `(source, dest)` leaf pairs
+/// with `source < dest`, all pairs distinct, endpoints freely reused.
+///
+/// Pair order is preserved from construction and is part of equality —
+/// like `CommSet`, ids are positional (`pairs()[i]` is pair `i` in every
+/// downstream artifact, including the composite schedule's `CommId`s).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GeneralCommSet {
+    num_leaves: usize,
+    pairs: Vec<(LeafId, LeafId)>,
+}
+
+impl GeneralCommSet {
+    /// Canonicalize and validate `pairs` for a tree with `num_leaves` PEs.
+    ///
+    /// Each `(a, b)` is stored as `(min, max)` (orientation flip). Errors:
+    /// [`CstError::LeafOutOfRange`], [`CstError::SelfCommunication`], and
+    /// [`CstError::DuplicatePair`] when two input pairs connect the same
+    /// two leaves (in either orientation).
+    pub fn new(num_leaves: usize, pairs: &[(usize, usize)]) -> Result<Self, CstError> {
+        let mut set = GeneralCommSet { num_leaves, pairs: Vec::with_capacity(pairs.len()) };
+        for &(a, b) in pairs {
+            set.push(a, b)?;
+        }
+        Ok(set)
+    }
+
+    /// An empty set for a tree with `num_leaves` PEs.
+    pub fn empty(num_leaves: usize) -> Self {
+        GeneralCommSet { num_leaves, pairs: Vec::new() }
+    }
+
+    /// `new` for literals; panics on invalid input.
+    pub fn from_pairs(num_leaves: usize, pairs: &[(usize, usize)]) -> Self {
+        match GeneralCommSet::new(num_leaves, pairs) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid general communication set: {e}"),
+        }
+    }
+
+    /// Append one pair, canonicalizing and validating it against the pairs
+    /// already held.
+    pub fn push(&mut self, a: usize, b: usize) -> Result<(), CstError> {
+        for &leaf in &[a, b] {
+            if leaf >= self.num_leaves {
+                return Err(CstError::LeafOutOfRange {
+                    leaf: LeafId(leaf),
+                    num_leaves: self.num_leaves,
+                });
+            }
+        }
+        if a == b {
+            return Err(CstError::SelfCommunication { leaf: LeafId(a) });
+        }
+        let canon = (LeafId(a.min(b)), LeafId(a.max(b)));
+        if let Some(prev) = self.pairs.iter().position(|&p| p == canon) {
+            return Err(CstError::DuplicatePair { a: prev, b: self.pairs.len() });
+        }
+        self.pairs.push(canon);
+        Ok(())
+    }
+
+    /// Number of leaves of the target topology.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the set holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The canonical `(source, dest)` pairs, `source < dest`, in id order.
+    pub fn pairs(&self) -> &[(LeafId, LeafId)] {
+        &self.pairs
+    }
+
+    /// Allocation-reusing copy for pooled scratch (the engine's
+    /// decomposition memo re-targets one shell per request).
+    pub fn clone_from_set(&mut self, src: &GeneralCommSet) {
+        self.num_leaves = src.num_leaves;
+        self.pairs.clear();
+        self.pairs.extend_from_slice(&src.pairs);
+    }
+
+    /// Stable 64-bit fingerprint, for cache keys and batch dedupe.
+    ///
+    /// Hashes exactly what `Eq` compares — leaf count plus the canonical
+    /// pairs in id order — under its own domain tag, so a general set and
+    /// a plain `CommSet` feeding identical pair bytes never digest equal
+    /// (the `ScheduleCache` must not cross-serve the two vocabularies).
+    /// Allocation-free.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fp64::new("cst/general-comm-set");
+        fp.write_usize(self.num_leaves);
+        fp.write_usize(self.pairs.len());
+        for &(s, d) in &self.pairs {
+            fp.write_usize(s.0);
+            fp.write_usize(d.0);
+        }
+        fp.finish()
+    }
+
+    /// Whether pairs `i` and `j` conflict: they cannot share a well-nested
+    /// unique-endpoint layer because they share an endpoint or cross.
+    ///
+    /// This is the decomposition's edge relation; a layer is exactly an
+    /// independent set of it that `CommSet::new` accepts.
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        pairs_conflict(self.pairs[i], self.pairs[j])
+    }
+}
+
+/// Conflict relation on canonical `(min, max)` pairs: endpoint sharing or
+/// crossing (`a < c < b < d` in either role). Nested or disjoint pairs
+/// with four distinct endpoints are compatible.
+pub fn pairs_conflict(p: (LeafId, LeafId), q: (LeafId, LeafId)) -> bool {
+    let (a, b) = (p.0 .0, p.1 .0);
+    let (c, d) = (q.0 .0, q.1 .0);
+    if a == c || a == d || b == c || b == d {
+        return true;
+    }
+    (a < c && c < b && b < d) || (c < a && a < d && d < b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_orientation() {
+        let s = GeneralCommSet::from_pairs(8, &[(7, 3), (0, 5)]);
+        assert_eq!(s.pairs(), &[(LeafId(3), LeafId(7)), (LeafId(0), LeafId(5))]);
+        assert_eq!(s.num_leaves(), 8);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rejects_self_pairs_and_out_of_range() {
+        assert_eq!(
+            GeneralCommSet::new(8, &[(3, 3)]),
+            Err(CstError::SelfCommunication { leaf: LeafId(3) })
+        );
+        assert_eq!(
+            GeneralCommSet::new(8, &[(0, 8)]),
+            Err(CstError::LeafOutOfRange { leaf: LeafId(8), num_leaves: 8 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates_across_orientations() {
+        assert_eq!(
+            GeneralCommSet::new(8, &[(1, 6), (0, 2), (6, 1)]),
+            Err(CstError::DuplicatePair { a: 0, b: 2 })
+        );
+    }
+
+    #[test]
+    fn endpoint_reuse_is_allowed() {
+        // Hotspot traffic: leaf 0 talks to everyone. Illegal as a CommSet,
+        // the whole reason GeneralCommSet exists.
+        let s = GeneralCommSet::from_pairs(8, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(s.len(), 3);
+        assert!(s.conflicts(0, 1));
+        assert!(s.conflicts(1, 2));
+    }
+
+    #[test]
+    fn conflict_relation_matches_geometry() {
+        let s = GeneralCommSet::from_pairs(16, &[(0, 7), (1, 6), (2, 10), (8, 9), (11, 12)]);
+        assert!(!s.conflicts(0, 1), "nested pairs are compatible");
+        assert!(s.conflicts(0, 2), "crossing pairs conflict");
+        assert!(s.conflicts(1, 2), "crossing pairs conflict");
+        assert!(!s.conflicts(0, 3), "disjoint pairs are compatible");
+        assert!(!s.conflicts(2, 4), "disjoint pairs are compatible");
+        assert!(!s.conflicts(3, 4), "disjoint pairs are compatible");
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality_and_is_domain_tagged() {
+        let a = GeneralCommSet::from_pairs(8, &[(0, 3), (4, 7)]);
+        let b = GeneralCommSet::from_pairs(8, &[(3, 0), (4, 7)]);
+        assert_eq!(a, b, "orientation flip canonicalizes away");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), GeneralCommSet::from_pairs(8, &[(0, 3)]).fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            GeneralCommSet::from_pairs(16, &[(0, 3), (4, 7)]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn clone_from_set_retargets_shell() {
+        let src = GeneralCommSet::from_pairs(8, &[(0, 3), (4, 7)]);
+        let mut shell = GeneralCommSet::from_pairs(4, &[(0, 1)]);
+        shell.clone_from_set(&src);
+        assert_eq!(shell, src);
+    }
+}

@@ -18,7 +18,10 @@
 //!   half-duplex edges) and the exact path-routability oracle;
 //! * [`trace`] — neutral protocol traces (per-switch message records)
 //!   emitted by the schedulers/simulators and replayed by the reference
-//!   model (`cst-model`, `CST2xx` diagnostics).
+//!   model (`cst-model`, `CST2xx` diagnostics);
+//! * [`general`] — arbitrary (not-well-nested) communication sets, the
+//!   input vocabulary of the decomposition front-end (`cst-decomp`,
+//!   `CST3xx` diagnostics).
 //!
 //! The model follows El-Boghdadi, *"Power-Aware Routing for Well-Nested
 //! Communications On The Circuit Switched Tree"*, IPPS 2007, §2.
@@ -28,6 +31,7 @@ pub mod diag;
 pub mod error;
 pub mod fault;
 pub mod fp;
+pub mod general;
 pub mod link;
 pub mod node;
 pub mod path;
@@ -43,6 +47,7 @@ pub use diag::{DiagCode, DiagReport, Diagnostic, Severity};
 pub use error::CstError;
 pub use fault::{FaultCause, FaultMask};
 pub use fp::Fp64;
+pub use general::{pairs_conflict, GeneralCommSet};
 pub use link::{DirectedLink, LinkOccupancy};
 pub use node::{LeafId, NodeId};
 pub use path::Circuit;

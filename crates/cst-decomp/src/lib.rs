@@ -1,0 +1,43 @@
+//! # cst-decomp — layered decomposition front-end
+//!
+//! Everything downstream of the partitioner speaks the paper's
+//! Definition 1 vocabulary: right-oriented, well-nested, unique
+//! endpoints. This crate turns arbitrary traffic into that vocabulary:
+//! a [`cst_core::GeneralCommSet`] is split into a small number of
+//! *layers*, each of which is a legal [`cst_comm::CommSet`], and the
+//! layers are routed back to back by the engine (`cst-engine`'s
+//! `route_general`), their schedules concatenated into one composite.
+//!
+//! Two pairs can share a layer iff they neither **cross** (partial
+//! interval overlap — the well-nestedness obstruction) nor **share an
+//! endpoint** (the paper's Step 1.1 allows each PE one role per set).
+//! That pairwise relation is the whole feasibility condition, so layer
+//! assignment is graph coloring of the conflict graph — a circle-graph
+//! generalization of interval coloring, NP-hard in general. The
+//! algorithm ([`decompose`]):
+//!
+//! 1. **Greedy coloring**: first-fit in outermost-first and
+//!    conflict-degree order, plus DSATUR below [`DSATUR_LIMIT`]; the
+//!    best result wins.
+//! 2. **Lower-bound certificate**: the max over endpoint multiplicity
+//!    cliques and mutually-crossing cliques (anchored longest-increasing-
+//!    subsequence sweep, exact over all anchors below
+//!    [`STRONG_BOUND_LIMIT`]). The witness — a list of pairwise
+//!    conflicting pair ids — ships with the result and is re-verified by
+//!    `cst-check`'s `CST303` audit.
+//! 3. **Exact refinement**: at or below [`EXACT_LIMIT`] pairs, a
+//!    branch-and-bound search settles the exact chromatic number, so
+//!    small instances are *provably* minimal (the property the oracle
+//!    proptests pin).
+//!
+//! `greedy == bound` (or an exhausted exact search) sets
+//! [`Decomposition::proven_optimal`]. See `docs/DECOMP.md` for the full
+//! story and the composition invariants the `CST3xx` diagnostics audit.
+
+mod assemble;
+mod certificate;
+mod layering;
+
+pub use assemble::{append_layer, slice_layer};
+pub use certificate::{certificate, Certificate};
+pub use layering::{decompose, Decomposition, DSATUR_LIMIT, EXACT_LIMIT, STRONG_BOUND_LIMIT};

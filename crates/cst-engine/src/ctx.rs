@@ -57,6 +57,14 @@ pub struct EngineCtx {
     /// Pooled compiled program for compiled requests the cache cannot hold
     /// (disabled cache, collision-displaced entry).
     pub(crate) local_program: Option<cst_sim::CompiledProgram>,
+    /// Last general request's decomposition, memoized so a repeated
+    /// [`EngineCtx::route_general_cached`] request skips the layering pass
+    /// entirely (fingerprint prefilter + set equality, like the cache).
+    pub(crate) general_memo: Option<crate::general::GeneralMemo>,
+    /// Recycled per-layer accounting buffers for general outcomes
+    /// (returned by [`EngineCtx::recycle_general`]).
+    pub(crate) layer_rounds_scratch: Vec<usize>,
+    pub(crate) layer_power_scratch: Vec<u64>,
 }
 
 impl EngineCtx {

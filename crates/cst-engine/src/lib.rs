@@ -25,6 +25,7 @@
 mod cache;
 mod ctx;
 mod degrade;
+mod general;
 mod outcome;
 mod registry;
 mod router;
@@ -32,6 +33,7 @@ mod router;
 pub use cache::{CacheStats, ScheduleCache};
 pub use ctx::{EngineCtx, DEFAULT_CACHE_CAPACITY};
 pub use degrade::{route_once_masked, DegradationReport, DroppedComm, ReroutedComm};
+pub use general::GeneralOutcome;
 pub use outcome::{PhaseTimings, RouteExtra, RouteOutcome};
 pub use registry::{find, names, registry, route_once, CANONICAL};
 pub use router::{

@@ -153,10 +153,12 @@ mod tests {
     #[test]
     fn harnesses_jointly_cover_every_diagnostic() {
         // The schedule-level harness in `cst-check` covers the CST0xx/1xx
-        // classes; this one covers CST2xx; nothing falls between.
+        // classes, its decomposition harness covers CST3xx, and this one
+        // covers CST2xx; nothing falls between.
         let mut codes: Vec<_> = cst_check::Mutation::ALL
             .iter()
             .map(|m| m.expected_code())
+            .chain(cst_check::DecompMutation::ALL.iter().map(|m| m.expected_code()))
             .chain(TraceMutation::ALL.iter().map(|m| m.expected_code()))
             .collect();
         codes.sort_by_key(|c| c.as_str());

@@ -27,7 +27,7 @@
 use crate::phase1::{self, Phase1};
 use crate::scheduler::{phase2_core, CsaOutcome, CsaTimings, Options, Phase2Buffers};
 use cst_comm::{CommSet, PeChange, SchedulePool, WellNestedChecker};
-use cst_core::{CstError, CstTopology, LeafId, NodeId, PeRole};
+use cst_core::{CstError, CstTopology, LeafId, NodeId, PeRole, ProtocolTrace};
 use std::time::Instant;
 
 /// Current role of one leaf in `set` (Step 1.1's local information,
@@ -120,7 +120,29 @@ impl IncrementalCsa {
         pool: &mut SchedulePool,
     ) -> Result<CsaOutcome, CstError> {
         let t0 = Instant::now();
-        let out = self.phase2_from_pristine(topo, pool);
+        let out = self.phase2_from_pristine(topo, pool, None);
+        self.timings = CsaTimings {
+            validate_ns: 0,
+            phase1_ns: 0,
+            rounds_ns: t0.elapsed().as_nanos() as u64,
+        };
+        out
+    }
+
+    /// [`IncrementalCsa::route`] that records every control message into
+    /// `trace` for replay by the reference model (`cst-model`). Like
+    /// [`crate::CsaScratch::schedule_traced`], tracing forces
+    /// `prune_quiescent: false` so the trace carries one event per
+    /// internal switch per round (the complete-sweep shape the
+    /// conformance checker expects); results are unchanged.
+    pub fn route_traced(
+        &mut self,
+        topo: &CstTopology,
+        pool: &mut SchedulePool,
+        trace: &mut ProtocolTrace,
+    ) -> Result<CsaOutcome, CstError> {
+        let t0 = Instant::now();
+        let out = self.phase2_from_pristine(topo, pool, Some(trace));
         self.timings = CsaTimings {
             validate_ns: 0,
             phase1_ns: 0,
@@ -145,6 +167,30 @@ impl IncrementalCsa {
         changes: &[PeChange],
         pool: &mut SchedulePool,
     ) -> Result<CsaOutcome, CstError> {
+        self.route_delta_impl(topo, changes, pool, None)
+    }
+
+    /// [`IncrementalCsa::route_delta`] with protocol tracing (see
+    /// [`IncrementalCsa::route_traced`]): the trace covers the Phase-2
+    /// sweep of the *mutated* set, driven from the patched counters, so
+    /// the reference model replays exactly what the delta produced.
+    pub fn route_delta_traced(
+        &mut self,
+        topo: &CstTopology,
+        changes: &[PeChange],
+        pool: &mut SchedulePool,
+        trace: &mut ProtocolTrace,
+    ) -> Result<CsaOutcome, CstError> {
+        self.route_delta_impl(topo, changes, pool, Some(trace))
+    }
+
+    fn route_delta_impl(
+        &mut self,
+        topo: &CstTopology,
+        changes: &[PeChange],
+        pool: &mut SchedulePool,
+        trace: Option<&mut ProtocolTrace>,
+    ) -> Result<CsaOutcome, CstError> {
         assert_eq!(
             topo.num_leaves(),
             self.set.num_leaves(),
@@ -158,7 +204,7 @@ impl IncrementalCsa {
         self.nest.require(&self.set)?;
         self.pristine.require_complete()?;
         let t2 = Instant::now();
-        let out = self.phase2_from_pristine(topo, pool);
+        let out = self.phase2_from_pristine(topo, pool, trace);
         self.timings = CsaTimings {
             // The patch is the incremental stand-in for Phase 1; the
             // whole-set checks are the validation cost.
@@ -212,12 +258,17 @@ impl IncrementalCsa {
         &mut self,
         topo: &CstTopology,
         pool: &mut SchedulePool,
+        trace: Option<&mut ProtocolTrace>,
     ) -> Result<CsaOutcome, CstError> {
         // Phase 2 reads only the states (roles and upward messages are
         // Phase-1 artifacts), so that's all the working copy needs.
         self.work.states.clear();
         self.work.states.extend_from_slice(&self.pristine.states);
-        phase2_core(topo, &self.set, &mut self.work, self.options, &mut self.bufs, pool, None)
+        // Tracing needs the complete sweep (one event per switch per
+        // round); untraced routes keep the session's own options.
+        let options =
+            if trace.is_some() { Options { prune_quiescent: false } } else { self.options };
+        phase2_core(topo, &self.set, &mut self.work, options, &mut self.bufs, pool, trace)
     }
 }
 

@@ -13,6 +13,7 @@
 //! cst-tools inject <pattern>          route a pattern under a fault mask
 //! cst-tools campaign                  run the seeded fault campaign, emit JSON
 //! cst-tools stream                    replay a seeded request stream, report hit rate
+//! cst-tools decomp                    route seeded arbitrary sets via layering, audit
 //! cst-tools model enumerate           exhaustively cross-check the protocol at small n
 //! cst-tools model conform [pattern]   replay emitter traces through the reference model
 //! cst-tools list-routers              print the engine registry
@@ -63,6 +64,20 @@
 //! function of the flags (the seed included), which scripts/ci.sh gates
 //! after stripping the timing fields. `--json` for the machine-readable
 //! form, `--router <name>` to pick the scheduler (default `csa`).
+//!
+//! `decomp` exercises the layered decomposition front-end
+//! (docs/DECOMP.md): a seeded sweep of `--requests` arbitrary
+//! communication sets (`--workload matching|hotspot|bipartite|mixed`,
+//! `--pes`, `--pairs`, `--seed`) is routed through
+//! `EngineCtx::route_general_cached` with `--router` (default `csa`) per
+//! layer; every composite is audited with the `CST3xx` decomposition
+//! pass, each sliced layer with the static analyzer and the reference
+//! model's schedule conformance. `--report` prints the machine-readable
+//! JSON summary — layer counts vs. the certificate lower bound, proven-
+//! optimal tallies, cache counters — with no timing fields, so identical
+//! flags print identical bytes (gated in scripts/ci.sh against
+//! `scripts/decomp_golden.json`). Exit 0 iff every audit is clean, 1 on
+//! findings, 2 usage.
 //!
 //! `model` drives the executable reference model (docs/MODEL.md).
 //! `model enumerate` runs the exhaustive small-`n` state-space
@@ -210,12 +225,15 @@ fn main() {
         Some("stream") => {
             run_stream(&args);
         }
+        Some("decomp") => {
+            run_decomp_sweep(&args);
+        }
         Some("model") => {
             run_model(&args);
         }
         _ => {
             eprintln!(
-                "usage: cst-tools <experiments|report|csv|trace|schedule|sim|viz|bundle|check|inject|campaign|stream|model|list-routers> [args] [--quick]"
+                "usage: cst-tools <experiments|report|csv|trace|schedule|sim|viz|bundle|check|inject|campaign|stream|decomp|model|list-routers> [args] [--quick]"
             );
             std::process::exit(2);
         }
@@ -325,7 +343,9 @@ fn run_all(quick: bool) -> Vec<Table> {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 18] = [
+const VALUE_FLAGS: [&str; 20] = [
+    "--workload",
+    "--pairs",
     "--router",
     "--kill-switch",
     "--kill-link",
@@ -685,8 +705,185 @@ fn typed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     }
 }
 
+/// One request's row in the machine-readable `decomp` report. Every
+/// field is a pure function of the flags (no timings).
+#[derive(serde::Serialize)]
+struct DecompRow {
+    workload: &'static str,
+    pairs: usize,
+    layers: usize,
+    lower_bound: usize,
+    proven_optimal: bool,
+    rounds: usize,
+    power_units: u64,
+    cached_layers: usize,
+    audit_errors: usize,
+}
+
+/// Machine-readable `decomp` report (`--report`). Byte-stable for fixed
+/// flags; scripts/ci.sh gates it against `scripts/decomp_golden.json`.
+#[derive(serde::Serialize)]
+struct DecompReport {
+    router: String,
+    workload: String,
+    requests: usize,
+    pes: usize,
+    pairs: usize,
+    seed: u64,
+    clean: bool,
+    proven_optimal: usize,
+    total_layers: usize,
+    total_lower_bound: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    rows: Vec<DecompRow>,
+}
+
+/// Seeded sweep of arbitrary (non-well-nested) sets through the layered
+/// decomposition front-end, with the full three-stage audit per request:
+/// `CST3xx` composition pass, static analysis of every sliced layer, and
+/// reference-model schedule conformance of every sliced layer.
+fn run_decomp_sweep(args: &[String]) {
+    use rand::SeedableRng;
+    let requests: usize = typed_flag(args, "--requests", 9);
+    let pes: usize = typed_flag(args, "--pes", 64);
+    let pairs: usize = typed_flag(args, "--pairs", 24);
+    let seed: u64 = typed_flag(args, "--seed", 0);
+    let workload: String = flag_value(args, "--workload").unwrap_or_else(|| "mixed".into());
+    let router = router_arg(args);
+    let families: &[&'static str] = match workload.as_str() {
+        "matching" => &["matching"],
+        "hotspot" => &["hotspot"],
+        "bipartite" => &["bipartite"],
+        "mixed" => &["matching", "hotspot", "bipartite"],
+        other => {
+            eprintln!("--workload wants matching|hotspot|bipartite|mixed, got {other}");
+            std::process::exit(2);
+        }
+    };
+    let Some(router_box) = cst_engine::find(&router) else {
+        eprintln!("unknown router {router} (see cst-tools list-routers)");
+        std::process::exit(2);
+    };
+    if pes < 4 || !pes.is_multiple_of(2) {
+        eprintln!("--pes wants an even leaf count >= 4, got {pes}");
+        std::process::exit(2);
+    }
+
+    let topo = cst_core::CstTopology::with_leaves(pes);
+    let mut ctx = cst_engine::EngineCtx::new();
+    ctx.enable_cache(cst_engine::DEFAULT_CACHE_CAPACITY);
+    let layer_options = if router == "csa" {
+        cst_check::CheckOptions::strict()
+    } else {
+        cst_check::CheckOptions::lenient()
+    };
+    let mut rows: Vec<DecompRow> = Vec::with_capacity(requests);
+    let mut all_clean = true;
+    for i in 0..requests {
+        let family = families[i % families.len()];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        let gset = match family {
+            "matching" => cst_workloads::arbitrary_permutation(&mut rng, pes),
+            "hotspot" => cst_workloads::hotspot(&mut rng, pes, pairs.min(pes - 1)),
+            _ => cst_workloads::random_bipartite(&mut rng, pes, pairs.min(pes * pes / 4)),
+        };
+        let out = match ctx.route_general_cached(router_box.as_ref(), &topo, &gset) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("request {i} ({family}): cannot route: {e}");
+                std::process::exit(1);
+            }
+        };
+        // The memo still holds this request's decomposition; audit the
+        // composite against it, then each sliced layer on its own.
+        let decomp = ctx.decomposition_for(&gset);
+        let mut audit =
+            cst_check::check_decomposition(&topo, &gset, decomp, &out.schedule, &out.layer_rounds);
+        let mut offset = 0usize;
+        for (j, layer_set) in decomp.layer_sets.iter().enumerate() {
+            let band = out.layer_rounds[j];
+            let layer = cst_decomp::slice_layer(&out.schedule, offset, band, &decomp.layers[j]);
+            offset += band;
+            audit.merge(cst_check::analyze(&topo, layer_set, &layer, &layer_options));
+            audit.merge(cst_model::conform_schedule(layer_set, &layer, &[]));
+        }
+        if audit.has_errors() {
+            all_clean = false;
+            eprintln!("request {i} ({family}): audit findings:\n{}", audit.render_text());
+        }
+        rows.push(DecompRow {
+            workload: family,
+            pairs: gset.len(),
+            layers: out.num_layers,
+            lower_bound: out.lower_bound,
+            proven_optimal: out.proven_optimal,
+            rounds: out.rounds,
+            power_units: out.power.total_units,
+            cached_layers: out.cached_layers,
+            audit_errors: audit.error_count(),
+        });
+        ctx.recycle_general(out);
+    }
+    let stats = ctx.cache_stats().unwrap_or_default();
+    let report = DecompReport {
+        router,
+        workload,
+        requests,
+        pes,
+        pairs,
+        seed,
+        clean: all_clean,
+        proven_optimal: rows.iter().filter(|r| r.proven_optimal).count(),
+        total_layers: rows.iter().map(|r| r.layers).sum(),
+        total_lower_bound: rows.iter().map(|r| r.lower_bound).sum(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        rows,
+    };
+    if args.iter().any(|a| a == "--report" || a == "--json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize report: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!(
+            "{} requests on {} PEs via {} (seed {}):",
+            report.requests, report.pes, report.router, report.seed
+        );
+        for (i, r) in report.rows.iter().enumerate() {
+            println!(
+                "  #{i:<2} {:<9} {:>3} pairs -> {:>2} layers (bound {:>2}{}) {:>3} rounds \
+                 {:>5} power units{}",
+                r.workload,
+                r.pairs,
+                r.layers,
+                r.lower_bound,
+                if r.proven_optimal { ", optimal" } else { "" },
+                r.rounds,
+                r.power_units,
+                if r.audit_errors == 0 { "" } else { "  AUDIT FINDINGS" },
+            );
+        }
+        println!(
+            "{} of {} proven optimal; {} layers total vs. {} certified lower bound; audits {}",
+            report.proven_optimal,
+            report.requests,
+            report.total_layers,
+            report.total_lower_bound,
+            if report.clean { "clean" } else { "FAILED" },
+        );
+    }
+    if !all_clean {
+        std::process::exit(1);
+    }
+}
+
 /// Replay a seeded request stream through the schedule cache and report
-/// throughput + hit rate (see the module docs for the stream model).
+/// throughput + hit rate (see the stream model docs in the module header).
 fn run_stream(args: &[String]) {
     use rand::{Rng, SeedableRng};
     let requests: usize = typed_flag(args, "--requests", 1000);

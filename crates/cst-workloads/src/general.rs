@@ -1,0 +1,131 @@
+//! Arbitrary (non-well-nested) communication sets for the decomposition
+//! front-end.
+//!
+//! Every other generator in this crate emits legal [`cst_comm::CommSet`]
+//! inputs; these three deliberately do not. They produce
+//! [`GeneralCommSet`]s that violate well-nestedness by construction —
+//! crossings, endpoint reuse, or both — so `cst-decomp`'s layering pass
+//! and the engine's `route_general` path have honest work to do:
+//!
+//! * [`arbitrary_permutation`] — a uniformly random perfect matching of
+//!   the leaves: unique endpoints but arbitrary crossings (the expected
+//!   crossing number is Θ(m²));
+//! * [`hotspot`] — one hub leaf talking to many spokes: maximal
+//!   endpoint reuse, forcing one layer per spoke;
+//! * [`random_bipartite`] — distinct pairs from the lower to the upper
+//!   half of the leaf range: dense mutual crossings with occasional
+//!   endpoint sharing.
+//!
+//! All generators take a caller-provided `Rng`, like the rest of the
+//! crate, so experiments reproduce from a seed.
+
+use cst_core::GeneralCommSet;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random perfect matching of `n` leaves (`n` even,
+/// `n >= 2`): `n/2` pairs, each leaf an endpoint of exactly one.
+pub fn arbitrary_permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> GeneralCommSet {
+    assert!(n >= 2 && n.is_multiple_of(2), "matching needs an even n >= 2, got {n}");
+    let mut leaves: Vec<usize> = (0..n).collect();
+    leaves.shuffle(rng);
+    let pairs: Vec<(usize, usize)> = leaves.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    GeneralCommSet::new(n, &pairs).expect("a matching has no duplicate pairs")
+}
+
+/// One randomly-placed hub leaf connected to `spokes` distinct other
+/// leaves (`spokes < n`). With `spokes >= 2` the set reuses the hub
+/// endpoint, so it is never a legal `CommSet` and decomposes to exactly
+/// `spokes` layers.
+pub fn hotspot<R: Rng + ?Sized>(rng: &mut R, n: usize, spokes: usize) -> GeneralCommSet {
+    assert!(spokes < n, "need {spokes} spokes plus a hub within {n} leaves");
+    let hub = rng.gen_range(0..n);
+    let mut others: Vec<usize> = (0..n).filter(|&l| l != hub).collect();
+    others.shuffle(rng);
+    let pairs: Vec<(usize, usize)> = others[..spokes].iter().map(|&s| (hub, s)).collect();
+    GeneralCommSet::new(n, &pairs).expect("distinct spokes give distinct pairs")
+}
+
+/// `m` distinct random pairs connecting the lower leaf half to the upper
+/// half (`m <= (n/2)²`). Crossing-dense: two such pairs cross unless
+/// their endpoints are ordered the same way on both sides.
+pub fn random_bipartite<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize) -> GeneralCommSet {
+    let half = n / 2;
+    assert!(half >= 1, "need at least 2 leaves, got {n}");
+    assert!(m <= half * half, "only {} distinct lower-upper pairs exist", half * half);
+    let mut set = GeneralCommSet::empty(n);
+    let mut taken = vec![false; half * half];
+    let mut placed = 0usize;
+    while placed < m {
+        let a = rng.gen_range(0..half);
+        let b = rng.gen_range(half..n);
+        let slot = a * half + (b - half);
+        if taken[slot] {
+            continue;
+        }
+        taken[slot] = true;
+        set.push(a, b).expect("slot bitmap prevents duplicates");
+        placed += 1;
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matching_uses_every_leaf_once() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let set = arbitrary_permutation(&mut rng, 32);
+        assert_eq!(set.len(), 16);
+        let mut used = [false; 32];
+        for &(s, d) in set.pairs() {
+            assert!(!used[s.0] && !used[d.0], "leaf reused in a matching");
+            used[s.0] = true;
+            used[d.0] = true;
+        }
+        assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn hotspot_reuses_only_the_hub() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let set = hotspot(&mut rng, 16, 5);
+        assert_eq!(set.len(), 5);
+        let mut count = [0usize; 16];
+        for &(s, d) in set.pairs() {
+            count[s.0] += 1;
+            count[d.0] += 1;
+        }
+        assert_eq!(count.iter().filter(|&&c| c == 5).count(), 1, "one hub");
+        assert_eq!(count.iter().filter(|&&c| c == 1).count(), 5, "five spokes");
+    }
+
+    #[test]
+    fn bipartite_pairs_are_distinct_and_span_halves() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let set = random_bipartite(&mut rng, 16, 20);
+        assert_eq!(set.len(), 20);
+        for &(s, d) in set.pairs() {
+            assert!(s.0 < 8 && d.0 >= 8, "pair ({}, {}) does not span halves", s.0, d.0);
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        for seed in [0u64, 42, 99] {
+            let a = arbitrary_permutation(&mut StdRng::seed_from_u64(seed), 64);
+            let b = arbitrary_permutation(&mut StdRng::seed_from_u64(seed), 64);
+            assert_eq!(a, b);
+            let a = hotspot(&mut StdRng::seed_from_u64(seed), 64, 10);
+            let b = hotspot(&mut StdRng::seed_from_u64(seed), 64, 10);
+            assert_eq!(a, b);
+            let a = random_bipartite(&mut StdRng::seed_from_u64(seed), 64, 40);
+            let b = random_bipartite(&mut StdRng::seed_from_u64(seed), 64, 40);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`adversarial`] — combs, shuffled double nests, exact depth
 //!   profiles: stress inputs for specific scheduler behaviours;
 //! * [`delta`] — streaming mutation chains: random [`cst_comm::PeChange`]
-//!   sequences whose every prefix keeps the set routable.
+//!   sequences whose every prefix keeps the set routable;
+//! * [`general`] — arbitrary sets that are *not* well-nested by
+//!   construction (matchings, hotspots, bipartite traffic), inputs for
+//!   the `cst-decomp` layering front-end.
 //!
 //! All generators take a caller-provided `Rng` so experiments are
 //! reproducible from a seed.
@@ -19,11 +22,13 @@
 pub mod adversarial;
 pub mod bus;
 pub mod delta;
+pub mod general;
 pub mod random;
 pub mod width_targeted;
 
 pub use adversarial::{comb, shuffled_double_nest, with_depth_profile};
 pub use delta::random_changes;
 pub use bus::{hierarchical_bus, random_bus, segmented_bus};
+pub use general::{arbitrary_permutation, hotspot, random_bipartite};
 pub use random::{random_dyck, sample_positions, well_nested_set, well_nested_with_density};
 pub use width_targeted::{staircase, with_width, with_width_checked};

@@ -203,6 +203,70 @@ for f in BENCH_e13.json "$out_dir/BENCH_e13.json"; do
     ' "$f"
 done
 
+echo "== bench smoke: e14_decomp (JSON -> $out_dir/BENCH_e14.json) =="
+CRITERION_JSON="$out_dir/BENCH_e14.json" \
+    cargo bench -p bench --bench e14_decomp -- --test
+
+echo "== bench smoke: e14 bench IDs =="
+# The nine ids are the layered front-end's contract: decompose /
+# route-layers / warm-cached at each size. The checked-in BENCH_e14.json
+# and a fresh smoke run must both carry exactly this set.
+e14_ids="e14_decomp/decompose/1024
+e14_decomp/decompose/256
+e14_decomp/decompose/4096
+e14_decomp/route-layers/1024
+e14_decomp/route-layers/256
+e14_decomp/route-layers/4096
+e14_decomp/warm-cached/1024
+e14_decomp/warm-cached/256
+e14_decomp/warm-cached/4096"
+for f in BENCH_e14.json "$out_dir/BENCH_e14.json"; do
+    got="$(grep -o '"e14_decomp/[^"]*"' "$f" | tr -d '"' | sort -u)"
+    if [ "$got" != "$e14_ids" ]; then
+        echo "$f: e14_decomp ids drifted from the expected set:" >&2
+        diff <(printf '%s\n' "$e14_ids") <(printf '%s\n' "$got") >&2 || true
+        exit 1
+    fi
+done
+echo "e14 id gate: both files carry the nine layering ids"
+
+echo "== bench smoke: e14 warm path must beat fresh layer routing =="
+# A warm cached general route (memo + per-layer cache hits) must never
+# lose to re-routing every layer — in the fresh smoke run and in the
+# checked-in warm medians (the real gap is ~8x; cold noise cannot
+# legitimately invert it).
+for f in BENCH_e14.json "$out_dir/BENCH_e14.json"; do
+    awk -v file="$f" '
+        /"e14_decomp\// {
+            key = $1; gsub(/[",:]/, "", key)
+            sub(/^e14_decomp\//, "", key)
+            val[key] = $2 + 0
+        }
+        END {
+            checked = 0
+            for (k in val) {
+                if (k !~ /^warm-cached\//) continue
+                ref = k; sub(/^warm-cached/, "route-layers", ref)
+                if (!(ref in val)) {
+                    printf "%s: missing route-layers id %s\n", file, ref > "/dev/stderr"
+                    exit 1
+                }
+                if (val[k] > val[ref]) {
+                    printf "%s: %s (%.0f ns) slower than %s (%.0f ns)\n", \
+                        file, k, val[k], ref, val[ref] > "/dev/stderr"
+                    exit 1
+                }
+                checked++
+            }
+            if (checked != 3) {
+                printf "%s: e14 gate checked %d pairs, expected 3\n", file, checked > "/dev/stderr"
+                exit 1
+            }
+            printf "%s: warm-cached <= route-layers at every size\n", file
+        }
+    ' "$f"
+done
+
 echo "== bench smoke: remaining benches =="
 for b in e1_rounds_optimality e2_config_changes e3_total_power \
          e4_control_overhead e6_change_histogram e7_segmentable_bus \

@@ -74,6 +74,28 @@ if ! diff -u scripts/stream_golden.json "$stream_a"; then
 fi
 echo "stream replay: deterministic, matches golden"
 
+echo "== ci: layered decomposition sweep (determinism + golden) =="
+# The seeded arbitrary-set sweep (layering + per-layer routing + full
+# CST3xx/static/model audit per request) must be a pure function of its
+# flags: two runs byte-identical, both matching the checked-in golden
+# (layer counts vs certified lower bounds included). Regenerate after an
+# intentional change (new coloring order, new certificate) with:
+#   cargo run -q -p cst-tools -- decomp --report > scripts/decomp_golden.json
+decomp_a="$(mktemp)"
+decomp_b="$(mktemp)"
+trap 'rm -f "$campaign_a" "$campaign_b" "$stream_a" "$stream_b" "$model_a" "$model_b" "$decomp_a" "$decomp_b"' EXIT
+cargo run -q -p cst-tools -- decomp --report > "$decomp_a"
+cargo run -q -p cst-tools -- decomp --report > "$decomp_b"
+if ! cmp -s "$decomp_a" "$decomp_b"; then
+    echo "decomposition sweep is nondeterministic under a fixed seed" >&2
+    exit 1
+fi
+if ! diff -u scripts/decomp_golden.json "$decomp_a"; then
+    echo "decomposition sweep drifted from scripts/decomp_golden.json" >&2
+    exit 1
+fi
+echo "decomposition sweep: deterministic, audits clean, matches golden"
+
 echo "== ci: reference-model exhaustive enumeration =="
 # The tentpole correctness gate: every right-oriented well-nested set on
 # n <= 8 leaves (334 sets, Motzkin-enumerated), every reachable protocol

@@ -7,6 +7,9 @@
 //! * [`core`] (`cst-core`) — the CST substrate: topology, 3-sided
 //!   switches, circuits, compatibility, the PADR power model;
 //! * [`comm`] (`cst-comm`) — communication sets, well-nestedness, width;
+//! * [`decomp`] (`cst-decomp`) — layered decomposition front-end: splits
+//!   arbitrary communication sets into minimum-count well-nested layers
+//!   with a lower-bound certificate (see `docs/DECOMP.md`);
 //! * [`check`] (`cst-check`) — static schedule analyzer: typed `CST0xx`
 //!   diagnostics for every invariant (see `docs/DIAGNOSTICS.md`);
 //! * [`padr`] (`cst-padr`) — the paper's Configuration and Scheduling
@@ -51,6 +54,7 @@ pub use cst_baseline as baseline;
 pub use cst_check as check;
 pub use cst_comm as comm;
 pub use cst_core as core;
+pub use cst_decomp as decomp;
 pub use cst_engine as engine;
 pub use cst_faults as faults;
 pub use cst_model as model;

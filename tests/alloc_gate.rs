@@ -198,3 +198,43 @@ fn trace_instrumentation_is_zero_cost_when_disabled() {
     );
     assert_eq!(trace.rounds.len(), expected_rounds, "traced run recorded every round");
 }
+
+#[test]
+fn warm_general_route_hit_allocates_zero_bytes() {
+    // The layered front-end's streaming guarantee: repeating the same
+    // arbitrary (non-well-nested) request against a warm context is
+    // memo hit + per-layer cache hits + pooled composite assembly +
+    // pooled metering — no decomposition recompute, no heap traffic.
+    let n = 256;
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(0x6E6E);
+    let gset = cst::workloads::random_bipartite(&mut rng, n, 48);
+    let mut ctx = EngineCtx::new();
+    ctx.enable_cache(64);
+
+    // Cold call: decomposes, routes every layer, sizes the scratch.
+    let out = ctx.route_general_cached(&Csa, &topo, &gset).unwrap();
+    let expected = out.schedule.clone();
+    let layers = out.num_layers;
+    ctx.recycle_general(out);
+
+    // Two settle calls: per-layer cache copies grow the pooled shells
+    // to their final shapes.
+    for _ in 0..2 {
+        let out = ctx.route_general_cached(&Csa, &topo, &gset).unwrap();
+        ctx.recycle_general(out);
+    }
+
+    // Warm call: the guarantee under test.
+    let (warm, out) =
+        alloc_counter::measure(|| ctx.route_general_cached(&Csa, &topo, &gset).unwrap());
+    assert_eq!(out.schedule, expected, "warm layered route must still be correct");
+    assert!(out.memo_hit, "warm call must reuse the memoized decomposition");
+    assert_eq!(out.cached_layers, layers, "every layer must be served from the cache");
+    assert_eq!(
+        (warm.allocations, warm.bytes_allocated),
+        (0, 0),
+        "warm layered route must not touch the heap: {warm:?}"
+    );
+    ctx.recycle_general(out);
+}

@@ -106,3 +106,28 @@ fn truncated_fingerprints_collide_but_never_cross_schedules() {
     assert_eq!(stats.hits, 0, "all 64 sets are distinct; nothing may hit");
     assert!(stats.entries <= 16, "one resident entry per truncated key");
 }
+
+#[test]
+fn general_and_well_nested_fingerprints_are_domain_separated() {
+    // A GeneralCommSet and a CommSet built from the *same* pair bytes
+    // must never fingerprint equally: the layered route memo and the
+    // schedule cache share no keyspace, so a general request can never
+    // masquerade as a well-nested one (or vice versa). The two hashes
+    // differ only by domain tag — this is the regression that guards it.
+    use cst::core::GeneralCommSet;
+    let mut rng = StdRng::seed_from_u64(0xD0 ^ 0x5E);
+    for n_exp in [3usize, 5, 7, 9] {
+        let n = 1 << n_exp;
+        for _ in 0..256 {
+            let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.5);
+            let pairs: Vec<(usize, usize)> =
+                set.comms().iter().map(|c| (c.source.0, c.dest.0)).collect();
+            let gset = GeneralCommSet::new(n, &pairs).unwrap();
+            assert_ne!(
+                set.fingerprint(),
+                gset.fingerprint(),
+                "identical pair content must hash apart across set kinds (n={n})"
+            );
+        }
+    }
+}

@@ -125,3 +125,40 @@ fn cached_and_incremental_paths_agree() {
         pool.put_meter(inc.meter);
     }
 }
+
+#[test]
+fn traced_deltas_conform_to_the_reference_model() {
+    // PR satellite: `route_delta` used to be the one scheduling path with
+    // no ProtocolTrace emission. Every delta's trace must now replay
+    // cleanly on the independent reference model (CST2xx family), and
+    // tracing must not change the schedule.
+    let n = 64;
+    let topo = CstTopology::with_leaves(n);
+    let mut rng = StdRng::seed_from_u64(0x7EACE);
+    let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.4);
+    let mut session = IncrementalCsa::new(&topo, &set).unwrap();
+    let mut pool = SchedulePool::new();
+    let mut trace = cst::core::ProtocolTrace::new();
+
+    // The session's full route traces too.
+    let full = session.route_traced(&topo, &mut pool, &mut trace).unwrap();
+    let report = cst::model::conform_trace(session.set(), &trace);
+    assert!(report.is_clean(), "full route trace:\n{}", report.render_text());
+    pool.put_schedule(full.schedule);
+    pool.put_meter(full.meter);
+
+    for step in 0..6 {
+        let changes = cst::workloads::random_changes(&mut rng, session.set(), 2);
+        let out = session.route_delta_traced(&topo, &changes, &mut pool, &mut trace).unwrap();
+        let report = cst::model::conform_trace(session.set(), &trace);
+        assert!(
+            report.is_clean(),
+            "step {step}: delta trace fails conformance:\n{}",
+            report.render_text()
+        );
+        let fresh = scratch_route(&topo, &session.set().clone());
+        assert_eq!(bytes(&out.schedule), bytes(&fresh), "step {step}: tracing changed bytes");
+        pool.put_schedule(out.schedule);
+        pool.put_meter(out.meter);
+    }
+}
