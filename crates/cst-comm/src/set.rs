@@ -87,6 +87,44 @@ impl CommSet {
         CommSet { num_leaves, comms: Vec::new() }
     }
 
+    /// Rebuild this set in place from `(source, dest)` pairs, applying
+    /// exactly [`CommSet::new`]'s validation but reusing this set's
+    /// communication buffer and the caller's role scratch — the serve
+    /// daemon's request-decode path, which must not allocate once warm.
+    /// On error the set is left valid and empty (never half-built).
+    pub fn rebuild_from_pairs(
+        &mut self,
+        num_leaves: usize,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+        role_scratch: &mut Vec<bool>,
+    ) -> Result<(), CstError> {
+        role_scratch.clear();
+        role_scratch.resize(num_leaves, false);
+        self.num_leaves = num_leaves;
+        self.comms.clear();
+        for (s, d) in pairs {
+            for leaf in [s, d] {
+                if leaf >= num_leaves {
+                    self.comms.clear();
+                    return Err(CstError::LeafOutOfRange { leaf: LeafId(leaf), num_leaves });
+                }
+            }
+            if s == d {
+                self.comms.clear();
+                return Err(CstError::SelfCommunication { leaf: LeafId(s) });
+            }
+            for leaf in [s, d] {
+                if role_scratch[leaf] {
+                    self.comms.clear();
+                    return Err(CstError::EndpointReused { leaf: LeafId(leaf) });
+                }
+                role_scratch[leaf] = true;
+            }
+            self.comms.push(Communication::of(s, d));
+        }
+        Ok(())
+    }
+
     /// Number of leaves of the underlying CST.
     pub fn num_leaves(&self) -> usize {
         self.num_leaves
@@ -451,6 +489,27 @@ mod tests {
             CommSet::from_pairs(8, &[(3, 0)]).fingerprint()
         );
         assert_ne!(CommSet::empty(8).fingerprint(), CommSet::empty(16).fingerprint());
+    }
+
+    #[test]
+    fn rebuild_from_pairs_matches_new() {
+        let mut set = CommSet::empty(0);
+        let mut role = Vec::new();
+        set.rebuild_from_pairs(8, [(0, 7), (1, 6)], &mut role).unwrap();
+        assert_eq!(set, CommSet::from_pairs(8, &[(0, 7), (1, 6)]));
+        // Rebuild over the same buffers, different shape.
+        set.rebuild_from_pairs(4, [(2, 3)], &mut role).unwrap();
+        assert_eq!(set, CommSet::from_pairs(4, &[(2, 3)]));
+        // Each validation failure leaves the set valid and empty.
+        let err = set.rebuild_from_pairs(4, [(0, 9)], &mut role);
+        assert!(matches!(err, Err(CstError::LeafOutOfRange { .. })));
+        assert!(set.is_empty());
+        let err = set.rebuild_from_pairs(4, [(2, 2)], &mut role);
+        assert!(matches!(err, Err(CstError::SelfCommunication { .. })));
+        assert!(set.is_empty());
+        let err = set.rebuild_from_pairs(8, [(0, 3), (3, 5)], &mut role);
+        assert!(matches!(err, Err(CstError::EndpointReused { leaf }) if leaf.0 == 3));
+        assert!(set.is_empty());
     }
 
     #[test]

@@ -88,6 +88,14 @@ impl Fp64 {
         self.write_u64(v as u64);
     }
 
+    /// Feed a string, length-prefixed so `("ab", "c")` and `("a", "bc")`
+    /// digest differently. This is the canonical way to mix a router name
+    /// (or any variable-length identifier) into a request fingerprint.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
     /// The digest. FNV-1a alone mixes low bits weakly, so the state is
     /// finalized with the splitmix64 avalanche before use as a cache key.
     pub fn finish(&self) -> u64 {
@@ -114,6 +122,20 @@ mod tests {
         assert_eq!(digest(&[1, 2, 3]), digest(&[1, 2, 3]));
         assert_ne!(digest(&[1, 2, 3]), digest(&[1, 3, 2]));
         assert_ne!(digest(&[]), digest(&[0]));
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let digest = |parts: &[&str]| {
+            let mut fp = Fp64::new("test-str");
+            for p in parts {
+                fp.write_str(p);
+            }
+            fp.finish()
+        };
+        assert_eq!(digest(&["ab", "c"]), digest(&["ab", "c"]));
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]));
+        assert_ne!(digest(&["abc"]), digest(&["ab", "c"]));
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   model (`cst-model`, `CST2xx` diagnostics);
 //! * [`general`] — arbitrary (not-well-nested) communication sets, the
 //!   input vocabulary of the decomposition front-end (`cst-decomp`,
-//!   `CST3xx` diagnostics).
+//!   `CST3xx` diagnostics);
+//! * [`wire`] — little-endian, length-prefixed binary codec primitives
+//!   (borrowing decode, typed errors) underpinning the `cst-serve` frame
+//!   protocol.
 //!
 //! The model follows El-Boghdadi, *"Power-Aware Routing for Well-Nested
 //! Communications On The Circuit Switched Tree"*, IPPS 2007, §2.
@@ -41,6 +44,7 @@ pub mod round;
 pub mod switch;
 pub mod topology;
 pub mod trace;
+pub mod wire;
 
 pub use compat::{are_compatible, MergedRound};
 pub use diag::{DiagCode, DiagReport, Diagnostic, Severity};
@@ -57,3 +61,4 @@ pub use round::{ConfigArena, ConfigLookup, RoundConfigs};
 pub use switch::{Connection, Side, SwitchConfig};
 pub use topology::CstTopology;
 pub use trace::{ProtoKind, ProtoMsg, ProtocolRound, ProtocolTrace, SwitchEvent};
+pub use wire::{WireCursor, WireError};

@@ -63,6 +63,11 @@ pub(crate) struct Entry {
     /// request, reused verbatim by every later hit. Overwriting the entry
     /// salvages the program's buffers into the cache's spare pool.
     pub(crate) compiled: Option<CompiledProgram>,
+    /// Fully-encoded response bytes for this entry (the serve daemon's
+    /// unit of caching): a hit is an `Arc` clone plus a socket write, no
+    /// re-serialization. `None` for entries routed through the plain
+    /// engine paths.
+    pub(crate) payload: Option<std::sync::Arc<[u8]>>,
     /// Intrusive LRU links (slab indices).
     prev: u32,
     next: u32,
@@ -230,6 +235,7 @@ impl ScheduleCache {
                 power: PowerReport::default(),
                 degradation: None,
                 compiled: None,
+                payload: None,
                 prev: NIL,
                 next: NIL,
             });
@@ -251,6 +257,9 @@ impl ScheduleCache {
             self.spare_programs.push(stale);
         }
         let e = &mut self.slab[slot as usize];
+        // Any encoded payload was serialized from the overwritten
+        // schedule; it must not survive the overwrite.
+        e.payload = None;
         e.fp = fp;
         e.router = router;
         e.set.clone_from(set);
@@ -267,6 +276,68 @@ impl ScheduleCache {
         }
         self.bump(slot);
         (Some(displaced), Some(&self.slab[slot as usize].schedule))
+    }
+
+    /// Look up the *encoded response payload* for a request — the serve
+    /// daemon's hit path. Identical keying rules to [`Self::lookup`], but
+    /// a hit additionally requires an attached payload; a resident entry
+    /// without one (inserted through the plain engine paths) counts as a
+    /// miss, so `hits + misses` always equals the number of payload
+    /// lookups performed.
+    pub(crate) fn lookup_payload(
+        &mut self,
+        fp: u64,
+        router: &str,
+        set: &CommSet,
+        mask: Option<&FaultMask>,
+    ) -> Option<std::sync::Arc<[u8]>> {
+        let fp = fp & self.fp_mask;
+        match self.by_fp.get(&fp) {
+            Some(&slot) => {
+                let e = &self.slab[slot as usize];
+                if e.router == router && e.set == *set && e.mask.as_deref_eq(mask) {
+                    if let Some(payload) = e.payload.clone() {
+                        self.hits += 1;
+                        self.bump(slot);
+                        return Some(payload);
+                    }
+                    self.misses += 1;
+                    None
+                } else {
+                    self.collisions += 1;
+                    self.misses += 1;
+                    None
+                }
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// [`Self::insert`], then attach the encoded response payload to the
+    /// freshly written entry. Returns the displaced schedule for the
+    /// caller's pool (the evicted victim's, or the rejected input when
+    /// the cache is disabled).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert_with_payload(
+        &mut self,
+        fp: u64,
+        router: &'static str,
+        set: &CommSet,
+        mask: Option<&FaultMask>,
+        schedule: Schedule,
+        power: &PowerReport,
+        degradation: Option<&DegradationReport>,
+        payload: std::sync::Arc<[u8]>,
+    ) -> Option<Schedule> {
+        let (displaced, _) = self.insert(fp, router, set, mask, schedule, power, degradation);
+        let fp = fp & self.fp_mask;
+        if let Some(&slot) = self.by_fp.get(&fp) {
+            self.slab[slot as usize].payload = Some(payload);
+        }
+        displaced
     }
 
     /// The compiled replay program of the entry at `fp`, lowering and
@@ -429,6 +500,33 @@ mod tests {
             assert!(c.lookup(*fp, "csa", set, None).is_none());
         }
         assert_eq!(c.stats().collisions, 3);
+    }
+
+    #[test]
+    fn payload_hits_require_an_attached_payload() {
+        let mut c = ScheduleCache::new(4);
+        let (fp, set) = entry_key(1);
+        // Plain insert: resident, but no payload — a payload lookup is a
+        // counted miss, never a half-hit.
+        c.insert(fp, "csa", &set, None, dummy_schedule(), &PowerReport::default(), None);
+        assert!(c.lookup_payload(fp, "csa", &set, None).is_none());
+        let payload: std::sync::Arc<[u8]> = std::sync::Arc::from(&b"frame"[..]);
+        c.insert_with_payload(
+            fp,
+            "csa",
+            &set,
+            None,
+            dummy_schedule(),
+            &PowerReport::default(),
+            None,
+            payload,
+        );
+        assert_eq!(c.lookup_payload(fp, "csa", &set, None).as_deref(), Some(&b"frame"[..]));
+        // Overwriting through the plain path invalidates the payload.
+        c.insert(fp, "csa", &set, None, dummy_schedule(), &PowerReport::default(), None);
+        assert!(c.lookup_payload(fp, "csa", &set, None).is_none());
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 3, "every payload lookup counts exactly once");
     }
 
     #[test]

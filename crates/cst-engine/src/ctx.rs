@@ -263,22 +263,9 @@ impl EngineCtx {
         Ok(outcomes)
     }
 
-    /// The cache key of one request. Mixes the router name, the set
-    /// fingerprint, and the mask fingerprint (tagged, so "no mask" and
-    /// any real mask can never alias).
+    /// The cache key of one request (see [`request_fingerprint`]).
     fn request_fp(router: &str, set: &CommSet, mask: Option<&FaultMask>) -> u64 {
-        let mut fp = Fp64::new("cst/route-request");
-        fp.write_usize(router.len());
-        fp.write_bytes(router.as_bytes());
-        fp.write_u64(set.fingerprint());
-        match mask {
-            None => fp.write_u64(0),
-            Some(m) => {
-                fp.write_u64(1);
-                fp.write_u64(m.fingerprint());
-            }
-        }
-        fp.finish()
+        request_fingerprint(router, set, mask)
     }
 
     /// Route through the schedule cache **and** execute the schedule on
@@ -439,4 +426,27 @@ impl EngineCtx {
         };
         Ok(out)
     }
+}
+
+/// The canonical 64-bit cache key of one routing request: the router
+/// name (length-prefixed), the communication-set fingerprint, and the
+/// fault-mask fingerprint behind a presence tag — so "no mask" can never
+/// alias any real mask. This is the *one* keying function for every
+/// schedule cache in the workspace: `EngineCtx`'s private cache, the
+/// batch dedupe, and the serve daemon's shared
+/// [`ShardedScheduleCache`](crate::ShardedScheduleCache) all call it, so
+/// a request fingerprinted on one side of a socket addresses the same
+/// entry on the other.
+pub fn request_fingerprint(router: &str, set: &CommSet, mask: Option<&FaultMask>) -> u64 {
+    let mut fp = Fp64::new("cst/route-request");
+    fp.write_str(router);
+    fp.write_u64(set.fingerprint());
+    match mask {
+        None => fp.write_u64(0),
+        Some(m) => {
+            fp.write_u64(1);
+            fp.write_u64(m.fingerprint());
+        }
+    }
+    fp.finish()
 }

@@ -29,9 +29,11 @@ mod general;
 mod outcome;
 mod registry;
 mod router;
+mod shard;
 
 pub use cache::{CacheStats, ScheduleCache};
-pub use ctx::{EngineCtx, DEFAULT_CACHE_CAPACITY};
+pub use ctx::{request_fingerprint, EngineCtx, DEFAULT_CACHE_CAPACITY};
+pub use shard::ShardedScheduleCache;
 pub use degrade::{route_once_masked, DegradationReport, DroppedComm, ReroutedComm};
 pub use general::GeneralOutcome;
 pub use outcome::{PhaseTimings, RouteExtra, RouteOutcome};

@@ -1,0 +1,695 @@
+//! The daemon: listener, worker pool, and the per-frame serving core.
+//!
+//! One [`Server`] owns `workers` OS threads. Each worker pins a private
+//! [`WorkerCore`] — an [`EngineCtx`] (already allocation-free on the warm
+//! serial-CSA path) plus decode scratch — and accepts connections from a
+//! shared listener (`try_clone`d, so the kernel load-balances accepts).
+//! A connection is served by one worker, frame by frame, until EOF.
+//!
+//! Cross-worker state is exactly two things, both in [`ServeShared`]:
+//! the sharded payload cache ([`ShardedScheduleCache`], one brief lock
+//! per probe) and the atomic [`ServeCounters`]. Workers never share
+//! routing scratch, so the engine's single-caller invariants hold
+//! per-thread by construction; the stress suite
+//! (`tests/serve_stress.rs`) then pins the *combined* behavior:
+//! every concurrent response byte-identical to a fresh single-caller
+//! `EngineCtx` on the same request.
+//!
+//! Shutdown is cooperative: a flag plus one wake-connection per worker;
+//! workers drain their current connection (read timeouts bound the
+//! wait) and exit.
+
+use crate::stats::{ServeCounters, ServeStats};
+use crate::wire::{
+    encode_batch_response, encode_error_response, encode_reset_response, encode_route_response,
+    encode_stats_response, encode_payload, take_mask, take_set, write_frame, DegradationSummary,
+    ErrorCode, ErrorFrame, ServedItem, REQ_BATCH, REQ_RESET, REQ_ROUTE, REQ_STATS,
+};
+use cst_comm::CommSet;
+use cst_core::wire::{WireCursor, WireError};
+use cst_core::{CstTopology, FaultMask};
+use cst_engine::{request_fingerprint, EngineCtx, ShardedScheduleCache};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (each owns one `EngineCtx`).
+    pub workers: usize,
+    /// Total shared-cache capacity, split evenly across shards.
+    pub cache_capacity: usize,
+    /// `2^shard_bits` cache shards, addressed by fingerprint high bits.
+    pub shard_bits: u32,
+    /// Cap on one frame's body length, requests and responses alike.
+    pub max_frame: usize,
+    /// Socket read timeout; bounds how long a worker blocks on an idle
+    /// connection before noticing shutdown.
+    pub read_timeout_ms: u64,
+    /// Effective fingerprint width. 64 in production; tests truncate it
+    /// to force cache collisions under concurrency.
+    #[doc(hidden)]
+    pub cache_fp_bits: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            cache_capacity: 256,
+            shard_bits: 2,
+            max_frame: crate::wire::DEFAULT_MAX_FRAME,
+            read_timeout_ms: 50,
+            cache_fp_bits: 64,
+        }
+    }
+}
+
+/// State shared by every worker: the sharded cache, the counters, and
+/// the shutdown flag.
+#[derive(Debug)]
+pub struct ServeShared {
+    /// The cross-worker payload cache.
+    pub cache: ShardedScheduleCache,
+    /// Live traffic counters.
+    pub counters: ServeCounters,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+}
+
+impl ServeShared {
+    /// Fresh shared state for `config`.
+    pub fn new(config: ServeConfig) -> ServeShared {
+        ServeShared {
+            cache: ShardedScheduleCache::with_fp_bits(
+                config.cache_capacity,
+                config.shard_bits,
+                config.cache_fp_bits,
+            ),
+            counters: ServeCounters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    /// The configuration this server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Freeze all counters into a snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats::snapshot(
+            &self.counters,
+            self.config.workers as u64,
+            self.cache.stats(),
+            self.cache.all_shard_stats(),
+        )
+    }
+
+    /// Zero the counters and drop every cache entry (the `Reset` frame),
+    /// then record the reset itself.
+    pub fn reset(&self) {
+        self.counters.reset();
+        self.cache.clear();
+        ServeCounters::bump(&self.counters.resets);
+    }
+}
+
+/// One worker's private serving state: engine context, decode scratch,
+/// and a handle to the shared state. `handle_frame` is the entire
+/// request→response function, exposed so tests can drive it without
+/// sockets (the allocation gate pins the warm cached path at 0 allocs).
+pub struct WorkerCore {
+    shared: Arc<ServeShared>,
+    ctx: EngineCtx,
+    /// Decoded request set (reused; `rebuild_from_pairs`).
+    set: CommSet,
+    /// Endpoint-role scratch for set validation.
+    role: Vec<bool>,
+    /// Decoded `(source, dest)` pairs.
+    pairs: Vec<(usize, usize)>,
+    /// Topology of the last request's size, rebuilt only when the leaf
+    /// count changes.
+    topo: Option<CstTopology>,
+    /// Payload assembly buffer (miss path).
+    payload_buf: Vec<u8>,
+}
+
+impl WorkerCore {
+    /// A fresh core serving against `shared`.
+    pub fn new(shared: Arc<ServeShared>) -> WorkerCore {
+        WorkerCore {
+            shared,
+            ctx: EngineCtx::new(),
+            set: CommSet::empty(0),
+            role: Vec::new(),
+            pairs: Vec::new(),
+            topo: None,
+            payload_buf: Vec::new(),
+        }
+    }
+
+    /// Serve one request frame body, writing exactly one response frame
+    /// body into `out`. Never panics on arbitrary input: malformed or
+    /// invalid requests become typed error frames.
+    pub fn handle_frame(&mut self, body: &[u8], out: &mut Vec<u8>) {
+        ServeCounters::bump(&self.shared.counters.frames);
+        if let Err(err) = self.dispatch(body, out) {
+            ServeCounters::bump(&self.shared.counters.errors);
+            encode_error_response(out, &err);
+        }
+    }
+
+    fn dispatch(&mut self, body: &[u8], out: &mut Vec<u8>) -> Result<(), ErrorFrame> {
+        let mut cur = WireCursor::new(body);
+        let kind = cur.take_u8().map_err(bad_frame)?;
+        match kind {
+            REQ_ROUTE => self.dispatch_route(cur, out),
+            REQ_BATCH => self.dispatch_batch(cur, out),
+            REQ_STATS => {
+                cur.expect_end().map_err(bad_frame)?;
+                encode_stats_response(out, &self.shared.stats());
+                Ok(())
+            }
+            REQ_RESET => {
+                cur.expect_end().map_err(bad_frame)?;
+                self.shared.reset();
+                // Reset's own frame stays counted: bump after zeroing so
+                // the double-run golden starts from a known state.
+                ServeCounters::bump(&self.shared.counters.frames);
+                encode_reset_response(out);
+                Ok(())
+            }
+            _ => Err(ErrorFrame {
+                code: ErrorCode::BadFrame,
+                message: format!("unknown request kind 0x{kind:02x}"),
+            }),
+        }
+    }
+
+    /// Route request: decode into scratch (allocation-free when warm),
+    /// then serve through the shared cache.
+    fn dispatch_route(&mut self, mut cur: WireCursor<'_>, out: &mut Vec<u8>) -> Result<(), ErrorFrame> {
+        let router = cur.take_str().map_err(bad_frame)?;
+        let num_leaves = cur.take_u64().map_err(bad_frame)? as usize;
+        let count = cur.take_u32().map_err(bad_frame)? as usize;
+        self.pairs.clear();
+        for _ in 0..count {
+            let s = cur.take_u32().map_err(bad_frame)? as usize;
+            let d = cur.take_u32().map_err(bad_frame)? as usize;
+            self.pairs.push((s, d));
+        }
+        self.set
+            .rebuild_from_pairs(num_leaves, self.pairs.iter().copied(), &mut self.role)
+            .map_err(invalid)?;
+        let mask = match cur.take_u8().map_err(bad_frame)? {
+            0 => None,
+            1 => {
+                self.ensure_topo(num_leaves)?;
+                let Some(topo) = self.topo.as_ref() else {
+                    return Err(internal("topology missing after ensure"));
+                };
+                Some(take_mask(&mut cur, topo).map_err(bad_frame)?)
+            }
+            _ => return Err(bad_frame(WireError::Malformed("mask tag must be 0 or 1"))),
+        };
+        cur.expect_end().map_err(bad_frame)?;
+
+        // Swap the scratch set out so `serve_one` can take `&mut self`
+        // alongside it (moves Vec pointers, no allocation).
+        let set = std::mem::replace(&mut self.set, CommSet::empty(0));
+        let served = self.serve_one(router, &set, mask.as_ref());
+        self.set = set;
+        let (cached, payload) = served?;
+        ServeCounters::bump(&self.shared.counters.responses);
+        encode_route_response(out, cached, &payload);
+        Ok(())
+    }
+
+    /// Batch request: decode all sets, then serve with fingerprint
+    /// coalescing — an item identical to an earlier one in the same
+    /// batch shares its payload `Arc` instead of re-probing or
+    /// re-routing (the `route_batch` dedupe, applied at the wire).
+    fn dispatch_batch(&mut self, mut cur: WireCursor<'_>, out: &mut Vec<u8>) -> Result<(), ErrorFrame> {
+        let router = cur.take_str().map_err(bad_frame)?;
+        let count = cur.take_u32().map_err(bad_frame)? as usize;
+        let mut sets: Vec<CommSet> = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            sets.push(take_set(&mut cur).map_err(bad_frame)?);
+        }
+        cur.expect_end().map_err(bad_frame)?;
+
+        let mut fps: Vec<u64> = Vec::with_capacity(sets.len());
+        let mut items: Vec<ServedItem> = Vec::with_capacity(sets.len());
+        for i in 0..sets.len() {
+            let fp = request_fingerprint(router, &sets[i], None);
+            fps.push(fp);
+            if let Some(j) = (0..i).find(|&j| fps[j] == fp && sets[j] == sets[i]) {
+                ServeCounters::bump(&self.shared.counters.requests);
+                ServeCounters::bump(&self.shared.counters.coalesced);
+                let item = match &items[j] {
+                    // A coalesced copy of a served item is by definition
+                    // served from memory: report it cached.
+                    Ok((_, payload)) => {
+                        ServeCounters::bump(&self.shared.counters.responses);
+                        Ok((true, Arc::clone(payload)))
+                    }
+                    Err(e) => {
+                        ServeCounters::bump(&self.shared.counters.errors);
+                        Err(e.clone())
+                    }
+                };
+                items.push(item);
+                continue;
+            }
+            let item = self.serve_one(router, &sets[i], None);
+            match &item {
+                Ok(_) => ServeCounters::bump(&self.shared.counters.responses),
+                Err(_) => ServeCounters::bump(&self.shared.counters.errors),
+            }
+            items.push(item);
+        }
+        encode_batch_response(out, &items);
+        Ok(())
+    }
+
+    /// Serve one (router, set, mask) item: cache probe, then route +
+    /// insert on a miss. Bumps `requests`; the caller accounts
+    /// responses/errors (frame- and item-level counting differ).
+    fn serve_one(
+        &mut self,
+        router: &str,
+        set: &CommSet,
+        mask: Option<&FaultMask>,
+    ) -> Result<(bool, Arc<[u8]>), ErrorFrame> {
+        ServeCounters::bump(&self.shared.counters.requests);
+        let fp = request_fingerprint(router, set, mask);
+        if let Some(payload) = self.shared.cache.lookup_payload(fp, router, set, mask) {
+            return Ok((true, payload));
+        }
+        let payload = self.route_and_insert(router, set, mask, fp)?;
+        Ok((false, payload))
+    }
+
+    /// The miss path: route fresh, encode the payload once, publish it
+    /// to the shared cache (schedule moved in by value, evicted victim
+    /// recycled into this worker's pool).
+    fn route_and_insert(
+        &mut self,
+        router_name: &str,
+        set: &CommSet,
+        mask: Option<&FaultMask>,
+        fp: u64,
+    ) -> Result<Arc<[u8]>, ErrorFrame> {
+        let router = cst_engine::find(router_name).ok_or_else(|| ErrorFrame {
+            code: ErrorCode::UnknownRouter,
+            message: format!("unknown router {router_name:?}"),
+        })?;
+        self.ensure_topo(set.num_leaves())?;
+        let WorkerCore { ref mut ctx, ref topo, ref mut payload_buf, ref shared, .. } = *self;
+        let Some(topo) = topo.as_ref() else {
+            return Err(internal("topology missing after ensure"));
+        };
+        let mut outcome = match mask {
+            Some(m) => ctx.route_masked(router.as_ref(), topo, set, m),
+            None => ctx.route(router.as_ref(), topo, set),
+        }
+        .map_err(|e| ErrorFrame { code: ErrorCode::RouteFailed, message: e.to_string() })?;
+
+        let schedule_json = serde_json::to_string(&outcome.schedule)
+            .map_err(|e| ErrorFrame { code: ErrorCode::RouteFailed, message: e.to_string() })?;
+        let degradation = outcome.degradation.as_ref().map(|d| DegradationSummary {
+            total: d.total as u64,
+            routed: d.routed as u64,
+            rerouted: d.rerouted as u64,
+            dropped: d.dropped as u64,
+            extra_rounds: d.extra_rounds as u64,
+            dropped_ids: d.drops.iter().map(|x| x.comm as u64).collect(),
+        });
+        encode_payload(
+            payload_buf,
+            outcome.router,
+            outcome.rounds as u64,
+            outcome.power.total_units,
+            outcome.power.max_units,
+            outcome.power.max_port_transitions,
+            degradation.as_ref(),
+            schedule_json.as_bytes(),
+        );
+        let payload: Arc<[u8]> = Arc::from(payload_buf.as_slice());
+
+        let schedule = std::mem::take(&mut outcome.schedule);
+        let victim = shared.cache.insert_with_payload(
+            fp,
+            outcome.router,
+            set,
+            mask,
+            schedule,
+            &outcome.power,
+            outcome.degradation.as_ref(),
+            Arc::clone(&payload),
+        );
+        // Recycle the displaced schedule (eviction victim, or the input
+        // itself when the cache is disabled) and the outcome's meter.
+        outcome.schedule = victim.unwrap_or_default();
+        ctx.recycle(outcome);
+        Ok(payload)
+    }
+
+    fn ensure_topo(&mut self, num_leaves: usize) -> Result<(), ErrorFrame> {
+        if self.topo.as_ref().is_none_or(|t| t.num_leaves() != num_leaves) {
+            let topo = CstTopology::new(num_leaves).map_err(invalid)?;
+            self.topo = Some(topo);
+        }
+        Ok(())
+    }
+}
+
+fn bad_frame(e: WireError) -> ErrorFrame {
+    let code = match e {
+        WireError::TooLong { .. } => ErrorCode::Oversize,
+        _ => ErrorCode::BadFrame,
+    };
+    ErrorFrame { code, message: e.to_string() }
+}
+
+fn invalid(e: cst_core::CstError) -> ErrorFrame {
+    ErrorFrame { code: ErrorCode::InvalidRequest, message: e.to_string() }
+}
+
+fn internal(msg: &str) -> ErrorFrame {
+    ErrorFrame { code: ErrorCode::InvalidRequest, message: msg.to_string() }
+}
+
+// ---------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------
+
+/// One accepted connection, TCP or Unix.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ListenerKind {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl ListenerKind {
+    fn try_clone(&self) -> io::Result<ListenerKind> {
+        match self {
+            ListenerKind::Tcp(l) => l.try_clone().map(ListenerKind::Tcp),
+            ListenerKind::Unix(l) => l.try_clone().map(ListenerKind::Unix),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            ListenerKind::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            ListenerKind::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}
+
+/// Where a server is listening.
+#[derive(Clone, Debug)]
+pub enum ServeAddr {
+    /// TCP socket address (resolved, so port 0 reads back the real port).
+    Tcp(SocketAddr),
+    /// Unix socket path.
+    Unix(PathBuf),
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// A running daemon: shared state + worker threads. Dropping the server
+/// shuts it down (flag, wake, join).
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<ServeShared>,
+    handles: Vec<JoinHandle<()>>,
+    addr: ServeAddr,
+}
+
+impl Server {
+    /// Bind a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral port)
+    /// and start the worker pool.
+    pub fn bind_tcp(addr: &str, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Server::spawn(ListenerKind::Tcp(listener), ServeAddr::Tcp(local), config)
+    }
+
+    /// Bind a Unix socket (removing a stale socket file first) and start
+    /// the worker pool.
+    pub fn bind_unix(path: impl AsRef<Path>, config: ServeConfig) -> io::Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Server::spawn(ListenerKind::Unix(listener), ServeAddr::Unix(path), config)
+    }
+
+    fn spawn(listener: ListenerKind, addr: ServeAddr, config: ServeConfig) -> io::Result<Server> {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(ServeShared::new(ServeConfig { workers, ..config }));
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("cst-serve-{w}"))
+                .spawn(move || worker_loop(listener, shared))?;
+            handles.push(handle);
+        }
+        Ok(Server { shared, handles, addr })
+    }
+
+    /// Where this server is listening.
+    pub fn addr(&self) -> &ServeAddr {
+        &self.addr
+    }
+
+    /// The resolved TCP address, when bound over TCP.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.addr {
+            ServeAddr::Tcp(a) => Some(*a),
+            ServeAddr::Unix(_) => None,
+        }
+    }
+
+    /// The shared state (cache + counters), e.g. for in-process tests.
+    pub fn shared(&self) -> &Arc<ServeShared> {
+        &self.shared
+    }
+
+    /// Freeze the current counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Stop accepting, wake every worker, join the pool. Equivalent to
+    /// dropping the server, but explicit at call sites.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for _ in 0..self.handles.len() {
+            match &self.addr {
+                ServeAddr::Tcp(a) => {
+                    let _ = TcpStream::connect(a);
+                }
+                ServeAddr::Unix(p) => {
+                    let _ = UnixStream::connect(p);
+                }
+            }
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let ServeAddr::Unix(p) = &self.addr {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(listener: ListenerKind, shared: Arc<ServeShared>) {
+    let mut core = WorkerCore::new(Arc::clone(&shared));
+    let mut inbuf: Vec<u8> = Vec::new();
+    let mut outbuf: Vec<u8> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the accept was a shutdown wake-up
+        }
+        ServeCounters::bump(&shared.counters.connections);
+        let _ = serve_conn(stream, &mut core, &shared, &mut inbuf, &mut outbuf);
+    }
+}
+
+enum FrameRead {
+    Frame,
+    Eof,
+    Shutdown,
+    Oversize(usize),
+}
+
+/// Serve one connection until EOF, error, or shutdown. Any io error just
+/// drops the connection — the daemon itself never dies with a client.
+fn serve_conn(
+    mut stream: Stream,
+    core: &mut WorkerCore,
+    shared: &ServeShared,
+    inbuf: &mut Vec<u8>,
+    outbuf: &mut Vec<u8>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(shared.config.read_timeout_ms.max(1))))?;
+    loop {
+        match read_frame_interruptible(&mut stream, inbuf, shared)? {
+            FrameRead::Frame => {
+                core.handle_frame(inbuf, outbuf);
+                write_frame(&mut stream, outbuf)?;
+            }
+            FrameRead::Oversize(len) => {
+                // Typed refusal, then drop the connection: the body was
+                // never read, so the stream is out of sync by design.
+                ServeCounters::bump(&shared.counters.errors);
+                let err = ErrorFrame {
+                    code: ErrorCode::Oversize,
+                    message: format!(
+                        "frame length {len} exceeds cap {}",
+                        shared.config.max_frame
+                    ),
+                };
+                encode_error_response(outbuf, &err);
+                write_frame(&mut stream, outbuf)?;
+                return Ok(());
+            }
+            FrameRead::Eof | FrameRead::Shutdown => return Ok(()),
+        }
+    }
+}
+
+enum Fill {
+    Done,
+    Eof,
+    Shutdown,
+}
+
+/// `read_exact` that keeps polling across read timeouts so the worker
+/// notices the shutdown flag on idle connections.
+fn read_full(
+    stream: &mut Stream,
+    out: &mut [u8],
+    shared: &ServeShared,
+    eof_ok_at_start: bool,
+) -> io::Result<Fill> {
+    let mut filled = 0;
+    while filled < out.len() {
+        match stream.read(&mut out[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok_at_start {
+                    return Ok(Fill::Eof);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(Fill::Shutdown);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+fn read_frame_interruptible(
+    stream: &mut Stream,
+    buf: &mut Vec<u8>,
+    shared: &ServeShared,
+) -> io::Result<FrameRead> {
+    let mut header = [0u8; 4];
+    match read_full(stream, &mut header, shared, true)? {
+        Fill::Eof => return Ok(FrameRead::Eof),
+        Fill::Shutdown => return Ok(FrameRead::Shutdown),
+        Fill::Done => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > shared.config.max_frame {
+        return Ok(FrameRead::Oversize(len));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    match read_full(stream, buf, shared, false)? {
+        Fill::Done => Ok(FrameRead::Frame),
+        Fill::Shutdown => Ok(FrameRead::Shutdown),
+        Fill::Eof => Err(io::ErrorKind::UnexpectedEof.into()),
+    }
+}

@@ -1,0 +1,115 @@
+//! Service counters and their snapshot form.
+//!
+//! Workers bump lock-free atomic counters ([`ServeCounters`]); the cache
+//! keeps its own per-shard counters under the shard locks. A `Stats`
+//! request (or [`crate::Server::stats`]) freezes both into a
+//! [`ServeStats`] snapshot — plain data that serializes to JSON for the
+//! bench reports and to the binary wire form for `Stats` responses.
+//!
+//! **Conservation invariants** (asserted end-to-end by
+//! `tests/serve_stress.rs`):
+//!
+//! * `cache.hits + cache.misses == requests - coalesced` — every admitted
+//!   route item either probes the shared cache exactly once or is
+//!   coalesced onto an identical item in the same batch;
+//! * `cache` equals the field-wise sum of `shards`;
+//! * collisions are counted inside `cache.misses`, and a collision is
+//!   never *served* — the equality fallback reroutes it to a fresh route.
+
+use cst_engine::CacheStats;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters, one instance shared by every worker.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Request frames handled (all kinds).
+    pub frames: AtomicU64,
+    /// Route items admitted (one per Route frame, one per Batch element)
+    /// after decode + topology validation.
+    pub requests: AtomicU64,
+    /// Route items answered with a payload.
+    pub responses: AtomicU64,
+    /// Error frames sent (whole-request and per-batch-item).
+    pub errors: AtomicU64,
+    /// Batch items served by copying an identical earlier item in the
+    /// same batch (the `route_batch` fingerprint dedupe, at the wire).
+    pub coalesced: AtomicU64,
+    /// Reset frames honored.
+    pub resets: AtomicU64,
+}
+
+impl ServeCounters {
+    /// Add 1, relaxed — counters are statistics, not synchronization.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zero everything (the `Reset` frame).
+    pub fn reset(&self) {
+        for c in [
+            &self.connections,
+            &self.frames,
+            &self.requests,
+            &self.responses,
+            &self.errors,
+            &self.coalesced,
+            &self.resets,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Frozen counter snapshot: the `Stats` response, and the `--json`
+/// report's `stats` object.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Connections accepted since start (or last reset).
+    pub connections: u64,
+    /// Request frames handled.
+    pub frames: u64,
+    /// Route items admitted.
+    pub requests: u64,
+    /// Route items answered with a payload.
+    pub responses: u64,
+    /// Error frames sent.
+    pub errors: u64,
+    /// Batch items coalesced onto an identical sibling.
+    pub coalesced: u64,
+    /// Resets honored (counted *after* zeroing, so the first snapshot
+    /// following a reset reads 1).
+    pub resets: u64,
+    /// Size of the worker pool (configuration, not traffic).
+    pub workers: u64,
+    /// Shared-cache roll-up: field-wise sum of `shards`.
+    pub cache: CacheStats,
+    /// Per-shard cache counters, in shard order.
+    pub shards: Vec<CacheStats>,
+}
+
+impl ServeStats {
+    /// Freeze the live counters (cache stats are supplied by the caller,
+    /// which owns the sharded cache).
+    pub fn snapshot(
+        counters: &ServeCounters,
+        workers: u64,
+        cache: CacheStats,
+        shards: Vec<CacheStats>,
+    ) -> ServeStats {
+        ServeStats {
+            connections: counters.connections.load(Ordering::Relaxed),
+            frames: counters.frames.load(Ordering::Relaxed),
+            requests: counters.requests.load(Ordering::Relaxed),
+            responses: counters.responses.load(Ordering::Relaxed),
+            errors: counters.errors.load(Ordering::Relaxed),
+            coalesced: counters.coalesced.load(Ordering::Relaxed),
+            resets: counters.resets.load(Ordering::Relaxed),
+            workers,
+            cache,
+            shards,
+        }
+    }
+}

@@ -1,0 +1,701 @@
+//! The serve daemon's frame protocol.
+//!
+//! Every message is one **frame**: a little-endian `u32` byte length
+//! followed by that many body bytes. The body starts with a one-byte
+//! kind tag; everything after it is kind-specific, built from the
+//! [`cst_core::wire`] primitives (LE fixed-width integers, `u32`
+//! length-prefixed strings/blobs). The full grammar is tabulated in
+//! `docs/SERVE.md`; the golden byte-pin in `tests/wire_proto.rs` keeps
+//! it from drifting silently.
+//!
+//! ## Requests
+//!
+//! | kind | name  | body |
+//! |------|-------|------|
+//! | 0x01 | Route | router `str` · set · mask tag `u8` (0/1) · \[mask\] |
+//! | 0x02 | Batch | router `str` · count `u32` · count × set |
+//! | 0x03 | Stats | — |
+//! | 0x04 | Reset | — |
+//!
+//! A *set* is `num_leaves u64 · count u32 · count × (source u32, dest
+//! u32)`. A *mask* is `switches u32 · ids… u32 · links u32 · (child u32,
+//! up u8)… · edges u32 · ids… u32` (sized by the set's `num_leaves`).
+//!
+//! ## Responses
+//!
+//! | kind | name  | body |
+//! |------|-------|------|
+//! | 0x81 | Route | cached `u8` · payload `bytes` |
+//! | 0x82 | Batch | count `u32` · count × (tag `u8`: 0 = error body, 1 = cached `u8` · payload `bytes`) |
+//! | 0x83 | Stats | [`ServeStats`] binary |
+//! | 0x84 | Reset | — |
+//! | 0xEE | Error | code `u16` · message `str` |
+//!
+//! The **payload** is the unit the shared cache stores: a
+//! [`RouteSummary`] followed by the schedule's `serde_json` bytes. It is
+//! a pure function of the request — the `cached` flag lives *outside* it,
+//! so a hit can serve the identical bytes a miss produced.
+
+use crate::stats::ServeStats;
+use cst_comm::CommSet;
+use cst_core::wire::{put_bytes, put_str, put_u16, put_u32, put_u64, put_u8, WireCursor, WireError};
+use cst_core::{CstTopology, DirectedLink, FaultMask, NodeId};
+use cst_engine::CacheStats;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// One served batch item on the server side: `(cached, payload)` or a
+/// typed per-item error.
+pub type ServedItem = Result<(bool, std::sync::Arc<[u8]>), ErrorFrame>;
+
+/// Request frame kinds.
+pub const REQ_ROUTE: u8 = 0x01;
+/// See [`REQ_ROUTE`].
+pub const REQ_BATCH: u8 = 0x02;
+/// See [`REQ_ROUTE`].
+pub const REQ_STATS: u8 = 0x03;
+/// See [`REQ_ROUTE`].
+pub const REQ_RESET: u8 = 0x04;
+
+/// Response frame kinds.
+pub const RESP_ROUTE: u8 = 0x81;
+/// See [`RESP_ROUTE`].
+pub const RESP_BATCH: u8 = 0x82;
+/// See [`RESP_ROUTE`].
+pub const RESP_STATS: u8 = 0x83;
+/// See [`RESP_ROUTE`].
+pub const RESP_RESET: u8 = 0x84;
+/// See [`RESP_ROUTE`].
+pub const RESP_ERROR: u8 = 0xEE;
+
+/// Default cap on one frame's body length. Large enough for a serialized
+/// n = 4096 schedule, small enough that a hostile length prefix cannot
+/// balloon server memory.
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
+/// Typed error categories carried by error frames (`u16` on the wire so
+/// the space can grow without a format change).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame body failed to decode (bad tag, truncation, garbage).
+    BadFrame = 1,
+    /// A declared length exceeded the server's frame cap.
+    Oversize = 2,
+    /// The requested router name is not in the registry.
+    UnknownRouter = 3,
+    /// The request decoded but is semantically invalid (bad leaf ids,
+    /// reused endpoints, bad topology size, invalid fault mask).
+    InvalidRequest = 4,
+    /// The router rejected the set (e.g. not well-nested for a strict
+    /// router) or routing failed.
+    RouteFailed = 5,
+}
+
+impl ErrorCode {
+    /// Decode from the wire representation.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::BadFrame),
+            2 => Some(ErrorCode::Oversize),
+            3 => Some(ErrorCode::UnknownRouter),
+            4 => Some(ErrorCode::InvalidRequest),
+            5 => Some(ErrorCode::RouteFailed),
+            _ => None,
+        }
+    }
+}
+
+/// One typed error response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Error category.
+    pub code: ErrorCode,
+    /// Human-readable detail (never parsed by clients).
+    pub message: String,
+}
+
+impl fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+/// A decoded request, owned. The server's hot path decodes in place
+/// instead (see `WorkerCore`); this form is for clients, tests, and the
+/// codec proptests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Route one set, optionally under a fault mask.
+    Route {
+        /// Registry router name.
+        router: String,
+        /// The communication set.
+        set: CommSet,
+        /// Optional fault mask (sized by the set's leaf count).
+        mask: Option<FaultMask>,
+    },
+    /// Route many sets through one router with fingerprint coalescing.
+    Batch {
+        /// Registry router name.
+        router: String,
+        /// The communication sets, in request order.
+        sets: Vec<CommSet>,
+    },
+    /// Snapshot the server's counters.
+    Stats,
+    /// Zero every counter and drop every cache entry.
+    Reset,
+}
+
+/// A decoded response, owned.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// One routed (or cache-served) outcome.
+    Route(RouteReply),
+    /// Per-item outcomes of a batch, in request order.
+    Batch(Vec<Result<RouteReply, ErrorFrame>>),
+    /// Counter snapshot.
+    Stats(ServeStats),
+    /// Reset acknowledged.
+    Reset,
+    /// The request failed as a whole.
+    Error(ErrorFrame),
+}
+
+/// One successful route response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteReply {
+    /// True when the payload came from the shared cache.
+    pub cached: bool,
+    /// The encoded payload (summary + schedule JSON); decode with
+    /// [`decode_payload`]. Byte-identical between a miss and every
+    /// later hit on the same request.
+    pub payload: Vec<u8>,
+}
+
+/// The routed outcome's summary, decoded from a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteSummary {
+    /// Router that produced the schedule.
+    pub router: String,
+    /// Rounds in the schedule.
+    pub rounds: u64,
+    /// Total hold-semantics power units.
+    pub power_total_units: u64,
+    /// Maximum hold-semantics units at any single switch.
+    pub power_max_units: u32,
+    /// Maximum per-port driver transitions at any single switch.
+    pub max_port_transitions: u32,
+    /// Degradation accounting for masked requests (`None` for plain).
+    pub degradation: Option<DegradationSummary>,
+}
+
+/// Wire form of a `DegradationReport`'s totals, plus the dropped
+/// communication ids (so a client can run `cst_model::conform_schedule`
+/// from the response alone).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationSummary {
+    /// Size of the requested set.
+    pub total: u64,
+    /// Communications scheduled.
+    pub routed: u64,
+    /// Of the routed, how many moved to a split-off round.
+    pub rerouted: u64,
+    /// Communications unroutable under the mask.
+    pub dropped: u64,
+    /// Rounds added by the half-duplex split.
+    pub extra_rounds: u64,
+    /// Ids (in the request set) of the dropped communications.
+    pub dropped_ids: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Errors from the frame layer (below the body codec).
+#[derive(Debug)]
+pub enum FrameError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer declared a frame longer than the cap. Detected from the
+    /// 4 header bytes alone — nothing is allocated or read for the body.
+    Oversize {
+        /// Declared body length.
+        len: usize,
+        /// The enforced cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: `u32` LE body length, then the body.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body exceeds u32"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame body into `buf` (reused across calls). Returns
+/// `Ok(false)` on clean EOF at a frame boundary; `Oversize` when the
+/// declared length exceeds `max` (before reading or allocating the
+/// body); io errors otherwise (including EOF mid-frame).
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>, max: usize) -> Result<bool, FrameError> {
+    let mut header = [0u8; 4];
+    match r.read(&mut header) {
+        Ok(0) => return Ok(false),
+        Ok(n) => r.read_exact(&mut header[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut header)?;
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::Oversize { len, max });
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// Request encoding
+// ---------------------------------------------------------------------
+
+fn put_set(buf: &mut Vec<u8>, set: &CommSet) {
+    put_u64(buf, set.num_leaves() as u64);
+    put_u32(buf, set.len() as u32);
+    for c in set.comms() {
+        put_u32(buf, c.source.0 as u32);
+        put_u32(buf, c.dest.0 as u32);
+    }
+}
+
+fn put_mask(buf: &mut Vec<u8>, mask: &FaultMask) {
+    put_u32(buf, mask.dead_switches().len() as u32);
+    for n in mask.dead_switches() {
+        put_u32(buf, n.0 as u32);
+    }
+    put_u32(buf, mask.dead_links().len() as u32);
+    for l in mask.dead_links() {
+        put_u32(buf, l.child.0 as u32);
+        put_u8(buf, u8::from(l.up));
+    }
+    put_u32(buf, mask.degraded_edges().len() as u32);
+    for n in mask.degraded_edges() {
+        put_u32(buf, n.0 as u32);
+    }
+}
+
+/// Encode a Route request body into `buf` (cleared first).
+pub fn encode_route_request(buf: &mut Vec<u8>, router: &str, set: &CommSet, mask: Option<&FaultMask>) {
+    buf.clear();
+    put_u8(buf, REQ_ROUTE);
+    put_str(buf, router);
+    put_set(buf, set);
+    match mask {
+        None => put_u8(buf, 0),
+        Some(m) => {
+            put_u8(buf, 1);
+            put_mask(buf, m);
+        }
+    }
+}
+
+/// Encode a Batch request body into `buf` (cleared first).
+pub fn encode_batch_request(buf: &mut Vec<u8>, router: &str, sets: &[CommSet]) {
+    buf.clear();
+    put_u8(buf, REQ_BATCH);
+    put_str(buf, router);
+    put_u32(buf, sets.len() as u32);
+    for set in sets {
+        put_set(buf, set);
+    }
+}
+
+/// Encode a Stats request body into `buf` (cleared first).
+pub fn encode_stats_request(buf: &mut Vec<u8>) {
+    buf.clear();
+    put_u8(buf, REQ_STATS);
+}
+
+/// Encode a Reset request body into `buf` (cleared first).
+pub fn encode_reset_request(buf: &mut Vec<u8>) {
+    buf.clear();
+    put_u8(buf, REQ_RESET);
+}
+
+/// Encode any owned [`Request`].
+pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Route { router, set, mask } => {
+            encode_route_request(buf, router, set, mask.as_ref())
+        }
+        Request::Batch { router, sets } => encode_batch_request(buf, router, sets),
+        Request::Stats => encode_stats_request(buf),
+        Request::Reset => encode_reset_request(buf),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request decoding (owned — clients, tests; the server decodes in place)
+// ---------------------------------------------------------------------
+
+/// Decode one set (owned).
+pub fn take_set(cur: &mut WireCursor<'_>) -> Result<CommSet, WireError> {
+    let num_leaves = cur.take_u64()? as usize;
+    let count = cur.take_u32()? as usize;
+    let mut set = CommSet::empty(0);
+    let mut role = Vec::new();
+    let mut pairs = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let s = cur.take_u32()? as usize;
+        let d = cur.take_u32()? as usize;
+        pairs.push((s, d));
+    }
+    set.rebuild_from_pairs(num_leaves, pairs, &mut role)
+        .map_err(|_| WireError::Malformed("invalid communication set"))?;
+    Ok(set)
+}
+
+/// Decode one mask (owned). Needs the topology because a `FaultMask` is
+/// sized by it; fault ids the mask rejects are malformed.
+pub fn take_mask(cur: &mut WireCursor<'_>, topo: &CstTopology) -> Result<FaultMask, WireError> {
+    let mut mask = FaultMask::empty(topo);
+    let switches = cur.take_u32()?;
+    for _ in 0..switches {
+        let id = cur.take_u32()? as usize;
+        if !mask.kill_switch(NodeId(id)) {
+            return Err(WireError::Malformed("invalid dead-switch id"));
+        }
+    }
+    let links = cur.take_u32()?;
+    for _ in 0..links {
+        let child = cur.take_u32()? as usize;
+        let up = match cur.take_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::Malformed("link direction must be 0 or 1")),
+        };
+        if !mask.kill_link(DirectedLink { child: NodeId(child), up }) {
+            return Err(WireError::Malformed("invalid dead-link id"));
+        }
+    }
+    let edges = cur.take_u32()?;
+    for _ in 0..edges {
+        let id = cur.take_u32()? as usize;
+        if !mask.degrade_edge(NodeId(id)) {
+            return Err(WireError::Malformed("invalid degraded-edge id"));
+        }
+    }
+    Ok(mask)
+}
+
+/// Decode a request body into its owned form. Arbitrary bytes must
+/// produce `Err`, never a panic (property-tested).
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    let mut cur = WireCursor::new(body);
+    let kind = cur.take_u8()?;
+    let req = match kind {
+        REQ_ROUTE => {
+            let router = cur.take_str()?.to_string();
+            let set = take_set(&mut cur)?;
+            let mask = match cur.take_u8()? {
+                0 => None,
+                1 => {
+                    let topo = CstTopology::new(set.num_leaves())
+                        .map_err(|_| WireError::Malformed("mask on invalid topology size"))?;
+                    Some(take_mask(&mut cur, &topo)?)
+                }
+                _ => return Err(WireError::Malformed("mask tag must be 0 or 1")),
+            };
+            Request::Route { router, set, mask }
+        }
+        REQ_BATCH => {
+            let router = cur.take_str()?.to_string();
+            let count = cur.take_u32()? as usize;
+            let mut sets = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                sets.push(take_set(&mut cur)?);
+            }
+            Request::Batch { router, sets }
+        }
+        REQ_STATS => Request::Stats,
+        REQ_RESET => Request::Reset,
+        _ => return Err(WireError::Malformed("unknown request kind")),
+    };
+    cur.expect_end()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Payload codec (the cached unit)
+// ---------------------------------------------------------------------
+
+/// Encode a payload into `buf` (cleared first): summary fields, then the
+/// schedule's serde bytes. The server calls this once per cache miss;
+/// every hit re-serves the identical bytes.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_payload(
+    buf: &mut Vec<u8>,
+    router: &str,
+    rounds: u64,
+    power_total_units: u64,
+    power_max_units: u32,
+    max_port_transitions: u32,
+    degradation: Option<&DegradationSummary>,
+    schedule_json: &[u8],
+) {
+    buf.clear();
+    put_str(buf, router);
+    put_u64(buf, rounds);
+    put_u64(buf, power_total_units);
+    put_u32(buf, power_max_units);
+    put_u32(buf, max_port_transitions);
+    match degradation {
+        None => put_u8(buf, 0),
+        Some(d) => {
+            put_u8(buf, 1);
+            put_u64(buf, d.total);
+            put_u64(buf, d.routed);
+            put_u64(buf, d.rerouted);
+            put_u64(buf, d.dropped);
+            put_u64(buf, d.extra_rounds);
+            put_u32(buf, d.dropped_ids.len() as u32);
+            for &id in &d.dropped_ids {
+                put_u64(buf, id);
+            }
+        }
+    }
+    put_bytes(buf, schedule_json);
+}
+
+/// Decode a payload into its summary and borrowed schedule JSON bytes.
+pub fn decode_payload(payload: &[u8]) -> Result<(RouteSummary, &[u8]), WireError> {
+    let mut cur = WireCursor::new(payload);
+    let router = cur.take_str()?.to_string();
+    let rounds = cur.take_u64()?;
+    let power_total_units = cur.take_u64()?;
+    let power_max_units = cur.take_u32()?;
+    let max_port_transitions = cur.take_u32()?;
+    let degradation = match cur.take_u8()? {
+        0 => None,
+        1 => {
+            let total = cur.take_u64()?;
+            let routed = cur.take_u64()?;
+            let rerouted = cur.take_u64()?;
+            let dropped = cur.take_u64()?;
+            let extra_rounds = cur.take_u64()?;
+            let n = cur.take_u32()? as usize;
+            let mut dropped_ids = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                dropped_ids.push(cur.take_u64()?);
+            }
+            Some(DegradationSummary { total, routed, rerouted, dropped, extra_rounds, dropped_ids })
+        }
+        _ => return Err(WireError::Malformed("degradation tag must be 0 or 1")),
+    };
+    let schedule_json = cur.take_bytes()?;
+    cur.expect_end()?;
+    let summary = RouteSummary {
+        router,
+        rounds,
+        power_total_units,
+        power_max_units,
+        max_port_transitions,
+        degradation,
+    };
+    Ok((summary, schedule_json))
+}
+
+// ---------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------
+
+fn put_error_body(buf: &mut Vec<u8>, err: &ErrorFrame) {
+    put_u16(buf, err.code as u16);
+    put_str(buf, &err.message);
+}
+
+/// Encode an Error response body into `buf` (cleared first).
+pub fn encode_error_response(buf: &mut Vec<u8>, err: &ErrorFrame) {
+    buf.clear();
+    put_u8(buf, RESP_ERROR);
+    put_error_body(buf, err);
+}
+
+/// Encode a Route response body into `buf` (cleared first).
+pub fn encode_route_response(buf: &mut Vec<u8>, cached: bool, payload: &[u8]) {
+    buf.clear();
+    put_u8(buf, RESP_ROUTE);
+    put_u8(buf, u8::from(cached));
+    put_bytes(buf, payload);
+}
+
+/// Encode a Batch response body into `buf` (cleared first).
+pub fn encode_batch_response(buf: &mut Vec<u8>, items: &[ServedItem]) {
+    buf.clear();
+    put_u8(buf, RESP_BATCH);
+    put_u32(buf, items.len() as u32);
+    for item in items {
+        match item {
+            Ok((cached, payload)) => {
+                put_u8(buf, 1);
+                put_u8(buf, u8::from(*cached));
+                put_bytes(buf, payload);
+            }
+            Err(e) => {
+                put_u8(buf, 0);
+                put_error_body(buf, e);
+            }
+        }
+    }
+}
+
+fn put_cache_stats(buf: &mut Vec<u8>, s: &CacheStats) {
+    put_u64(buf, s.hits);
+    put_u64(buf, s.misses);
+    put_u64(buf, s.evictions);
+    put_u64(buf, s.collisions);
+    put_u64(buf, s.entries as u64);
+    put_u64(buf, s.capacity as u64);
+}
+
+fn take_cache_stats(cur: &mut WireCursor<'_>) -> Result<CacheStats, WireError> {
+    Ok(CacheStats {
+        hits: cur.take_u64()?,
+        misses: cur.take_u64()?,
+        evictions: cur.take_u64()?,
+        collisions: cur.take_u64()?,
+        entries: cur.take_u64()? as usize,
+        capacity: cur.take_u64()? as usize,
+    })
+}
+
+/// Encode a Stats response body into `buf` (cleared first).
+pub fn encode_stats_response(buf: &mut Vec<u8>, stats: &ServeStats) {
+    buf.clear();
+    put_u8(buf, RESP_STATS);
+    put_u64(buf, stats.connections);
+    put_u64(buf, stats.frames);
+    put_u64(buf, stats.requests);
+    put_u64(buf, stats.responses);
+    put_u64(buf, stats.errors);
+    put_u64(buf, stats.coalesced);
+    put_u64(buf, stats.resets);
+    put_u64(buf, stats.workers);
+    put_cache_stats(buf, &stats.cache);
+    put_u32(buf, stats.shards.len() as u32);
+    for s in &stats.shards {
+        put_cache_stats(buf, s);
+    }
+}
+
+/// Encode a Reset acknowledgment body into `buf` (cleared first).
+pub fn encode_reset_response(buf: &mut Vec<u8>) {
+    buf.clear();
+    put_u8(buf, RESP_RESET);
+}
+
+// ---------------------------------------------------------------------
+// Response decoding
+// ---------------------------------------------------------------------
+
+fn take_error_body(cur: &mut WireCursor<'_>) -> Result<ErrorFrame, WireError> {
+    let raw = cur.take_u16()?;
+    let code = ErrorCode::from_u16(raw).ok_or(WireError::Malformed("unknown error code"))?;
+    let message = cur.take_str()?.to_string();
+    Ok(ErrorFrame { code, message })
+}
+
+/// Decode a response body into its owned form. Arbitrary bytes must
+/// produce `Err`, never a panic (property-tested).
+pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
+    let mut cur = WireCursor::new(body);
+    let kind = cur.take_u8()?;
+    let resp = match kind {
+        RESP_ROUTE => {
+            let cached = match cur.take_u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("cached flag must be 0 or 1")),
+            };
+            let payload = cur.take_bytes()?.to_vec();
+            Response::Route(RouteReply { cached, payload })
+        }
+        RESP_BATCH => {
+            let count = cur.take_u32()? as usize;
+            let mut items = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                match cur.take_u8()? {
+                    0 => items.push(Err(take_error_body(&mut cur)?)),
+                    1 => {
+                        let cached = match cur.take_u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(WireError::Malformed("cached flag must be 0 or 1")),
+                        };
+                        items.push(Ok(RouteReply { cached, payload: cur.take_bytes()?.to_vec() }));
+                    }
+                    _ => return Err(WireError::Malformed("batch item tag must be 0 or 1")),
+                }
+            }
+            Response::Batch(items)
+        }
+        RESP_STATS => {
+            let connections = cur.take_u64()?;
+            let frames = cur.take_u64()?;
+            let requests = cur.take_u64()?;
+            let responses = cur.take_u64()?;
+            let errors = cur.take_u64()?;
+            let coalesced = cur.take_u64()?;
+            let resets = cur.take_u64()?;
+            let workers = cur.take_u64()?;
+            let cache = take_cache_stats(&mut cur)?;
+            let n = cur.take_u32()? as usize;
+            let mut shards = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                shards.push(take_cache_stats(&mut cur)?);
+            }
+            Response::Stats(ServeStats {
+                connections,
+                frames,
+                requests,
+                responses,
+                errors,
+                coalesced,
+                resets,
+                workers,
+                cache,
+                shards,
+            })
+        }
+        RESP_RESET => Response::Reset,
+        RESP_ERROR => Response::Error(take_error_body(&mut cur)?),
+        _ => return Err(WireError::Malformed("unknown response kind")),
+    };
+    cur.expect_end()?;
+    Ok(resp)
+}

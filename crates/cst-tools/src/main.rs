@@ -16,6 +16,8 @@
 //! cst-tools decomp                    route seeded arbitrary sets via layering, audit
 //! cst-tools model enumerate           exhaustively cross-check the protocol at small n
 //! cst-tools model conform [pattern]   replay emitter traces through the reference model
+//! cst-tools serve                     run the routing daemon (TCP or Unix socket)
+//! cst-tools bench-serve               seeded closed-loop load generator for the daemon
 //! cst-tools list-routers              print the engine registry
 //! ```
 //!
@@ -96,6 +98,7 @@ use cst_analysis::experiments as exp;
 use cst_analysis::Table;
 
 mod report;
+mod serve_cmd;
 mod viz;
 
 fn main() {
@@ -231,9 +234,15 @@ fn main() {
         Some("model") => {
             run_model(&args);
         }
+        Some("serve") => {
+            serve_cmd::run_serve(&args);
+        }
+        Some("bench-serve") => {
+            serve_cmd::run_bench_serve(&args);
+        }
         _ => {
             eprintln!(
-                "usage: cst-tools <experiments|report|csv|trace|schedule|sim|viz|bundle|check|inject|campaign|stream|decomp|model|list-routers> [args] [--quick]"
+                "usage: cst-tools <experiments|report|csv|trace|schedule|sim|viz|bundle|check|inject|campaign|stream|decomp|model|serve|bench-serve|list-routers> [args] [--quick]"
             );
             std::process::exit(2);
         }

@@ -267,6 +267,60 @@ for f in BENCH_e14.json "$out_dir/BENCH_e14.json"; do
     ' "$f"
 done
 
+echo "== bench smoke: e15_serve (JSON -> $out_dir/BENCH_e15.json) =="
+# bench-serve self-hosts a daemon on an ephemeral loopback port and
+# drives it uncached / cached / soak; --bench-json emits the headline
+# numbers in the BENCH id scheme. Regenerate the checked-in file with:
+#   cargo run --release -q -p cst-tools -- bench-serve \
+#       --bench-json BENCH_e15.json
+cargo run --release -q -p cst-tools -- bench-serve --clients 1 --reset \
+    --bench-json "$out_dir/BENCH_e15.json"
+
+echo "== bench smoke: e15 bench IDs =="
+# Both the fresh smoke run and the checked-in baseline must carry
+# exactly the four serve ids at the default 1024-PE size.
+e15_ids="e15_serve/cached/1024
+e15_serve/soak-p50/1024
+e15_serve/soak-p99/1024
+e15_serve/uncached/1024"
+for f in BENCH_e15.json "$out_dir/BENCH_e15.json"; do
+    got="$(grep -o '"e15_serve/[^"]*"' "$f" | tr -d '"' | sort -u)"
+    if [ "$got" != "$e15_ids" ]; then
+        echo "$f: e15_serve ids drifted from the expected set:" >&2
+        diff <(printf '%s\n' "$e15_ids") <(printf '%s\n' "$got") >&2 || true
+        exit 1
+    fi
+done
+echo "e15 id gate: both files carry the four serve ids"
+
+echo "== bench smoke: e15 cached serve must beat uncached =="
+# A cache hit is a fingerprint probe plus an Arc clone; a miss is a full
+# route plus serialization. The fresh smoke run must keep cached at or
+# under uncached, and the checked-in baseline must hold the 5x
+# acceptance floor (the measured gap is ~18x single-core).
+for spec in "BENCH_e15.json 5" "$out_dir/BENCH_e15.json 1"; do
+    set -- $spec
+    awk -v file="$1" -v factor="$2" '
+        /"e15_serve\// {
+            key = $1; gsub(/[",:]/, "", key)
+            sub(/^e15_serve\//, "", key)
+            val[key] = $2 + 0
+        }
+        END {
+            if (!("cached/1024" in val) || !("uncached/1024" in val)) {
+                printf "%s: missing cached/uncached ids\n", file > "/dev/stderr"
+                exit 1
+            }
+            if (val["cached/1024"] * factor > val["uncached/1024"]) {
+                printf "%s: cached (%.0f ns) x%d exceeds uncached (%.0f ns)\n", \
+                    file, val["cached/1024"], factor, val["uncached/1024"] > "/dev/stderr"
+                exit 1
+            }
+            printf "%s: cached x%d <= uncached\n", file, factor
+        }
+    ' "$1"
+done
+
 echo "== bench smoke: remaining benches =="
 for b in e1_rounds_optimality e2_config_changes e3_total_power \
          e4_control_overhead e6_change_histogram e7_segmentable_bus \

@@ -125,6 +125,54 @@ if ! cmp -s "$model_a" "$model_b"; then
 fi
 cat "$model_a"
 
+echo "== ci: serve daemon soak (unix socket, determinism + golden) =="
+# One cst-serve daemon on a Unix socket, two seeded single-client
+# bench-serve runs against it. With --clients 1 --reset every stats
+# field in the report is a pure function of the flags: the two runs must
+# be byte-identical once the wall-clock fields are stripped, and both
+# must match the checked-in golden. Regenerate after an intentional
+# change (new counters, new cache policy, new wire layout) by re-running
+# the serve_cmd pipeline below against a fresh daemon:
+#   cargo run -q -p cst-tools -- serve --unix target/ci-serve.sock &
+#   cargo run -q -p cst-tools -- bench-serve --unix target/ci-serve.sock \
+#       --clients 1 --reset --json | <strip> > scripts/serve_golden.json
+serve_a="$(mktemp)"
+serve_b="$(mktemp)"
+serve_sock="target/ci-serve.sock"
+serve_ready="target/ci-serve.ready"
+serve_pid=""
+rm -f "$serve_sock" "$serve_ready"
+trap 'rm -f "$campaign_a" "$campaign_b" "$stream_a" "$stream_b" "$model_a" "$model_b" "$decomp_a" "$decomp_b" "$serve_a" "$serve_b" "$serve_sock" "$serve_ready"; if [ -n "$serve_pid" ]; then kill "$serve_pid" 2>/dev/null || true; fi' EXIT
+cargo build -q -p cst-tools
+target/debug/cst-tools serve --unix "$serve_sock" --ready-file "$serve_ready" --max-seconds 600 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -f "$serve_ready" ] && break
+    sleep 0.1
+done
+if [ ! -f "$serve_ready" ]; then
+    echo "cst-serve daemon did not come up on $serve_sock" >&2
+    exit 1
+fi
+serve_cmd() {
+    target/debug/cst-tools bench-serve --unix "$serve_sock" --clients 1 --reset --json \
+        | grep -vE '"(uncached_ns_per_req|cached_ns_per_req|speedup|soak_p50_ns|soak_p99_ns|soak_requests_per_sec|elapsed_ns)"'
+}
+serve_cmd > "$serve_a"
+serve_cmd > "$serve_b"
+if ! cmp -s "$serve_a" "$serve_b"; then
+    echo "serve daemon stats are nondeterministic under a fixed seed" >&2
+    exit 1
+fi
+if ! diff -u scripts/serve_golden.json "$serve_a"; then
+    echo "serve daemon stats drifted from scripts/serve_golden.json" >&2
+    exit 1
+fi
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+echo "serve daemon: deterministic over the wire, matches golden"
+
 echo "== ci: lint =="
 scripts/lint.sh
 

@@ -59,6 +59,7 @@ pub use cst_engine as engine;
 pub use cst_faults as faults;
 pub use cst_model as model;
 pub use cst_padr as padr;
+pub use cst_serve as serve;
 pub use cst_sim as sim;
 pub use cst_srga as srga;
 pub use cst_apps as apps;

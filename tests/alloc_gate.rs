@@ -238,3 +238,43 @@ fn warm_general_route_hit_allocates_zero_bytes() {
     );
     ctx.recycle_general(out);
 }
+
+#[test]
+fn warm_serve_worker_cached_request_allocates_zero_bytes() {
+    // The daemon's streaming guarantee (docs/SERVE.md): a worker serving
+    // a repeated cached unmasked Route frame is pure scratch reuse —
+    // borrowed-slice decode into the pooled set, shared-cache probe, one
+    // `Arc` payload clone, response bytes into the caller's buffer. Once
+    // warm, none of that touches the heap.
+    use cst::serve::wire::encode_route_request;
+    use cst::serve::{ServeConfig, ServeShared, WorkerCore};
+
+    let n = 1024;
+    let mut rng = StdRng::seed_from_u64(0x5E44E);
+    let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.7);
+    let shared = std::sync::Arc::new(ServeShared::new(ServeConfig::default()));
+    let mut core = WorkerCore::new(shared);
+    let mut req = Vec::new();
+    encode_route_request(&mut req, "csa", &set, None);
+    let mut out = Vec::new();
+
+    // Cold frame: routes, serializes the payload, publishes it to the
+    // shared cache. Settle frame: sizes the remaining scratch.
+    core.handle_frame(&req, &mut out);
+    let expected = out.clone();
+    core.handle_frame(&req, &mut out);
+    assert_eq!(out[0], cst::serve::wire::RESP_ROUTE);
+    assert_eq!(out[1], 1, "second identical frame must be served cached");
+
+    // Warm frame: the guarantee under test.
+    let (warm, ()) = alloc_counter::measure(|| core.handle_frame(&req, &mut out));
+    assert_eq!(
+        (warm.allocations, warm.bytes_allocated),
+        (0, 0),
+        "a warm worker serving a cached request must not touch the heap: {warm:?}"
+    );
+    // Identical bytes to the cold response, modulo the cached flag.
+    assert_eq!(out[0], cst::serve::wire::RESP_ROUTE);
+    assert_eq!(out[1], 1);
+    assert_eq!(out[2..], expected[2..], "cached payload bytes match the cold route");
+}

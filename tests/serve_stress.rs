@@ -1,0 +1,329 @@
+//! End-to-end stress suite for the cst-serve daemon (docs/SERVE.md).
+//!
+//! The contract under test: a pool of concurrent clients hammering one
+//! shared server must observe **exactly** the behavior of a fresh
+//! single-caller [`EngineCtx`] — every response payload carries the
+//! serde-byte-identical schedule, every audited schedule is analyzer-
+//! and reference-model-clean, and the final [`ServeStats`] satisfy the
+//! conservation invariants (`hits + misses == requests - coalesced`,
+//! shard roll-up equals the shard sum, collisions are counted but never
+//! served).
+//!
+//! The truncated-fingerprint test reuses the engine cache's `fp_bits`
+//! knob through [`ServeConfig::cache_fp_bits`]: with 4-bit fingerprints
+//! collisions are guaranteed by pigeonhole, and byte-identity then
+//! proves the sharded cache's full-equality fallback reroutes rather
+//! than serves them.
+
+use cst::check::{analyze, CheckOptions};
+use cst::comm::CommSet;
+use cst::core::{CstTopology, FaultMask, NodeId};
+use cst::engine::EngineCtx;
+use cst::serve::wire::decode_payload;
+use cst::serve::{ClientError, ErrorCode, ServeClient, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const CLIENTS: usize = 4;
+const REQUESTS: usize = 256; // per client
+const PES: usize = 64;
+const WORKING: usize = 8;
+const ROUTERS: [&str; 3] = ["csa", "greedy", "general"];
+
+fn working_sets() -> Vec<CommSet> {
+    let mut rng = StdRng::seed_from_u64(0x5E57E55);
+    (0..WORKING).map(|_| cst::workloads::well_nested_with_density(&mut rng, PES, 0.5)).collect()
+}
+
+fn stress_mask(topo: &CstTopology) -> FaultMask {
+    let mut mask = FaultMask::empty(topo);
+    assert!(mask.kill_switch(NodeId(8)));
+    assert!(mask.degrade_edge(NodeId(2)));
+    mask
+}
+
+/// The deterministic request plan: rotate routers and working-set
+/// members per (client, i); every 5th request is masked.
+fn op_for(client: usize, i: usize) -> (usize, usize, bool) {
+    let router_idx = (client + i) % ROUTERS.len();
+    let set_idx = (client * 3 + i * 7) % WORKING;
+    let masked = i % 5 == 4;
+    (router_idx, set_idx, masked)
+}
+
+/// Fresh single-caller reference for one (router, set, mask) key, and
+/// the audit gates that every served payload must clear.
+fn verify_payload(
+    topo: &CstTopology,
+    router: &str,
+    set: &CommSet,
+    mask: Option<&FaultMask>,
+    payload: &[u8],
+) {
+    let mut ctx = EngineCtx::new();
+    let fresh = match mask {
+        Some(m) => {
+            let rb = cst::engine::find(router).expect("registry router");
+            ctx.route_masked(rb.as_ref(), topo, set, m).expect("fresh masked route")
+        }
+        None => ctx.route_named(router, topo, set).expect("fresh route"),
+    };
+    let (summary, schedule_json) = decode_payload(payload).expect("payload decodes");
+    let expected_json = serde_json::to_string(&fresh.schedule).expect("serde");
+    assert_eq!(
+        schedule_json,
+        expected_json.as_bytes(),
+        "{router} response schedule must be serde-byte-identical to a fresh EngineCtx"
+    );
+    assert_eq!(summary.router, router);
+    assert_eq!(summary.rounds as usize, fresh.rounds);
+    assert_eq!(summary.power_total_units, fresh.power.total_units);
+    assert_eq!(summary.power_max_units, fresh.power.max_units);
+    assert_eq!(summary.degradation.is_some(), fresh.degradation.is_some());
+    if let (Some(ds), Some(dr)) = (&summary.degradation, &fresh.degradation) {
+        assert_eq!(ds.dropped as usize, dr.dropped);
+        assert_eq!(ds.extra_rounds as usize, dr.extra_rounds);
+    }
+
+    // Audit gates on the (byte-identical) schedule: the reference
+    // model's conformance pass, and the static analyzer for fault-free
+    // schedules (strict for the paper's CSA, lenient otherwise).
+    if mask.is_none() {
+        let conform = cst::model::conform_schedule(set, &fresh.schedule, &[]);
+        assert!(
+            !conform.has_errors(),
+            "{router}: model conformance findings:\n{}",
+            conform.render_text()
+        );
+        let options =
+            if router == "csa" { CheckOptions::strict() } else { CheckOptions::lenient() };
+        let report = analyze(topo, set, &fresh.schedule, &options);
+        assert!(!report.has_errors(), "{router}: analyzer findings:\n{}", report.render_text());
+    }
+    ctx.recycle(fresh);
+}
+
+#[test]
+fn concurrent_soak_is_byte_identical_to_a_fresh_engine() {
+    let topo = CstTopology::with_leaves(PES);
+    let sets = working_sets();
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServeConfig { workers: CLIENTS, cache_capacity: 128, shard_bits: 2, ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().expect("tcp addr");
+
+    // N clients, each replaying its deterministic slice of the plan.
+    type Recorded = Vec<((usize, usize, bool), bool, Vec<u8>)>;
+    let recorded: Vec<Recorded> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let sets = &sets;
+                let topo = &topo;
+                scope.spawn(move || -> Recorded {
+                    let mask = stress_mask(topo);
+                    let mut client = ServeClient::connect_tcp(addr).expect("connect");
+                    let mut out = Vec::with_capacity(REQUESTS);
+                    for i in 0..REQUESTS {
+                        let (router_idx, set_idx, masked) = op_for(c, i);
+                        let reply = client
+                            .route(
+                                ROUTERS[router_idx],
+                                &sets[set_idx],
+                                if masked { Some(&mask) } else { None },
+                            )
+                            .expect("route");
+                        out.push(((router_idx, set_idx, masked), reply.cached, reply.payload));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Concurrent determinism: all responses for the same key carry the
+    // same bytes; then each unique key is verified against a fresh
+    // single-caller engine and the audit gates.
+    let mut by_key: HashMap<(usize, usize, bool), Vec<u8>> = HashMap::new();
+    let mut total = 0usize;
+    for (key, _cached, payload) in recorded.into_iter().flatten() {
+        total += 1;
+        match by_key.get(&key) {
+            Some(first) => assert_eq!(
+                first, &payload,
+                "concurrent responses for one request key must be byte-identical"
+            ),
+            None => {
+                by_key.insert(key, payload);
+            }
+        }
+    }
+    assert_eq!(total, CLIENTS * REQUESTS);
+    let mask = stress_mask(&topo);
+    for ((router_idx, set_idx, masked), payload) in &by_key {
+        let mask = if *masked { Some(&mask) } else { None };
+        verify_payload(&topo, ROUTERS[*router_idx], &sets[*set_idx], mask, payload);
+    }
+
+    // Conservation invariants on the final snapshot.
+    let s = server.stats();
+    assert_eq!(s.connections, CLIENTS as u64);
+    assert_eq!(s.frames, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(s.requests, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(s.responses, s.requests);
+    assert_eq!(s.errors, 0);
+    assert_eq!(s.coalesced, 0);
+    assert_eq!(
+        s.cache.hits + s.cache.misses,
+        s.requests - s.coalesced,
+        "every admitted request probes the shared cache exactly once"
+    );
+    assert_eq!(s.cache.collisions, 0, "64-bit fingerprints never collide on this plan");
+    assert!(s.cache.hits > s.cache.misses, "the soak is dominated by cache hits: {s:?}");
+    let mut sum = cst::engine::CacheStats::default();
+    for sh in &s.shards {
+        sum.hits += sh.hits;
+        sum.misses += sh.misses;
+        sum.evictions += sh.evictions;
+        sum.collisions += sh.collisions;
+        sum.entries += sh.entries;
+        sum.capacity += sh.capacity;
+    }
+    assert_eq!(s.cache, sum, "roll-up must equal the field-wise shard sum");
+    server.shutdown();
+}
+
+#[test]
+fn truncated_fingerprint_collisions_are_counted_but_never_served() {
+    let topo = CstTopology::with_leaves(PES);
+    let sets = working_sets();
+    // 4-bit fingerprints: 16 distinct (router, set) keys into 16 fp
+    // values collide with near-certainty; the equality fallback must
+    // reroute every one of them.
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            cache_capacity: 64,
+            shard_bits: 2,
+            cache_fp_bits: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let mut client = ServeClient::connect_tcp(server.tcp_addr().expect("tcp addr")).expect("connect");
+
+    let mut requests = 0u64;
+    for _pass in 0..3 {
+        for router in ["csa", "greedy"] {
+            for set in &sets {
+                let reply = client.route(router, set, None).expect("route");
+                requests += 1;
+                verify_payload(&topo, router, set, None, &reply.payload);
+            }
+        }
+    }
+
+    let s = server.stats();
+    assert_eq!(s.requests, requests);
+    assert_eq!(s.errors, 0);
+    assert_eq!(s.cache.hits + s.cache.misses, s.requests);
+    assert!(
+        s.cache.collisions > 0,
+        "4-bit fingerprints must collide across 16 distinct keys: {:?}",
+        s.cache
+    );
+    // Truncated fps have empty high bits, so every entry lands in the
+    // masked shard 0 — the other shards stay untouched.
+    for sh in &s.shards[1..] {
+        assert_eq!((sh.hits, sh.misses, sh.entries), (0, 0, 0), "truncation confines to shard 0");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn batch_requests_coalesce_identical_items() {
+    let sets = working_sets();
+    let topo = CstTopology::with_leaves(PES);
+    let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let mut client = ServeClient::connect_tcp(server.tcp_addr().expect("tcp addr")).expect("connect");
+
+    let batch =
+        vec![sets[0].clone(), sets[1].clone(), sets[0].clone(), sets[2].clone(), sets[1].clone()];
+    let items = client.batch("csa", &batch).expect("batch");
+    assert_eq!(items.len(), 5);
+    let replies: Vec<_> = items.into_iter().map(|r| r.expect("batch item")).collect();
+    // Items 2 and 4 duplicate items 0 and 1: same payload, served as
+    // cached copies without a second probe or route.
+    assert_eq!(replies[2].payload, replies[0].payload);
+    assert_eq!(replies[4].payload, replies[1].payload);
+    assert!(replies[2].cached && replies[4].cached);
+    assert!(!replies[0].cached && !replies[1].cached && !replies[3].cached);
+    for (set, reply) in [&sets[0], &sets[1], &sets[0], &sets[2], &sets[1]]
+        .into_iter()
+        .zip(&replies)
+    {
+        verify_payload(&topo, "csa", set, None, &reply.payload);
+    }
+
+    let s = server.stats();
+    assert_eq!(s.requests, 5);
+    assert_eq!(s.coalesced, 2);
+    assert_eq!(s.responses, 5);
+    assert_eq!(s.errors, 0);
+    assert_eq!(s.cache.hits + s.cache.misses, s.requests - s.coalesced);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_router_is_a_typed_error_not_a_dead_connection() {
+    let sets = working_sets();
+    let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let mut client = ServeClient::connect_tcp(server.tcp_addr().expect("tcp addr")).expect("connect");
+
+    match client.route("no-such-router", &sets[0], None) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::UnknownRouter),
+        other => panic!("expected a typed UnknownRouter error, got {other:?}"),
+    }
+    // The connection survives the error; the next request is served.
+    let reply = client.route("csa", &sets[0], None).expect("route after error");
+    assert!(!reply.payload.is_empty());
+
+    let s = server.stats();
+    assert_eq!(s.errors, 1);
+    // The failed item was admitted and probed (a counted miss) before
+    // the registry lookup failed, so conservation still holds.
+    assert_eq!(s.requests, 2);
+    assert_eq!(s.cache.hits + s.cache.misses, s.requests);
+    server.shutdown();
+}
+
+#[test]
+fn unix_socket_serves_and_resets() {
+    let sets = working_sets();
+    let topo = CstTopology::with_leaves(PES);
+    let path = "target/serve_stress_unix.sock";
+    let server = Server::bind_unix(path, ServeConfig::default()).expect("bind unix");
+    let mut client = ServeClient::connect_unix(path).expect("connect unix");
+
+    let first = client.route("csa", &sets[3], None).expect("route");
+    assert!(!first.cached);
+    verify_payload(&topo, "csa", &sets[3], None, &first.payload);
+    let second = client.route("csa", &sets[3], None).expect("route again");
+    assert!(second.cached, "second identical request must be a cache hit");
+    assert_eq!(second.payload, first.payload);
+
+    client.reset().expect("reset");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.resets, 1);
+    assert_eq!(stats.requests, 0, "reset zeroes the route counters");
+    assert_eq!(stats.cache.entries, 0, "reset drops every cache entry");
+    let third = client.route("csa", &sets[3], None).expect("route after reset");
+    assert!(!third.cached, "the cache is cold again after reset");
+    assert_eq!(third.payload, first.payload);
+    server.shutdown();
+    assert!(!std::path::Path::new(path).exists(), "shutdown removes the socket file");
+}

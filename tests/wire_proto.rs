@@ -1,0 +1,362 @@
+//! Frame-codec suite for the serve wire protocol (docs/SERVE.md).
+//!
+//! Round-trips every request/response/error variant, rejects truncated
+//! and oversized frames with typed errors (never a panic), pins one
+//! canonical Route frame byte-for-byte, and drives the server's
+//! [`WorkerCore`] with hostile bytes to prove malformed input always
+//! comes back as a typed error frame.
+
+use cst::comm::CommSet;
+use cst::core::{CstTopology, DirectedLink, FaultMask, NodeId};
+use cst::engine::CacheStats;
+use cst::serve::wire::{
+    decode_payload, decode_request, decode_response, encode_batch_request, encode_batch_response,
+    encode_error_response, encode_payload, encode_request, encode_reset_request,
+    encode_route_request, encode_route_response, encode_stats_request, encode_stats_response,
+    read_frame, write_frame, DegradationSummary, FrameError, DEFAULT_MAX_FRAME,
+};
+use cst::serve::{ErrorCode, ErrorFrame, Request, Response, ServeConfig, ServeShared, ServeStats, WorkerCore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn sample_set() -> CommSet {
+    CommSet::from_pairs(8, &[(0, 7), (1, 6), (2, 5)])
+}
+
+/// A mask valid on the 8-leaf topology of [`sample_set`] — the decoder
+/// rebuilds masks against the request set's own topology, so the ids
+/// must be in range there.
+fn sample_mask() -> FaultMask {
+    let topo = CstTopology::with_leaves(8);
+    let mut mask = FaultMask::empty(&topo);
+    assert!(mask.kill_switch(NodeId(4)));
+    assert!(mask.kill_link(DirectedLink { child: NodeId(3), up: true }));
+    assert!(mask.degrade_edge(NodeId(2)));
+    mask
+}
+
+fn sample_error() -> ErrorFrame {
+    ErrorFrame { code: ErrorCode::InvalidRequest, message: "leaf 9 out of range".to_string() }
+}
+
+#[test]
+fn requests_round_trip() {
+    let mut buf = Vec::new();
+    let originals = vec![
+        Request::Route { router: "csa".into(), set: sample_set(), mask: None },
+        Request::Route { router: "greedy".into(), set: sample_set(), mask: Some(sample_mask()) },
+        Request::Batch {
+            router: "general".into(),
+            sets: vec![sample_set(), CommSet::from_pairs(4, &[(0, 3)])],
+        },
+        Request::Stats,
+        Request::Reset,
+    ];
+    for req in originals {
+        encode_request(&mut buf, &req);
+        let decoded = decode_request(&buf).expect("round trip decodes");
+        // FaultMask intentionally has no PartialEq; compare through the
+        // fingprint the cache itself keys on.
+        match (&req, &decoded) {
+            (
+                Request::Route { router: r1, set: s1, mask: m1 },
+                Request::Route { router: r2, set: s2, mask: m2 },
+            ) => {
+                assert_eq!(r1, r2);
+                assert_eq!(s1, s2);
+                assert_eq!(
+                    m1.as_ref().map(FaultMask::fingerprint),
+                    m2.as_ref().map(FaultMask::fingerprint)
+                );
+            }
+            (
+                Request::Batch { router: r1, sets: x1 },
+                Request::Batch { router: r2, sets: x2 },
+            ) => {
+                assert_eq!(r1, r2);
+                assert_eq!(x1, x2);
+            }
+            (Request::Stats, Request::Stats) | (Request::Reset, Request::Reset) => {}
+            other => panic!("request changed shape across the wire: {other:?}"),
+        }
+    }
+}
+
+fn sample_stats() -> ServeStats {
+    ServeStats {
+        connections: 3,
+        frames: 120,
+        requests: 100,
+        responses: 98,
+        errors: 2,
+        coalesced: 7,
+        resets: 1,
+        workers: 4,
+        cache: CacheStats {
+            hits: 80,
+            misses: 13,
+            evictions: 5,
+            collisions: 1,
+            entries: 8,
+            capacity: 64,
+        },
+        shards: vec![
+            CacheStats { hits: 50, misses: 7, evictions: 3, collisions: 1, entries: 5, capacity: 32 },
+            CacheStats { hits: 30, misses: 6, evictions: 2, collisions: 0, entries: 3, capacity: 32 },
+        ],
+    }
+}
+
+#[test]
+fn responses_round_trip() {
+    let mut buf = Vec::new();
+    let payload: Arc<[u8]> = Arc::from(&b"payload-bytes"[..]);
+
+    encode_route_response(&mut buf, true, &payload);
+    match decode_response(&buf).expect("route response decodes") {
+        Response::Route(reply) => {
+            assert!(reply.cached);
+            assert_eq!(reply.payload, payload.as_ref());
+        }
+        other => panic!("expected Route, got {other:?}"),
+    }
+
+    let items = vec![Ok((false, Arc::clone(&payload))), Err(sample_error())];
+    encode_batch_response(&mut buf, &items);
+    match decode_response(&buf).expect("batch response decodes") {
+        Response::Batch(decoded) => {
+            assert_eq!(decoded.len(), 2);
+            let first = decoded[0].as_ref().expect("first item ok");
+            assert!(!first.cached);
+            assert_eq!(first.payload, payload.as_ref());
+            assert_eq!(decoded[1].as_ref().expect_err("second item err"), &sample_error());
+        }
+        other => panic!("expected Batch, got {other:?}"),
+    }
+
+    encode_stats_response(&mut buf, &sample_stats());
+    match decode_response(&buf).expect("stats response decodes") {
+        Response::Stats(stats) => assert_eq!(stats, sample_stats()),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    crate_reset_round_trip(&mut buf);
+
+    encode_error_response(&mut buf, &sample_error());
+    match decode_response(&buf).expect("error response decodes") {
+        Response::Error(e) => assert_eq!(e, sample_error()),
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+fn crate_reset_round_trip(buf: &mut Vec<u8>) {
+    cst::serve::wire::encode_reset_response(buf);
+    assert!(matches!(decode_response(buf), Ok(Response::Reset)));
+}
+
+#[test]
+fn payloads_round_trip_with_and_without_degradation() {
+    let mut buf = Vec::new();
+    let schedule_json = br#"{"rounds":[{"comms":[0,1]}]}"#;
+    encode_payload(&mut buf, "csa", 3, 42, 7, 9, None, schedule_json);
+    let (summary, json) = decode_payload(&buf).expect("payload decodes");
+    assert_eq!(summary.router, "csa");
+    assert_eq!(summary.rounds, 3);
+    assert_eq!(summary.power_total_units, 42);
+    assert_eq!(summary.power_max_units, 7);
+    assert_eq!(summary.max_port_transitions, 9);
+    assert!(summary.degradation.is_none());
+    assert_eq!(json, schedule_json);
+
+    let degradation = DegradationSummary {
+        total: 5,
+        routed: 3,
+        rerouted: 1,
+        dropped: 2,
+        extra_rounds: 1,
+        dropped_ids: vec![1, 4],
+    };
+    encode_payload(&mut buf, "greedy", 4, 50, 8, 12, Some(&degradation), schedule_json);
+    let (summary, json) = decode_payload(&buf).expect("degraded payload decodes");
+    assert_eq!(summary.degradation, Some(degradation));
+    assert_eq!(json, schedule_json);
+}
+
+#[test]
+fn golden_route_request_bytes() {
+    // Byte-pin of the canonical frame body: Route, router "csa",
+    // CommSet{4 leaves, (0,3),(1,2)}, no mask. Little-endian throughout;
+    // strings and pair lists carry u32 length prefixes (docs/SERVE.md).
+    let mut buf = Vec::new();
+    let set = CommSet::from_pairs(4, &[(0, 3), (1, 2)]);
+    encode_route_request(&mut buf, "csa", &set, None);
+    #[rustfmt::skip]
+    let golden: Vec<u8> = vec![
+        0x01,                                           // kind = Route
+        0x03, 0x00, 0x00, 0x00, b'c', b's', b'a',       // router
+        0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // num_leaves = 4
+        0x02, 0x00, 0x00, 0x00,                         // 2 pairs
+        0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, // (0, 3)
+        0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, // (1, 2)
+        0x00,                                           // no mask
+    ];
+    assert_eq!(buf, golden, "the wire format is a frozen contract; bump docs/SERVE.md to change it");
+}
+
+#[test]
+fn every_truncated_prefix_is_a_typed_error_never_a_panic() {
+    let mut bodies: Vec<Vec<u8>> = Vec::new();
+    let mut buf = Vec::new();
+    encode_route_request(&mut buf, "csa", &sample_set(), Some(&sample_mask()));
+    bodies.push(buf.clone());
+    encode_batch_request(&mut buf, "csa", &[sample_set(), sample_set()]);
+    bodies.push(buf.clone());
+    encode_stats_request(&mut buf);
+    bodies.push(buf.clone());
+    for body in &bodies {
+        for cut in 0..body.len() {
+            assert!(
+                decode_request(&body[..cut]).is_err(),
+                "strict prefix of length {cut} must fail to decode"
+            );
+        }
+        assert!(decode_request(body).is_ok());
+    }
+
+    let payload: Arc<[u8]> = Arc::from(&b"xyz"[..]);
+    let mut resp_bodies: Vec<Vec<u8>> = Vec::new();
+    encode_route_response(&mut buf, false, &payload);
+    resp_bodies.push(buf.clone());
+    encode_batch_response(&mut buf, &[Ok((true, payload)), Err(sample_error())]);
+    resp_bodies.push(buf.clone());
+    encode_stats_response(&mut buf, &sample_stats());
+    resp_bodies.push(buf.clone());
+    encode_error_response(&mut buf, &sample_error());
+    resp_bodies.push(buf.clone());
+    for body in &resp_bodies {
+        for cut in 0..body.len() {
+            assert!(decode_response(&body[..cut]).is_err());
+        }
+        assert!(decode_response(body).is_ok());
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut buf = Vec::new();
+    encode_reset_request(&mut buf);
+    buf.push(0xAB);
+    assert!(decode_request(&buf).is_err(), "a valid body plus trailing bytes must not decode");
+}
+
+#[test]
+fn oversized_and_truncated_frames_are_typed_io_errors() {
+    // A header claiming more than the cap is refused before any
+    // allocation — including the hostile u32::MAX length.
+    for claimed in [1025u32, u32::MAX] {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&claimed.to_le_bytes());
+        let mut body = Vec::new();
+        match read_frame(&mut wire.as_slice(), &mut body, 1024) {
+            Err(FrameError::Oversize { len, max }) => {
+                assert_eq!(len, claimed as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+    }
+
+    // A frame cut off mid-body surfaces as UnexpectedEof, not a hang or
+    // a panic.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, b"hello world").expect("write");
+    wire.truncate(wire.len() - 3);
+    let mut body = Vec::new();
+    match read_frame(&mut wire.as_slice(), &mut body, DEFAULT_MAX_FRAME) {
+        Err(FrameError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        other => panic!("expected io error, got {other:?}"),
+    }
+
+    // Clean EOF at a frame boundary reads as `Ok(false)`.
+    let mut empty: &[u8] = &[];
+    assert!(!read_frame(&mut empty, &mut body, DEFAULT_MAX_FRAME).expect("clean eof"));
+
+    // And an intact frame round-trips through the stream form.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, b"hello world").expect("write");
+    assert!(read_frame(&mut wire.as_slice(), &mut body, DEFAULT_MAX_FRAME).expect("read"));
+    assert_eq!(body, b"hello world");
+}
+
+#[test]
+fn worker_core_answers_hostile_bytes_with_typed_error_frames() {
+    let shared = Arc::new(ServeShared::new(ServeConfig::default()));
+    let mut core = WorkerCore::new(shared);
+    let mut out = Vec::new();
+    let hostile: Vec<Vec<u8>> = vec![
+        vec![],                                  // empty body
+        vec![0x7F],                              // unknown request kind
+        vec![0x01, 0xFF, 0xFF, 0xFF, 0xFF],      // router length = u32::MAX
+        vec![0x01, 0x03, 0x00, 0x00, 0x00],      // router bytes missing
+        {
+            // Valid route request for a set that fails validation
+            // (self-communication 2 -> 2).
+            let mut buf = Vec::new();
+            buf.push(0x01);
+            buf.extend_from_slice(&3u32.to_le_bytes());
+            buf.extend_from_slice(b"csa");
+            buf.extend_from_slice(&8u64.to_le_bytes());
+            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.extend_from_slice(&2u32.to_le_bytes());
+            buf.extend_from_slice(&2u32.to_le_bytes());
+            buf.push(0);
+            buf
+        },
+    ];
+    for (i, body) in hostile.iter().enumerate() {
+        core.handle_frame(body, &mut out);
+        match decode_response(&out) {
+            Ok(Response::Error(e)) => {
+                assert!(!e.message.is_empty(), "case {i}: error frames carry a message")
+            }
+            other => panic!("case {i}: expected a typed error frame, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Seeded random well-nested sets round-trip through the Route
+    /// request encoding at every size.
+    #[test]
+    fn random_route_requests_round_trip(seed in 0u64..1_000_000, n_exp in 2u32..=8) {
+        let n = 1usize << n_exp;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = cst::workloads::well_nested_with_density(&mut rng, n, 0.6);
+        let mut buf = Vec::new();
+        encode_route_request(&mut buf, "csa-parallel", &set, None);
+        match decode_request(&buf) {
+            Ok(Request::Route { router, set: decoded, mask: None }) => {
+                prop_assert_eq!(router, "csa-parallel");
+                prop_assert_eq!(decoded, set);
+            }
+            other => prop_assert!(false, "unexpected decode: {:?}", other),
+        }
+    }
+
+    /// Arbitrary byte soup never panics the request decoder; it decodes
+    /// or it returns a typed `WireError`.
+    #[test]
+    fn decoders_never_panic_on_byte_soup(
+        bytes in proptest::collection::vec(0u8..=255u8, 256),
+        len in 0usize..=256,
+    ) {
+        let soup = &bytes[..len];
+        let _ = decode_request(soup);
+        let _ = decode_response(soup);
+        let _ = decode_payload(soup);
+    }
+}
