@@ -157,6 +157,15 @@ impl<'a> WireCursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Consume and return every byte not yet read. Infallible (an empty
+    /// tail yields an empty slice); the cursor is exhausted afterwards.
+    /// Used to skip trailing fields appended by newer frame minors.
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
     /// Read a little-endian u16.
     pub fn take_u16(&mut self) -> Result<u16, WireError> {
         let b = self.take(2)?;
@@ -236,6 +245,17 @@ mod tests {
         assert_eq!(cur.take_u64().unwrap(), 0x0123_4567_89ab_cdef);
         assert_eq!(cur.take_bytes().unwrap(), &[1, 2, 3]);
         assert_eq!(cur.take_str().unwrap(), "général");
+        assert!(cur.expect_end().is_ok());
+    }
+
+    #[test]
+    fn take_rest_drains_the_tail_and_is_safe_when_empty() {
+        let buf = [0xaa, 0xbb, 0xcc];
+        let mut cur = WireCursor::new(&buf);
+        assert_eq!(cur.take_u8().unwrap(), 0xaa);
+        assert_eq!(cur.take_rest(), &[0xbb, 0xcc]);
+        assert!(cur.is_empty());
+        assert_eq!(cur.take_rest(), &[] as &[u8]);
         assert!(cur.expect_end().is_ok());
     }
 

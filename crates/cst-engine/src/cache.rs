@@ -41,10 +41,38 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum resident entries.
     pub capacity: usize,
+    /// Of the hits, how many were answered by the lock-free hit tier in
+    /// front of the locked LRU (always 0 for a plain [`ScheduleCache`];
+    /// populated by `ShardedScheduleCache`). Already included in `hits`,
+    /// never in addition to it.
+    pub tier_hits: u64,
 }
 
 /// Slab index sentinel: no neighbor / no entry.
 const NIL: u32 = u32::MAX;
+
+/// What [`ScheduleCache::insert`] did to the slab. `displaced` is a
+/// schedule the caller should recycle into its pool (the evicted
+/// victim's, or the rejected input when the cache is disabled);
+/// `resident` borrows the freshly written entry's schedule for copy-out;
+/// `evicted_fp` is the masked fingerprint of a *different* key whose slot
+/// was reclaimed (`None` for fills and same-fingerprint overwrites) — the
+/// sharded front tier uses it to invalidate its copy of the victim.
+pub(crate) struct InsertOutcome<'a> {
+    pub(crate) displaced: Option<Schedule>,
+    pub(crate) resident: Option<&'a Schedule>,
+    pub(crate) evicted_fp: Option<u64>,
+}
+
+/// What [`ScheduleCache::insert_with_payload`] did: like
+/// [`InsertOutcome`] but owning no borrow, plus whether the payload is
+/// now resident (false when the cache is disabled) so the caller knows
+/// whether publishing the key to a front tier is sound.
+pub(crate) struct PayloadInsertOutcome {
+    pub(crate) displaced: Option<Schedule>,
+    pub(crate) evicted_fp: Option<u64>,
+    pub(crate) resident: bool,
+}
 
 /// One cached routing outcome with its full request key.
 #[derive(Debug)]
@@ -139,6 +167,7 @@ impl ScheduleCache {
             collisions: self.collisions,
             entries: self.slab.len(),
             capacity: self.capacity,
+            tier_hits: 0,
         }
     }
 
@@ -199,10 +228,7 @@ impl ScheduleCache {
     /// into the entry instead of being cloned, which keeps the miss path
     /// within a few percent of an uncached route (the engine then copies
     /// it back out through pooled shells, the same cheap path a hit
-    /// takes). Returns `(displaced, resident)`: `displaced` is a schedule
-    /// the caller should recycle into its pool — the evicted victim's, or
-    /// the rejected input when the cache is disabled — and `resident`
-    /// borrows the entry's schedule for that copy-out.
+    /// takes). See [`InsertOutcome`] for what comes back.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn insert(
         &mut self,
@@ -213,11 +239,12 @@ impl ScheduleCache {
         schedule: Schedule,
         power: &PowerReport,
         degradation: Option<&DegradationReport>,
-    ) -> (Option<Schedule>, Option<&Schedule>) {
+    ) -> InsertOutcome<'_> {
         if self.capacity == 0 {
-            return (Some(schedule), None);
+            return InsertOutcome { displaced: Some(schedule), resident: None, evicted_fp: None };
         }
         let fp = fp & self.fp_mask;
+        let mut evicted_fp = None;
         let slot = if let Some(&slot) = self.by_fp.get(&fp) {
             // Same fingerprint already resident: overwrite in place
             // (either a refresh of the same key, or a collision victim —
@@ -245,6 +272,7 @@ impl ScheduleCache {
             // Evict the least-recently-used entry, reusing its slot.
             let victim = self.tail;
             self.evictions += 1;
+            evicted_fp = Some(self.slab[victim as usize].fp);
             self.by_fp.remove(&self.slab[victim as usize].fp);
             self.bump(victim);
             victim
@@ -275,7 +303,32 @@ impl ScheduleCache {
             (dst, src) => *dst = src.cloned(),
         }
         self.bump(slot);
-        (Some(displaced), Some(&self.slab[slot as usize].schedule))
+        InsertOutcome {
+            displaced: Some(displaced),
+            resident: Some(&self.slab[slot as usize].schedule),
+            evicted_fp,
+        }
+    }
+
+    /// Bump the entry at `fp` to most-recently-used **iff** the full
+    /// request key matches — no counters move. The sharded cache calls
+    /// this after a front-tier hit so the locked LRU's recency order
+    /// stays exactly what it would have been had the hit gone through
+    /// [`Self::lookup_payload`].
+    pub(crate) fn touch(
+        &mut self,
+        fp: u64,
+        router: &str,
+        set: &CommSet,
+        mask: Option<&FaultMask>,
+    ) {
+        let fp = fp & self.fp_mask;
+        if let Some(&slot) = self.by_fp.get(&fp) {
+            let e = &self.slab[slot as usize];
+            if e.router == router && e.set == *set && e.mask.as_deref_eq(mask) {
+                self.bump(slot);
+            }
+        }
     }
 
     /// Look up the *encoded response payload* for a request — the serve
@@ -317,9 +370,8 @@ impl ScheduleCache {
     }
 
     /// [`Self::insert`], then attach the encoded response payload to the
-    /// freshly written entry. Returns the displaced schedule for the
-    /// caller's pool (the evicted victim's, or the rejected input when
-    /// the cache is disabled).
+    /// freshly written entry. See [`PayloadInsertOutcome`] for what comes
+    /// back.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn insert_with_payload(
         &mut self,
@@ -331,13 +383,16 @@ impl ScheduleCache {
         power: &PowerReport,
         degradation: Option<&DegradationReport>,
         payload: std::sync::Arc<[u8]>,
-    ) -> Option<Schedule> {
-        let (displaced, _) = self.insert(fp, router, set, mask, schedule, power, degradation);
+    ) -> PayloadInsertOutcome {
+        let out = self.insert(fp, router, set, mask, schedule, power, degradation);
+        let (displaced, evicted_fp) = (out.displaced, out.evicted_fp);
         let fp = fp & self.fp_mask;
+        let mut resident = false;
         if let Some(&slot) = self.by_fp.get(&fp) {
             self.slab[slot as usize].payload = Some(payload);
+            resident = true;
         }
-        displaced
+        PayloadInsertOutcome { displaced, evicted_fp, resident }
     }
 
     /// The compiled replay program of the entry at `fp`, lowering and

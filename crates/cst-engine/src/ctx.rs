@@ -404,7 +404,7 @@ impl EngineCtx {
         let cache = self
             .cache
             .get_or_insert_with(|| ScheduleCache::new(DEFAULT_CACHE_CAPACITY));
-        let (displaced, resident) = cache.insert(
+        let ins = cache.insert(
             fp,
             out.router,
             set,
@@ -413,7 +413,7 @@ impl EngineCtx {
             &out.power,
             out.degradation.as_ref(),
         );
-        out.schedule = match (displaced, resident) {
+        out.schedule = match (ins.displaced, ins.resident) {
             (displaced, Some(entry_schedule)) => {
                 let copy = self.pool.copy_schedule(entry_schedule);
                 if let Some(victim) = displaced {

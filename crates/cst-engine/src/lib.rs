@@ -25,6 +25,7 @@
 mod cache;
 mod ctx;
 mod degrade;
+mod flight;
 mod general;
 mod outcome;
 mod registry;
@@ -33,6 +34,7 @@ mod shard;
 
 pub use cache::{CacheStats, ScheduleCache};
 pub use ctx::{request_fingerprint, EngineCtx, DEFAULT_CACHE_CAPACITY};
+pub use flight::{FlightLease, Joined, SingleFlight};
 pub use shard::ShardedScheduleCache;
 pub use degrade::{route_once_masked, DegradationReport, DroppedComm, ReroutedComm};
 pub use general::GeneralOutcome;

@@ -6,14 +6,37 @@
 //! shared listener (`try_clone`d, so the kernel load-balances accepts).
 //! A connection is served by one worker, frame by frame, until EOF.
 //!
-//! Cross-worker state is exactly two things, both in [`ServeShared`]:
-//! the sharded payload cache ([`ShardedScheduleCache`], one brief lock
-//! per probe) and the atomic [`ServeCounters`]. Workers never share
-//! routing scratch, so the engine's single-caller invariants hold
-//! per-thread by construction; the stress suite
+//! Cross-worker state lives in [`ServeShared`]: the sharded payload
+//! cache ([`ShardedScheduleCache`], whose lock-free hit tier answers
+//! warm repeats without any exclusive lock), the cross-connection
+//! [`SingleFlight`] table, and the atomic [`ServeCounters`]. Workers
+//! never share routing scratch, so the engine's single-caller
+//! invariants hold per-thread by construction; the stress suite
 //! (`tests/serve_stress.rs`) then pins the *combined* behavior:
 //! every concurrent response byte-identical to a fresh single-caller
 //! `EngineCtx` on the same request.
+//!
+//! # The serve path, in order
+//!
+//! Each route item walks three tiers, cheapest first:
+//!
+//! 1. **Hit tier** — a lock-free probe of the shard's front tier. Warm
+//!    repeats end here: atomic generation check, shared read, no
+//!    exclusive lock, no allocation.
+//! 2. **Single-flight join** — on a tier miss the worker joins the
+//!    in-flight table for the fingerprint. If another connection is
+//!    already computing the same full key, this one parks on the
+//!    flight's condvar and is served the leader's payload
+//!    (`coalesced_waits`), never touching the cache.
+//! 3. **Locked probe + route** — the join winner (leader) takes the
+//!    shard lock for the authoritative LRU probe; on a genuine miss it
+//!    routes (`computations`, `singleflight_leaders`), publishes the
+//!    payload to the cache *and then* completes the flight, so any
+//!    latecomer is guaranteed either the flight's payload or a cache
+//!    hit — exactly one computation per concurrently-demanded key. A
+//!    leader that fails (route error, panic) fails the flight; waiters
+//!    wake into the locked path and route solo, so the error path adds
+//!    latency but never wrong bytes or a hang.
 //!
 //! Shutdown is cooperative: a flag plus one wake-connection per worker;
 //! workers drain their current connection (read timeouts bound the
@@ -28,7 +51,7 @@ use crate::wire::{
 use cst_comm::CommSet;
 use cst_core::wire::{WireCursor, WireError};
 use cst_core::{CstTopology, FaultMask};
-use cst_engine::{request_fingerprint, EngineCtx, ShardedScheduleCache};
+use cst_engine::{request_fingerprint, EngineCtx, Joined, ShardedScheduleCache, SingleFlight};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -71,12 +94,20 @@ impl Default for ServeConfig {
     }
 }
 
-/// State shared by every worker: the sharded cache, the counters, and
-/// the shutdown flag.
+/// How long a coalesced waiter parks on a leader's flight before giving
+/// up and routing solo. Routes complete in milliseconds; this bounds the
+/// damage of a wedged leader without ever firing in healthy operation.
+const FLIGHT_WAIT: Duration = Duration::from_secs(10);
+
+/// State shared by every worker: the sharded cache, the single-flight
+/// table, the counters, and the shutdown flag.
 #[derive(Debug)]
 pub struct ServeShared {
     /// The cross-worker payload cache.
     pub cache: ShardedScheduleCache,
+    /// Cross-connection computation coalescing (one route per
+    /// concurrently-demanded fingerprint).
+    pub flights: SingleFlight,
     /// Live traffic counters.
     pub counters: ServeCounters,
     shutdown: AtomicBool,
@@ -92,6 +123,7 @@ impl ServeShared {
                 config.shard_bits,
                 config.cache_fp_bits,
             ),
+            flights: SingleFlight::new(),
             counters: ServeCounters::default(),
             shutdown: AtomicBool::new(false),
             config,
@@ -233,25 +265,46 @@ impl WorkerCore {
         Ok(())
     }
 
-    /// Batch request: decode all sets, then serve with fingerprint
-    /// coalescing — an item identical to an earlier one in the same
-    /// batch shares its payload `Arc` instead of re-probing or
-    /// re-routing (the `route_batch` dedupe, applied at the wire).
+    /// Batch request: decode all items (each with its own fault-mask
+    /// tag, mirroring Route), then serve with fingerprint coalescing —
+    /// an item identical to an earlier one in the same batch (same set
+    /// *and* same mask) shares its payload `Arc` instead of re-probing
+    /// or re-routing (the `route_batch` dedupe, applied at the wire).
     fn dispatch_batch(&mut self, mut cur: WireCursor<'_>, out: &mut Vec<u8>) -> Result<(), ErrorFrame> {
         let router = cur.take_str().map_err(bad_frame)?;
         let count = cur.take_u32().map_err(bad_frame)? as usize;
         let mut sets: Vec<CommSet> = Vec::with_capacity(count.min(1 << 16));
+        let mut masks: Vec<Option<FaultMask>> = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
-            sets.push(take_set(&mut cur).map_err(bad_frame)?);
+            let set = take_set(&mut cur).map_err(bad_frame)?;
+            let mask = match cur.take_u8().map_err(bad_frame)? {
+                0 => None,
+                1 => {
+                    self.ensure_topo(set.num_leaves())?;
+                    let Some(topo) = self.topo.as_ref() else {
+                        return Err(internal("topology missing after ensure"));
+                    };
+                    Some(take_mask(&mut cur, topo).map_err(bad_frame)?)
+                }
+                _ => {
+                    return Err(bad_frame(WireError::Malformed(
+                        "batch mask tag must be 0 or 1",
+                    )))
+                }
+            };
+            sets.push(set);
+            masks.push(mask);
         }
         cur.expect_end().map_err(bad_frame)?;
 
         let mut fps: Vec<u64> = Vec::with_capacity(sets.len());
         let mut items: Vec<ServedItem> = Vec::with_capacity(sets.len());
         for i in 0..sets.len() {
-            let fp = request_fingerprint(router, &sets[i], None);
+            let fp = request_fingerprint(router, &sets[i], masks[i].as_ref());
             fps.push(fp);
-            if let Some(j) = (0..i).find(|&j| fps[j] == fp && sets[j] == sets[i]) {
+            if let Some(j) =
+                (0..i).find(|&j| fps[j] == fp && sets[j] == sets[i] && masks[j] == masks[i])
+            {
                 ServeCounters::bump(&self.shared.counters.requests);
                 ServeCounters::bump(&self.shared.counters.coalesced);
                 let item = match &items[j] {
@@ -269,7 +322,7 @@ impl WorkerCore {
                 items.push(item);
                 continue;
             }
-            let item = self.serve_one(router, &sets[i], None);
+            let item = self.serve_one(router, &sets[i], masks[i].as_ref());
             match &item {
                 Ok(_) => ServeCounters::bump(&self.shared.counters.responses),
                 Err(_) => ServeCounters::bump(&self.shared.counters.errors),
@@ -280,9 +333,11 @@ impl WorkerCore {
         Ok(())
     }
 
-    /// Serve one (router, set, mask) item: cache probe, then route +
-    /// insert on a miss. Bumps `requests`; the caller accounts
-    /// responses/errors (frame- and item-level counting differ).
+    /// Serve one (router, set, mask) item through the three-tier path
+    /// described in the module docs: lock-free tier probe, single-flight
+    /// join, then the locked probe + route. Bumps `requests`; the caller
+    /// accounts responses/errors (frame- and item-level counting
+    /// differ).
     fn serve_one(
         &mut self,
         router: &str,
@@ -291,22 +346,69 @@ impl WorkerCore {
     ) -> Result<(bool, Arc<[u8]>), ErrorFrame> {
         ServeCounters::bump(&self.shared.counters.requests);
         let fp = request_fingerprint(router, set, mask);
-        if let Some(payload) = self.shared.cache.lookup_payload(fp, router, set, mask) {
+
+        // Tier 1: lock-free. A `None` only means "not answerable without
+        // the shard lock" — hit/miss accounting happens further down.
+        if let Some(payload) = self.shared.cache.lookup_payload_tier(fp, router, set, mask) {
             return Ok((true, payload));
         }
-        let payload = self.route_and_insert(router, set, mask, fp)?;
-        Ok((false, payload))
+
+        // Tier 2: join the in-flight table for this fingerprint.
+        match self.shared.flights.join(fp, router, set, mask, FLIGHT_WAIT) {
+            Joined::Wait(payload) => {
+                // Another connection computed this exact key while we
+                // waited. Served from memory, cache untouched.
+                ServeCounters::bump(&self.shared.counters.coalesced_waits);
+                Ok((true, payload))
+            }
+            Joined::Lead(lease) => {
+                // Tier 3, as the leader: authoritative locked probe. The
+                // tier may simply not have published this key yet.
+                if let Some(payload) = self.shared.cache.lookup_payload(fp, router, set, mask) {
+                    lease.complete(Arc::clone(&payload));
+                    return Ok((true, payload));
+                }
+                // Genuine miss: route on behalf of every waiter. The
+                // cache publish inside `route_and_insert` happens before
+                // `complete`, so a latecomer that finds the flight gone
+                // is guaranteed a cache hit (exactly-once, not racily).
+                match self.route_and_insert(router, set, mask, fp, true) {
+                    Ok(payload) => {
+                        lease.complete(Arc::clone(&payload));
+                        Ok((false, payload))
+                    }
+                    // Dropping the lease fails the flight: waiters wake
+                    // into the solo path below and see the error (or a
+                    // success, if the failure was transient) themselves.
+                    Err(e) => Err(e),
+                }
+            }
+            // Fingerprint collision with a different in-flight key, or a
+            // failed/timed-out leader: route solo through the locked
+            // path, never coalescing.
+            Joined::Mismatch | Joined::Failed => {
+                if let Some(payload) = self.shared.cache.lookup_payload(fp, router, set, mask) {
+                    return Ok((true, payload));
+                }
+                let payload = self.route_and_insert(router, set, mask, fp, false)?;
+                Ok((false, payload))
+            }
+        }
     }
 
     /// The miss path: route fresh, encode the payload once, publish it
     /// to the shared cache (schedule moved in by value, evicted victim
-    /// recycled into this worker's pool).
+    /// recycled into this worker's pool). `lead` marks a single-flight
+    /// leader; both it and `computations` are counted just before the
+    /// engine route call, so requests rejected earlier (unknown router,
+    /// bad topology) count as neither.
     fn route_and_insert(
         &mut self,
         router_name: &str,
         set: &CommSet,
         mask: Option<&FaultMask>,
         fp: u64,
+        lead: bool,
     ) -> Result<Arc<[u8]>, ErrorFrame> {
         let router = cst_engine::find(router_name).ok_or_else(|| ErrorFrame {
             code: ErrorCode::UnknownRouter,
@@ -317,6 +419,10 @@ impl WorkerCore {
         let Some(topo) = topo.as_ref() else {
             return Err(internal("topology missing after ensure"));
         };
+        ServeCounters::bump(&shared.counters.computations);
+        if lead {
+            ServeCounters::bump(&shared.counters.singleflight_leaders);
+        }
         let mut outcome = match mask {
             Some(m) => ctx.route_masked(router.as_ref(), topo, set, m),
             None => ctx.route(router.as_ref(), topo, set),
@@ -451,7 +557,14 @@ impl ListenerKind {
 
     fn accept(&self) -> io::Result<Stream> {
         match self {
-            ListenerKind::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            ListenerKind::Tcp(l) => l.accept().map(|(s, _)| {
+                // A response frame is a tiny header write followed by the
+                // body; with Nagle on, the body stalls behind the peer's
+                // delayed ACK (~40ms) — three orders of magnitude above a
+                // warm hit. The client side already disables it.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
             ListenerKind::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
         }
     }

@@ -9,9 +9,17 @@
 //! **Conservation invariants** (asserted end-to-end by
 //! `tests/serve_stress.rs`):
 //!
-//! * `cache.hits + cache.misses == requests - coalesced` — every admitted
-//!   route item either probes the shared cache exactly once or is
-//!   coalesced onto an identical item in the same batch;
+//! * `cache.hits + cache.misses + coalesced_waits == requests - coalesced`
+//!   — every admitted route item either probes the shared cache exactly
+//!   once, parks on another connection's in-flight computation
+//!   (`coalesced_waits`), or is coalesced onto an identical item in the
+//!   same batch (`coalesced`);
+//! * `computations == singleflight_leaders` whenever no leader failed —
+//!   each engine route invocation on the serve path is a single-flight
+//!   leader; after a leader failure, recovering waiters route solo, so in
+//!   general `computations >= singleflight_leaders`;
+//! * `cache.tier_hits <= cache.hits` — tier hits are the subset of hits
+//!   answered by the lock-free front tier instead of the locked LRU;
 //! * `cache` equals the field-wise sum of `shards`;
 //! * collisions are counted inside `cache.misses`, and a collision is
 //!   never *served* — the equality fallback reroutes it to a fresh route.
@@ -39,6 +47,15 @@ pub struct ServeCounters {
     pub coalesced: AtomicU64,
     /// Reset frames honored.
     pub resets: AtomicU64,
+    /// Engine route invocations on the serve path (cache misses that
+    /// actually computed a schedule, successfully or not).
+    pub computations: AtomicU64,
+    /// Misses that led a single-flight and proceeded to route on behalf
+    /// of any concurrent waiters.
+    pub singleflight_leaders: AtomicU64,
+    /// Misses that parked on another connection's in-flight computation
+    /// and were served its payload without probing the cache.
+    pub coalesced_waits: AtomicU64,
 }
 
 impl ServeCounters {
@@ -57,6 +74,9 @@ impl ServeCounters {
             &self.errors,
             &self.coalesced,
             &self.resets,
+            &self.computations,
+            &self.singleflight_leaders,
+            &self.coalesced_waits,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -84,6 +104,12 @@ pub struct ServeStats {
     pub resets: u64,
     /// Size of the worker pool (configuration, not traffic).
     pub workers: u64,
+    /// Engine route invocations on the serve path.
+    pub computations: u64,
+    /// Misses that led a single-flight to an actual route.
+    pub singleflight_leaders: u64,
+    /// Misses served by parking on another connection's computation.
+    pub coalesced_waits: u64,
     /// Shared-cache roll-up: field-wise sum of `shards`.
     pub cache: CacheStats,
     /// Per-shard cache counters, in shard order.
@@ -108,6 +134,9 @@ impl ServeStats {
             coalesced: counters.coalesced.load(Ordering::Relaxed),
             resets: counters.resets.load(Ordering::Relaxed),
             workers,
+            computations: counters.computations.load(Ordering::Relaxed),
+            singleflight_leaders: counters.singleflight_leaders.load(Ordering::Relaxed),
+            coalesced_waits: counters.coalesced_waits.load(Ordering::Relaxed),
             cache,
             shards,
         }

@@ -13,13 +13,14 @@
 //! | kind | name  | body |
 //! |------|-------|------|
 //! | 0x01 | Route | router `str` · set · mask tag `u8` (0/1) · \[mask\] |
-//! | 0x02 | Batch | router `str` · count `u32` · count × set |
+//! | 0x02 | Batch | router `str` · count `u32` · count × (set · mask tag `u8` (0/1) · \[mask\]) |
 //! | 0x03 | Stats | — |
 //! | 0x04 | Reset | — |
 //!
 //! A *set* is `num_leaves u64 · count u32 · count × (source u32, dest
 //! u32)`. A *mask* is `switches u32 · ids… u32 · links u32 · (child u32,
 //! up u8)… · edges u32 · ids… u32` (sized by the set's `num_leaves`).
+//! Batch items carry their mask tag per item, mirroring Route.
 //!
 //! ## Responses
 //!
@@ -27,9 +28,24 @@
 //! |------|-------|------|
 //! | 0x81 | Route | cached `u8` · payload `bytes` |
 //! | 0x82 | Batch | count `u32` · count × (tag `u8`: 0 = error body, 1 = cached `u8` · payload `bytes`) |
-//! | 0x83 | Stats | [`ServeStats`] binary |
+//! | 0x83 | Stats | [`ServeStats`] binary (versioned, see below) |
 //! | 0x84 | Reset | — |
 //! | 0xEE | Error | code `u16` · message `str` |
+//!
+//! ## Stats frame versioning
+//!
+//! The Stats body is **append-only versioned**. The legacy (minor 0)
+//! prefix — 8 service counters, the cache roll-up (6 `u64`s), shard
+//! count, and per-shard blocks — is byte-identical to what PR 9 shipped,
+//! so pre-extension clients' frames still decode here. After the shard
+//! blocks the current encoder appends a minor tag `u8` ([`STATS_MINOR`],
+//! currently 1) followed by the minor-1 fields: `computations u64 ·
+//! singleflight_leaders u64 · coalesced_waits u64 · cache tier_hits u64 ·
+//! per-shard tier_hits u64 × count`. A decoder that finds the cursor
+//! empty at the minor-tag position treats the frame as minor 0 (new
+//! fields zero); a minor tag greater than [`STATS_MINOR`] is decoded
+//! through the known fields with any trailing bytes skipped, so this
+//! decoder also accepts frames from *newer* servers.
 //!
 //! The **payload** is the unit the shared cache stores: a
 //! [`RouteSummary`] followed by the schedule's `serde_json` bytes. It is
@@ -67,6 +83,12 @@ pub const RESP_STATS: u8 = 0x83;
 pub const RESP_RESET: u8 = 0x84;
 /// See [`RESP_ROUTE`].
 pub const RESP_ERROR: u8 = 0xEE;
+
+/// Current minor version of the Stats response body (see the module docs
+/// for the append-only extension scheme). 0 is reserved for the legacy
+/// frame, which carries no tag at all — an explicit 0 on the wire is
+/// malformed.
+pub const STATS_MINOR: u8 = 1;
 
 /// Default cap on one frame's body length. Large enough for a serialized
 /// n = 4096 schedule, small enough that a hostile length prefix cannot
@@ -138,8 +160,9 @@ pub enum Request {
     Batch {
         /// Registry router name.
         router: String,
-        /// The communication sets, in request order.
-        sets: Vec<CommSet>,
+        /// The communication sets with their optional per-item fault
+        /// masks, in request order.
+        items: Vec<(CommSet, Option<FaultMask>)>,
     },
     /// Snapshot the server's counters.
     Stats,
@@ -324,7 +347,9 @@ pub fn encode_route_request(buf: &mut Vec<u8>, router: &str, set: &CommSet, mask
     }
 }
 
-/// Encode a Batch request body into `buf` (cleared first).
+/// Encode a Batch request body into `buf` (cleared first): every item is
+/// unmasked (mask tag 0). Convenience over
+/// [`encode_batch_masked_request`].
 pub fn encode_batch_request(buf: &mut Vec<u8>, router: &str, sets: &[CommSet]) {
     buf.clear();
     put_u8(buf, REQ_BATCH);
@@ -332,6 +357,31 @@ pub fn encode_batch_request(buf: &mut Vec<u8>, router: &str, sets: &[CommSet]) {
     put_u32(buf, sets.len() as u32);
     for set in sets {
         put_set(buf, set);
+        put_u8(buf, 0);
+    }
+}
+
+/// Encode a Batch request body into `buf` (cleared first) with an
+/// optional fault mask per item (each tagged 0/1 exactly like a Route
+/// request's mask).
+pub fn encode_batch_masked_request(
+    buf: &mut Vec<u8>,
+    router: &str,
+    items: &[(CommSet, Option<FaultMask>)],
+) {
+    buf.clear();
+    put_u8(buf, REQ_BATCH);
+    put_str(buf, router);
+    put_u32(buf, items.len() as u32);
+    for (set, mask) in items {
+        put_set(buf, set);
+        match mask {
+            None => put_u8(buf, 0),
+            Some(m) => {
+                put_u8(buf, 1);
+                put_mask(buf, m);
+            }
+        }
     }
 }
 
@@ -353,7 +403,7 @@ pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
         Request::Route { router, set, mask } => {
             encode_route_request(buf, router, set, mask.as_ref())
         }
-        Request::Batch { router, sets } => encode_batch_request(buf, router, sets),
+        Request::Batch { router, items } => encode_batch_masked_request(buf, router, items),
         Request::Stats => encode_stats_request(buf),
         Request::Reset => encode_reset_request(buf),
     }
@@ -436,11 +486,21 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
         REQ_BATCH => {
             let router = cur.take_str()?.to_string();
             let count = cur.take_u32()? as usize;
-            let mut sets = Vec::with_capacity(count.min(1 << 16));
+            let mut items = Vec::with_capacity(count.min(1 << 16));
             for _ in 0..count {
-                sets.push(take_set(&mut cur)?);
+                let set = take_set(&mut cur)?;
+                let mask = match cur.take_u8()? {
+                    0 => None,
+                    1 => {
+                        let topo = CstTopology::new(set.num_leaves())
+                            .map_err(|_| WireError::Malformed("mask on invalid topology size"))?;
+                        Some(take_mask(&mut cur, &topo)?)
+                    }
+                    _ => return Err(WireError::Malformed("batch mask tag must be 0 or 1")),
+                };
+                items.push((set, mask));
             }
-            Request::Batch { router, sets }
+            Request::Batch { router, items }
         }
         REQ_STATS => Request::Stats,
         REQ_RESET => Request::Reset,
@@ -591,10 +651,15 @@ fn take_cache_stats(cur: &mut WireCursor<'_>) -> Result<CacheStats, WireError> {
         collisions: cur.take_u64()?,
         entries: cur.take_u64()? as usize,
         capacity: cur.take_u64()? as usize,
+        // Not part of the legacy 6-u64 block; filled in from the minor-1
+        // extension by the Stats decoder.
+        tier_hits: 0,
     })
 }
 
-/// Encode a Stats response body into `buf` (cleared first).
+/// Encode a Stats response body into `buf` (cleared first): the legacy
+/// minor-0 prefix byte-for-byte, then the [`STATS_MINOR`] extension (see
+/// the module docs).
 pub fn encode_stats_response(buf: &mut Vec<u8>, stats: &ServeStats) {
     buf.clear();
     put_u8(buf, RESP_STATS);
@@ -610,6 +675,16 @@ pub fn encode_stats_response(buf: &mut Vec<u8>, stats: &ServeStats) {
     put_u32(buf, stats.shards.len() as u32);
     for s in &stats.shards {
         put_cache_stats(buf, s);
+    }
+    // Minor-1 extension (append-only; old decoders that stop at the
+    // legacy boundary lose only the new counters).
+    put_u8(buf, STATS_MINOR);
+    put_u64(buf, stats.computations);
+    put_u64(buf, stats.singleflight_leaders);
+    put_u64(buf, stats.coalesced_waits);
+    put_u64(buf, stats.cache.tier_hits);
+    for s in &stats.shards {
+        put_u64(buf, s.tier_hits);
     }
 }
 
@@ -673,11 +748,33 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             let coalesced = cur.take_u64()?;
             let resets = cur.take_u64()?;
             let workers = cur.take_u64()?;
-            let cache = take_cache_stats(&mut cur)?;
+            let mut cache = take_cache_stats(&mut cur)?;
             let n = cur.take_u32()? as usize;
             let mut shards = Vec::with_capacity(n.min(1 << 16));
             for _ in 0..n {
                 shards.push(take_cache_stats(&mut cur)?);
+            }
+            // Versioned tail: an empty cursor here is a legacy (minor 0)
+            // frame — the new counters default to zero. Otherwise the
+            // minor tag must be >= 1; known minor-1 fields decode
+            // strictly, and anything a *newer* minor appended after them
+            // is skipped.
+            let (mut computations, mut singleflight_leaders, mut coalesced_waits) = (0, 0, 0);
+            if !cur.is_empty() {
+                let minor = cur.take_u8()?;
+                if minor < STATS_MINOR {
+                    return Err(WireError::Malformed("stats minor tag must be >= 1"));
+                }
+                computations = cur.take_u64()?;
+                singleflight_leaders = cur.take_u64()?;
+                coalesced_waits = cur.take_u64()?;
+                cache.tier_hits = cur.take_u64()?;
+                for s in shards.iter_mut() {
+                    s.tier_hits = cur.take_u64()?;
+                }
+                if minor > STATS_MINOR {
+                    cur.take_rest();
+                }
             }
             Response::Stats(ServeStats {
                 connections,
@@ -688,6 +785,9 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                 coalesced,
                 resets,
                 workers,
+                computations,
+                singleflight_leaders,
+                coalesced_waits,
                 cache,
                 shards,
             })

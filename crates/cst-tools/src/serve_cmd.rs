@@ -7,9 +7,13 @@
 //! every route a miss), *cached* (one warm set repeated), *soak*
 //! (`--clients` threads over a drifting working set) — and reports
 //! per-request latency (p50/p99 for the soak), throughput, and the
-//! server's [`ServeStats`] snapshot. With `--clients 1` and `--reset`,
-//! every stats field is a pure function of the flags; scripts/ci.sh
-//! strips the timing fields and gates the rest against
+//! server's [`ServeStats`] snapshot. With `--herd <n>` a fourth
+//! *thundering-herd* phase runs: `n` barrier-released connections
+//! demand one fresh key (the single-flight layer must cost exactly one
+//! engine computation), then hammer it warm for the contended-hit
+//! p50/p99. With `--clients 1` and `--reset` (and no `--herd`), every
+//! stats field is a pure function of the flags; scripts/ci.sh strips
+//! the timing fields and gates the rest against
 //! `scripts/serve_golden.json`.
 
 use crate::{flag_value, typed_flag};
@@ -86,12 +90,21 @@ struct BenchServeReport {
     working: usize,
     requests: usize,
     clients: usize,
+    herd: usize,
+    /// `std::thread::available_parallelism()` on the bench host —
+    /// context for the contended numbers (a single-core box serializes
+    /// the herd, so coalescing shows up in computations, not latency).
+    available_parallelism: usize,
     density: f64,
     repeat: f64,
     delta: usize,
     seed: u64,
     transport: String,
     soak_requests: usize,
+    /// Stats-delta computations over the herd phase divided by its one
+    /// fresh key: exactly 1 when the single-flight layer holds (0 when
+    /// the phase is disabled).
+    herd_computations_per_key: u64,
     stats: ServeStats,
     uncached_ns_per_req: u64,
     cached_ns_per_req: u64,
@@ -99,6 +112,8 @@ struct BenchServeReport {
     soak_p50_ns: u64,
     soak_p99_ns: u64,
     soak_requests_per_sec: u64,
+    contended_hit_p50_ns: u64,
+    contended_hit_p99_ns: u64,
     elapsed_ns: u64,
 }
 
@@ -140,6 +155,7 @@ pub fn run_bench_serve(args: &[String]) {
     let repeat: f64 = typed_flag(args, "--repeat", 0.75);
     let delta: usize = typed_flag(args, "--delta", 2);
     let seed: u64 = typed_flag(args, "--seed", 0);
+    let herd: usize = typed_flag(args, "--herd", 0);
     let reset = args.iter().any(|a| a == "--reset");
     if working == 0 || clients == 0 || !(0.0..=1.0).contains(&repeat) {
         eprintln!("--working and --clients want >= 1; --repeat wants a probability in [0, 1]");
@@ -248,6 +264,57 @@ pub fn run_bench_serve(args: &[String]) {
     let soak_elapsed_ns = t2.elapsed().as_nanos().max(1);
     latencies.sort_unstable();
 
+    // Phase 4 (optional) — thundering herd: `herd` barrier-released
+    // connections demand one *fresh* key (distinct derived seed, so no
+    // earlier phase warmed it). The stats delta across the phase counts
+    // engine computations: single-flight coalescing makes it exactly 1
+    // however the arrivals interleave. The key is then hammered warm
+    // from all connections at once for the contended-hit percentiles.
+    let mut herd_computations_per_key = 0u64;
+    let mut contended_latencies: Vec<u64> = Vec::new();
+    if herd > 0 {
+        let mut herd_rng =
+            rand::rngs::StdRng::seed_from_u64(seed ^ 0xE16_CAFE_F00D);
+        let herd_set = cst_workloads::well_nested_with_density(&mut herd_rng, pes, density);
+        let before = match client.stats() {
+            Ok(s) => s,
+            Err(e) => die("pre-herd stats fetch failed", e),
+        };
+        let barrier = std::sync::Barrier::new(herd);
+        let herd_run = |_c: usize| -> Result<Vec<u64>, String> {
+            let mut client = target.connect().map_err(|e| e.to_string())?;
+            barrier.wait();
+            client.route(&router, &herd_set, None).map_err(|e| e.to_string())?;
+            let mut lat = Vec::with_capacity(requests);
+            for _ in 0..requests {
+                let t = Instant::now();
+                client.route(&router, &herd_set, None).map_err(|e| e.to_string())?;
+                lat.push(t.elapsed().as_nanos() as u64);
+            }
+            Ok(lat)
+        };
+        let herd_results: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..herd).map(|c| scope.spawn(move || herd_run(c))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("herd thread panicked".to_string())))
+                .collect()
+        });
+        for r in herd_results {
+            match r {
+                Ok(lat) => contended_latencies.extend(lat),
+                Err(e) => die("herd client failed", e),
+            }
+        }
+        let after = match client.stats() {
+            Ok(s) => s,
+            Err(e) => die("post-herd stats fetch failed", e),
+        };
+        herd_computations_per_key = after.computations.saturating_sub(before.computations);
+        contended_latencies.sort_unstable();
+    }
+
     let stats = match client.stats() {
         Ok(s) => s,
         Err(e) => die("stats fetch failed", e),
@@ -259,12 +326,15 @@ pub fn run_bench_serve(args: &[String]) {
         working,
         requests,
         clients,
+        herd,
+        available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         density,
         repeat,
         delta,
         seed,
         transport,
         soak_requests: latencies.len(),
+        herd_computations_per_key,
         stats,
         uncached_ns_per_req,
         cached_ns_per_req,
@@ -276,18 +346,33 @@ pub fn run_bench_serve(args: &[String]) {
         soak_p50_ns: percentile(&latencies, 50),
         soak_p99_ns: percentile(&latencies, 99),
         soak_requests_per_sec: (latencies.len() as u128 * 1_000_000_000 / soak_elapsed_ns) as u64,
+        contended_hit_p50_ns: percentile(&contended_latencies, 50),
+        contended_hit_p99_ns: percentile(&contended_latencies, 99),
         elapsed_ns: t_run.elapsed().as_nanos() as u64,
     };
 
     if let Some(path) = flag_value(args, "--bench-json") {
-        let json = format!(
-            "{{\n  \"e15_serve/uncached/{pes}\": {},\n  \"e15_serve/cached/{pes}\": {},\n  \
-             \"e15_serve/soak-p50/{pes}\": {},\n  \"e15_serve/soak-p99/{pes}\": {}\n}}\n",
-            report.uncached_ns_per_req,
-            report.cached_ns_per_req,
-            report.soak_p50_ns,
-            report.soak_p99_ns,
-        );
+        // With a herd phase the run measures the contended hit path and
+        // emits the E16 ids; without one it is the E15 serve baseline.
+        let json = if herd > 0 {
+            format!(
+                "{{\n  \"e16_herd/contended-hit-p50/{pes}\": {},\n  \
+                 \"e16_herd/contended-hit-p99/{pes}\": {},\n  \
+                 \"e16_herd/computations-per-key/{pes}\": {}\n}}\n",
+                report.contended_hit_p50_ns,
+                report.contended_hit_p99_ns,
+                report.herd_computations_per_key,
+            )
+        } else {
+            format!(
+                "{{\n  \"e15_serve/uncached/{pes}\": {},\n  \"e15_serve/cached/{pes}\": {},\n  \
+                 \"e15_serve/soak-p50/{pes}\": {},\n  \"e15_serve/soak-p99/{pes}\": {}\n}}\n",
+                report.uncached_ns_per_req,
+                report.cached_ns_per_req,
+                report.soak_p50_ns,
+                report.soak_p99_ns,
+            )
+        };
         if let Err(e) = std::fs::write(&path, json) {
             die("cannot write bench json", e);
         }
@@ -318,18 +403,34 @@ pub fn run_bench_serve(args: &[String]) {
             report.soak_p99_ns,
             report.soak_requests_per_sec,
         );
+        if report.herd > 0 {
+            println!(
+                "herd: {} connections x 1 fresh key = {} computation(s); \
+                 contended hit p50 {} ns p99 {} ns ({} cores)",
+                report.herd,
+                report.herd_computations_per_key,
+                report.contended_hit_p50_ns,
+                report.contended_hit_p99_ns,
+                report.available_parallelism,
+            );
+        }
         let s = &report.stats;
         println!(
-            "server: {} requests, {} responses, {} errors; cache {} hits / {} misses, \
-             {} collisions, {} evictions across {} shards",
+            "server: {} requests, {} responses, {} errors; cache {} hits / {} misses \
+             ({} tier hits), {} collisions, {} evictions across {} shards; \
+             {} computations, {} flight leaders, {} coalesced waits",
             s.requests,
             s.responses,
             s.errors,
             s.cache.hits,
             s.cache.misses,
+            s.cache.tier_hits,
             s.cache.collisions,
             s.cache.evictions,
             s.shards.len(),
+            s.computations,
+            s.singleflight_leaders,
+            s.coalesced_waits,
         );
     }
 

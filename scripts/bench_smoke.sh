@@ -321,6 +321,77 @@ for spec in "BENCH_e15.json 5" "$out_dir/BENCH_e15.json 1"; do
     ' "$1"
 done
 
+echo "== bench smoke: e16_herd (JSON -> $out_dir/BENCH_e16.json) =="
+# The thundering-herd phase barrier-releases 8 connections onto one
+# fresh key: single-flight coalescing must cost exactly one engine
+# computation, and the contended warm-hit percentiles are the lock-free
+# hit tier's headline numbers. Regenerate the checked-in file with:
+#   cargo run --release -q -p cst-tools -- bench-serve --clients 1 \
+#       --reset --herd 8 --bench-json BENCH_e16.json
+cargo run --release -q -p cst-tools -- bench-serve --clients 1 --reset \
+    --herd 8 --bench-json "$out_dir/BENCH_e16.json"
+
+echo "== bench smoke: e16 bench IDs =="
+# Both the fresh smoke run and the checked-in baseline must carry
+# exactly the three herd ids at the default 1024-PE size.
+e16_ids="e16_herd/computations-per-key/1024
+e16_herd/contended-hit-p50/1024
+e16_herd/contended-hit-p99/1024"
+for f in BENCH_e16.json "$out_dir/BENCH_e16.json"; do
+    got="$(grep -o '"e16_herd/[^"]*"' "$f" | tr -d '"' | sort -u)"
+    if [ "$got" != "$e16_ids" ]; then
+        echo "$f: e16_herd ids drifted from the expected set:" >&2
+        diff <(printf '%s\n' "$e16_ids") <(printf '%s\n' "$got") >&2 || true
+        exit 1
+    fi
+done
+echo "e16 id gate: both files carry the three herd ids"
+
+echo "== bench smoke: e16 exactly-one-computation and contended-hit floor =="
+# Two gates per (e16, e15) file pair:
+#  1. computations-per-key must be exactly 1 — the single-flight layer's
+#     hard property, deterministic on any box however the herd
+#     interleaves;
+#  2. the contended hit p50 must stay under the same environment's e15
+#     uncached route time: x5 floor for the checked-in pair, x1 for the
+#     fresh smoke run (a contended cache hit beating a fresh route is
+#     the minimum bar everywhere, including single-core runners where
+#     the herd serializes).
+for spec in "BENCH_e16.json BENCH_e15.json 5" \
+            "$out_dir/BENCH_e16.json $out_dir/BENCH_e15.json 1"; do
+    set -- $spec
+    awk -v e16_file="$1" -v factor="$3" '
+        FNR == 1 { file++ }
+        file == 1 && /"e16_herd\// {
+            key = $1; gsub(/[",:]/, "", key); sub(/^e16_herd\//, "", key)
+            v16[key] = $2 + 0
+        }
+        file == 2 && /"e15_serve\/uncached\/1024"/ { unc = $2 + 0 }
+        END {
+            if (!("computations-per-key/1024" in v16) || !("contended-hit-p50/1024" in v16)) {
+                printf "%s: missing e16 herd ids\n", e16_file > "/dev/stderr"
+                exit 1
+            }
+            if (v16["computations-per-key/1024"] != 1) {
+                printf "%s: herd cost %.0f computations per key, want exactly 1\n", \
+                    e16_file, v16["computations-per-key/1024"] > "/dev/stderr"
+                exit 1
+            }
+            if (unc == 0) {
+                printf "%s: no e15 uncached baseline to anchor against\n", e16_file > "/dev/stderr"
+                exit 1
+            }
+            if (v16["contended-hit-p50/1024"] * factor > unc) {
+                printf "%s: contended hit p50 (%.0f ns) x%d exceeds e15 uncached (%.0f ns)\n", \
+                    e16_file, v16["contended-hit-p50/1024"], factor, unc > "/dev/stderr"
+                exit 1
+            }
+            printf "%s: 1 computation per herd key, contended p50 x%d <= uncached\n", \
+                e16_file, factor
+        }
+    ' "$1" "$2"
+done
+
 echo "== bench smoke: remaining benches =="
 for b in e1_rounds_optimality e2_config_changes e3_total_power \
          e4_control_overhead e6_change_histogram e7_segmentable_bus \

@@ -156,7 +156,7 @@ if [ ! -f "$serve_ready" ]; then
 fi
 serve_cmd() {
     target/debug/cst-tools bench-serve --unix "$serve_sock" --clients 1 --reset --json \
-        | grep -vE '"(uncached_ns_per_req|cached_ns_per_req|speedup|soak_p50_ns|soak_p99_ns|soak_requests_per_sec|elapsed_ns)"'
+        | grep -vE '"(uncached_ns_per_req|cached_ns_per_req|speedup|soak_p50_ns|soak_p99_ns|soak_requests_per_sec|contended_hit_p50_ns|contended_hit_p99_ns|available_parallelism|elapsed_ns)"'
 }
 serve_cmd > "$serve_a"
 serve_cmd > "$serve_b"

@@ -5,9 +5,15 @@
 //! single-caller [`EngineCtx`] — every response payload carries the
 //! serde-byte-identical schedule, every audited schedule is analyzer-
 //! and reference-model-clean, and the final [`ServeStats`] satisfy the
-//! conservation invariants (`hits + misses == requests - coalesced`,
-//! shard roll-up equals the shard sum, collisions are counted but never
-//! served).
+//! conservation invariants
+//! (`hits + misses + coalesced_waits == requests - coalesced`,
+//! `computations == cache.misses` on error-free runs, shard roll-up
+//! equals the shard sum, collisions are counted but never served).
+//!
+//! The thundering-herd tests pin the single-flight layer's headline
+//! property: N connections concurrently demanding one fingerprint cost
+//! **exactly one** engine computation, and a failing leader degrades to
+//! per-caller typed errors, never a hang.
 //!
 //! The truncated-fingerprint test reuses the engine cache's `fp_bits`
 //! knob through [`ServeConfig::cache_fp_bits`]: with 4-bit fingerprints
@@ -177,23 +183,32 @@ fn concurrent_soak_is_byte_identical_to_a_fresh_engine() {
     assert_eq!(s.errors, 0);
     assert_eq!(s.coalesced, 0);
     assert_eq!(
-        s.cache.hits + s.cache.misses,
+        s.cache.hits + s.cache.misses + s.coalesced_waits,
         s.requests - s.coalesced,
-        "every admitted request probes the shared cache exactly once"
+        "every admitted request probes the shared cache exactly once or parks on a flight"
     );
     assert_eq!(s.cache.collisions, 0, "64-bit fingerprints never collide on this plan");
     assert!(s.cache.hits > s.cache.misses, "the soak is dominated by cache hits: {s:?}");
+    assert_eq!(s.computations, s.cache.misses, "every locked miss routes exactly once");
+    assert!(s.singleflight_leaders <= s.computations);
+    assert!(s.cache.tier_hits <= s.cache.hits, "tier hits are a subset of hits");
+    assert_eq!(s.cache, shard_sum(&s.shards), "roll-up must equal the field-wise shard sum");
+    server.shutdown();
+}
+
+/// Field-wise sum of per-shard counters, for the roll-up invariant.
+fn shard_sum(shards: &[cst::engine::CacheStats]) -> cst::engine::CacheStats {
     let mut sum = cst::engine::CacheStats::default();
-    for sh in &s.shards {
+    for sh in shards {
         sum.hits += sh.hits;
         sum.misses += sh.misses;
         sum.evictions += sh.evictions;
         sum.collisions += sh.collisions;
         sum.entries += sh.entries;
         sum.capacity += sh.capacity;
+        sum.tier_hits += sh.tier_hits;
     }
-    assert_eq!(s.cache, sum, "roll-up must equal the field-wise shard sum");
-    server.shutdown();
+    sum
 }
 
 #[test]
@@ -275,6 +290,46 @@ fn batch_requests_coalesce_identical_items() {
     assert_eq!(s.responses, 5);
     assert_eq!(s.errors, 0);
     assert_eq!(s.cache.hits + s.cache.misses, s.requests - s.coalesced);
+    assert_eq!(s.computations, 3, "three unique items, three routes");
+    server.shutdown();
+}
+
+#[test]
+fn masked_batch_items_route_and_coalesce_per_full_key() {
+    let sets = working_sets();
+    let topo = CstTopology::with_leaves(PES);
+    let mask = stress_mask(&topo);
+    let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let mut client = ServeClient::connect_tcp(server.tcp_addr().expect("tcp addr")).expect("connect");
+
+    // One set under three guises: unmasked, masked, and a masked
+    // duplicate. Only the exact (set, mask) duplicate coalesces.
+    let items = vec![
+        (sets[0].clone(), None),
+        (sets[0].clone(), Some(mask.clone())),
+        (sets[0].clone(), Some(mask.clone())),
+    ];
+    let replies: Vec<_> = client
+        .batch_masked("csa", &items)
+        .expect("masked batch")
+        .into_iter()
+        .map(|r| r.expect("batch item"))
+        .collect();
+    assert_eq!(replies.len(), 3);
+    assert_ne!(
+        replies[0].payload, replies[1].payload,
+        "masked and unmasked routes of one set must differ"
+    );
+    assert_eq!(replies[2].payload, replies[1].payload);
+    assert!(replies[2].cached, "the exact duplicate is served as a cached copy");
+    verify_payload(&topo, "csa", &sets[0], None, &replies[0].payload);
+    verify_payload(&topo, "csa", &sets[0], Some(&mask), &replies[1].payload);
+
+    let s = server.stats();
+    assert_eq!(s.requests, 3);
+    assert_eq!(s.coalesced, 1);
+    assert_eq!(s.computations, 2, "two distinct full keys, two routes");
+    assert_eq!(s.errors, 0);
     server.shutdown();
 }
 
@@ -298,6 +353,174 @@ fn unknown_router_is_a_typed_error_not_a_dead_connection() {
     // the registry lookup failed, so conservation still holds.
     assert_eq!(s.requests, 2);
     assert_eq!(s.cache.hits + s.cache.misses, s.requests);
+    server.shutdown();
+}
+
+#[test]
+fn thundering_herd_costs_exactly_one_computation() {
+    const HERD: usize = 8;
+    let topo = CstTopology::with_leaves(PES);
+    let sets = working_sets();
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServeConfig { workers: HERD, ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().expect("tcp addr");
+
+    // All clients connect first, then release together and demand the
+    // same (router, set) key. However the arrivals interleave — parked
+    // on the leader's flight, served by the hit tier, or landing a
+    // locked hit after publish — the engine must route exactly once.
+    let barrier = std::sync::Barrier::new(HERD);
+    let payloads: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..HERD)
+            .map(|_| {
+                let barrier = &barrier;
+                let set = &sets[0];
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_tcp(addr).expect("connect");
+                    barrier.wait();
+                    client.route("csa", set, None).expect("herd route").payload
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("herd client")).collect()
+    });
+    for p in &payloads[1..] {
+        assert_eq!(p, &payloads[0], "herd responses must be byte-identical");
+    }
+    verify_payload(&topo, "csa", &sets[0], None, &payloads[0]);
+
+    let s = server.stats();
+    assert_eq!(s.requests, HERD as u64);
+    assert_eq!(s.responses, HERD as u64);
+    assert_eq!(s.errors, 0);
+    assert_eq!(s.computations, 1, "one concurrently-demanded key, one route: {s:?}");
+    assert_eq!(s.singleflight_leaders, 1);
+    assert_eq!(s.cache.misses, 1, "only the leader's locked probe misses");
+    assert_eq!(
+        s.cache.hits + s.coalesced_waits,
+        (HERD - 1) as u64,
+        "every non-leader is served from memory: {s:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn mixed_herd_and_unique_soak_conserves_every_counter() {
+    const HERD_CLIENTS: usize = 6;
+    const OPS: usize = 40; // per client
+    let sets = working_sets();
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServeConfig { workers: HERD_CLIENTS, cache_capacity: 256, ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().expect("tcp addr");
+
+    // Seeded mixed plan: every third op hammers one shared hot key (the
+    // herd), the rest walk per-client slices of the working set (the
+    // unique tail). Barrier-released so the hot key is genuinely
+    // contended at the start.
+    let barrier = std::sync::Barrier::new(HERD_CLIENTS);
+    let recorded: Vec<Vec<(usize, Vec<u8>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..HERD_CLIENTS)
+            .map(|c| {
+                let barrier = &barrier;
+                let sets = &sets;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_tcp(addr).expect("connect");
+                    barrier.wait();
+                    let mut out = Vec::with_capacity(OPS);
+                    for i in 0..OPS {
+                        let set_idx = if i % 3 == 0 { 0 } else { (c * 5 + i * 11) % WORKING };
+                        let reply = client.route("csa", &sets[set_idx], None).expect("route");
+                        out.push((set_idx, reply.payload));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("soak client")).collect()
+    });
+    let mut by_key: HashMap<usize, Vec<u8>> = HashMap::new();
+    for (set_idx, payload) in recorded.into_iter().flatten() {
+        match by_key.get(&set_idx) {
+            Some(first) => assert_eq!(first, &payload, "one key, one byte sequence"),
+            None => {
+                by_key.insert(set_idx, payload);
+            }
+        }
+    }
+
+    let s = server.stats();
+    assert_eq!(s.requests, (HERD_CLIENTS * OPS) as u64);
+    assert_eq!(s.responses, s.requests);
+    assert_eq!(s.errors, 0);
+    assert_eq!(
+        s.cache.hits + s.cache.misses + s.coalesced_waits,
+        s.requests - s.coalesced,
+        "probe-or-park conservation: {s:?}"
+    );
+    assert_eq!(s.computations, s.cache.misses, "every locked miss routes exactly once");
+    assert!(s.singleflight_leaders <= s.computations);
+    assert!(
+        s.computations <= by_key.len() as u64 + s.cache.evictions,
+        "computations are bounded by unique keys plus evicted re-routes: {s:?}"
+    );
+    assert!(s.cache.tier_hits <= s.cache.hits);
+    assert_eq!(s.cache, shard_sum(&s.shards));
+    server.shutdown();
+}
+
+#[test]
+fn failing_leader_degrades_to_typed_errors_never_a_hang() {
+    const HERD: usize = 8;
+    let sets = working_sets();
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServeConfig { workers: HERD, ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().expect("tcp addr");
+
+    // A herd on a key whose route fails (unknown router): the first
+    // joiner leads, fails, and drops its lease; waiters must wake into
+    // the solo path and observe their own typed error — no hang, no
+    // poisoned flight, server fully alive afterwards.
+    let barrier = std::sync::Barrier::new(HERD);
+    std::thread::scope(|scope| {
+        for _ in 0..HERD {
+            let barrier = &barrier;
+            let set = &sets[0];
+            scope.spawn(move || {
+                let mut client = ServeClient::connect_tcp(addr).expect("connect");
+                barrier.wait();
+                match client.route("no-such-router", set, None) {
+                    Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::UnknownRouter),
+                    other => panic!("expected a typed UnknownRouter error, got {other:?}"),
+                }
+            });
+        }
+    });
+
+    let s = server.stats();
+    assert_eq!(s.requests, HERD as u64);
+    assert_eq!(s.errors, HERD as u64);
+    assert_eq!(s.computations, 0, "the registry rejects before any route");
+    assert_eq!(s.singleflight_leaders, 0);
+    assert_eq!(
+        s.cache.hits + s.cache.misses + s.coalesced_waits,
+        s.requests,
+        "failed-flight recovery still conserves probes: {s:?}"
+    );
+
+    // The same fingerprint must be routable once the failure cause is
+    // gone — the failed flights left no residue.
+    let mut client = ServeClient::connect_tcp(addr).expect("connect");
+    let reply = client.route("csa", &sets[0], None).expect("route after herd failure");
+    assert!(!reply.payload.is_empty());
     server.shutdown();
 }
 

@@ -10,10 +10,11 @@ use cst::comm::CommSet;
 use cst::core::{CstTopology, DirectedLink, FaultMask, NodeId};
 use cst::engine::CacheStats;
 use cst::serve::wire::{
-    decode_payload, decode_request, decode_response, encode_batch_request, encode_batch_response,
-    encode_error_response, encode_payload, encode_request, encode_reset_request,
-    encode_route_request, encode_route_response, encode_stats_request, encode_stats_response,
-    read_frame, write_frame, DegradationSummary, FrameError, DEFAULT_MAX_FRAME,
+    decode_payload, decode_request, decode_response, encode_batch_masked_request,
+    encode_batch_request, encode_batch_response, encode_error_response, encode_payload,
+    encode_request, encode_reset_request, encode_route_request, encode_route_response,
+    encode_stats_request, encode_stats_response, read_frame, write_frame, DegradationSummary,
+    FrameError, DEFAULT_MAX_FRAME, STATS_MINOR,
 };
 use cst::serve::{ErrorCode, ErrorFrame, Request, Response, ServeConfig, ServeShared, ServeStats, WorkerCore};
 use proptest::prelude::*;
@@ -49,7 +50,10 @@ fn requests_round_trip() {
         Request::Route { router: "greedy".into(), set: sample_set(), mask: Some(sample_mask()) },
         Request::Batch {
             router: "general".into(),
-            sets: vec![sample_set(), CommSet::from_pairs(4, &[(0, 3)])],
+            items: vec![
+                (sample_set(), Some(sample_mask())),
+                (CommSet::from_pairs(4, &[(0, 3)]), None),
+            ],
         },
         Request::Stats,
         Request::Reset,
@@ -57,8 +61,8 @@ fn requests_round_trip() {
     for req in originals {
         encode_request(&mut buf, &req);
         let decoded = decode_request(&buf).expect("round trip decodes");
-        // FaultMask intentionally has no PartialEq; compare through the
-        // fingprint the cache itself keys on.
+        // Masks are compared through the fingerprint the cache itself
+        // keys on — the codec identity the protocol actually relies on.
         match (&req, &decoded) {
             (
                 Request::Route { router: r1, set: s1, mask: m1 },
@@ -72,11 +76,18 @@ fn requests_round_trip() {
                 );
             }
             (
-                Request::Batch { router: r1, sets: x1 },
-                Request::Batch { router: r2, sets: x2 },
+                Request::Batch { router: r1, items: x1 },
+                Request::Batch { router: r2, items: x2 },
             ) => {
                 assert_eq!(r1, r2);
-                assert_eq!(x1, x2);
+                assert_eq!(x1.len(), x2.len());
+                for ((s1, m1), (s2, m2)) in x1.iter().zip(x2) {
+                    assert_eq!(s1, s2);
+                    assert_eq!(
+                        m1.as_ref().map(FaultMask::fingerprint),
+                        m2.as_ref().map(FaultMask::fingerprint)
+                    );
+                }
             }
             (Request::Stats, Request::Stats) | (Request::Reset, Request::Reset) => {}
             other => panic!("request changed shape across the wire: {other:?}"),
@@ -94,6 +105,9 @@ fn sample_stats() -> ServeStats {
         coalesced: 7,
         resets: 1,
         workers: 4,
+        computations: 13,
+        singleflight_leaders: 11,
+        coalesced_waits: 9,
         cache: CacheStats {
             hits: 80,
             misses: 13,
@@ -101,12 +115,35 @@ fn sample_stats() -> ServeStats {
             collisions: 1,
             entries: 8,
             capacity: 64,
+            tier_hits: 60,
         },
         shards: vec![
-            CacheStats { hits: 50, misses: 7, evictions: 3, collisions: 1, entries: 5, capacity: 32 },
-            CacheStats { hits: 30, misses: 6, evictions: 2, collisions: 0, entries: 3, capacity: 32 },
+            CacheStats {
+                hits: 50,
+                misses: 7,
+                evictions: 3,
+                collisions: 1,
+                entries: 5,
+                capacity: 32,
+                tier_hits: 40,
+            },
+            CacheStats {
+                hits: 30,
+                misses: 6,
+                evictions: 2,
+                collisions: 0,
+                entries: 3,
+                capacity: 32,
+                tier_hits: 20,
+            },
         ],
     }
+}
+
+/// Byte length of the minor-1 extension appended to a Stats body: the
+/// minor tag, four u64 counters, and one u64 tier-hit count per shard.
+fn stats_extension_len(stats: &ServeStats) -> usize {
+    1 + 4 * 8 + stats.shards.len() * 8
 }
 
 #[test]
@@ -206,12 +243,91 @@ fn golden_route_request_bytes() {
 }
 
 #[test]
+fn golden_batch_request_bytes() {
+    // Byte-pin of the canonical Batch frame body with per-item mask
+    // tags: router "csa", item 0 = CommSet{4 leaves, (0,3)} unmasked,
+    // item 1 = the same set under a mask killing switch 1.
+    let mut buf = Vec::new();
+    let set = CommSet::from_pairs(4, &[(0, 3)]);
+    let topo = CstTopology::with_leaves(4);
+    let mut mask = FaultMask::empty(&topo);
+    assert!(mask.kill_switch(NodeId(1)));
+    encode_batch_masked_request(&mut buf, "csa", &[(set.clone(), None), (set, Some(mask))]);
+    #[rustfmt::skip]
+    let golden: Vec<u8> = vec![
+        0x02,                                           // kind = Batch
+        0x03, 0x00, 0x00, 0x00, b'c', b's', b'a',       // router
+        0x02, 0x00, 0x00, 0x00,                         // 2 items
+        // item 0: the set, unmasked
+        0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // num_leaves = 4
+        0x01, 0x00, 0x00, 0x00,                         // 1 pair
+        0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, // (0, 3)
+        0x00,                                           // mask tag = none
+        // item 1: the same set, masked
+        0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // num_leaves = 4
+        0x01, 0x00, 0x00, 0x00,                         // 1 pair
+        0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, // (0, 3)
+        0x01,                                           // mask tag = present
+        0x01, 0x00, 0x00, 0x00,                         // 1 dead switch
+        0x01, 0x00, 0x00, 0x00,                         //   node 1
+        0x00, 0x00, 0x00, 0x00,                         // 0 dead links
+        0x00, 0x00, 0x00, 0x00,                         // 0 degraded edges
+    ];
+    assert_eq!(buf, golden, "the wire format is a frozen contract; bump docs/SERVE.md to change it");
+}
+
+#[test]
+fn masked_batch_requests_round_trip() {
+    let mut buf = Vec::new();
+    let items =
+        vec![(sample_set(), None), (sample_set(), Some(sample_mask())), (sample_set(), None)];
+    encode_batch_masked_request(&mut buf, "greedy", &items);
+    match decode_request(&buf).expect("masked batch decodes") {
+        Request::Batch { router, items: decoded } => {
+            assert_eq!(router, "greedy");
+            assert_eq!(decoded.len(), items.len());
+            for ((s1, m1), (s2, m2)) in items.iter().zip(&decoded) {
+                assert_eq!(s1, s2);
+                assert_eq!(
+                    m1.as_ref().map(FaultMask::fingerprint),
+                    m2.as_ref().map(FaultMask::fingerprint)
+                );
+            }
+        }
+        other => panic!("expected Batch, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_batch_mask_tags_are_typed_errors() {
+    // A mask tag outside {0, 1} on any item must be a typed decode
+    // error, and the serving core must answer it with an error frame.
+    let mut buf = Vec::new();
+    encode_batch_masked_request(&mut buf, "csa", &[(sample_set(), None)]);
+    let tag_pos = buf.len() - 1;
+    assert_eq!(buf[tag_pos], 0);
+    buf[tag_pos] = 2;
+    assert!(decode_request(&buf).is_err(), "mask tag 2 must not decode");
+
+    let shared = Arc::new(ServeShared::new(ServeConfig::default()));
+    let mut core = WorkerCore::new(shared);
+    let mut out = Vec::new();
+    core.handle_frame(&buf, &mut out);
+    match decode_response(&out) {
+        Ok(Response::Error(e)) => assert!(!e.message.is_empty()),
+        other => panic!("expected a typed error frame, got {other:?}"),
+    }
+}
+
+#[test]
 fn every_truncated_prefix_is_a_typed_error_never_a_panic() {
     let mut bodies: Vec<Vec<u8>> = Vec::new();
     let mut buf = Vec::new();
     encode_route_request(&mut buf, "csa", &sample_set(), Some(&sample_mask()));
     bodies.push(buf.clone());
     encode_batch_request(&mut buf, "csa", &[sample_set(), sample_set()]);
+    bodies.push(buf.clone());
+    encode_batch_masked_request(&mut buf, "csa", &[(sample_set(), Some(sample_mask()))]);
     bodies.push(buf.clone());
     encode_stats_request(&mut buf);
     bodies.push(buf.clone());
@@ -231,8 +347,6 @@ fn every_truncated_prefix_is_a_typed_error_never_a_panic() {
     resp_bodies.push(buf.clone());
     encode_batch_response(&mut buf, &[Ok((true, payload)), Err(sample_error())]);
     resp_bodies.push(buf.clone());
-    encode_stats_response(&mut buf, &sample_stats());
-    resp_bodies.push(buf.clone());
     encode_error_response(&mut buf, &sample_error());
     resp_bodies.push(buf.clone());
     for body in &resp_bodies {
@@ -240,6 +354,81 @@ fn every_truncated_prefix_is_a_typed_error_never_a_panic() {
             assert!(decode_response(&body[..cut]).is_err());
         }
         assert!(decode_response(body).is_ok());
+    }
+
+    // Stats is the one versioned frame: exactly one strict prefix — the
+    // cut at the legacy (minor-0) boundary — is a *valid* frame by
+    // design. Every other prefix must still fail.
+    let stats = sample_stats();
+    encode_stats_response(&mut buf, &stats);
+    let legacy_len = buf.len() - stats_extension_len(&stats);
+    for cut in 0..buf.len() {
+        if cut == legacy_len {
+            assert!(
+                decode_response(&buf[..cut]).is_ok(),
+                "the legacy-boundary prefix is a valid minor-0 frame"
+            );
+        } else {
+            assert!(
+                decode_response(&buf[..cut]).is_err(),
+                "stats prefix of length {cut} must fail to decode"
+            );
+        }
+    }
+    assert!(decode_response(&buf).is_ok());
+}
+
+#[test]
+fn legacy_minor0_stats_frames_decode_with_new_counters_zeroed() {
+    // A minor-0 peer stops writing at the legacy boundary. Decoding its
+    // frame must succeed and leave every extension field at zero.
+    let stats = sample_stats();
+    let mut buf = Vec::new();
+    encode_stats_response(&mut buf, &stats);
+    buf.truncate(buf.len() - stats_extension_len(&stats));
+    match decode_response(&buf).expect("legacy stats frame decodes") {
+        Response::Stats(decoded) => {
+            let mut expected = stats.clone();
+            expected.computations = 0;
+            expected.singleflight_leaders = 0;
+            expected.coalesced_waits = 0;
+            expected.cache.tier_hits = 0;
+            for s in &mut expected.shards {
+                s.tier_hits = 0;
+            }
+            assert_eq!(decoded, expected);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+}
+
+#[test]
+fn explicit_zero_stats_minor_tag_is_malformed() {
+    // Minor 0 is expressed by *absence* (the legacy boundary); a frame
+    // that writes a 0 tag byte is lying about its version.
+    let stats = sample_stats();
+    let mut buf = Vec::new();
+    encode_stats_response(&mut buf, &stats);
+    let legacy_len = buf.len() - stats_extension_len(&stats);
+    assert_eq!(buf[legacy_len], STATS_MINOR);
+    buf[legacy_len] = 0;
+    assert!(decode_response(&buf).is_err());
+}
+
+#[test]
+fn future_stats_minors_decode_their_known_prefix() {
+    // A newer peer bumps the minor tag and appends fields we do not
+    // know. The decoder must read the minor-1 fields it understands and
+    // skip the rest.
+    let stats = sample_stats();
+    let mut buf = Vec::new();
+    encode_stats_response(&mut buf, &stats);
+    let legacy_len = buf.len() - stats_extension_len(&stats);
+    buf[legacy_len] = STATS_MINOR + 1;
+    buf.extend_from_slice(&0xdead_beef_u64.to_le_bytes()); // hypothetical minor-2 field
+    match decode_response(&buf).expect("future-minor stats frame decodes") {
+        Response::Stats(decoded) => assert_eq!(decoded, stats),
+        other => panic!("expected Stats, got {other:?}"),
     }
 }
 
